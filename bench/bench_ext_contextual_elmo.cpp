@@ -1,0 +1,162 @@
+// Extension: the Figure 11 contextual-embedding protocol on a *second*
+// contextual family — TinyElmo, a bidirectional LSTM language model
+// (Peters et al., 2018, which §6.2 cites alongside transformers). Encoder
+// pairs are pretrained on the Wiki'17/Wiki'18 analog corpora, probed with
+// linear classifiers on mean-pooled (optionally quantized) features, across
+// hidden sizes and feature precisions.
+#include "bench/bench_common.hpp"
+
+#include <map>
+
+#include "compress/quantize.hpp"
+#include "core/instability.hpp"
+#include "ctx/elmo.hpp"
+#include "model/feature_classifier.hpp"
+#include "tasks/sentiment.hpp"
+
+namespace {
+
+using anchor::ctx::TinyElmo;
+
+std::vector<std::vector<float>> extract(
+    const TinyElmo& elmo,
+    const std::vector<std::vector<std::int32_t>>& sentences) {
+  std::vector<std::vector<float>> out;
+  out.reserve(sentences.size());
+  for (const auto& s : sentences) out.push_back(elmo.features(s));
+  return out;
+}
+
+/// Same feature quantizer as the BERT-analog bench: flatten, uniform-
+/// quantize, share the clip threshold across the pair via clip_io.
+std::vector<std::vector<float>> quantize_features(
+    const std::vector<std::vector<float>>& features, int bits,
+    float* clip_io) {
+  if (bits == 32) return features;
+  anchor::embed::Embedding flat(features.size(), features.front().size());
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    std::copy(features[i].begin(), features[i].end(), flat.row(i));
+  }
+  anchor::compress::QuantizeConfig qc;
+  qc.bits = bits;
+  if (*clip_io > 0.0f) qc.clip_override = *clip_io;
+  const auto r = anchor::compress::uniform_quantize(flat, qc);
+  *clip_io = r.clip;
+  std::vector<std::vector<float>> out(features.size());
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    out[i].assign(r.embedding.row(i), r.embedding.row(i) + r.embedding.dim);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace anchor;
+  using namespace anchor::bench;
+  using anchor::format_double;
+  print_header("Extension — contextual instability with a BiLSTM LM (ELMo "
+               "analog)",
+               "the Figure 11 protocol on the Peters et al. (2018) family");
+
+  const auto cfg = bench_config();
+  text::LatentSpaceConfig sc;
+  sc.vocab_size = 400;
+  sc.latent_dim = cfg.latent_dim;
+  sc.num_topics = cfg.num_topics;
+  sc.seed = cfg.space_seed;
+  const text::LatentSpace space17(sc);
+  const text::LatentSpace space18 =
+      space17.drifted(cfg.drift, cfg.space_seed + 1, cfg.extra_docs);
+  text::CorpusConfig cc;
+  cc.num_documents = 400;
+  cc.seed = 1;
+  const text::Corpus c17 = generate_corpus(space17, cc);
+  const text::Corpus c18 = generate_corpus(space18, cc);
+
+  tasks::SentimentTaskConfig tc = tasks::sentiment_profile("sst2");
+  tc.train_size = 800;
+  tc.val_size = 100;
+  tc.test_size = 400;
+  const auto ds = tasks::make_sentiment_task(space17, tc);
+
+  const std::vector<std::size_t> hiddens = {8, 16, 32};
+  const std::vector<int> precisions = {1, 2, 4, 8, 32};
+  const std::vector<std::uint64_t> seeds = {1, 2};
+  const std::size_t base_hidden = 16;
+
+  std::map<std::size_t, double> di_by_dim;
+  std::map<int, double> di_by_prec;
+
+  for (const auto hidden : hiddens) {
+    for (const auto seed : seeds) {
+      ctx::TinyElmoConfig ec;
+      ec.embed_dim = hidden;
+      ec.hidden = hidden;
+      ec.epochs = 2;
+      ec.seed = seed;
+      TinyElmo e17(c17.vocab_size, ec), e18(c18.vocab_size, ec);
+      e17.pretrain(c17);
+      e18.pretrain(c18);
+
+      const auto train17 = extract(e17, ds.train_sentences);
+      const auto test17 = extract(e17, ds.test_sentences);
+      const auto train18 = extract(e18, ds.train_sentences);
+      const auto test18 = extract(e18, ds.test_sentences);
+
+      auto probe_di = [&](int bits) {
+        float clip17 = 0.0f;
+        const auto qtrain17 = quantize_features(train17, bits, &clip17);
+        float clip = clip17;
+        const auto qtest17 = quantize_features(test17, bits, &clip);
+        clip = clip17;
+        const auto qtrain18 = quantize_features(train18, bits, &clip);
+        clip = clip17;
+        const auto qtest18 = quantize_features(test18, bits, &clip);
+
+        model::FeatureClassifierConfig fc;
+        fc.init_seed = seed;
+        fc.sampling_seed = seed;
+        const model::FeatureClassifier m17(qtrain17, ds.train_labels, fc);
+        const model::FeatureClassifier m18(qtrain18, ds.train_labels, fc);
+        return core::prediction_disagreement_pct(m17.predict_all(qtest17),
+                                                 m18.predict_all(qtest18));
+      };
+
+      di_by_dim[hidden] += probe_di(32) / seeds.size();
+      if (hidden == base_hidden) {
+        for (const int bits : precisions) {
+          di_by_prec[bits] += probe_di(bits) / seeds.size();
+        }
+      }
+    }
+  }
+
+  std::cout << "Instability vs BiLSTM hidden size (feature dim = 2·hidden, "
+            << "b=32):\n";
+  TextTable dim_table({"hidden", "feature dim", "% disagreement"});
+  for (const auto hidden : hiddens) {
+    dim_table.add_row({std::to_string(hidden), std::to_string(2 * hidden),
+                       format_double(di_by_dim[hidden], 2)});
+  }
+  dim_table.print(std::cout);
+
+  std::cout << "\nInstability vs feature precision (hidden=" << base_hidden
+            << "):\n";
+  TextTable prec_table({"bits", "% disagreement"});
+  for (const int bits : precisions) {
+    prec_table.add_row(
+        {std::to_string(bits), format_double(di_by_prec[bits], 2)});
+  }
+  prec_table.print(std::cout);
+
+  shape_check(
+      "1-bit features less stable than full precision (Fig. 11b trend on "
+      "the ELMo-analog family)",
+      di_by_prec[1] > di_by_prec[32]);
+  shape_check(
+      "largest hidden size within noise band of smallest (paper: noisy "
+      "dimension trend for contextual encoders)",
+      di_by_dim[hiddens.back()] <= di_by_dim[hiddens.front()] + 8.0);
+  return 0;
+}

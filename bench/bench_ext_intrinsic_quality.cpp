@@ -1,0 +1,88 @@
+// Extension: the quality–memory tradeoff (Appendix D.2) measured
+// *intrinsically* against the synthetic ground truth — WordSim-style
+// similarity correlation and 3CosAdd analogy accuracy per (dim, precision)
+// cell. Complements bench_fig7_8_quality (downstream quality). Note one
+// deliberate scale artifact: our latent rank (12) sits inside the dimension
+// grid, so intrinsic quality saturates once dim exceeds it — at paper scale
+// (rank >> 25) the D.2 "dimension drives quality" effect is larger; here
+// the precision axis carries most of the remaining signal.
+#include "bench/bench_common.hpp"
+
+#include "core/intrinsic.hpp"
+
+int main() {
+  using namespace anchor;
+  using namespace anchor::bench;
+  using anchor::format_double;
+  print_header("Extension — intrinsic quality vs memory",
+               "the Appendix D.2 quality axis, intrinsic edition");
+
+  pipeline::Pipeline pipe = make_pipeline();
+  const auto& space = pipe.base_space();
+  const auto algo = embed::Algo::kMc;
+  const std::vector<std::size_t> dims = {8, 16, 32, 64};
+  const std::vector<int> precisions = {1, 2, 4, 32};
+  const std::uint64_t seed = 1;
+
+  core::IntrinsicConfig ic;
+  ic.num_pairs = 400;
+  ic.num_analogies = 120;
+  ic.analogy_top_k = 5;
+  // The paper computes its measures on the most frequent words only (2.4);
+  // the Zipf tail is barely trained at bench scale and would only add noise.
+  ic.max_word_id = pipe.config().vocab / 4;
+
+  std::cout << "Word-similarity Spearman (MC, Wiki'17):\n";
+  TextTable sim_table([&] {
+    std::vector<std::string> h = {"dim\\bits"};
+    for (const int b : precisions) h.push_back("b=" + std::to_string(b));
+    return h;
+  }());
+  TextTable ana_table([&] {
+    std::vector<std::string> h = {"dim\\bits"};
+    for (const int b : precisions) h.push_back("b=" + std::to_string(b));
+    return h;
+  }());
+
+  // For the D.2-style comparison: quality spread along each axis.
+  double dim_effect = 0.0, prec_effect = 0.0;
+  std::vector<std::vector<double>> sim(dims.size(),
+                                       std::vector<double>(precisions.size()));
+
+  for (std::size_t di = 0; di < dims.size(); ++di) {
+    std::vector<std::string> sim_row = {std::to_string(dims[di])};
+    std::vector<std::string> ana_row = {std::to_string(dims[di])};
+    for (std::size_t bi = 0; bi < precisions.size(); ++bi) {
+      const auto [x17, x18] =
+          pipe.quantized_pair(algo, dims[di], seed, precisions[bi]);
+      sim[di][bi] = core::word_similarity_score(x17, space, ic);
+      const core::AnalogyResult ana = core::analogy_accuracy(x17, space, ic);
+      sim_row.push_back(format_double(sim[di][bi], 3));
+      ana_row.push_back(format_double(100.0 * ana.accuracy, 1));
+    }
+    sim_table.add_row(std::move(sim_row));
+    ana_table.add_row(std::move(ana_row));
+  }
+  sim_table.print(std::cout);
+  std::cout << "\n3CosAdd analogy accuracy %, top-" << ic.analogy_top_k
+            << " (MC, Wiki'17):\n";
+  ana_table.print(std::cout);
+
+  // Axis effects at matched 4x memory growth: dimension 8→32 at b=32 vs
+  // precision 1→4 at dim=32 — the D.2 "dimension matters more for quality"
+  // comparison.
+  dim_effect = sim[2][precisions.size() - 1] - sim[0][precisions.size() - 1];
+  prec_effect = sim[2][2] - sim[2][0];
+  std::cout << "\nSimilarity gain from 4x dimension (8->32, b=32): "
+            << format_double(dim_effect, 3)
+            << "\nSimilarity gain from 4x precision (b=1->4, dim=32): "
+            << format_double(prec_effect, 3) << "\n";
+
+  shape_check("intrinsic quality rises with memory (min corner vs max "
+              "corner)",
+              sim[dims.size() - 1][precisions.size() - 1] > sim[0][0]);
+  shape_check("precision >= 4 bits costs little intrinsic quality "
+              "(paper: compression above 4 bits is benign)",
+              sim[2][precisions.size() - 1] - sim[2][2] < 0.05);
+  return 0;
+}

@@ -1,0 +1,169 @@
+// Figure 11 (§6.2 / Appendix D.7): downstream instability of contextual
+// word embeddings — TinyBert encoders pretrained on the Wiki'17 and Wiki'18
+// analog corpora, probed with linear classifiers on mean-pooled (optionally
+// quantized) last-layer features, across output dimensionalities and
+// feature precisions.
+#include "bench/bench_common.hpp"
+
+#include "compress/quantize.hpp"
+#include "core/instability.hpp"
+#include "ctx/tiny_bert.hpp"
+#include "model/feature_classifier.hpp"
+#include "tasks/sentiment.hpp"
+
+namespace {
+
+using anchor::ctx::TinyBert;
+
+/// Mean-pooled features for every sentence of a dataset split.
+std::vector<std::vector<float>> extract(const TinyBert& bert,
+                                        const std::vector<std::vector<std::int32_t>>& sentences) {
+  std::vector<std::vector<float>> out;
+  out.reserve(sentences.size());
+  for (const auto& s : sentences) out.push_back(bert.features(s));
+  return out;
+}
+
+/// Quantizes a feature set to `bits`, reusing `clip_from` (or computing the
+/// clip when null) — same shared-threshold protocol as word embeddings.
+std::vector<std::vector<float>> quantize_features(
+    const std::vector<std::vector<float>>& features, int bits,
+    float* clip_io) {
+  if (bits == 32) return features;
+  anchor::embed::Embedding flat(features.size(), features.front().size());
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    std::copy(features[i].begin(), features[i].end(), flat.row(i));
+  }
+  anchor::compress::QuantizeConfig qc;
+  qc.bits = bits;
+  if (*clip_io > 0.0f) qc.clip_override = *clip_io;
+  const auto r = anchor::compress::uniform_quantize(flat, qc);
+  *clip_io = r.clip;
+  std::vector<std::vector<float>> out(features.size());
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    out[i].assign(r.embedding.row(i),
+                  r.embedding.row(i) + r.embedding.dim);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace anchor;
+  using namespace anchor::bench;
+  using anchor::format_double;
+  print_header("Figure 11 — contextual word embedding (BERT-analog) "
+               "instability",
+               "Figure 11 (a) dimension and (b) precision");
+
+  // Corpora: the same Wiki'17/Wiki'18 analog generator as the word
+  // embedding study (§6.2 pretrains on subsampled dumps).
+  const auto cfg = bench_config();
+  anchor::text::LatentSpaceConfig sc;
+  sc.vocab_size = 400;
+  sc.latent_dim = cfg.latent_dim;
+  sc.num_topics = cfg.num_topics;
+  sc.seed = cfg.space_seed;
+  const anchor::text::LatentSpace space17(sc);
+  const anchor::text::LatentSpace space18 =
+      space17.drifted(cfg.drift, cfg.space_seed + 1, cfg.extra_docs);
+  anchor::text::CorpusConfig cc;
+  cc.num_documents = 500;
+  cc.seed = 1;
+  const anchor::text::Corpus c17 = generate_corpus(space17, cc);
+  const anchor::text::Corpus c18 = generate_corpus(space18, cc);
+
+  // Downstream probe task (SST-2 analog) from the base space.
+  anchor::tasks::SentimentTaskConfig tc = anchor::tasks::sentiment_profile("sst2");
+  tc.train_size = 800;
+  tc.val_size = 100;
+  tc.test_size = 400;
+  const auto ds = anchor::tasks::make_sentiment_task(space17, tc);
+
+  const std::vector<std::size_t> dims = {8, 16, 32, 64};
+  const std::vector<int> precisions = {1, 2, 4, 8, 32};
+  const std::vector<std::uint64_t> seeds = {1, 2};
+
+  // Pretrain encoder pairs per (dim, seed); reuse for the precision sweep.
+  std::map<std::pair<std::size_t, std::uint64_t>, double> di_by_dim;
+  anchor::TextTable dim_table({"Dimension", "% disagreement (b=32)"});
+  anchor::TextTable prec_table({"Precision", "% disagreement (base dim)"});
+  const std::size_t base_dim = 32;  // the BERT_BASE analog
+  std::map<int, double> di_by_prec;
+
+  for (const auto dim : dims) {
+    double di_sum = 0.0;
+    for (const auto seed : seeds) {
+      anchor::ctx::TinyBertConfig bc;
+      bc.dim = dim;
+      bc.heads = 2;
+      bc.layers = 2;
+      bc.seed = seed;
+      bc.epochs = 1;
+      TinyBert b17(c17.vocab_size, bc), b18(c18.vocab_size, bc);
+      b17.pretrain(c17);
+      b18.pretrain(c18);
+
+      const auto train17 = extract(b17, ds.train_sentences);
+      const auto test17 = extract(b17, ds.test_sentences);
+      const auto train18 = extract(b18, ds.train_sentences);
+      const auto test18 = extract(b18, ds.test_sentences);
+
+      auto probe_di = [&](int bits) {
+        float clip17 = 0.0f;
+        const auto qtrain17 = quantize_features(train17, bits, &clip17);
+        float clip_test = clip17;
+        const auto qtest17 = quantize_features(test17, bits, &clip_test);
+        // Wiki'18 features reuse the Wiki'17 clip.
+        float clip18 = clip17;
+        const auto qtrain18 = quantize_features(train18, bits, &clip18);
+        float clip18t = clip17;
+        const auto qtest18 = quantize_features(test18, bits, &clip18t);
+
+        anchor::model::FeatureClassifierConfig fc;
+        fc.init_seed = seed;
+        fc.sampling_seed = seed;
+        const anchor::model::FeatureClassifier m17(qtrain17, ds.train_labels,
+                                                   fc);
+        const anchor::model::FeatureClassifier m18(qtrain18, ds.train_labels,
+                                                   fc);
+        return anchor::core::prediction_disagreement_pct(
+            m17.predict_all(qtest17), m18.predict_all(qtest18));
+      };
+
+      di_sum += probe_di(32);
+      if (dim == base_dim) {
+        for (const int bits : precisions) {
+          di_by_prec[bits] += probe_di(bits) / seeds.size();
+        }
+      }
+    }
+    di_by_dim[{dim, 0}] = di_sum / seeds.size();
+    dim_table.add_row({std::to_string(dim),
+                       format_double(di_sum / seeds.size(), 2)});
+  }
+
+  std::cout << "Figure 11a — instability vs transformer output dimension:\n";
+  dim_table.print(std::cout);
+  std::cout << "\nFigure 11b — instability vs feature precision (dim="
+            << base_dim << "):\n";
+  for (const int bits : precisions) {
+    prec_table.add_row({std::to_string(bits),
+                        format_double(di_by_prec[bits], 2)});
+  }
+  prec_table.print(std::cout);
+
+  // The paper's §6.2 claims are directional but explicitly noisy; check the
+  // envelope: 1-2 bit features less stable than full precision.
+  shape_check("1-bit features less stable than full-precision features "
+              "(paper: b<=2 degrades, b>=4 negligible)",
+              di_by_prec[1] > di_by_prec[32]);
+  // The paper (§6.2) explicitly reports the dimension trend as noisy for
+  // contextual encoders; the envelope check only requires that the largest
+  // dimension is not dramatically worse than the smallest.
+  shape_check("largest dimension within noise band of smallest (paper: "
+              "noisy dimension trend)",
+              di_by_dim[{dims.back(), 0}] <= di_by_dim[{dims.front(), 0}] + 8.0);
+  return 0;
+}

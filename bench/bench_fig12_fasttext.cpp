@@ -1,0 +1,51 @@
+// Figure 12 (Appendix E.1): stability–memory tradeoff for fastText-style
+// subword skipgram embeddings (FT-SG) on SST-2 and CoNLL-2003.
+#include "bench/bench_common.hpp"
+
+int main() {
+  using namespace anchor;
+  using namespace anchor::bench;
+  using anchor::format_double;
+  print_header("Figure 12 — fastText subword embeddings", "Figure 12");
+  anchor::pipeline::Pipeline pipe = make_pipeline();
+  const auto& cfg = pipe.config();
+  // Subword training is ~5x CBOW cost: a reduced grid keeps this bench
+  // affordable while covering the full memory range.
+  const std::vector<std::size_t> dims = {8, 16, 32, 64};
+  const std::vector<int> precisions = {1, 4, 32};
+  const std::vector<std::uint64_t> seeds = {1, 2};
+
+  for (const std::string& task :
+       {std::string("sst2"), std::string("conll2003")}) {
+    std::cout << "FT-SG, " << task_display_name(task)
+              << " — % disagreement by dimension-precision:\n";
+    anchor::TextTable table([&] {
+      std::vector<std::string> h = {"dim\\bits"};
+      for (const int b : precisions) h.push_back("b=" + std::to_string(b));
+      return h;
+    }());
+    double lo_di = 0.0, hi_di = 0.0;
+    for (const auto dim : dims) {
+      std::vector<std::string> row = {std::to_string(dim)};
+      for (const int bits : precisions) {
+        std::vector<double> per_seed;
+        for (const auto seed : seeds) {
+          per_seed.push_back(pipe.downstream_instability(
+              task, anchor::embed::Algo::kFastText, dim, bits, seed));
+        }
+        const double di = mean(per_seed);
+        row.push_back(format_double(di, 2));
+        if (dim == dims.front() && bits == precisions.front()) lo_di = di;
+        if (dim == dims.back() && bits == precisions.back()) hi_di = di;
+      }
+      table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+    shape_check("FT-SG instability lower at max memory than min memory (" +
+                    task_display_name(task) + ")",
+                hi_di < lo_di);
+    std::cout << "\n";
+  }
+  std::cout << "(cfg epoch scale " << cfg.epoch_scale << ")\n";
+  return 0;
+}

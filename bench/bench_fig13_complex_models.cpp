@@ -1,0 +1,70 @@
+// Figure 13 (Appendix E.2): the stability–memory tradeoff under more
+// complex downstream models — a text CNN on SST-2 (13a) and a BiLSTM-CRF
+// on CoNLL-2003 (13b) — for CBOW and MC embeddings on a reduced grid (the
+// paper likewise uses a representative subset for the CRF).
+#include "bench/bench_common.hpp"
+
+int main() {
+  using namespace anchor;
+  using namespace anchor::bench;
+  using anchor::format_double;
+  using anchor::pipeline::DownstreamOptions;
+  print_header("Figure 13 — complex downstream models (CNN, BiLSTM-CRF)",
+               "Figure 13 (a) and (b)");
+  anchor::pipeline::Pipeline pipe = make_pipeline();
+  const std::vector<embed::Algo> algos = {embed::Algo::kCbow,
+                                          embed::Algo::kMc};
+  const std::vector<std::size_t> dims = {8, 32, 128};
+  const std::vector<int> precisions = {1, 4, 32};
+  const std::vector<std::uint64_t> seeds = {1, 2};
+
+  struct Variant {
+    std::string title;
+    std::string task;
+    DownstreamOptions::ModelKind model;
+  };
+  const std::vector<Variant> variants = {
+      {"Figure 13a — CNN on SST-2", "sst2", DownstreamOptions::ModelKind::kCnn},
+      {"Figure 13b — BiLSTM-CRF on CoNLL-2003", "conll2003",
+       DownstreamOptions::ModelKind::kBiLstmCrf},
+  };
+
+  for (const auto& variant : variants) {
+    DownstreamOptions opts;
+    opts.model = variant.model;
+    for (const auto algo : algos) {
+      std::cout << variant.title << ", " << algo_name(algo)
+                << " (% disagreement):\n";
+      anchor::TextTable table([&] {
+        std::vector<std::string> h = {"dim\\bits"};
+        for (const int b : precisions) h.push_back("b=" + std::to_string(b));
+        return h;
+      }());
+      // Sequence models at this scale are noisy (the paper's CRF panel uses
+      // a reduced grid for the same reason); compare the low-memory corner
+      // row against the high-memory corner row, seed-averaged.
+      double lo_row = 0.0, hi_row = 0.0;
+      for (const auto dim : dims) {
+        std::vector<std::string> row = {std::to_string(dim)};
+        for (const int bits : precisions) {
+          std::vector<double> per_seed;
+          for (const auto seed : seeds) {
+            per_seed.push_back(pipe.downstream_instability(
+                variant.task, algo, dim, bits, seed, opts));
+          }
+          const double di = mean(per_seed);
+          row.push_back(format_double(di, 2));
+          if (dim == dims.front()) lo_row += di / precisions.size();
+          if (dim == dims.back()) hi_row += di / precisions.size();
+        }
+        table.add_row(std::move(row));
+      }
+      table.print(std::cout);
+      shape_check("tradeoff holds under " + variant.title + " / " +
+                      algo_name(algo) + " (row means)",
+                  hi_row <= lo_row + 2.0);
+      std::cout << "\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 15 (Appendix E.5): effect of the downstream learning rate on
+// instability, for CBOW and MC on SST-2 and MR, at a small and a large
+// dimension. The paper finds both very small and very large rates unstable.
+#include "bench/bench_common.hpp"
+
+int main() {
+  using namespace anchor;
+  using namespace anchor::bench;
+  using anchor::format_double;
+  using anchor::pipeline::DownstreamOptions;
+  print_header("Figure 15 — downstream learning-rate sweep", "Figure 15");
+  anchor::pipeline::Pipeline pipe = make_pipeline();
+  const std::vector<embed::Algo> algos = {embed::Algo::kCbow,
+                                          embed::Algo::kMc};
+  const std::vector<float> rates = {1e-5f, 1e-4f, 1e-3f, 1e-2f, 1e-1f};
+  const std::vector<std::size_t> sweep_dims = {pipe.config().dims[1],
+                                               pipe.config().dims.back()};
+
+  for (const std::string& task : {std::string("sst2"), std::string("mr")}) {
+    for (const auto algo : algos) {
+      std::cout << algo_name(algo) << ", " << task_display_name(task)
+                << " — % disagreement vs learning rate:\n";
+      anchor::TextTable table([&] {
+        std::vector<std::string> h = {"learning rate"};
+        for (const auto d : sweep_dims) h.push_back("dim=" + std::to_string(d));
+        return h;
+      }());
+      std::map<std::size_t, std::pair<double, double>> extremes_vs_mid;
+      for (const float lr : rates) {
+        std::vector<std::string> row = {format_double(lr, 5)};
+        for (const auto dim : sweep_dims) {
+          DownstreamOptions opts;
+          opts.learning_rate = lr;
+          const double di =
+              pipe.downstream_instability(task, algo, dim, 32, 1, opts);
+          row.push_back(format_double(di, 2));
+          auto& [extreme_max, mid] = extremes_vs_mid[dim];
+          if (lr == rates.front() || lr == rates.back()) {
+            extreme_max = std::max(extreme_max, di);
+          }
+          if (lr == 1e-3f) mid = di;
+        }
+        table.add_row(std::move(row));
+      }
+      table.print(std::cout);
+      bool extremes_worse = true;
+      for (const auto& [dim, pair] : extremes_vs_mid) {
+        extremes_worse = extremes_worse && (pair.first >= pair.second);
+      }
+      shape_check("extreme learning rates at least as unstable as the "
+                  "moderate rate (" + algo_name(algo) + ", " +
+                      task_display_name(task) + ")",
+                  extremes_worse);
+      std::cout << "\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Figure 1: downstream instability of sentiment (SST-2) and NER
+// (CoNLL-2003) under (top) varying dimension at full precision and
+// (bottom) varying precision at a fixed mid dimension, for CBOW, GloVe,
+// and MC embeddings.
+#include "bench/bench_common.hpp"
+
+#include "la/stats.hpp"
+
+namespace anchor::bench {
+namespace {
+
+void dimension_sweep(pipeline::Pipeline& pipe, const std::string& task,
+                     int bits) {
+  const auto& cfg = pipe.config();
+  TextTable table([&] {
+    std::vector<std::string> header = {"Dimension"};
+    for (const auto algo : main_algos()) header.push_back(algo_name(algo));
+    return header;
+  }());
+
+  // For the shape check: mean DI at the smallest vs largest dimension.
+  double small_dim_di = 0.0, large_dim_di = 0.0;
+  for (const std::size_t dim : cfg.dims) {
+    std::vector<std::string> row = {std::to_string(dim)};
+    for (const auto algo : main_algos()) {
+      std::vector<double> per_seed;
+      for (const auto seed : cfg.seeds) {
+        per_seed.push_back(
+            pipe.downstream_instability(task, algo, dim, bits, seed));
+      }
+      const double di = mean(per_seed);
+      row.push_back(format_double(di, 2) + "%");
+      if (dim == cfg.dims.front()) small_dim_di += di;
+      if (dim == cfg.dims.back()) large_dim_di += di;
+    }
+    table.add_row(std::move(row));
+  }
+  std::cout << task_display_name(task) << " — % disagreement vs dimension (b="
+            << bits << "):\n";
+  table.print(std::cout);
+  shape_check("instability decreases from smallest to largest dimension (" +
+                  task_display_name(task) + ")",
+              large_dim_di < small_dim_di);
+  std::cout << "\n";
+}
+
+void precision_sweep(pipeline::Pipeline& pipe, const std::string& task,
+                     std::size_t dim) {
+  const auto& cfg = pipe.config();
+  TextTable table([&] {
+    std::vector<std::string> header = {"Precision"};
+    for (const auto algo : main_algos()) header.push_back(algo_name(algo));
+    return header;
+  }());
+
+  double coarse_di = 0.0, fine_di = 0.0;
+  for (const int bits : cfg.precisions) {
+    std::vector<std::string> row = {std::to_string(bits)};
+    for (const auto algo : main_algos()) {
+      std::vector<double> per_seed;
+      for (const auto seed : cfg.seeds) {
+        per_seed.push_back(
+            pipe.downstream_instability(task, algo, dim, bits, seed));
+      }
+      const double di = mean(per_seed);
+      row.push_back(format_double(di, 2) + "%");
+      if (bits == cfg.precisions.front()) coarse_di += di;
+      if (bits == cfg.precisions.back()) fine_di += di;
+    }
+    table.add_row(std::move(row));
+  }
+  std::cout << task_display_name(task)
+            << " — % disagreement vs precision (d=" << dim << "):\n";
+  table.print(std::cout);
+  shape_check("instability decreases from 1-bit to full precision (" +
+                  task_display_name(task) + ")",
+              fine_di < coarse_di);
+  std::cout << "\n";
+}
+
+}  // namespace
+}  // namespace anchor::bench
+
+int main() {
+  using namespace anchor;
+  using namespace anchor::bench;
+  print_header("Figure 1 — effect of dimension and precision",
+               "Figure 1 (SST-2 and CoNLL-2003, CBOW/GloVe/MC)");
+  anchor::pipeline::Pipeline pipe = make_pipeline();
+  const std::size_t mid_dim = pipe.config().dims[2];  // the paper uses d=100
+
+  for (const std::string task : {"sst2", "conll2003"}) {
+    dimension_sweep(pipe, task, 32);
+    precision_sweep(pipe, task, mid_dim);
+  }
+  return 0;
+}

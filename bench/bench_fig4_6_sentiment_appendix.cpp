@@ -1,0 +1,98 @@
+// Figures 4, 5, 6 (Appendix D.1): the stability–memory trends on the
+// remaining sentiment tasks (Subj, MR, MPQA) — dimension sweeps at 32-bit
+// and 1-bit precision, a precision sweep at the mid dimension, and the full
+// joint grid.
+#include "bench/bench_common.hpp"
+
+int main() {
+  using namespace anchor;
+  using namespace anchor::bench;
+  using anchor::format_double;
+  print_header("Figures 4-6 — sentiment appendix trends (Subj, MR, MPQA)",
+               "Figures 4, 5 and 6");
+  anchor::pipeline::Pipeline pipe = make_pipeline();
+  const auto& cfg = pipe.config();
+  const std::vector<std::string> tasks = {"subj", "mr", "mpqa"};
+
+  // Figure 4: dimension sweeps at b=32 (a) and b=1 (b).
+  for (const int bits : {32, 1}) {
+    std::cout << "Figure 4 (" << (bits == 32 ? "a" : "b") << ") — dimension "
+              << "sweep at " << bits << "-bit precision (% disagreement):\n";
+    anchor::TextTable table([&] {
+      std::vector<std::string> h = {"Task/Algo"};
+      for (const auto d : cfg.dims) h.push_back("d=" + std::to_string(d));
+      return h;
+    }());
+    for (const auto& task : tasks) {
+      for (const auto algo : main_algos()) {
+        std::vector<std::string> row = {task_display_name(task) + "/" +
+                                        algo_name(algo)};
+        for (const auto dim : cfg.dims) {
+          std::vector<double> per_seed;
+          for (const auto seed : cfg.seeds) {
+            per_seed.push_back(
+                pipe.downstream_instability(task, algo, dim, bits, seed));
+          }
+          row.push_back(format_double(mean(per_seed), 2));
+        }
+        table.add_row(std::move(row));
+      }
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+
+  // Figure 5: precision sweep at the mid dimension.
+  const std::size_t mid_dim = cfg.dims[2];
+  std::cout << "Figure 5 — precision sweep at d=" << mid_dim
+            << " (% disagreement):\n";
+  anchor::TextTable f5([&] {
+    std::vector<std::string> h = {"Task/Algo"};
+    for (const int b : cfg.precisions) h.push_back("b=" + std::to_string(b));
+    return h;
+  }());
+  for (const auto& task : tasks) {
+    for (const auto algo : main_algos()) {
+      std::vector<std::string> row = {task_display_name(task) + "/" +
+                                      algo_name(algo)};
+      for (const int bits : cfg.precisions) {
+        std::vector<double> per_seed;
+        for (const auto seed : cfg.seeds) {
+          per_seed.push_back(
+              pipe.downstream_instability(task, algo, mid_dim, bits, seed));
+        }
+        row.push_back(format_double(mean(per_seed), 2));
+      }
+      f5.add_row(std::move(row));
+    }
+  }
+  f5.print(std::cout);
+
+  // Figure 6: joint grid summary — instability at min vs max memory, with
+  // the shape check the paper's panels support, plus the full SST-2 grid.
+  std::cout << "\nFigure 6 — joint dimension-precision grids (all four "
+               "sentiment tasks), min vs max memory:\n";
+  anchor::TextTable f6(
+      {"Task/Algo", "DI @ min memory", "DI @ max memory"});
+  bool all_improve = true;
+  for (const std::string& task : {std::string("sst2"), std::string("subj"),
+                                  std::string("mr"), std::string("mpqa")}) {
+    for (const auto algo : main_algos()) {
+      const auto grid = pipe.instability_grid(task, algo);
+      double lo_mem = 1e18, hi_mem = -1, lo_di = 0, hi_di = 0;
+      for (const auto& cell : grid) {
+        const double mem = static_cast<double>(cell.dim) * cell.bits;
+        if (mem < lo_mem) { lo_mem = mem; lo_di = cell.mean_pct; }
+        if (mem > hi_mem) { hi_mem = mem; hi_di = cell.mean_pct; }
+      }
+      all_improve = all_improve && (hi_di <= lo_di);
+      f6.add_row({task_display_name(task) + "/" + algo_name(algo),
+                  format_double(lo_di, 2), format_double(hi_di, 2)});
+    }
+  }
+  f6.print(std::cout);
+  shape_check("max-memory cells at least as stable as min-memory cells "
+              "across all sentiment tasks/algos",
+              all_improve);
+  return 0;
+}

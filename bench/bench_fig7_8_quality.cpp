@@ -1,0 +1,52 @@
+// Figures 7 & 8 (Appendix D.2): quality–memory and quality–stability
+// tradeoffs — test accuracy (sentiment) / entity micro-F1 (NER) alongside
+// instability for CBOW and MC across the dimension–precision grid.
+#include "bench/bench_common.hpp"
+
+int main() {
+  using namespace anchor;
+  using namespace anchor::bench;
+  using anchor::format_double;
+  print_header("Figures 7 & 8 — quality tradeoffs", "Figures 7 and 8");
+  anchor::pipeline::Pipeline pipe = make_pipeline();
+  const auto& cfg = pipe.config();
+  const std::vector<embed::Algo> algos = {embed::Algo::kCbow,
+                                          embed::Algo::kMc};
+
+  bool dim_helps_quality = true;
+  for (const std::string& task :
+       {std::string("sst2"), std::string("subj"), std::string("conll2003")}) {
+    for (const auto algo : algos) {
+      std::cout << algo_name(algo) << ", " << task_display_name(task)
+                << " — quality (" << (task == "conll2003" ? "F1" : "accuracy")
+                << " %) and instability by memory:\n";
+      anchor::TextTable table(
+          {"dim", "bits", "bits/word", "quality", "% disagreement"});
+      double small_q = 0.0, large_q = 0.0;
+      for (const auto dim : cfg.dims) {
+        for (const int bits : {1, 4, 32}) {
+          std::vector<double> q17, di;
+          for (const auto seed : cfg.seeds) {
+            q17.push_back(
+                pipe.quality(task, pipeline::Year::k17, algo, dim, bits, seed));
+            di.push_back(
+                pipe.downstream_instability(task, algo, dim, bits, seed));
+          }
+          table.add_row({std::to_string(dim), std::to_string(bits),
+                         std::to_string(dim * static_cast<std::size_t>(bits)),
+                         format_double(mean(q17), 2),
+                         format_double(mean(di), 2)});
+          if (dim == cfg.dims.front() && bits == 32) small_q = mean(q17);
+          if (dim == cfg.dims.back() && bits == 32) large_q = mean(q17);
+        }
+      }
+      table.print(std::cout);
+      std::cout << "\n";
+      dim_helps_quality = dim_helps_quality && (large_q >= small_q - 1.0);
+    }
+  }
+  shape_check("quality does not degrade from smallest to largest dimension "
+              "(paper: dimension drives quality)",
+              dim_helps_quality);
+  return 0;
+}

@@ -1,0 +1,218 @@
+// Micro-benchmarks (google-benchmark) for the computational claims:
+// the eigenspace instability measure's O(n·d²) fast path vs the naive
+// O(n²·d) Definition-2 evaluation (Appendix B.1), plus the cost of the
+// other measures, the thin SVD, uniform quantization, and gemm.
+#include <benchmark/benchmark.h>
+
+#include "compress/kmeans.hpp"
+#include "compress/pq.hpp"
+#include "compress/quantize.hpp"
+#include "ctx/elmo.hpp"
+#include "la/sparse.hpp"
+#include "la/subspace.hpp"
+#include "core/measures.hpp"
+#include "la/svd.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using anchor::la::Matrix;
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  anchor::Rng rng(seed);
+  Matrix m(rows, cols);
+  for (auto& x : m.storage()) x = rng.normal();
+  return m;
+}
+
+void BM_EisFast(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto d = static_cast<std::size_t>(state.range(1));
+  const Matrix x = random_matrix(n, d, 1);
+  const Matrix y = random_matrix(n, d, 2);
+  const Matrix e = random_matrix(n, d, 3);
+  const Matrix et = random_matrix(n, d, 4);
+  const auto ctx = anchor::core::EisContext::build(e, et, 3.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        anchor::core::eigenspace_instability_of(x, y, ctx));
+  }
+}
+BENCHMARK(BM_EisFast)->Args({500, 16})->Args({500, 64})->Args({2000, 64});
+
+void BM_EisNaive(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto d = static_cast<std::size_t>(state.range(1));
+  const Matrix x = random_matrix(n, d, 1);
+  const Matrix y = random_matrix(n, d, 2);
+  const Matrix sigma = anchor::core::build_sigma_naive(
+      random_matrix(n, d, 3), random_matrix(n, d, 4), 3.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        anchor::core::eigenspace_instability_naive(x, y, sigma));
+  }
+}
+BENCHMARK(BM_EisNaive)->Args({500, 16})->Args({500, 64});
+
+void BM_KnnMeasure(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix x = random_matrix(n, 32, 1);
+  const Matrix y = random_matrix(n, 32, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(anchor::core::knn_measure(x, y, 5, 100, 42));
+  }
+}
+BENCHMARK(BM_KnnMeasure)->Arg(500)->Arg(2000);
+
+void BM_PipLoss(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix x = random_matrix(n, 64, 1);
+  const Matrix y = random_matrix(n, 64, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(anchor::core::pip_loss(x, y));
+  }
+}
+BENCHMARK(BM_PipLoss)->Arg(500)->Arg(2000);
+
+void BM_SemanticDisplacement(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix x = random_matrix(n, 32, 1);
+  const Matrix y = random_matrix(n, 32, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(anchor::core::semantic_displacement(x, y));
+  }
+}
+BENCHMARK(BM_SemanticDisplacement)->Arg(500)->Arg(2000);
+
+void BM_ThinSvd(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto d = static_cast<std::size_t>(state.range(1));
+  const Matrix x = random_matrix(n, d, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(anchor::la::svd(x));
+  }
+}
+BENCHMARK(BM_ThinSvd)->Args({500, 16})->Args({2000, 64})->Args({2000, 128});
+
+void BM_UniformQuantize(benchmark::State& state) {
+  const auto bits = static_cast<int>(state.range(0));
+  anchor::Rng rng(1);
+  anchor::embed::Embedding e(2000, 64);
+  for (auto& x : e.data) x = static_cast<float>(rng.normal());
+  anchor::compress::QuantizeConfig qc;
+  qc.bits = bits;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(anchor::compress::uniform_quantize(e, qc));
+  }
+}
+BENCHMARK(BM_UniformQuantize)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_KmeansQuantize(benchmark::State& state) {
+  const auto bits = static_cast<int>(state.range(0));
+  anchor::Rng rng(1);
+  anchor::embed::Embedding e(2000, 64);
+  for (auto& x : e.data) x = static_cast<float>(rng.normal());
+  anchor::compress::KmeansConfig kc;
+  kc.bits = bits;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(anchor::compress::kmeans_quantize(e, kc));
+  }
+}
+BENCHMARK(BM_KmeansQuantize)->Arg(1)->Arg(4);
+
+void BM_PqQuantize(benchmark::State& state) {
+  const auto bits = static_cast<int>(state.range(0));
+  anchor::Rng rng(1);
+  anchor::embed::Embedding e(2000, 64);
+  for (auto& x : e.data) x = static_cast<float>(rng.normal());
+  anchor::compress::PqConfig pc;
+  pc.num_subvectors = 8;
+  pc.bits = bits;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(anchor::compress::pq_quantize(e, pc));
+  }
+}
+BENCHMARK(BM_PqQuantize)->Arg(4)->Arg(8);
+
+void BM_SparseMatmat(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  // ~1% dense symmetric matrix, the PPMI sparsity regime.
+  anchor::Rng rng(1);
+  std::vector<anchor::la::SparseEntry> entries;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      if (rng.bernoulli(0.01)) {
+        const double v = rng.normal();
+        entries.push_back({static_cast<std::int32_t>(i),
+                           static_cast<std::int32_t>(j), v});
+        if (i != j) {
+          entries.push_back({static_cast<std::int32_t>(j),
+                             static_cast<std::int32_t>(i), v});
+        }
+      }
+    }
+  }
+  const anchor::la::SparseMatrix a =
+      anchor::la::SparseMatrix::from_triplets(n, std::move(entries));
+  const Matrix x = random_matrix(n, 32, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.multiply(x));
+  }
+}
+BENCHMARK(BM_SparseMatmat)->Arg(500)->Arg(2000);
+
+void BM_TopEigs(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::size_t>(state.range(1));
+  anchor::Rng rng(3);
+  std::vector<anchor::la::SparseEntry> entries;
+  for (std::size_t i = 0; i < n; ++i) {
+    entries.push_back({static_cast<std::int32_t>(i),
+                       static_cast<std::int32_t>(i),
+                       std::abs(rng.normal()) + 0.1});
+    for (std::size_t j = 0; j < i; ++j) {
+      if (rng.bernoulli(0.02)) {
+        const double v = 0.3 * rng.normal();
+        entries.push_back({static_cast<std::int32_t>(i),
+                           static_cast<std::int32_t>(j), v});
+        entries.push_back({static_cast<std::int32_t>(j),
+                           static_cast<std::int32_t>(i), v});
+      }
+    }
+  }
+  const anchor::la::SparseMatrix a =
+      anchor::la::SparseMatrix::from_triplets(n, std::move(entries));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(anchor::la::top_eigs(a, k));
+  }
+}
+BENCHMARK(BM_TopEigs)->Args({500, 16})->Args({1000, 32});
+
+void BM_ElmoEncode(benchmark::State& state) {
+  const auto hidden = static_cast<std::size_t>(state.range(0));
+  anchor::ctx::TinyElmoConfig ec;
+  ec.embed_dim = hidden;
+  ec.hidden = hidden;
+  const anchor::ctx::TinyElmo elmo(400, ec);
+  std::vector<std::int32_t> sentence(24);
+  anchor::Rng rng(5);
+  for (auto& w : sentence) w = static_cast<std::int32_t>(rng.index(400));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(elmo.encode(sentence));
+  }
+}
+BENCHMARK(BM_ElmoEncode)->Arg(16)->Arg(64);
+
+void BM_GemmAtB(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = random_matrix(n, 64, 1);
+  const Matrix b = random_matrix(n, 64, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(anchor::la::matmul_at_b(a, b));
+  }
+}
+BENCHMARK(BM_GemmAtB)->Arg(500)->Arg(2000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// Tables 10 & 11 (Appendix D.5): worst-case performance of the measures as
+// selection criteria — the largest instability increase a wrong pairwise
+// pick can cause (Table 10) and the worst gap to the oracle under memory
+// budgets (Table 11).
+#include "bench/selection_common.hpp"
+
+int main() {
+  using namespace anchor;
+  using namespace anchor::bench;
+  print_header("Tables 10 & 11 — worst-case selection errors",
+               "Tables 10 and 11");
+  anchor::pipeline::Pipeline pipe = make_pipeline();
+  const std::vector<std::string> tasks = {"sst2", "subj", "conll2003"};
+
+  auto header = [&] {
+    std::vector<std::string> h = {"Criterion"};
+    for (const auto& task : tasks) {
+      for (const auto algo : main_algos()) {
+        h.push_back(task_display_name(task) + "/" + algo_name(algo));
+      }
+    }
+    return h;
+  };
+
+  std::cout << "Table 10 — worst-case absolute error, pairwise setting:\n";
+  anchor::TextTable t10(header());
+  for (const auto m : anchor::core::kAllMeasures) {
+    std::vector<std::string> row = {measure_name(m)};
+    for (const auto& task : tasks) {
+      for (const auto algo : main_algos()) {
+        row.push_back(anchor::format_double(
+            worst_pairwise_error(pipe, task, algo, m), 2));
+      }
+    }
+    t10.add_row(std::move(row));
+  }
+  t10.print(std::cout);
+
+  std::cout << "\nTable 11 — worst-case |gap to oracle| under memory "
+               "budgets:\n";
+  anchor::TextTable t11(header());
+  for (const auto& criterion : all_criteria()) {
+    std::vector<std::string> row = {criterion.name()};
+    for (const auto& task : tasks) {
+      for (const auto algo : main_algos()) {
+        row.push_back(anchor::format_double(
+            seed_budget_selection(pipe, task, algo, criterion).worst_abs_gap_pct,
+            2));
+      }
+    }
+    t11.add_row(std::move(row));
+  }
+  t11.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Table 9 (Appendix D.5): the Table 1/2/3 protocol on the two remaining
+// sentiment tasks, MR and MPQA.
+#include "bench/selection_common.hpp"
+
+int main() {
+  using namespace anchor;
+  using namespace anchor::bench;
+  print_header("Table 9 — Spearman / selection error / budget gap on MR & "
+               "MPQA",
+               "Table 9 (a), (b), (c)");
+  anchor::pipeline::Pipeline pipe = make_pipeline();
+  const auto& cfg = pipe.config();
+  const std::vector<std::string> tasks = {"mr", "mpqa"};
+
+  auto header = [&] {
+    std::vector<std::string> h = {"Measure"};
+    for (const auto& task : tasks) {
+      for (const auto algo : main_algos()) {
+        h.push_back(task_display_name(task) + "/" + algo_name(algo));
+      }
+    }
+    return h;
+  };
+
+  // (a) Spearman correlations on seed-averaged grids.
+  std::cout << "(a) Spearman correlation with downstream instability:\n";
+  anchor::TextTable ta(header());
+  for (const auto m : anchor::core::kAllMeasures) {
+    std::vector<std::string> row = {measure_name(m)};
+    for (const auto& task : tasks) {
+      for (const auto algo : main_algos()) {
+        std::vector<double> per_seed;
+        for (const auto seed : cfg.seeds) {
+          per_seed.push_back(anchor::core::measure_spearman(
+              pipe.config_grid(task, algo, seed), m));
+        }
+        row.push_back(anchor::format_double(mean(per_seed), 2));
+      }
+    }
+    ta.add_row(std::move(row));
+  }
+  ta.print(std::cout);
+
+  // (b) Pairwise selection error.
+  std::cout << "\n(b) Pairwise selection error:\n";
+  anchor::TextTable tb(header());
+  for (const auto m : anchor::core::kAllMeasures) {
+    std::vector<std::string> row = {measure_name(m)};
+    for (const auto& task : tasks) {
+      for (const auto algo : main_algos()) {
+        row.push_back(
+            anchor::format_double(mean_pairwise_error(pipe, task, algo, m), 2));
+      }
+    }
+    tb.add_row(std::move(row));
+  }
+  tb.print(std::cout);
+
+  // (c) Budget selection gap, all criteria.
+  std::cout << "\n(c) Average |gap to oracle| under fixed memory budgets:\n";
+  anchor::TextTable tc([&] {
+    auto h = header();
+    h[0] = "Criterion";
+    return h;
+  }());
+  for (const auto& criterion : all_criteria()) {
+    std::vector<std::string> row = {criterion.name()};
+    for (const auto& task : tasks) {
+      for (const auto algo : main_algos()) {
+        row.push_back(anchor::format_double(
+            seed_budget_selection(pipe, task, algo, criterion).mean_abs_gap_pct,
+            2));
+      }
+    }
+    tc.add_row(std::move(row));
+  }
+  tc.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Shared logic for the selection benches (Tables 2, 3, 9, 10, 11): per-seed
+// config grids and seed-averaged selection metrics, following the paper's
+// protocol ("repeat over three seeds, comparing embedding pairs of the same
+// seed, and report the average").
+#pragma once
+
+#include "bench/bench_common.hpp"
+#include "core/selection.hpp"
+
+namespace anchor::bench {
+
+/// Pairwise selection error (Table 2) averaged over seeds.
+inline double mean_pairwise_error(pipeline::Pipeline& pipe,
+                                  const std::string& task, embed::Algo algo,
+                                  core::Measure measure) {
+  std::vector<double> per_seed;
+  for (const auto seed : pipe.config().seeds) {
+    per_seed.push_back(core::pairwise_selection_error(
+        pipe.config_grid(task, algo, seed), measure));
+  }
+  return mean(per_seed);
+}
+
+/// Worst-case pairwise error (Table 10): max over seeds of the largest
+/// instability increase a wrong pairwise pick can cause.
+inline double worst_pairwise_error(pipeline::Pipeline& pipe,
+                                   const std::string& task, embed::Algo algo,
+                                   core::Measure measure) {
+  double worst = 0.0;
+  for (const auto seed : pipe.config().seeds) {
+    worst = std::max(worst, core::pairwise_worst_case_error(
+                                pipe.config_grid(task, algo, seed), measure));
+  }
+  return worst;
+}
+
+/// Budget-selection gap to oracle (Table 3 / Table 11) averaged / maxed over
+/// seeds.
+inline core::BudgetSelectionResult seed_budget_selection(
+    pipeline::Pipeline& pipe, const std::string& task, embed::Algo algo,
+    const core::Criterion& criterion) {
+  core::BudgetSelectionResult out;
+  std::vector<double> means;
+  for (const auto seed : pipe.config().seeds) {
+    const auto r = core::budget_selection(pipe.config_grid(task, algo, seed),
+                                          criterion);
+    means.push_back(r.mean_abs_gap_pct);
+    out.worst_abs_gap_pct = std::max(out.worst_abs_gap_pct, r.worst_abs_gap_pct);
+    out.num_budgets = r.num_budgets;
+  }
+  out.mean_abs_gap_pct = mean(means);
+  return out;
+}
+
+/// All criteria of Table 3: the five measures plus the two naive baselines.
+inline std::vector<core::Criterion> all_criteria() {
+  std::vector<core::Criterion> cs;
+  for (const auto m : core::kAllMeasures) cs.push_back(core::Criterion::of(m));
+  cs.push_back(core::Criterion::high_precision());
+  cs.push_back(core::Criterion::low_precision());
+  return cs;
+}
+
+}  // namespace anchor::bench

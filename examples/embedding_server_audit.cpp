@@ -1,0 +1,66 @@
+// Embedding-server audit — the workload the paper's introduction motivates:
+// an embedding is reused by several downstream consumers, and an engineer
+// must decide whether this month's retrained embedding can be rolled out
+// without churning predictions across the fleet.
+//
+// This example trains one embedding pair (old corpus vs new corpus), then
+// audits it against THREE downstream consumers (two sentiment products and
+// an NER service), comparing the cheap embedding-level signals (EIS, k-NN)
+// with the true per-consumer prediction churn.
+//
+// Build & run:  ./build/examples/embedding_server_audit
+#include <iostream>
+
+#include "core/measures.hpp"
+#include "pipeline/pipeline.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace anchor;
+  using pipeline::Pipeline;
+
+  pipeline::PipelineConfig config;  // bench-scale defaults
+  config.seeds = {1};
+  Pipeline pipe(config, "anchor-cache");
+
+  const embed::Algo algo = embed::Algo::kCbow;
+  const std::size_t dim = 32;
+
+  std::cout << "Auditing a retrained " << embed::algo_name(algo) << " d="
+            << dim << " embedding before rollout...\n\n";
+
+  // Embedding-level signals: computable in seconds, no model retraining.
+  TextTable signal_table({"precision", "EIS", "1 - kNN overlap"});
+  for (const int bits : {32, 4, 1}) {
+    const auto m = pipe.measures(algo, dim, bits, 1);
+    signal_table.add_row({std::to_string(bits), format_double(m[0], 4),
+                          format_double(m[1], 3)});
+  }
+  std::cout << "Embedding-level signals (no downstream training needed):\n";
+  signal_table.print(std::cout);
+
+  // Ground truth: per-consumer churn if we retrain every downstream model.
+  std::cout << "\nPer-consumer prediction churn (what the fleet would "
+               "actually see):\n";
+  TextTable churn_table(
+      {"consumer", "churn @32-bit", "churn @4-bit", "churn @1-bit"});
+  for (const std::string& task :
+       {std::string("sst2"), std::string("mpqa"), std::string("conll2003")}) {
+    std::vector<std::string> row = {task};
+    for (const int bits : {32, 4, 1}) {
+      row.push_back(format_double(
+                        pipe.downstream_instability(task, algo, dim, bits, 1),
+                        2) +
+                    "%");
+    }
+    churn_table.add_row(std::move(row));
+  }
+  churn_table.print(std::cout);
+
+  std::cout << "\nDecision guidance: if the EIS of the new pair is well "
+               "above the last accepted rollout's value, expect "
+               "proportionally more churn across every consumer (Table 1's "
+               "correlation), and consider a higher-memory configuration "
+               "(Figure 2's tradeoff) before shipping.\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Knowledge graph embedding stability (§6.1): train TransE on a full
+// synthetic knowledge graph and on a 95% subsample of its training triplets
+// (the FB15K vs FB15K-95 stimulus), then measure how link-prediction ranks
+// and triplet-classification predictions move — at full precision and
+// 2-bit quantized.
+//
+// Build & run:  ./build/examples/kge_stability
+#include <iostream>
+
+#include "core/instability.hpp"
+#include "kge/kge_eval.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace anchor;
+  using namespace anchor::kge;
+
+  KgConfig kg_config;
+  kg_config.num_entities = 200;
+  kg_config.num_relations = 8;
+  kg_config.train_triplets = 4000;
+  kg_config.valid_triplets = 200;
+  kg_config.test_triplets = 400;
+  kg_config.tail_temperature = 0.4;
+  const KgDataset fb15k = generate_kg(kg_config);
+  const KgDataset fb15k_95 = subsample_train(fb15k, 0.05, /*seed=*/95);
+  std::cout << "graph: " << fb15k.train.size() << " train triplets; subsample "
+            << fb15k_95.train.size() << "\n";
+
+  TransEConfig transe_config;
+  transe_config.dim = 32;
+  transe_config.max_epochs = 60;
+  const TransEModel model95 = train_transe(fb15k_95, transe_config);
+  const TransEModel model100 = train_transe(fb15k, transe_config);
+
+  const LabeledTriplets valid =
+      make_classification_set(fb15k.valid, fb15k.num_entities, 7);
+  const LabeledTriplets test =
+      make_classification_set(fb15k.test, fb15k.num_entities, 8);
+
+  TextTable table({"precision", "mean rank (95%)", "unstable-rank@10 %",
+                   "triplet-cls disagreement %"});
+  for (const int bits : {32, 2}) {
+    const TransEModel q95 = quantize_model(model95, bits);
+    const TransEModel q100 = quantize_model(model100, bits, &model95);
+
+    const LinkPredictionResult lp95 = link_prediction(q95, fb15k.test);
+    const LinkPredictionResult lp100 = link_prediction(q100, fb15k.test);
+
+    const auto thresholds = tune_thresholds(q95, valid, fb15k.num_relations);
+    const auto p95 = classify_triplets(q95, test.triplets, thresholds);
+    const auto p100 = classify_triplets(q100, test.triplets, thresholds);
+
+    table.add_row({std::to_string(bits), format_double(lp95.mean_rank, 1),
+                   format_double(unstable_rank_at_k(lp95, lp100, 10), 1),
+                   format_double(
+                       core::prediction_disagreement_pct(p95, p100), 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nDropping 5% of training triplets moves a large share of "
+               "ranks; compression amplifies it — the §6.1 stability-memory "
+               "tradeoff.\n";
+  return 0;
+}

@@ -1,0 +1,117 @@
+#include "compress/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/rng.hpp"
+
+namespace anchor::compress {
+
+namespace {
+
+/// Nearest centroid index in a sorted codebook (branchless binary search on
+/// the midpoints would also work; lower_bound keeps it obvious).
+std::size_t nearest(const std::vector<float>& codebook, float v) {
+  const auto it = std::lower_bound(codebook.begin(), codebook.end(), v);
+  if (it == codebook.begin()) return 0;
+  if (it == codebook.end()) return codebook.size() - 1;
+  const std::size_t hi = static_cast<std::size_t>(it - codebook.begin());
+  const std::size_t lo = hi - 1;
+  return (v - codebook[lo]) <= (codebook[hi] - v) ? lo : hi;
+}
+
+/// Deterministic quantile-spread initialization: centroids at the k evenly
+/// spaced quantiles of the data. For 1-D Lloyd this both converges fast and
+/// removes init randomness between the two embeddings of a pair.
+std::vector<float> quantile_init(std::vector<float> sorted, std::size_t k) {
+  std::vector<float> centroids(k);
+  const std::size_t n = sorted.size();
+  for (std::size_t i = 0; i < k; ++i) {
+    const double q = (static_cast<double>(i) + 0.5) / static_cast<double>(k);
+    const std::size_t idx = std::min(
+        n - 1, static_cast<std::size_t>(q * static_cast<double>(n)));
+    centroids[i] = sorted[idx];
+  }
+  // Collapse duplicates (heavy ties at 0 for sparse-ish matrices) by nudging
+  // upward one representable step; Lloyd will re-spread them.
+  for (std::size_t i = 1; i < k; ++i) {
+    if (centroids[i] <= centroids[i - 1]) {
+      centroids[i] = std::nextafter(centroids[i - 1],
+                                    std::numeric_limits<float>::max());
+    }
+  }
+  return centroids;
+}
+
+}  // namespace
+
+KmeansResult kmeans_quantize(const embed::Embedding& input,
+                             const KmeansConfig& config) {
+  ANCHOR_CHECK_GT(config.bits, 0);
+  ANCHOR_CHECK_LE(config.bits, 32);
+  KmeansResult result;
+  if (config.bits >= 32) {
+    result.embedding = input;
+    return result;
+  }
+  const std::size_t k = std::size_t{1} << config.bits;
+  ANCHOR_CHECK_GT(input.data.size(), 0u);
+
+  std::vector<float> codebook;
+  if (!config.codebook_override.empty()) {
+    ANCHOR_CHECK_EQ(config.codebook_override.size(), k);
+    codebook = config.codebook_override;
+    ANCHOR_CHECK_MSG(
+        std::is_sorted(codebook.begin(), codebook.end()),
+        "codebook_override must be sorted ascending");
+  } else {
+    std::vector<float> sorted = input.data;
+    std::sort(sorted.begin(), sorted.end());
+    codebook = quantile_init(std::move(sorted), k);
+
+    // 1-D Lloyd: assign each entry to its nearest centroid, recenter.
+    double prev_distortion = std::numeric_limits<double>::max();
+    std::vector<double> sums(k);
+    std::vector<std::size_t> counts(k);
+    for (std::size_t iter = 0; iter < config.max_iters; ++iter) {
+      std::fill(sums.begin(), sums.end(), 0.0);
+      std::fill(counts.begin(), counts.end(), std::size_t{0});
+      double distortion = 0.0;
+      for (const float v : input.data) {
+        const std::size_t c = nearest(codebook, v);
+        sums[c] += v;
+        ++counts[c];
+        const double d = static_cast<double>(v) - codebook[c];
+        distortion += d * d;
+      }
+      distortion /= static_cast<double>(input.data.size());
+      for (std::size_t c = 0; c < k; ++c) {
+        if (counts[c] > 0) {
+          codebook[c] = static_cast<float>(sums[c] /
+                                           static_cast<double>(counts[c]));
+        }
+      }
+      std::sort(codebook.begin(), codebook.end());
+      if (prev_distortion - distortion <
+          config.tol * std::max(prev_distortion, 1e-30)) {
+        break;
+      }
+      prev_distortion = distortion;
+    }
+  }
+
+  result.embedding = embed::Embedding(input.vocab_size, input.dim);
+  double distortion = 0.0;
+  for (std::size_t i = 0; i < input.data.size(); ++i) {
+    const float snapped = codebook[nearest(codebook, input.data[i])];
+    result.embedding.data[i] = snapped;
+    const double d = static_cast<double>(input.data[i]) - snapped;
+    distortion += d * d;
+  }
+  result.distortion = distortion / static_cast<double>(input.data.size());
+  result.codebook = std::move(codebook);
+  return result;
+}
+
+}  // namespace anchor::compress

@@ -1,0 +1,43 @@
+// Scalar k-means quantization of embedding matrices (Andrews, 2016).
+//
+// The paper's §2.3 cites k-means compression as the more complex technique
+// that uniform quantization matches on downstream *quality* (May et al.,
+// 2019); this module lets the benches ask the analogous *stability*
+// question. Every entry of the matrix is replaced by the nearest of 2^b
+// codebook values learned by 1-D Lloyd iterations, so each entry costs b
+// bits plus a shared 2^b-float codebook.
+//
+// Mirroring the uniform quantizer's shared-clip-threshold protocol
+// (Appendix C.2), a Wiki'18 embedding can reuse its Wiki'17 partner's
+// codebook via `codebook_override`, removing the codebook itself as a
+// source of disagreement.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "embed/embedding.hpp"
+
+namespace anchor::compress {
+
+struct KmeansConfig {
+  int bits = 4;                  // 2^bits centroids; 32 = passthrough
+  std::size_t max_iters = 60;    // Lloyd iterations
+  double tol = 1e-7;             // stop when relative distortion change < tol
+  std::uint64_t seed = 1;        // centroid init (k-means++ style spread)
+  /// When non-empty, skip codebook learning and assign to these centroids.
+  std::vector<float> codebook_override;
+};
+
+struct KmeansResult {
+  embed::Embedding embedding;   // entries snapped to the learned centroids
+  std::vector<float> codebook;  // 2^bits centroid values, sorted ascending
+  double distortion = 0.0;      // mean squared quantization error
+};
+
+/// Learns (or reuses) a 1-D codebook over all matrix entries and snaps every
+/// entry to its nearest centroid. bits=32 returns the input unchanged.
+KmeansResult kmeans_quantize(const embed::Embedding& input,
+                             const KmeansConfig& config);
+
+}  // namespace anchor::compress

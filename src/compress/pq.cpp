@@ -1,0 +1,160 @@
+#include "compress/pq.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/rng.hpp"
+
+namespace anchor::compress {
+
+namespace {
+
+double sq_dist(const float* a, const float* b, std::size_t d) {
+  double acc = 0.0;
+  for (std::size_t j = 0; j < d; ++j) {
+    const double diff = static_cast<double>(a[j]) - b[j];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+std::size_t nearest_centroid(const std::vector<float>& codebook,
+                             const float* v, std::size_t sub_dim) {
+  const std::size_t k = codebook.size() / sub_dim;
+  std::size_t best = 0;
+  double best_dist = std::numeric_limits<double>::max();
+  for (std::size_t c = 0; c < k; ++c) {
+    const double dist = sq_dist(codebook.data() + c * sub_dim, v, sub_dim);
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = c;
+    }
+  }
+  return best;
+}
+
+/// Lloyd k-means over the `n` sub-vectors of one slice. Initialization is
+/// deterministic given the seed (distinct random rows), and empty clusters
+/// are re-seeded from the point currently farthest from its centroid.
+std::vector<float> lloyd(const std::vector<float>& points, std::size_t n,
+                         std::size_t sub_dim, std::size_t k,
+                         std::size_t max_iters, double tol,
+                         std::uint64_t seed) {
+  anchor::Rng rng(seed);
+  std::vector<float> codebook(k * sub_dim);
+  for (std::size_t c = 0; c < k; ++c) {
+    const std::size_t pick = rng.index(n);
+    std::copy_n(points.data() + pick * sub_dim, sub_dim,
+                codebook.data() + c * sub_dim);
+  }
+
+  std::vector<std::size_t> assign(n, 0);
+  std::vector<double> sums(k * sub_dim);
+  std::vector<std::size_t> counts(k);
+  double prev_distortion = std::numeric_limits<double>::max();
+
+  for (std::size_t iter = 0; iter < max_iters; ++iter) {
+    double distortion = 0.0;
+    double worst_dist = -1.0;
+    std::size_t worst_point = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      assign[i] = nearest_centroid(codebook, points.data() + i * sub_dim,
+                                   sub_dim);
+      const double d = sq_dist(points.data() + i * sub_dim,
+                               codebook.data() + assign[i] * sub_dim, sub_dim);
+      distortion += d;
+      if (d > worst_dist) {
+        worst_dist = d;
+        worst_point = i;
+      }
+    }
+    distortion /= static_cast<double>(n);
+
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), std::size_t{0});
+    for (std::size_t i = 0; i < n; ++i) {
+      ++counts[assign[i]];
+      for (std::size_t j = 0; j < sub_dim; ++j) {
+        sums[assign[i] * sub_dim + j] += points[i * sub_dim + j];
+      }
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        std::copy_n(points.data() + worst_point * sub_dim, sub_dim,
+                    codebook.data() + c * sub_dim);
+        continue;
+      }
+      for (std::size_t j = 0; j < sub_dim; ++j) {
+        codebook[c * sub_dim + j] = static_cast<float>(
+            sums[c * sub_dim + j] / static_cast<double>(counts[c]));
+      }
+    }
+    if (prev_distortion - distortion <
+        tol * std::max(prev_distortion, 1e-30)) {
+      break;
+    }
+    prev_distortion = distortion;
+  }
+  return codebook;
+}
+
+}  // namespace
+
+PqResult pq_quantize(const embed::Embedding& input, const PqConfig& config) {
+  ANCHOR_CHECK_GT(config.num_subvectors, 0u);
+  ANCHOR_CHECK_GT(config.bits, 0);
+  ANCHOR_CHECK_LE(config.bits, 16);
+  ANCHOR_CHECK_EQ(input.dim % config.num_subvectors, 0u);
+  const std::size_t m = config.num_subvectors;
+  const std::size_t sub_dim = input.dim / m;
+  const std::size_t k = std::size_t{1} << config.bits;
+  const std::size_t n = input.vocab_size;
+  ANCHOR_CHECK_GT(n, 0u);
+  // More centroids than points would silently shrink the codebook and break
+  // the shared-codebook protocol between a pair; reject loudly instead.
+  ANCHOR_CHECK_MSG(k <= n, "2^bits centroids exceed the vocabulary size");
+
+  PqResult result;
+  result.code_bits = config.bits;
+  result.codebooks.resize(m);
+  result.codes.assign(n * m, 0);
+  result.embedding = embed::Embedding(n, input.dim);
+
+  if (!config.codebooks_override.empty()) {
+    ANCHOR_CHECK_EQ(config.codebooks_override.size(), m);
+    for (std::size_t s = 0; s < m; ++s) {
+      ANCHOR_CHECK_EQ(config.codebooks_override[s].size(), k * sub_dim);
+    }
+  }
+
+  double total_err = 0.0;
+  std::vector<float> slice(n * sub_dim);
+  for (std::size_t s = 0; s < m; ++s) {
+    // Gather the s-th sub-vector of every row into a contiguous slice.
+    for (std::size_t w = 0; w < n; ++w) {
+      std::copy_n(input.row(w) + s * sub_dim, sub_dim,
+                  slice.data() + w * sub_dim);
+    }
+    result.codebooks[s] =
+        config.codebooks_override.empty()
+            ? lloyd(slice, n, sub_dim, k, config.max_iters, config.tol,
+                    config.seed + s)
+            : config.codebooks_override[s];
+
+    for (std::size_t w = 0; w < n; ++w) {
+      const std::size_t code = nearest_centroid(
+          result.codebooks[s], slice.data() + w * sub_dim, sub_dim);
+      result.codes[w * m + s] = static_cast<std::uint32_t>(code);
+      const float* centroid = result.codebooks[s].data() + code * sub_dim;
+      float* out = result.embedding.row(w) + s * sub_dim;
+      std::copy_n(centroid, sub_dim, out);
+      total_err += sq_dist(slice.data() + w * sub_dim, centroid, sub_dim);
+    }
+  }
+  result.distortion =
+      total_err / static_cast<double>(input.data.size());
+  return result;
+}
+
+}  // namespace anchor::compress

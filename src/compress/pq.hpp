@@ -1,0 +1,49 @@
+// Product quantization of embedding rows (Jégou et al., 2011 style), as a
+// stand-in for the "deep compositional code learning" family the paper's
+// §2.3 cites (Shu & Nakayama, 2018): each row is split into m sub-vectors
+// and each sub-vector is replaced by the nearest of 2^b learned centroids,
+// so a row costs m·b bits plus a shared codebook. Like DCCL it is a
+// vector-level (not scalar) compressor, which is the property that matters
+// for the stability comparison.
+//
+// The Wiki'18 member of a pair can reuse its partner's codebooks
+// (`codebooks_override`), mirroring the shared-clip-threshold protocol of
+// Appendix C.2.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "embed/embedding.hpp"
+
+namespace anchor::compress {
+
+struct PqConfig {
+  std::size_t num_subvectors = 4;  // m; must divide the embedding dimension
+  int bits = 6;                    // per sub-vector code width; 2^b centroids
+  std::size_t max_iters = 40;      // Lloyd iterations per sub-quantizer
+  double tol = 1e-7;
+  std::uint64_t seed = 1;
+  /// When non-empty: m codebooks, each 2^b × (dim/m) row-major floats.
+  std::vector<std::vector<float>> codebooks_override;
+};
+
+struct PqResult {
+  embed::Embedding embedding;  // rows reconstructed from their codes
+  /// codebooks[s] holds 2^b centroids of sub-dimension dim/m, row-major.
+  std::vector<std::vector<float>> codebooks;
+  /// codes[w·m + s] = centroid index of word w's sub-vector s.
+  std::vector<std::uint32_t> codes;
+  double distortion = 0.0;     // mean squared reconstruction error per entry
+
+  /// Storage cost of the coded representation in bits per word (excludes
+  /// the shared codebook, amortized across the vocabulary).
+  std::size_t bits_per_word() const { return codebooks.size() * code_bits; }
+  int code_bits = 0;
+};
+
+/// Learns (or reuses) per-sub-vector codebooks with Lloyd k-means and
+/// reconstructs every row from its nearest codes.
+PqResult pq_quantize(const embed::Embedding& input, const PqConfig& config);
+
+}  // namespace anchor::compress

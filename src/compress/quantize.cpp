@@ -1,0 +1,104 @@
+#include "compress/quantize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace anchor::compress {
+
+namespace {
+
+/// Snaps x to the 2^bits-level uniform grid on [-clip, clip].
+/// `jitter` ∈ [0,1) implements stochastic rounding (0.5 = deterministic).
+float snap(float x, float clip, int bits, float jitter) {
+  const float lo = -clip;
+  const auto levels = static_cast<float>((1u << bits) - 1u);
+  const float delta = (2.0f * clip) / levels;
+  float t = (std::clamp(x, -clip, clip) - lo) / delta;
+  t = std::floor(t + jitter);
+  t = std::clamp(t, 0.0f, levels);
+  return lo + t * delta;
+}
+
+double quantization_mse(const std::vector<float>& values, float clip,
+                        int bits) {
+  double acc = 0.0;
+  for (const float x : values) {
+    const double err = static_cast<double>(x) - snap(x, clip, bits, 0.5f);
+    acc += err * err;
+  }
+  return acc / static_cast<double>(values.size());
+}
+
+}  // namespace
+
+float optimal_clip_threshold(const std::vector<float>& values, int bits) {
+  ANCHOR_CHECK(!values.empty());
+  ANCHOR_CHECK_GE(bits, 1);
+  float max_abs = 0.0f;
+  for (const float x : values) max_abs = std::max(max_abs, std::abs(x));
+  if (max_abs == 0.0f) return 1.0f;  // all-zero input; any grid is exact
+  if (bits >= 16) return max_abs;
+
+  // Subsample for the threshold scan: MSE estimates stabilize quickly and
+  // the full matrix can be large.
+  constexpr std::size_t kMaxSample = 65536;
+  std::vector<float> sample;
+  if (values.size() > kMaxSample) {
+    const std::size_t stride = values.size() / kMaxSample;
+    sample.reserve(kMaxSample + 1);
+    for (std::size_t i = 0; i < values.size(); i += stride) {
+      sample.push_back(values[i]);
+    }
+  } else {
+    sample = values;
+  }
+
+  float best_clip = max_abs;
+  double best_mse = quantization_mse(sample, max_abs, bits);
+  constexpr int kSteps = 40;
+  for (int s = 2; s < kSteps; ++s) {
+    const float c = max_abs * static_cast<float>(s) / kSteps;
+    const double mse = quantization_mse(sample, c, bits);
+    if (mse < best_mse) {
+      best_mse = mse;
+      best_clip = c;
+    }
+  }
+  return best_clip;
+}
+
+QuantizeResult uniform_quantize(const embed::Embedding& input,
+                                const QuantizeConfig& config) {
+  ANCHOR_CHECK(config.bits == 1 || config.bits == 2 || config.bits == 4 ||
+               config.bits == 8 || config.bits == 16 || config.bits == 32);
+  QuantizeResult result;
+  if (config.bits == 32) {
+    result.embedding = input;
+    result.clip = 0.0f;
+    return result;
+  }
+
+  const float clip = config.clip_override > 0.0f
+                         ? config.clip_override
+                         : optimal_clip_threshold(input.data, config.bits);
+  result.clip = clip;
+  result.embedding = embed::Embedding(input.vocab_size, input.dim);
+
+  if (config.rounding == Rounding::kDeterministic) {
+    for (std::size_t i = 0; i < input.data.size(); ++i) {
+      result.embedding.data[i] = snap(input.data[i], clip, config.bits, 0.5f);
+    }
+  } else {
+    Rng rng(config.stochastic_seed);
+    for (std::size_t i = 0; i < input.data.size(); ++i) {
+      result.embedding.data[i] =
+          snap(input.data[i], clip, config.bits,
+               static_cast<float>(rng.uniform()));
+    }
+  }
+  return result;
+}
+
+}  // namespace anchor::compress

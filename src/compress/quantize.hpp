@@ -1,0 +1,54 @@
+// Uniform quantization of embedding matrices (May et al., 2019 "smallfry"
+// style), as used throughout the paper's precision axis.
+//
+// Each entry is clipped to [-c, c] and rounded to one of 2^b equally spaced
+// values, so it is representable in b bits. Two details matter for the
+// *stability* experiments (Appendix C.2) and are faithfully reproduced:
+//   1. rounding is deterministic (midpoint rule), and
+//   2. the clipping threshold is computed once from the first embedding of a
+//      pair and reused for the second, removing a gratuitous source of
+//      disagreement between the Wiki'17 and Wiki'18 compressions.
+#pragma once
+
+#include <cstdint>
+
+#include "embed/embedding.hpp"
+
+namespace anchor::compress {
+
+/// Rounding mode; the paper uses deterministic rounding (stochastic is kept
+/// for the ablation bench).
+enum class Rounding { kDeterministic, kStochastic };
+
+/// Clipping threshold minimizing the quantization MSE for `bits`-bit uniform
+/// quantization of `values`, found by scanning candidate thresholds between
+/// 5% and 100% of max|x|. For bits ≥ 16 clipping is unnecessary and max|x|
+/// is returned directly.
+float optimal_clip_threshold(const std::vector<float>& values, int bits);
+
+struct QuantizeConfig {
+  int bits = 8;  // b ∈ {1, 2, 4, 8, 16, 32}; 32 = full precision passthrough
+  Rounding rounding = Rounding::kDeterministic;
+  /// When > 0, use this clip threshold instead of computing one — this is
+  /// how a Wiki'18 embedding reuses its Wiki'17 partner's threshold.
+  float clip_override = 0.0f;
+  std::uint64_t stochastic_seed = 1;  // only used for Rounding::kStochastic
+};
+
+struct QuantizeResult {
+  embed::Embedding embedding;  // values snapped to the 2^b-level grid
+  float clip = 0.0f;           // threshold actually used
+};
+
+/// Quantizes every entry of `input` to `config.bits` bits. b=32 returns the
+/// input unchanged (full precision), matching the paper's convention.
+QuantizeResult uniform_quantize(const embed::Embedding& input,
+                                const QuantizeConfig& config);
+
+/// Memory footprint in bits per word for a (dimension, precision) pair —
+/// the x-axis of the paper's Figures 2 and 3.
+inline std::size_t bits_per_word(std::size_t dim, int bits) {
+  return dim * static_cast<std::size_t>(bits);
+}
+
+}  // namespace anchor::compress

@@ -1,0 +1,62 @@
+#include "core/instability.hpp"
+
+namespace anchor::core {
+
+double prediction_disagreement_pct(const std::vector<std::int32_t>& a,
+                                   const std::vector<std::int32_t>& b) {
+  ANCHOR_CHECK_EQ(a.size(), b.size());
+  ANCHOR_CHECK(!a.empty());
+  std::size_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff += (a[i] != b[i]) ? 1 : 0;
+  return 100.0 * static_cast<double>(diff) / static_cast<double>(a.size());
+}
+
+double masked_disagreement_pct(const std::vector<std::int32_t>& a,
+                               const std::vector<std::int32_t>& b,
+                               const std::vector<std::uint8_t>& mask) {
+  ANCHOR_CHECK_EQ(a.size(), b.size());
+  ANCHOR_CHECK_EQ(a.size(), mask.size());
+  std::size_t diff = 0, total = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!mask[i]) continue;
+    ++total;
+    diff += (a[i] != b[i]) ? 1 : 0;
+  }
+  ANCHOR_CHECK_MSG(total > 0, "masked_disagreement_pct: empty mask");
+  return 100.0 * static_cast<double>(diff) / static_cast<double>(total);
+}
+
+double accuracy_pct(const std::vector<std::int32_t>& predictions,
+                    const std::vector<std::int32_t>& gold) {
+  ANCHOR_CHECK_EQ(predictions.size(), gold.size());
+  ANCHOR_CHECK(!predictions.empty());
+  std::size_t hit = 0;
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    hit += (predictions[i] == gold[i]) ? 1 : 0;
+  }
+  return 100.0 * static_cast<double>(hit) /
+         static_cast<double>(predictions.size());
+}
+
+double micro_f1_pct(const std::vector<std::int32_t>& predictions,
+                    const std::vector<std::int32_t>& gold,
+                    std::int32_t ignore_class) {
+  ANCHOR_CHECK_EQ(predictions.size(), gold.size());
+  std::size_t tp = 0, fp = 0, fn = 0;
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    const bool pred_entity = predictions[i] != ignore_class;
+    const bool gold_entity = gold[i] != ignore_class;
+    if (pred_entity && gold_entity && predictions[i] == gold[i]) {
+      ++tp;
+    } else {
+      if (pred_entity) ++fp;
+      if (gold_entity) ++fn;
+    }
+  }
+  const double denom = 2.0 * static_cast<double>(tp) +
+                       static_cast<double>(fp) + static_cast<double>(fn);
+  if (denom == 0.0) return 0.0;
+  return 100.0 * 2.0 * static_cast<double>(tp) / denom;
+}
+
+}  // namespace anchor::core

@@ -1,0 +1,35 @@
+// Downstream instability (Definition 1): the fraction of heldout predictions
+// on which two models — trained on the same task but different embeddings —
+// disagree.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace anchor::core {
+
+/// Zero-one-loss downstream instability between two prediction vectors, in
+/// percent (the unit the paper plots).
+double prediction_disagreement_pct(const std::vector<std::int32_t>& a,
+                                   const std::vector<std::int32_t>& b);
+
+/// Disagreement restricted to positions where `mask` is true — used by the
+/// NER tasks, which measure instability only over gold-entity tokens (§3).
+double masked_disagreement_pct(const std::vector<std::int32_t>& a,
+                               const std::vector<std::int32_t>& b,
+                               const std::vector<std::uint8_t>& mask);
+
+/// Accuracy in percent against gold labels (for the quality tradeoff plots,
+/// Appendix D.2).
+double accuracy_pct(const std::vector<std::int32_t>& predictions,
+                    const std::vector<std::int32_t>& gold);
+
+/// Micro-averaged F1 in percent over all classes except `ignore_class`
+/// (the NER quality metric of Appendix D.2, with O ignored).
+double micro_f1_pct(const std::vector<std::int32_t>& predictions,
+                    const std::vector<std::int32_t>& gold,
+                    std::int32_t ignore_class);
+
+}  // namespace anchor::core

@@ -1,0 +1,137 @@
+#include "core/intrinsic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/stats.hpp"
+#include "util/rng.hpp"
+
+namespace anchor::core {
+
+namespace {
+
+double cosine(const double* a, const double* b, std::size_t d) {
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (std::size_t j = 0; j < d; ++j) {
+    dot += a[j] * b[j];
+    na += a[j] * a[j];
+    nb += b[j] * b[j];
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return dot / std::sqrt(na * nb);
+}
+
+double cosine_f(const float* a, const float* b, std::size_t d) {
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (std::size_t j = 0; j < d; ++j) {
+    dot += static_cast<double>(a[j]) * b[j];
+    na += static_cast<double>(a[j]) * a[j];
+    nb += static_cast<double>(b[j]) * b[j];
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return dot / std::sqrt(na * nb);
+}
+
+}  // namespace
+
+namespace {
+
+/// Effective sampling vocabulary: the frequency-ordered prefix (§2.4's
+/// top-10k restriction), or everything when max_word_id is 0.
+std::size_t effective_vocab(std::size_t vocab, std::size_t max_word_id) {
+  return max_word_id == 0 ? vocab : std::min(vocab, max_word_id);
+}
+
+}  // namespace
+
+double word_similarity_score(const embed::Embedding& e,
+                             const text::LatentSpace& space,
+                             const IntrinsicConfig& config) {
+  ANCHOR_CHECK_EQ(e.vocab_size, space.vocab_size());
+  ANCHOR_CHECK_GT(config.num_pairs, 1u);
+  const std::size_t vocab = effective_vocab(e.vocab_size, config.max_word_id);
+  ANCHOR_CHECK_GT(vocab, 1u);
+  const la::Matrix& g = space.word_vectors();
+  Rng rng(config.seed);
+
+  std::vector<double> gold, predicted;
+  gold.reserve(config.num_pairs);
+  predicted.reserve(config.num_pairs);
+  for (std::size_t i = 0; i < config.num_pairs; ++i) {
+    const std::size_t a = rng.index(vocab);
+    std::size_t b = rng.index(vocab);
+    while (b == a) b = rng.index(vocab);
+    gold.push_back(cosine(g.row(a), g.row(b), g.cols()));
+    predicted.push_back(cosine_f(e.row(a), e.row(b), e.dim));
+  }
+  return la::spearman(gold, predicted);
+}
+
+AnalogyResult analogy_accuracy(const embed::Embedding& e,
+                               const text::LatentSpace& space,
+                               const IntrinsicConfig& config) {
+  ANCHOR_CHECK_EQ(e.vocab_size, space.vocab_size());
+  ANCHOR_CHECK_GT(config.analogy_top_k, 0u);
+  const std::size_t vocab = effective_vocab(e.vocab_size, config.max_word_id);
+  ANCHOR_CHECK_GT(vocab, 3u);
+  const la::Matrix& g = space.word_vectors();
+  const std::size_t latent_d = g.cols();
+  Rng rng(config.seed);
+
+  AnalogyResult result;
+  std::size_t solved = 0;
+  std::vector<double> target_latent(latent_d);
+  std::vector<double> target_emb(e.dim);
+
+  for (std::size_t q = 0; q < config.num_analogies; ++q) {
+    const std::size_t a = rng.index(vocab);
+    const std::size_t b = rng.index(vocab);
+    const std::size_t c = rng.index(vocab);
+    if (a == b || a == c || b == c) continue;
+
+    // Gold answer: latent-nearest word to g_b − g_a + g_c (cosine).
+    for (std::size_t j = 0; j < latent_d; ++j) {
+      target_latent[j] = g(b, j) - g(a, j) + g(c, j);
+    }
+    std::size_t gold = vocab;
+    double best = -2.0;
+    for (std::size_t w = 0; w < vocab; ++w) {
+      if (w == a || w == b || w == c) continue;
+      const double s = cosine(target_latent.data(), g.row(w), latent_d);
+      if (s > best) {
+        best = s;
+        gold = w;
+      }
+    }
+    if (gold == vocab) continue;
+
+    // Embedding answer ranking by 3CosAdd.
+    for (std::size_t j = 0; j < e.dim; ++j) {
+      target_emb[j] = static_cast<double>(e.row(b)[j]) - e.row(a)[j] +
+                      e.row(c)[j];
+    }
+    double gold_score = -2.0;
+    std::size_t strictly_above = 0;
+    {
+      std::vector<float> tf(target_emb.begin(), target_emb.end());
+      gold_score = cosine_f(tf.data(), e.row(gold), e.dim);
+      for (std::size_t w = 0; w < vocab; ++w) {
+        if (w == a || w == b || w == c || w == gold) continue;
+        if (cosine_f(tf.data(), e.row(w), e.dim) > gold_score) {
+          ++strictly_above;
+          if (strictly_above >= config.analogy_top_k) break;
+        }
+      }
+    }
+    ++result.num_evaluated;
+    if (strictly_above < config.analogy_top_k) ++solved;
+  }
+  result.accuracy =
+      result.num_evaluated == 0
+          ? 0.0
+          : static_cast<double>(solved) /
+                static_cast<double>(result.num_evaluated);
+  return result;
+}
+
+}  // namespace anchor::core

@@ -1,0 +1,50 @@
+// Intrinsic embedding evaluation against the synthetic ground truth.
+//
+// The paper measures *downstream* quality (Appendix D.2); real embedding
+// pipelines also track intrinsic quality. Because our corpora come from an
+// explicit latent space, we can build exact analogs of the standard
+// intrinsic benchmarks: a WordSim-style similarity task whose gold scores
+// are latent-vector cosines, and a 3CosAdd analogy task whose gold answers
+// are nearest latent neighbors of g_b − g_a + g_c. Both are deterministic
+// given the seed and need no external data.
+#pragma once
+
+#include <cstdint>
+
+#include "embed/embedding.hpp"
+#include "text/latent_space.hpp"
+
+namespace anchor::core {
+
+struct IntrinsicConfig {
+  std::size_t num_pairs = 500;      // similarity word pairs
+  std::size_t num_analogies = 200;  // analogy quadruples
+  std::size_t analogy_top_k = 1;    // answer must rank in the top k
+  /// Restrict sampling (and analogy candidates) to word ids below this
+  /// value — ids are frequency-ordered, so this is the paper's
+  /// "top 10k most frequent words" restriction (§2.4). 0 = whole vocabulary.
+  std::size_t max_word_id = 0;
+  std::uint64_t seed = 31;
+};
+
+/// Spearman correlation between embedding cosine similarity and latent
+/// ground-truth cosine over sampled word pairs — the WordSim-353 analog.
+/// 1.0 = embedding perfectly recovers the latent geometry.
+double word_similarity_score(const embed::Embedding& e,
+                             const text::LatentSpace& space,
+                             const IntrinsicConfig& config = {});
+
+struct AnalogyResult {
+  double accuracy = 0.0;        // fraction of quadruples solved
+  std::size_t num_evaluated = 0;
+};
+
+/// 3CosAdd analogy accuracy: for sampled (a, b, c), the gold answer d* is
+/// the latent-nearest word to g_b − g_a + g_c (excluding a, b, c); the
+/// embedding solves the quadruple when d* ranks in its top-k by
+/// cos(x_b − x_a + x_c, ·). Degenerate quadruples (zero vectors) skipped.
+AnalogyResult analogy_accuracy(const embed::Embedding& e,
+                               const text::LatentSpace& space,
+                               const IntrinsicConfig& config = {});
+
+}  // namespace anchor::core

@@ -1,0 +1,242 @@
+#include "core/measures.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+#include "la/procrustes.hpp"
+#include "util/rng.hpp"
+
+namespace anchor::core {
+
+namespace {
+
+/// Row-normalizes a copy of m (zero rows stay zero).
+la::Matrix normalize_rows(const la::Matrix& m) {
+  la::Matrix out = m;
+  for (std::size_t i = 0; i < out.rows(); ++i) {
+    double* row = out.row(i);
+    double norm = 0.0;
+    for (std::size_t j = 0; j < out.cols(); ++j) norm += row[j] * row[j];
+    norm = std::sqrt(norm);
+    if (norm > 0.0) {
+      for (std::size_t j = 0; j < out.cols(); ++j) row[j] /= norm;
+    }
+  }
+  return out;
+}
+
+/// Indices of the k most cosine-similar rows to `query` (self excluded).
+std::vector<std::size_t> top_k_neighbors(const la::Matrix& normalized,
+                                         std::size_t query, std::size_t k) {
+  const std::size_t n = normalized.rows();
+  std::vector<double> sims(n, 0.0);
+  const double* q = normalized.row(query);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* r = normalized.row(i);
+    double acc = 0.0;
+    for (std::size_t j = 0; j < normalized.cols(); ++j) acc += q[j] * r[j];
+    sims[i] = acc;
+  }
+  sims[query] = -2.0;  // exclude self
+
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0u);
+  const std::size_t kk = std::min(k, n - 1);
+  std::partial_sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(kk),
+                    idx.end(), [&](std::size_t a, std::size_t b) {
+                      // Deterministic tie-break on index keeps the measure
+                      // reproducible across platforms.
+                      return sims[a] != sims[b] ? sims[a] > sims[b] : a < b;
+                    });
+  idx.resize(kk);
+  return idx;
+}
+
+}  // namespace
+
+double knn_measure(const la::Matrix& x, const la::Matrix& x_tilde,
+                   std::size_t k, std::size_t num_queries,
+                   std::uint64_t seed) {
+  ANCHOR_CHECK_EQ(x.rows(), x_tilde.rows());
+  ANCHOR_CHECK_GT(k, 0u);
+  const std::size_t n = x.rows();
+  ANCHOR_CHECK_GE(n, 2u);
+
+  const la::Matrix nx = normalize_rows(x);
+  const la::Matrix nxt = normalize_rows(x_tilde);
+
+  // Sample query words without replacement.
+  std::vector<std::size_t> queries(n);
+  std::iota(queries.begin(), queries.end(), 0u);
+  Rng rng(seed);
+  rng.shuffle(queries);
+  queries.resize(std::min(num_queries, n));
+
+  double overlap_sum = 0.0;
+  for (const std::size_t q : queries) {
+    const auto a = top_k_neighbors(nx, q, k);
+    const auto b = top_k_neighbors(nxt, q, k);
+    const std::unordered_set<std::size_t> sa(a.begin(), a.end());
+    std::size_t hits = 0;
+    for (const std::size_t w : b) hits += sa.count(w);
+    overlap_sum += static_cast<double>(hits) / static_cast<double>(a.size());
+  }
+  return overlap_sum / static_cast<double>(queries.size());
+}
+
+double semantic_displacement(const la::Matrix& x, const la::Matrix& x_tilde) {
+  ANCHOR_CHECK_EQ(x.rows(), x_tilde.rows());
+  ANCHOR_CHECK_EQ(x.cols(), x_tilde.cols());
+  const la::Matrix aligned = la::procrustes_align(x, x_tilde);
+  const std::size_t n = x.rows();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* a = x.row(i);
+    const double* b = aligned.row(i);
+    double dot = 0.0, na = 0.0, nb = 0.0;
+    for (std::size_t j = 0; j < x.cols(); ++j) {
+      dot += a[j] * b[j];
+      na += a[j] * a[j];
+      nb += b[j] * b[j];
+    }
+    const double denom = std::sqrt(na * nb);
+    acc += (denom > 0.0) ? 1.0 - dot / denom : 0.0;
+  }
+  return acc / static_cast<double>(n);
+}
+
+double pip_loss(const la::Matrix& x, const la::Matrix& x_tilde) {
+  ANCHOR_CHECK_EQ(x.rows(), x_tilde.rows());
+  const double a = la::frobenius_norm_sq(la::gram(x));
+  const double b = la::frobenius_norm_sq(la::gram(x_tilde));
+  const double c = la::frobenius_norm_sq(la::matmul_at_b(x_tilde, x));
+  return std::sqrt(std::max(0.0, a + b - 2.0 * c));
+}
+
+double eigenspace_overlap(const la::Matrix& x, const la::Matrix& x_tilde) {
+  ANCHOR_CHECK_EQ(x.rows(), x_tilde.rows());
+  const la::Matrix u = la::left_singular_vectors(x);
+  const la::Matrix ut = la::left_singular_vectors(x_tilde);
+  const double overlap = la::frobenius_norm_sq(la::matmul_at_b(u, ut));
+  return overlap / static_cast<double>(std::max(u.cols(), ut.cols()));
+}
+
+EisContext EisContext::build(const la::Matrix& e, const la::Matrix& e_tilde,
+                             double alpha) {
+  ANCHOR_CHECK_EQ(e.rows(), e_tilde.rows());
+  EisContext ctx;
+  la::SvdResult se = la::svd(e);
+  la::SvdResult st = la::svd(e_tilde);
+  // EEᵀ = U·S²·Uᵀ: the factors Σ needs are E's *left* singular vectors and
+  // singular values (named V, R in the paper's Appendix B.1 because it
+  // writes E = VRWᵀ).
+  ctx.v = std::move(se.u);
+  ctx.r = std::move(se.singular_values);
+  ctx.v_tilde = std::move(st.u);
+  ctx.r_tilde = std::move(st.singular_values);
+  ctx.alpha = alpha;
+  return ctx;
+}
+
+namespace {
+
+/// Scales column j of m by s[j]^alpha, in place.
+void scale_columns_pow(la::Matrix& m, const std::vector<double>& s,
+                       double alpha) {
+  ANCHOR_CHECK_EQ(m.cols(), s.size());
+  for (std::size_t j = 0; j < m.cols(); ++j) {
+    const double f = std::pow(std::max(s[j], 0.0), alpha);
+    for (std::size_t i = 0; i < m.rows(); ++i) m(i, j) *= f;
+  }
+}
+
+/// One Σ-component's three trace terms (Appendix B.1, Eq. 3):
+/// ‖UᵀVR^α‖F² + ‖ŨᵀVR^α‖F² − 2·tr(R^α(VᵀŨ)(ŨᵀU)(UᵀV)R^α).
+double sigma_component(const la::Matrix& u, const la::Matrix& u_tilde,
+                       const la::Matrix& v, const std::vector<double>& r,
+                       double alpha) {
+  la::Matrix utv = la::matmul_at_b(u, v);          // d × d_e
+  la::Matrix uttv = la::matmul_at_b(u_tilde, v);   // k × d_e
+  scale_columns_pow(utv, r, alpha);                // UᵀV R^α
+  scale_columns_pow(uttv, r, alpha);               // ŨᵀV R^α
+  const double term1 = la::frobenius_norm_sq(utv);
+  const double term2 = la::frobenius_norm_sq(uttv);
+  // tr(R^α VᵀŨ · ŨᵀU · UᵀV R^α) = ⟨ŨᵀV R^α, (ŨᵀU)(UᵀV R^α)⟩.
+  const la::Matrix utu = la::matmul_at_b(u_tilde, u);  // k × d
+  const la::Matrix prod = la::matmul(utu, utv);        // k × d_e
+  double cross = 0.0;
+  for (std::size_t i = 0; i < prod.size(); ++i) {
+    cross += prod.storage()[i] * uttv.storage()[i];
+  }
+  return term1 + term2 - 2.0 * cross;
+}
+
+}  // namespace
+
+double eigenspace_instability(const la::Matrix& u, const la::Matrix& u_tilde,
+                              const EisContext& ctx) {
+  ANCHOR_CHECK_EQ(u.rows(), u_tilde.rows());
+  ANCHOR_CHECK_EQ(u.rows(), ctx.v.rows());
+  ANCHOR_CHECK_EQ(u.rows(), ctx.v_tilde.rows());
+
+  const double numerator =
+      sigma_component(u, u_tilde, ctx.v, ctx.r, ctx.alpha) +
+      sigma_component(u, u_tilde, ctx.v_tilde, ctx.r_tilde, ctx.alpha);
+
+  double denominator = 0.0;
+  for (const double s : ctx.r) denominator += std::pow(s, 2.0 * ctx.alpha);
+  for (const double s : ctx.r_tilde) {
+    denominator += std::pow(s, 2.0 * ctx.alpha);
+  }
+  ANCHOR_CHECK_GT(denominator, 0.0);
+  return numerator / denominator;
+}
+
+double eigenspace_instability_of(const la::Matrix& x,
+                                 const la::Matrix& x_tilde,
+                                 const EisContext& ctx) {
+  return eigenspace_instability(la::left_singular_vectors(x),
+                                la::left_singular_vectors(x_tilde), ctx);
+}
+
+double eigenspace_instability_naive(const la::Matrix& x,
+                                    const la::Matrix& x_tilde,
+                                    const la::Matrix& sigma) {
+  ANCHOR_CHECK_EQ(sigma.rows(), sigma.cols());
+  ANCHOR_CHECK_EQ(sigma.rows(), x.rows());
+  const la::Matrix u = la::left_singular_vectors(x);
+  const la::Matrix ut = la::left_singular_vectors(x_tilde);
+  const la::Matrix uuT = la::matmul_a_bt(u, u);
+  const la::Matrix utuT = la::matmul_a_bt(ut, ut);
+  // M = UUᵀ + ŨŨᵀ − 2·ŨŨᵀ·UUᵀ.
+  la::Matrix m = la::add(uuT, utuT);
+  m = la::subtract(m, la::scale(la::matmul(utuT, uuT), 2.0));
+  return la::trace(la::matmul(m, sigma)) / la::trace(sigma);
+}
+
+la::Matrix build_sigma_naive(const la::Matrix& e, const la::Matrix& e_tilde,
+                             double alpha) {
+  auto component = [&](const la::Matrix& mat) {
+    la::SvdResult s = la::svd(mat);
+    la::Matrix u = s.u;
+    scale_columns_pow(u, s.singular_values, alpha);  // U·R^α
+    return la::matmul_a_bt(u, u);                    // U·R^{2α}·Uᵀ
+  };
+  return la::add(component(e), component(e_tilde));
+}
+
+std::string measure_name(Measure m) {
+  switch (m) {
+    case Measure::kEigenspaceInstability: return "Eigenspace Instability";
+    case Measure::kOneMinusKnn: return "1 - k-NN";
+    case Measure::kSemanticDisplacement: return "Semantic Displacement";
+    case Measure::kPipLoss: return "PIP Loss";
+    case Measure::kOneMinusEigenspaceOverlap: return "1 - Eigenspace Overlap";
+  }
+  ANCHOR_CHECK_MSG(false, "unknown measure");
+  return {};
+}
+
+}  // namespace anchor::core

@@ -1,0 +1,121 @@
+#include "core/report.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+namespace anchor::core {
+
+namespace {
+
+constexpr const char* kHeader =
+    "dim,bits,di_pct,eis,one_minus_knn,semantic_displacement,pip_loss,"
+    "one_minus_eigenspace_overlap";
+
+double parse_double(const std::string& cell) {
+  std::size_t consumed = 0;
+  double out = 0.0;
+  try {
+    out = std::stod(cell, &consumed);
+  } catch (const std::exception&) {
+    ANCHOR_CHECK_MSG(false, "unparseable numeric cell in results CSV");
+  }
+  ANCHOR_CHECK_MSG(consumed == cell.size(),
+                   "trailing garbage in numeric cell of results CSV");
+  return out;
+}
+
+std::vector<std::string> split_commas(const std::string& line) {
+  std::vector<std::string> cells;
+  std::stringstream ss(line);
+  std::string cell;
+  while (std::getline(ss, cell, ',')) cells.push_back(cell);
+  return cells;
+}
+
+}  // namespace
+
+void write_config_points_csv(const std::vector<ConfigPoint>& points,
+                             const std::filesystem::path& path) {
+  std::ofstream out(path);
+  ANCHOR_CHECK_MSG(out.good(), "cannot open results CSV for writing");
+  out << kHeader << '\n';
+  // max_digits10: doubles round-trip exactly through the text form.
+  out.precision(17);
+  for (const auto& p : points) {
+    out << p.dim << ',' << p.bits << ',' << p.downstream_instability_pct;
+    for (const Measure m : kAllMeasures) {
+      const auto it = p.measures.find(m);
+      ANCHOR_CHECK_MSG(it != p.measures.end(),
+                       "config point is missing a measure value");
+      out << ',' << it->second;
+    }
+    out << '\n';
+  }
+  ANCHOR_CHECK_MSG(out.good(), "write failure while saving results CSV");
+}
+
+std::vector<ConfigPoint> read_config_points_csv(
+    const std::filesystem::path& path) {
+  std::ifstream in(path);
+  ANCHOR_CHECK_MSG(in.good(), "cannot open results CSV for reading");
+  std::string line;
+  ANCHOR_CHECK_MSG(static_cast<bool>(std::getline(in, line)),
+                   "empty results CSV");
+  ANCHOR_CHECK_MSG(line == kHeader, "unexpected results CSV header");
+
+  std::vector<ConfigPoint> points;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::vector<std::string> cells = split_commas(line);
+    ANCHOR_CHECK_MSG(cells.size() == 3 + std::size(kAllMeasures),
+                     "short or long row in results CSV");
+    ConfigPoint p;
+    p.dim = static_cast<std::size_t>(parse_double(cells[0]));
+    p.bits = static_cast<int>(parse_double(cells[1]));
+    p.downstream_instability_pct = parse_double(cells[2]);
+    for (std::size_t i = 0; i < std::size(kAllMeasures); ++i) {
+      p.measures[kAllMeasures[i]] = parse_double(cells[3 + i]);
+    }
+    points.push_back(std::move(p));
+  }
+  ANCHOR_CHECK_MSG(!points.empty(), "results CSV has no data rows");
+  return points;
+}
+
+GridAnalysis analyze_grid(const std::vector<ConfigPoint>& points) {
+  GridAnalysis out;
+  // The budget setting needs at least one memory value shared by two
+  // configurations; arbitrary CSVs (e.g. a sparse grid) may not have one.
+  std::map<std::size_t, std::size_t> budget_counts;
+  for (const auto& p : points) ++budget_counts[p.memory_bits()];
+  out.has_contested_budget = false;
+  for (const auto& [memory, count] : budget_counts) {
+    if (count >= 2) {
+      out.has_contested_budget = true;
+      break;
+    }
+  }
+
+  for (const Measure m : kAllMeasures) {
+    GridAnalysis::MeasureRow row;
+    row.measure = m;
+    row.spearman = measure_spearman(points, m);
+    row.pairwise_error = pairwise_selection_error(points, m);
+    if (out.has_contested_budget) {
+      row.budget_gap_pct =
+          budget_selection(points, Criterion::of(m)).mean_abs_gap_pct;
+    }
+    out.measures.push_back(row);
+  }
+  if (out.has_contested_budget) {
+    out.high_precision_gap_pct =
+        budget_selection(points, Criterion::high_precision()).mean_abs_gap_pct;
+    out.low_precision_gap_pct =
+        budget_selection(points, Criterion::low_precision()).mean_abs_gap_pct;
+  }
+  return out;
+}
+
+}  // namespace anchor::core

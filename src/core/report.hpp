@@ -1,0 +1,52 @@
+// CSV interchange for experiment results — the paper artifact's
+// "lightweight option" (Appendix A.1/A.7): the authors ship CSVs of
+// pre-computed embedding distance measures and downstream instabilities so
+// the analysis stage (Tables 1–3) can be reproduced without any training.
+// This module writes and reads that format so our pipeline results can
+// round-trip through files and the `anchor-cli analyze` subcommand can run
+// the analysis on a bare CSV.
+//
+// Format: a header row, then one row per (dimension, precision) cell:
+//   dim,bits,di_pct,eis,one_minus_knn,semantic_displacement,pip_loss,
+//   one_minus_eigenspace_overlap
+#pragma once
+
+#include <filesystem>
+#include <vector>
+
+#include "core/selection.hpp"
+
+namespace anchor::core {
+
+/// Writes config points (with all five measures populated) to CSV.
+/// Throws when a point is missing a measure or on IO failure.
+void write_config_points_csv(const std::vector<ConfigPoint>& points,
+                             const std::filesystem::path& path);
+
+/// Reads a CSV written by write_config_points_csv (or hand-authored in the
+/// same layout). Throws on missing file, malformed header, short rows, or
+/// unparseable numbers.
+std::vector<ConfigPoint> read_config_points_csv(
+    const std::filesystem::path& path);
+
+/// The analysis stage of the artifact (Appendix A.5 step 3) over one grid:
+/// Spearman per measure, pairwise selection error per measure, and the
+/// memory-budget selection gap per criterion.
+struct GridAnalysis {
+  struct MeasureRow {
+    Measure measure;
+    double spearman = 0.0;
+    double pairwise_error = 0.0;
+    double budget_gap_pct = 0.0;
+  };
+  std::vector<MeasureRow> measures;           // kAllMeasures order
+  double high_precision_gap_pct = 0.0;        // naive baselines (Table 3)
+  double low_precision_gap_pct = 0.0;
+  /// False when no memory budget has two candidate configs — the budget
+  /// columns are then meaningless (left at 0) and should be shown as n/a.
+  bool has_contested_budget = true;
+};
+
+GridAnalysis analyze_grid(const std::vector<ConfigPoint>& points);
+
+}  // namespace anchor::core

@@ -1,0 +1,143 @@
+#include "core/selection.hpp"
+
+#include <algorithm>
+
+#include "la/stats.hpp"
+
+namespace anchor::core {
+
+namespace {
+
+double measure_of(const ConfigPoint& p, Measure m) {
+  const auto it = p.measures.find(m);
+  ANCHOR_CHECK_MSG(it != p.measures.end(),
+                   "ConfigPoint missing measure " << measure_name(m));
+  return it->second;
+}
+
+}  // namespace
+
+double pairwise_selection_error(const std::vector<ConfigPoint>& points,
+                                Measure measure) {
+  ANCHOR_CHECK_GE(points.size(), 2u);
+  double errors = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t j = i + 1; j < points.size(); ++j) {
+      ++pairs;
+      const double di_i = points[i].downstream_instability_pct;
+      const double di_j = points[j].downstream_instability_pct;
+      if (di_i == di_j) continue;  // either choice is correct
+      const double m_i = measure_of(points[i], measure);
+      const double m_j = measure_of(points[j], measure);
+      if (m_i == m_j) {
+        errors += 0.5;  // measure cannot distinguish; half credit
+        continue;
+      }
+      const bool picked_i = m_i < m_j;
+      const bool i_is_better = di_i < di_j;
+      if (picked_i != i_is_better) errors += 1.0;
+    }
+  }
+  return errors / static_cast<double>(pairs);
+}
+
+double pairwise_worst_case_error(const std::vector<ConfigPoint>& points,
+                                 Measure measure) {
+  ANCHOR_CHECK_GE(points.size(), 2u);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t j = i + 1; j < points.size(); ++j) {
+      const double di_i = points[i].downstream_instability_pct;
+      const double di_j = points[j].downstream_instability_pct;
+      if (di_i == di_j) continue;
+      const double m_i = measure_of(points[i], measure);
+      const double m_j = measure_of(points[j], measure);
+      if (m_i == m_j) continue;
+      const bool picked_i = m_i < m_j;
+      const double gap = picked_i ? di_i - di_j : di_j - di_i;
+      worst = std::max(worst, gap);  // positive only when selection is wrong
+    }
+  }
+  return worst;
+}
+
+std::string Criterion::name() const {
+  switch (kind) {
+    case Kind::kMeasure: return measure_name(measure);
+    case Kind::kHighPrecision: return "High Precision";
+    case Kind::kLowPrecision: return "Low Precision";
+  }
+  ANCHOR_CHECK_MSG(false, "unknown criterion");
+  return {};
+}
+
+BudgetSelectionResult budget_selection(const std::vector<ConfigPoint>& points,
+                                       const Criterion& criterion) {
+  // Group configuration indices by memory budget.
+  std::map<std::size_t, std::vector<std::size_t>> budgets;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    budgets[points[i].memory_bits()].push_back(i);
+  }
+
+  BudgetSelectionResult result;
+  double gap_sum = 0.0;
+  for (const auto& [memory, idx] : budgets) {
+    if (idx.size() < 2) continue;  // nothing to select among
+    ++result.num_budgets;
+
+    const auto pick = [&]() -> std::size_t {
+      switch (criterion.kind) {
+        case Criterion::Kind::kMeasure:
+          return *std::min_element(idx.begin(), idx.end(),
+                                   [&](std::size_t a, std::size_t b) {
+                                     return measure_of(points[a],
+                                                       criterion.measure) <
+                                            measure_of(points[b],
+                                                       criterion.measure);
+                                   });
+        case Criterion::Kind::kHighPrecision:
+          return *std::max_element(idx.begin(), idx.end(),
+                                   [&](std::size_t a, std::size_t b) {
+                                     return points[a].bits < points[b].bits;
+                                   });
+        case Criterion::Kind::kLowPrecision:
+          return *std::min_element(idx.begin(), idx.end(),
+                                   [&](std::size_t a, std::size_t b) {
+                                     return points[a].bits < points[b].bits;
+                                   });
+      }
+      ANCHOR_CHECK_MSG(false, "unknown criterion");
+      return 0;
+    }();
+
+    const std::size_t oracle = *std::min_element(
+        idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+          return points[a].downstream_instability_pct <
+                 points[b].downstream_instability_pct;
+        });
+    const double gap = points[pick].downstream_instability_pct -
+                       points[oracle].downstream_instability_pct;
+    gap_sum += gap;
+    result.worst_abs_gap_pct = std::max(result.worst_abs_gap_pct, gap);
+  }
+  ANCHOR_CHECK_MSG(result.num_budgets > 0,
+                   "budget_selection: no budget has two candidate configs");
+  result.mean_abs_gap_pct = gap_sum / static_cast<double>(result.num_budgets);
+  return result;
+}
+
+double measure_spearman(const std::vector<ConfigPoint>& points,
+                        Measure measure) {
+  ANCHOR_CHECK_GE(points.size(), 2u);
+  std::vector<double> m, di;
+  m.reserve(points.size());
+  di.reserve(points.size());
+  for (const auto& p : points) {
+    m.push_back(measure_of(p, measure));
+    di.push_back(p.downstream_instability_pct);
+  }
+  return la::spearman(m, di);
+}
+
+}  // namespace anchor::core

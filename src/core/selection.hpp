@@ -1,0 +1,79 @@
+// Dimension–precision selection (paper §4.2, §5.2).
+//
+// Given a set of (dimension, precision) configurations — each with its
+// measured downstream instability and its embedding-distance-measure values —
+// these routines evaluate how well a measure *selects* stable configurations
+// without training downstream models:
+//   • pairwise setting: among two configurations, pick the more stable one;
+//   • memory-budget setting: among all configurations of equal bits/word,
+//     pick the most stable one, and report the absolute gap to the oracle.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/measures.hpp"
+
+namespace anchor::core {
+
+/// One (dimension, precision) configuration of an embedding pair, with its
+/// observed downstream instability and its measure values (all oriented so
+/// larger = predicted-more-unstable).
+struct ConfigPoint {
+  std::size_t dim = 0;
+  int bits = 32;
+  double downstream_instability_pct = 0.0;
+  std::map<Measure, double> measures;
+
+  std::size_t memory_bits() const {
+    return dim * static_cast<std::size_t>(bits);
+  }
+};
+
+/// Fraction of unordered config pairs where `measure` selects the config with
+/// strictly higher downstream instability (Table 2's error rate). Equal-DI
+/// pairs can never be wrong; an exact measure tie on unequal DIs scores 0.5.
+double pairwise_selection_error(const std::vector<ConfigPoint>& points,
+                                Measure measure);
+
+/// Worst-case version (Table 10): the largest instability increase (absolute
+/// percentage points) a wrong pairwise selection by `measure` can cause.
+double pairwise_worst_case_error(const std::vector<ConfigPoint>& points,
+                                 Measure measure);
+
+/// Selection criterion for the memory-budget setting: one of the embedding
+/// distance measures, or the paper's two naive baselines.
+struct Criterion {
+  enum class Kind { kMeasure, kHighPrecision, kLowPrecision };
+  Kind kind = Kind::kMeasure;
+  Measure measure = Measure::kEigenspaceInstability;
+
+  static Criterion of(Measure m) { return {Kind::kMeasure, m}; }
+  static Criterion high_precision() {
+    return {Kind::kHighPrecision, Measure::kEigenspaceInstability};
+  }
+  static Criterion low_precision() {
+    return {Kind::kLowPrecision, Measure::kEigenspaceInstability};
+  }
+
+  std::string name() const;
+};
+
+struct BudgetSelectionResult {
+  double mean_abs_gap_pct = 0.0;   // Table 3: avg |DI(selected) − DI(oracle)|
+  double worst_abs_gap_pct = 0.0;  // Table 11: max over budgets
+  std::size_t num_budgets = 0;     // budgets with ≥ 2 candidate configs
+};
+
+/// Memory-budget selection (Table 3 / Table 11): for every bits/word value
+/// shared by at least two configurations, the criterion picks one config and
+/// is charged the absolute instability gap to the oracle (most stable) pick.
+BudgetSelectionResult budget_selection(const std::vector<ConfigPoint>& points,
+                                       const Criterion& criterion);
+
+/// Spearman correlation between a measure and downstream instability over
+/// the configuration grid (Table 1).
+double measure_spearman(const std::vector<ConfigPoint>& points,
+                        Measure measure);
+
+}  // namespace anchor::core

@@ -1,0 +1,84 @@
+#include "core/theory.hpp"
+
+#include <cmath>
+
+#include "la/svd.hpp"
+#include "util/rng.hpp"
+
+namespace anchor::core {
+
+std::vector<double> linear_model_predictions(const la::Matrix& u,
+                                             const std::vector<double>& y) {
+  ANCHOR_CHECK_EQ(u.rows(), y.size());
+  // z = Uᵀy (d), then ŷ = U·z (n).
+  std::vector<double> z(u.cols(), 0.0);
+  for (std::size_t i = 0; i < u.rows(); ++i) {
+    const double* row = u.row(i);
+    for (std::size_t j = 0; j < u.cols(); ++j) z[j] += row[j] * y[i];
+  }
+  std::vector<double> pred(u.rows(), 0.0);
+  for (std::size_t i = 0; i < u.rows(); ++i) {
+    const double* row = u.row(i);
+    double acc = 0.0;
+    for (std::size_t j = 0; j < u.cols(); ++j) acc += row[j] * z[j];
+    pred[i] = acc;
+  }
+  return pred;
+}
+
+double disagreement_sample(const la::Matrix& u, const la::Matrix& u_tilde,
+                           const std::vector<double>& y) {
+  const std::vector<double> pa = linear_model_predictions(u, y);
+  const std::vector<double> pb = linear_model_predictions(u_tilde, y);
+  double num = 0.0, denom = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    num += (pa[i] - pb[i]) * (pa[i] - pb[i]);
+    denom += y[i] * y[i];
+  }
+  ANCHOR_CHECK_GT(denom, 0.0);
+  return num / denom;
+}
+
+double expected_disagreement_mc(const la::Matrix& u, const la::Matrix& u_tilde,
+                                const la::Matrix& sigma_factor,
+                                std::size_t num_samples, std::uint64_t seed) {
+  ANCHOR_CHECK_EQ(u.rows(), sigma_factor.rows());
+  ANCHOR_CHECK_GT(num_samples, 0u);
+  Rng rng(seed);
+  std::vector<double> z(sigma_factor.cols());
+  double num = 0.0, denom = 0.0;
+  for (std::size_t s = 0; s < num_samples; ++s) {
+    for (auto& x : z) x = rng.normal();
+    const std::vector<double> y = la::matvec(sigma_factor, z);
+    const std::vector<double> pa = linear_model_predictions(u, y);
+    const std::vector<double> pb = linear_model_predictions(u_tilde, y);
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      num += (pa[i] - pb[i]) * (pa[i] - pb[i]);
+      denom += y[i] * y[i];
+    }
+  }
+  ANCHOR_CHECK_GT(denom, 0.0);
+  return num / denom;
+}
+
+la::Matrix sigma_factor(const la::Matrix& e, const la::Matrix& e_tilde,
+                        double alpha) {
+  ANCHOR_CHECK_EQ(e.rows(), e_tilde.rows());
+  const la::SvdResult se = la::svd(e);
+  const la::SvdResult st = la::svd(e_tilde);
+  const std::size_t n = e.rows();
+  la::Matrix f(n, se.u.cols() + st.u.cols());
+  for (std::size_t j = 0; j < se.u.cols(); ++j) {
+    const double scale = std::pow(std::max(se.singular_values[j], 0.0), alpha);
+    for (std::size_t i = 0; i < n; ++i) f(i, j) = se.u(i, j) * scale;
+  }
+  for (std::size_t j = 0; j < st.u.cols(); ++j) {
+    const double scale = std::pow(std::max(st.singular_values[j], 0.0), alpha);
+    for (std::size_t i = 0; i < n; ++i) {
+      f(i, se.u.cols() + j) = st.u(i, j) * scale;
+    }
+  }
+  return f;
+}
+
+}  // namespace anchor::core

@@ -1,0 +1,42 @@
+// Proposition 1 machinery: the closed-form link between the eigenspace
+// instability measure and the expected prediction disagreement of linear
+// regression models.
+//
+// For full-rank X, the OLS model's training-set predictions are the
+// projection U·Uᵀ·y onto X's left singular space (footnote 7). The expected
+// squared disagreement between the X- and X̃-models over a random label
+// vector y with covariance Σ, normalized by E‖y‖², equals EI_Σ(X, X̃).
+// These helpers compute both sides so tests and benches can verify the
+// identity directly.
+#pragma once
+
+#include <cstdint>
+
+#include "la/matrix.hpp"
+
+namespace anchor::core {
+
+/// Training-set predictions of the OLS model: U·Uᵀ·y, computed as
+/// U·(Uᵀ·y) in O(n·d).
+std::vector<double> linear_model_predictions(const la::Matrix& u,
+                                             const std::vector<double>& y);
+
+/// One Monte-Carlo sample of the normalized squared disagreement
+/// ‖UUᵀy − ŨŨᵀy‖² / ‖y‖² for a given label vector.
+double disagreement_sample(const la::Matrix& u, const la::Matrix& u_tilde,
+                           const std::vector<double>& y);
+
+/// Monte-Carlo estimate of E[‖UUᵀy − ŨŨᵀy‖²] / E[‖y‖²] with y ~ N(0, Σ),
+/// Σ given via its factor F (Σ = F·Fᵀ): y = F·z, z ~ N(0, I). Used by tests
+/// to validate Proposition 1 against eigenspace_instability.
+double expected_disagreement_mc(const la::Matrix& u, const la::Matrix& u_tilde,
+                                const la::Matrix& sigma_factor,
+                                std::size_t num_samples, std::uint64_t seed);
+
+/// Σ-factor F with Σ = F·Fᵀ = (EEᵀ)^α + (ẼẼᵀ)^α... built as the horizontal
+/// concatenation [U_E·R^α | U_Ẽ·R̃^α] (n × (d_E + d_Ẽ)) so sampling y = F·z
+/// never materializes the n×n Σ.
+la::Matrix sigma_factor(const la::Matrix& e, const la::Matrix& e_tilde,
+                        double alpha);
+
+}  // namespace anchor::core

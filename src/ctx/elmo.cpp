@@ -1,0 +1,333 @@
+#include "ctx/elmo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace anchor::ctx {
+
+namespace {
+
+float sigmoidf(float x) {
+  if (x > 30.0f) return 1.0f;
+  if (x < -30.0f) return 0.0f;
+  return 1.0f / (1.0f + std::exp(-x));
+}
+
+/// log-softmax denominator with the max trick; returns logsumexp(logits).
+double logsumexp(const float* logits, std::size_t n) {
+  float mx = logits[0];
+  for (std::size_t i = 1; i < n; ++i) mx = std::max(mx, logits[i]);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += std::exp(static_cast<double>(logits[i]) - mx);
+  }
+  return static_cast<double>(mx) + std::log(acc);
+}
+
+}  // namespace
+
+/// Per-timestep activations of one direction, kept for BPTT.
+struct TinyElmo::DirectionCache {
+  // T × hidden each; gates are post-nonlinearity.
+  std::vector<float> i, f, o, g, c, h, tanh_c;
+};
+
+TinyElmo::TinyElmo(std::size_t vocab_size, const TinyElmoConfig& config)
+    : vocab_(vocab_size), config_(config) {
+  ANCHOR_CHECK_GT(vocab_size, 1u);
+  ANCHOR_CHECK_GT(config.embed_dim, 0u);
+  ANCHOR_CHECK_GT(config.hidden, 0u);
+  params_.assign(dir_offset(2), 0.0f);
+
+  Rng rng(config.seed);
+  const auto init_block = [&](std::size_t offset, std::size_t count,
+                              double scale) {
+    for (std::size_t i = 0; i < count; ++i) {
+      params_[offset + i] = static_cast<float>(rng.normal(0.0, scale));
+    }
+  };
+  const std::size_t e = config_.embed_dim;
+  const std::size_t h = config_.hidden;
+  init_block(embed_offset(), vocab_ * e, 1.0 / std::sqrt(e));
+  for (std::size_t dir = 0; dir < 2; ++dir) {
+    std::size_t off = dir_offset(dir);
+    init_block(off, 4 * h * e, 1.0 / std::sqrt(e));   // W_x
+    off += 4 * h * e;
+    init_block(off, 4 * h * h, 1.0 / std::sqrt(h));   // W_h
+    off += 4 * h * h;
+    // b stays zero (forget-gate bias of +1 below helps early training).
+    for (std::size_t j = 0; j < h; ++j) params_[off + h + j] = 1.0f;
+    off += 4 * h;
+    init_block(off, vocab_ * h, 1.0 / std::sqrt(h));  // U
+    // c stays zero.
+  }
+}
+
+std::size_t TinyElmo::dir_size() const {
+  const std::size_t e = config_.embed_dim;
+  const std::size_t h = config_.hidden;
+  return 4 * h * e + 4 * h * h + 4 * h + vocab_ * h + vocab_;
+}
+
+std::size_t TinyElmo::dir_offset(std::size_t dir) const {
+  return vocab_ * config_.embed_dim + dir * dir_size();
+}
+
+std::vector<float> TinyElmo::run_direction(
+    const std::vector<std::int32_t>& tokens, std::size_t dir,
+    DirectionCache* cache) const {
+  const std::size_t e = config_.embed_dim;
+  const std::size_t h = config_.hidden;
+  const std::size_t t_len = tokens.size();
+  const float* emb = params_.data() + embed_offset();
+  const float* wx = params_.data() + dir_offset(dir);
+  const float* wh = wx + 4 * h * e;
+  const float* b = wh + 4 * h * h;
+
+  std::vector<float> hs(t_len * h, 0.0f);
+  if (cache != nullptr) {
+    for (auto* v : {&cache->i, &cache->f, &cache->o, &cache->g, &cache->c,
+                    &cache->h, &cache->tanh_c}) {
+      v->assign(t_len * h, 0.0f);
+    }
+  }
+
+  std::vector<float> c_prev(h, 0.0f), h_prev(h, 0.0f), z(4 * h);
+  for (std::size_t t = 0; t < t_len; ++t) {
+    const float* x = emb + static_cast<std::size_t>(tokens[t]) * e;
+    for (std::size_t j = 0; j < 4 * h; ++j) {
+      float acc = b[j];
+      const float* wxr = wx + j * e;
+      for (std::size_t k = 0; k < e; ++k) acc += wxr[k] * x[k];
+      const float* whr = wh + j * h;
+      for (std::size_t k = 0; k < h; ++k) acc += whr[k] * h_prev[k];
+      z[j] = acc;
+    }
+    for (std::size_t j = 0; j < h; ++j) {
+      const float ig = sigmoidf(z[j]);
+      const float fg = sigmoidf(z[h + j]);
+      const float og = sigmoidf(z[2 * h + j]);
+      const float gg = std::tanh(z[3 * h + j]);
+      const float cc = fg * c_prev[j] + ig * gg;
+      const float tc = std::tanh(cc);
+      const float hh = og * tc;
+      if (cache != nullptr) {
+        cache->i[t * h + j] = ig;
+        cache->f[t * h + j] = fg;
+        cache->o[t * h + j] = og;
+        cache->g[t * h + j] = gg;
+        cache->c[t * h + j] = cc;
+        cache->tanh_c[t * h + j] = tc;
+        cache->h[t * h + j] = hh;
+      }
+      c_prev[j] = cc;
+      h_prev[j] = hh;
+      hs[t * h + j] = hh;
+    }
+  }
+  return hs;
+}
+
+double TinyElmo::direction_loss(const std::vector<std::int32_t>& tokens,
+                                std::size_t dir,
+                                std::vector<float>* grad) const {
+  const std::size_t e = config_.embed_dim;
+  const std::size_t h = config_.hidden;
+  const std::size_t t_len = tokens.size();
+  if (t_len < 2) return 0.0;
+  const std::size_t num_preds = t_len - 1;
+
+  DirectionCache cache;
+  const std::vector<float> hs = run_direction(tokens, dir, &cache);
+  const float* u = params_.data() + dir_offset(dir) + 4 * h * e + 4 * h * h +
+                   4 * h;
+  const float* c_bias = u + vocab_ * h;
+
+  // Softmax losses; step t (t < T−1) predicts tokens[t+1] from h_t.
+  double loss = 0.0;
+  std::vector<float> logits(vocab_);
+  // dh from the output heads, per step (filled in the same pass).
+  std::vector<float> dh_out(t_len * h, 0.0f);
+  float* du = nullptr;
+  float* dc_bias = nullptr;
+  if (grad != nullptr) {
+    du = grad->data() + dir_offset(dir) + 4 * h * e + 4 * h * h + 4 * h;
+    dc_bias = du + vocab_ * h;
+  }
+  const double inv_preds = 1.0 / static_cast<double>(num_preds);
+
+  for (std::size_t t = 0; t + 1 < t_len; ++t) {
+    const float* ht = hs.data() + t * h;
+    for (std::size_t w = 0; w < vocab_; ++w) {
+      float acc = c_bias[w];
+      const float* ur = u + w * h;
+      for (std::size_t k = 0; k < h; ++k) acc += ur[k] * ht[k];
+      logits[w] = acc;
+    }
+    const std::size_t target = static_cast<std::size_t>(tokens[t + 1]);
+    const double lse = logsumexp(logits.data(), vocab_);
+    loss += (lse - logits[target]) * inv_preds;
+
+    if (grad != nullptr) {
+      for (std::size_t w = 0; w < vocab_; ++w) {
+        const float p = static_cast<float>(
+            std::exp(static_cast<double>(logits[w]) - lse) * inv_preds);
+        const float delta = p - (w == target ? static_cast<float>(inv_preds)
+                                             : 0.0f);
+        dc_bias[w] += delta;
+        float* dur = du + w * h;
+        float* dh = dh_out.data() + t * h;
+        const float* ur = u + w * h;
+        for (std::size_t k = 0; k < h; ++k) {
+          dur[k] += delta * ht[k];
+          dh[k] += delta * ur[k];
+        }
+      }
+    }
+  }
+  if (grad == nullptr) return loss;
+
+  // BPTT through the LSTM cells.
+  const float* wx = params_.data() + dir_offset(dir);
+  const float* wh = wx + 4 * h * e;
+  float* dwx = grad->data() + dir_offset(dir);
+  float* dwh = dwx + 4 * h * e;
+  float* db = dwh + 4 * h * h;
+  float* demb = grad->data() + embed_offset();
+  const float* emb = params_.data() + embed_offset();
+
+  std::vector<float> dh_next(h, 0.0f), dc_next(h, 0.0f), dz(4 * h);
+  for (std::size_t t = t_len; t-- > 0;) {
+    const float* x = emb + static_cast<std::size_t>(tokens[t]) * e;
+    for (std::size_t j = 0; j < h; ++j) {
+      const float dh = dh_out[t * h + j] + dh_next[j];
+      const float og = cache.o[t * h + j];
+      const float tc = cache.tanh_c[t * h + j];
+      const float ig = cache.i[t * h + j];
+      const float fg = cache.f[t * h + j];
+      const float gg = cache.g[t * h + j];
+      const float c_prev =
+          t > 0 ? cache.c[(t - 1) * h + j] : 0.0f;
+
+      const float d_o = dh * tc;
+      const float dc = dh * og * (1.0f - tc * tc) + dc_next[j];
+      const float d_i = dc * gg;
+      const float d_f = dc * c_prev;
+      const float d_g = dc * ig;
+      dc_next[j] = dc * fg;
+
+      dz[j] = d_i * ig * (1.0f - ig);
+      dz[h + j] = d_f * fg * (1.0f - fg);
+      dz[2 * h + j] = d_o * og * (1.0f - og);
+      dz[3 * h + j] = d_g * (1.0f - gg * gg);
+    }
+    // dh_{t−1} = W_hᵀ dz; parameter grads accumulate outer products.
+    std::fill(dh_next.begin(), dh_next.end(), 0.0f);
+    const float* h_prev_vec =
+        t > 0 ? cache.h.data() + (t - 1) * h : nullptr;
+    float* dx = demb + static_cast<std::size_t>(tokens[t]) * e;
+    for (std::size_t j = 0; j < 4 * h; ++j) {
+      const float dzj = dz[j];
+      if (dzj == 0.0f) continue;
+      db[j] += dzj;
+      float* dwxr = dwx + j * e;
+      for (std::size_t k = 0; k < e; ++k) {
+        dwxr[k] += dzj * x[k];
+        dx[k] += dz[j] * wx[j * e + k];
+      }
+      if (h_prev_vec != nullptr) {
+        float* dwhr = dwh + j * h;
+        const float* whr = wh + j * h;
+        for (std::size_t k = 0; k < h; ++k) {
+          dwhr[k] += dzj * h_prev_vec[k];
+          dh_next[k] += dzj * whr[k];
+        }
+      }
+    }
+  }
+  return loss;
+}
+
+double TinyElmo::lm_loss(const std::vector<std::int32_t>& sentence) const {
+  if (sentence.size() < 2) return 0.0;
+  std::vector<std::int32_t> reversed(sentence.rbegin(), sentence.rend());
+  return 0.5 * (direction_loss(sentence, 0, nullptr) +
+                direction_loss(reversed, 1, nullptr));
+}
+
+std::vector<float> TinyElmo::lm_gradient(
+    const std::vector<std::int32_t>& sentence) const {
+  std::vector<float> grad(params_.size(), 0.0f);
+  if (sentence.size() < 2) return grad;
+  std::vector<std::int32_t> reversed(sentence.rbegin(), sentence.rend());
+  direction_loss(sentence, 0, &grad);
+  direction_loss(reversed, 1, &grad);
+  for (float& g : grad) g *= 0.5f;
+  return grad;
+}
+
+void TinyElmo::pretrain(const text::Corpus& corpus) {
+  Rng rng(config_.seed ^ 0xe1a0e1a0ULL);
+  std::vector<std::size_t> order(corpus.sentences.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    Rng erng = rng.fork(epoch);
+    erng.shuffle(order);
+    for (const std::size_t idx : order) {
+      const auto& sentence = corpus.sentences[idx];
+      if (sentence.size() < 2) continue;
+      std::vector<float> grad = lm_gradient(sentence);
+      // Global-norm clip, as in the tagger.
+      double norm_sq = 0.0;
+      for (const float g : grad) norm_sq += static_cast<double>(g) * g;
+      const double norm = std::sqrt(norm_sq);
+      float scale = config_.learning_rate;
+      if (norm > config_.clip_norm) {
+        scale *= static_cast<float>(config_.clip_norm / norm);
+      }
+      for (std::size_t i = 0; i < params_.size(); ++i) {
+        params_[i] -= scale * grad[i];
+      }
+    }
+  }
+}
+
+std::vector<float> TinyElmo::encode(
+    const std::vector<std::int32_t>& sentence) const {
+  const std::size_t h = config_.hidden;
+  const std::size_t t_len = sentence.size();
+  std::vector<float> out(t_len * 2 * h, 0.0f);
+  if (t_len == 0) return out;
+  const std::vector<float> fwd = run_direction(sentence, 0, nullptr);
+  std::vector<std::int32_t> reversed(sentence.rbegin(), sentence.rend());
+  const std::vector<float> bwd = run_direction(reversed, 1, nullptr);
+  for (std::size_t t = 0; t < t_len; ++t) {
+    for (std::size_t j = 0; j < h; ++j) {
+      out[t * 2 * h + j] = fwd[t * h + j];
+      // Backward state for position t sits at reversed index T−1−t.
+      out[t * 2 * h + h + j] = bwd[(t_len - 1 - t) * h + j];
+    }
+  }
+  return out;
+}
+
+std::vector<float> TinyElmo::features(
+    const std::vector<std::int32_t>& sentence) const {
+  const std::size_t fd = feature_dim();
+  std::vector<float> pooled(fd, 0.0f);
+  if (sentence.empty()) return pooled;
+  const std::vector<float> states = encode(sentence);
+  const std::size_t t_len = sentence.size();
+  for (std::size_t t = 0; t < t_len; ++t) {
+    for (std::size_t j = 0; j < fd; ++j) pooled[j] += states[t * fd + j];
+  }
+  const float inv = 1.0f / static_cast<float>(t_len);
+  for (float& v : pooled) v *= inv;
+  return pooled;
+}
+
+}  // namespace anchor::ctx

@@ -1,0 +1,82 @@
+// TinyElmo: a bidirectional LSTM language model used as a second contextual
+// feature extractor (Peters et al., 2018 — the other contextual family the
+// paper's §6.2 cites alongside transformers). A forward LSTM is trained to
+// predict the next token and a backward LSTM the previous token, over a
+// shared token-embedding table; contextual features are the mean-pooled
+// concatenation [h_fwd; h_bwd] of the two directions' hidden states.
+//
+// Like TinyBert, every gradient is hand-derived (full BPTT through the LSTM
+// cells and the softmax heads) and validated against finite differences in
+// the tests. The hidden size is the memory axis of the Figure-11-style
+// extension bench; output features are quantized the same way BERT-analog
+// features are.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "text/corpus.hpp"
+
+namespace anchor::ctx {
+
+struct TinyElmoConfig {
+  std::size_t embed_dim = 16;  // token embedding size (char-CNN stand-in)
+  std::size_t hidden = 16;     // per-direction LSTM size; features are 2×this
+  float learning_rate = 0.5f;  // plain SGD with gradient clipping
+  float clip_norm = 5.0f;
+  std::size_t epochs = 1;
+  std::uint64_t seed = 1;
+};
+
+class TinyElmo {
+ public:
+  TinyElmo(std::size_t vocab_size, const TinyElmoConfig& config);
+
+  /// Bidirectional-LM pretraining over the corpus.
+  void pretrain(const text::Corpus& corpus);
+
+  /// Mean-pooled [h_fwd; h_bwd] features (2·hidden) for a sentence.
+  std::vector<float> features(const std::vector<std::int32_t>& sentence) const;
+
+  /// Per-token contextual states (T × 2·hidden, row-major).
+  std::vector<float> encode(const std::vector<std::int32_t>& sentence) const;
+
+  /// Mean bidirectional-LM cross-entropy (nats/prediction) on a sentence;
+  /// sentences of length < 2 contribute no predictions and return 0.
+  double lm_loss(const std::vector<std::int32_t>& sentence) const;
+
+  /// Full parameter gradient of lm_loss (exposed for the tests).
+  std::vector<float> lm_gradient(
+      const std::vector<std::int32_t>& sentence) const;
+
+  std::vector<float>& parameters() { return params_; }
+  const std::vector<float>& parameters() const { return params_; }
+  const TinyElmoConfig& config() const { return config_; }
+  std::size_t vocab_size() const { return vocab_; }
+  std::size_t feature_dim() const { return 2 * config_.hidden; }
+
+ private:
+  struct DirectionCache;
+
+  /// Runs one direction (tokens already ordered for that direction); fills
+  /// the cache when non-null and returns per-step hidden states (T×hidden).
+  std::vector<float> run_direction(const std::vector<std::int32_t>& tokens,
+                                   std::size_t dir,
+                                   DirectionCache* cache) const;
+
+  /// LM loss + (optionally) gradient for one direction over ordered tokens.
+  double direction_loss(const std::vector<std::int32_t>& tokens,
+                        std::size_t dir, std::vector<float>* grad) const;
+
+  // Parameter layout offsets: shared embedding, then per-direction
+  // {W_x (4h×e), W_h (4h×h), b (4h), U (vocab×h), c (vocab)}.
+  std::size_t embed_offset() const { return 0; }
+  std::size_t dir_offset(std::size_t dir) const;
+  std::size_t dir_size() const;
+
+  std::size_t vocab_ = 0;
+  TinyElmoConfig config_;
+  std::vector<float> params_;
+};
+
+}  // namespace anchor::ctx

@@ -1,0 +1,602 @@
+#include "ctx/tiny_bert.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/optimizer.hpp"
+#include "util/rng.hpp"
+
+namespace anchor::ctx {
+
+namespace {
+
+constexpr float kLnEps = 1e-5f;
+constexpr float kGeluC = 0.7978845608028654f;  // √(2/π)
+constexpr float kGeluA = 0.044715f;
+
+float gelu(float x) {
+  const float u = kGeluC * (x + kGeluA * x * x * x);
+  return 0.5f * x * (1.0f + std::tanh(u));
+}
+
+float gelu_grad(float x) {
+  const float u = kGeluC * (x + kGeluA * x * x * x);
+  const float t = std::tanh(u);
+  const float du = kGeluC * (1.0f + 3.0f * kGeluA * x * x);
+  return 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * du;
+}
+
+/// y[t] = W · x[t] + b, W is (out×in) row-major; x is T×in, y is T×out.
+void linear_forward(const float* x, std::size_t t_count, std::size_t in,
+                    const float* w, const float* b, std::size_t out,
+                    float* y) {
+  for (std::size_t t = 0; t < t_count; ++t) {
+    const float* xt = x + t * in;
+    float* yt = y + t * out;
+    for (std::size_t r = 0; r < out; ++r) {
+      const float* wrow = w + r * in;
+      float acc = b[r];
+      for (std::size_t j = 0; j < in; ++j) acc += wrow[j] * xt[j];
+      yt[r] = acc;
+    }
+  }
+}
+
+/// Accumulates dW, db, and dx for the linear layer above.
+void linear_backward(const float* x, std::size_t t_count, std::size_t in,
+                     const float* w, std::size_t out, const float* dy,
+                     float* dw, float* db, float* dx) {
+  for (std::size_t t = 0; t < t_count; ++t) {
+    const float* xt = x + t * in;
+    const float* dyt = dy + t * out;
+    float* dxt = dx != nullptr ? dx + t * in : nullptr;
+    for (std::size_t r = 0; r < out; ++r) {
+      const float g = dyt[r];
+      if (g == 0.0f) continue;
+      float* dwrow = dw + r * in;
+      const float* wrow = w + r * in;
+      for (std::size_t j = 0; j < in; ++j) {
+        dwrow[j] += g * xt[j];
+        if (dxt != nullptr) dxt[j] += g * wrow[j];
+      }
+      db[r] += g;
+    }
+  }
+}
+
+/// Row-wise LayerNorm with affine parameters; caches normalized rows and
+/// inverse stds for the backward pass.
+void layernorm_forward(const float* x, std::size_t t_count, std::size_t d,
+                       const float* gamma, const float* beta, float* y,
+                       float* xhat, float* inv_std) {
+  for (std::size_t t = 0; t < t_count; ++t) {
+    const float* xt = x + t * d;
+    double mean = 0.0;
+    for (std::size_t j = 0; j < d; ++j) mean += xt[j];
+    mean /= static_cast<double>(d);
+    double var = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      const double diff = xt[j] - mean;
+      var += diff * diff;
+    }
+    var /= static_cast<double>(d);
+    const float istd = 1.0f / std::sqrt(static_cast<float>(var) + kLnEps);
+    inv_std[t] = istd;
+    for (std::size_t j = 0; j < d; ++j) {
+      const float xh = (xt[j] - static_cast<float>(mean)) * istd;
+      xhat[t * d + j] = xh;
+      y[t * d + j] = gamma[j] * xh + beta[j];
+    }
+  }
+}
+
+void layernorm_backward(std::size_t t_count, std::size_t d, const float* gamma,
+                        const float* xhat, const float* inv_std,
+                        const float* dy, float* dgamma, float* dbeta,
+                        float* dx) {
+  for (std::size_t t = 0; t < t_count; ++t) {
+    const float* dyt = dy + t * d;
+    const float* xht = xhat + t * d;
+    float* dxt = dx + t * d;
+    double sum_dxhat = 0.0, sum_dxhat_xhat = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      const float dxh = dyt[j] * gamma[j];
+      sum_dxhat += dxh;
+      sum_dxhat_xhat += static_cast<double>(dxh) * xht[j];
+      dgamma[j] += dyt[j] * xht[j];
+      dbeta[j] += dyt[j];
+    }
+    const float mean_dxhat = static_cast<float>(sum_dxhat) / d;
+    const float mean_dxhat_xhat = static_cast<float>(sum_dxhat_xhat) / d;
+    for (std::size_t j = 0; j < d; ++j) {
+      const float dxh = dyt[j] * gamma[j];
+      dxt[j] = inv_std[t] * (dxh - mean_dxhat - xht[j] * mean_dxhat_xhat);
+    }
+  }
+}
+
+}  // namespace
+
+/// Per-layer activations cached by the forward pass for BPTT.
+struct TinyBert::Cache {
+  struct Layer {
+    std::vector<float> x;         // layer input (T×d)
+    std::vector<float> q, k, v;   // projections (T×d)
+    std::vector<float> attn;      // softmax probs (heads×T×T)
+    std::vector<float> ctx;       // concatenated head outputs (T×d)
+    std::vector<float> attnproj;  // ctx·Woᵀ+bo (T×d)
+    std::vector<float> res1;      // x + attnproj
+    std::vector<float> xhat1, y1; // LN1
+    std::vector<float> inv_std1;  // (T)
+    std::vector<float> h1;        // FFN pre-activation (T×f)
+    std::vector<float> g;         // GELU(h1)
+    std::vector<float> ffnout;    // (T×d)
+    std::vector<float> res2;      // y1 + ffnout
+    std::vector<float> xhat2, y2; // LN2 (layer output)
+    std::vector<float> inv_std2;
+  };
+  std::vector<float> emb;  // embedded input (T×d)
+  std::vector<Layer> layers;
+};
+
+std::size_t TinyBert::pos_offset() const {
+  return (vocab_ + 1) * config_.dim;  // +1 for the [MASK] row
+}
+
+std::size_t TinyBert::layer_size() const {
+  const std::size_t d = config_.dim;
+  const std::size_t f = config_.ffn_mult * d;
+  return 4 * (d * d + d)   // Wq/Wk/Wv/Wo + biases
+         + 2 * d           // LN1 γ, β
+         + f * d + f       // W1, b1
+         + d * f + d       // W2, b2
+         + 2 * d;          // LN2 γ, β
+}
+
+std::size_t TinyBert::layer_offset(std::size_t layer) const {
+  return pos_offset() + config_.max_len * config_.dim + layer * layer_size();
+}
+
+std::size_t TinyBert::head_offset() const {
+  return layer_offset(config_.layers);
+}
+
+TinyBert::TinyBert(std::size_t vocab_size, const TinyBertConfig& config)
+    : vocab_(vocab_size), config_(config) {
+  ANCHOR_CHECK_GT(vocab_size, 0u);
+  ANCHOR_CHECK_EQ(config.dim % config.heads, 0u);
+  const std::size_t d = config_.dim;
+  const std::size_t total = head_offset() + vocab_ * d + vocab_;
+  params_.assign(total, 0.0f);
+
+  Rng rng(config.seed);
+  const double emb_scale = 0.02;  // BERT's truncated-normal scale
+  for (std::size_t i = 0; i < pos_offset() + config_.max_len * d; ++i) {
+    params_[i] = static_cast<float>(rng.normal(0.0, emb_scale));
+  }
+  for (std::size_t layer = 0; layer < config_.layers; ++layer) {
+    float* p = params_.data() + layer_offset(layer);
+    const std::size_t f = config_.ffn_mult * d;
+    const double proj_scale = 1.0 / std::sqrt(static_cast<double>(d));
+    // Projections.
+    for (std::size_t i = 0; i < 4 * (d * d + d); ++i) {
+      p[i] = (i % (d * d + d)) < d * d
+                 ? static_cast<float>(rng.normal(0.0, proj_scale))
+                 : 0.0f;
+    }
+    std::size_t off = 4 * (d * d + d);
+    // LN1: γ=1, β=0.
+    for (std::size_t j = 0; j < d; ++j) p[off + j] = 1.0f;
+    off += 2 * d;
+    for (std::size_t i = 0; i < f * d; ++i) {
+      p[off + i] = static_cast<float>(rng.normal(0.0, proj_scale));
+    }
+    off += f * d + f;
+    const double ffn_scale = 1.0 / std::sqrt(static_cast<double>(f));
+    for (std::size_t i = 0; i < d * f; ++i) {
+      p[off + i] = static_cast<float>(rng.normal(0.0, ffn_scale));
+    }
+    off += d * f + d;
+    for (std::size_t j = 0; j < d; ++j) p[off + j] = 1.0f;
+  }
+  {
+    float* head = params_.data() + head_offset();
+    const double scale = 1.0 / std::sqrt(static_cast<double>(d));
+    for (std::size_t i = 0; i < vocab_ * d; ++i) {
+      head[i] = static_cast<float>(rng.normal(0.0, scale));
+    }
+  }
+}
+
+std::vector<float> TinyBert::forward(const std::vector<std::int32_t>& sentence,
+                                     const std::vector<std::size_t>& masked,
+                                     Cache* cache) const {
+  ANCHOR_CHECK(!sentence.empty());
+  const std::size_t t_count = std::min(sentence.size(), config_.max_len);
+  const std::size_t d = config_.dim;
+  const std::size_t f = config_.ffn_mult * d;
+  const std::size_t heads = config_.heads;
+  const std::size_t dh = d / heads;
+  const float inv_sqrt_dh = 1.0f / std::sqrt(static_cast<float>(dh));
+
+  Cache local;
+  Cache& c = cache != nullptr ? *cache : local;
+  c.layers.resize(config_.layers);
+
+  // Embedding: token (or [MASK]) + position.
+  c.emb.assign(t_count * d, 0.0f);
+  std::vector<std::uint8_t> is_masked(t_count, 0);
+  for (const std::size_t m : masked) {
+    if (m < t_count) is_masked[m] = 1;
+  }
+  const float* tok = params_.data() + tok_offset();
+  const float* pos = params_.data() + pos_offset();
+  for (std::size_t t = 0; t < t_count; ++t) {
+    const std::size_t row =
+        is_masked[t] ? mask_row() : static_cast<std::size_t>(sentence[t]);
+    const float* trow = tok + row * d;
+    const float* prow = pos + t * d;
+    for (std::size_t j = 0; j < d; ++j) c.emb[t * d + j] = trow[j] + prow[j];
+  }
+
+  std::vector<float> x = c.emb;
+  for (std::size_t layer = 0; layer < config_.layers; ++layer) {
+    auto& lc = c.layers[layer];
+    const float* p = params_.data() + layer_offset(layer);
+    const float* wq = p;
+    const float* bq = wq + d * d;
+    const float* wk = bq + d;
+    const float* bk = wk + d * d;
+    const float* wv = bk + d;
+    const float* bv = wv + d * d;
+    const float* wo = bv + d;
+    const float* bo = wo + d * d;
+    const float* ln1g = bo + d;
+    const float* ln1b = ln1g + d;
+    const float* w1 = ln1b + d;
+    const float* b1 = w1 + f * d;
+    const float* w2 = b1 + f;
+    const float* b2 = w2 + d * f;
+    const float* ln2g = b2 + d;
+    const float* ln2b = ln2g + d;
+
+    lc.x = x;
+    lc.q.assign(t_count * d, 0.0f);
+    lc.k.assign(t_count * d, 0.0f);
+    lc.v.assign(t_count * d, 0.0f);
+    linear_forward(lc.x.data(), t_count, d, wq, bq, d, lc.q.data());
+    linear_forward(lc.x.data(), t_count, d, wk, bk, d, lc.k.data());
+    linear_forward(lc.x.data(), t_count, d, wv, bv, d, lc.v.data());
+
+    // Scaled dot-product attention per head.
+    lc.attn.assign(heads * t_count * t_count, 0.0f);
+    lc.ctx.assign(t_count * d, 0.0f);
+    std::vector<float> row(t_count);
+    for (std::size_t hh = 0; hh < heads; ++hh) {
+      const std::size_t col0 = hh * dh;
+      float* a = lc.attn.data() + hh * t_count * t_count;
+      for (std::size_t t1 = 0; t1 < t_count; ++t1) {
+        const float* q1 = lc.q.data() + t1 * d + col0;
+        float mx = -1e30f;
+        for (std::size_t t2 = 0; t2 < t_count; ++t2) {
+          const float* k2 = lc.k.data() + t2 * d + col0;
+          float dot = 0.0f;
+          for (std::size_t j = 0; j < dh; ++j) dot += q1[j] * k2[j];
+          row[t2] = dot * inv_sqrt_dh;
+          mx = std::max(mx, row[t2]);
+        }
+        float sum = 0.0f;
+        for (std::size_t t2 = 0; t2 < t_count; ++t2) {
+          row[t2] = std::exp(row[t2] - mx);
+          sum += row[t2];
+        }
+        float* ctx1 = lc.ctx.data() + t1 * d + col0;
+        for (std::size_t t2 = 0; t2 < t_count; ++t2) {
+          const float prob = row[t2] / sum;
+          a[t1 * t_count + t2] = prob;
+          const float* v2 = lc.v.data() + t2 * d + col0;
+          for (std::size_t j = 0; j < dh; ++j) ctx1[j] += prob * v2[j];
+        }
+      }
+    }
+
+    lc.attnproj.assign(t_count * d, 0.0f);
+    linear_forward(lc.ctx.data(), t_count, d, wo, bo, d, lc.attnproj.data());
+    lc.res1.resize(t_count * d);
+    for (std::size_t i = 0; i < lc.res1.size(); ++i) {
+      lc.res1[i] = lc.x[i] + lc.attnproj[i];
+    }
+    lc.xhat1.assign(t_count * d, 0.0f);
+    lc.y1.assign(t_count * d, 0.0f);
+    lc.inv_std1.assign(t_count, 0.0f);
+    layernorm_forward(lc.res1.data(), t_count, d, ln1g, ln1b, lc.y1.data(),
+                      lc.xhat1.data(), lc.inv_std1.data());
+
+    lc.h1.assign(t_count * f, 0.0f);
+    linear_forward(lc.y1.data(), t_count, d, w1, b1, f, lc.h1.data());
+    lc.g.resize(t_count * f);
+    for (std::size_t i = 0; i < lc.g.size(); ++i) lc.g[i] = gelu(lc.h1[i]);
+    lc.ffnout.assign(t_count * d, 0.0f);
+    linear_forward(lc.g.data(), t_count, f, w2, b2, d, lc.ffnout.data());
+    lc.res2.resize(t_count * d);
+    for (std::size_t i = 0; i < lc.res2.size(); ++i) {
+      lc.res2[i] = lc.y1[i] + lc.ffnout[i];
+    }
+    lc.xhat2.assign(t_count * d, 0.0f);
+    lc.y2.assign(t_count * d, 0.0f);
+    lc.inv_std2.assign(t_count, 0.0f);
+    layernorm_forward(lc.res2.data(), t_count, d, ln2g, ln2b, lc.y2.data(),
+                      lc.xhat2.data(), lc.inv_std2.data());
+    x = lc.y2;
+  }
+  return x;
+}
+
+std::vector<float> TinyBert::encode(
+    const std::vector<std::int32_t>& sentence) const {
+  return forward(sentence, {}, nullptr);
+}
+
+std::vector<float> TinyBert::features(
+    const std::vector<std::int32_t>& sentence) const {
+  const std::vector<float> h = encode(sentence);
+  const std::size_t d = config_.dim;
+  const std::size_t t_count = h.size() / d;
+  std::vector<float> pooled(d, 0.0f);
+  for (std::size_t t = 0; t < t_count; ++t) {
+    for (std::size_t j = 0; j < d; ++j) pooled[j] += h[t * d + j];
+  }
+  const float inv = 1.0f / static_cast<float>(t_count);
+  for (auto& v : pooled) v *= inv;
+  return pooled;
+}
+
+double TinyBert::mlm_loss(const std::vector<std::int32_t>& sentence,
+                          const std::vector<std::size_t>& masked) const {
+  ANCHOR_CHECK(!masked.empty());
+  const std::vector<float> h = forward(sentence, masked, nullptr);
+  const std::size_t d = config_.dim;
+  const std::size_t t_count = h.size() / d;
+  const float* wout = params_.data() + head_offset();
+  const float* bout = wout + vocab_ * d;
+
+  double total = 0.0;
+  std::size_t count = 0;
+  std::vector<float> logits(vocab_);
+  for (const std::size_t m : masked) {
+    if (m >= t_count) continue;
+    const float* ht = h.data() + m * d;
+    float mx = -1e30f;
+    for (std::size_t wv = 0; wv < vocab_; ++wv) {
+      const float* wrow = wout + wv * d;
+      float acc = bout[wv];
+      for (std::size_t j = 0; j < d; ++j) acc += wrow[j] * ht[j];
+      logits[wv] = acc;
+      mx = std::max(mx, acc);
+    }
+    float sum = 0.0f;
+    for (const float l : logits) sum += std::exp(l - mx);
+    const auto gold = static_cast<std::size_t>(sentence[m]);
+    total += std::log(sum) + mx - logits[gold];
+    ++count;
+  }
+  ANCHOR_CHECK_GT(count, 0u);
+  return total / static_cast<double>(count);
+}
+
+std::vector<float> TinyBert::mlm_gradient(
+    const std::vector<std::int32_t>& sentence,
+    const std::vector<std::size_t>& masked) const {
+  ANCHOR_CHECK(!masked.empty());
+  Cache cache;
+  const std::vector<float> h = forward(sentence, masked, &cache);
+  const std::size_t d = config_.dim;
+  const std::size_t f = config_.ffn_mult * d;
+  const std::size_t heads = config_.heads;
+  const std::size_t dh = d / heads;
+  const float inv_sqrt_dh = 1.0f / std::sqrt(static_cast<float>(dh));
+  const std::size_t t_count = h.size() / d;
+
+  std::vector<float> grads(params_.size(), 0.0f);
+
+  // --- MLM head ---
+  const float* wout = params_.data() + head_offset();
+  const float* bout = wout + vocab_ * d;
+  float* gwout = grads.data() + head_offset();
+  float* gbout = gwout + vocab_ * d;
+  std::vector<float> dh_top(t_count * d, 0.0f);
+  std::vector<float> logits(vocab_);
+  std::size_t live = 0;
+  for (const std::size_t m : masked) live += (m < t_count) ? 1 : 0;
+  ANCHOR_CHECK_GT(live, 0u);
+  const float inv_masked = 1.0f / static_cast<float>(live);
+
+  for (const std::size_t m : masked) {
+    if (m >= t_count) continue;
+    const float* ht = h.data() + m * d;
+    float mx = -1e30f;
+    for (std::size_t wv = 0; wv < vocab_; ++wv) {
+      const float* wrow = wout + wv * d;
+      float acc = bout[wv];
+      for (std::size_t j = 0; j < d; ++j) acc += wrow[j] * ht[j];
+      logits[wv] = acc;
+      mx = std::max(mx, acc);
+    }
+    float sum = 0.0f;
+    for (auto& l : logits) {
+      l = std::exp(l - mx);
+      sum += l;
+    }
+    const auto gold = static_cast<std::size_t>(sentence[m]);
+    float* dht = dh_top.data() + m * d;
+    for (std::size_t wv = 0; wv < vocab_; ++wv) {
+      const float delta =
+          (logits[wv] / sum - (wv == gold ? 1.0f : 0.0f)) * inv_masked;
+      if (delta == 0.0f) continue;
+      float* gwrow = gwout + wv * d;
+      const float* wrow = wout + wv * d;
+      for (std::size_t j = 0; j < d; ++j) {
+        gwrow[j] += delta * ht[j];
+        dht[j] += delta * wrow[j];
+      }
+      gbout[wv] += delta;
+    }
+  }
+
+  // --- Transformer layers, top down ---
+  std::vector<float> dy2 = dh_top;
+  for (std::size_t layer = config_.layers; layer-- > 0;) {
+    const auto& lc = cache.layers[layer];
+    const float* p = params_.data() + layer_offset(layer);
+    float* gp = grads.data() + layer_offset(layer);
+    const float* wq = p;
+    const float* wk = wq + d * d + d;
+    const float* wv_ = wk + d * d + d;
+    const float* wo = wv_ + d * d + d;
+    const float* ln1g = wo + d * d + d;
+    const float* w1 = ln1g + 2 * d;
+    const float* w2 = w1 + f * d + f;
+    const float* ln2g = w2 + d * f + d;
+    float* gwq = gp;
+    float* gbq = gwq + d * d;
+    float* gwk = gbq + d;
+    float* gbk = gwk + d * d;
+    float* gwv = gbk + d;
+    float* gbv = gwv + d * d;
+    float* gwo = gbv + d;
+    float* gbo = gwo + d * d;
+    float* gln1g = gbo + d;
+    float* gln1b = gln1g + d;
+    float* gw1 = gln1b + d;
+    float* gb1 = gw1 + f * d;
+    float* gw2 = gb1 + f;
+    float* gb2 = gw2 + d * f;
+    float* gln2g = gb2 + d;
+    float* gln2b = gln2g + d;
+
+    // LN2 backward: dy2 → dres2.
+    std::vector<float> dres2(t_count * d, 0.0f);
+    layernorm_backward(t_count, d, ln2g, lc.xhat2.data(), lc.inv_std2.data(),
+                       dy2.data(), gln2g, gln2b, dres2.data());
+
+    // res2 = y1 + ffnout.
+    std::vector<float> dy1 = dres2;           // residual branch
+    std::vector<float> dffnout = dres2;       // FFN branch
+
+    // FFN backward: ffnout = W2·g + b2; g = GELU(h1); h1 = W1·y1 + b1.
+    std::vector<float> dg(t_count * f, 0.0f);
+    linear_backward(lc.g.data(), t_count, f, w2, d, dffnout.data(), gw2, gb2,
+                    dg.data());
+    std::vector<float> dh1(t_count * f);
+    for (std::size_t i = 0; i < dh1.size(); ++i) {
+      dh1[i] = dg[i] * gelu_grad(lc.h1[i]);
+    }
+    linear_backward(lc.y1.data(), t_count, d, w1, f, dh1.data(), gw1, gb1,
+                    dy1.data());
+
+    // LN1 backward: dy1 → dres1.
+    std::vector<float> dres1(t_count * d, 0.0f);
+    layernorm_backward(t_count, d, ln1g, lc.xhat1.data(), lc.inv_std1.data(),
+                       dy1.data(), gln1g, gln1b, dres1.data());
+
+    // res1 = x + attnproj.
+    std::vector<float> dx = dres1;            // residual branch
+    std::vector<float> dattnproj = dres1;     // attention branch
+
+    // Output projection backward.
+    std::vector<float> dctx(t_count * d, 0.0f);
+    linear_backward(lc.ctx.data(), t_count, d, wo, d, dattnproj.data(), gwo,
+                    gbo, dctx.data());
+
+    // Attention backward per head.
+    std::vector<float> dq(t_count * d, 0.0f), dk(t_count * d, 0.0f),
+        dv(t_count * d, 0.0f);
+    std::vector<float> da(t_count), dl(t_count);
+    for (std::size_t hh = 0; hh < heads; ++hh) {
+      const std::size_t col0 = hh * dh;
+      const float* a = lc.attn.data() + hh * t_count * t_count;
+      for (std::size_t t1 = 0; t1 < t_count; ++t1) {
+        const float* dctx1 = dctx.data() + t1 * d + col0;
+        // dA[t1][t2] = ⟨dC[t1], V[t2]⟩ and dV[t2] += A[t1][t2]·dC[t1].
+        double dot_sum = 0.0;
+        for (std::size_t t2 = 0; t2 < t_count; ++t2) {
+          const float* v2 = lc.v.data() + t2 * d + col0;
+          float* dv2 = dv.data() + t2 * d + col0;
+          float acc = 0.0f;
+          const float prob = a[t1 * t_count + t2];
+          for (std::size_t j = 0; j < dh; ++j) {
+            acc += dctx1[j] * v2[j];
+            dv2[j] += prob * dctx1[j];
+          }
+          da[t2] = acc;
+          dot_sum += static_cast<double>(acc) * prob;
+        }
+        // Softmax backward: dl = A ⊙ (dA − Σ dA⊙A).
+        for (std::size_t t2 = 0; t2 < t_count; ++t2) {
+          dl[t2] = a[t1 * t_count + t2] *
+                   (da[t2] - static_cast<float>(dot_sum));
+        }
+        // dQ[t1] += Σ dl[t2]·K[t2]/√dh; dK[t2] += dl[t2]·Q[t1]/√dh.
+        float* dq1 = dq.data() + t1 * d + col0;
+        const float* q1 = lc.q.data() + t1 * d + col0;
+        for (std::size_t t2 = 0; t2 < t_count; ++t2) {
+          const float g = dl[t2] * inv_sqrt_dh;
+          if (g == 0.0f) continue;
+          const float* k2 = lc.k.data() + t2 * d + col0;
+          float* dk2 = dk.data() + t2 * d + col0;
+          for (std::size_t j = 0; j < dh; ++j) {
+            dq1[j] += g * k2[j];
+            dk2[j] += g * q1[j];
+          }
+        }
+      }
+    }
+
+    // Projection backward into dx.
+    linear_backward(lc.x.data(), t_count, d, wq, d, dq.data(), gwq, gbq,
+                    dx.data());
+    linear_backward(lc.x.data(), t_count, d, wk, d, dk.data(), gwk, gbk,
+                    dx.data());
+    linear_backward(lc.x.data(), t_count, d, wv_, d, dv.data(), gwv, gbv,
+                    dx.data());
+    dy2 = std::move(dx);
+  }
+
+  // --- Embedding tables ---
+  std::vector<std::uint8_t> is_masked(t_count, 0);
+  for (const std::size_t m : masked) {
+    if (m < t_count) is_masked[m] = 1;
+  }
+  float* gtok = grads.data() + tok_offset();
+  float* gpos = grads.data() + pos_offset();
+  for (std::size_t t = 0; t < t_count; ++t) {
+    const std::size_t row =
+        is_masked[t] ? mask_row() : static_cast<std::size_t>(sentence[t]);
+    for (std::size_t j = 0; j < d; ++j) {
+      gtok[row * d + j] += dy2[t * d + j];
+      gpos[t * d + j] += dy2[t * d + j];
+    }
+  }
+  return grads;
+}
+
+void TinyBert::pretrain(const text::Corpus& corpus) {
+  model::Adam optimizer(params_.size(), config_.learning_rate);
+  Rng rng(config_.seed ^ 0x9d2c5680ULL);
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    Rng erng = rng.fork(epoch);
+    for (const auto& sentence : corpus.sentences) {
+      if (sentence.size() < 2) continue;
+      const std::size_t t_count = std::min(sentence.size(), config_.max_len);
+      std::vector<std::size_t> masked;
+      for (std::size_t t = 0; t < t_count; ++t) {
+        if (erng.bernoulli(config_.mask_prob)) masked.push_back(t);
+      }
+      if (masked.empty()) masked.push_back(erng.index(t_count));
+      const std::vector<float> grads = mlm_gradient(sentence, masked);
+      optimizer.step(params_, grads);
+    }
+  }
+}
+
+}  // namespace anchor::ctx

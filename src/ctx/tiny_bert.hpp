@@ -1,0 +1,87 @@
+// TinyBert: a small transformer encoder with masked-language-model
+// pretraining, used as the contextual-embedding analog for the paper's §6.2
+// study (which pre-trains 3-layer BERT models on Wiki'17/Wiki'18 and probes
+// them with linear classifiers).
+//
+// Architecture (post-LayerNorm, as original BERT): token + position
+// embeddings → N × [multi-head self-attention + residual + LayerNorm,
+// GELU feed-forward + residual + LayerNorm] → untied MLM softmax head.
+// All gradients are hand-derived; the tests validate every block against
+// finite differences.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "text/corpus.hpp"
+
+namespace anchor::ctx {
+
+struct TinyBertConfig {
+  std::size_t dim = 32;        // transformer output dimensionality (the
+                               // memory axis of Figure 11a)
+  std::size_t layers = 2;
+  std::size_t heads = 2;
+  std::size_t ffn_mult = 2;    // FFN hidden = ffn_mult × dim
+  std::size_t max_len = 32;    // position table size
+  float learning_rate = 1e-3f;
+  std::size_t epochs = 1;
+  double mask_prob = 0.15;
+  std::uint64_t seed = 1;
+};
+
+class TinyBert {
+ public:
+  /// Initializes parameters for `vocab_size` real tokens (+1 internal [MASK]
+  /// token). Call pretrain() before extracting features.
+  TinyBert(std::size_t vocab_size, const TinyBertConfig& config);
+
+  /// Masked-LM pretraining over the corpus (Adam, `config.epochs` passes).
+  void pretrain(const text::Corpus& corpus);
+
+  /// Mean-pooled last-layer features for a sentence (the fixed feature
+  /// extractor the downstream linear probes consume).
+  std::vector<float> features(const std::vector<std::int32_t>& sentence) const;
+
+  /// Per-token last-layer hidden states (T×dim, row-major).
+  std::vector<float> encode(const std::vector<std::int32_t>& sentence) const;
+
+  /// MLM loss for given masked positions (exposed for gradient tests).
+  /// `masked` lists positions whose original token must be predicted; those
+  /// positions are fed the [MASK] embedding.
+  double mlm_loss(const std::vector<std::int32_t>& sentence,
+                  const std::vector<std::size_t>& masked) const;
+
+  /// Full parameter gradient of mlm_loss (exposed for the tests).
+  std::vector<float> mlm_gradient(const std::vector<std::int32_t>& sentence,
+                                  const std::vector<std::size_t>& masked) const;
+
+  std::vector<float>& parameters() { return params_; }
+  const std::vector<float>& parameters() const { return params_; }
+  const TinyBertConfig& config() const { return config_; }
+  std::size_t vocab_size() const { return vocab_; }
+
+ private:
+  struct Cache;  // all per-layer activations of one forward pass
+
+  /// Forward pass; fills `cache` when non-null. Masked positions (possibly
+  /// empty) are replaced with the [MASK] embedding. Returns the final
+  /// hidden states (T×dim).
+  std::vector<float> forward(const std::vector<std::int32_t>& sentence,
+                             const std::vector<std::size_t>& masked,
+                             Cache* cache) const;
+
+  // Parameter layout offsets.
+  std::size_t tok_offset() const { return 0; }
+  std::size_t pos_offset() const;
+  std::size_t layer_offset(std::size_t layer) const;
+  std::size_t layer_size() const;
+  std::size_t head_offset() const;  // MLM output head
+  std::size_t mask_row() const { return vocab_; }
+
+  std::size_t vocab_ = 0;
+  TinyBertConfig config_;
+  std::vector<float> params_;
+};
+
+}  // namespace anchor::ctx

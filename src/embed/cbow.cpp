@@ -1,0 +1,100 @@
+#include "embed/cbow.hpp"
+
+#include <algorithm>
+
+#include "embed/negative_sampling.hpp"
+
+namespace anchor::embed {
+
+Embedding train_cbow(const text::Corpus& corpus, const CbowConfig& config) {
+  ANCHOR_CHECK_GT(config.dim, 0u);
+  ANCHOR_CHECK_GT(config.epochs, 0u);
+  const std::size_t vocab = corpus.vocab_size;
+  const std::size_t dim = config.dim;
+
+  Rng rng(config.seed);
+  // word2vec init: syn0 uniform in [-0.5/dim, 0.5/dim], syn1neg zero.
+  Embedding syn0(vocab, dim);
+  for (auto& x : syn0.data) {
+    x = static_cast<float>((rng.uniform() - 0.5) / static_cast<double>(dim));
+  }
+  Embedding syn1(vocab, dim, 0.0f);
+
+  const UnigramTable table(corpus.word_counts);
+  const FrequentWordSubsampler subsampler(corpus.word_counts,
+                                          config.subsample);
+  const double total_tokens = static_cast<double>(corpus.total_tokens());
+  const double total_work = total_tokens * static_cast<double>(config.epochs);
+
+  std::vector<float> hidden(dim), grad(dim);
+  double processed = 0.0;
+
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    Rng erng = rng.fork(epoch);
+    for (const auto& raw_sentence : corpus.sentences) {
+      const std::vector<std::int32_t> sentence =
+          config.subsample > 0.0 ? subsampler.filter(raw_sentence, erng)
+                                 : raw_sentence;
+      const std::size_t len = sentence.size();
+      for (std::size_t pos = 0; pos < len; ++pos, processed += 1.0) {
+        // Linear LR decay over the whole run, floored like word2vec.
+        const float lr = std::max(
+            config.learning_rate * config.min_learning_rate_frac,
+            config.learning_rate *
+                static_cast<float>(1.0 - processed / (total_work + 1.0)));
+
+        // Dynamic window: word2vec samples b ∈ [0, window) and uses
+        // window - b context on each side.
+        const std::size_t b = erng.index(config.window);
+        const std::size_t reach = config.window - b;
+        const std::size_t lo = pos >= reach ? pos - reach : 0;
+        const std::size_t hi = std::min(len, pos + reach + 1);
+
+        std::fill(hidden.begin(), hidden.end(), 0.0f);
+        std::size_t context_count = 0;
+        for (std::size_t c = lo; c < hi; ++c) {
+          if (c == pos) continue;
+          const float* v = syn0.row(static_cast<std::size_t>(sentence[c]));
+          for (std::size_t j = 0; j < dim; ++j) hidden[j] += v[j];
+          ++context_count;
+        }
+        if (context_count == 0) continue;
+        const float inv = 1.0f / static_cast<float>(context_count);
+        for (std::size_t j = 0; j < dim; ++j) hidden[j] *= inv;
+
+        std::fill(grad.begin(), grad.end(), 0.0f);
+        const std::int32_t target = sentence[pos];
+        for (std::size_t neg = 0; neg <= config.negatives; ++neg) {
+          std::int32_t sample_word;
+          float label;
+          if (neg == 0) {
+            sample_word = target;
+            label = 1.0f;
+          } else {
+            sample_word = table.sample(erng);
+            if (sample_word == target) continue;
+            label = 0.0f;
+          }
+          float* out = syn1.row(static_cast<std::size_t>(sample_word));
+          float dot = 0.0f;
+          for (std::size_t j = 0; j < dim; ++j) dot += hidden[j] * out[j];
+          const float g = (label - sigmoid(dot)) * lr;
+          for (std::size_t j = 0; j < dim; ++j) {
+            grad[j] += g * out[j];
+            out[j] += g * hidden[j];
+          }
+        }
+
+        // Propagate the averaged-hidden gradient back to every context word.
+        for (std::size_t c = lo; c < hi; ++c) {
+          if (c == pos) continue;
+          float* v = syn0.row(static_cast<std::size_t>(sentence[c]));
+          for (std::size_t j = 0; j < dim; ++j) v[j] += grad[j];
+        }
+      }
+    }
+  }
+  return syn0;
+}
+
+}  // namespace anchor::embed

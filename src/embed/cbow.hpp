@@ -1,0 +1,33 @@
+// Continuous bag-of-words with negative sampling (Mikolov et al., 2013),
+// re-implemented after Google's word2vec C code: averaged context window,
+// separate input/output matrices, unigram^0.75 negative table, linear
+// learning-rate decay. Single-threaded and fully deterministic given the
+// seed, so prediction churn in the experiments is attributable to the data.
+#pragma once
+
+#include <cstdint>
+
+#include "embed/embedding.hpp"
+#include "text/corpus.hpp"
+
+namespace anchor::embed {
+
+struct CbowConfig {
+  std::size_t dim = 64;
+  std::size_t window = 5;          // max one-sided window (sampled per token)
+  std::size_t negatives = 5;
+  std::size_t epochs = 5;
+  float learning_rate = 0.05f;     // word2vec default; decays linearly
+  float min_learning_rate_frac = 1e-4f;
+  /// Frequent-word subsampling threshold (word2vec `-sample`); 0 disables.
+  /// The reference default is 1e-3; our synthetic corpora are small enough
+  /// that the study keeps it off for exact comparability across algorithms.
+  double subsample = 0.0;
+  std::uint64_t seed = 1;
+};
+
+/// Trains CBOW input vectors on the corpus; returns the input matrix (syn0),
+/// which is what the paper's downstream pipelines consume.
+Embedding train_cbow(const text::Corpus& corpus, const CbowConfig& config);
+
+}  // namespace anchor::embed

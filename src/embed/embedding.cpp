@@ -1,0 +1,49 @@
+#include "embed/embedding.hpp"
+
+#include <cmath>
+
+namespace anchor::embed {
+
+la::Matrix Embedding::to_matrix() const {
+  la::Matrix m(vocab_size, dim);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    m.storage()[i] = static_cast<double>(data[i]);
+  }
+  return m;
+}
+
+Embedding Embedding::from_matrix(const la::Matrix& m) {
+  Embedding e(m.rows(), m.cols());
+  for (std::size_t i = 0; i < m.storage().size(); ++i) {
+    e.data[i] = static_cast<float>(m.storage()[i]);
+  }
+  return e;
+}
+
+double Embedding::cosine(std::size_t a, std::size_t b) const {
+  const float* ra = row(a);
+  const float* rb = row(b);
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (std::size_t j = 0; j < dim; ++j) {
+    dot += static_cast<double>(ra[j]) * rb[j];
+    na += static_cast<double>(ra[j]) * ra[j];
+    nb += static_cast<double>(rb[j]) * rb[j];
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return dot / std::sqrt(na * nb);
+}
+
+std::string algo_name(Algo algo) {
+  switch (algo) {
+    case Algo::kCbow: return "CBOW";
+    case Algo::kGloVe: return "GloVe";
+    case Algo::kMc: return "MC";
+    case Algo::kFastText: return "FT-SG";
+    case Algo::kSgns: return "SGNS";
+    case Algo::kPpmiSvd: return "PPMI-SVD";
+  }
+  ANCHOR_CHECK_MSG(false, "unknown algo");
+  return {};
+}
+
+}  // namespace anchor::embed

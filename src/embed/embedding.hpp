@@ -1,0 +1,51 @@
+// Embedding matrix type shared by all training algorithms.
+//
+// Stored in float (training precision); analysis code converts to the
+// double-precision la::Matrix on demand. Rows are word ids, matching the
+// corpus vocabulary.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace anchor::embed {
+
+/// Row-major float embedding matrix (vocab × dim).
+struct Embedding {
+  std::size_t vocab_size = 0;
+  std::size_t dim = 0;
+  std::vector<float> data;
+
+  Embedding() = default;
+  Embedding(std::size_t vocab, std::size_t d, float fill = 0.0f)
+      : vocab_size(vocab), dim(d), data(vocab * d, fill) {}
+
+  float* row(std::size_t w) {
+    ANCHOR_CHECK_LT(w, vocab_size);
+    return data.data() + w * dim;
+  }
+  const float* row(std::size_t w) const {
+    ANCHOR_CHECK_LT(w, vocab_size);
+    return data.data() + w * dim;
+  }
+
+  /// Double-precision copy for the analysis/linear-algebra layers.
+  la::Matrix to_matrix() const;
+  /// Inverse of to_matrix (used after Procrustes alignment).
+  static Embedding from_matrix(const la::Matrix& m);
+
+  /// Cosine similarity between two word rows (0 when either row is zero).
+  double cosine(std::size_t a, std::size_t b) const;
+};
+
+/// The embedding algorithms studied in the paper (§2.2, App. E.1), plus two
+/// extensions: skip-gram negative sampling (word2vec's other mode) and
+/// PPMI-SVD (the spectral family of Hellrich et al., 2019).
+enum class Algo { kCbow, kGloVe, kMc, kFastText, kSgns, kPpmiSvd };
+
+std::string algo_name(Algo algo);
+
+}  // namespace anchor::embed

@@ -1,0 +1,86 @@
+#include "embed/glove.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace anchor::embed {
+
+Embedding train_glove(const text::CoocMatrix& cooc, const GloveConfig& config) {
+  ANCHOR_CHECK_GT(config.dim, 0u);
+  ANCHOR_CHECK_GT(cooc.vocab_size, 0u);
+  ANCHOR_CHECK(!cooc.entries.empty());
+  const std::size_t vocab = cooc.vocab_size;
+  const std::size_t dim = config.dim;
+
+  Rng rng(config.seed);
+  // Reference init: uniform in [-0.5, 0.5] / dim for vectors and biases.
+  auto init = [&](std::vector<float>& v) {
+    for (auto& x : v) {
+      x = static_cast<float>((rng.uniform() - 0.5) / static_cast<double>(dim));
+    }
+  };
+  Embedding w(vocab, dim), c(vocab, dim);
+  init(w.data);
+  init(c.data);
+  std::vector<float> bw(vocab), bc(vocab);
+  init(bw);
+  init(bc);
+
+  // AdaGrad accumulators start at 1 as in the reference implementation.
+  std::vector<float> gw(vocab * dim, 1.0f), gc(vocab * dim, 1.0f);
+  std::vector<float> gbw(vocab, 1.0f), gbc(vocab, 1.0f);
+
+  std::vector<std::size_t> order(cooc.entries.size());
+  std::iota(order.begin(), order.end(), 0u);
+
+  const float eta = config.learning_rate;
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    Rng erng = rng.fork(epoch);
+    erng.shuffle(order);
+    for (const std::size_t idx : order) {
+      const auto& e = cooc.entries[idx];
+      const auto i = static_cast<std::size_t>(e.row);
+      const auto j = static_cast<std::size_t>(e.col);
+      const double weight =
+          e.value < config.x_max
+              ? std::pow(e.value / config.x_max, config.alpha)
+              : 1.0;
+
+      float* wi = w.row(i);
+      float* cj = c.row(j);
+      float dot = 0.0f;
+      for (std::size_t k = 0; k < dim; ++k) dot += wi[k] * cj[k];
+      const float diff = static_cast<float>(
+          weight * (dot + bw[i] + bc[j] - std::log(e.value)));
+      // Clip the per-cell error like the reference code does implicitly via
+      // its gradient clipping; keeps rare extreme cells from destabilizing.
+      const float fdiff = std::clamp(diff, -10.0f, 10.0f);
+
+      float* gwi = gw.data() + i * dim;
+      float* gcj = gc.data() + j * dim;
+      for (std::size_t k = 0; k < dim; ++k) {
+        const float gradw = fdiff * cj[k];
+        const float gradc = fdiff * wi[k];
+        wi[k] -= eta * gradw / std::sqrt(gwi[k]);
+        cj[k] -= eta * gradc / std::sqrt(gcj[k]);
+        gwi[k] += gradw * gradw;
+        gcj[k] += gradc * gradc;
+      }
+      bw[i] -= eta * fdiff / std::sqrt(gbw[i]);
+      bc[j] -= eta * fdiff / std::sqrt(gbc[j]);
+      gbw[i] += fdiff * fdiff;
+      gbc[j] += fdiff * fdiff;
+    }
+  }
+
+  // Released vectors: word + context sum (GloVe's default output mode).
+  Embedding out(vocab, dim);
+  for (std::size_t i = 0; i < out.data.size(); ++i) {
+    out.data[i] = w.data[i] + c.data[i];
+  }
+  return out;
+}
+
+}  // namespace anchor::embed

@@ -1,0 +1,28 @@
+// GloVe (Pennington et al., 2014) re-implementation: AdaGrad on the weighted
+// least-squares objective over observed co-occurrence cells, with word and
+// context vectors plus bias terms; the released embedding is the sum of the
+// word and context vectors, as in the reference code.
+#pragma once
+
+#include <cstdint>
+
+#include "embed/embedding.hpp"
+#include "text/cooc.hpp"
+
+namespace anchor::embed {
+
+struct GloveConfig {
+  std::size_t dim = 64;
+  std::size_t epochs = 25;
+  float learning_rate = 0.05f;  // AdaGrad base step
+  double x_max = 20.0;          // weighting knee (100 in the paper's corpora;
+                                // scaled to our corpus counts)
+  double alpha = 0.75;          // weighting exponent
+  std::uint64_t seed = 1;
+};
+
+/// Trains on a precomputed co-occurrence matrix (use
+/// text::count_cooccurrences with distance weighting, as GloVe does).
+Embedding train_glove(const text::CoocMatrix& cooc, const GloveConfig& config);
+
+}  // namespace anchor::embed

@@ -1,0 +1,59 @@
+#include "embed/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "text/corpus.hpp"
+
+namespace anchor::embed {
+
+void save_text(const Embedding& e, const std::filesystem::path& path) {
+  std::ofstream out(path);
+  ANCHOR_CHECK_MSG(out.good(), "cannot open embedding file for writing");
+  out << e.vocab_size << ' ' << e.dim << '\n';
+  out.precision(8);
+  for (std::size_t w = 0; w < e.vocab_size; ++w) {
+    out << text::Corpus::word_string(static_cast<std::int32_t>(w));
+    const float* row = e.row(w);
+    for (std::size_t j = 0; j < e.dim; ++j) out << ' ' << row[j];
+    out << '\n';
+  }
+  ANCHOR_CHECK_MSG(out.good(), "write failure while saving embedding");
+}
+
+Embedding load_text(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  ANCHOR_CHECK_MSG(in.good(), "cannot open embedding file for reading");
+  std::size_t vocab = 0, dim = 0;
+  in >> vocab >> dim;
+  ANCHOR_CHECK_MSG(in.good() && vocab > 0 && dim > 0,
+                   "malformed embedding header");
+
+  Embedding e(vocab, dim);
+  std::vector<bool> filled(vocab, false);
+  for (std::size_t i = 0; i < vocab; ++i) {
+    std::string word;
+    in >> word;
+    ANCHOR_CHECK_MSG(in.good(), "truncated embedding file");
+    ANCHOR_CHECK_MSG(word.size() > 1 && word[0] == 'w',
+                     "unexpected word token (not a synthetic id)");
+    std::size_t id = 0;
+    try {
+      id = static_cast<std::size_t>(std::stoul(word.substr(1)));
+    } catch (const std::exception&) {
+      ANCHOR_CHECK_MSG(false, "unparseable word id");
+    }
+    ANCHOR_CHECK_LT(id, vocab);
+    ANCHOR_CHECK_MSG(!filled[id], "duplicate word id in embedding file");
+    filled[id] = true;
+    float* row = e.row(id);
+    for (std::size_t j = 0; j < dim; ++j) {
+      in >> row[j];
+      ANCHOR_CHECK_MSG(!in.fail(), "unparseable embedding value");
+    }
+  }
+  return e;
+}
+
+}  // namespace anchor::embed

@@ -1,0 +1,26 @@
+// Embedding interchange IO: the word2vec text format.
+//
+// Header line "<vocab> <dim>", then one "<word> <v0> <v1> ..." line per
+// word. This is the format the original word2vec/GloVe tools emit and every
+// downstream NLP toolkit reads, so embeddings trained by the CLI can be
+// inspected or consumed outside this library. Token ids round-trip through
+// Corpus::word_string ("w0042"), preserving the id order on load.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "embed/embedding.hpp"
+
+namespace anchor::embed {
+
+/// Writes `e` in word2vec text format. Word strings are the synthetic ids
+/// ("w0000", "w0001", ...) in row order. Throws on IO failure.
+void save_text(const Embedding& e, const std::filesystem::path& path);
+
+/// Reads a word2vec-text-format embedding. Word strings must be the
+/// synthetic ids in any order; rows are placed at their id. Throws on parse
+/// errors, duplicate or out-of-range ids, and dimension mismatches.
+Embedding load_text(const std::filesystem::path& path);
+
+}  // namespace anchor::embed

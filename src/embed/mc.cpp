@@ -1,0 +1,67 @@
+#include "embed/mc.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace anchor::embed {
+
+Embedding train_mc(const text::CoocMatrix& a_ppmi, const McConfig& config) {
+  ANCHOR_CHECK_GT(config.dim, 0u);
+  ANCHOR_CHECK(!a_ppmi.entries.empty());
+  const std::size_t vocab = a_ppmi.vocab_size;
+  const std::size_t dim = config.dim;
+
+  Rng rng(config.seed);
+  Embedding x(vocab, dim);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(dim));
+  for (auto& v : x.data) v = static_cast<float>(rng.normal(0.0, scale));
+
+  std::vector<std::size_t> order(a_ppmi.entries.size());
+  std::iota(order.begin(), order.end(), 0u);
+
+  double prev_loss = -1.0;
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    const float lr =
+        config.learning_rate /
+        static_cast<float>(1u << (epoch / config.lr_decay_epochs));
+    Rng erng = rng.fork(epoch);
+    erng.shuffle(order);
+
+    double loss = 0.0;
+    for (const std::size_t idx : order) {
+      const auto& e = a_ppmi.entries[idx];
+      const auto i = static_cast<std::size_t>(e.row);
+      const auto j = static_cast<std::size_t>(e.col);
+      float* xi = x.row(i);
+      float* xj = x.row(j);
+      float dot = 0.0f;
+      for (std::size_t k = 0; k < dim; ++k) dot += xi[k] * xj[k];
+      const float err = dot - static_cast<float>(e.value);
+      loss += static_cast<double>(err) * err;
+      const float step = std::clamp(lr * err, -1.0f, 1.0f);
+      if (i == j) {
+        // Diagonal cell: d/dxi (xi·xi − a)² = 4(xi·xi − a)·xi.
+        for (std::size_t k = 0; k < dim; ++k) xi[k] -= 2.0f * step * xi[k];
+        continue;
+      }
+      for (std::size_t k = 0; k < dim; ++k) {
+        const float xik = xi[k];
+        xi[k] -= step * xj[k];
+        xj[k] -= step * xik;
+      }
+    }
+    loss /= static_cast<double>(a_ppmi.entries.size());
+    // The paper's MC trainer stops once the loss plateaus.
+    if (prev_loss >= 0.0 &&
+        std::abs(prev_loss - loss) <
+            config.stopping_tolerance * std::max(prev_loss, 1e-12)) {
+      break;
+    }
+    prev_loss = loss;
+  }
+  return x;
+}
+
+}  // namespace anchor::embed

@@ -1,0 +1,30 @@
+// Matrix completion (MC) embeddings: online stochastic factorization of the
+// PPMI matrix after Jin et al. (2016), matching the paper's own C++ MC
+// implementation (§2.2): V = argmin_X Σ_{(i,j)∈Θ} (X_i·X_jᵀ − A_ij)² over
+// the observed PPMI cells, trained by SGD with stepwise learning-rate decay
+// and a loss-based stopping tolerance.
+#pragma once
+
+#include <cstdint>
+
+#include "embed/embedding.hpp"
+#include "text/cooc.hpp"
+
+namespace anchor::embed {
+
+struct McConfig {
+  std::size_t dim = 64;
+  std::size_t epochs = 30;
+  std::size_t lr_decay_epochs = 10;  // halve the LR every this many epochs
+  float learning_rate = 0.05f;       // paper's Table 4 uses 0.2 at 4.5B-token
+                                     // scale; 0.2 diverges on the synthetic
+                                     // corpora, 0.05 is stable at every dim
+  double stopping_tolerance = 1e-4;  // stop when relative loss change < tol
+  std::uint64_t seed = 1;
+};
+
+/// Trains a single (symmetric) embedding matrix on the observed entries of
+/// `a_ppmi` (produce it with text::ppmi).
+Embedding train_mc(const text::CoocMatrix& a_ppmi, const McConfig& config);
+
+}  // namespace anchor::embed

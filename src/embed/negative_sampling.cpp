@@ -1,0 +1,69 @@
+#include "embed/negative_sampling.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace anchor::embed {
+
+UnigramTable::UnigramTable(const std::vector<std::int64_t>& counts,
+                           double power, std::size_t table_size) {
+  ANCHOR_CHECK(!counts.empty());
+  ANCHOR_CHECK_GT(table_size, 0u);
+  double total = 0.0;
+  for (std::int64_t c : counts) {
+    ANCHOR_CHECK_GE(c, 0);
+    total += std::pow(static_cast<double>(c), power);
+  }
+  ANCHOR_CHECK_GT(total, 0.0);
+
+  table_.resize(table_size);
+  std::size_t word = 0;
+  double cumulative = std::pow(static_cast<double>(counts[0]), power) / total;
+  for (std::size_t i = 0; i < table_size; ++i) {
+    table_[i] = static_cast<std::int32_t>(word);
+    const double frontier =
+        (static_cast<double>(i) + 1.0) / static_cast<double>(table_size);
+    while (cumulative < frontier && word + 1 < counts.size()) {
+      ++word;
+      cumulative += std::pow(static_cast<double>(counts[word]), power) / total;
+    }
+  }
+}
+
+FrequentWordSubsampler::FrequentWordSubsampler(
+    const std::vector<std::int64_t>& counts, double sample) {
+  ANCHOR_CHECK(!counts.empty());
+  keep_prob_.assign(counts.size(), 2.0);  // > 1 means "always keep"
+  if (sample <= 0.0) return;
+  double total = 0.0;
+  for (const std::int64_t c : counts) {
+    ANCHOR_CHECK_GE(c, 0);
+    total += static_cast<double>(c);
+  }
+  ANCHOR_CHECK_GT(total, 0.0);
+  const double threshold = sample * total;
+  for (std::size_t w = 0; w < counts.size(); ++w) {
+    const double f = static_cast<double>(counts[w]);
+    if (f <= 0.0) continue;  // unseen words: keep (they never occur anyway)
+    keep_prob_[w] = (std::sqrt(f / threshold) + 1.0) * threshold / f;
+  }
+}
+
+std::vector<std::int32_t> FrequentWordSubsampler::filter(
+    const std::vector<std::int32_t>& sentence, Rng& rng) const {
+  std::vector<std::int32_t> out;
+  out.reserve(sentence.size());
+  for (const std::int32_t w : sentence) {
+    if (keep(w, rng)) out.push_back(w);
+  }
+  return out;
+}
+
+float sigmoid(float x) {
+  if (x > 30.0f) return 1.0f;
+  if (x < -30.0f) return 0.0f;
+  return 1.0f / (1.0f + std::exp(-x));
+}
+
+}  // namespace anchor::embed

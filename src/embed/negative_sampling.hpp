@@ -1,0 +1,66 @@
+// Shared machinery for negative-sampling trainers (CBOW, fastText-subword).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace anchor::embed {
+
+/// word2vec-style unigram^0.75 negative-sampling table. Draws are O(1)
+/// against a precomputed table, as in the original C implementation.
+class UnigramTable {
+ public:
+  /// `counts` are corpus word frequencies; `power` is the smoothing exponent
+  /// (0.75 in word2vec); `table_size` trades memory for fidelity.
+  UnigramTable(const std::vector<std::int64_t>& counts, double power = 0.75,
+               std::size_t table_size = 1u << 20);
+
+  std::int32_t sample(Rng& rng) const {
+    return table_[rng.index(table_.size())];
+  }
+
+ private:
+  std::vector<std::int32_t> table_;
+};
+
+/// word2vec's frequent-word subsampling (the C implementation's `-sample`
+/// flag): token w survives a pass with probability
+/// (√(f/(t·N)) + 1)·(t·N)/f, where f is w's corpus count, N the total token
+/// count, and t the sample threshold. Rare words always survive; very
+/// frequent words are aggressively dropped, which both speeds training and
+/// improves representations of the remaining words.
+class FrequentWordSubsampler {
+ public:
+  /// `sample` ≤ 0 disables subsampling (keep everything).
+  FrequentWordSubsampler(const std::vector<std::int64_t>& counts,
+                         double sample);
+
+  bool keep(std::int32_t w, Rng& rng) const {
+    const double p = keep_prob_[static_cast<std::size_t>(w)];
+    return p >= 1.0 || rng.uniform() < p;
+  }
+
+  /// Survival probability of word w (1.0 when subsampling is disabled).
+  double keep_probability(std::int32_t w) const {
+    return std::min(1.0, keep_prob_[static_cast<std::size_t>(w)]);
+  }
+
+  /// Filters one sentence; the trainers run on the surviving tokens so a
+  /// dropped token vanishes from both the center and context roles, exactly
+  /// as in the reference implementation's input stream.
+  std::vector<std::int32_t> filter(const std::vector<std::int32_t>& sentence,
+                                   Rng& rng) const;
+
+ private:
+  std::vector<double> keep_prob_;
+};
+
+/// Numerically clamped logistic function (word2vec clamps to ±6; we clamp
+/// wider but guard exp overflow).
+float sigmoid(float x);
+
+}  // namespace anchor::embed

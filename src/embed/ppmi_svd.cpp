@@ -1,0 +1,54 @@
+#include "embed/ppmi_svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/sparse.hpp"
+#include "la/subspace.hpp"
+
+namespace anchor::embed {
+
+Embedding train_ppmi_svd(const text::CoocMatrix& a_ppmi,
+                         const PpmiSvdConfig& config) {
+  ANCHOR_CHECK_GT(config.dim, 0u);
+  ANCHOR_CHECK_GT(a_ppmi.vocab_size, config.dim);
+
+  std::vector<la::SparseEntry> triplets;
+  triplets.reserve(a_ppmi.entries.size());
+  for (const auto& e : a_ppmi.entries) {
+    triplets.push_back({e.row, e.col, e.value});
+  }
+  const la::SparseMatrix a =
+      la::SparseMatrix::from_triplets(a_ppmi.vocab_size, std::move(triplets));
+
+  la::SubspaceOptions opts;
+  opts.seed = config.seed;
+  opts.max_iters = config.max_iters;
+  const la::TopEigsResult eigs = la::top_eigs(a, config.dim, opts);
+
+  const std::size_t n = a_ppmi.vocab_size;
+  Embedding x(n, config.dim);
+  for (std::size_t j = 0; j < config.dim; ++j) {
+    const double lambda = std::max(eigs.values[j], 0.0);
+    const double weight = std::pow(lambda, config.eigenvalue_power);
+
+    // Canonical sign: make the largest-magnitude coordinate positive.
+    std::size_t arg = 0;
+    double best = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      const double v = std::abs(eigs.vectors(r, j));
+      if (v > best) {
+        best = v;
+        arg = r;
+      }
+    }
+    const double sign = eigs.vectors(arg, j) >= 0.0 ? 1.0 : -1.0;
+
+    for (std::size_t r = 0; r < n; ++r) {
+      x.row(r)[j] = static_cast<float>(sign * weight * eigs.vectors(r, j));
+    }
+  }
+  return x;
+}
+
+}  // namespace anchor::embed

@@ -1,0 +1,34 @@
+// PPMI-SVD embeddings: truncated eigendecomposition of the (symmetric) PPMI
+// matrix, X = U_d · Λ_d^p (Levy, Goldberg & Dagan, 2015). This is the
+// count-based family whose *stability* Hellrich et al. (2019) — cited by the
+// paper — study under down-sampling; including it checks that the
+// stability–memory tradeoff covers spectral methods with no SGD randomness
+// at all (the only instability stimulus left is the corpus change itself,
+// plus the random start of the eigensolver).
+#pragma once
+
+#include <cstdint>
+
+#include "embed/embedding.hpp"
+#include "text/cooc.hpp"
+
+namespace anchor::embed {
+
+struct PpmiSvdConfig {
+  std::size_t dim = 64;
+  /// Eigenvalue weighting exponent p in X = U·Λ^p. p=0.5 (the symmetric
+  /// square-root weighting) is the Levy et al. recommendation.
+  double eigenvalue_power = 0.5;
+  std::uint64_t seed = 1;  // eigensolver start (sign/rotation of the basis)
+  std::size_t max_iters = 200;
+};
+
+/// Factors `a_ppmi` (produce it with text::ppmi) into a dim-dimensional
+/// embedding. Eigenvalues below zero are clamped: PPMI is not PSD, but its
+/// negative tail carries no co-occurrence signal and Λ^0.5 needs Λ ≥ 0.
+/// Column signs are canonicalized (largest-|entry| coordinate positive) so
+/// two runs differ only through the data, not the eigensolver's sign freedom.
+Embedding train_ppmi_svd(const text::CoocMatrix& a_ppmi,
+                         const PpmiSvdConfig& config);
+
+}  // namespace anchor::embed

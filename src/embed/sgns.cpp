@@ -1,0 +1,83 @@
+#include "embed/sgns.hpp"
+
+#include <algorithm>
+
+#include "embed/negative_sampling.hpp"
+
+namespace anchor::embed {
+
+Embedding train_sgns(const text::Corpus& corpus, const SgnsConfig& config) {
+  ANCHOR_CHECK_GT(config.dim, 0u);
+  ANCHOR_CHECK_GT(config.epochs, 0u);
+  const std::size_t vocab = corpus.vocab_size;
+  const std::size_t dim = config.dim;
+
+  Rng rng(config.seed);
+  Embedding syn0(vocab, dim);
+  for (auto& x : syn0.data) {
+    x = static_cast<float>((rng.uniform() - 0.5) / static_cast<double>(dim));
+  }
+  Embedding syn1(vocab, dim, 0.0f);
+
+  const UnigramTable table(corpus.word_counts);
+  const FrequentWordSubsampler subsampler(corpus.word_counts,
+                                          config.subsample);
+  const double total_tokens = static_cast<double>(corpus.total_tokens());
+  const double total_work = total_tokens * static_cast<double>(config.epochs);
+
+  std::vector<float> grad(dim);
+  double processed = 0.0;
+
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    Rng erng = rng.fork(epoch);
+    for (const auto& raw_sentence : corpus.sentences) {
+      const std::vector<std::int32_t> sentence =
+          config.subsample > 0.0 ? subsampler.filter(raw_sentence, erng)
+                                 : raw_sentence;
+      const std::size_t len = sentence.size();
+      for (std::size_t pos = 0; pos < len; ++pos, processed += 1.0) {
+        const float lr = std::max(
+            config.learning_rate * config.min_learning_rate_frac,
+            config.learning_rate *
+                static_cast<float>(1.0 - processed / (total_work + 1.0)));
+
+        const std::size_t b = erng.index(config.window);
+        const std::size_t reach = config.window - b;
+        const std::size_t lo = pos >= reach ? pos - reach : 0;
+        const std::size_t hi = std::min(len, pos + reach + 1);
+        const std::int32_t center = sentence[pos];
+
+        for (std::size_t c = lo; c < hi; ++c) {
+          if (c == pos) continue;
+          float* in = syn0.row(static_cast<std::size_t>(sentence[c]));
+          std::fill(grad.begin(), grad.end(), 0.0f);
+
+          for (std::size_t neg = 0; neg <= config.negatives; ++neg) {
+            std::int32_t sample_word;
+            float label;
+            if (neg == 0) {
+              sample_word = center;
+              label = 1.0f;
+            } else {
+              sample_word = table.sample(erng);
+              if (sample_word == center) continue;
+              label = 0.0f;
+            }
+            float* out = syn1.row(static_cast<std::size_t>(sample_word));
+            float dot = 0.0f;
+            for (std::size_t j = 0; j < dim; ++j) dot += in[j] * out[j];
+            const float g = (label - sigmoid(dot)) * lr;
+            for (std::size_t j = 0; j < dim; ++j) {
+              grad[j] += g * out[j];
+              out[j] += g * in[j];
+            }
+          }
+          for (std::size_t j = 0; j < dim; ++j) in[j] += grad[j];
+        }
+      }
+    }
+  }
+  return syn0;
+}
+
+}  // namespace anchor::embed

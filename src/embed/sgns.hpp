@@ -1,0 +1,35 @@
+// Skip-gram with negative sampling (Mikolov et al., 2013b) — word2vec's
+// second training mode, kept faithful to the C implementation: for every
+// (center, context) pair inside a dynamically sized window, the *context*
+// word's input vector is trained to predict the center word against
+// unigram^0.75 negatives. The paper's study uses CBOW; skip-gram is the
+// natural extension for checking that the stability–memory tradeoff is not
+// a CBOW artifact (the fastText run in Appendix E.1 is skip-gram-based).
+#pragma once
+
+#include <cstdint>
+
+#include "embed/embedding.hpp"
+#include "text/corpus.hpp"
+
+namespace anchor::embed {
+
+struct SgnsConfig {
+  std::size_t dim = 64;
+  std::size_t window = 5;          // max one-sided window (sampled per token)
+  std::size_t negatives = 5;
+  std::size_t epochs = 5;
+  float learning_rate = 0.025f;    // word2vec's skip-gram default
+  float min_learning_rate_frac = 1e-4f;
+  /// Frequent-word subsampling threshold (word2vec `-sample`); 0 disables.
+  /// The reference default is 1e-3; our synthetic corpora are small enough
+  /// that the study keeps it off for exact comparability across algorithms.
+  double subsample = 0.0;
+  std::uint64_t seed = 1;
+};
+
+/// Trains skip-gram input vectors on the corpus; returns the input matrix
+/// (syn0), matching what downstream pipelines consume for CBOW.
+Embedding train_sgns(const text::Corpus& corpus, const SgnsConfig& config);
+
+}  // namespace anchor::embed

@@ -1,0 +1,155 @@
+#include "embed/subword.hpp"
+
+#include <algorithm>
+
+#include "embed/negative_sampling.hpp"
+
+namespace anchor::embed {
+
+namespace {
+
+// fastText's FNV-1a variant for n-gram hashing.
+std::uint32_t hash_ngram(const std::string& s) {
+  std::uint32_t h = 2166136261u;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 16777619u;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> word_ngram_buckets(const std::string& word,
+                                              const FastTextConfig& config) {
+  ANCHOR_CHECK_GE(config.max_ngram, config.min_ngram);
+  ANCHOR_CHECK_GT(config.bucket_count, 0u);
+  const std::string marked = "<" + word + ">";
+  std::vector<std::uint32_t> buckets;
+  for (std::size_t n = config.min_ngram; n <= config.max_ngram; ++n) {
+    if (marked.size() < n) break;
+    for (std::size_t i = 0; i + n <= marked.size(); ++i) {
+      const std::string gram = marked.substr(i, n);
+      if (gram == marked) continue;  // the full word is the word vector itself
+      buckets.push_back(hash_ngram(gram) %
+                        static_cast<std::uint32_t>(config.bucket_count));
+    }
+  }
+  return buckets;
+}
+
+Embedding train_fasttext(const text::Corpus& corpus,
+                         const FastTextConfig& config) {
+  ANCHOR_CHECK_GT(config.dim, 0u);
+  const std::size_t vocab = corpus.vocab_size;
+  const std::size_t dim = config.dim;
+
+  // Precompute each word's n-gram bucket list once.
+  std::vector<std::vector<std::uint32_t>> subwords(vocab);
+  for (std::size_t w = 0; w < vocab; ++w) {
+    subwords[w] = word_ngram_buckets(text::Corpus::word_string(
+                                         static_cast<std::int32_t>(w)),
+                                     config);
+  }
+
+  Rng rng(config.seed);
+  Embedding word_in(vocab, dim);
+  Embedding gram_in(config.bucket_count, dim);
+  for (auto& x : word_in.data) {
+    x = static_cast<float>((rng.uniform() - 0.5) / static_cast<double>(dim));
+  }
+  for (auto& x : gram_in.data) {
+    x = static_cast<float>((rng.uniform() - 0.5) / static_cast<double>(dim));
+  }
+  Embedding out(vocab, dim, 0.0f);
+
+  const UnigramTable table(corpus.word_counts);
+  const double total_work = static_cast<double>(corpus.total_tokens()) *
+                            static_cast<double>(config.epochs);
+
+  std::vector<float> input(dim), grad(dim);
+  double processed = 0.0;
+
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    Rng erng = rng.fork(epoch);
+    for (const auto& sentence : corpus.sentences) {
+      const std::size_t len = sentence.size();
+      for (std::size_t pos = 0; pos < len; ++pos, processed += 1.0) {
+        const float lr = std::max(
+            config.learning_rate * config.min_learning_rate_frac,
+            config.learning_rate *
+                static_cast<float>(1.0 - processed / (total_work + 1.0)));
+
+        const std::size_t b = erng.index(config.window);
+        const std::size_t reach = config.window - b;
+        const std::size_t lo = pos >= reach ? pos - reach : 0;
+        const std::size_t hi = std::min(len, pos + reach + 1);
+
+        const auto center = static_cast<std::size_t>(sentence[pos]);
+        const auto& grams = subwords[center];
+        const float inv = 1.0f / static_cast<float>(1 + grams.size());
+
+        // Composed input: average of word vector and its n-gram vectors.
+        const float* wv = word_in.row(center);
+        for (std::size_t j = 0; j < dim; ++j) input[j] = wv[j];
+        for (const std::uint32_t g : grams) {
+          const float* gv = gram_in.row(g);
+          for (std::size_t j = 0; j < dim; ++j) input[j] += gv[j];
+        }
+        for (std::size_t j = 0; j < dim; ++j) input[j] *= inv;
+
+        for (std::size_t c = lo; c < hi; ++c) {
+          if (c == pos) continue;
+          const std::int32_t target = sentence[c];
+          std::fill(grad.begin(), grad.end(), 0.0f);
+          for (std::size_t neg = 0; neg <= config.negatives; ++neg) {
+            std::int32_t sample_word;
+            float label;
+            if (neg == 0) {
+              sample_word = target;
+              label = 1.0f;
+            } else {
+              sample_word = table.sample(erng);
+              if (sample_word == target) continue;
+              label = 0.0f;
+            }
+            float* ov = out.row(static_cast<std::size_t>(sample_word));
+            float dot = 0.0f;
+            for (std::size_t j = 0; j < dim; ++j) dot += input[j] * ov[j];
+            const float g = (label - sigmoid(dot)) * lr;
+            for (std::size_t j = 0; j < dim; ++j) {
+              grad[j] += g * ov[j];
+              ov[j] += g * input[j];
+            }
+          }
+          // Distribute the gradient across the word and its n-grams with the
+          // same averaging weight used on the forward path.
+          float* wv_mut = word_in.row(center);
+          for (std::size_t j = 0; j < dim; ++j) wv_mut[j] += grad[j] * inv;
+          for (const std::uint32_t g : grams) {
+            float* gv = gram_in.row(g);
+            for (std::size_t j = 0; j < dim; ++j) gv[j] += grad[j] * inv;
+          }
+        }
+      }
+    }
+  }
+
+  // Compose final per-word vectors.
+  Embedding composed(vocab, dim);
+  for (std::size_t w = 0; w < vocab; ++w) {
+    const auto& grams = subwords[w];
+    const float inv = 1.0f / static_cast<float>(1 + grams.size());
+    float* dst = composed.row(w);
+    const float* wv = word_in.row(w);
+    for (std::size_t j = 0; j < dim; ++j) dst[j] = wv[j];
+    for (const std::uint32_t g : grams) {
+      const float* gv = gram_in.row(g);
+      for (std::size_t j = 0; j < dim; ++j) dst[j] += gv[j];
+    }
+    for (std::size_t j = 0; j < dim; ++j) dst[j] *= inv;
+  }
+  return composed;
+}
+
+}  // namespace anchor::embed

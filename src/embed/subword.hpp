@@ -1,0 +1,40 @@
+// fastText-style subword skipgram (Bojanowski et al., 2017), used by the
+// paper's Appendix E.1 robustness study (FT-SG). A word's input vector is
+// the average of its word vector and hashed character n-gram vectors; the
+// skipgram objective with negative sampling is trained over those averaged
+// representations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "embed/embedding.hpp"
+#include "text/corpus.hpp"
+
+namespace anchor::embed {
+
+struct FastTextConfig {
+  std::size_t dim = 64;
+  std::size_t window = 5;
+  std::size_t negatives = 5;
+  std::size_t epochs = 5;
+  std::size_t min_ngram = 3;
+  std::size_t max_ngram = 5;
+  std::size_t bucket_count = 1u << 15;  // hashed n-gram table rows
+  float learning_rate = 0.05f;
+  float min_learning_rate_frac = 1e-4f;
+  std::uint64_t seed = 1;
+};
+
+/// Character n-grams of the boundary-marked word string "<word>", hashed to
+/// bucket ids. Exposed for testing.
+std::vector<std::uint32_t> word_ngram_buckets(const std::string& word,
+                                              const FastTextConfig& config);
+
+/// Trains subword skipgram; the returned matrix contains the *composed*
+/// per-word vectors (word vector averaged with its n-gram vectors), which is
+/// what downstream consumers of fastText embeddings use.
+Embedding train_fasttext(const text::Corpus& corpus,
+                         const FastTextConfig& config);
+
+}  // namespace anchor::embed

@@ -1,0 +1,79 @@
+#include "embed/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "text/cooc.hpp"
+
+namespace anchor::embed {
+
+namespace {
+
+std::size_t scaled_epochs(std::size_t base, double scale) {
+  return std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(base * scale)));
+}
+
+}  // namespace
+
+Embedding train_embedding(const text::Corpus& corpus, Algo algo,
+                          const TrainOptions& options) {
+  switch (algo) {
+    case Algo::kCbow: {
+      CbowConfig config;
+      config.dim = options.dim;
+      config.seed = options.seed;
+      config.epochs = scaled_epochs(config.epochs, options.epoch_scale);
+      return train_cbow(corpus, config);
+    }
+    case Algo::kGloVe: {
+      text::CoocConfig cc;
+      cc.distance_weighting = true;
+      const text::CoocMatrix cooc = text::count_cooccurrences(corpus, cc);
+      GloveConfig config;
+      config.dim = options.dim;
+      config.seed = options.seed;
+      config.epochs = scaled_epochs(config.epochs, options.epoch_scale);
+      return train_glove(cooc, config);
+    }
+    case Algo::kMc: {
+      text::CoocConfig cc;
+      cc.distance_weighting = false;
+      const text::CoocMatrix cooc = text::count_cooccurrences(corpus, cc);
+      const text::CoocMatrix a = text::ppmi(cooc);
+      McConfig config;
+      config.dim = options.dim;
+      config.seed = options.seed;
+      config.epochs = scaled_epochs(config.epochs, options.epoch_scale);
+      return train_mc(a, config);
+    }
+    case Algo::kFastText: {
+      FastTextConfig config;
+      config.dim = options.dim;
+      config.seed = options.seed;
+      config.epochs = scaled_epochs(config.epochs, options.epoch_scale);
+      return train_fasttext(corpus, config);
+    }
+    case Algo::kSgns: {
+      SgnsConfig config;
+      config.dim = options.dim;
+      config.seed = options.seed;
+      config.epochs = scaled_epochs(config.epochs, options.epoch_scale);
+      return train_sgns(corpus, config);
+    }
+    case Algo::kPpmiSvd: {
+      text::CoocConfig cc;
+      cc.distance_weighting = false;
+      const text::CoocMatrix cooc = text::count_cooccurrences(corpus, cc);
+      const text::CoocMatrix a = text::ppmi(cooc);
+      PpmiSvdConfig config;
+      config.dim = options.dim;
+      config.seed = options.seed;
+      return train_ppmi_svd(a, config);
+    }
+  }
+  ANCHOR_CHECK_MSG(false, "unknown algo");
+  return {};
+}
+
+}  // namespace anchor::embed

@@ -1,0 +1,28 @@
+// Unified entry point: train any of the studied embedding algorithms on a
+// corpus with a given dimension and seed, using each algorithm's paper
+// hyperparameters (Table 4) scaled to the synthetic corpora.
+#pragma once
+
+#include "embed/cbow.hpp"
+#include "embed/glove.hpp"
+#include "embed/mc.hpp"
+#include "embed/ppmi_svd.hpp"
+#include "embed/sgns.hpp"
+#include "embed/subword.hpp"
+
+namespace anchor::embed {
+
+struct TrainOptions {
+  std::size_t dim = 64;
+  std::uint64_t seed = 1;
+  /// Epoch multiplier for quick tests (1.0 = default budget).
+  double epoch_scale = 1.0;
+};
+
+/// Trains `algo` on `corpus`. GloVe/MC build their co-occurrence / PPMI
+/// inputs internally (window 5, distance weighting for GloVe only, per the
+/// respective reference implementations).
+Embedding train_embedding(const text::Corpus& corpus, Algo algo,
+                          const TrainOptions& options);
+
+}  // namespace anchor::embed

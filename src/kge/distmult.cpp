@@ -1,0 +1,143 @@
+#include "kge/distmult.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace anchor::kge {
+
+namespace {
+
+void normalize_row(float* row, std::size_t dim) {
+  double norm = 0.0;
+  for (std::size_t j = 0; j < dim; ++j) {
+    norm += static_cast<double>(row[j]) * row[j];
+  }
+  norm = std::sqrt(norm);
+  if (norm > 0.0) {
+    const float inv = static_cast<float>(1.0 / norm);
+    for (std::size_t j = 0; j < dim; ++j) row[j] *= inv;
+  }
+}
+
+double trilinear(const DistMultModel& m, std::int32_t h, std::int32_t r,
+                 std::int32_t t) {
+  const float* eh = m.entities.row(static_cast<std::size_t>(h));
+  const float* wr = m.relations.row(static_cast<std::size_t>(r));
+  const float* et = m.entities.row(static_cast<std::size_t>(t));
+  double acc = 0.0;
+  for (std::size_t j = 0; j < m.entities.dim; ++j) {
+    acc += static_cast<double>(eh[j]) * wr[j] * et[j];
+  }
+  return acc;
+}
+
+double validation_mean_rank(const DistMultModel& m,
+                            const std::vector<Triplet>& valid) {
+  double total_rank = 0.0;
+  for (const auto& t : valid) {
+    const double true_score = m.score(t);
+    std::size_t rank = 1;
+    for (std::size_t e = 0; e < m.entities.vocab_size; ++e) {
+      if (static_cast<std::int32_t>(e) == t.tail) continue;
+      Triplet c = t;
+      c.tail = static_cast<std::int32_t>(e);
+      if (m.score(c) < true_score) ++rank;
+    }
+    total_rank += static_cast<double>(rank);
+  }
+  return total_rank / static_cast<double>(valid.size());
+}
+
+}  // namespace
+
+double DistMultModel::score(const Triplet& t) const {
+  return -trilinear(*this, t.head, t.relation, t.tail);
+}
+
+DistMultModel train_distmult(const KgDataset& data,
+                             const DistMultConfig& config) {
+  ANCHOR_CHECK(!data.train.empty());
+  const std::size_t dim = config.dim;
+  Rng rng(config.seed);
+
+  DistMultModel model;
+  model.entities = embed::Embedding(data.num_entities, dim);
+  model.relations = embed::Embedding(data.num_relations, dim);
+  const float bound = 6.0f / std::sqrt(static_cast<float>(dim));
+  for (auto& x : model.entities.data) {
+    x = static_cast<float>(rng.uniform(-bound, bound));
+  }
+  for (auto& x : model.relations.data) {
+    x = static_cast<float>(rng.uniform(-bound, bound));
+  }
+
+  DistMultModel best = model;
+  double best_rank = 1e300;
+  std::size_t strikes = 0;
+
+  std::vector<std::size_t> order(data.train.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (std::size_t epoch = 0; epoch < config.max_epochs; ++epoch) {
+    Rng erng = rng.fork(epoch);
+    erng.shuffle(order);
+    for (const std::size_t idx : order) {
+      const Triplet& pos = data.train[idx];
+      normalize_row(model.entities.row(static_cast<std::size_t>(pos.head)),
+                    dim);
+      normalize_row(model.entities.row(static_cast<std::size_t>(pos.tail)),
+                    dim);
+
+      Triplet neg = pos;
+      if (erng.bernoulli(0.5)) {
+        neg.head = static_cast<std::int32_t>(erng.index(data.num_entities));
+      } else {
+        neg.tail = static_cast<std::int32_t>(erng.index(data.num_entities));
+      }
+      normalize_row(model.entities.row(static_cast<std::size_t>(neg.head)),
+                    dim);
+      normalize_row(model.entities.row(static_cast<std::size_t>(neg.tail)),
+                    dim);
+
+      // Margin ranking on the trilinear product s: want s(pos) ≥ s(neg) + γ.
+      const double s_pos = trilinear(model, pos.head, pos.relation, pos.tail);
+      const double s_neg = trilinear(model, neg.head, neg.relation, neg.tail);
+      if (s_pos >= s_neg + config.margin) continue;
+
+      // ∂s/∂e_h = w_r∘e_t, ∂s/∂w_r = e_h∘e_t, ∂s/∂e_t = e_h∘w_r. Gradient
+      // ascent on the positive triplet, descent on the negative one.
+      auto update = [&](const Triplet& t, float direction) {
+        float* eh = model.entities.row(static_cast<std::size_t>(t.head));
+        float* wr = model.relations.row(static_cast<std::size_t>(t.relation));
+        float* et = model.entities.row(static_cast<std::size_t>(t.tail));
+        const float lr = config.learning_rate * direction;
+        for (std::size_t j = 0; j < dim; ++j) {
+          const float gh = wr[j] * et[j];
+          const float gr = eh[j] * et[j];
+          const float gt = eh[j] * wr[j];
+          eh[j] += lr * gh;
+          wr[j] += lr * gr;
+          et[j] += lr * gt;
+        }
+      };
+      update(pos, 1.0f);
+      update(neg, -1.0f);
+    }
+
+    if ((epoch + 1) % config.eval_every == 0 && !data.valid.empty()) {
+      const double rank = validation_mean_rank(model, data.valid);
+      if (rank < best_rank) {
+        best_rank = rank;
+        best = model;
+        strikes = 0;
+      } else if (++strikes >= config.patience) {
+        return best;
+      }
+    }
+  }
+  return data.valid.empty() ? model : best;
+}
+
+}  // namespace anchor::kge

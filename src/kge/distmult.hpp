@@ -1,0 +1,38 @@
+// DistMult (Yang et al., 2015): bilinear-diagonal knowledge graph embedding,
+// score(h, r, t) = Σ_j e_h[j]·w_r[j]·e_t[j], trained with margin ranking
+// against uniformly corrupted triplets and entity-norm projection — the same
+// protocol as our TransE so that stability comparisons isolate the *model
+// family*. Included as an extension: the paper demonstrates the
+// stability–memory tradeoff on TransE only and conjectures generality.
+#pragma once
+
+#include <cstdint>
+
+#include "embed/embedding.hpp"
+#include "kge/kg_data.hpp"
+
+namespace anchor::kge {
+
+struct DistMultConfig {
+  std::size_t dim = 32;
+  float margin = 1.0f;
+  float learning_rate = 0.05f;
+  std::size_t max_epochs = 120;
+  std::size_t eval_every = 10;   // validation mean-rank cadence
+  std::size_t patience = 3;      // early-stop patience (in evals)
+  std::uint64_t seed = 1;
+};
+
+struct DistMultModel {
+  embed::Embedding entities;
+  embed::Embedding relations;
+
+  /// Plausibility-oriented-low score: the *negative* trilinear product, so
+  /// the shared evaluation convention (lower = more plausible) holds.
+  double score(const Triplet& t) const;
+};
+
+DistMultModel train_distmult(const KgDataset& data,
+                             const DistMultConfig& config);
+
+}  // namespace anchor::kge

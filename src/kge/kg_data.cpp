@@ -1,0 +1,97 @@
+#include "kge/kg_data.hpp"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "util/rng.hpp"
+
+namespace anchor::kge {
+
+namespace {
+
+std::uint64_t triplet_key(const Triplet& t) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(t.head))
+          << 40) ^
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(t.relation))
+          << 20) ^
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(t.tail));
+}
+
+}  // namespace
+
+KgDataset generate_kg(const KgConfig& config) {
+  ANCHOR_CHECK_GT(config.num_entities, 2u);
+  ANCHOR_CHECK_GT(config.num_relations, 0u);
+  Rng rng(config.seed);
+  const std::size_t dim = config.latent_dim;
+
+  la::Matrix entities(config.num_entities, dim);
+  for (std::size_t i = 0; i < entities.size(); ++i) {
+    entities.storage()[i] = rng.normal();
+  }
+  la::Matrix relations(config.num_relations, dim);
+  for (std::size_t i = 0; i < relations.size(); ++i) {
+    relations.storage()[i] = rng.normal(0.0, 0.8);
+  }
+
+  const std::size_t want = config.train_triplets + config.valid_triplets +
+                           config.test_triplets;
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<Triplet> all;
+  all.reserve(want);
+  std::vector<double> weights(config.num_entities);
+
+  while (all.size() < want) {
+    Triplet t;
+    t.head = static_cast<std::int32_t>(rng.index(config.num_entities));
+    t.relation = static_cast<std::int32_t>(rng.index(config.num_relations));
+    // Tail ∝ exp(−‖g_h + v_r − g_t‖ / temperature).
+    const double* gh = entities.row(static_cast<std::size_t>(t.head));
+    const double* vr = relations.row(static_cast<std::size_t>(t.relation));
+    for (std::size_t e = 0; e < config.num_entities; ++e) {
+      const double* gt = entities.row(e);
+      double dist = 0.0;
+      for (std::size_t j = 0; j < dim; ++j) {
+        const double diff = gh[j] + vr[j] - gt[j];
+        dist += diff * diff;
+      }
+      weights[e] = std::exp(-std::sqrt(dist) / config.tail_temperature);
+    }
+    t.tail = static_cast<std::int32_t>(rng.categorical(weights));
+    if (t.tail == t.head) continue;
+    if (!seen.insert(triplet_key(t)).second) continue;
+    all.push_back(t);
+  }
+
+  rng.shuffle(all);
+  KgDataset ds;
+  ds.num_entities = config.num_entities;
+  ds.num_relations = config.num_relations;
+  ds.train.assign(all.begin(),
+                  all.begin() + static_cast<std::ptrdiff_t>(config.train_triplets));
+  ds.valid.assign(
+      all.begin() + static_cast<std::ptrdiff_t>(config.train_triplets),
+      all.begin() + static_cast<std::ptrdiff_t>(config.train_triplets +
+                                                config.valid_triplets));
+  ds.test.assign(all.begin() + static_cast<std::ptrdiff_t>(
+                                   config.train_triplets +
+                                   config.valid_triplets),
+                 all.end());
+  return ds;
+}
+
+KgDataset subsample_train(const KgDataset& full, double drop_fraction,
+                          std::uint64_t seed) {
+  ANCHOR_CHECK_GE(drop_fraction, 0.0);
+  ANCHOR_CHECK_LT(drop_fraction, 1.0);
+  KgDataset out = full;
+  Rng rng(seed);
+  rng.shuffle(out.train);
+  const auto keep = static_cast<std::size_t>(
+      std::llround((1.0 - drop_fraction) *
+                   static_cast<double>(out.train.size())));
+  out.train.resize(keep);
+  return out;
+}
+
+}  // namespace anchor::kge

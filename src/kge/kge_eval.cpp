@@ -1,0 +1,228 @@
+#include "kge/kge_eval.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/rng.hpp"
+
+namespace anchor::kge {
+
+LinkPredictionResult link_prediction(const ScoreFn& score,
+                                     std::size_t num_entities,
+                                     const std::vector<Triplet>& test) {
+  ANCHOR_CHECK(!test.empty());
+  LinkPredictionResult result;
+  result.ranks.reserve(2 * test.size());
+  double total = 0.0;
+
+  for (const auto& t : test) {
+    const double true_score = score(t);
+    // Tail corruption.
+    std::int32_t tail_rank = 1;
+    for (std::size_t e = 0; e < num_entities; ++e) {
+      if (static_cast<std::int32_t>(e) == t.tail) continue;
+      Triplet c = t;
+      c.tail = static_cast<std::int32_t>(e);
+      if (score(c) < true_score) ++tail_rank;
+    }
+    // Head corruption.
+    std::int32_t head_rank = 1;
+    for (std::size_t e = 0; e < num_entities; ++e) {
+      if (static_cast<std::int32_t>(e) == t.head) continue;
+      Triplet c = t;
+      c.head = static_cast<std::int32_t>(e);
+      if (score(c) < true_score) ++head_rank;
+    }
+    result.ranks.push_back(tail_rank);
+    result.ranks.push_back(head_rank);
+    total += tail_rank + head_rank;
+  }
+  result.mean_rank = total / static_cast<double>(result.ranks.size());
+  return result;
+}
+
+LinkPredictionResult link_prediction(const TransEModel& model,
+                                     const std::vector<Triplet>& test) {
+  return link_prediction([&model](const Triplet& t) { return model.score(t); },
+                         model.entities.vocab_size, test);
+}
+
+LinkPredictionResult link_prediction(const DistMultModel& model,
+                                     const std::vector<Triplet>& test) {
+  return link_prediction([&model](const Triplet& t) { return model.score(t); },
+                         model.entities.vocab_size, test);
+}
+
+double unstable_rank_at_k(const LinkPredictionResult& a,
+                          const LinkPredictionResult& b, std::int32_t k) {
+  ANCHOR_CHECK_EQ(a.ranks.size(), b.ranks.size());
+  ANCHOR_CHECK(!a.ranks.empty());
+  std::size_t unstable = 0;
+  for (std::size_t i = 0; i < a.ranks.size(); ++i) {
+    if (std::abs(a.ranks[i] - b.ranks[i]) > k) ++unstable;
+  }
+  return 100.0 * static_cast<double>(unstable) /
+         static_cast<double>(a.ranks.size());
+}
+
+LabeledTriplets make_classification_set(const std::vector<Triplet>& positives,
+                                        std::size_t num_entities,
+                                        std::uint64_t seed) {
+  ANCHOR_CHECK(!positives.empty());
+  Rng rng(seed);
+  LabeledTriplets out;
+  out.triplets.reserve(2 * positives.size());
+  out.labels.reserve(2 * positives.size());
+  for (const auto& t : positives) {
+    out.triplets.push_back(t);
+    out.labels.push_back(1);
+    Triplet neg = t;
+    // Corrupt the tail to a different entity (Socher et al. protocol).
+    do {
+      neg.tail = static_cast<std::int32_t>(rng.index(num_entities));
+    } while (neg.tail == t.tail);
+    out.triplets.push_back(neg);
+    out.labels.push_back(0);
+  }
+  return out;
+}
+
+std::vector<double> tune_thresholds(const ScoreFn& score,
+                                    const LabeledTriplets& valid,
+                                    std::size_t num_relations) {
+  ANCHOR_CHECK_EQ(valid.triplets.size(), valid.labels.size());
+  // Gather (score, label) per relation.
+  std::vector<std::vector<std::pair<double, std::int32_t>>> per_relation(
+      num_relations);
+  for (std::size_t i = 0; i < valid.triplets.size(); ++i) {
+    const auto& t = valid.triplets[i];
+    per_relation[static_cast<std::size_t>(t.relation)].emplace_back(
+        score(t), valid.labels[i]);
+  }
+
+  std::vector<double> thresholds(num_relations, 0.0);
+  std::vector<double> tuned;
+  for (std::size_t r = 0; r < num_relations; ++r) {
+    auto& scored = per_relation[r];
+    if (scored.empty()) continue;
+    std::sort(scored.begin(), scored.end());
+    // Scan cut points: predict positive iff score ≤ T. The best T sits at a
+    // midpoint between consecutive scores (or beyond either end).
+    std::size_t total_pos = 0;
+    for (const auto& [s, l] : scored) total_pos += (l == 1) ? 1 : 0;
+    // Start with T below everything: all predicted negative.
+    std::size_t correct = scored.size() - total_pos;
+    std::size_t best_correct = correct;
+    double best_t = scored.front().first - 1.0;
+    for (std::size_t i = 0; i < scored.size(); ++i) {
+      // Move T to include scored[i] as positive.
+      correct += (scored[i].second == 1) ? 1 : 0;
+      correct -= (scored[i].second == 0) ? 1 : 0;
+      if (correct > best_correct) {
+        best_correct = correct;
+        best_t = (i + 1 < scored.size())
+                     ? 0.5 * (scored[i].first + scored[i + 1].first)
+                     : scored[i].first + 1.0;
+      }
+    }
+    thresholds[r] = best_t;
+    tuned.push_back(best_t);
+  }
+  // Relations without validation data fall back to the median tuned value.
+  if (!tuned.empty()) {
+    std::sort(tuned.begin(), tuned.end());
+    const double median = tuned[tuned.size() / 2];
+    for (std::size_t r = 0; r < num_relations; ++r) {
+      if (per_relation[r].empty()) thresholds[r] = median;
+    }
+  }
+  return thresholds;
+}
+
+std::vector<double> tune_thresholds(const TransEModel& model,
+                                    const LabeledTriplets& valid,
+                                    std::size_t num_relations) {
+  return tune_thresholds(
+      [&model](const Triplet& t) { return model.score(t); }, valid,
+      num_relations);
+}
+
+std::vector<double> tune_thresholds(const DistMultModel& model,
+                                    const LabeledTriplets& valid,
+                                    std::size_t num_relations) {
+  return tune_thresholds(
+      [&model](const Triplet& t) { return model.score(t); }, valid,
+      num_relations);
+}
+
+std::vector<std::int32_t> classify_triplets(
+    const ScoreFn& score, const std::vector<Triplet>& triplets,
+    const std::vector<double>& thresholds) {
+  std::vector<std::int32_t> out;
+  out.reserve(triplets.size());
+  for (const auto& t : triplets) {
+    const double threshold = thresholds[static_cast<std::size_t>(t.relation)];
+    out.push_back(score(t) <= threshold ? 1 : 0);
+  }
+  return out;
+}
+
+std::vector<std::int32_t> classify_triplets(
+    const TransEModel& model, const std::vector<Triplet>& triplets,
+    const std::vector<double>& thresholds) {
+  return classify_triplets(
+      [&model](const Triplet& t) { return model.score(t); }, triplets,
+      thresholds);
+}
+
+std::vector<std::int32_t> classify_triplets(
+    const DistMultModel& model, const std::vector<Triplet>& triplets,
+    const std::vector<double>& thresholds) {
+  return classify_triplets(
+      [&model](const Triplet& t) { return model.score(t); }, triplets,
+      thresholds);
+}
+
+namespace {
+
+/// Quantizes one embedding table, reusing the reference table's clip
+/// threshold when given (the shared-threshold protocol of Appendix C.2).
+embed::Embedding quantize_table(const embed::Embedding& table, int bits,
+                                const embed::Embedding* ref) {
+  compress::QuantizeConfig config;
+  config.bits = bits;
+  if (ref != nullptr) {
+    config.clip_override = compress::optimal_clip_threshold(ref->data, bits);
+  }
+  return compress::uniform_quantize(table, config).embedding;
+}
+
+}  // namespace
+
+TransEModel quantize_model(const TransEModel& model, int bits,
+                           const TransEModel* clip_reference) {
+  TransEModel out = model;
+  if (bits == 32) return out;
+  out.entities = quantize_table(
+      model.entities, bits,
+      clip_reference != nullptr ? &clip_reference->entities : nullptr);
+  out.relations = quantize_table(
+      model.relations, bits,
+      clip_reference != nullptr ? &clip_reference->relations : nullptr);
+  return out;
+}
+
+DistMultModel quantize_model(const DistMultModel& model, int bits,
+                             const DistMultModel* clip_reference) {
+  DistMultModel out = model;
+  if (bits == 32) return out;
+  out.entities = quantize_table(
+      model.entities, bits,
+      clip_reference != nullptr ? &clip_reference->entities : nullptr);
+  out.relations = quantize_table(
+      model.relations, bits,
+      clip_reference != nullptr ? &clip_reference->relations : nullptr);
+  return out;
+}
+
+}  // namespace anchor::kge

@@ -1,0 +1,89 @@
+// Evaluation for knowledge graph embeddings (paper §6.1): link prediction
+// with the unstable-rank@10 instability metric, and triplet classification
+// with per-relation thresholds (shared across datasets by default, tuned
+// per-dataset in the Appendix D.6 variant).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include <functional>
+
+#include "compress/quantize.hpp"
+#include "kge/distmult.hpp"
+#include "kge/transe.hpp"
+
+namespace anchor::kge {
+
+/// Model-agnostic triplet scorer; the shared convention across KGE models is
+/// lower = more plausible (TransE distance, negated DistMult product).
+using ScoreFn = std::function<double(const Triplet&)>;
+
+struct LinkPredictionResult {
+  /// Raw ranks of the true entity among all corruptions; two entries per
+  /// test triplet (tail corruption then head corruption).
+  std::vector<std::int32_t> ranks;
+  double mean_rank = 0.0;
+};
+
+LinkPredictionResult link_prediction(const ScoreFn& score,
+                                     std::size_t num_entities,
+                                     const std::vector<Triplet>& test);
+
+LinkPredictionResult link_prediction(const TransEModel& model,
+                                     const std::vector<Triplet>& test);
+LinkPredictionResult link_prediction(const DistMultModel& model,
+                                     const std::vector<Triplet>& test);
+
+/// unstable-rank@k: the fraction of rank entries changing by more than k
+/// between two models (the paper uses k = 10).
+double unstable_rank_at_k(const LinkPredictionResult& a,
+                          const LinkPredictionResult& b, std::int32_t k = 10);
+
+/// Positive + corrupted-negative triplet sets for classification; the same
+/// seed produces identical negatives for both models being compared, as the
+/// shared evaluation requires.
+struct LabeledTriplets {
+  std::vector<Triplet> triplets;
+  std::vector<std::int32_t> labels;  // 1 = real, 0 = corrupted
+};
+
+LabeledTriplets make_classification_set(const std::vector<Triplet>& positives,
+                                        std::size_t num_entities,
+                                        std::uint64_t seed);
+
+/// Per-relation score thresholds maximizing accuracy on a labeled validation
+/// set (Socher et al., 2013 protocol). Relations unseen in validation get
+/// the global median threshold.
+std::vector<double> tune_thresholds(const ScoreFn& score,
+                                    const LabeledTriplets& valid,
+                                    std::size_t num_relations);
+
+std::vector<double> tune_thresholds(const TransEModel& model,
+                                    const LabeledTriplets& valid,
+                                    std::size_t num_relations);
+std::vector<double> tune_thresholds(const DistMultModel& model,
+                                    const LabeledTriplets& valid,
+                                    std::size_t num_relations);
+
+/// Classifies triplets: positive iff score ≤ threshold[relation].
+std::vector<std::int32_t> classify_triplets(
+    const ScoreFn& score, const std::vector<Triplet>& triplets,
+    const std::vector<double>& thresholds);
+
+std::vector<std::int32_t> classify_triplets(
+    const TransEModel& model, const std::vector<Triplet>& triplets,
+    const std::vector<double>& thresholds);
+std::vector<std::int32_t> classify_triplets(
+    const DistMultModel& model, const std::vector<Triplet>& triplets,
+    const std::vector<double>& thresholds);
+
+/// Uniformly quantizes both embedding tables of a model. When `reference`
+/// is non-null its clip thresholds are reused (the shared-threshold protocol
+/// of Appendix C.2, applied to KGEs).
+TransEModel quantize_model(const TransEModel& model, int bits,
+                           const TransEModel* clip_reference = nullptr);
+DistMultModel quantize_model(const DistMultModel& model, int bits,
+                             const DistMultModel* clip_reference = nullptr);
+
+}  // namespace anchor::kge

@@ -1,0 +1,147 @@
+#include "kge/transe.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace anchor::kge {
+
+namespace {
+
+void normalize_row(float* row, std::size_t dim) {
+  double norm = 0.0;
+  for (std::size_t j = 0; j < dim; ++j) norm += static_cast<double>(row[j]) * row[j];
+  norm = std::sqrt(norm);
+  if (norm > 0.0) {
+    const float inv = static_cast<float>(1.0 / norm);
+    for (std::size_t j = 0; j < dim; ++j) row[j] *= inv;
+  }
+}
+
+double l1_score(const TransEModel& m, std::int32_t h, std::int32_t r,
+                std::int32_t t) {
+  const float* eh = m.entities.row(static_cast<std::size_t>(h));
+  const float* rr = m.relations.row(static_cast<std::size_t>(r));
+  const float* et = m.entities.row(static_cast<std::size_t>(t));
+  double acc = 0.0;
+  for (std::size_t j = 0; j < m.entities.dim; ++j) {
+    acc += std::abs(static_cast<double>(eh[j]) + rr[j] - et[j]);
+  }
+  return acc;
+}
+
+/// Validation mean rank of the true tail among all entities (raw setting);
+/// the early-stopping criterion, as in Bordes et al.
+double validation_mean_rank(const TransEModel& m,
+                            const std::vector<Triplet>& valid) {
+  double total_rank = 0.0;
+  for (const auto& t : valid) {
+    const double true_score = l1_score(m, t.head, t.relation, t.tail);
+    std::size_t rank = 1;
+    for (std::size_t e = 0; e < m.entities.vocab_size; ++e) {
+      if (static_cast<std::int32_t>(e) == t.tail) continue;
+      if (l1_score(m, t.head, t.relation, static_cast<std::int32_t>(e)) <
+          true_score) {
+        ++rank;
+      }
+    }
+    total_rank += static_cast<double>(rank);
+  }
+  return total_rank / static_cast<double>(valid.size());
+}
+
+}  // namespace
+
+double TransEModel::score(const Triplet& t) const {
+  return l1_score(*this, t.head, t.relation, t.tail);
+}
+
+TransEModel train_transe(const KgDataset& data, const TransEConfig& config) {
+  ANCHOR_CHECK(!data.train.empty());
+  const std::size_t dim = config.dim;
+  Rng rng(config.seed);
+
+  TransEModel model;
+  model.entities = embed::Embedding(data.num_entities, dim);
+  model.relations = embed::Embedding(data.num_relations, dim);
+  const float bound = 6.0f / std::sqrt(static_cast<float>(dim));
+  for (auto& x : model.entities.data) {
+    x = static_cast<float>(rng.uniform(-bound, bound));
+  }
+  for (auto& x : model.relations.data) {
+    x = static_cast<float>(rng.uniform(-bound, bound));
+  }
+  // Relations normalized once at init (Bordes et al.).
+  for (std::size_t r = 0; r < data.num_relations; ++r) {
+    normalize_row(model.relations.row(r), dim);
+  }
+
+  TransEModel best = model;
+  double best_rank = 1e300;
+  std::size_t strikes = 0;
+
+  std::vector<std::size_t> order(data.train.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (std::size_t epoch = 0; epoch < config.max_epochs; ++epoch) {
+    Rng erng = rng.fork(epoch);
+    erng.shuffle(order);
+    for (const std::size_t idx : order) {
+      const Triplet& pos = data.train[idx];
+      // Entities participating in this update are projected to the unit ball
+      // first (the reference implementation's per-minibatch normalization).
+      normalize_row(model.entities.row(static_cast<std::size_t>(pos.head)),
+                    dim);
+      normalize_row(model.entities.row(static_cast<std::size_t>(pos.tail)),
+                    dim);
+
+      Triplet neg = pos;
+      if (erng.bernoulli(0.5)) {
+        neg.head = static_cast<std::int32_t>(erng.index(data.num_entities));
+      } else {
+        neg.tail = static_cast<std::int32_t>(erng.index(data.num_entities));
+      }
+      normalize_row(model.entities.row(static_cast<std::size_t>(neg.head)),
+                    dim);
+      normalize_row(model.entities.row(static_cast<std::size_t>(neg.tail)),
+                    dim);
+
+      const double pos_score = model.score(pos);
+      const double neg_score = model.score(neg);
+      if (pos_score + config.margin <= neg_score) continue;  // margin satisfied
+
+      // Subgradient of |·| is sign(·); push positive distances down and
+      // negative distances up.
+      auto update = [&](const Triplet& t, float direction) {
+        float* eh = model.entities.row(static_cast<std::size_t>(t.head));
+        float* rr = model.relations.row(static_cast<std::size_t>(t.relation));
+        float* et = model.entities.row(static_cast<std::size_t>(t.tail));
+        for (std::size_t j = 0; j < dim; ++j) {
+          const float diff = eh[j] + rr[j] - et[j];
+          const float sgn = diff > 0.0f ? 1.0f : (diff < 0.0f ? -1.0f : 0.0f);
+          const float step = config.learning_rate * direction * sgn;
+          eh[j] -= step;
+          rr[j] -= step;
+          et[j] += step;
+        }
+      };
+      update(pos, 1.0f);   // decrease positive distance
+      update(neg, -1.0f);  // increase negative distance
+    }
+
+    if ((epoch + 1) % config.eval_every == 0 && !data.valid.empty()) {
+      const double rank = validation_mean_rank(model, data.valid);
+      if (rank < best_rank) {
+        best_rank = rank;
+        best = model;
+        strikes = 0;
+      } else if (++strikes >= config.patience) {
+        return best;
+      }
+    }
+  }
+  return data.valid.empty() ? model : best;
+}
+
+}  // namespace anchor::kge

@@ -1,0 +1,36 @@
+// TransE (Bordes et al., 2013) re-implementation following the paper's §6.1
+// protocol: L1 distance, margin 1, uniform head/tail corruption, entity-norm
+// projection after every update, SGD, and early stopping on validation mean
+// rank with patience.
+#pragma once
+
+#include <cstdint>
+
+#include "embed/embedding.hpp"
+#include "kge/kg_data.hpp"
+
+namespace anchor::kge {
+
+struct TransEConfig {
+  std::size_t dim = 32;
+  float margin = 1.0f;
+  float learning_rate = 0.01f;
+  std::size_t max_epochs = 120;
+  std::size_t eval_every = 10;        // validation mean-rank cadence
+  std::size_t patience = 3;           // early-stop patience (in evals)
+  std::uint64_t seed = 1;
+};
+
+/// Trained TransE model: entity and relation embeddings (same dimension, as
+/// in the paper's footnote 11).
+struct TransEModel {
+  embed::Embedding entities;
+  embed::Embedding relations;
+
+  /// L1 score ‖e_h + r_r − e_t‖₁ (lower = more plausible).
+  double score(const Triplet& t) const;
+};
+
+TransEModel train_transe(const KgDataset& data, const TransEConfig& config);
+
+}  // namespace anchor::kge

@@ -1,0 +1,100 @@
+#include "la/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace anchor::la {
+
+namespace {
+
+double offdiag_norm_sq(const Matrix& a) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = i + 1; j < a.cols(); ++j) acc += 2.0 * a(i, j) * a(i, j);
+  }
+  return acc;
+}
+
+}  // namespace
+
+EigenResult eigen_symmetric(const Matrix& input, double tol, int max_sweeps) {
+  ANCHOR_CHECK_EQ(input.rows(), input.cols());
+  const std::size_t n = input.rows();
+  // Symmetrize; reject matrices that are non-symmetric beyond round-off.
+  Matrix a(n, n);
+  double asym = 0.0;
+  double scale = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      a(i, j) = 0.5 * (input(i, j) + input(j, i));
+      asym = std::max(asym, std::abs(input(i, j) - input(j, i)));
+      scale = std::max(scale, std::abs(input(i, j)));
+    }
+  }
+  ANCHOR_CHECK_MSG(asym <= 1e-6 * std::max(1.0, scale),
+                   "eigen_symmetric: input is not symmetric (max asym=" << asym
+                                                                        << ")");
+
+  Matrix v = Matrix::identity(n);
+  const double norm_sq = frobenius_norm_sq(a);
+  const double threshold = tol * tol * std::max(norm_sq, 1e-300);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (offdiag_norm_sq(a) <= threshold) break;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (apq == 0.0) continue;
+        const double app = a(p, p);
+        const double aqq = a(q, q);
+        // Classic stable rotation computation (Golub & Van Loan §8.5).
+        const double tau = (aqq - app) / (2.0 * apq);
+        const double t = (tau >= 0.0)
+                             ? 1.0 / (tau + std::sqrt(1.0 + tau * tau))
+                             : 1.0 / (tau - std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+        // A ← JᵀAJ applied in place on rows/columns p and q.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p);
+          const double akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k);
+          const double aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        // Accumulate V ← V·J.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Extract and sort descending by eigenvalue.
+  std::vector<double> values(n);
+  for (std::size_t i = 0; i < n; ++i) values[i] = a(i, i);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return values[x] > values[y]; });
+
+  EigenResult result;
+  result.values.resize(n);
+  result.vectors = Matrix(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    result.values[i] = values[order[i]];
+    for (std::size_t k = 0; k < n; ++k) result.vectors(k, i) = v(k, order[i]);
+  }
+  return result;
+}
+
+}  // namespace anchor::la

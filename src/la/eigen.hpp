@@ -1,0 +1,28 @@
+// Symmetric eigendecomposition via the cyclic Jacobi rotation method.
+//
+// Jacobi is the right choice here: the matrices are small (d×d for embedding
+// dimension d ≤ a few hundred), it is unconditionally stable, and it delivers
+// fully orthogonal eigenvectors — which the eigenspace measures depend on.
+#pragma once
+
+#include "la/matrix.hpp"
+
+namespace anchor::la {
+
+/// Result of eigendecomposition A = V · diag(values) · Vᵀ.
+/// Eigenvalues are sorted descending; eigenvectors are the *columns* of V.
+struct EigenResult {
+  std::vector<double> values;
+  Matrix vectors;  // n×n, column i pairs with values[i]
+};
+
+/// Eigendecomposition of a symmetric matrix. The input is symmetrized
+/// (averaged with its transpose) to absorb round-off asymmetry; a genuinely
+/// non-symmetric input is a caller bug and is rejected beyond a tolerance.
+///
+/// `tol` bounds the off-diagonal Frobenius mass at convergence, relative to
+/// the matrix norm.
+EigenResult eigen_symmetric(const Matrix& a, double tol = 1e-12,
+                            int max_sweeps = 64);
+
+}  // namespace anchor::la

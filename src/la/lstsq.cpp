@@ -1,0 +1,70 @@
+#include "la/lstsq.hpp"
+
+#include <cmath>
+
+namespace anchor::la {
+
+Matrix cholesky(const Matrix& a) {
+  ANCHOR_CHECK_EQ(a.rows(), a.cols());
+  const std::size_t n = a.rows();
+  Matrix l(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double acc = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) acc -= l(i, k) * l(j, k);
+      if (i == j) {
+        ANCHOR_CHECK_MSG(acc > 0.0, "cholesky: matrix not positive definite "
+                                    "(pivot " << acc << " at " << i << ")");
+        l(i, i) = std::sqrt(acc);
+      } else {
+        l(i, j) = acc / l(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+std::vector<double> solve_spd(const Matrix& a, const std::vector<double>& b) {
+  ANCHOR_CHECK_EQ(a.rows(), b.size());
+  const Matrix l = cholesky(a);
+  const std::size_t n = b.size();
+  // Forward substitution L·z = b.
+  std::vector<double> z(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (std::size_t k = 0; k < i; ++k) acc -= l(i, k) * z[k];
+    z[i] = acc / l(i, i);
+  }
+  // Backward substitution Lᵀ·x = z.
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = z[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) acc -= l(k, ii) * x[k];
+    x[ii] = acc / l(ii, ii);
+  }
+  return x;
+}
+
+std::vector<double> lstsq(const Matrix& x, const std::vector<double>& y,
+                          double ridge) {
+  ANCHOR_CHECK_EQ(x.rows(), y.size());
+  Matrix g = gram(x);
+  // Damping scaled to the Gram trace keeps the behaviour size-invariant.
+  const double damp = ridge * std::max(1.0, trace(g) / static_cast<double>(g.rows()));
+  for (std::size_t i = 0; i < g.rows(); ++i) g(i, i) += damp;
+  std::vector<double> xty(x.cols(), 0.0);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const double* row = x.row(r);
+    for (std::size_t c = 0; c < x.cols(); ++c) xty[c] += row[c] * y[r];
+  }
+  return solve_spd(g, xty);
+}
+
+std::vector<double> lstsq_predictions(const Matrix& x,
+                                      const std::vector<double>& y,
+                                      double ridge) {
+  const std::vector<double> w = lstsq(x, y, ridge);
+  return matvec(x, w);
+}
+
+}  // namespace anchor::la

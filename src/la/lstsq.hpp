@@ -1,0 +1,30 @@
+// Least squares and Cholesky solves.
+//
+// Used by (a) Proposition 1's closed-form linear-regression predictions and
+// (b) the linear-log trend fits of Appendix C.4.
+#pragma once
+
+#include "la/matrix.hpp"
+
+namespace anchor::la {
+
+/// Cholesky factor L (lower triangular, A = L·Lᵀ) of a symmetric positive
+/// definite matrix. Throws CheckError when A is not SPD.
+Matrix cholesky(const Matrix& a);
+
+/// Solves A·x = b for SPD A via Cholesky.
+std::vector<double> solve_spd(const Matrix& a, const std::vector<double>& b);
+
+/// Ordinary least squares: argmin_w ‖X·w − y‖². Solved through the normal
+/// equations with a small diagonal damping (`ridge`) for numerical safety;
+/// the default damping is far below the scale of any experiment here.
+std::vector<double> lstsq(const Matrix& x, const std::vector<double>& y,
+                          double ridge = 1e-10);
+
+/// Hat-matrix predictions of an OLS fit: ŷ = X·(XᵀX)⁻¹·Xᵀ·y. This is the
+/// quantity Proposition 1 reasons about (equal to U·Uᵀ·y).
+std::vector<double> lstsq_predictions(const Matrix& x,
+                                      const std::vector<double>& y,
+                                      double ridge = 1e-10);
+
+}  // namespace anchor::la

@@ -1,0 +1,132 @@
+#include "la/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace anchor::la {
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  ANCHOR_CHECK_EQ(a.cols(), b.rows());
+  Matrix c(a.rows(), b.cols(), 0.0);
+  // ikj loop order keeps the inner loop streaming over contiguous rows.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.row(i);
+    double* crow = c.row(i);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = arow[k];
+      if (aik == 0.0) continue;
+      const double* brow = b.row(k);
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix matmul_at_b(const Matrix& a, const Matrix& b) {
+  ANCHOR_CHECK_EQ(a.rows(), b.rows());
+  Matrix c(a.cols(), b.cols(), 0.0);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const double* arow = a.row(r);
+    const double* brow = b.row(r);
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const double ari = arow[i];
+      if (ari == 0.0) continue;
+      double* crow = c.row(i);
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += ari * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix matmul_a_bt(const Matrix& a, const Matrix& b) {
+  ANCHOR_CHECK_EQ(a.cols(), b.cols());
+  Matrix c(a.rows(), b.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.row(i);
+    double* crow = c.row(i);
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      const double* brow = b.row(j);
+      double acc = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) acc += arow[k] * brow[k];
+      crow[j] = acc;
+    }
+  }
+  return c;
+}
+
+Matrix transpose(const Matrix& m) {
+  Matrix t(m.cols(), m.rows());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) t(j, i) = m(i, j);
+  }
+  return t;
+}
+
+Matrix gram(const Matrix& a) { return matmul_at_b(a, a); }
+
+Matrix add(const Matrix& a, const Matrix& b) {
+  ANCHOR_CHECK_EQ(a.rows(), b.rows());
+  ANCHOR_CHECK_EQ(a.cols(), b.cols());
+  Matrix c = a;
+  for (std::size_t i = 0; i < c.size(); ++i) c.storage()[i] += b.storage()[i];
+  return c;
+}
+
+Matrix subtract(const Matrix& a, const Matrix& b) {
+  ANCHOR_CHECK_EQ(a.rows(), b.rows());
+  ANCHOR_CHECK_EQ(a.cols(), b.cols());
+  Matrix c = a;
+  for (std::size_t i = 0; i < c.size(); ++i) c.storage()[i] -= b.storage()[i];
+  return c;
+}
+
+Matrix scale(const Matrix& a, double s) {
+  Matrix c = a;
+  for (double& x : c.storage()) x *= s;
+  return c;
+}
+
+double frobenius_norm_sq(const Matrix& m) {
+  double acc = 0.0;
+  for (double x : m.storage()) acc += x * x;
+  return acc;
+}
+
+double frobenius_norm(const Matrix& m) { return std::sqrt(frobenius_norm_sq(m)); }
+
+double trace(const Matrix& m) {
+  const std::size_t n = std::min(m.rows(), m.cols());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += m(i, i);
+  return acc;
+}
+
+double max_abs_diff(const Matrix& a, const Matrix& b) {
+  ANCHOR_CHECK_EQ(a.rows(), b.rows());
+  ANCHOR_CHECK_EQ(a.cols(), b.cols());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::abs(a.storage()[i] - b.storage()[i]));
+  }
+  return worst;
+}
+
+std::vector<double> matvec(const Matrix& m, const std::vector<double>& x) {
+  ANCHOR_CHECK_EQ(m.cols(), x.size());
+  std::vector<double> y(m.rows(), 0.0);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const double* row = m.row(i);
+    double acc = 0.0;
+    for (std::size_t j = 0; j < m.cols(); ++j) acc += row[j] * x[j];
+    y[i] = acc;
+  }
+  return y;
+}
+
+}  // namespace anchor::la

@@ -1,0 +1,101 @@
+// Dense row-major matrix and the handful of BLAS-style kernels the library
+// needs. No external linear-algebra dependency: every routine used by the
+// paper reproduction (gemm, Gram products, Frobenius norms, transposes) is
+// implemented here and unit-tested against closed-form oracles.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace anchor::la {
+
+/// Dense row-major matrix of doubles with value semantics.
+///
+/// Sized for the reproduction's "tall and thin" regime (vocabulary × embedding
+/// dimension): all O(n·d²) algorithms in the library avoid materializing n×n
+/// Gram matrices, per Appendix B.1 of the paper.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Adopts an existing row-major buffer (must have rows*cols elements).
+  Matrix(std::size_t rows, std::size_t cols, std::vector<double> data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {
+    ANCHOR_CHECK_EQ(data_.size(), rows_ * cols_);
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    ANCHOR_CHECK_LT(r, rows_);
+    ANCHOR_CHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    ANCHOR_CHECK_LT(r, rows_);
+    ANCHOR_CHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
+
+  double* row(std::size_t r) {
+    ANCHOR_CHECK_LT(r, rows_);
+    return data_.data() + r * cols_;
+  }
+  const double* row(std::size_t r) const {
+    ANCHOR_CHECK_LT(r, rows_);
+    return data_.data() + r * cols_;
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  std::vector<double>& storage() { return data_; }
+  const std::vector<double>& storage() const { return data_; }
+
+  /// Identity matrix of order n.
+  static Matrix identity(std::size_t n);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// C = A · B. Shapes are checked.
+Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// C = Aᵀ · B without forming Aᵀ. The workhorse for Gram products of tall
+/// matrices: for A, B ∈ R^{n×d} this is O(n·d²) time and O(d²) memory.
+Matrix matmul_at_b(const Matrix& a, const Matrix& b);
+
+/// C = A · Bᵀ without forming Bᵀ.
+Matrix matmul_a_bt(const Matrix& a, const Matrix& b);
+
+Matrix transpose(const Matrix& m);
+
+/// Gram matrix AᵀA (symmetric by construction).
+Matrix gram(const Matrix& a);
+
+Matrix add(const Matrix& a, const Matrix& b);
+Matrix subtract(const Matrix& a, const Matrix& b);
+Matrix scale(const Matrix& a, double s);
+
+double frobenius_norm(const Matrix& m);
+/// ‖M‖F² — avoids the sqrt for identities like the PIP-loss trick.
+double frobenius_norm_sq(const Matrix& m);
+double trace(const Matrix& m);
+
+/// Maximum absolute element-wise difference; the comparison primitive used
+/// throughout the tests.
+double max_abs_diff(const Matrix& a, const Matrix& b);
+
+/// y = M·x for a vector x (as a column).
+std::vector<double> matvec(const Matrix& m, const std::vector<double>& x);
+
+}  // namespace anchor::la

@@ -1,0 +1,20 @@
+#include "la/procrustes.hpp"
+
+#include "la/svd.hpp"
+
+namespace anchor::la {
+
+Matrix procrustes_rotation(const Matrix& a, const Matrix& b) {
+  ANCHOR_CHECK_EQ(a.rows(), b.rows());
+  ANCHOR_CHECK_EQ(a.cols(), b.cols());
+  // M = BᵀA is d×d; Ω = U·Vᵀ from M = U·S·Vᵀ.
+  const Matrix m = matmul_at_b(b, a);
+  SvdResult s = svd(m);
+  return matmul_a_bt(s.u, s.v);
+}
+
+Matrix procrustes_align(const Matrix& a, const Matrix& b) {
+  return matmul(b, procrustes_rotation(a, b));
+}
+
+}  // namespace anchor::la

@@ -1,0 +1,19 @@
+// Orthogonal Procrustes alignment (Schönemann, 1966).
+//
+// The paper aligns every Wiki'18 embedding to its Wiki'17 counterpart before
+// compression and downstream training (Appendix C.2); this module provides
+// that alignment.
+#pragma once
+
+#include "la/matrix.hpp"
+
+namespace anchor::la {
+
+/// Returns the orthogonal Ω minimizing ‖A − B·Ω‖F (so B·Ω is the rotation of
+/// B closest to A). Computed from the SVD of BᵀA: Ω = U·Vᵀ.
+Matrix procrustes_rotation(const Matrix& a, const Matrix& b);
+
+/// Convenience: returns B·Ω, i.e. B rotated onto A.
+Matrix procrustes_align(const Matrix& a, const Matrix& b);
+
+}  // namespace anchor::la

@@ -1,0 +1,103 @@
+#include "la/sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace anchor::la {
+
+SparseMatrix SparseMatrix::from_triplets(std::size_t n,
+                                         std::vector<SparseEntry> entries) {
+  SparseMatrix m;
+  m.n_ = n;
+  for (const auto& e : entries) {
+    ANCHOR_CHECK_LT(static_cast<std::size_t>(e.row), n);
+    ANCHOR_CHECK_LT(static_cast<std::size_t>(e.col), n);
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const SparseEntry& a, const SparseEntry& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+
+  m.row_ptr_.assign(n + 1, 0);
+  m.cols_.reserve(entries.size());
+  m.values_.reserve(entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const auto& e = entries[i];
+    if (!m.cols_.empty() && i > 0 && entries[i - 1].row == e.row &&
+        entries[i - 1].col == e.col) {
+      m.values_.back() += e.value;  // merge duplicate cell
+      continue;
+    }
+    m.cols_.push_back(e.col);
+    m.values_.push_back(e.value);
+    m.row_ptr_[static_cast<std::size_t>(e.row) + 1] = m.cols_.size();
+  }
+  // Rows with no entries inherit the previous row's end offset.
+  for (std::size_t r = 1; r <= n; ++r) {
+    m.row_ptr_[r] = std::max(m.row_ptr_[r], m.row_ptr_[r - 1]);
+  }
+  return m;
+}
+
+std::vector<double> SparseMatrix::multiply(const std::vector<double>& x) const {
+  ANCHOR_CHECK_EQ(x.size(), n_);
+  std::vector<double> y(n_, 0.0);
+  for (std::size_t r = 0; r < n_; ++r) {
+    double acc = 0.0;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      acc += values_[k] * x[static_cast<std::size_t>(cols_[k])];
+    }
+    y[r] = acc;
+  }
+  return y;
+}
+
+Matrix SparseMatrix::multiply(const Matrix& x) const {
+  ANCHOR_CHECK_EQ(x.rows(), n_);
+  const std::size_t k = x.cols();
+  Matrix y(n_, k, 0.0);
+  for (std::size_t r = 0; r < n_; ++r) {
+    double* yrow = y.row(r);
+    for (std::size_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+      const double v = values_[p];
+      const double* xrow = x.row(static_cast<std::size_t>(cols_[p]));
+      for (std::size_t j = 0; j < k; ++j) yrow[j] += v * xrow[j];
+    }
+  }
+  return y;
+}
+
+Matrix SparseMatrix::to_dense() const {
+  Matrix d(n_, n_, 0.0);
+  for (std::size_t r = 0; r < n_; ++r) {
+    for (std::size_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+      d(r, static_cast<std::size_t>(cols_[p])) += values_[p];
+    }
+  }
+  return d;
+}
+
+double SparseMatrix::at(std::size_t r, std::size_t c) const {
+  ANCHOR_CHECK_LT(r, n_);
+  ANCHOR_CHECK_LT(c, n_);
+  const auto begin = cols_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[r]);
+  const auto end = cols_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[r + 1]);
+  const auto it =
+      std::lower_bound(begin, end, static_cast<std::int32_t>(c));
+  if (it == end || *it != static_cast<std::int32_t>(c)) return 0.0;
+  return values_[static_cast<std::size_t>(it - cols_.begin())];
+}
+
+double SparseMatrix::inf_norm() const {
+  double best = 0.0;
+  for (std::size_t r = 0; r < n_; ++r) {
+    double acc = 0.0;
+    for (std::size_t p = row_ptr_[r]; p < row_ptr_[r + 1]; ++p) {
+      acc += std::abs(values_[p]);
+    }
+    best = std::max(best, acc);
+  }
+  return best;
+}
+
+}  // namespace anchor::la

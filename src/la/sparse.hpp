@@ -1,0 +1,61 @@
+// Compressed-sparse-row symmetric matrix and its dense products.
+//
+// The PPMI matrix a vocabulary induces is n×n but Zipf-sparse; the SVD-based
+// embedding algorithms (Hellrich et al., 2019 study their stability) only
+// ever need A·X products against tall-thin dense blocks. CSR storage plus a
+// row-parallel-free, cache-friendly matmat is all that requires.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace anchor::la {
+
+/// One (row, col, value) triplet used to assemble a sparse matrix.
+struct SparseEntry {
+  std::int32_t row = 0;
+  std::int32_t col = 0;
+  double value = 0.0;
+};
+
+/// Square sparse matrix in CSR form. Symmetry is the caller's contract (the
+/// co-occurrence builders emit both triangles); the class itself only
+/// assumes squareness.
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+
+  /// Assembles from triplets. Duplicate (row, col) cells are summed; zero
+  /// values are kept (callers prune upstream when they want pruning).
+  static SparseMatrix from_triplets(std::size_t n,
+                                    std::vector<SparseEntry> entries);
+
+  std::size_t n() const { return n_; }
+  std::size_t nnz() const { return values_.size(); }
+
+  /// y = A·x.
+  std::vector<double> multiply(const std::vector<double>& x) const;
+
+  /// Y = A·X for a dense tall-thin block X ∈ R^{n×k}.
+  Matrix multiply(const Matrix& x) const;
+
+  /// Dense copy (tests and tiny-n tooling only).
+  Matrix to_dense() const;
+
+  /// Value at (r, c), zero when the cell is not stored. O(log nnz_row).
+  double at(std::size_t r, std::size_t c) const;
+
+  /// Largest absolute row sum = induced ∞-norm; a cheap spectral bound used
+  /// to sanity-check convergence tolerances.
+  double inf_norm() const;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::size_t> row_ptr_;   // n+1 offsets into cols_/values_
+  std::vector<std::int32_t> cols_;
+  std::vector<double> values_;
+};
+
+}  // namespace anchor::la

@@ -1,0 +1,125 @@
+#include "la/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "la/lstsq.hpp"
+#include "util/rng.hpp"
+
+namespace anchor::la {
+
+double pearson(const std::vector<double>& x, const std::vector<double>& y) {
+  ANCHOR_CHECK_EQ(x.size(), y.size());
+  ANCHOR_CHECK_GE(x.size(), 2u);
+  const double n = static_cast<double>(x.size());
+  const double mx = std::accumulate(x.begin(), x.end(), 0.0) / n;
+  const double my = std::accumulate(y.begin(), y.end(), 0.0) / n;
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double> ranks_with_ties(const std::vector<double>& v) {
+  const std::size_t n = v.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return v[a] < v[b]; });
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && v[order[j + 1]] == v[order[i]]) ++j;
+    // Tied block [i, j] shares the average 1-based rank.
+    const double avg = 0.5 * (static_cast<double>(i) + static_cast<double>(j)) + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double spearman(const std::vector<double>& x, const std::vector<double>& y) {
+  return pearson(ranks_with_ties(x), ranks_with_ties(y));
+}
+
+TrendFit fit_shared_slope(const std::vector<TrendPoint>& points) {
+  ANCHOR_CHECK_GE(points.size(), 2u);
+  std::size_t num_tasks = 0;
+  for (const auto& p : points) num_tasks = std::max(num_tasks, p.task_id + 1);
+
+  // Design matrix: [log2_x | one-hot(task)] exactly as Appendix C.4. The
+  // one-hot block gives each task its own intercept C_T.
+  Matrix x(points.size(), 1 + num_tasks, 0.0);
+  std::vector<double> y(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    x(i, 0) = points[i].log2_x;
+    x(i, 1 + points[i].task_id) = 1.0;
+    y[i] = points[i].disagreement_pct;
+  }
+  const std::vector<double> beta = lstsq(x, y, 1e-9);
+
+  TrendFit fit;
+  fit.slope = beta[0];
+  fit.intercepts.assign(beta.begin() + 1, beta.end());
+
+  // R² over all points.
+  const std::vector<double> pred = matvec(x, beta);
+  const double mean_y =
+      std::accumulate(y.begin(), y.end(), 0.0) / static_cast<double>(y.size());
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    ss_res += (y[i] - pred[i]) * (y[i] - pred[i]);
+    ss_tot += (y[i] - mean_y) * (y[i] - mean_y);
+  }
+  fit.r_squared = (ss_tot > 0.0) ? 1.0 - ss_res / ss_tot : 0.0;
+  return fit;
+}
+
+BootstrapInterval bootstrap_spearman_ci(const std::vector<double>& x,
+                                        const std::vector<double>& y,
+                                        std::size_t num_resamples,
+                                        double level, std::uint64_t seed) {
+  ANCHOR_CHECK_EQ(x.size(), y.size());
+  ANCHOR_CHECK_GT(x.size(), 2u);
+  ANCHOR_CHECK_GT(num_resamples, 1u);
+  ANCHOR_CHECK_GT(level, 0.0);
+  ANCHOR_CHECK_LT(level, 1.0);
+
+  BootstrapInterval out;
+  out.point = spearman(x, y);
+
+  Rng rng(seed);
+  const std::size_t n = x.size();
+  std::vector<double> rx(n), ry(n), rhos;
+  rhos.reserve(num_resamples);
+  for (std::size_t r = 0; r < num_resamples; ++r) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t pick = rng.index(n);
+      rx[i] = x[pick];
+      ry[i] = y[pick];
+    }
+    rhos.push_back(spearman(rx, ry));
+  }
+  std::sort(rhos.begin(), rhos.end());
+  const double tail = (1.0 - level) / 2.0;
+  const auto at_quantile = [&](double q) {
+    const double pos = q * static_cast<double>(rhos.size() - 1);
+    const std::size_t lo_idx = static_cast<std::size_t>(pos);
+    const std::size_t hi_idx = std::min(rhos.size() - 1, lo_idx + 1);
+    const double frac = pos - static_cast<double>(lo_idx);
+    return rhos[lo_idx] * (1.0 - frac) + rhos[hi_idx] * frac;
+  };
+  out.lo = at_quantile(tail);
+  out.hi = at_quantile(1.0 - tail);
+  return out;
+}
+
+}  // namespace anchor::la

@@ -1,0 +1,58 @@
+// Statistics helpers: rank correlations and the linear-log trend fits used
+// throughout the paper's analysis sections.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace anchor::la {
+
+/// Pearson correlation coefficient. Returns 0 when either input is constant.
+double pearson(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Average ranks with ties sharing the mean rank (the convention SciPy uses,
+/// and the one the paper's Spearman numbers are computed with).
+std::vector<double> ranks_with_ties(const std::vector<double>& v);
+
+/// Spearman rank correlation = Pearson correlation of the tied ranks.
+double spearman(const std::vector<double>& x, const std::vector<double>& y);
+
+/// One observation for the Appendix C.4 linear-log fit: a task id (for the
+/// per-task intercept), the log2 of the memory/dimension/precision variable,
+/// and the downstream disagreement in percent.
+struct TrendPoint {
+  std::size_t task_id = 0;
+  double log2_x = 0.0;
+  double disagreement_pct = 0.0;
+};
+
+/// Result of the shared-slope fit DI_t ≈ intercept[t] + slope · log2(x).
+struct TrendFit {
+  double slope = 0.0;                  // the paper reports ≈ −1.3 for memory
+  std::vector<double> intercepts;      // one per task id (C_T in the paper)
+  double r_squared = 0.0;              // fit quality over all points
+};
+
+/// Fits one slope shared across tasks with an independent intercept per task
+/// (the exact design matrix construction of Appendix C.4).
+TrendFit fit_shared_slope(const std::vector<TrendPoint>& points);
+
+/// Percentile bootstrap confidence interval for the Spearman correlation of
+/// paired observations: resample (x_i, y_i) pairs with replacement
+/// `num_resamples` times and take the [(1−level)/2, 1−(1−level)/2]
+/// percentiles of the resampled correlations. Deterministic given the seed.
+struct BootstrapInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+  double point = 0.0;  // Spearman on the original sample
+};
+
+BootstrapInterval bootstrap_spearman_ci(const std::vector<double>& x,
+                                        const std::vector<double>& y,
+                                        std::size_t num_resamples = 2000,
+                                        double level = 0.95,
+                                        std::uint64_t seed = 1234);
+
+}  // namespace anchor::la

@@ -1,0 +1,111 @@
+#include "la/subspace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "la/eigen.hpp"
+#include "util/rng.hpp"
+
+namespace anchor::la {
+
+namespace {
+
+double column_norm(const Matrix& x, std::size_t c) {
+  double acc = 0.0;
+  for (std::size_t r = 0; r < x.rows(); ++r) acc += x(r, c) * x(r, c);
+  return std::sqrt(acc);
+}
+
+void subtract_projection(Matrix& x, std::size_t target, std::size_t basis) {
+  double dot = 0.0;
+  for (std::size_t r = 0; r < x.rows(); ++r) dot += x(r, basis) * x(r, target);
+  for (std::size_t r = 0; r < x.rows(); ++r) x(r, target) -= dot * x(r, basis);
+}
+
+}  // namespace
+
+void orthonormalize_columns(Matrix& x, double tol, std::uint64_t refill_seed) {
+  Rng rng(refill_seed);
+  for (std::size_t c = 0; c < x.cols(); ++c) {
+    const double original = column_norm(x, c);
+    // Two MGS passes: the second mops up the O(ε·κ) residual of the first.
+    for (int pass = 0; pass < 2; ++pass) {
+      for (std::size_t b = 0; b < c; ++b) subtract_projection(x, c, b);
+    }
+    double norm = column_norm(x, c);
+    while (norm <= tol * std::max(original, 1.0)) {
+      for (std::size_t r = 0; r < x.rows(); ++r) x(r, c) = rng.normal();
+      for (int pass = 0; pass < 2; ++pass) {
+        for (std::size_t b = 0; b < c; ++b) subtract_projection(x, c, b);
+      }
+      norm = column_norm(x, c);
+    }
+    const double inv = 1.0 / norm;
+    for (std::size_t r = 0; r < x.rows(); ++r) x(r, c) *= inv;
+  }
+}
+
+TopEigsResult top_eigs(const std::function<Matrix(const Matrix&)>& apply,
+                       std::size_t n, std::size_t k,
+                       const SubspaceOptions& options) {
+  ANCHOR_CHECK_GT(k, 0u);
+  ANCHOR_CHECK_LE(k, n);
+  const std::size_t block = std::min(n, k + options.oversample);
+
+  Rng rng(options.seed);
+  Matrix q(n, block);
+  for (double& v : q.storage()) v = rng.normal();
+  orthonormalize_columns(q);
+
+  std::vector<double> prev(block, 0.0);
+  TopEigsResult result;
+  for (std::size_t it = 0; it < options.max_iters; ++it) {
+    result.iterations = it + 1;
+    Matrix aq = apply(q);
+    ANCHOR_CHECK_EQ(aq.rows(), n);
+    ANCHOR_CHECK_EQ(aq.cols(), block);
+
+    // Rayleigh–Ritz on the current subspace: T = Qᵀ(AQ) is block×block.
+    const Matrix t = matmul_at_b(q, aq);
+    const EigenResult ritz = eigen_symmetric(t);
+
+    // Rotate the iterate into the Ritz basis and re-orthonormalize; this is
+    // orthogonal iteration with in-loop spectral ordering, so the leading
+    // columns converge to the leading eigenvectors.
+    q = matmul(aq, ritz.vectors);
+    orthonormalize_columns(q);
+
+    double worst = 0.0;
+    for (std::size_t j = 0; j < block; ++j) {
+      const double denom = std::max(std::abs(ritz.values[j]), 1e-30);
+      worst = std::max(worst, std::abs(ritz.values[j] - prev[j]) / denom);
+    }
+    prev = ritz.values;
+    if (worst < options.tol && it > 0) break;
+  }
+
+  // Final Rayleigh–Ritz to report consistent (value, vector) pairs.
+  Matrix aq = apply(q);
+  const Matrix t = matmul_at_b(q, aq);
+  const EigenResult ritz = eigen_symmetric(t);
+  Matrix rotated = matmul(q, ritz.vectors);
+
+  result.values.assign(ritz.values.begin(),
+                       ritz.values.begin() + static_cast<std::ptrdiff_t>(k));
+  result.vectors = Matrix(n, k);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < k; ++c) {
+      result.vectors(r, c) = rotated(r, c);
+    }
+  }
+  return result;
+}
+
+TopEigsResult top_eigs(const SparseMatrix& a, std::size_t k,
+                       const SubspaceOptions& options) {
+  return top_eigs([&a](const Matrix& x) { return a.multiply(x); }, a.n(), k,
+                  options);
+}
+
+}  // namespace anchor::la

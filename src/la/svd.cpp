@@ -1,0 +1,118 @@
+#include "la/svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/eigen.hpp"
+
+namespace anchor::la {
+
+namespace {
+
+/// Modified Gram-Schmidt pass over the columns of U, in place. Columns whose
+/// residual collapses (linearly dependent set) are replaced with a canonical
+/// basis vector orthogonalized against the rest, so the result is always a
+/// full orthonormal set.
+void orthonormalize_columns(Matrix& u) {
+  const std::size_t n = u.rows();
+  const std::size_t r = u.cols();
+  for (std::size_t j = 0; j < r; ++j) {
+    // Project out previously accepted columns (twice-is-enough reorthog).
+    for (int pass = 0; pass < 2; ++pass) {
+      for (std::size_t k = 0; k < j; ++k) {
+        double dot = 0.0;
+        for (std::size_t i = 0; i < n; ++i) dot += u(i, k) * u(i, j);
+        for (std::size_t i = 0; i < n; ++i) u(i, j) -= dot * u(i, k);
+      }
+    }
+    double norm = 0.0;
+    for (std::size_t i = 0; i < n; ++i) norm += u(i, j) * u(i, j);
+    norm = std::sqrt(norm);
+    if (norm > 1e-12) {
+      for (std::size_t i = 0; i < n; ++i) u(i, j) /= norm;
+      continue;
+    }
+    // Degenerate column: seed with successive canonical vectors until one
+    // survives projection.
+    for (std::size_t seed = 0; seed < n; ++seed) {
+      for (std::size_t i = 0; i < n; ++i) u(i, j) = (i == seed) ? 1.0 : 0.0;
+      for (std::size_t k = 0; k < j; ++k) {
+        double dot = 0.0;
+        for (std::size_t i = 0; i < n; ++i) dot += u(i, k) * u(i, j);
+        for (std::size_t i = 0; i < n; ++i) u(i, j) -= dot * u(i, k);
+      }
+      double nn = 0.0;
+      for (std::size_t i = 0; i < n; ++i) nn += u(i, j) * u(i, j);
+      nn = std::sqrt(nn);
+      if (nn > 0.5) {
+        for (std::size_t i = 0; i < n; ++i) u(i, j) /= nn;
+        break;
+      }
+    }
+  }
+}
+
+SvdResult svd_tall(const Matrix& x) {
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  ANCHOR_CHECK_GE(n, d);
+
+  const Matrix g = gram(x);  // d×d
+  EigenResult eig = eigen_symmetric(g);
+
+  SvdResult result;
+  result.singular_values.resize(d);
+  result.v = eig.vectors;  // columns already sorted by descending eigenvalue
+  for (std::size_t i = 0; i < d; ++i) {
+    result.singular_values[i] = std::sqrt(std::max(0.0, eig.values[i]));
+  }
+
+  const double sigma_max = result.singular_values.empty()
+                               ? 0.0
+                               : result.singular_values.front();
+  const double cutoff = 1e-10 * std::max(sigma_max, 1e-300);
+
+  // U = X · V · S⁻¹ column by column; tiny-σ columns are filled by the
+  // orthonormalization pass below.
+  result.u = Matrix(n, d, 0.0);
+  for (std::size_t j = 0; j < d; ++j) {
+    const double sigma = result.singular_values[j];
+    if (sigma <= cutoff) continue;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double* xrow = x.row(i);
+      double acc = 0.0;
+      for (std::size_t k = 0; k < d; ++k) acc += xrow[k] * result.v(k, j);
+      result.u(i, j) = acc / sigma;
+    }
+  }
+  orthonormalize_columns(result.u);
+  return result;
+}
+
+}  // namespace
+
+std::size_t SvdResult::rank(double rel_tol) const {
+  if (singular_values.empty()) return 0;
+  const double cutoff = rel_tol * singular_values.front();
+  std::size_t r = 0;
+  for (double s : singular_values) {
+    if (s > cutoff) ++r;
+  }
+  return r;
+}
+
+SvdResult svd(const Matrix& x) {
+  ANCHOR_CHECK(!x.empty());
+  if (x.rows() >= x.cols()) return svd_tall(x);
+  // Wide case: Xᵀ = U'SV'ᵀ  ⇒  X = V'SU'ᵀ.
+  SvdResult t = svd_tall(transpose(x));
+  SvdResult result;
+  result.u = std::move(t.v);
+  result.v = std::move(t.u);
+  result.singular_values = std::move(t.singular_values);
+  return result;
+}
+
+Matrix left_singular_vectors(const Matrix& x) { return svd(x).u; }
+
+}  // namespace anchor::la

@@ -1,0 +1,549 @@
+#include "model/bilstm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "model/optimizer.hpp"
+#include "util/rng.hpp"
+
+namespace anchor::model {
+
+namespace {
+
+float sigmoidf(float x) {
+  if (x > 30.0f) return 1.0f;
+  if (x < -30.0f) return 0.0f;
+  return 1.0f / (1.0f + std::exp(-x));
+}
+
+float log_sum_exp(const std::vector<float>& v) {
+  const float mx = *std::max_element(v.begin(), v.end());
+  float acc = 0.0f;
+  for (const float x : v) acc += std::exp(x - mx);
+  return mx + std::log(acc);
+}
+
+}  // namespace
+
+/// Cached activations of one LSTM direction over a sentence.
+struct BiLstmTagger::DirectionCache {
+  // Each entry is length-H (gates, cell, hidden) per timestep, in the
+  // direction's own time order (the backward direction stores reversed t).
+  std::vector<std::vector<float>> i, f, g, o, c, tanh_c, h;
+  std::vector<std::vector<float>> x;  // inputs after word dropout
+};
+
+std::size_t BiLstmTagger::dir_params() const {
+  const std::size_t h = config_.hidden;
+  return 4 * h * embedding_.dim + 4 * h * h + 4 * h;
+}
+
+std::size_t BiLstmTagger::out_offset() const { return 2 * dir_params(); }
+
+std::size_t BiLstmTagger::crf_offset() const {
+  return out_offset() + config_.num_tags * 2 * config_.hidden +
+         config_.num_tags;
+}
+
+namespace {
+
+/// Runs one LSTM direction. `params` points at [W|U|b] for the direction.
+/// Inputs are provided in the direction's time order.
+void run_direction(const float* params, std::size_t d, std::size_t h,
+                   const std::vector<std::vector<float>>& inputs,
+                   BiLstmTagger::DirectionCache& cache) {
+  const float* w = params;
+  const float* u = params + 4 * h * d;
+  const float* b = params + 4 * h * d + 4 * h * h;
+  const std::size_t t_count = inputs.size();
+  auto resize_all = [&](std::vector<std::vector<float>>& v) {
+    v.assign(t_count, std::vector<float>(h, 0.0f));
+  };
+  resize_all(cache.i);
+  resize_all(cache.f);
+  resize_all(cache.g);
+  resize_all(cache.o);
+  resize_all(cache.c);
+  resize_all(cache.tanh_c);
+  resize_all(cache.h);
+  cache.x = inputs;
+
+  std::vector<float> pre(4 * h);
+  for (std::size_t t = 0; t < t_count; ++t) {
+    const std::vector<float>& xt = inputs[t];
+    const std::vector<float>* hprev = (t > 0) ? &cache.h[t - 1] : nullptr;
+    for (std::size_t r = 0; r < 4 * h; ++r) {
+      float acc = b[r];
+      const float* wrow = w + r * d;
+      for (std::size_t j = 0; j < d; ++j) acc += wrow[j] * xt[j];
+      if (hprev != nullptr) {
+        const float* urow = u + r * h;
+        for (std::size_t j = 0; j < h; ++j) acc += urow[j] * (*hprev)[j];
+      }
+      pre[r] = acc;
+    }
+    for (std::size_t j = 0; j < h; ++j) {
+      const float ig = sigmoidf(pre[j]);
+      const float fg = sigmoidf(pre[h + j]);
+      const float gg = std::tanh(pre[2 * h + j]);
+      const float og = sigmoidf(pre[3 * h + j]);
+      const float cprev = (t > 0) ? cache.c[t - 1][j] : 0.0f;
+      const float ct = fg * cprev + ig * gg;
+      cache.i[t][j] = ig;
+      cache.f[t][j] = fg;
+      cache.g[t][j] = gg;
+      cache.o[t][j] = og;
+      cache.c[t][j] = ct;
+      cache.tanh_c[t][j] = std::tanh(ct);
+      cache.h[t][j] = og * cache.tanh_c[t][j];
+    }
+  }
+}
+
+/// BPTT through one direction. `dh_list` holds dL/dh_t in the direction's
+/// time order; gradients are accumulated into `gparams` ([W|U|b] layout).
+void backward_direction(const float* params, float* gparams, std::size_t d,
+                        std::size_t h,
+                        const BiLstmTagger::DirectionCache& cache,
+                        const std::vector<std::vector<float>>& dh_list) {
+  const float* u = params + 4 * h * d;
+  float* gw = gparams;
+  float* gu = gparams + 4 * h * d;
+  float* gb = gparams + 4 * h * d + 4 * h * h;
+  const std::size_t t_count = cache.h.size();
+
+  std::vector<float> dh_carry(h, 0.0f), dc_next(h, 0.0f), dpre(4 * h);
+  for (std::size_t tt = t_count; tt-- > 0;) {
+    for (std::size_t j = 0; j < h; ++j) {
+      const float dh = dh_list[tt][j] + dh_carry[j];
+      const float o = cache.o[tt][j];
+      const float tc = cache.tanh_c[tt][j];
+      const float d_o = dh * tc;
+      const float dc = dc_next[j] + dh * o * (1.0f - tc * tc);
+      const float i = cache.i[tt][j];
+      const float f = cache.f[tt][j];
+      const float g = cache.g[tt][j];
+      const float cprev = (tt > 0) ? cache.c[tt - 1][j] : 0.0f;
+      const float di = dc * g;
+      const float dg = dc * i;
+      const float df = dc * cprev;
+      dc_next[j] = dc * f;
+      dpre[j] = di * i * (1.0f - i);
+      dpre[h + j] = df * f * (1.0f - f);
+      dpre[2 * h + j] = dg * (1.0f - g * g);
+      dpre[3 * h + j] = d_o * o * (1.0f - o);
+    }
+    // Accumulate parameter gradients and propagate to h_{t-1}.
+    const std::vector<float>& xt = cache.x[tt];
+    const std::vector<float>* hprev = (tt > 0) ? &cache.h[tt - 1] : nullptr;
+    std::fill(dh_carry.begin(), dh_carry.end(), 0.0f);
+    for (std::size_t r = 0; r < 4 * h; ++r) {
+      const float dp = dpre[r];
+      if (dp == 0.0f) continue;
+      float* gwrow = gw + r * d;
+      for (std::size_t j = 0; j < d; ++j) gwrow[j] += dp * xt[j];
+      if (hprev != nullptr) {
+        float* gurow = gu + r * h;
+        const float* urow = u + r * h;
+        for (std::size_t j = 0; j < h; ++j) {
+          gurow[j] += dp * (*hprev)[j];
+          dh_carry[j] += dp * urow[j];
+        }
+      }
+      gb[r] += dp;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<float>> BiLstmTagger::emissions(
+    const std::vector<std::int32_t>& sentence) const {
+  const std::size_t d = embedding_.dim;
+  const std::size_t h = config_.hidden;
+  const std::size_t c = config_.num_tags;
+  const std::size_t t_count = sentence.size();
+
+  std::vector<std::vector<float>> inputs(t_count, std::vector<float>(d));
+  for (std::size_t t = 0; t < t_count; ++t) {
+    const float* row = embedding_.row(static_cast<std::size_t>(sentence[t]));
+    std::copy(row, row + d, inputs[t].begin());
+  }
+  DirectionCache fwd, bwd;
+  run_direction(params_.data(), d, h, inputs, fwd);
+  std::vector<std::vector<float>> rev(inputs.rbegin(), inputs.rend());
+  run_direction(params_.data() + dir_params(), d, h, rev, bwd);
+
+  const float* wout = params_.data() + out_offset();
+  const float* bout = wout + c * 2 * h;
+  std::vector<std::vector<float>> e(t_count, std::vector<float>(c, 0.0f));
+  for (std::size_t t = 0; t < t_count; ++t) {
+    const std::vector<float>& hf = fwd.h[t];
+    const std::vector<float>& hb = bwd.h[t_count - 1 - t];
+    for (std::size_t k = 0; k < c; ++k) {
+      float acc = bout[k];
+      const float* wrow = wout + k * 2 * h;
+      for (std::size_t j = 0; j < h; ++j) {
+        acc += wrow[j] * hf[j] + wrow[h + j] * hb[j];
+      }
+      e[t][k] = acc;
+    }
+  }
+  return e;
+}
+
+double BiLstmTagger::loss(const std::vector<std::int32_t>& sentence,
+                          const std::vector<std::int32_t>& tags) const {
+  ANCHOR_CHECK_EQ(sentence.size(), tags.size());
+  ANCHOR_CHECK(!sentence.empty());
+  const std::vector<std::vector<float>> e = emissions(sentence);
+  const std::size_t c = config_.num_tags;
+  const std::size_t t_count = e.size();
+
+  if (!config_.use_crf) {
+    double total = 0.0;
+    for (std::size_t t = 0; t < t_count; ++t) {
+      const float lse = log_sum_exp(e[t]);
+      total += lse - e[t][static_cast<std::size_t>(tags[t])];
+    }
+    return total;
+  }
+
+  const float* crf = params_.data() + crf_offset();
+  const float* trans = crf;              // C×C
+  const float* start = crf + c * c;      // C
+  const float* end = crf + c * c + c;    // C
+
+  // Forward algorithm in log space.
+  std::vector<float> alpha(c), next(c), tmp(c);
+  for (std::size_t k = 0; k < c; ++k) alpha[k] = start[k] + e[0][k];
+  for (std::size_t t = 1; t < t_count; ++t) {
+    for (std::size_t j = 0; j < c; ++j) {
+      for (std::size_t i = 0; i < c; ++i) tmp[i] = alpha[i] + trans[i * c + j];
+      next[j] = e[t][j] + log_sum_exp(tmp);
+    }
+    alpha = next;
+  }
+  for (std::size_t k = 0; k < c; ++k) tmp[k] = alpha[k] + end[k];
+  const double log_z = log_sum_exp(tmp);
+
+  double score = start[static_cast<std::size_t>(tags[0])] +
+                 e[0][static_cast<std::size_t>(tags[0])];
+  for (std::size_t t = 1; t < t_count; ++t) {
+    score += trans[static_cast<std::size_t>(tags[t - 1]) * c +
+                   static_cast<std::size_t>(tags[t])] +
+             e[t][static_cast<std::size_t>(tags[t])];
+  }
+  score += end[static_cast<std::size_t>(tags[t_count - 1])];
+  return log_z - score;
+}
+
+std::vector<float> BiLstmTagger::example_gradient(
+    const std::vector<std::int32_t>& sentence,
+    const std::vector<std::int32_t>& tags,
+    const std::vector<float>* locked_mask,
+    const std::vector<std::uint8_t>* word_drop) const {
+  ANCHOR_CHECK_EQ(sentence.size(), tags.size());
+  ANCHOR_CHECK(!sentence.empty());
+  const std::size_t d = embedding_.dim;
+  const std::size_t h = config_.hidden;
+  const std::size_t c = config_.num_tags;
+  const std::size_t t_count = sentence.size();
+
+  // --- Forward with caches ---
+  std::vector<std::vector<float>> inputs(t_count, std::vector<float>(d, 0.0f));
+  for (std::size_t t = 0; t < t_count; ++t) {
+    if (word_drop != nullptr && (*word_drop)[t]) continue;  // zeroed token
+    const float* row = embedding_.row(static_cast<std::size_t>(sentence[t]));
+    std::copy(row, row + d, inputs[t].begin());
+  }
+  DirectionCache fwd, bwd;
+  run_direction(params_.data(), d, h, inputs, fwd);
+  std::vector<std::vector<float>> rev(inputs.rbegin(), inputs.rend());
+  run_direction(params_.data() + dir_params(), d, h, rev, bwd);
+
+  // Concatenated (and optionally locked-dropout-masked) features.
+  std::vector<std::vector<float>> feat(t_count, std::vector<float>(2 * h));
+  for (std::size_t t = 0; t < t_count; ++t) {
+    for (std::size_t j = 0; j < h; ++j) {
+      feat[t][j] = fwd.h[t][j];
+      feat[t][h + j] = bwd.h[t_count - 1 - t][j];
+    }
+    if (locked_mask != nullptr) {
+      for (std::size_t j = 0; j < 2 * h; ++j) feat[t][j] *= (*locked_mask)[j];
+    }
+  }
+
+  const float* wout = params_.data() + out_offset();
+  const float* bout = wout + c * 2 * h;
+  std::vector<std::vector<float>> e(t_count, std::vector<float>(c, 0.0f));
+  for (std::size_t t = 0; t < t_count; ++t) {
+    for (std::size_t k = 0; k < c; ++k) {
+      float acc = bout[k];
+      const float* wrow = wout + k * 2 * h;
+      for (std::size_t j = 0; j < 2 * h; ++j) acc += wrow[j] * feat[t][j];
+      e[t][k] = acc;
+    }
+  }
+
+  std::vector<float> grads(params_.size(), 0.0f);
+  // --- dL/demissions (and CRF parameter gradients) ---
+  std::vector<std::vector<float>> de(t_count, std::vector<float>(c, 0.0f));
+  if (!config_.use_crf) {
+    for (std::size_t t = 0; t < t_count; ++t) {
+      std::vector<float> p = e[t];
+      const float lse = log_sum_exp(p);
+      for (std::size_t k = 0; k < c; ++k) p[k] = std::exp(p[k] - lse);
+      for (std::size_t k = 0; k < c; ++k) {
+        de[t][k] = p[k] - (static_cast<std::size_t>(tags[t]) == k ? 1.0f : 0.0f);
+      }
+    }
+  } else {
+    const float* crf = params_.data() + crf_offset();
+    const float* trans = crf;
+    const float* start = crf + c * c;
+    const float* end_v = crf + c * c + c;
+    float* gcrf = grads.data() + crf_offset();
+    float* gtrans = gcrf;
+    float* gstart = gcrf + c * c;
+    float* gend = gcrf + c * c + c;
+
+    // Forward (alpha) and backward (beta) messages in log space.
+    std::vector<std::vector<float>> alpha(t_count, std::vector<float>(c));
+    std::vector<std::vector<float>> beta(t_count, std::vector<float>(c));
+    std::vector<float> tmp(c);
+    for (std::size_t k = 0; k < c; ++k) alpha[0][k] = start[k] + e[0][k];
+    for (std::size_t t = 1; t < t_count; ++t) {
+      for (std::size_t j = 0; j < c; ++j) {
+        for (std::size_t i = 0; i < c; ++i) {
+          tmp[i] = alpha[t - 1][i] + trans[i * c + j];
+        }
+        alpha[t][j] = e[t][j] + log_sum_exp(tmp);
+      }
+    }
+    for (std::size_t k = 0; k < c; ++k) beta[t_count - 1][k] = end_v[k];
+    for (std::size_t t = t_count - 1; t-- > 0;) {
+      for (std::size_t i = 0; i < c; ++i) {
+        for (std::size_t j = 0; j < c; ++j) {
+          tmp[j] = trans[i * c + j] + e[t + 1][j] + beta[t + 1][j];
+        }
+        beta[t][i] = log_sum_exp(tmp);
+      }
+    }
+    for (std::size_t k = 0; k < c; ++k) {
+      tmp[k] = alpha[t_count - 1][k] + end_v[k];
+    }
+    const float log_z = log_sum_exp(tmp);
+
+    // Unary marginals → emission gradient; also start/end gradients.
+    for (std::size_t t = 0; t < t_count; ++t) {
+      for (std::size_t k = 0; k < c; ++k) {
+        const float marg = std::exp(alpha[t][k] + beta[t][k] - log_z);
+        de[t][k] = marg - (static_cast<std::size_t>(tags[t]) == k ? 1.0f : 0.0f);
+      }
+    }
+    for (std::size_t k = 0; k < c; ++k) {
+      const float m0 = std::exp(alpha[0][k] + beta[0][k] - log_z);
+      gstart[k] += m0 - (static_cast<std::size_t>(tags[0]) == k ? 1.0f : 0.0f);
+      const float mT =
+          std::exp(alpha[t_count - 1][k] + beta[t_count - 1][k] - log_z);
+      gend[k] +=
+          mT - (static_cast<std::size_t>(tags[t_count - 1]) == k ? 1.0f : 0.0f);
+    }
+    // Pairwise marginals → transition gradient.
+    for (std::size_t t = 1; t < t_count; ++t) {
+      for (std::size_t i = 0; i < c; ++i) {
+        for (std::size_t j = 0; j < c; ++j) {
+          const float pm = std::exp(alpha[t - 1][i] + trans[i * c + j] +
+                                    e[t][j] + beta[t][j] - log_z);
+          gtrans[i * c + j] +=
+              pm - ((static_cast<std::size_t>(tags[t - 1]) == i &&
+                     static_cast<std::size_t>(tags[t]) == j)
+                        ? 1.0f
+                        : 0.0f);
+        }
+      }
+    }
+  }
+
+  // --- Output layer gradient and feature deltas ---
+  float* gout = grads.data() + out_offset();
+  float* gbout = gout + c * 2 * h;
+  std::vector<std::vector<float>> dfeat(t_count,
+                                        std::vector<float>(2 * h, 0.0f));
+  for (std::size_t t = 0; t < t_count; ++t) {
+    for (std::size_t k = 0; k < c; ++k) {
+      const float delta = de[t][k];
+      if (delta == 0.0f) continue;
+      float* gwrow = gout + k * 2 * h;
+      const float* wrow = wout + k * 2 * h;
+      for (std::size_t j = 0; j < 2 * h; ++j) {
+        gwrow[j] += delta * feat[t][j];
+        dfeat[t][j] += delta * wrow[j];
+      }
+      gbout[k] += delta;
+    }
+    if (locked_mask != nullptr) {
+      for (std::size_t j = 0; j < 2 * h; ++j) dfeat[t][j] *= (*locked_mask)[j];
+    }
+  }
+
+  // --- BPTT through both directions ---
+  std::vector<std::vector<float>> dh_f(t_count, std::vector<float>(h));
+  std::vector<std::vector<float>> dh_b(t_count, std::vector<float>(h));
+  for (std::size_t t = 0; t < t_count; ++t) {
+    for (std::size_t j = 0; j < h; ++j) {
+      dh_f[t][j] = dfeat[t][j];
+      // Backward direction's step t corresponds to sentence position
+      // t_count-1-t.
+      dh_b[t][j] = dfeat[t_count - 1 - t][h + j];
+    }
+  }
+  backward_direction(params_.data(), grads.data(), d, h, fwd, dh_f);
+  backward_direction(params_.data() + dir_params(),
+                     grads.data() + dir_params(), d, h, bwd, dh_b);
+  return grads;
+}
+
+BiLstmTagger::BiLstmTagger(
+    const embed::Embedding& embedding,
+    const std::vector<std::vector<std::int32_t>>& sentences,
+    const std::vector<std::vector<std::int32_t>>& tags,
+    const BiLstmConfig& config)
+    : embedding_(embedding), config_(config) {
+  ANCHOR_CHECK_EQ(sentences.size(), tags.size());
+  ANCHOR_CHECK(!sentences.empty());
+  const std::size_t h = config.hidden;
+  const std::size_t c = config.num_tags;
+
+  std::size_t total = 2 * dir_params() + c * 2 * h + c;
+  if (config.use_crf) total += c * c + 2 * c;
+  params_.assign(total, 0.0f);
+
+  Rng init_rng(config.init_seed);
+  // Glorot-style init for the recurrent blocks and output layer.
+  auto init_block = [&](std::size_t offset, std::size_t count, double fan) {
+    const double scale = 1.0 / std::sqrt(fan);
+    for (std::size_t i = 0; i < count; ++i) {
+      params_[offset + i] = static_cast<float>(init_rng.normal(0.0, scale));
+    }
+  };
+  const std::size_t d = embedding_.dim;
+  for (std::size_t dir = 0; dir < 2; ++dir) {
+    const std::size_t base = dir * dir_params();
+    init_block(base, 4 * h * d, static_cast<double>(d));
+    init_block(base + 4 * h * d, 4 * h * h, static_cast<double>(h));
+    // Forget-gate bias starts at 1 (standard LSTM practice).
+    for (std::size_t j = 0; j < h; ++j) {
+      params_[base + 4 * h * d + 4 * h * h + h + j] = 1.0f;
+    }
+  }
+  init_block(out_offset(), c * 2 * h, static_cast<double>(2 * h));
+  // CRF transitions start at zero (uniform), which is already the case.
+
+  Sgd optimizer(config.learning_rate, config.clip_norm);
+  std::vector<std::size_t> order(sentences.size());
+  std::iota(order.begin(), order.end(), 0u);
+  Rng sample_rng(config.sampling_seed);
+
+  std::vector<float> locked_mask(2 * h, 1.0f);
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    if (config.anneal_every > 0 && epoch > 0 &&
+        epoch % config.anneal_every == 0) {
+      optimizer.set_learning_rate(optimizer.learning_rate() * 0.5f);
+    }
+    sample_rng.shuffle(order);
+    for (const std::size_t idx : order) {
+      const auto& sentence = sentences[idx];
+      if (sentence.empty()) continue;
+      // Locked dropout: one mask shared across all timesteps (inverted).
+      const float keep = 1.0f - config.locked_dropout;
+      for (auto& m : locked_mask) {
+        m = (config.locked_dropout > 0.0f &&
+             sample_rng.bernoulli(config.locked_dropout))
+                ? 0.0f
+                : (config.locked_dropout > 0.0f ? 1.0f / keep : 1.0f);
+      }
+      std::vector<std::uint8_t> word_drop(sentence.size(), 0);
+      for (auto& wd : word_drop) {
+        wd = (config.word_dropout > 0.0f &&
+              sample_rng.bernoulli(config.word_dropout))
+                 ? 1
+                 : 0;
+      }
+      const std::vector<float> grads =
+          example_gradient(sentence, tags[idx], &locked_mask, &word_drop);
+      optimizer.step(params_, grads);
+    }
+  }
+}
+
+std::vector<std::int32_t> BiLstmTagger::predict(
+    const std::vector<std::int32_t>& sentence) const {
+  ANCHOR_CHECK(!sentence.empty());
+  const std::vector<std::vector<float>> e = emissions(sentence);
+  const std::size_t c = config_.num_tags;
+  const std::size_t t_count = e.size();
+  std::vector<std::int32_t> out(t_count, 0);
+
+  if (!config_.use_crf) {
+    for (std::size_t t = 0; t < t_count; ++t) {
+      out[t] = static_cast<std::int32_t>(
+          std::max_element(e[t].begin(), e[t].end()) - e[t].begin());
+    }
+    return out;
+  }
+
+  // Viterbi decoding.
+  const float* crf = params_.data() + crf_offset();
+  const float* trans = crf;
+  const float* start = crf + c * c;
+  const float* end_v = crf + c * c + c;
+  std::vector<std::vector<float>> delta(t_count, std::vector<float>(c));
+  std::vector<std::vector<std::size_t>> back(t_count,
+                                             std::vector<std::size_t>(c, 0));
+  for (std::size_t k = 0; k < c; ++k) delta[0][k] = start[k] + e[0][k];
+  for (std::size_t t = 1; t < t_count; ++t) {
+    for (std::size_t j = 0; j < c; ++j) {
+      float best = -1e30f;
+      std::size_t arg = 0;
+      for (std::size_t i = 0; i < c; ++i) {
+        const float s = delta[t - 1][i] + trans[i * c + j];
+        if (s > best) {
+          best = s;
+          arg = i;
+        }
+      }
+      delta[t][j] = best + e[t][j];
+      back[t][j] = arg;
+    }
+  }
+  float best = -1e30f;
+  std::size_t arg = 0;
+  for (std::size_t k = 0; k < c; ++k) {
+    const float s = delta[t_count - 1][k] + end_v[k];
+    if (s > best) {
+      best = s;
+      arg = k;
+    }
+  }
+  out[t_count - 1] = static_cast<std::int32_t>(arg);
+  for (std::size_t t = t_count - 1; t-- > 0;) {
+    arg = back[t + 1][arg];
+    out[t] = static_cast<std::int32_t>(arg);
+  }
+  return out;
+}
+
+std::vector<std::int32_t> BiLstmTagger::predict_flat(
+    const std::vector<std::vector<std::int32_t>>& sentences) const {
+  std::vector<std::int32_t> out;
+  for (const auto& s : sentences) {
+    const std::vector<std::int32_t> p = predict(s);
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  return out;
+}
+
+}  // namespace anchor::model

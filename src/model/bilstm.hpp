@@ -1,0 +1,83 @@
+// BiLSTM sequence tagger with optional linear-chain CRF decoding layer —
+// the paper's NER downstream model (Akbik et al. 2018 style; §C.3.2). The
+// main experiments use the BiLSTM without the CRF for speed; Appendix E.2
+// turns the CRF on. Both paths are implemented with full manual
+// backpropagation (BPTT; CRF gradients via forward-backward), validated
+// against finite differences in the tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "embed/embedding.hpp"
+
+namespace anchor::model {
+
+struct BiLstmConfig {
+  std::size_t num_tags = 5;
+  std::size_t hidden = 24;
+  float learning_rate = 0.1f;   // vanilla SGD, as the paper
+  float clip_norm = 5.0f;
+  std::size_t epochs = 6;
+  /// Halve the learning rate every `anneal_every` epochs (simplified form of
+  /// the paper's patience-based annealing).
+  std::size_t anneal_every = 4;
+  float word_dropout = 0.05f;   // zero a token's embedding with this prob.
+  float locked_dropout = 0.3f;  // shared-across-time dropout on [h_f; h_b]
+  bool use_crf = false;
+  std::uint64_t init_seed = 1;
+  std::uint64_t sampling_seed = 1;
+};
+
+class BiLstmTagger {
+ public:
+  /// Trains on token sequences with per-token tag sequences.
+  BiLstmTagger(const embed::Embedding& embedding,
+               const std::vector<std::vector<std::int32_t>>& sentences,
+               const std::vector<std::vector<std::int32_t>>& tags,
+               const BiLstmConfig& config);
+
+  /// Per-token tag predictions (Viterbi when the CRF is enabled, per-token
+  /// argmax otherwise).
+  std::vector<std::int32_t> predict(
+      const std::vector<std::int32_t>& sentence) const;
+
+  /// Flattened predictions over a dataset, token-major (matching the
+  /// flattened gold-tag layout the task evaluators use).
+  std::vector<std::int32_t> predict_flat(
+      const std::vector<std::vector<std::int32_t>>& sentences) const;
+
+  /// Per-sentence emission logits (T × num_tags), exposed for tests.
+  std::vector<std::vector<float>> emissions(
+      const std::vector<std::int32_t>& sentence) const;
+
+  /// Total negative log-likelihood of the gold tags (exposed for the
+  /// finite-difference gradient tests).
+  double loss(const std::vector<std::int32_t>& sentence,
+              const std::vector<std::int32_t>& tags) const;
+
+  std::vector<float>& parameters() { return params_; }
+  const std::vector<float>& parameters() const { return params_; }
+
+  /// Computes the full parameter gradient for one example (exposed for the
+  /// finite-difference tests; training uses it internally).
+  std::vector<float> example_gradient(const std::vector<std::int32_t>& sentence,
+                                      const std::vector<std::int32_t>& tags,
+                                      const std::vector<float>* locked_mask,
+                                      const std::vector<std::uint8_t>*
+                                          word_drop) const;
+
+  struct DirectionCache;  // per-direction activations for BPTT (internal)
+
+ private:
+  // Parameter layout offsets into params_.
+  std::size_t dir_params() const;          // one direction's size
+  std::size_t out_offset() const;          // classifier W/b
+  std::size_t crf_offset() const;          // transitions/start/end
+
+  embed::Embedding embedding_;
+  BiLstmConfig config_;
+  std::vector<float> params_;
+};
+
+}  // namespace anchor::model

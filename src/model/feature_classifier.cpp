@@ -1,0 +1,94 @@
+#include "model/feature_classifier.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "model/optimizer.hpp"
+#include "util/rng.hpp"
+
+namespace anchor::model {
+
+FeatureClassifier::FeatureClassifier(
+    const std::vector<std::vector<float>>& features,
+    const std::vector<std::int32_t>& labels,
+    const FeatureClassifierConfig& config)
+    : config_(config) {
+  ANCHOR_CHECK_EQ(features.size(), labels.size());
+  ANCHOR_CHECK(!features.empty());
+  dim_ = features.front().size();
+  const std::size_t c = config.num_classes;
+
+  Rng init_rng(config.init_seed);
+  weights_.assign(c * dim_ + c, 0.0f);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(dim_));
+  for (std::size_t i = 0; i < c * dim_; ++i) {
+    weights_[i] = static_cast<float>(init_rng.normal(0.0, scale));
+  }
+
+  Adam optimizer(weights_.size(), config.learning_rate);
+  std::vector<std::size_t> order(features.size());
+  std::iota(order.begin(), order.end(), 0u);
+  Rng sample_rng(config.sampling_seed);
+  std::vector<float> grads(weights_.size(), 0.0f);
+
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    sample_rng.shuffle(order);
+    for (std::size_t start = 0; start < order.size();
+         start += config.batch_size) {
+      const std::size_t end = std::min(order.size(), start + config.batch_size);
+      std::fill(grads.begin(), grads.end(), 0.0f);
+      const float inv = 1.0f / static_cast<float>(end - start);
+      for (std::size_t b = start; b < end; ++b) {
+        const auto& feat = features[order[b]];
+        ANCHOR_CHECK_EQ(feat.size(), dim_);
+        std::vector<float> p = logits(feat);
+        const float mx = *std::max_element(p.begin(), p.end());
+        float sum = 0.0f;
+        for (auto& x : p) {
+          x = std::exp(x - mx);
+          sum += x;
+        }
+        for (auto& x : p) x /= sum;
+        const auto label = static_cast<std::size_t>(labels[order[b]]);
+        for (std::size_t k = 0; k < c; ++k) {
+          const float delta = (p[k] - (k == label ? 1.0f : 0.0f)) * inv;
+          float* wrow = grads.data() + k * dim_;
+          for (std::size_t j = 0; j < dim_; ++j) wrow[j] += delta * feat[j];
+          grads[c * dim_ + k] += delta;
+        }
+      }
+      optimizer.step(weights_, grads);
+    }
+  }
+}
+
+std::vector<float> FeatureClassifier::logits(
+    const std::vector<float>& feature) const {
+  const std::size_t c = config_.num_classes;
+  std::vector<float> out(c);
+  for (std::size_t k = 0; k < c; ++k) {
+    const float* wrow = weights_.data() + k * dim_;
+    float acc = weights_[c * dim_ + k];
+    for (std::size_t j = 0; j < dim_; ++j) acc += wrow[j] * feature[j];
+    out[k] = acc;
+  }
+  return out;
+}
+
+std::int32_t FeatureClassifier::predict(
+    const std::vector<float>& feature) const {
+  const std::vector<float> s = logits(feature);
+  return static_cast<std::int32_t>(std::max_element(s.begin(), s.end()) -
+                                   s.begin());
+}
+
+std::vector<std::int32_t> FeatureClassifier::predict_all(
+    const std::vector<std::vector<float>>& features) const {
+  std::vector<std::int32_t> out;
+  out.reserve(features.size());
+  for (const auto& f : features) out.push_back(predict(f));
+  return out;
+}
+
+}  // namespace anchor::model

@@ -1,0 +1,40 @@
+// Softmax regression over precomputed dense feature vectors — the "linear
+// probe" the paper trains on top of frozen BERT features (§6.2 / App. D.7).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace anchor::model {
+
+struct FeatureClassifierConfig {
+  std::size_t num_classes = 2;
+  float learning_rate = 1e-2f;
+  std::size_t epochs = 40;
+  std::size_t batch_size = 32;
+  std::uint64_t init_seed = 1;
+  std::uint64_t sampling_seed = 1;
+};
+
+class FeatureClassifier {
+ public:
+  /// Trains on row-major features (`num_examples` × `dim`) with int labels.
+  FeatureClassifier(const std::vector<std::vector<float>>& features,
+                    const std::vector<std::int32_t>& labels,
+                    const FeatureClassifierConfig& config);
+
+  std::int32_t predict(const std::vector<float>& feature) const;
+  std::vector<std::int32_t> predict_all(
+      const std::vector<std::vector<float>>& features) const;
+
+ private:
+  std::vector<float> logits(const std::vector<float>& feature) const;
+
+  FeatureClassifierConfig config_;
+  std::size_t dim_ = 0;
+  std::vector<float> weights_;  // C×d row-major followed by C biases
+};
+
+}  // namespace anchor::model

@@ -1,0 +1,194 @@
+#include "model/linear_bow.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace anchor::model {
+
+namespace {
+
+/// In-place softmax with max-shift.
+void softmax(std::vector<float>& logits) {
+  const float mx = *std::max_element(logits.begin(), logits.end());
+  float sum = 0.0f;
+  for (auto& x : logits) {
+    x = std::exp(x - mx);
+    sum += x;
+  }
+  for (auto& x : logits) x /= sum;
+}
+
+}  // namespace
+
+LinearBowClassifier::LinearBowClassifier(
+    const embed::Embedding& embedding,
+    const std::vector<std::vector<std::int32_t>>& sentences,
+    const std::vector<std::int32_t>& labels, const LinearBowConfig& config,
+    const std::vector<std::vector<float>>* anchor_probs)
+    : embedding_(embedding), config_(config) {
+  ANCHOR_CHECK_EQ(sentences.size(), labels.size());
+  ANCHOR_CHECK(!sentences.empty());
+  ANCHOR_CHECK_GE(config.num_classes, 2u);
+  ANCHOR_CHECK_GE(config.stabilization_lambda, 0.0f);
+  ANCHOR_CHECK_LE(config.stabilization_lambda, 1.0f);
+  if (config.stabilization_lambda > 0.0f) {
+    ANCHOR_CHECK_MSG(anchor_probs != nullptr,
+                     "stabilization requires anchor model probabilities");
+    ANCHOR_CHECK_EQ(anchor_probs->size(), sentences.size());
+  } else {
+    ANCHOR_CHECK_MSG(anchor_probs == nullptr,
+                     "anchor probabilities supplied with lambda == 0");
+  }
+  const std::size_t d = embedding_.dim;
+  const std::size_t c = config.num_classes;
+
+  Rng init_rng(config.init_seed);
+  weights_.assign(c * d + c, 0.0f);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(d));
+  for (std::size_t i = 0; i < c * d; ++i) {
+    weights_[i] = static_cast<float>(init_rng.normal(0.0, scale));
+  }
+
+  Adam optimizer(weights_.size(), config.learning_rate);
+  // Fine-tuning keeps a separate Adam state for the embedding table.
+  std::vector<float> emb_grad;
+  Adam emb_optimizer(config.fine_tune_embeddings ? embedding_.data.size() : 0,
+                     config.learning_rate);
+  if (config.fine_tune_embeddings) {
+    emb_grad.assign(embedding_.data.size(), 0.0f);
+  }
+
+  std::vector<std::size_t> order(sentences.size());
+  std::iota(order.begin(), order.end(), 0u);
+  Rng sample_rng(config.sampling_seed);
+
+  std::vector<float> grads(weights_.size(), 0.0f);
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    sample_rng.shuffle(order);
+    for (std::size_t start = 0; start < order.size();
+         start += config.batch_size) {
+      const std::size_t end =
+          std::min(order.size(), start + config.batch_size);
+      std::fill(grads.begin(), grads.end(), 0.0f);
+      if (config.fine_tune_embeddings) {
+        std::fill(emb_grad.begin(), emb_grad.end(), 0.0f);
+      }
+      const float inv_batch = 1.0f / static_cast<float>(end - start);
+
+      for (std::size_t b = start; b < end; ++b) {
+        const auto& sentence = sentences[order[b]];
+        const auto label = static_cast<std::size_t>(labels[order[b]]);
+        ANCHOR_CHECK_LT(label, c);
+        const std::vector<float> feat = features(sentence);
+        std::vector<float> probs = logits(feat);
+        softmax(probs);
+
+        // Training target: onehot(label), blended toward the anchor model's
+        // distribution under stabilization (Fard et al., 2016).
+        const float lambda = config.stabilization_lambda;
+        const std::vector<float>* anchor =
+            lambda > 0.0f ? &(*anchor_probs)[order[b]] : nullptr;
+        if (anchor != nullptr) ANCHOR_CHECK_EQ(anchor->size(), c);
+
+        // dL/dlogit = p − target; accumulate W, b gradients.
+        for (std::size_t k = 0; k < c; ++k) {
+          float target = (k == label ? 1.0f : 0.0f);
+          if (anchor != nullptr) {
+            target = (1.0f - lambda) * target + lambda * (*anchor)[k];
+          }
+          const float delta = (probs[k] - target) * inv_batch;
+          float* wrow = grads.data() + k * d;
+          for (std::size_t j = 0; j < d; ++j) wrow[j] += delta * feat[j];
+          grads[c * d + k] += delta;
+        }
+
+        if (config.fine_tune_embeddings && !sentence.empty()) {
+          // d feat / d row(w) = 1/len for each occurrence of w.
+          const float inv_len = 1.0f / static_cast<float>(sentence.size());
+          for (const std::int32_t w : sentence) {
+            float* grow =
+                emb_grad.data() + static_cast<std::size_t>(w) * d;
+            for (std::size_t k = 0; k < c; ++k) {
+              float target = (k == label ? 1.0f : 0.0f);
+              if (anchor != nullptr) {
+                target = (1.0f - lambda) * target + lambda * (*anchor)[k];
+              }
+              const float delta = (probs[k] - target) * inv_batch;
+              const float* wrow = weights_.data() + k * d;
+              for (std::size_t j = 0; j < d; ++j) {
+                grow[j] += delta * wrow[j] * inv_len;
+              }
+            }
+          }
+        }
+      }
+      optimizer.step(weights_, grads);
+      if (config.fine_tune_embeddings) {
+        emb_optimizer.step(embedding_.data, emb_grad);
+      }
+    }
+  }
+}
+
+std::vector<float> LinearBowClassifier::features(
+    const std::vector<std::int32_t>& sentence) const {
+  const std::size_t d = embedding_.dim;
+  std::vector<float> feat(d, 0.0f);
+  if (sentence.empty()) return feat;
+  for (const std::int32_t w : sentence) {
+    const float* row = embedding_.row(static_cast<std::size_t>(w));
+    for (std::size_t j = 0; j < d; ++j) feat[j] += row[j];
+  }
+  const float inv = 1.0f / static_cast<float>(sentence.size());
+  for (auto& x : feat) x *= inv;
+  return feat;
+}
+
+std::vector<float> LinearBowClassifier::logits(
+    const std::vector<float>& feat) const {
+  const std::size_t d = embedding_.dim;
+  const std::size_t c = config_.num_classes;
+  std::vector<float> out(c, 0.0f);
+  for (std::size_t k = 0; k < c; ++k) {
+    const float* wrow = weights_.data() + k * d;
+    float acc = weights_[c * d + k];
+    for (std::size_t j = 0; j < d; ++j) acc += wrow[j] * feat[j];
+    out[k] = acc;
+  }
+  return out;
+}
+
+std::int32_t LinearBowClassifier::predict(
+    const std::vector<std::int32_t>& sentence) const {
+  const std::vector<float> scores = logits(features(sentence));
+  return static_cast<std::int32_t>(
+      std::max_element(scores.begin(), scores.end()) - scores.begin());
+}
+
+std::vector<std::int32_t> LinearBowClassifier::predict_all(
+    const std::vector<std::vector<std::int32_t>>& sentences) const {
+  std::vector<std::int32_t> out;
+  out.reserve(sentences.size());
+  for (const auto& s : sentences) out.push_back(predict(s));
+  return out;
+}
+
+std::vector<float> LinearBowClassifier::probabilities(
+    const std::vector<std::int32_t>& sentence) const {
+  std::vector<float> probs = logits(features(sentence));
+  softmax(probs);
+  return probs;
+}
+
+std::vector<std::vector<float>> LinearBowClassifier::probabilities_all(
+    const std::vector<std::vector<std::int32_t>>& sentences) const {
+  std::vector<std::vector<float>> out;
+  out.reserve(sentences.size());
+  for (const auto& s : sentences) out.push_back(probabilities(s));
+  return out;
+}
+
+}  // namespace anchor::model

@@ -1,0 +1,75 @@
+// Linear bag-of-words sentence classifier (paper §C.3.1).
+//
+// Features are the average of the sentence's word vectors; a linear softmax
+// layer is trained with Adam. The embedding is frozen by default (the
+// paper's main protocol) or fine-tuned (Appendix E.4). Model-initialization
+// and data-sampling randomness are driven by *separate* seeds so the
+// Appendix E.3 randomness-source study can vary them independently.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "embed/embedding.hpp"
+#include "model/optimizer.hpp"
+
+namespace anchor::model {
+
+struct LinearBowConfig {
+  std::size_t num_classes = 2;
+  float learning_rate = 1e-3f;
+  std::size_t epochs = 30;
+  std::size_t batch_size = 32;
+  std::uint64_t init_seed = 1;
+  std::uint64_t sampling_seed = 1;
+  bool fine_tune_embeddings = false;
+  /// Prediction-churn stabilization strength λ ∈ [0, 1] (Fard et al., 2016 —
+  /// the complementary churn-reduction technique the paper's related work
+  /// discusses). When a previous model's class distributions are supplied
+  /// to the constructor, the training target for example i becomes
+  /// (1−λ)·onehot(label_i) + λ·anchor_probs_i, pulling the retrained model
+  /// toward its predecessor's predictions. λ = 0 (default) is plain
+  /// training.
+  float stabilization_lambda = 0.0f;
+};
+
+class LinearBowClassifier {
+ public:
+  /// Trains on (sentences, labels); the embedding is copied so fine-tuning
+  /// never mutates the caller's matrix. `anchor_probs` (optional) gives the
+  /// previous model's class distribution per *training* sentence for churn
+  /// stabilization; it must be null when config.stabilization_lambda == 0
+  /// and sized like `sentences` otherwise.
+  LinearBowClassifier(const embed::Embedding& embedding,
+                      const std::vector<std::vector<std::int32_t>>& sentences,
+                      const std::vector<std::int32_t>& labels,
+                      const LinearBowConfig& config,
+                      const std::vector<std::vector<float>>* anchor_probs =
+                          nullptr);
+
+  std::int32_t predict(const std::vector<std::int32_t>& sentence) const;
+  std::vector<std::int32_t> predict_all(
+      const std::vector<std::vector<std::int32_t>>& sentences) const;
+
+  /// Softmax class distribution for a sentence — the anchor signal a
+  /// successor model trains against under stabilization.
+  std::vector<float> probabilities(
+      const std::vector<std::int32_t>& sentence) const;
+  std::vector<std::vector<float>> probabilities_all(
+      const std::vector<std::vector<std::int32_t>>& sentences) const;
+
+  /// The embedding the model predicts with (differs from the input only
+  /// under fine-tuning).
+  const embed::Embedding& embedding() const { return embedding_; }
+
+ private:
+  std::vector<float> features(const std::vector<std::int32_t>& sentence) const;
+  std::vector<float> logits(const std::vector<float>& feat) const;
+
+  embed::Embedding embedding_;
+  LinearBowConfig config_;
+  // weights_ holds the C×d matrix row-major followed by C biases.
+  std::vector<float> weights_;
+};
+
+}  // namespace anchor::model

@@ -1,0 +1,42 @@
+#include "model/optimizer.hpp"
+
+#include <cmath>
+
+namespace anchor::model {
+
+Adam::Adam(std::size_t num_params, float lr, float beta1, float beta2,
+           float eps)
+    : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps),
+      m_(num_params, 0.0f), v_(num_params, 0.0f) {}
+
+void Adam::step(std::vector<float>& params, const std::vector<float>& grads) {
+  ANCHOR_CHECK_EQ(params.size(), m_.size());
+  ANCHOR_CHECK_EQ(grads.size(), m_.size());
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const float g = grads[i];
+    m_[i] = beta1_ * m_[i] + (1.0f - beta1_) * g;
+    v_[i] = beta2_ * v_[i] + (1.0f - beta2_) * g * g;
+    const float mhat = m_[i] / bc1;
+    const float vhat = v_[i] / bc2;
+    params[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+  }
+}
+
+void Sgd::step(std::vector<float>& params, const std::vector<float>& grads) {
+  ANCHOR_CHECK_EQ(params.size(), grads.size());
+  float scale = 1.0f;
+  if (clip_ > 0.0f) {
+    double norm_sq = 0.0;
+    for (const float g : grads) norm_sq += static_cast<double>(g) * g;
+    const float norm = static_cast<float>(std::sqrt(norm_sq));
+    if (norm > clip_) scale = clip_ / norm;
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    params[i] -= lr_ * scale * grads[i];
+  }
+}
+
+}  // namespace anchor::model

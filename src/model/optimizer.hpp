@@ -1,0 +1,49 @@
+// First-order optimizers for the downstream models.
+//
+// The paper trains sentiment models with Adam and sequence models with
+// vanilla SGD (Appendix C.3); both are implemented here over flat parameter
+// vectors so every model can share them.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace anchor::model {
+
+/// Adam (Kingma & Ba) with the standard bias correction.
+class Adam {
+ public:
+  explicit Adam(std::size_t num_params, float lr = 1e-3f, float beta1 = 0.9f,
+                float beta2 = 0.999f, float eps = 1e-8f);
+
+  /// Applies one update in place; `grads` must match the parameter size.
+  void step(std::vector<float>& params, const std::vector<float>& grads);
+
+  float learning_rate() const { return lr_; }
+  void set_learning_rate(float lr) { lr_ = lr; }
+
+ private:
+  float lr_, beta1_, beta2_, eps_;
+  std::vector<float> m_, v_;
+  std::size_t t_ = 0;
+};
+
+/// Plain SGD with optional gradient-norm clipping (the BiLSTM trainer clips
+/// at 5, as flair does).
+class Sgd {
+ public:
+  explicit Sgd(float lr, float clip_norm = 0.0f) : lr_(lr), clip_(clip_norm) {}
+
+  void step(std::vector<float>& params, const std::vector<float>& grads);
+
+  float learning_rate() const { return lr_; }
+  void set_learning_rate(float lr) { lr_ = lr; }
+
+ private:
+  float lr_;
+  float clip_;
+};
+
+}  // namespace anchor::model

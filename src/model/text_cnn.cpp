@@ -1,0 +1,244 @@
+#include "model/text_cnn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "model/optimizer.hpp"
+#include "util/rng.hpp"
+
+namespace anchor::model {
+
+namespace {
+
+void softmax(std::vector<float>& logits) {
+  const float mx = *std::max_element(logits.begin(), logits.end());
+  float sum = 0.0f;
+  for (auto& x : logits) {
+    x = std::exp(x - mx);
+    sum += x;
+  }
+  for (auto& x : logits) x /= sum;
+}
+
+}  // namespace
+
+/// Activations cached for backprop: conv outputs (pre-ReLU), pooled feature
+/// vector (post-dropout), argmax positions, logits.
+struct TextCnn::Forward {
+  // conv[w][k*T + t]: pre-activation of channel k at position t for width w.
+  std::vector<std::vector<float>> conv;
+  std::vector<std::size_t> conv_len;        // T per width
+  std::vector<float> pooled;                // post-ReLU, post-dropout features
+  std::vector<std::size_t> argmax;          // winning t per (width, channel)
+  std::vector<float> probs;                 // softmax output
+};
+
+std::size_t TextCnn::filter_offset(std::size_t width_idx) const {
+  const std::size_t d = embedding_.dim;
+  std::size_t off = 0;
+  for (std::size_t w = 0; w < width_idx; ++w) {
+    off += config_.channels * config_.kernel_widths[w] * d + config_.channels;
+  }
+  return off;
+}
+
+std::size_t TextCnn::filter_bias_offset(std::size_t width_idx) const {
+  return filter_offset(width_idx) +
+         config_.channels * config_.kernel_widths[width_idx] * embedding_.dim;
+}
+
+std::size_t TextCnn::classifier_offset() const {
+  return filter_offset(config_.kernel_widths.size());
+}
+
+TextCnn::Forward TextCnn::forward(const std::vector<std::int32_t>& sentence,
+                                  const std::vector<float>* dropout_mask) const {
+  const std::size_t d = embedding_.dim;
+  const std::size_t f = config_.channels;
+  Forward fwd;
+  fwd.conv.resize(config_.kernel_widths.size());
+  fwd.conv_len.resize(config_.kernel_widths.size());
+  fwd.pooled.assign(feature_size(), 0.0f);
+  fwd.argmax.assign(feature_size(), 0u);
+
+  for (std::size_t wi = 0; wi < config_.kernel_widths.size(); ++wi) {
+    const std::size_t width = config_.kernel_widths[wi];
+    // Zero-pad short sentences so every width produces ≥1 position.
+    const std::size_t padded_len = std::max(sentence.size(), width);
+    const std::size_t t_count = padded_len - width + 1;
+    fwd.conv_len[wi] = t_count;
+    fwd.conv[wi].assign(f * t_count, 0.0f);
+
+    const float* filters = params_.data() + filter_offset(wi);
+    const float* bias = params_.data() + filter_bias_offset(wi);
+    for (std::size_t k = 0; k < f; ++k) {
+      const float* kernel = filters + k * width * d;
+      float best = -1e30f;
+      std::size_t best_t = 0;
+      for (std::size_t t = 0; t < t_count; ++t) {
+        float acc = bias[k];
+        for (std::size_t i = 0; i < width; ++i) {
+          const std::size_t pos = t + i;
+          if (pos >= sentence.size()) break;  // zero padding contributes 0
+          const float* row =
+              embedding_.row(static_cast<std::size_t>(sentence[pos]));
+          const float* krow = kernel + i * d;
+          for (std::size_t j = 0; j < d; ++j) acc += krow[j] * row[j];
+        }
+        fwd.conv[wi][k * t_count + t] = acc;
+        if (acc > best) {
+          best = acc;
+          best_t = t;
+        }
+      }
+      const std::size_t feat_idx = wi * f + k;
+      fwd.argmax[feat_idx] = best_t;
+      float val = std::max(0.0f, best);  // ReLU after pooling ≡ pool-then-relu
+      if (dropout_mask != nullptr) val *= (*dropout_mask)[feat_idx];
+      fwd.pooled[feat_idx] = val;
+    }
+  }
+
+  // Linear classifier.
+  const std::size_t c = config_.num_classes;
+  const std::size_t fs = feature_size();
+  const float* cls = params_.data() + classifier_offset();
+  fwd.probs.assign(c, 0.0f);
+  for (std::size_t k = 0; k < c; ++k) {
+    float acc = cls[c * fs + k];  // bias block after the C×fs weights
+    const float* wrow = cls + k * fs;
+    for (std::size_t j = 0; j < fs; ++j) acc += wrow[j] * fwd.pooled[j];
+    fwd.probs[k] = acc;
+  }
+  softmax(fwd.probs);
+  return fwd;
+}
+
+TextCnn::TextCnn(const embed::Embedding& embedding,
+                 const std::vector<std::vector<std::int32_t>>& sentences,
+                 const std::vector<std::int32_t>& labels,
+                 const TextCnnConfig& config)
+    : embedding_(embedding), config_(config) {
+  ANCHOR_CHECK_EQ(sentences.size(), labels.size());
+  ANCHOR_CHECK(!config.kernel_widths.empty());
+  const std::size_t d = embedding_.dim;
+  const std::size_t c = config.num_classes;
+  const std::size_t fs = feature_size();
+
+  std::size_t total = 0;
+  for (const std::size_t w : config.kernel_widths) {
+    total += config.channels * w * d + config.channels;
+  }
+  total += c * fs + c;
+  params_.assign(total, 0.0f);
+
+  Rng init_rng(config.init_seed);
+  for (std::size_t wi = 0; wi < config.kernel_widths.size(); ++wi) {
+    const std::size_t width = config.kernel_widths[wi];
+    const double scale = 1.0 / std::sqrt(static_cast<double>(width * d));
+    float* filters = params_.data() + filter_offset(wi);
+    for (std::size_t i = 0; i < config.channels * width * d; ++i) {
+      filters[i] = static_cast<float>(init_rng.normal(0.0, scale));
+    }
+  }
+  {
+    const double scale = 1.0 / std::sqrt(static_cast<double>(fs));
+    float* cls = params_.data() + classifier_offset();
+    for (std::size_t i = 0; i < c * fs; ++i) {
+      cls[i] = static_cast<float>(init_rng.normal(0.0, scale));
+    }
+  }
+
+  Adam optimizer(params_.size(), config.learning_rate);
+  std::vector<std::size_t> order(sentences.size());
+  std::iota(order.begin(), order.end(), 0u);
+  Rng sample_rng(config.sampling_seed);
+
+  std::vector<float> grads(params_.size(), 0.0f);
+  std::vector<float> mask(fs, 1.0f);
+  const float keep = 1.0f - config.dropout;
+
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    sample_rng.shuffle(order);
+    for (std::size_t start = 0; start < order.size();
+         start += config.batch_size) {
+      const std::size_t end = std::min(order.size(), start + config.batch_size);
+      std::fill(grads.begin(), grads.end(), 0.0f);
+      const float inv_batch = 1.0f / static_cast<float>(end - start);
+
+      for (std::size_t b = start; b < end; ++b) {
+        const auto& sentence = sentences[order[b]];
+        const auto label = static_cast<std::size_t>(labels[order[b]]);
+
+        // Inverted dropout: scale kept units by 1/keep during training so
+        // inference needs no rescaling.
+        for (auto& m : mask) {
+          m = (config.dropout > 0.0f && sample_rng.bernoulli(config.dropout))
+                  ? 0.0f
+                  : (config.dropout > 0.0f ? 1.0f / keep : 1.0f);
+        }
+        const Forward fwd = forward(sentence, &mask);
+
+        // Classifier gradient.
+        float* gcls = grads.data() + classifier_offset();
+        std::vector<float> dfeat(fs, 0.0f);
+        const float* cls = params_.data() + classifier_offset();
+        for (std::size_t k = 0; k < c; ++k) {
+          const float delta =
+              (fwd.probs[k] - (k == label ? 1.0f : 0.0f)) * inv_batch;
+          float* wrow = gcls + k * fs;
+          for (std::size_t j = 0; j < fs; ++j) {
+            wrow[j] += delta * fwd.pooled[j];
+            dfeat[j] += delta * cls[k * fs + j];
+          }
+          gcls[c * fs + k] += delta;
+        }
+
+        // Through dropout, ReLU, max-pool into the winning conv window.
+        for (std::size_t wi = 0; wi < config.kernel_widths.size(); ++wi) {
+          const std::size_t width = config.kernel_widths[wi];
+          const std::size_t t_count = fwd.conv_len[wi];
+          float* gfilters = grads.data() + filter_offset(wi);
+          float* gbias = grads.data() + filter_bias_offset(wi);
+          for (std::size_t k = 0; k < config.channels; ++k) {
+            const std::size_t feat_idx = wi * config.channels + k;
+            const float pre = fwd.conv[wi][k * t_count + fwd.argmax[feat_idx]];
+            if (pre <= 0.0f) continue;  // ReLU gate
+            const float g = dfeat[feat_idx] * mask[feat_idx];
+            if (g == 0.0f) continue;
+            const std::size_t t = fwd.argmax[feat_idx];
+            float* kernel = gfilters + k * width * d;
+            for (std::size_t i = 0; i < width; ++i) {
+              const std::size_t pos = t + i;
+              if (pos >= sentence.size()) break;
+              const float* row =
+                  embedding_.row(static_cast<std::size_t>(sentence[pos]));
+              float* krow = kernel + i * d;
+              for (std::size_t j = 0; j < d; ++j) krow[j] += g * row[j];
+            }
+            gbias[k] += g;
+          }
+        }
+      }
+      optimizer.step(params_, grads);
+    }
+  }
+}
+
+std::int32_t TextCnn::predict(const std::vector<std::int32_t>& sentence) const {
+  const Forward fwd = forward(sentence, nullptr);
+  return static_cast<std::int32_t>(
+      std::max_element(fwd.probs.begin(), fwd.probs.end()) -
+      fwd.probs.begin());
+}
+
+std::vector<std::int32_t> TextCnn::predict_all(
+    const std::vector<std::vector<std::int32_t>>& sentences) const {
+  std::vector<std::int32_t> out;
+  out.reserve(sentences.size());
+  for (const auto& s : sentences) out.push_back(predict(s));
+  return out;
+}
+
+}  // namespace anchor::model

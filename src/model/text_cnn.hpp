@@ -1,0 +1,57 @@
+// Text CNN sentence classifier (Kim, 2014), used by the paper's complex-
+// downstream-model robustness study (Appendix E.2, Figure 13a).
+//
+// Architecture: one convolutional layer with kernel widths {3,4,5}, ReLU,
+// max-over-time pooling, dropout, linear softmax classifier. Gradients are
+// derived by hand and validated against finite differences in the tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "embed/embedding.hpp"
+
+namespace anchor::model {
+
+struct TextCnnConfig {
+  std::size_t num_classes = 2;
+  std::vector<std::size_t> kernel_widths = {3, 4, 5};
+  std::size_t channels = 8;     // output channels per kernel width
+  float dropout = 0.5f;
+  float learning_rate = 1e-3f;
+  std::size_t epochs = 20;
+  std::size_t batch_size = 32;
+  std::uint64_t init_seed = 1;
+  std::uint64_t sampling_seed = 1;
+};
+
+class TextCnn {
+ public:
+  TextCnn(const embed::Embedding& embedding,
+          const std::vector<std::vector<std::int32_t>>& sentences,
+          const std::vector<std::int32_t>& labels, const TextCnnConfig& config);
+
+  std::int32_t predict(const std::vector<std::int32_t>& sentence) const;
+  std::vector<std::int32_t> predict_all(
+      const std::vector<std::vector<std::int32_t>>& sentences) const;
+
+ private:
+  struct Forward;  // per-example activations for backprop
+
+  std::size_t feature_size() const {
+    return config_.kernel_widths.size() * config_.channels;
+  }
+  /// Parameter layout offsets (filters per width, then classifier).
+  std::size_t filter_offset(std::size_t width_idx) const;
+  std::size_t filter_bias_offset(std::size_t width_idx) const;
+  std::size_t classifier_offset() const;
+
+  Forward forward(const std::vector<std::int32_t>& sentence,
+                  const std::vector<float>* dropout_mask) const;
+
+  embed::Embedding embedding_;  // copied: the model owns what it predicts with
+  TextCnnConfig config_;
+  std::vector<float> params_;
+};
+
+}  // namespace anchor::model

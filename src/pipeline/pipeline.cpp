@@ -1,0 +1,389 @@
+#include "pipeline/pipeline.hpp"
+
+#include <sstream>
+
+#include "compress/quantize.hpp"
+#include "core/instability.hpp"
+#include "la/procrustes.hpp"
+#include "model/bilstm.hpp"
+#include "model/linear_bow.hpp"
+#include "model/text_cnn.hpp"
+
+namespace anchor::pipeline {
+
+namespace {
+
+std::string algo_tag(embed::Algo algo) { return embed::algo_name(algo); }
+
+}  // namespace
+
+std::string year_name(Year year) { return year == Year::k17 ? "17" : "18"; }
+
+std::string PipelineConfig::corpus_signature() const {
+  std::ostringstream os;
+  os << "v" << vocab << "_D" << latent_dim << "_K" << num_topics << "_nd"
+     << num_documents << "_dr" << drift << "_ed" << extra_docs << "_es"
+     << epoch_scale << "_ss" << space_seed;
+  return os.str();
+}
+
+std::string PipelineConfig::signature() const {
+  std::ostringstream os;
+  os << corpus_signature() << "_st" << sentiment_scale_train << "_nt"
+     << ner_train << "." << ner_test << "." << ner_hidden << "." << ner_epochs
+     << "." << ner_word_dropout << "." << ner_locked_dropout;
+  return os.str();
+}
+
+std::string DownstreamOptions::signature() const {
+  std::ostringstream os;
+  switch (model) {
+    case ModelKind::kDefault: os << "m0"; break;
+    case ModelKind::kCnn: os << "mCNN"; break;
+    case ModelKind::kBiLstmCrf: os << "mCRF"; break;
+  }
+  if (init_seed) os << "_is" << *init_seed;
+  if (sampling_seed) os << "_ss" << *sampling_seed;
+  if (fine_tune) os << "_ft";
+  if (learning_rate) os << "_lr" << *learning_rate;
+  return os.str();
+}
+
+Pipeline::Pipeline(PipelineConfig config, std::string cache_dir)
+    : config_(std::move(config)),
+      cache_(ArtifactCache::from_env(cache_dir)) {
+  text::LatentSpaceConfig sc;
+  sc.vocab_size = config_.vocab;
+  sc.latent_dim = config_.latent_dim;
+  sc.num_topics = config_.num_topics;
+  sc.seed = config_.space_seed;
+  space17_ = std::make_unique<text::LatentSpace>(sc);
+  space18_ = std::make_unique<text::LatentSpace>(space17_->drifted(
+      config_.drift, config_.space_seed + 1, config_.extra_docs));
+}
+
+const std::vector<std::string>& Pipeline::all_tasks() {
+  static const std::vector<std::string> tasks = {"sst2", "mr", "subj", "mpqa",
+                                                 "conll2003"};
+  return tasks;
+}
+
+bool Pipeline::is_ner_task(const std::string& task) {
+  return task == "conll2003";
+}
+
+const text::LatentSpace& Pipeline::base_space() { return *space17_; }
+
+const text::Corpus& Pipeline::corpus(Year year) {
+  auto& slot = (year == Year::k17) ? corpus17_ : corpus18_;
+  if (!slot) {
+    text::CorpusConfig cc;
+    cc.num_documents = config_.num_documents;
+    cc.seed = 1;  // same document stream both years (temporal-delta model)
+    slot = text::generate_corpus(year == Year::k17 ? *space17_ : *space18_,
+                                 cc);
+  }
+  return *slot;
+}
+
+std::string Pipeline::emb_key(Year year, embed::Algo algo, std::size_t dim,
+                              std::uint64_t seed, const char* stage) const {
+  std::ostringstream os;
+  os << stage << "|" << config_.corpus_signature() << "|y" << year_name(year)
+     << "|" << algo_tag(algo) << "|d" << dim << "|s" << seed;
+  return os.str();
+}
+
+embed::Embedding Pipeline::raw_embedding(Year year, embed::Algo algo,
+                                         std::size_t dim,
+                                         std::uint64_t seed) {
+  const std::string key = emb_key(year, algo, dim, seed, "emb");
+  const std::vector<float> data =
+      cache_.get_or_compute<float>(key, [&]() {
+        embed::TrainOptions opts;
+        opts.dim = dim;
+        opts.seed = seed;
+        opts.epoch_scale = config_.epoch_scale;
+        return embed::train_embedding(corpus(year), algo, opts).data;
+      });
+  embed::Embedding e;
+  e.vocab_size = config_.vocab;
+  e.dim = dim;
+  e.data = data;
+  ANCHOR_CHECK_EQ(e.data.size(), e.vocab_size * e.dim);
+  return e;
+}
+
+std::pair<embed::Embedding, embed::Embedding> Pipeline::aligned_pair(
+    embed::Algo algo, std::size_t dim, std::uint64_t seed) {
+  embed::Embedding x17 = raw_embedding(Year::k17, algo, dim, seed);
+  const std::string key = emb_key(Year::k18, algo, dim, seed, "aligned");
+  const std::vector<float> aligned18 =
+      cache_.get_or_compute<float>(key, [&]() {
+        const embed::Embedding x18 =
+            raw_embedding(Year::k18, algo, dim, seed);
+        // Procrustes-align X18 onto X17 before compression (§C.2).
+        const la::Matrix rotated =
+            la::procrustes_align(x17.to_matrix(), x18.to_matrix());
+        return embed::Embedding::from_matrix(rotated).data;
+      });
+  embed::Embedding x18;
+  x18.vocab_size = config_.vocab;
+  x18.dim = dim;
+  x18.data = aligned18;
+  return {std::move(x17), std::move(x18)};
+}
+
+std::pair<embed::Embedding, embed::Embedding> Pipeline::quantized_pair(
+    embed::Algo algo, std::size_t dim, std::uint64_t seed, int bits) {
+  auto [x17, x18] = aligned_pair(algo, dim, seed);
+  if (bits == 32) return {std::move(x17), std::move(x18)};
+  compress::QuantizeConfig qc;
+  qc.bits = bits;
+  compress::QuantizeResult q17 = compress::uniform_quantize(x17, qc);
+  // X18 reuses X17's clip threshold (§C.2).
+  qc.clip_override = q17.clip;
+  compress::QuantizeResult q18 = compress::uniform_quantize(x18, qc);
+  return {std::move(q17.embedding), std::move(q18.embedding)};
+}
+
+const tasks::TextClassificationDataset& Pipeline::sentiment_dataset(
+    const std::string& name) {
+  auto it = sentiment_.find(name);
+  if (it == sentiment_.end()) {
+    tasks::SentimentTaskConfig tc = tasks::sentiment_profile(name);
+    // Scale the profile sizes to the pipeline's budget, preserving ratios.
+    const double scale = static_cast<double>(config_.sentiment_scale_train) /
+                         3000.0;
+    tc.train_size = static_cast<std::size_t>(tc.train_size * scale);
+    tc.val_size = static_cast<std::size_t>(tc.val_size * scale);
+    tc.test_size = static_cast<std::size_t>(tc.test_size * scale);
+    it = sentiment_
+             .emplace(name, tasks::make_sentiment_task(*space17_, tc))
+             .first;
+  }
+  return it->second;
+}
+
+const tasks::SequenceTaggingDataset& Pipeline::ner_dataset() {
+  if (!ner_) {
+    tasks::NerTaskConfig nc;
+    nc.train_size = config_.ner_train;
+    nc.test_size = config_.ner_test;
+    ner_ = tasks::make_ner_task(*space17_, nc);
+  }
+  return *ner_;
+}
+
+std::vector<std::int32_t> Pipeline::predictions(
+    const std::string& task, Year year, embed::Algo algo, std::size_t dim,
+    int bits, std::uint64_t seed, const DownstreamOptions& opts) {
+  // Keys include only the scale knobs the task actually depends on, so
+  // re-tuning NER never invalidates sentiment predictions and vice versa.
+  std::ostringstream os;
+  os << "pred|" << config_.corpus_signature();
+  if (is_ner_task(task)) {
+    os << "_nt" << config_.ner_train << "." << config_.ner_test << "."
+       << config_.ner_hidden << "." << config_.ner_epochs << "."
+       << config_.ner_word_dropout << "." << config_.ner_locked_dropout;
+  } else {
+    os << "_st" << config_.sentiment_scale_train;
+  }
+  os << "|" << task << "|y" << year_name(year) << "|" << algo_tag(algo)
+     << "|d" << dim << "|b" << bits << "|s" << seed << "|"
+     << opts.signature();
+  const std::string key = os.str();
+
+  return cache_.get_or_compute<std::int32_t>(key, [&]() {
+    auto [x17, x18] = quantized_pair(algo, dim, seed, bits);
+    const embed::Embedding& x = (year == Year::k17) ? x17 : x18;
+    const std::uint64_t init_seed = opts.init_seed.value_or(seed);
+    const std::uint64_t sampling_seed = opts.sampling_seed.value_or(seed);
+
+    if (is_ner_task(task)) {
+      const tasks::SequenceTaggingDataset& ds = ner_dataset();
+      model::BiLstmConfig mc;
+      mc.num_tags = ds.num_tags;
+      mc.hidden = config_.ner_hidden;
+      mc.epochs = config_.ner_epochs;
+      mc.word_dropout = config_.ner_word_dropout;
+      mc.locked_dropout = config_.ner_locked_dropout;
+      mc.use_crf = (opts.model == DownstreamOptions::ModelKind::kBiLstmCrf);
+      mc.init_seed = init_seed;
+      mc.sampling_seed = sampling_seed;
+      if (opts.learning_rate) mc.learning_rate = *opts.learning_rate;
+      const model::BiLstmTagger tagger(x, ds.train_sentences, ds.train_tags,
+                                       mc);
+      return tagger.predict_flat(ds.test_sentences);
+    }
+
+    const tasks::TextClassificationDataset& ds = sentiment_dataset(task);
+    if (opts.model == DownstreamOptions::ModelKind::kCnn) {
+      model::TextCnnConfig mc;
+      mc.num_classes = ds.num_classes;
+      mc.init_seed = init_seed;
+      mc.sampling_seed = sampling_seed;
+      if (opts.learning_rate) mc.learning_rate = *opts.learning_rate;
+      const model::TextCnn cnn(x, ds.train_sentences, ds.train_labels, mc);
+      return cnn.predict_all(ds.test_sentences);
+    }
+    model::LinearBowConfig mc;
+    mc.num_classes = ds.num_classes;
+    mc.init_seed = init_seed;
+    mc.sampling_seed = sampling_seed;
+    mc.fine_tune_embeddings = opts.fine_tune;
+    if (opts.learning_rate) mc.learning_rate = *opts.learning_rate;
+    const model::LinearBowClassifier clf(x, ds.train_sentences,
+                                         ds.train_labels, mc);
+    return clf.predict_all(ds.test_sentences);
+  });
+}
+
+double Pipeline::downstream_instability(const std::string& task,
+                                        embed::Algo algo, std::size_t dim,
+                                        int bits, std::uint64_t seed,
+                                        const DownstreamOptions& opts) {
+  const std::vector<std::int32_t> p17 =
+      predictions(task, Year::k17, algo, dim, bits, seed, opts);
+  const std::vector<std::int32_t> p18 =
+      predictions(task, Year::k18, algo, dim, bits, seed, opts);
+  if (is_ner_task(task)) {
+    return core::masked_disagreement_pct(p17, p18,
+                                         ner_dataset().flat_test_entity_mask());
+  }
+  return core::prediction_disagreement_pct(p17, p18);
+}
+
+double Pipeline::quality(const std::string& task, Year year, embed::Algo algo,
+                         std::size_t dim, int bits, std::uint64_t seed,
+                         const DownstreamOptions& opts) {
+  const std::vector<std::int32_t> pred =
+      predictions(task, year, algo, dim, bits, seed, opts);
+  if (is_ner_task(task)) {
+    return core::micro_f1_pct(pred, ner_dataset().flat_test_gold(),
+                              tasks::kTagO);
+  }
+  return core::accuracy_pct(pred, sentiment_dataset(task).test_labels);
+}
+
+const core::EisContext& Pipeline::eis_context(embed::Algo algo,
+                                              std::uint64_t seed) {
+  std::ostringstream os;
+  os << algo_tag(algo) << "|s" << seed;
+  const std::string key = os.str();
+  auto it = eis_contexts_.find(key);
+  if (it == eis_contexts_.end()) {
+    // E, Ẽ are the highest-dimensional full-precision pair (§5 setup).
+    auto [e17, e18] = aligned_pair(algo, config_.reference_dim, seed);
+    it = eis_contexts_
+             .emplace(key, core::EisContext::build(e17.to_matrix(),
+                                                   e18.to_matrix(),
+                                                   config_.eis_alpha))
+             .first;
+  }
+  return it->second;
+}
+
+std::array<double, 5> Pipeline::measures(embed::Algo algo, std::size_t dim,
+                                         int bits, std::uint64_t seed) {
+  std::ostringstream os;
+  os << "meas|" << config_.corpus_signature() << "|" << algo_tag(algo) << "|d" << dim
+     << "|b" << bits << "|s" << seed << "|a" << config_.eis_alpha << "_k"
+     << config_.knn_k << "_q" << config_.knn_queries << "_rd"
+     << config_.reference_dim;
+  const std::vector<double> values =
+      cache_.get_or_compute<double>(os.str(), [&]() {
+        auto [x17, x18] = quantized_pair(algo, dim, seed, bits);
+        const la::Matrix a = x17.to_matrix();
+        const la::Matrix b = x18.to_matrix();
+        std::vector<double> v(5);
+        v[0] = core::eigenspace_instability_of(a, b, eis_context(algo, seed));
+        v[1] = 1.0 - core::knn_measure(a, b, config_.knn_k,
+                                       config_.knn_queries, 42 + seed);
+        v[2] = core::semantic_displacement(a, b);
+        v[3] = core::pip_loss(a, b);
+        v[4] = 1.0 - core::eigenspace_overlap(a, b);
+        return v;
+      });
+  std::array<double, 5> out{};
+  std::copy(values.begin(), values.end(), out.begin());
+  return out;
+}
+
+double Pipeline::eis_with_alpha(embed::Algo algo, std::size_t dim, int bits,
+                                std::uint64_t seed, double alpha) {
+  std::ostringstream os;
+  os << "eisA|" << config_.corpus_signature() << "|" << algo_tag(algo) << "|d" << dim
+     << "|b" << bits << "|s" << seed << "|a" << alpha << "_rd"
+     << config_.reference_dim;
+  const std::vector<double> v =
+      cache_.get_or_compute<double>(os.str(), [&]() {
+        auto [x17, x18] = quantized_pair(algo, dim, seed, bits);
+        auto [e17, e18] = aligned_pair(algo, config_.reference_dim, seed);
+        const core::EisContext ctx = core::EisContext::build(
+            e17.to_matrix(), e18.to_matrix(), alpha);
+        return std::vector<double>{core::eigenspace_instability_of(
+            x17.to_matrix(), x18.to_matrix(), ctx)};
+      });
+  return v[0];
+}
+
+double Pipeline::knn_with_k(embed::Algo algo, std::size_t dim, int bits,
+                            std::uint64_t seed, std::size_t k) {
+  std::ostringstream os;
+  os << "knnK|" << config_.corpus_signature() << "|" << algo_tag(algo) << "|d" << dim
+     << "|b" << bits << "|s" << seed << "|k" << k << "_q"
+     << config_.knn_queries;
+  const std::vector<double> v =
+      cache_.get_or_compute<double>(os.str(), [&]() {
+        auto [x17, x18] = quantized_pair(algo, dim, seed, bits);
+        return std::vector<double>{
+            1.0 - core::knn_measure(x17.to_matrix(), x18.to_matrix(), k,
+                                    config_.knn_queries, 42 + seed)};
+      });
+  return v[0];
+}
+
+std::vector<core::ConfigPoint> Pipeline::config_grid(const std::string& task,
+                                                     embed::Algo algo,
+                                                     std::uint64_t seed) {
+  std::vector<core::ConfigPoint> grid;
+  for (const std::size_t dim : config_.dims) {
+    for (const int bits : config_.precisions) {
+      core::ConfigPoint p;
+      p.dim = dim;
+      p.bits = bits;
+      p.downstream_instability_pct =
+          downstream_instability(task, algo, dim, bits, seed);
+      const std::array<double, 5> m = measures(algo, dim, bits, seed);
+      for (std::size_t i = 0; i < 5; ++i) {
+        p.measures[core::kAllMeasures[i]] = m[i];
+      }
+      grid.push_back(std::move(p));
+    }
+  }
+  return grid;
+}
+
+std::vector<CellResult> Pipeline::instability_grid(
+    const std::string& task, embed::Algo algo, const DownstreamOptions& opts) {
+  std::vector<CellResult> out;
+  for (const std::size_t dim : config_.dims) {
+    for (const int bits : config_.precisions) {
+      CellResult cell;
+      cell.dim = dim;
+      cell.bits = bits;
+      for (const std::uint64_t seed : config_.seeds) {
+        cell.per_seed_pct.push_back(
+            downstream_instability(task, algo, dim, bits, seed, opts));
+      }
+      double sum = 0.0;
+      for (const double v : cell.per_seed_pct) sum += v;
+      cell.mean_pct = sum / static_cast<double>(cell.per_seed_pct.size());
+      out.push_back(std::move(cell));
+    }
+  }
+  return out;
+}
+
+}  // namespace anchor::pipeline

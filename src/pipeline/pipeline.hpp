@@ -1,0 +1,191 @@
+// Experiment orchestration: the end-to-end reproduction pipeline.
+//
+// Mirrors the paper's artifact workflow (Appendix A):
+//   (1) generate Wiki'17/Wiki'18-analog corpora and train embeddings of
+//       every (algorithm, dimension, seed);
+//   (2) align each Wiki'18 embedding to its Wiki'17 partner with orthogonal
+//       Procrustes, compress both with uniform quantization (shared clip
+//       threshold), train downstream models on top, and record predictions;
+//   (3) compute downstream instability and the five embedding distance
+//       measures between every pair.
+// Every expensive artifact is memoized in an on-disk ArtifactCache keyed by
+// the full configuration, so the bench binaries can run in any order and
+// re-runs are cheap.
+#pragma once
+
+#include <array>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/measures.hpp"
+#include "core/selection.hpp"
+#include "embed/trainer.hpp"
+#include "tasks/ner.hpp"
+#include "tasks/sentiment.hpp"
+#include "text/corpus.hpp"
+#include "util/cache.hpp"
+
+namespace anchor::pipeline {
+
+/// Corpus "year" of an embedding (the paper's Wiki'17 vs Wiki'18).
+enum class Year { k17, k18 };
+
+/// Scale knobs for the whole study. Defaults are the bench-scale setting
+/// (minutes on a laptop core); tests shrink them further.
+struct PipelineConfig {
+  // Corpus / latent space. The latent rank (12) sits at the low end of the
+  // dimension grid so every dimension ≥ the smallest can represent the core
+  // structure — the regime the paper's 25–800 grid lives in.
+  std::size_t vocab = 800;
+  std::size_t latent_dim = 12;
+  std::size_t num_topics = 10;
+  std::size_t num_documents = 1000;
+  double drift = 0.08;          // Wiki'17 → Wiki'18 latent drift
+  double extra_docs = 0.01;     // the paper's "just 1% more data"
+  std::uint64_t space_seed = 17;
+
+  // Embedding grid (paper: dims {25..800} ↦ scaled; precisions unchanged).
+  std::vector<std::size_t> dims = {8, 16, 32, 64, 128};
+  std::vector<int> precisions = {1, 2, 4, 8, 16, 32};
+  std::vector<std::uint64_t> seeds = {1, 2, 3};
+  double epoch_scale = 1.0;
+
+  // Measures.
+  std::size_t reference_dim = 128;  // E, Ẽ for the EIS Σ (largest dim)
+  double eis_alpha = 3.0;           // Table 8a winner
+  std::size_t knn_k = 5;            // Table 8b winner
+  std::size_t knn_queries = 200;    // paper uses 1000 of 400k words
+
+  // Downstream task scale.
+  std::size_t sentiment_scale_train = 1200;  // scales the profile sizes
+  std::size_t ner_train = 500;
+  std::size_t ner_test = 300;
+  std::size_t ner_hidden = 16;
+  std::size_t ner_epochs = 5;
+  // Dropout is seed-deterministic but still noise at miniature scale; the
+  // defaults turn it off so embedding-induced churn dominates (the paper's
+  // word/locked dropout values target a 256-hidden BiLSTM on full CoNLL).
+  float ner_word_dropout = 0.0f;
+  float ner_locked_dropout = 0.0f;
+
+  /// Corpus/embedding-grid signature: folded into embedding and measure
+  /// cache keys. Deliberately excludes downstream-task scale, so re-tuning a
+  /// task never invalidates trained embeddings.
+  std::string corpus_signature() const;
+  /// Full signature (corpus + downstream scale), kept for completeness.
+  std::string signature() const;
+};
+
+/// Per-run overrides for the robustness studies (Appendix E): alternative
+/// downstream models, decoupled downstream seeds, fine-tuning, learning-rate
+/// sweeps. Defaults reproduce the paper's main protocol.
+struct DownstreamOptions {
+  enum class ModelKind { kDefault, kCnn, kBiLstmCrf };
+  ModelKind model = ModelKind::kDefault;
+  /// By default the downstream init/sampling seeds equal the embedding seed
+  /// (the paper's main protocol); overrides decouple them (Appendix E.3).
+  std::optional<std::uint64_t> init_seed;
+  std::optional<std::uint64_t> sampling_seed;
+  bool fine_tune = false;                 // Appendix E.4
+  std::optional<float> learning_rate;     // Appendix E.5
+
+  std::string signature() const;
+};
+
+/// One (dim, precision) cell's instability averaged over seeds, with the
+/// per-seed values retained (for the error bars the paper plots).
+struct CellResult {
+  std::size_t dim = 0;
+  int bits = 32;
+  double mean_pct = 0.0;
+  std::vector<double> per_seed_pct;
+};
+
+class Pipeline {
+ public:
+  explicit Pipeline(PipelineConfig config = {},
+                    std::string cache_dir = "anchor-cache");
+
+  const PipelineConfig& config() const { return config_; }
+
+  /// Task names: the four sentiment tasks plus "conll2003".
+  static const std::vector<std::string>& all_tasks();
+  static bool is_ner_task(const std::string& task);
+
+  // --- Embeddings ---
+  /// Trained raw embedding (cached).
+  embed::Embedding raw_embedding(Year year, embed::Algo algo, std::size_t dim,
+                                 std::uint64_t seed);
+  /// (X17, X18-aligned-to-X17) pair at full precision (cached).
+  std::pair<embed::Embedding, embed::Embedding> aligned_pair(
+      embed::Algo algo, std::size_t dim, std::uint64_t seed);
+  /// Aligned pair quantized to `bits`, X18 reusing X17's clip threshold.
+  std::pair<embed::Embedding, embed::Embedding> quantized_pair(
+      embed::Algo algo, std::size_t dim, std::uint64_t seed, int bits);
+
+  // --- Downstream ---
+  /// Test-set predictions of the downstream model for `task` trained on the
+  /// given embedding configuration (cached).
+  std::vector<std::int32_t> predictions(const std::string& task, Year year,
+                                        embed::Algo algo, std::size_t dim,
+                                        int bits, std::uint64_t seed,
+                                        const DownstreamOptions& opts = {});
+  /// Definition-1 instability between the Wiki'17- and Wiki'18-trained
+  /// models (entity-token-masked for NER).
+  double downstream_instability(const std::string& task, embed::Algo algo,
+                                std::size_t dim, int bits, std::uint64_t seed,
+                                const DownstreamOptions& opts = {});
+  /// Quality: accuracy (sentiment) or entity micro-F1 (NER), in percent.
+  double quality(const std::string& task, Year year, embed::Algo algo,
+                 std::size_t dim, int bits, std::uint64_t seed,
+                 const DownstreamOptions& opts = {});
+
+  // --- Measures ---
+  /// The five embedding distance measures for a configuration, oriented
+  /// larger-is-more-unstable, in core::kAllMeasures order (cached).
+  std::array<double, 5> measures(embed::Algo algo, std::size_t dim, int bits,
+                                 std::uint64_t seed);
+  /// Same but with a non-default EIS α (Table 8a) — k-NN entry reused.
+  double eis_with_alpha(embed::Algo algo, std::size_t dim, int bits,
+                        std::uint64_t seed, double alpha);
+  double knn_with_k(embed::Algo algo, std::size_t dim, int bits,
+                    std::uint64_t seed, std::size_t k);
+
+  // --- Grids for the analysis benches ---
+  /// All (dim, precision) cells for one seed, with measures + DI attached.
+  std::vector<core::ConfigPoint> config_grid(const std::string& task,
+                                             embed::Algo algo,
+                                             std::uint64_t seed);
+  /// Seed-averaged instability per cell (Figures 1, 2, 4–6).
+  std::vector<CellResult> instability_grid(const std::string& task,
+                                           embed::Algo algo,
+                                           const DownstreamOptions& opts = {});
+
+  // --- Task data access ---
+  const tasks::TextClassificationDataset& sentiment_dataset(
+      const std::string& name);
+  const tasks::SequenceTaggingDataset& ner_dataset();
+  const text::LatentSpace& base_space();
+
+ private:
+  const text::Corpus& corpus(Year year);
+  std::string emb_key(Year year, embed::Algo algo, std::size_t dim,
+                      std::uint64_t seed, const char* stage) const;
+  const core::EisContext& eis_context(embed::Algo algo, std::uint64_t seed);
+
+  PipelineConfig config_;
+  ArtifactCache cache_;
+  std::unique_ptr<text::LatentSpace> space17_;
+  std::unique_ptr<text::LatentSpace> space18_;
+  std::optional<text::Corpus> corpus17_;
+  std::optional<text::Corpus> corpus18_;
+  std::map<std::string, tasks::TextClassificationDataset> sentiment_;
+  std::optional<tasks::SequenceTaggingDataset> ner_;
+  std::map<std::string, core::EisContext> eis_contexts_;
+};
+
+std::string year_name(Year year);
+
+}  // namespace anchor::pipeline

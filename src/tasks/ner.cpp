@@ -1,0 +1,120 @@
+#include "tasks/ner.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/rng.hpp"
+
+namespace anchor::tasks {
+
+std::vector<std::int32_t> SequenceTaggingDataset::flat_test_gold() const {
+  std::vector<std::int32_t> out;
+  for (const auto& tags : test_tags) {
+    out.insert(out.end(), tags.begin(), tags.end());
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> SequenceTaggingDataset::flat_test_entity_mask()
+    const {
+  std::vector<std::uint8_t> out;
+  for (const auto& tags : test_tags) {
+    for (const std::int32_t t : tags) out.push_back(t != kTagO ? 1 : 0);
+  }
+  return out;
+}
+
+SequenceTaggingDataset make_ner_task(const text::LatentSpace& space,
+                                     const NerTaskConfig& config) {
+  ANCHOR_CHECK_GE(space.config().num_topics, 4u);
+  Rng rng(config.seed);
+  const std::size_t num_types = kNumNerTags - 1;
+
+  // Gazetteers: entity type t draws words from the topic clusters with
+  // topic ≡ t (mod 4), skipping the very head of the Zipf distribution so
+  // entities are content-like words rather than stopword-like ones.
+  std::vector<std::vector<std::int32_t>> gazetteer(num_types);
+  std::vector<std::vector<std::int32_t>> cues(num_types);
+  std::unordered_set<std::int32_t> entity_words;
+  const std::size_t head_skip = space.vocab_size() / 20;
+  for (std::size_t type = 0; type < num_types; ++type) {
+    for (std::size_t w = head_skip; w < space.vocab_size(); ++w) {
+      if (space.word_topics()[w] % num_types != type) continue;
+      const auto id = static_cast<std::int32_t>(w);
+      if (cues[type].size() < config.cue_words) {
+        cues[type].push_back(id);
+      } else if (gazetteer[type].size() < config.gazetteer_size) {
+        gazetteer[type].push_back(id);
+        entity_words.insert(id);
+      } else {
+        break;
+      }
+    }
+    ANCHOR_CHECK_MSG(gazetteer[type].size() >= 8,
+                     "gazetteer too small for type " << type
+                                                     << "; increase vocab");
+  }
+
+  const DiscreteSampler neutral(space.unigram_prior());
+  auto sample_filler = [&](Rng& r) {
+    // One resample attempt keeps gazetteer words rare (not impossible) as
+    // O-tagged fillers — realistic annotation ambiguity.
+    std::size_t w = neutral.sample(r);
+    if (entity_words.count(static_cast<std::int32_t>(w)) > 0) {
+      w = neutral.sample(r);
+    }
+    return static_cast<std::int32_t>(w);
+  };
+
+  SequenceTaggingDataset ds;
+  auto emit = [&](std::size_t count,
+                  std::vector<std::vector<std::int32_t>>& sentences,
+                  std::vector<std::vector<std::int32_t>>& tags) {
+    sentences.reserve(count);
+    tags.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      std::vector<std::int32_t> sentence, sentence_tags;
+      sentence.reserve(config.sentence_length);
+      sentence_tags.reserve(config.sentence_length);
+      std::size_t pos = 0;
+      while (pos < config.sentence_length) {
+        const bool open_entity =
+            rng.bernoulli(config.entity_start_prob) &&
+            pos + 2 <= config.sentence_length;  // room for cue + 1 token
+        if (!open_entity) {
+          sentence.push_back(sample_filler(rng));
+          sentence_tags.push_back(kTagO);
+          ++pos;
+          continue;
+        }
+        const std::size_t type = rng.index(num_types);
+        // Cue word (tagged O) announces the entity type to the context.
+        sentence.push_back(cues[type][rng.index(cues[type].size())]);
+        sentence_tags.push_back(kTagO);
+        ++pos;
+        const std::size_t span =
+            std::min(1 + rng.index(config.max_span),
+                     config.sentence_length - pos);
+        for (std::size_t s = 0; s < span; ++s) {
+          sentence.push_back(
+              gazetteer[type][rng.index(gazetteer[type].size())]);
+          sentence_tags.push_back(static_cast<std::int32_t>(type + 1));
+          ++pos;
+        }
+      }
+      // Per-token tag noise.
+      for (auto& t : sentence_tags) {
+        if (rng.bernoulli(config.tag_noise)) {
+          t = static_cast<std::int32_t>(rng.index(kNumNerTags));
+        }
+      }
+      sentences.push_back(std::move(sentence));
+      tags.push_back(std::move(sentence_tags));
+    }
+  };
+  emit(config.train_size, ds.train_sentences, ds.train_tags);
+  emit(config.test_size, ds.test_sentences, ds.test_tags);
+  return ds;
+}
+
+}  // namespace anchor::tasks

@@ -1,0 +1,53 @@
+// Synthetic named-entity-recognition task (CoNLL-2003 analog).
+//
+// Tags: O, PER, ORG, LOC, MISC (the paper measures per-token disagreement
+// over gold-entity tokens only, without BIO structure — §3). Entity words
+// are drawn from gazetteers built out of latent-space topic clusters; entity
+// spans are preceded by type-specific cue words so the context — what the
+// BiLSTM consumes — is informative.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "text/latent_space.hpp"
+
+namespace anchor::tasks {
+
+inline constexpr std::int32_t kTagO = 0;
+inline constexpr std::size_t kNumNerTags = 5;  // O + PER/ORG/LOC/MISC
+
+/// Sequence-labeling dataset with per-token tags and fixed splits.
+struct SequenceTaggingDataset {
+  std::string name = "conll2003";
+  std::size_t num_tags = kNumNerTags;
+  std::vector<std::vector<std::int32_t>> train_sentences;
+  std::vector<std::vector<std::int32_t>> train_tags;
+  std::vector<std::vector<std::int32_t>> test_sentences;
+  std::vector<std::vector<std::int32_t>> test_tags;
+
+  /// Token-major flattened gold tags of the test split and the entity mask
+  /// (tag != O) the instability metric is restricted to.
+  std::vector<std::int32_t> flat_test_gold() const;
+  std::vector<std::uint8_t> flat_test_entity_mask() const;
+};
+
+struct NerTaskConfig {
+  std::size_t train_size = 1200;   // sentences
+  std::size_t test_size = 600;
+  std::size_t sentence_length = 14;
+  double entity_start_prob = 0.18;  // per-position chance to open a span
+  std::size_t max_span = 2;
+  std::size_t gazetteer_size = 120;  // words per entity type
+  std::size_t cue_words = 12;        // cue words per entity type
+  double tag_noise = 0.02;           // per-token label noise
+  std::uint64_t seed = 2003;
+};
+
+/// Generates the NER dataset from the latent space (base year only, as with
+/// the sentiment tasks).
+SequenceTaggingDataset make_ner_task(const text::LatentSpace& space,
+                                     const NerTaskConfig& config);
+
+}  // namespace anchor::tasks

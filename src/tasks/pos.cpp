@@ -1,0 +1,70 @@
+#include "tasks/pos.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace anchor::tasks {
+
+SequenceTaggingDataset make_pos_task(const text::LatentSpace& space,
+                                     const PosTaskConfig& config) {
+  ANCHOR_CHECK_GE(space.config().num_topics, kNumPosTags);
+  ANCHOR_CHECK_GE(config.ambiguous_fraction, 0.0);
+  ANCHOR_CHECK_LE(config.ambiguous_fraction, 1.0);
+  Rng rng(config.seed);
+
+  // Primary tag per word: topic clusters partition into tag classes —
+  // syntactic categories as distributional clusters.
+  const std::size_t vocab = space.vocab_size();
+  std::vector<std::int32_t> primary_tag(vocab);
+  for (std::size_t w = 0; w < vocab; ++w) {
+    primary_tag[w] =
+        static_cast<std::int32_t>(space.word_topics()[w] % kNumPosTags);
+  }
+
+  // Ambiguous words: their realized tag is primary OR (primary+1) mod T,
+  // decided by the *previous* token's tag parity — so context is required
+  // to tag them and a pure per-word lookup caps out below 100%.
+  std::vector<std::uint8_t> ambiguous(vocab, 0);
+  for (std::size_t w = 0; w < vocab; ++w) {
+    if (rng.bernoulli(config.ambiguous_fraction)) ambiguous[w] = 1;
+  }
+
+  const DiscreteSampler unigram(space.unigram_prior());
+
+  SequenceTaggingDataset ds;
+  ds.name = "pos";
+  ds.num_tags = kNumPosTags;
+
+  auto generate_split =
+      [&](std::size_t count,
+          std::vector<std::vector<std::int32_t>>& sentences,
+          std::vector<std::vector<std::int32_t>>& tags) {
+        for (std::size_t s = 0; s < count; ++s) {
+          std::vector<std::int32_t> sent, tag_seq;
+          std::int32_t prev_tag = 0;
+          for (std::size_t t = 0; t < config.sentence_length; ++t) {
+            const auto w = static_cast<std::int32_t>(unigram.sample(rng));
+            std::int32_t tag = primary_tag[static_cast<std::size_t>(w)];
+            if (ambiguous[static_cast<std::size_t>(w)] && (prev_tag % 2) == 1) {
+              tag = static_cast<std::int32_t>(
+                  (tag + 1) % static_cast<std::int32_t>(kNumPosTags));
+            }
+            std::int32_t observed = tag;
+            if (rng.bernoulli(config.tag_noise)) {
+              observed = static_cast<std::int32_t>(rng.index(kNumPosTags));
+            }
+            sent.push_back(w);
+            tag_seq.push_back(observed);
+            prev_tag = tag;  // the true tag drives the process, not the noise
+          }
+          sentences.push_back(std::move(sent));
+          tags.push_back(std::move(tag_seq));
+        }
+      };
+  generate_split(config.train_size, ds.train_sentences, ds.train_tags);
+  generate_split(config.test_size, ds.test_sentences, ds.test_tags);
+  return ds;
+}
+
+}  // namespace anchor::tasks

@@ -1,0 +1,41 @@
+// Synthetic part-of-speech tagging task.
+//
+// Wendlandt et al. (2018) — the paper's closest related work — study how
+// *intrinsic* embedding instability surfaces as part-of-speech tagging
+// error; this task lets the extension bench repeat their comparison inside
+// our controlled setting and contrast it with the paper's *downstream
+// prediction disagreement* lens.
+//
+// Construction: every word gets a primary tag from its latent topic (topics
+// are partitioned into tag classes, mimicking how syntactic categories
+// cluster distributionally). A configurable fraction of words is ambiguous:
+// their surface tag depends on the *previous* token's tag (determiner-like
+// behavior), so a tagger genuinely needs context, not just a per-word
+// lookup. Instability is measured over ALL tokens (unlike NER's
+// entity-token restriction).
+#pragma once
+
+#include <cstdint>
+
+#include "tasks/ner.hpp"  // SequenceTaggingDataset
+
+namespace anchor::tasks {
+
+inline constexpr std::size_t kNumPosTags = 4;  // NOUN, VERB, ADJ, FUNC
+
+struct PosTaskConfig {
+  std::size_t train_size = 1200;  // sentences
+  std::size_t test_size = 600;
+  std::size_t sentence_length = 14;
+  /// Fraction of the vocabulary whose tag is context-dependent.
+  double ambiguous_fraction = 0.15;
+  double tag_noise = 0.02;  // per-token label noise
+  std::uint64_t seed = 1979;
+};
+
+/// Generates the POS dataset from the latent space (base year only, like
+/// every other task: the data is fixed, only the embedding changes).
+SequenceTaggingDataset make_pos_task(const text::LatentSpace& space,
+                                     const PosTaskConfig& config);
+
+}  // namespace anchor::tasks

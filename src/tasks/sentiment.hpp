@@ -1,0 +1,60 @@
+// Synthetic binary sentiment tasks (SST-2 / MR / Subj / MPQA analogs).
+//
+// Each task draws a sentiment direction θ in the latent space and generates
+// labeled sentences whose content words are biased along ±θ, mixed with
+// neutral filler words, plus label noise. A linear bag-of-words model over
+// any embedding that recovers the latent structure can learn the task —
+// the same regime as the paper's sentiment benchmarks. The four named tasks
+// differ in size, sentence length, content ratio, and noise, mirroring how
+// the paper's four datasets differ in difficulty and observed instability.
+//
+// Task data is generated from the *base* latent space only, so the dataset
+// is identical for every embedding being compared (as in the paper, where
+// SST-2 et al. are fixed while the embedding corpus changes).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "text/latent_space.hpp"
+
+namespace anchor::tasks {
+
+/// A sentence-classification dataset with fixed train/val/test splits.
+struct TextClassificationDataset {
+  std::string name;
+  std::size_t num_classes = 2;
+  std::vector<std::vector<std::int32_t>> train_sentences;
+  std::vector<std::int32_t> train_labels;
+  std::vector<std::vector<std::int32_t>> val_sentences;
+  std::vector<std::int32_t> val_labels;
+  std::vector<std::vector<std::int32_t>> test_sentences;
+  std::vector<std::int32_t> test_labels;
+};
+
+struct SentimentTaskConfig {
+  std::string name = "sst2";
+  std::size_t train_size = 3000;
+  std::size_t val_size = 500;
+  std::size_t test_size = 1000;
+  std::size_t sentence_length = 12;
+  double content_ratio = 0.5;   // fraction of sentiment-bearing tokens
+  double polarity_strength = 1.5;  // bias of content words along ±θ
+  double label_noise = 0.06;    // probability of flipping the gold label
+  std::uint64_t seed = 101;     // task-specific; also seeds θ
+};
+
+/// Generates one sentiment dataset from the latent space.
+TextClassificationDataset make_sentiment_task(const text::LatentSpace& space,
+                                              const SentimentTaskConfig& config);
+
+/// The paper's four sentiment benchmarks, as configured analogs:
+/// "sst2", "mr", "subj", "mpqa" (§C.3.1). Difficulty ordering follows the
+/// paper's observed instability ordering (Subj most stable, MR least).
+SentimentTaskConfig sentiment_profile(const std::string& name);
+
+/// Names of the four tasks in the paper's order.
+const std::vector<std::string>& sentiment_task_names();
+
+}  // namespace anchor::tasks

@@ -1,0 +1,76 @@
+#include "text/cooc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace anchor::text {
+
+CoocMatrix count_cooccurrences(const Corpus& corpus, const CoocConfig& config) {
+  ANCHOR_CHECK_GT(config.window, 0u);
+  ANCHOR_CHECK_GT(corpus.vocab_size, 0u);
+
+  // Key packs (row, col) into 64 bits; vocabulary sizes here are far below
+  // 2^31 so this is collision-free by construction.
+  std::unordered_map<std::uint64_t, double> cells;
+  cells.reserve(corpus.vocab_size * 64);
+
+  for (const auto& sentence : corpus.sentences) {
+    const std::size_t len = sentence.size();
+    for (std::size_t i = 0; i < len; ++i) {
+      const std::size_t hi = std::min(len, i + config.window + 1);
+      for (std::size_t j = i + 1; j < hi; ++j) {
+        const double w =
+            config.distance_weighting ? 1.0 / static_cast<double>(j - i) : 1.0;
+        const auto a = static_cast<std::uint32_t>(sentence[i]);
+        const auto b = static_cast<std::uint32_t>(sentence[j]);
+        cells[(static_cast<std::uint64_t>(a) << 32) | b] += w;
+        cells[(static_cast<std::uint64_t>(b) << 32) | a] += w;
+      }
+    }
+  }
+
+  CoocMatrix m;
+  m.vocab_size = corpus.vocab_size;
+  m.entries.reserve(cells.size());
+  m.row_sums.assign(corpus.vocab_size, 0.0);
+  for (const auto& [key, value] : cells) {
+    CoocEntry e;
+    e.row = static_cast<std::int32_t>(key >> 32);
+    e.col = static_cast<std::int32_t>(key & 0xffffffffu);
+    e.value = value;
+    m.entries.push_back(e);
+    m.row_sums[static_cast<std::size_t>(e.row)] += value;
+    m.total += value;
+  }
+  std::sort(m.entries.begin(), m.entries.end(),
+            [](const CoocEntry& a, const CoocEntry& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  return m;
+}
+
+CoocMatrix ppmi(const CoocMatrix& cooc) {
+  ANCHOR_CHECK_GT(cooc.total, 0.0);
+  CoocMatrix m;
+  m.vocab_size = cooc.vocab_size;
+  m.row_sums.assign(cooc.vocab_size, 0.0);
+  m.entries.reserve(cooc.entries.size());
+  for (const auto& e : cooc.entries) {
+    const double pij = e.value / cooc.total;
+    const double pi = cooc.row_sums[static_cast<std::size_t>(e.row)] / cooc.total;
+    const double pj = cooc.row_sums[static_cast<std::size_t>(e.col)] / cooc.total;
+    ANCHOR_CHECK_GT(pi, 0.0);
+    ANCHOR_CHECK_GT(pj, 0.0);
+    const double pmi = std::log(pij / (pi * pj));
+    if (pmi <= 0.0) continue;
+    CoocEntry out = e;
+    out.value = pmi;
+    m.entries.push_back(out);
+    m.row_sums[static_cast<std::size_t>(e.row)] += pmi;
+    m.total += pmi;
+  }
+  return m;
+}
+
+}  // namespace anchor::text

@@ -1,0 +1,48 @@
+// Windowed co-occurrence counting and the PPMI transform.
+//
+// GloVe factors the (weighted) co-occurrence matrix; MC factors the PPMI
+// matrix (Bullinaria & Levy, 2007), as in the paper's §2.2. Counts are kept
+// sparse: the synthetic corpora are Zipfian, so the co-occurrence matrix is
+// heavily concentrated.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "text/corpus.hpp"
+
+namespace anchor::text {
+
+/// One observed (row, col, value) co-occurrence cell.
+struct CoocEntry {
+  std::int32_t row = 0;
+  std::int32_t col = 0;
+  double value = 0.0;
+};
+
+/// Sparse symmetric co-occurrence statistics.
+struct CoocMatrix {
+  std::size_t vocab_size = 0;
+  std::vector<CoocEntry> entries;     // row-major sorted, both triangles
+  std::vector<double> row_sums;       // marginal counts per word
+  double total = 0.0;                 // grand total of all cells
+
+  std::size_t nnz() const { return entries.size(); }
+};
+
+struct CoocConfig {
+  std::size_t window = 5;
+  /// GloVe-style 1/distance weighting; when false every pair in the window
+  /// counts 1 (word2vec-style expectation).
+  bool distance_weighting = true;
+};
+
+/// Counts symmetric windowed co-occurrences over all sentences.
+CoocMatrix count_cooccurrences(const Corpus& corpus, const CoocConfig& config);
+
+/// Positive pointwise mutual information transform:
+/// PPMI(i,j) = max(0, log(p(i,j) / (p(i)·p(j)))). Cells that round to zero
+/// are dropped from the sparse result.
+CoocMatrix ppmi(const CoocMatrix& cooc);
+
+}  // namespace anchor::text

@@ -1,0 +1,79 @@
+#include "text/corpus.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace anchor::text {
+
+std::int64_t Corpus::total_tokens() const {
+  std::int64_t total = 0;
+  for (const auto& s : sentences) total += static_cast<std::int64_t>(s.size());
+  return total;
+}
+
+std::string Corpus::word_string(std::int32_t id) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "w%04d", id);
+  return buf;
+}
+
+Corpus generate_corpus(const LatentSpace& space, const CorpusConfig& config) {
+  ANCHOR_CHECK_GT(config.num_documents, 0u);
+  const std::size_t vocab = space.vocab_size();
+  const std::size_t dim = space.latent_dim();
+
+  Corpus corpus;
+  corpus.vocab_size = vocab;
+  corpus.word_counts.assign(vocab, 0);
+
+  const std::size_t extra_docs = static_cast<std::size_t>(
+      std::llround(space.doc_fraction_delta() *
+                   static_cast<double>(config.num_documents)));
+  const std::size_t total_docs = config.num_documents + extra_docs;
+  corpus.sentences.reserve(total_docs * config.sentences_per_document);
+
+  Rng doc_rng(config.seed);
+  std::vector<double> weights(vocab);
+  std::vector<double> topic(dim);
+
+  for (std::size_t doc = 0; doc < total_docs; ++doc) {
+    // Forking per document keeps documents aligned across corpus "years":
+    // document i consumes the same stream position regardless of how the
+    // drifted space changes individual word draws.
+    Rng rng = doc_rng.fork(doc);
+
+    const std::size_t k = rng.index(space.config().num_topics);
+    for (std::size_t j = 0; j < dim; ++j) {
+      topic[j] = space.topic_centers()(k, j) +
+                 rng.normal(0.0, config.topic_mix_noise);
+    }
+
+    // Document word distribution ∝ prior(w) · exp(β·⟨t, g_w⟩), computed with
+    // a max-shift for overflow safety.
+    double max_logit = -1e300;
+    for (std::size_t w = 0; w < vocab; ++w) {
+      double dot = 0.0;
+      const double* gw = space.word_vectors().row(w);
+      for (std::size_t j = 0; j < dim; ++j) dot += topic[j] * gw[j];
+      weights[w] = config.topic_sharpness * dot;
+      max_logit = std::max(max_logit, weights[w]);
+    }
+    for (std::size_t w = 0; w < vocab; ++w) {
+      weights[w] = space.unigram_prior()[w] * std::exp(weights[w] - max_logit);
+    }
+    DiscreteSampler sampler(weights);
+
+    for (std::size_t s = 0; s < config.sentences_per_document; ++s) {
+      std::vector<std::int32_t> sentence(config.tokens_per_sentence);
+      for (auto& tok : sentence) {
+        const std::size_t w = sampler.sample(rng);
+        tok = static_cast<std::int32_t>(w);
+        ++corpus.word_counts[w];
+      }
+      corpus.sentences.push_back(std::move(sentence));
+    }
+  }
+  return corpus;
+}
+
+}  // namespace anchor::text

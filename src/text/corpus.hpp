@@ -1,0 +1,46 @@
+// Synthetic corpus representation and generator.
+//
+// A Corpus is a list of sentences of integer token ids (tokenization is the
+// identity in the synthetic setting; word strings exist only for display).
+// The generator realizes the LatentSpace's topic-mixture language model:
+// each document samples a topic direction t, then draws tokens with
+// probability ∝ zipf_prior(w) · exp(β · ⟨t, g_w⟩). Co-occurrence statistics
+// of the result have the low-rank structure embedding algorithms exploit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "text/latent_space.hpp"
+
+namespace anchor::text {
+
+/// Token-id corpus with unigram counts.
+struct Corpus {
+  std::size_t vocab_size = 0;
+  std::vector<std::vector<std::int32_t>> sentences;
+  std::vector<std::int64_t> word_counts;  // vocab_size entries
+
+  std::int64_t total_tokens() const;
+  /// Display form of a token id ("w0042"); ids are rank-ordered by the
+  /// generator's Zipf prior so low ids are frequent.
+  static std::string word_string(std::int32_t id);
+};
+
+struct CorpusConfig {
+  std::size_t num_documents = 3000;
+  std::size_t sentences_per_document = 4;
+  std::size_t tokens_per_sentence = 18;
+  double topic_sharpness = 1.1;  // β: how strongly topics bias word choice
+  double topic_mix_noise = 0.35; // noise added to the per-doc topic vector
+  std::uint64_t seed = 1;        // document sampling stream
+};
+
+/// Generates a corpus from a latent space. The same `config.seed` with a
+/// drifted space yields the paper's "next year's dump" stimulus: mostly the
+/// same documents, slightly different word statistics, plus
+/// `space.doc_fraction_delta()` extra documents appended at the end.
+Corpus generate_corpus(const LatentSpace& space, const CorpusConfig& config);
+
+}  // namespace anchor::text

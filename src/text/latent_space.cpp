@@ -1,0 +1,52 @@
+#include "text/latent_space.hpp"
+
+#include <cmath>
+
+namespace anchor::text {
+
+LatentSpace::LatentSpace(const LatentSpaceConfig& config) : config_(config) {
+  ANCHOR_CHECK_GT(config.vocab_size, 0u);
+  ANCHOR_CHECK_GT(config.latent_dim, 0u);
+  ANCHOR_CHECK_GT(config.num_topics, 0u);
+  Rng rng(config.seed);
+
+  topic_centers_ = la::Matrix(config.num_topics, config.latent_dim);
+  for (std::size_t k = 0; k < config.num_topics; ++k) {
+    for (std::size_t j = 0; j < config.latent_dim; ++j) {
+      topic_centers_(k, j) = rng.normal(0.0, 1.0);
+    }
+  }
+
+  word_vectors_ = la::Matrix(config.vocab_size, config.latent_dim);
+  word_topics_.resize(config.vocab_size);
+  for (std::size_t w = 0; w < config.vocab_size; ++w) {
+    const std::size_t topic = rng.index(config.num_topics);
+    word_topics_[w] = topic;
+    for (std::size_t j = 0; j < config.latent_dim; ++j) {
+      word_vectors_(w, j) =
+          topic_centers_(topic, j) + rng.normal(0.0, config.topic_spread);
+    }
+  }
+
+  unigram_prior_.resize(config.vocab_size);
+  for (std::size_t w = 0; w < config.vocab_size; ++w) {
+    unigram_prior_[w] =
+        1.0 / std::pow(static_cast<double>(w) + 1.0, config.zipf_exponent);
+  }
+}
+
+LatentSpace LatentSpace::drifted(double drift, std::uint64_t drift_seed,
+                                 double doc_fraction_delta) const {
+  ANCHOR_CHECK_GE(drift, 0.0);
+  LatentSpace next = *this;
+  Rng rng(drift_seed ^ 0xd1f7ed5eedULL);
+  for (std::size_t w = 0; w < vocab_size(); ++w) {
+    for (std::size_t j = 0; j < latent_dim(); ++j) {
+      next.word_vectors_(w, j) += rng.normal(0.0, drift);
+    }
+  }
+  next.doc_fraction_delta_ = doc_fraction_delta;
+  return next;
+}
+
+}  // namespace anchor::text

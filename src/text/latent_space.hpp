@@ -1,0 +1,75 @@
+// Latent semantic ground truth shared by the corpus generator and the
+// synthetic downstream tasks.
+//
+// The paper trains embeddings on Wiki'17 and Wiki'18 — two corpora whose
+// co-occurrence statistics share latent semantic structure but differ by a
+// year of edits. We reproduce that stimulus with an explicit generative
+// model: every word w has a ground-truth vector g_w ∈ R^D drawn around one
+// of K topic centers, plus a Zipf unigram prior. A "next year" corpus is
+// generated from a *drifted* copy of the same space (g_w + ε) with extra
+// documents, which is precisely the small-training-data-change regime whose
+// downstream effect the paper studies.
+//
+// The same latent vectors also generate task labels (sentiment direction,
+// NER gazetteer clusters), so downstream tasks are learnable from any
+// embedding that recovers the co-occurrence structure — mirroring how real
+// NLP tasks are learnable from distributional embeddings.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace anchor::text {
+
+struct LatentSpaceConfig {
+  std::size_t vocab_size = 2000;
+  std::size_t latent_dim = 24;   // D: rank of the ground-truth structure
+  std::size_t num_topics = 12;   // K: topic centers words cluster around
+  double topic_spread = 0.65;    // within-topic std of word vectors
+  double zipf_exponent = 1.05;   // unigram frequency prior ∝ 1/rank^s
+  std::uint64_t seed = 17;
+};
+
+/// Immutable ground-truth semantics for one corpus "year".
+class LatentSpace {
+ public:
+  explicit LatentSpace(const LatentSpaceConfig& config);
+
+  /// Returns a drifted copy: each word vector receives independent Gaussian
+  /// noise of scale `drift`, and a `doc_fraction_delta` is recorded so the
+  /// corpus generator emits proportionally more documents. Models the
+  /// Wiki'17 → Wiki'18 temporal change.
+  LatentSpace drifted(double drift, std::uint64_t drift_seed,
+                      double doc_fraction_delta = 0.01) const;
+
+  const LatentSpaceConfig& config() const { return config_; }
+  std::size_t vocab_size() const { return config_.vocab_size; }
+  std::size_t latent_dim() const { return config_.latent_dim; }
+
+  /// Ground-truth word vectors, one row per word (vocab × D).
+  const la::Matrix& word_vectors() const { return word_vectors_; }
+  /// Topic id of each word (used by NER gazetteers).
+  const std::vector<std::size_t>& word_topics() const { return word_topics_; }
+  /// Topic centers (K × D).
+  const la::Matrix& topic_centers() const { return topic_centers_; }
+  /// Zipf unigram prior, unnormalized, ordered by word id (id 0 = most
+  /// frequent).
+  const std::vector<double>& unigram_prior() const { return unigram_prior_; }
+  /// Extra fraction of documents relative to the base year (0 for the base).
+  double doc_fraction_delta() const { return doc_fraction_delta_; }
+
+ private:
+  LatentSpace() = default;
+
+  LatentSpaceConfig config_;
+  la::Matrix word_vectors_;
+  la::Matrix topic_centers_;
+  std::vector<std::size_t> word_topics_;
+  std::vector<double> unigram_prior_;
+  double doc_fraction_delta_ = 0.0;
+};
+
+}  // namespace anchor::text

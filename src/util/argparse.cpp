@@ -1,0 +1,182 @@
+#include "util/argparse.hpp"
+
+#include <charconv>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace anchor {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+ArgParser& ArgParser::add_option(const std::string& name,
+                                 const std::string& help,
+                                 const std::string& default_value,
+                                 bool required) {
+  ANCHOR_CHECK_MSG(!options_.contains(name), "duplicate option");
+  options_[name] = Option{help, default_value, required, false, false};
+  return *this;
+}
+
+ArgParser& ArgParser::add_flag(const std::string& name,
+                               const std::string& help) {
+  ANCHOR_CHECK_MSG(!options_.contains(name), "duplicate option");
+  options_[name] = Option{help, "", false, true, false};
+  return *this;
+}
+
+ArgParser& ArgParser::add_positional(const std::string& name,
+                                     const std::string& help, bool required) {
+  // All required positionals must precede optional ones.
+  if (!positionals_.empty() && !positionals_.back().required) {
+    ANCHOR_CHECK_MSG(!required, "required positional after optional one");
+  }
+  positionals_.push_back(Positional{name, help, required, "", false});
+  return *this;
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return parse(args);
+}
+
+bool ArgParser::parse(const std::vector<std::string>& args) {
+  std::size_t next_positional = 0;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      return false;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      std::string name = arg.substr(2);
+      std::optional<std::string> inline_value;
+      if (const auto eq = name.find('='); eq != std::string::npos) {
+        inline_value = name.substr(eq + 1);
+        name = name.substr(0, eq);
+      }
+      const auto it = options_.find(name);
+      if (it == options_.end()) {
+        error_ = "unknown option --" + name;
+        return false;
+      }
+      Option& opt = it->second;
+      if (opt.is_flag) {
+        if (inline_value.has_value()) {
+          error_ = "flag --" + name + " does not take a value";
+          return false;
+        }
+        opt.value = "1";
+      } else if (inline_value.has_value()) {
+        opt.value = *inline_value;
+      } else {
+        if (i + 1 >= args.size()) {
+          error_ = "option --" + name + " expects a value";
+          return false;
+        }
+        opt.value = args[++i];
+      }
+      opt.seen = true;
+      continue;
+    }
+    if (next_positional >= positionals_.size()) {
+      error_ = "unexpected argument '" + arg + "'";
+      return false;
+    }
+    positionals_[next_positional].value = arg;
+    positionals_[next_positional].seen = true;
+    ++next_positional;
+  }
+
+  for (const auto& [name, opt] : options_) {
+    if (opt.required && !opt.seen) {
+      error_ = "missing required option --" + name;
+      return false;
+    }
+  }
+  for (const auto& pos : positionals_) {
+    if (pos.required && !pos.seen) {
+      error_ = "missing required argument <" + pos.name + ">";
+      return false;
+    }
+  }
+  return true;
+}
+
+const ArgParser::Option* ArgParser::find(const std::string& name) const {
+  const auto it = options_.find(name);
+  return it == options_.end() ? nullptr : &it->second;
+}
+
+std::string ArgParser::get(const std::string& name) const {
+  if (const Option* opt = find(name)) return opt->value;
+  for (const auto& pos : positionals_) {
+    if (pos.name == name) return pos.value;
+  }
+  ANCHOR_CHECK_MSG(false, "undeclared argument name");
+  return {};
+}
+
+std::int64_t ArgParser::get_int(const std::string& name) const {
+  const std::string v = get(name);
+  std::int64_t out = 0;
+  const auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  ANCHOR_CHECK_MSG(ec == std::errc{} && ptr == v.data() + v.size(),
+                   "argument is not an integer");
+  return out;
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  const std::string v = get(name);
+  std::size_t consumed = 0;
+  const double out = std::stod(v, &consumed);
+  ANCHOR_CHECK_MSG(consumed == v.size(), "argument is not a number");
+  return out;
+}
+
+bool ArgParser::get_flag(const std::string& name) const {
+  const Option* opt = find(name);
+  ANCHOR_CHECK_MSG(opt != nullptr && opt->is_flag, "undeclared flag name");
+  return opt->seen;
+}
+
+bool ArgParser::has(const std::string& name) const {
+  if (const Option* opt = find(name)) return opt->seen;
+  for (const auto& pos : positionals_) {
+    if (pos.name == name) return pos.seen;
+  }
+  return false;
+}
+
+std::string ArgParser::usage() const {
+  std::ostringstream os;
+  os << "usage: " << program_;
+  for (const auto& pos : positionals_) {
+    os << (pos.required ? " <" + pos.name + ">" : " [" + pos.name + "]");
+  }
+  if (!options_.empty()) os << " [options]";
+  os << "\n\n" << description_ << "\n";
+  if (!positionals_.empty()) {
+    os << "\narguments:\n";
+    for (const auto& pos : positionals_) {
+      os << "  " << pos.name << "  " << pos.help << "\n";
+    }
+  }
+  if (!options_.empty()) {
+    os << "\noptions:\n";
+    for (const auto& [name, opt] : options_) {
+      os << "  --" << name;
+      if (!opt.is_flag) {
+        os << " <value>";
+        if (!opt.value.empty()) os << " (default: " << opt.value << ")";
+        if (opt.required) os << " (required)";
+      }
+      os << "\n      " << opt.help << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace anchor

@@ -1,0 +1,77 @@
+// Small command-line argument parser for the tools/ binaries.
+//
+// Supports `--name value`, `--name=value`, boolean `--flag`, typed access
+// with defaults, required options, and generated usage text. Unknown options
+// are an error (typos should fail loudly in experiment scripts).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace anchor {
+
+class ArgParser {
+ public:
+  /// `program` and `description` feed the usage text.
+  ArgParser(std::string program, std::string description);
+
+  /// Declares a value option. `default_value` empty + required=true means
+  /// parse() fails when the option is missing.
+  ArgParser& add_option(const std::string& name, const std::string& help,
+                        const std::string& default_value = "",
+                        bool required = false);
+
+  /// Declares a boolean flag (false unless present).
+  ArgParser& add_flag(const std::string& name, const std::string& help);
+
+  /// Declares a positional argument (filled in declaration order).
+  ArgParser& add_positional(const std::string& name, const std::string& help,
+                            bool required = true);
+
+  /// Parses argv (excluding argv[0]). Returns false and fills error() on any
+  /// problem; `--help` sets help_requested() and returns false with no error.
+  bool parse(const std::vector<std::string>& args);
+  bool parse(int argc, const char* const* argv);
+
+  bool help_requested() const { return help_requested_; }
+  const std::string& error() const { return error_; }
+  std::string usage() const;
+
+  /// Accessors. get() aborts (ANCHOR_CHECK) on undeclared names so typos in
+  /// the *code* are caught immediately too.
+  std::string get(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_flag(const std::string& name) const;
+  bool has(const std::string& name) const;
+
+ private:
+  struct Option {
+    std::string help;
+    std::string value;
+    bool required = false;
+    bool is_flag = false;
+    bool seen = false;
+  };
+  struct Positional {
+    std::string name;
+    std::string help;
+    bool required = true;
+    std::string value;
+    bool seen = false;
+  };
+
+  const Option* find(const std::string& name) const;
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::vector<Positional> positionals_;
+  bool help_requested_ = false;
+  std::string error_;
+};
+
+}  // namespace anchor

@@ -1,0 +1,61 @@
+#include "util/cache.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace anchor {
+
+ArtifactCache::ArtifactCache(std::filesystem::path dir) : dir_(std::move(dir)) {
+  std::filesystem::create_directories(dir_);
+}
+
+ArtifactCache ArtifactCache::from_env(const std::filesystem::path& fallback) {
+  if (const char* env = std::getenv("ANCHOR_CACHE_DIR"); env && *env) {
+    return ArtifactCache(env);
+  }
+  return ArtifactCache(fallback);
+}
+
+std::filesystem::path ArtifactCache::blob_path(const std::string& key) const {
+  std::ostringstream os;
+  os << std::hex << fnv1a(key) << ".bin";
+  return dir_ / os.str();
+}
+
+std::filesystem::path ArtifactCache::key_path(const std::string& key) const {
+  std::ostringstream os;
+  os << std::hex << fnv1a(key) << ".key";
+  return dir_ / os.str();
+}
+
+bool ArtifactCache::validate_entry(const std::string& key) const {
+  const auto blob = blob_path(key);
+  const auto side = key_path(key);
+  if (!std::filesystem::exists(blob) || !std::filesystem::exists(side)) {
+    return false;
+  }
+  std::ifstream in(side, std::ios::binary);
+  std::string recorded((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  ANCHOR_CHECK_MSG(recorded == key,
+                   "cache hash collision: '" << recorded << "' vs '" << key
+                                             << "'");
+  return true;
+}
+
+void ArtifactCache::write_key_sidecar(const std::string& key) const {
+  const auto side = key_path(key);
+  std::filesystem::create_directories(side.parent_path());
+  std::ofstream out(side, std::ios::binary | std::ios::trunc);
+  ANCHOR_CHECK_MSG(out.good(), "cannot open " << side);
+  out << key;
+}
+
+bool ArtifactCache::contains(const std::string& key) const {
+  return validate_entry(key);
+}
+
+}  // namespace anchor

@@ -1,0 +1,72 @@
+// Content-addressed artifact cache.
+//
+// Every expensive artifact in the reproduction pipeline — trained embedding
+// matrices, downstream model predictions, measure values — is memoized on
+// disk keyed by a human-readable config string. Benches can therefore run in
+// any order: the first one to need an artifact computes and stores it, later
+// ones load it. This mirrors the paper's artifact workflow (train once,
+// analyze many times) and keeps re-runs cheap.
+#pragma once
+
+#include <filesystem>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/io.hpp"
+
+namespace anchor {
+
+/// On-disk key→blob store. Keys are arbitrary strings; file names are
+/// `<fnv64 hex>.bin` plus a sidecar `.key` file recording the full key so
+/// hash collisions are detected rather than silently served.
+class ArtifactCache {
+ public:
+  /// Opens (creating if needed) a cache rooted at `dir`.
+  explicit ArtifactCache(std::filesystem::path dir);
+
+  /// Cache rooted at $ANCHOR_CACHE_DIR, or `fallback` when unset.
+  static ArtifactCache from_env(const std::filesystem::path& fallback);
+
+  bool contains(const std::string& key) const;
+
+  /// Loads a typed vector stored under `key`; std::nullopt when absent.
+  template <typename T>
+  std::optional<std::vector<T>> load(const std::string& key) const {
+    const auto path = blob_path(key);
+    if (!validate_entry(key)) return std::nullopt;
+    return from_blob<T>(read_bytes(path));
+  }
+
+  template <typename T>
+  void store(const std::string& key, const std::vector<T>& value) const {
+    write_key_sidecar(key);
+    write_bytes(blob_path(key), to_blob(value));
+  }
+
+  /// Memoization helper: returns the cached value for `key`, or runs
+  /// `compute`, stores its result, and returns it.
+  template <typename T>
+  std::vector<T> get_or_compute(
+      const std::string& key,
+      const std::function<std::vector<T>()>& compute) const {
+    if (auto hit = load<T>(key)) return std::move(*hit);
+    std::vector<T> value = compute();
+    store(key, value);
+    return value;
+  }
+
+  const std::filesystem::path& dir() const { return dir_; }
+
+ private:
+  std::filesystem::path blob_path(const std::string& key) const;
+  std::filesystem::path key_path(const std::string& key) const;
+  /// True when the blob exists and its sidecar records exactly `key`.
+  bool validate_entry(const std::string& key) const;
+  void write_key_sidecar(const std::string& key) const;
+
+  std::filesystem::path dir_;
+};
+
+}  // namespace anchor

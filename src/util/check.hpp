@@ -1,0 +1,62 @@
+// Lightweight runtime-check macros used across the anchor library.
+//
+// All checks are active in every build type: the library is used for
+// research experiments where silent corruption is far more expensive than
+// the cost of a predictable branch.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace anchor {
+
+/// Error thrown by ANCHOR_CHECK* macros on contract violation.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "ANCHOR_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+}  // namespace anchor
+
+/// Aborts (throws anchor::CheckError) when `cond` is false.
+#define ANCHOR_CHECK(cond)                                              \
+  do {                                                                  \
+    if (!(cond))                                                        \
+      ::anchor::detail::check_failed(#cond, __FILE__, __LINE__, "");    \
+  } while (0)
+
+/// Same as ANCHOR_CHECK but appends a streamed message on failure.
+#define ANCHOR_CHECK_MSG(cond, msg)                                     \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::ostringstream os_;                                           \
+      os_ << msg;                                                       \
+      ::anchor::detail::check_failed(#cond, __FILE__, __LINE__,         \
+                                     os_.str());                        \
+    }                                                                   \
+  } while (0)
+
+#define ANCHOR_CHECK_EQ(a, b) \
+  ANCHOR_CHECK_MSG((a) == (b), "lhs=" << (a) << " rhs=" << (b))
+#define ANCHOR_CHECK_NE(a, b) \
+  ANCHOR_CHECK_MSG((a) != (b), "both=" << (a))
+#define ANCHOR_CHECK_LT(a, b) \
+  ANCHOR_CHECK_MSG((a) < (b), "lhs=" << (a) << " rhs=" << (b))
+#define ANCHOR_CHECK_LE(a, b) \
+  ANCHOR_CHECK_MSG((a) <= (b), "lhs=" << (a) << " rhs=" << (b))
+#define ANCHOR_CHECK_GT(a, b) \
+  ANCHOR_CHECK_MSG((a) > (b), "lhs=" << (a) << " rhs=" << (b))
+#define ANCHOR_CHECK_GE(a, b) \
+  ANCHOR_CHECK_MSG((a) >= (b), "lhs=" << (a) << " rhs=" << (b))

@@ -1,0 +1,45 @@
+#include "util/io.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/check.hpp"
+
+namespace anchor {
+
+void write_bytes(const std::filesystem::path& path,
+                 const std::vector<std::uint8_t>& data) {
+  std::filesystem::create_directories(path.parent_path());
+  // Write-then-rename so a crashed process never leaves a torn cache entry.
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    ANCHOR_CHECK_MSG(out.good(), "cannot open " << tmp);
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+    ANCHOR_CHECK_MSG(out.good(), "short write to " << tmp);
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+std::vector<std::uint8_t> read_bytes(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  ANCHOR_CHECK_MSG(in.good(), "cannot open " << path);
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(data.data()), size);
+  ANCHOR_CHECK_MSG(in.good(), "short read from " << path);
+  return data;
+}
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace anchor

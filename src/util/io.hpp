@@ -1,0 +1,51 @@
+// Minimal binary serialization used by the artifact cache.
+//
+// Format: little-endian, a 8-byte magic, element-type tag, and a size prefix.
+// Only trivially-copyable element types are supported; this is an internal
+// cache format, not an interchange format.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace anchor {
+
+/// Writes `data` to `path` atomically (write to temp file, then rename).
+void write_bytes(const std::filesystem::path& path,
+                 const std::vector<std::uint8_t>& data);
+
+/// Reads the full content of `path`. Throws on missing file.
+std::vector<std::uint8_t> read_bytes(const std::filesystem::path& path);
+
+/// Serializes a vector of trivially copyable T with a type tag + length.
+template <typename T>
+std::vector<std::uint8_t> to_blob(const std::vector<T>& v);
+
+/// Inverse of to_blob; validates the type tag and length.
+template <typename T>
+std::vector<T> from_blob(const std::vector<std::uint8_t>& blob);
+
+/// Stable 64-bit FNV-1a hash used to derive cache file names from keys.
+std::uint64_t fnv1a(const std::string& s);
+
+namespace detail {
+
+// One tag per supported element type; mismatches indicate a cache-key
+// collision or a code change, both of which should fail loudly.
+template <typename T>
+constexpr std::uint32_t type_tag();
+template <>
+constexpr std::uint32_t type_tag<float>() { return 0xF107u; }
+template <>
+constexpr std::uint32_t type_tag<double>() { return 0xD0B1u; }
+template <>
+constexpr std::uint32_t type_tag<std::int32_t>() { return 0x1432u; }
+template <>
+constexpr std::uint32_t type_tag<std::uint8_t>() { return 0x0801u; }
+
+}  // namespace detail
+}  // namespace anchor
+
+#include "util/io_inl.hpp"

@@ -1,0 +1,56 @@
+// Template implementations for io.hpp. Do not include directly.
+#pragma once
+
+#include <cstring>
+#include <type_traits>
+
+#include "util/check.hpp"
+
+namespace anchor {
+
+inline constexpr std::uint64_t kBlobMagic = 0x414e43485f424c42ULL;  // "ANCH_BLB"
+
+template <typename T>
+std::vector<std::uint8_t> to_blob(const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const std::uint64_t magic = kBlobMagic;
+  const std::uint32_t tag = detail::type_tag<T>();
+  const std::uint64_t count = v.size();
+  std::vector<std::uint8_t> out(sizeof(magic) + sizeof(tag) + sizeof(count) +
+                                v.size() * sizeof(T));
+  std::uint8_t* p = out.data();
+  std::memcpy(p, &magic, sizeof(magic));
+  p += sizeof(magic);
+  std::memcpy(p, &tag, sizeof(tag));
+  p += sizeof(tag);
+  std::memcpy(p, &count, sizeof(count));
+  p += sizeof(count);
+  if (!v.empty()) std::memcpy(p, v.data(), v.size() * sizeof(T));
+  return out;
+}
+
+template <typename T>
+std::vector<T> from_blob(const std::vector<std::uint8_t>& blob) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  constexpr std::size_t header =
+      sizeof(std::uint64_t) + sizeof(std::uint32_t) + sizeof(std::uint64_t);
+  ANCHOR_CHECK_GE(blob.size(), header);
+  std::uint64_t magic = 0;
+  std::uint32_t tag = 0;
+  std::uint64_t count = 0;
+  const std::uint8_t* p = blob.data();
+  std::memcpy(&magic, p, sizeof(magic));
+  p += sizeof(magic);
+  std::memcpy(&tag, p, sizeof(tag));
+  p += sizeof(tag);
+  std::memcpy(&count, p, sizeof(count));
+  p += sizeof(count);
+  ANCHOR_CHECK_EQ(magic, kBlobMagic);
+  ANCHOR_CHECK_EQ(tag, detail::type_tag<T>());
+  ANCHOR_CHECK_EQ(blob.size(), header + count * sizeof(T));
+  std::vector<T> v(count);
+  if (count > 0) std::memcpy(v.data(), p, count * sizeof(T));
+  return v;
+}
+
+}  // namespace anchor

@@ -1,0 +1,35 @@
+// Plain-text table rendering for the bench harnesses.
+//
+// Every bench prints its table/figure in the same row/column layout as the
+// paper; this helper keeps the formatting consistent and readable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace anchor {
+
+/// Column-aligned text table. Rows are added as vectors of pre-formatted
+/// cells; rendering right-pads each column to its widest cell.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with a header separator line. Numeric formatting is the
+  /// caller's responsibility (see format_double).
+  void print(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision formatting helper ("%.3f"-style) for table cells.
+std::string format_double(double value, int precision = 3);
+
+}  // namespace anchor

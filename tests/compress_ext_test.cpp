@@ -1,0 +1,245 @@
+// Tests for the extension compressors: scalar k-means quantization and
+// product quantization. Both must (a) respect their code-width budget,
+// (b) beat-or-match uniform quantization's distortion at the same bits,
+// (c) support the shared-codebook protocol between a pair of embeddings.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "compress/kmeans.hpp"
+#include "compress/pq.hpp"
+#include "compress/quantize.hpp"
+#include "util/rng.hpp"
+
+namespace anchor::compress {
+namespace {
+
+embed::Embedding random_embedding(std::size_t vocab, std::size_t dim,
+                                  std::uint64_t seed) {
+  Rng rng(seed);
+  embed::Embedding e(vocab, dim);
+  for (auto& x : e.data) x = static_cast<float>(rng.normal(0.0, 0.3));
+  return e;
+}
+
+double mse(const embed::Embedding& a, const embed::Embedding& b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.data.size(); ++i) {
+    const double d = static_cast<double>(a.data[i]) - b.data[i];
+    acc += d * d;
+  }
+  return acc / static_cast<double>(a.data.size());
+}
+
+// --- scalar k-means ---
+
+TEST(KmeansQuantize, FullPrecisionIsPassthrough) {
+  const embed::Embedding e = random_embedding(40, 8, 1);
+  KmeansConfig config;
+  config.bits = 32;
+  const KmeansResult r = kmeans_quantize(e, config);
+  EXPECT_EQ(r.embedding.data, e.data);
+}
+
+TEST(KmeansQuantize, RespectsLevelBudget) {
+  const embed::Embedding e = random_embedding(100, 16, 2);
+  for (const int bits : {1, 2, 4}) {
+    KmeansConfig config;
+    config.bits = bits;
+    const KmeansResult r = kmeans_quantize(e, config);
+    std::set<float> levels(r.embedding.data.begin(), r.embedding.data.end());
+    EXPECT_LE(levels.size(), std::size_t{1} << bits) << "bits=" << bits;
+    for (const float v : r.embedding.data) {
+      EXPECT_TRUE(std::binary_search(r.codebook.begin(), r.codebook.end(), v));
+    }
+  }
+}
+
+TEST(KmeansQuantize, DistortionDecreasesWithBits) {
+  const embed::Embedding e = random_embedding(200, 16, 3);
+  double prev = 1e300;
+  for (const int bits : {1, 2, 4, 8}) {
+    KmeansConfig config;
+    config.bits = bits;
+    const KmeansResult r = kmeans_quantize(e, config);
+    EXPECT_LT(r.distortion, prev) << "bits=" << bits;
+    EXPECT_NEAR(r.distortion, mse(e, r.embedding), 1e-12);
+    prev = r.distortion;
+  }
+}
+
+TEST(KmeansQuantize, AtMostUniformDistortionOnGaussianData) {
+  // Lloyd's algorithm optimizes exactly the distortion uniform quantization
+  // approximates; on Gaussian entries it must not lose.
+  const embed::Embedding e = random_embedding(300, 32, 4);
+  for (const int bits : {2, 4}) {
+    KmeansConfig kc;
+    kc.bits = bits;
+    const KmeansResult km = kmeans_quantize(e, kc);
+    QuantizeConfig uc;
+    uc.bits = bits;
+    const QuantizeResult un = uniform_quantize(e, uc);
+    EXPECT_LE(km.distortion, mse(e, un.embedding) * 1.02) << "bits=" << bits;
+  }
+}
+
+TEST(KmeansQuantize, CodebookOverrideIsUsedVerbatim) {
+  const embed::Embedding e = random_embedding(50, 8, 5);
+  KmeansConfig learn;
+  learn.bits = 2;
+  const KmeansResult first = kmeans_quantize(e, learn);
+
+  const embed::Embedding e2 = random_embedding(50, 8, 6);
+  KmeansConfig reuse;
+  reuse.bits = 2;
+  reuse.codebook_override = first.codebook;
+  const KmeansResult second = kmeans_quantize(e2, reuse);
+  EXPECT_EQ(second.codebook, first.codebook);
+  for (const float v : second.embedding.data) {
+    EXPECT_TRUE(std::binary_search(first.codebook.begin(),
+                                   first.codebook.end(), v));
+  }
+}
+
+TEST(KmeansQuantize, RejectsBadConfigs) {
+  const embed::Embedding e = random_embedding(10, 4, 7);
+  KmeansConfig config;
+  config.bits = 0;
+  EXPECT_THROW(kmeans_quantize(e, config), CheckError);
+  config.bits = 2;
+  config.codebook_override = {0.1f, 0.2f};  // needs 4 entries for 2 bits
+  EXPECT_THROW(kmeans_quantize(e, config), CheckError);
+  config.codebook_override = {0.3f, 0.2f, 0.4f, 0.5f};  // unsorted
+  EXPECT_THROW(kmeans_quantize(e, config), CheckError);
+}
+
+TEST(KmeansQuantize, DeterministicAcrossRuns) {
+  const embed::Embedding e = random_embedding(80, 8, 8);
+  KmeansConfig config;
+  config.bits = 3;
+  const KmeansResult a = kmeans_quantize(e, config);
+  const KmeansResult b = kmeans_quantize(e, config);
+  EXPECT_EQ(a.embedding.data, b.embedding.data);
+  EXPECT_EQ(a.codebook, b.codebook);
+}
+
+// --- product quantization ---
+
+TEST(PqQuantize, ShapesAndCodeRange) {
+  const embed::Embedding e = random_embedding(60, 16, 9);
+  PqConfig config;
+  config.num_subvectors = 4;
+  config.bits = 3;
+  const PqResult r = pq_quantize(e, config);
+  EXPECT_EQ(r.embedding.vocab_size, 60u);
+  EXPECT_EQ(r.embedding.dim, 16u);
+  EXPECT_EQ(r.codes.size(), 60u * 4u);
+  for (const std::uint32_t c : r.codes) EXPECT_LT(c, 8u);
+  EXPECT_EQ(r.codebooks.size(), 4u);
+  EXPECT_EQ(r.bits_per_word(), 12u);  // m·b = 4·3
+}
+
+TEST(PqQuantize, ReconstructionUsesAssignedCentroids) {
+  const embed::Embedding e = random_embedding(30, 8, 10);
+  PqConfig config;
+  config.num_subvectors = 2;
+  config.bits = 2;
+  const PqResult r = pq_quantize(e, config);
+  const std::size_t sub_dim = 4;
+  for (std::size_t w = 0; w < 30; ++w) {
+    for (std::size_t s = 0; s < 2; ++s) {
+      const std::uint32_t code = r.codes[w * 2 + s];
+      const float* centroid = r.codebooks[s].data() + code * sub_dim;
+      for (std::size_t j = 0; j < sub_dim; ++j) {
+        EXPECT_EQ(r.embedding.row(w)[s * sub_dim + j], centroid[j]);
+      }
+    }
+  }
+}
+
+TEST(PqQuantize, DistortionDecreasesWithBits) {
+  const embed::Embedding e = random_embedding(150, 16, 11);
+  double prev = 1e300;
+  for (const int bits : {1, 2, 4, 6}) {
+    PqConfig config;
+    config.num_subvectors = 4;
+    config.bits = bits;
+    const PqResult r = pq_quantize(e, config);
+    EXPECT_LE(r.distortion, prev * (1.0 + 1e-9)) << "bits=" << bits;
+    prev = r.distortion;
+  }
+}
+
+TEST(PqQuantize, MoreSubvectorsReduceDistortionAtFixedCodeWidth) {
+  const embed::Embedding e = random_embedding(150, 16, 12);
+  PqConfig coarse;
+  coarse.num_subvectors = 2;
+  coarse.bits = 4;
+  PqConfig fine;
+  fine.num_subvectors = 8;
+  fine.bits = 4;
+  EXPECT_LE(pq_quantize(e, fine).distortion,
+            pq_quantize(e, coarse).distortion * 1.05);
+}
+
+TEST(PqQuantize, CodebookOverrideSharedBetweenPair) {
+  const embed::Embedding e17 = random_embedding(40, 8, 13);
+  const embed::Embedding e18 = random_embedding(40, 8, 14);
+  PqConfig learn;
+  learn.num_subvectors = 2;
+  learn.bits = 2;
+  const PqResult first = pq_quantize(e17, learn);
+
+  PqConfig reuse = learn;
+  reuse.codebooks_override = first.codebooks;
+  const PqResult second = pq_quantize(e18, reuse);
+  EXPECT_EQ(second.codebooks, first.codebooks);
+}
+
+TEST(PqQuantize, RejectsBadConfigs) {
+  const embed::Embedding e = random_embedding(10, 6, 15);
+  PqConfig config;
+  config.num_subvectors = 4;  // does not divide dim=6
+  config.bits = 2;
+  EXPECT_THROW(pq_quantize(e, config), CheckError);
+  config.num_subvectors = 0;
+  EXPECT_THROW(pq_quantize(e, config), CheckError);
+  config.num_subvectors = 2;
+  config.bits = 0;
+  EXPECT_THROW(pq_quantize(e, config), CheckError);
+  config.bits = 6;  // 64 centroids > 10-word vocabulary
+  EXPECT_THROW(pq_quantize(e, config), CheckError);
+}
+
+TEST(PqQuantize, DeterministicAcrossRuns) {
+  const embed::Embedding e = random_embedding(50, 8, 16);
+  PqConfig config;
+  config.num_subvectors = 2;
+  config.bits = 3;
+  const PqResult a = pq_quantize(e, config);
+  const PqResult b = pq_quantize(e, config);
+  EXPECT_EQ(a.embedding.data, b.embedding.data);
+  EXPECT_EQ(a.codes, b.codes);
+}
+
+class PqBitsSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PqBitsSweep, AllEntriesFiniteAndCoded) {
+  // Vocabulary comfortably above 2^8 so every sweep point is legal.
+  const embed::Embedding e = random_embedding(300, 16, 17);
+  PqConfig config;
+  config.num_subvectors = 4;
+  config.bits = GetParam();
+  const PqResult r = pq_quantize(e, config);
+  for (const float v : r.embedding.data) EXPECT_TRUE(std::isfinite(v));
+  for (const std::uint32_t c : r.codes) {
+    EXPECT_LT(c, std::uint32_t{1} << GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, PqBitsSweep, ::testing::Values(1, 2, 4, 8));
+
+}  // namespace
+}  // namespace anchor::compress

@@ -1,0 +1,193 @@
+// Tests for uniform quantization: grid structure, monotone error in the
+// precision, clip-threshold sharing, deterministic vs stochastic rounding.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "compress/quantize.hpp"
+#include "util/rng.hpp"
+
+namespace anchor::compress {
+namespace {
+
+embed::Embedding random_embedding(std::size_t vocab, std::size_t dim,
+                                  std::uint64_t seed) {
+  Rng rng(seed);
+  embed::Embedding e(vocab, dim);
+  for (auto& x : e.data) x = static_cast<float>(rng.normal(0.0, 0.3));
+  return e;
+}
+
+double mse(const embed::Embedding& a, const embed::Embedding& b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.data.size(); ++i) {
+    const double d = static_cast<double>(a.data[i]) - b.data[i];
+    acc += d * d;
+  }
+  return acc / static_cast<double>(a.data.size());
+}
+
+TEST(Quantize, FullPrecisionIsPassthrough) {
+  const embed::Embedding e = random_embedding(50, 8, 1);
+  QuantizeConfig config;
+  config.bits = 32;
+  const QuantizeResult r = uniform_quantize(e, config);
+  EXPECT_EQ(r.embedding.data, e.data);
+}
+
+TEST(Quantize, RejectsUnsupportedBitWidths) {
+  const embed::Embedding e = random_embedding(10, 4, 1);
+  QuantizeConfig config;
+  config.bits = 3;
+  EXPECT_THROW(uniform_quantize(e, config), CheckError);
+}
+
+class QuantizeBits : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantizeBits, AtMostTwoToTheBDistinctLevels) {
+  const int bits = GetParam();
+  const embed::Embedding e = random_embedding(80, 16, 2);
+  QuantizeConfig config;
+  config.bits = bits;
+  const QuantizeResult r = uniform_quantize(e, config);
+  std::set<float> levels(r.embedding.data.begin(), r.embedding.data.end());
+  EXPECT_LE(levels.size(), static_cast<std::size_t>(1) << bits);
+}
+
+TEST_P(QuantizeBits, ValuesStayWithinClip) {
+  const int bits = GetParam();
+  const embed::Embedding e = random_embedding(80, 16, 3);
+  QuantizeConfig config;
+  config.bits = bits;
+  const QuantizeResult r = uniform_quantize(e, config);
+  for (const float v : r.embedding.data) {
+    EXPECT_LE(std::abs(v), r.clip * (1.0f + 1e-5f));
+  }
+}
+
+TEST_P(QuantizeBits, Idempotent) {
+  // Quantizing an already-quantized matrix with the same clip is a no-op.
+  const int bits = GetParam();
+  const embed::Embedding e = random_embedding(40, 8, 4);
+  QuantizeConfig config;
+  config.bits = bits;
+  const QuantizeResult first = uniform_quantize(e, config);
+  config.clip_override = first.clip;
+  const QuantizeResult second = uniform_quantize(first.embedding, config);
+  for (std::size_t i = 0; i < first.embedding.data.size(); ++i) {
+    EXPECT_NEAR(second.embedding.data[i], first.embedding.data[i], 1e-5f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, QuantizeBits, ::testing::Values(1, 2, 4, 8, 16));
+
+TEST(Quantize, ErrorDecreasesMonotonicallyWithBits) {
+  const embed::Embedding e = random_embedding(200, 16, 5);
+  double prev = 1e300;
+  for (const int bits : {1, 2, 4, 8, 16}) {
+    QuantizeConfig config;
+    config.bits = bits;
+    const QuantizeResult r = uniform_quantize(e, config);
+    const double err = mse(e, r.embedding);
+    EXPECT_LT(err, prev);
+    prev = err;
+  }
+  // 16-bit error is already tiny relative to the data scale (~0.09 var).
+  EXPECT_LT(prev, 1e-6);
+}
+
+TEST(Quantize, ClipOverrideIsRespected) {
+  const embed::Embedding e = random_embedding(60, 8, 6);
+  QuantizeConfig config;
+  config.bits = 4;
+  config.clip_override = 0.123f;
+  const QuantizeResult r = uniform_quantize(e, config);
+  EXPECT_FLOAT_EQ(r.clip, 0.123f);
+  for (const float v : r.embedding.data) EXPECT_LE(std::abs(v), 0.1231f);
+}
+
+TEST(Quantize, SharedClipMakesPairGridsIdentical) {
+  // The §C.2 protocol: X̃ reuses X's threshold, so both land on the same
+  // level grid and grid mismatch cannot masquerade as instability.
+  const embed::Embedding x = random_embedding(60, 8, 7);
+  embed::Embedding x_tilde = x;
+  for (auto& v : x_tilde.data) v += 0.001f;
+  QuantizeConfig config;
+  config.bits = 2;
+  const QuantizeResult qx = uniform_quantize(x, config);
+  config.clip_override = qx.clip;
+  const QuantizeResult qxt = uniform_quantize(x_tilde, config);
+  std::set<float> levels_x(qx.embedding.data.begin(), qx.embedding.data.end());
+  for (const float v : qxt.embedding.data) {
+    EXPECT_TRUE(levels_x.count(v) > 0) << "off-grid value " << v;
+  }
+}
+
+TEST(Quantize, DeterministicRoundingIsStable) {
+  const embed::Embedding e = random_embedding(60, 8, 8);
+  QuantizeConfig config;
+  config.bits = 4;
+  const QuantizeResult a = uniform_quantize(e, config);
+  const QuantizeResult b = uniform_quantize(e, config);
+  EXPECT_EQ(a.embedding.data, b.embedding.data);
+}
+
+TEST(Quantize, StochasticRoundingIsUnbiasedOnAverage) {
+  // Single value quantized many times: the mean must approach the value.
+  embed::Embedding e(1, 1);
+  e.data[0] = 0.37f;
+  QuantizeConfig config;
+  config.bits = 1;
+  config.rounding = Rounding::kStochastic;
+  config.clip_override = 1.0f;
+  double sum = 0.0;
+  const int trials = 4000;
+  for (int i = 0; i < trials; ++i) {
+    config.stochastic_seed = static_cast<std::uint64_t>(i + 1);
+    sum += uniform_quantize(e, config).embedding.data[0];
+  }
+  EXPECT_NEAR(sum / trials, 0.37, 0.05);
+}
+
+TEST(Quantize, OptimalClipBeatsMaxAbsAtLowBits) {
+  // With heavy-tailed data, clipping below max|x| reduces MSE at 1–4 bits.
+  Rng rng(9);
+  std::vector<float> values(20000);
+  for (auto& v : values) {
+    v = static_cast<float>(rng.normal(0.0, 0.1));
+  }
+  values[0] = 5.0f;  // one extreme outlier
+  float max_abs = 0.0f;
+  for (const float v : values) max_abs = std::max(max_abs, std::abs(v));
+  const float clip = optimal_clip_threshold(values, 2);
+  EXPECT_LT(clip, max_abs);
+}
+
+TEST(Quantize, HighBitsClipIsMaxAbs) {
+  const std::vector<float> values = {-2.0f, 1.0f, 0.5f};
+  EXPECT_FLOAT_EQ(optimal_clip_threshold(values, 16), 2.0f);
+}
+
+TEST(Quantize, AllZeroInputHandled) {
+  // The symmetric 2^b grid has no exact zero level; all-zero input must map
+  // to one consistent level of minimal magnitude (half a grid step).
+  embed::Embedding e(4, 4, 0.0f);
+  QuantizeConfig config;
+  config.bits = 2;
+  const QuantizeResult r = uniform_quantize(e, config);
+  const float first = r.embedding.data[0];
+  const float step = 2.0f * r.clip / 3.0f;  // 4 levels across [-clip, clip]
+  EXPECT_LE(std::abs(first), 0.5f * step + 1e-6f);
+  for (const float v : r.embedding.data) EXPECT_FLOAT_EQ(v, first);
+}
+
+TEST(Quantize, BitsPerWordAccounting) {
+  EXPECT_EQ(bits_per_word(100, 32), 3200u);
+  EXPECT_EQ(bits_per_word(25, 1), 25u);
+  // The paper's equal-memory example: (800, 2) and (50, 32).
+  EXPECT_EQ(bits_per_word(800, 2), bits_per_word(50, 32));
+}
+
+}  // namespace
+}  // namespace anchor::compress

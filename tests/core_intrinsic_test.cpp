@@ -1,0 +1,123 @@
+// Tests for the intrinsic evaluation module: the ground-truth embedding must
+// score perfectly, trained embeddings must clearly beat random ones, and
+// aggressive quantization must cost quality.
+#include <gtest/gtest.h>
+
+#include "compress/quantize.hpp"
+#include "core/intrinsic.hpp"
+#include "embed/trainer.hpp"
+#include "text/corpus.hpp"
+#include "util/rng.hpp"
+
+namespace anchor::core {
+namespace {
+
+struct Fixture {
+  text::LatentSpace space;
+  text::Corpus corpus;
+
+  static Fixture make() {
+    text::LatentSpaceConfig lsc;
+    lsc.vocab_size = 150;
+    lsc.latent_dim = 8;
+    lsc.num_topics = 5;
+    lsc.seed = 13;
+    text::LatentSpace space(lsc);
+    text::CorpusConfig cc;
+    cc.num_documents = 250;
+    cc.seed = 2;
+    text::Corpus corpus = text::generate_corpus(space, cc);
+    return {std::move(space), std::move(corpus)};
+  }
+
+  embed::Embedding ground_truth() const {
+    return embed::Embedding::from_matrix(space.word_vectors());
+  }
+
+  embed::Embedding random_embedding(std::size_t dim,
+                                    std::uint64_t seed) const {
+    Rng rng(seed);
+    embed::Embedding e(space.vocab_size(), dim);
+    for (auto& x : e.data) x = static_cast<float>(rng.normal());
+    return e;
+  }
+};
+
+TEST(Intrinsic, GroundTruthEmbeddingScoresPerfectSimilarity) {
+  const Fixture f = Fixture::make();
+  const double score = word_similarity_score(f.ground_truth(), f.space);
+  EXPECT_GT(score, 0.999);
+}
+
+TEST(Intrinsic, GroundTruthEmbeddingSolvesAnalogies) {
+  const Fixture f = Fixture::make();
+  IntrinsicConfig config;
+  config.num_analogies = 100;
+  const AnalogyResult r = analogy_accuracy(f.ground_truth(), f.space, config);
+  EXPECT_GT(r.num_evaluated, 80u);
+  EXPECT_GT(r.accuracy, 0.999);
+}
+
+TEST(Intrinsic, TrainedBeatsRandomOnSimilarity) {
+  const Fixture f = Fixture::make();
+  embed::TrainOptions options;
+  options.dim = 16;
+  const embed::Embedding trained =
+      embed::train_embedding(f.corpus, embed::Algo::kMc, options);
+  const double trained_score = word_similarity_score(trained, f.space);
+  const double random_score =
+      word_similarity_score(f.random_embedding(16, 9), f.space);
+  EXPECT_GT(trained_score, 0.25);
+  EXPECT_GT(trained_score, random_score + 0.2);
+}
+
+TEST(Intrinsic, TrainedBeatsRandomOnAnalogies) {
+  const Fixture f = Fixture::make();
+  embed::TrainOptions options;
+  options.dim = 16;
+  const embed::Embedding trained =
+      embed::train_embedding(f.corpus, embed::Algo::kMc, options);
+  IntrinsicConfig config;
+  config.num_analogies = 150;
+  config.analogy_top_k = 5;
+  const double trained_acc =
+      analogy_accuracy(trained, f.space, config).accuracy;
+  const double random_acc =
+      analogy_accuracy(f.random_embedding(16, 9), f.space, config).accuracy;
+  EXPECT_GT(trained_acc, random_acc);
+}
+
+TEST(Intrinsic, OneBitQuantizationCostsSimilarityQuality) {
+  const Fixture f = Fixture::make();
+  embed::TrainOptions options;
+  options.dim = 16;
+  const embed::Embedding trained =
+      embed::train_embedding(f.corpus, embed::Algo::kMc, options);
+  compress::QuantizeConfig qc;
+  qc.bits = 1;
+  const embed::Embedding crushed =
+      compress::uniform_quantize(trained, qc).embedding;
+  EXPECT_LT(word_similarity_score(crushed, f.space),
+            word_similarity_score(trained, f.space) + 1e-9);
+}
+
+TEST(Intrinsic, DeterministicGivenSeed) {
+  const Fixture f = Fixture::make();
+  const embed::Embedding gt = f.ground_truth();
+  EXPECT_EQ(word_similarity_score(gt, f.space),
+            word_similarity_score(gt, f.space));
+  IntrinsicConfig a, b;
+  a.seed = b.seed = 77;
+  EXPECT_EQ(analogy_accuracy(gt, f.space, a).accuracy,
+            analogy_accuracy(gt, f.space, b).accuracy);
+}
+
+TEST(Intrinsic, RejectsVocabMismatch) {
+  const Fixture f = Fixture::make();
+  const embed::Embedding wrong(f.space.vocab_size() + 1, 8);
+  EXPECT_THROW(word_similarity_score(wrong, f.space), CheckError);
+  EXPECT_THROW(analogy_accuracy(wrong, f.space), CheckError);
+}
+
+}  // namespace
+}  // namespace anchor::core

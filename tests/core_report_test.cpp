@@ -1,0 +1,147 @@
+// Tests for the results-CSV interchange and the standalone analysis stage
+// (the artifact's Appendix A.7 "lightweight option").
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "core/report.hpp"
+#include "util/rng.hpp"
+
+namespace anchor::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Grid where DI is a noisy increasing function of EIS and a noisy
+/// decreasing function of memory — the regime the analysis expects.
+std::vector<ConfigPoint> synthetic_grid(std::uint64_t seed = 1) {
+  Rng rng(seed);
+  std::vector<ConfigPoint> points;
+  for (const std::size_t dim : {8u, 16u, 32u}) {
+    for (const int bits : {1, 4, 32}) {
+      ConfigPoint p;
+      p.dim = dim;
+      p.bits = bits;
+      const double memory = std::log2(static_cast<double>(dim) * bits);
+      p.downstream_instability_pct =
+          20.0 - 1.5 * memory + rng.normal(0.0, 0.3);
+      p.measures[Measure::kEigenspaceInstability] =
+          p.downstream_instability_pct / 25.0 + rng.normal(0.0, 0.01);
+      p.measures[Measure::kOneMinusKnn] =
+          p.downstream_instability_pct / 30.0 + rng.normal(0.0, 0.05);
+      p.measures[Measure::kSemanticDisplacement] = rng.uniform(0.0, 1.0);
+      p.measures[Measure::kPipLoss] = rng.uniform(0.0, 100.0);
+      p.measures[Measure::kOneMinusEigenspaceOverlap] = rng.uniform(0.0, 1.0);
+      points.push_back(std::move(p));
+    }
+  }
+  return points;
+}
+
+class ReportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("anchor_report_test_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  fs::path path(const std::string& name) const { return dir_ / name; }
+  fs::path dir_;
+};
+
+TEST_F(ReportTest, CsvRoundTripPreservesEverything) {
+  const std::vector<ConfigPoint> original = synthetic_grid();
+  write_config_points_csv(original, path("grid.csv"));
+  const std::vector<ConfigPoint> loaded =
+      read_config_points_csv(path("grid.csv"));
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded[i].dim, original[i].dim);
+    EXPECT_EQ(loaded[i].bits, original[i].bits);
+    EXPECT_NEAR(loaded[i].downstream_instability_pct,
+                original[i].downstream_instability_pct, 1e-8);
+    for (const Measure m : kAllMeasures) {
+      EXPECT_NEAR(loaded[i].measures.at(m), original[i].measures.at(m), 1e-8);
+    }
+  }
+}
+
+TEST_F(ReportTest, AnalysisIdenticalBeforeAndAfterRoundTrip) {
+  const std::vector<ConfigPoint> original = synthetic_grid();
+  write_config_points_csv(original, path("grid.csv"));
+  const GridAnalysis direct = analyze_grid(original);
+  const GridAnalysis via_csv =
+      analyze_grid(read_config_points_csv(path("grid.csv")));
+  ASSERT_EQ(direct.measures.size(), via_csv.measures.size());
+  for (std::size_t i = 0; i < direct.measures.size(); ++i) {
+    EXPECT_NEAR(direct.measures[i].spearman, via_csv.measures[i].spearman,
+                1e-9);
+    EXPECT_NEAR(direct.measures[i].pairwise_error,
+                via_csv.measures[i].pairwise_error, 1e-9);
+    EXPECT_NEAR(direct.measures[i].budget_gap_pct,
+                via_csv.measures[i].budget_gap_pct, 1e-9);
+  }
+}
+
+TEST_F(ReportTest, AnalysisRanksTheDesignedMeasuresOnTop) {
+  const GridAnalysis a = analyze_grid(synthetic_grid());
+  // By construction EIS tracks DI almost perfectly; the three random
+  // measures should be clearly worse on Spearman.
+  const double eis_rho = a.measures[0].spearman;  // kAllMeasures[0] = EIS
+  EXPECT_GT(eis_rho, 0.9);
+  EXPECT_GT(eis_rho, a.measures[2].spearman);  // semantic displacement
+  EXPECT_GT(eis_rho, a.measures[3].spearman);  // PIP
+  EXPECT_LT(a.measures[0].pairwise_error, 0.15);
+}
+
+TEST_F(ReportTest, AnalysisMatchesDirectSelectionCalls) {
+  const std::vector<ConfigPoint> grid = synthetic_grid();
+  const GridAnalysis a = analyze_grid(grid);
+  for (const auto& row : a.measures) {
+    EXPECT_DOUBLE_EQ(row.spearman, measure_spearman(grid, row.measure));
+    EXPECT_DOUBLE_EQ(row.pairwise_error,
+                     pairwise_selection_error(grid, row.measure));
+  }
+  EXPECT_DOUBLE_EQ(
+      a.high_precision_gap_pct,
+      budget_selection(grid, Criterion::high_precision()).mean_abs_gap_pct);
+}
+
+TEST_F(ReportTest, WriteRejectsIncompletePoints) {
+  std::vector<ConfigPoint> grid = synthetic_grid();
+  grid[0].measures.erase(Measure::kPipLoss);
+  EXPECT_THROW(write_config_points_csv(grid, path("bad.csv")), CheckError);
+}
+
+TEST_F(ReportTest, ReadRejectsMalformedFiles) {
+  EXPECT_THROW(read_config_points_csv(path("missing.csv")), CheckError);
+
+  std::ofstream(path("empty.csv")) << "";
+  EXPECT_THROW(read_config_points_csv(path("empty.csv")), CheckError);
+
+  std::ofstream(path("header.csv")) << "a,b,c\n1,2,3\n";
+  EXPECT_THROW(read_config_points_csv(path("header.csv")), CheckError);
+
+  write_config_points_csv(synthetic_grid(), path("short.csv"));
+  std::ofstream(path("short.csv"), std::ios::app) << "8,1,2.5\n";
+  EXPECT_THROW(read_config_points_csv(path("short.csv")), CheckError);
+
+  write_config_points_csv(synthetic_grid(), path("garbage.csv"));
+  std::ofstream(path("garbage.csv"), std::ios::app)
+      << "8,1,abc,0.1,0.1,0.1,0.1,0.1\n";
+  EXPECT_THROW(read_config_points_csv(path("garbage.csv")), CheckError);
+
+  // Header only, no rows.
+  write_config_points_csv(synthetic_grid(), path("rows.csv"));
+  std::ofstream trunc(path("rows.csv"));
+  trunc << "dim,bits,di_pct,eis,one_minus_knn,semantic_displacement,"
+           "pip_loss,one_minus_eigenspace_overlap\n";
+  trunc.close();
+  EXPECT_THROW(read_config_points_csv(path("rows.csv")), CheckError);
+}
+
+}  // namespace
+}  // namespace anchor::core

@@ -1,0 +1,164 @@
+// Tests for dimension–precision selection: pairwise error rates, the
+// memory-budget oracle gap, and the naive high/low-precision baselines.
+#include <gtest/gtest.h>
+
+#include "core/selection.hpp"
+
+namespace anchor::core {
+namespace {
+
+ConfigPoint make_point(std::size_t dim, int bits, double di, double eis,
+                       double knn_dist) {
+  ConfigPoint p;
+  p.dim = dim;
+  p.bits = bits;
+  p.downstream_instability_pct = di;
+  p.measures[Measure::kEigenspaceInstability] = eis;
+  p.measures[Measure::kOneMinusKnn] = knn_dist;
+  p.measures[Measure::kSemanticDisplacement] = eis;
+  p.measures[Measure::kPipLoss] = eis;
+  p.measures[Measure::kOneMinusEigenspaceOverlap] = eis;
+  return p;
+}
+
+TEST(PairwiseSelection, PerfectMeasureHasZeroError) {
+  std::vector<ConfigPoint> points;
+  for (int i = 0; i < 5; ++i) {
+    const double di = 10.0 - i;
+    points.push_back(make_point(8u << i, 32, di, di / 100.0, di / 50.0));
+  }
+  EXPECT_DOUBLE_EQ(
+      pairwise_selection_error(points, Measure::kEigenspaceInstability), 0.0);
+}
+
+TEST(PairwiseSelection, InvertedMeasureHasFullError) {
+  std::vector<ConfigPoint> points;
+  for (int i = 0; i < 4; ++i) {
+    const double di = 5.0 + i;
+    points.push_back(make_point(8, 32, di, /*eis=*/-di, di));
+  }
+  EXPECT_DOUBLE_EQ(
+      pairwise_selection_error(points, Measure::kEigenspaceInstability), 1.0);
+}
+
+TEST(PairwiseSelection, EqualDiPairsAreNeverWrong) {
+  std::vector<ConfigPoint> points = {
+      make_point(8, 32, 5.0, 0.1, 0.1),
+      make_point(16, 16, 5.0, 0.9, 0.9),  // measure disagrees but DI is tied
+  };
+  EXPECT_DOUBLE_EQ(
+      pairwise_selection_error(points, Measure::kEigenspaceInstability), 0.0);
+}
+
+TEST(PairwiseSelection, MeasureTieScoresHalf) {
+  std::vector<ConfigPoint> points = {
+      make_point(8, 32, 5.0, 0.5, 0.5),
+      make_point(16, 16, 7.0, 0.5, 0.5),
+  };
+  EXPECT_DOUBLE_EQ(
+      pairwise_selection_error(points, Measure::kEigenspaceInstability), 0.5);
+}
+
+TEST(PairwiseSelection, MissingMeasureThrows) {
+  std::vector<ConfigPoint> points(2);
+  points[0].downstream_instability_pct = 1.0;
+  points[1].downstream_instability_pct = 2.0;
+  EXPECT_THROW(
+      pairwise_selection_error(points, Measure::kEigenspaceInstability),
+      CheckError);
+}
+
+TEST(PairwiseWorstCase, ReportsLargestWrongGap) {
+  std::vector<ConfigPoint> points = {
+      make_point(8, 32, 2.0, 0.9, 0.9),   // measure says unstable, actually best
+      make_point(16, 16, 10.0, 0.1, 0.1),  // measure says stable, actually worst
+      make_point(32, 8, 5.0, 0.5, 0.5),
+  };
+  // Worst wrong pick: choosing DI=10 over DI=2 → gap 8.
+  EXPECT_DOUBLE_EQ(
+      pairwise_worst_case_error(points, Measure::kEigenspaceInstability), 8.0);
+}
+
+TEST(PairwiseWorstCase, ZeroForPerfectMeasure) {
+  std::vector<ConfigPoint> points;
+  for (int i = 0; i < 4; ++i) {
+    points.push_back(make_point(8, 32, 3.0 + i, 0.1 * i, 0.1 * i));
+  }
+  EXPECT_DOUBLE_EQ(
+      pairwise_worst_case_error(points, Measure::kEigenspaceInstability), 0.0);
+}
+
+// Budget grid: memory 256 bits/word reachable as (8,32), (16,16), (32,8).
+std::vector<ConfigPoint> budget_grid() {
+  return {
+      make_point(8, 32, 6.0, 0.30, 0.30),   // budget 256
+      make_point(16, 16, 4.0, 0.10, 0.25),  // budget 256 — oracle
+      make_point(32, 8, 5.0, 0.20, 0.10),   // budget 256
+      make_point(64, 8, 3.0, 0.05, 0.05),   // budget 512 (alone — skipped)
+  };
+}
+
+TEST(BudgetSelection, MeasurePicksItsArgmin) {
+  const auto points = budget_grid();
+  // EIS picks (16,16): gap to oracle = 0.
+  const BudgetSelectionResult eis =
+      budget_selection(points, Criterion::of(Measure::kEigenspaceInstability));
+  EXPECT_EQ(eis.num_budgets, 1u);
+  EXPECT_DOUBLE_EQ(eis.mean_abs_gap_pct, 0.0);
+  // 1−kNN picks (32,8) with DI 5: gap = 1.
+  const BudgetSelectionResult knn =
+      budget_selection(points, Criterion::of(Measure::kOneMinusKnn));
+  EXPECT_DOUBLE_EQ(knn.mean_abs_gap_pct, 1.0);
+  EXPECT_DOUBLE_EQ(knn.worst_abs_gap_pct, 1.0);
+}
+
+TEST(BudgetSelection, HighAndLowPrecisionBaselines) {
+  const auto points = budget_grid();
+  // High precision picks (8,32): DI 6 → gap 2.
+  const BudgetSelectionResult hi =
+      budget_selection(points, Criterion::high_precision());
+  EXPECT_DOUBLE_EQ(hi.mean_abs_gap_pct, 2.0);
+  // Low precision picks (32,8): DI 5 → gap 1.
+  const BudgetSelectionResult lo =
+      budget_selection(points, Criterion::low_precision());
+  EXPECT_DOUBLE_EQ(lo.mean_abs_gap_pct, 1.0);
+}
+
+TEST(BudgetSelection, AveragesAcrossBudgets) {
+  auto points = budget_grid();
+  // Add a second contested budget (512): (16,32) vs (64,8).
+  points.push_back(make_point(16, 32, 9.0, 0.9, 0.9));
+  // EIS: budget 256 gap 0; budget 512 picks (64,8) DI 3 gap 0 → mean 0.
+  const BudgetSelectionResult r =
+      budget_selection(points, Criterion::of(Measure::kEigenspaceInstability));
+  EXPECT_EQ(r.num_budgets, 2u);
+  EXPECT_DOUBLE_EQ(r.mean_abs_gap_pct, 0.0);
+}
+
+TEST(BudgetSelection, ThrowsWhenNoContestedBudget) {
+  std::vector<ConfigPoint> points = {make_point(8, 32, 1.0, 0.1, 0.1),
+                                     make_point(16, 32, 2.0, 0.2, 0.2)};
+  EXPECT_THROW(
+      budget_selection(points, Criterion::of(Measure::kEigenspaceInstability)),
+      CheckError);
+}
+
+TEST(CriterionNames, Distinct) {
+  EXPECT_EQ(Criterion::high_precision().name(), "High Precision");
+  EXPECT_EQ(Criterion::low_precision().name(), "Low Precision");
+  EXPECT_EQ(Criterion::of(Measure::kPipLoss).name(), "PIP Loss");
+}
+
+TEST(MeasureSpearman, PerfectAndInverted) {
+  std::vector<ConfigPoint> points;
+  for (int i = 0; i < 6; ++i) {
+    points.push_back(
+        make_point(8, 32, 1.0 + i, 0.1 * i, /*knn_dist=*/0.5 - 0.05 * i));
+  }
+  EXPECT_NEAR(measure_spearman(points, Measure::kEigenspaceInstability), 1.0,
+              1e-12);
+  EXPECT_NEAR(measure_spearman(points, Measure::kOneMinusKnn), -1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace anchor::core

@@ -1,0 +1,185 @@
+// Tests for the TinyElmo bidirectional LSTM language model: gradient
+// correctness against central finite differences, encoding semantics,
+// pretraining progress, and feature extraction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ctx/elmo.hpp"
+#include "util/rng.hpp"
+
+namespace anchor::ctx {
+namespace {
+
+text::Corpus tiny_corpus(std::size_t vocab = 30, std::size_t sentences = 40,
+                         std::uint64_t seed = 3) {
+  Rng rng(seed);
+  text::Corpus corpus;
+  corpus.vocab_size = vocab;
+  corpus.word_counts.assign(vocab, 0);
+  for (std::size_t s = 0; s < sentences; ++s) {
+    std::vector<std::int32_t> sent;
+    // Mildly predictable sequences (random walk over ids) so the LM can
+    // beat the uniform baseline.
+    std::int32_t w = static_cast<std::int32_t>(rng.index(vocab));
+    for (std::size_t t = 0; t < 8; ++t) {
+      sent.push_back(w);
+      ++corpus.word_counts[static_cast<std::size_t>(w)];
+      w = static_cast<std::int32_t>(
+          (w + 1 + static_cast<std::int32_t>(rng.index(3))) %
+          static_cast<std::int32_t>(vocab));
+    }
+    corpus.sentences.push_back(std::move(sent));
+  }
+  return corpus;
+}
+
+TEST(TinyElmo, GradientMatchesFiniteDifferences) {
+  TinyElmoConfig config;
+  config.embed_dim = 4;
+  config.hidden = 3;
+  config.seed = 5;
+  TinyElmo elmo(12, config);
+  const std::vector<std::int32_t> sentence = {3, 7, 1, 7, 0};
+
+  const std::vector<float> analytic = elmo.lm_gradient(sentence);
+  ASSERT_EQ(analytic.size(), elmo.parameters().size());
+
+  // Probe a spread of parameters: embeddings, both directions' gate
+  // weights, biases, and softmax heads.
+  Rng rng(11);
+  const float eps = 1e-3f;
+  std::size_t checked = 0;
+  for (std::size_t trial = 0; trial < 120; ++trial) {
+    const std::size_t p = rng.index(elmo.parameters().size());
+    const float saved = elmo.parameters()[p];
+    elmo.parameters()[p] = saved + eps;
+    const double up = elmo.lm_loss(sentence);
+    elmo.parameters()[p] = saved - eps;
+    const double down = elmo.lm_loss(sentence);
+    elmo.parameters()[p] = saved;
+    const double numeric = (up - down) / (2.0 * eps);
+    EXPECT_NEAR(analytic[p], numeric,
+                1e-3 * std::max(1.0, std::abs(numeric)) + 2e-4)
+        << "parameter index " << p;
+    ++checked;
+  }
+  EXPECT_EQ(checked, 120u);
+}
+
+TEST(TinyElmo, ShortSentencesHaveZeroLossAndGradient) {
+  TinyElmoConfig config;
+  config.embed_dim = 4;
+  config.hidden = 3;
+  TinyElmo elmo(10, config);
+  EXPECT_EQ(elmo.lm_loss({5}), 0.0);
+  EXPECT_EQ(elmo.lm_loss({}), 0.0);
+  const std::vector<float> grad = elmo.lm_gradient({5});
+  for (const float g : grad) EXPECT_EQ(g, 0.0f);
+}
+
+TEST(TinyElmo, PretrainingReducesLmLoss) {
+  const text::Corpus corpus = tiny_corpus();
+  TinyElmoConfig config;
+  config.embed_dim = 8;
+  config.hidden = 8;
+  config.epochs = 10;
+  config.learning_rate = 0.5f;
+  TinyElmo elmo(corpus.vocab_size, config);
+
+  double before = 0.0, after = 0.0;
+  for (const auto& s : corpus.sentences) before += elmo.lm_loss(s);
+  elmo.pretrain(corpus);
+  for (const auto& s : corpus.sentences) after += elmo.lm_loss(s);
+  EXPECT_LT(after, before * 0.7)
+      << "bidirectional LM loss must fall by ≥30% over pretraining";
+  // Must also beat the uniform-prediction baseline log(vocab).
+  EXPECT_LT(after / static_cast<double>(corpus.sentences.size()),
+            std::log(static_cast<double>(corpus.vocab_size)));
+}
+
+TEST(TinyElmo, EncodeShapesAndPoolingConsistency) {
+  TinyElmoConfig config;
+  config.embed_dim = 4;
+  config.hidden = 5;
+  TinyElmo elmo(10, config);
+  const std::vector<std::int32_t> sentence = {1, 2, 3};
+  const std::vector<float> states = elmo.encode(sentence);
+  ASSERT_EQ(states.size(), 3u * 10u);  // T × 2·hidden
+  const std::vector<float> pooled = elmo.features(sentence);
+  ASSERT_EQ(pooled.size(), 10u);
+  for (std::size_t j = 0; j < 10; ++j) {
+    const float mean =
+        (states[j] + states[10 + j] + states[20 + j]) / 3.0f;
+    EXPECT_NEAR(pooled[j], mean, 1e-6f);
+  }
+}
+
+TEST(TinyElmo, ContextSensitivity) {
+  // The same token in different contexts must receive different states —
+  // the defining property of a contextual encoder.
+  const text::Corpus corpus = tiny_corpus();
+  TinyElmoConfig config;
+  config.embed_dim = 8;
+  config.hidden = 8;
+  config.epochs = 2;
+  TinyElmo elmo(corpus.vocab_size, config);
+  elmo.pretrain(corpus);
+
+  const std::vector<std::int32_t> a = {1, 2, 5, 9, 4};
+  const std::vector<std::int32_t> b = {8, 0, 5, 3, 7};
+  const std::vector<float> sa = elmo.encode(a);
+  const std::vector<float> sb = elmo.encode(b);
+  // Token 5 sits at position 2 in both; compare its 2h-state.
+  const std::size_t fd = elmo.feature_dim();
+  double diff = 0.0;
+  for (std::size_t j = 0; j < fd; ++j) {
+    diff += std::abs(sa[2 * fd + j] - sb[2 * fd + j]);
+  }
+  EXPECT_GT(diff, 1e-4);
+}
+
+TEST(TinyElmo, BackwardDirectionSeesRightContext) {
+  // Changing only the *suffix* of a sentence must change the backward half
+  // of an earlier token's state but not its forward half.
+  TinyElmoConfig config;
+  config.embed_dim = 6;
+  config.hidden = 4;
+  TinyElmo elmo(12, config);
+  const std::vector<std::int32_t> a = {1, 2, 3, 4};
+  const std::vector<std::int32_t> b = {1, 2, 3, 9};
+  const std::vector<float> sa = elmo.encode(a);
+  const std::vector<float> sb = elmo.encode(b);
+  const std::size_t h = config.hidden;
+  const std::size_t fd = 2 * h;
+  for (std::size_t j = 0; j < h; ++j) {
+    EXPECT_FLOAT_EQ(sa[0 * fd + j], sb[0 * fd + j])
+        << "forward state at t=0 must ignore the future";
+  }
+  double bwd_diff = 0.0;
+  for (std::size_t j = 0; j < h; ++j) {
+    bwd_diff += std::abs(sa[0 * fd + h + j] - sb[0 * fd + h + j]);
+  }
+  EXPECT_GT(bwd_diff, 1e-6) << "backward state at t=0 must see the future";
+}
+
+TEST(TinyElmo, DeterministicGivenSeed) {
+  const text::Corpus corpus = tiny_corpus();
+  TinyElmoConfig config;
+  config.epochs = 1;
+  TinyElmo a(corpus.vocab_size, config);
+  TinyElmo b(corpus.vocab_size, config);
+  a.pretrain(corpus);
+  b.pretrain(corpus);
+  EXPECT_EQ(a.parameters(), b.parameters());
+}
+
+TEST(TinyElmo, RejectsDegenerateConfigs) {
+  EXPECT_THROW(TinyElmo(1, {}), CheckError);
+  TinyElmoConfig config;
+  config.hidden = 0;
+  EXPECT_THROW(TinyElmo(10, config), CheckError);
+}
+
+}  // namespace
+}  // namespace anchor::ctx

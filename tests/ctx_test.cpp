@@ -1,0 +1,170 @@
+// Tests for the TinyBert contextual encoder: shape/determinism invariants,
+// finite-difference gradient validation across all parameter blocks, and
+// masked-LM learnability.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ctx/tiny_bert.hpp"
+#include "util/rng.hpp"
+
+namespace anchor::ctx {
+namespace {
+
+TinyBertConfig tiny_config() {
+  TinyBertConfig c;
+  c.dim = 8;
+  c.layers = 2;
+  c.heads = 2;
+  c.ffn_mult = 2;
+  c.max_len = 16;
+  c.seed = 3;
+  return c;
+}
+
+text::Corpus tiny_corpus(std::size_t vocab, std::size_t sentences,
+                         std::uint64_t seed) {
+  text::LatentSpaceConfig sc;
+  sc.vocab_size = vocab;
+  sc.latent_dim = 6;
+  sc.num_topics = 4;
+  sc.seed = seed;
+  const text::LatentSpace space(sc);
+  text::CorpusConfig cc;
+  cc.num_documents = sentences / 2;
+  cc.sentences_per_document = 2;
+  cc.tokens_per_sentence = 10;
+  cc.seed = seed + 1;
+  return generate_corpus(space, cc);
+}
+
+TEST(TinyBert, RejectsIndivisibleHeads) {
+  TinyBertConfig c = tiny_config();
+  c.dim = 9;  // not divisible by 2 heads
+  EXPECT_THROW(TinyBert(50, c), CheckError);
+}
+
+TEST(TinyBert, EncodeShapes) {
+  const TinyBert bert(50, tiny_config());
+  const std::vector<std::int32_t> sentence = {1, 2, 3, 4, 5};
+  const std::vector<float> h = bert.encode(sentence);
+  EXPECT_EQ(h.size(), 5u * 8u);
+  const std::vector<float> f = bert.features(sentence);
+  EXPECT_EQ(f.size(), 8u);
+  for (const float v : f) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(TinyBert, TruncatesAtMaxLen) {
+  TinyBertConfig c = tiny_config();
+  c.max_len = 4;
+  const TinyBert bert(50, c);
+  std::vector<std::int32_t> sentence(10, 1);
+  EXPECT_EQ(bert.encode(sentence).size(), 4u * 8u);
+}
+
+TEST(TinyBert, DeterministicGivenSeed) {
+  const TinyBert a(50, tiny_config());
+  const TinyBert b(50, tiny_config());
+  EXPECT_EQ(a.parameters(), b.parameters());
+  EXPECT_EQ(a.features({1, 2, 3}), b.features({1, 2, 3}));
+}
+
+TEST(TinyBert, ContextChangesRepresentation) {
+  // The same token in different contexts must get different vectors — the
+  // defining property of a contextual encoder.
+  const TinyBert bert(50, tiny_config());
+  const std::vector<float> a = bert.encode({7, 1, 2});
+  const std::vector<float> b = bert.encode({7, 30, 40});
+  double diff = 0.0;
+  for (std::size_t j = 0; j < 8; ++j) diff += std::abs(a[j] - b[j]);
+  EXPECT_GT(diff, 1e-4);
+}
+
+TEST(TinyBert, MaskingChangesLoss) {
+  const TinyBert bert(50, tiny_config());
+  const std::vector<std::int32_t> sentence = {1, 2, 3, 4, 5, 6};
+  const double l1 = bert.mlm_loss(sentence, {0});
+  const double l2 = bert.mlm_loss(sentence, {0, 3});
+  EXPECT_TRUE(std::isfinite(l1));
+  EXPECT_TRUE(std::isfinite(l2));
+  EXPECT_NE(l1, l2);
+}
+
+TEST(TinyBert, GradientMatchesFiniteDifference) {
+  TinyBert bert(20, tiny_config());
+  const std::vector<std::int32_t> sentence = {1, 5, 2, 9, 3};
+  const std::vector<std::size_t> masked = {1, 3};
+  const std::vector<float> analytic = bert.mlm_gradient(sentence, masked);
+  ASSERT_EQ(analytic.size(), bert.parameters().size());
+
+  Rng rng(7);
+  const float eps = 1e-2f;
+  int checked = 0;
+  for (int trial = 0; trial < 120 && checked < 25; ++trial) {
+    const std::size_t idx = rng.index(bert.parameters().size());
+    const float saved = bert.parameters()[idx];
+    bert.parameters()[idx] = saved + eps;
+    const double up = bert.mlm_loss(sentence, masked);
+    bert.parameters()[idx] = saved - eps;
+    const double down = bert.mlm_loss(sentence, masked);
+    bert.parameters()[idx] = saved;
+    const double numeric = (up - down) / (2.0 * eps);
+    if (std::abs(numeric) < 1e-4 && std::abs(analytic[idx]) < 1e-4) continue;
+    EXPECT_NEAR(analytic[idx], numeric,
+                5e-2 * std::max(0.05, std::abs(numeric)))
+        << "param index " << idx;
+    ++checked;
+  }
+  EXPECT_GE(checked, 10);
+}
+
+TEST(TinyBert, GradientZeroForUntouchedTokenRows) {
+  const TinyBert bert(30, tiny_config());
+  const std::vector<std::int32_t> sentence = {1, 2, 3};
+  const std::vector<float> g = bert.mlm_gradient(sentence, {1});
+  // Token 25 never appears: its embedding-row gradient must be exactly 0.
+  for (std::size_t j = 0; j < 8; ++j) {
+    EXPECT_FLOAT_EQ(g[25 * 8 + j], 0.0f);
+  }
+}
+
+TEST(TinyBert, PretrainingReducesMlmLoss) {
+  const text::Corpus corpus = tiny_corpus(40, 120, 11);
+  TinyBertConfig config = tiny_config();
+  config.epochs = 2;
+  config.learning_rate = 3e-3f;
+  TinyBert bert(corpus.vocab_size, config);
+
+  // Held-out probe: average loss over fixed sentences/masks.
+  auto probe = [&](const TinyBert& model) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < 20; ++i) {
+      total += model.mlm_loss(corpus.sentences[i], {2, 5});
+    }
+    return total / 20.0;
+  };
+  const double before = probe(bert);
+  bert.pretrain(corpus);
+  const double after = probe(bert);
+  EXPECT_LT(after, before - 0.1);
+}
+
+TEST(TinyBert, CorpusDriftChangesPretrainedFeatures) {
+  // Two encoders pretrained on slightly different corpora diverge — the
+  // stimulus behind the paper's Figure 11 instability.
+  const text::Corpus c17 = tiny_corpus(40, 100, 21);
+  const text::Corpus c18 = tiny_corpus(40, 100, 22);
+  TinyBertConfig config = tiny_config();
+  config.epochs = 1;
+  TinyBert a(40, config), b(40, config);
+  a.pretrain(c17);
+  b.pretrain(c18);
+  const std::vector<float> fa = a.features({1, 2, 3, 4});
+  const std::vector<float> fb = b.features({1, 2, 3, 4});
+  double diff = 0.0;
+  for (std::size_t j = 0; j < fa.size(); ++j) diff += std::abs(fa[j] - fb[j]);
+  EXPECT_GT(diff, 1e-4);
+}
+
+}  // namespace
+}  // namespace anchor::ctx

@@ -1,0 +1,217 @@
+// Tests for the extension embedding algorithms: skip-gram negative sampling
+// and PPMI-SVD. Both must produce usable semantic structure on a corpus with
+// planted word clusters, behave deterministically given the seed, and plug
+// into the unified trainer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "embed/ppmi_svd.hpp"
+#include "embed/sgns.hpp"
+#include "embed/trainer.hpp"
+#include "text/cooc.hpp"
+#include "text/corpus.hpp"
+#include "text/latent_space.hpp"
+
+namespace anchor::embed {
+namespace {
+
+/// Small corpus whose latent space plants topical word clusters; words that
+/// share a topic co-occur far more often than cross-topic pairs.
+text::Corpus tiny_corpus(std::uint64_t seed = 1) {
+  text::LatentSpaceConfig lsc;
+  lsc.vocab_size = 120;
+  lsc.latent_dim = 6;
+  lsc.num_topics = 4;
+  lsc.seed = 11;
+  const text::LatentSpace space(lsc);
+  text::CorpusConfig cc;
+  cc.num_documents = 150;
+  cc.sentences_per_document = 3;
+  cc.tokens_per_sentence = 12;
+  cc.seed = seed;
+  return text::generate_corpus(space, cc);
+}
+
+/// Mean within-sentence-cohort cosine minus random-pair cosine: positive
+/// when the embedding has learned co-occurrence structure.
+double semantic_signal(const Embedding& e, const text::Corpus& corpus) {
+  double within = 0.0;
+  std::size_t within_n = 0;
+  for (std::size_t s = 0; s < std::min<std::size_t>(corpus.sentences.size(), 60);
+       ++s) {
+    const auto& sent = corpus.sentences[s];
+    for (std::size_t i = 0; i + 1 < sent.size(); i += 2) {
+      within += e.cosine(static_cast<std::size_t>(sent[i]),
+                         static_cast<std::size_t>(sent[i + 1]));
+      ++within_n;
+    }
+  }
+  double random = 0.0;
+  std::size_t random_n = 0;
+  for (std::size_t a = 0; a < e.vocab_size; a += 7) {
+    for (std::size_t b = a + 31; b < e.vocab_size; b += 37) {
+      random += e.cosine(a, b);
+      ++random_n;
+    }
+  }
+  return within / static_cast<double>(within_n) -
+         random / static_cast<double>(random_n);
+}
+
+TEST(Sgns, ShapesAndDeterminism) {
+  const text::Corpus corpus = tiny_corpus();
+  SgnsConfig config;
+  config.dim = 12;
+  config.epochs = 2;
+  config.seed = 5;
+  const Embedding a = train_sgns(corpus, config);
+  const Embedding b = train_sgns(corpus, config);
+  EXPECT_EQ(a.vocab_size, corpus.vocab_size);
+  EXPECT_EQ(a.dim, 12u);
+  EXPECT_EQ(a.data, b.data) << "same seed must give bit-identical output";
+}
+
+TEST(Sgns, DifferentSeedsDiffer) {
+  const text::Corpus corpus = tiny_corpus();
+  SgnsConfig config;
+  config.dim = 12;
+  config.epochs = 1;
+  config.seed = 5;
+  const Embedding a = train_sgns(corpus, config);
+  config.seed = 6;
+  const Embedding b = train_sgns(corpus, config);
+  EXPECT_NE(a.data, b.data);
+}
+
+TEST(Sgns, LearnsCooccurrenceStructure) {
+  const text::Corpus corpus = tiny_corpus();
+  SgnsConfig config;
+  config.dim = 16;
+  config.epochs = 8;
+  const Embedding e = train_sgns(corpus, config);
+  EXPECT_GT(semantic_signal(e, corpus), 0.05)
+      << "within-sentence words should be more similar than random pairs";
+}
+
+TEST(Sgns, RejectsZeroDimension) {
+  const text::Corpus corpus = tiny_corpus();
+  SgnsConfig config;
+  config.dim = 0;
+  EXPECT_THROW(train_sgns(corpus, config), CheckError);
+}
+
+TEST(PpmiSvd, ShapesAndDeterminism) {
+  const text::Corpus corpus = tiny_corpus();
+  const text::CoocMatrix a =
+      text::ppmi(text::count_cooccurrences(corpus, {}));
+  PpmiSvdConfig config;
+  config.dim = 10;
+  const Embedding x = train_ppmi_svd(a, config);
+  const Embedding y = train_ppmi_svd(a, config);
+  EXPECT_EQ(x.vocab_size, corpus.vocab_size);
+  EXPECT_EQ(x.dim, 10u);
+  EXPECT_EQ(x.data, y.data);
+}
+
+TEST(PpmiSvd, ColumnsAreEigenvalueOrdered) {
+  const text::Corpus corpus = tiny_corpus();
+  const text::CoocMatrix a =
+      text::ppmi(text::count_cooccurrences(corpus, {}));
+  PpmiSvdConfig config;
+  config.dim = 8;
+  const Embedding x = train_ppmi_svd(a, config);
+  // Column norms are λ^p (orthonormal eigenvector scaled), so they must be
+  // non-increasing left to right.
+  std::vector<double> norms(8, 0.0);
+  for (std::size_t w = 0; w < x.vocab_size; ++w) {
+    for (std::size_t j = 0; j < 8; ++j) {
+      norms[j] += static_cast<double>(x.row(w)[j]) * x.row(w)[j];
+    }
+  }
+  for (std::size_t j = 1; j < 8; ++j) {
+    EXPECT_LE(norms[j], norms[j - 1] * (1.0 + 1e-9)) << "column " << j;
+  }
+}
+
+TEST(PpmiSvd, GramApproximatesPpmi) {
+  // With dim close to the effective rank, X·Xᵀ (p=0.5 ⇒ X·Xᵀ = U·Λ·Uᵀ)
+  // should capture most of the PPMI matrix's spectral mass.
+  const text::Corpus corpus = tiny_corpus();
+  const text::CoocMatrix a =
+      text::ppmi(text::count_cooccurrences(corpus, {}));
+  PpmiSvdConfig config;
+  config.dim = 40;
+  const Embedding x = train_ppmi_svd(a, config);
+
+  // Compare Frobenius mass of the reconstruction against the full matrix on
+  // the stored cells.
+  double recon_dot = 0.0, full_sq = 0.0;
+  for (const auto& cell : a.entries) {
+    const float* ri = x.row(static_cast<std::size_t>(cell.row));
+    const float* rj = x.row(static_cast<std::size_t>(cell.col));
+    double dot = 0.0;
+    for (std::size_t j = 0; j < x.dim; ++j) {
+      dot += static_cast<double>(ri[j]) * rj[j];
+    }
+    recon_dot += dot * cell.value;
+    full_sq += cell.value * cell.value;
+  }
+  // ⟨X·Xᵀ, A⟩ / ‖A‖² is the captured spectral fraction (≤ 1 for PSD parts).
+  EXPECT_GT(recon_dot / full_sq, 0.5);
+}
+
+TEST(PpmiSvd, LearnsCooccurrenceStructure) {
+  const text::Corpus corpus = tiny_corpus();
+  const text::CoocMatrix a =
+      text::ppmi(text::count_cooccurrences(corpus, {}));
+  PpmiSvdConfig config;
+  config.dim = 16;
+  const Embedding e = train_ppmi_svd(a, config);
+  EXPECT_GT(semantic_signal(e, corpus), 0.05);
+}
+
+TEST(PpmiSvd, RejectsDimNotBelowVocab) {
+  const text::Corpus corpus = tiny_corpus();
+  const text::CoocMatrix a =
+      text::ppmi(text::count_cooccurrences(corpus, {}));
+  PpmiSvdConfig config;
+  config.dim = corpus.vocab_size;
+  EXPECT_THROW(train_ppmi_svd(a, config), CheckError);
+}
+
+TEST(Trainer, DispatchesSgnsAndPpmiSvd) {
+  const text::Corpus corpus = tiny_corpus();
+  TrainOptions options;
+  options.dim = 8;
+  options.epoch_scale = 0.4;
+  const Embedding sgns = train_embedding(corpus, Algo::kSgns, options);
+  const Embedding svd = train_embedding(corpus, Algo::kPpmiSvd, options);
+  EXPECT_EQ(sgns.dim, 8u);
+  EXPECT_EQ(svd.dim, 8u);
+  EXPECT_EQ(sgns.vocab_size, corpus.vocab_size);
+  EXPECT_EQ(svd.vocab_size, corpus.vocab_size);
+}
+
+TEST(Trainer, NewAlgosHaveNames) {
+  EXPECT_EQ(algo_name(Algo::kSgns), "SGNS");
+  EXPECT_EQ(algo_name(Algo::kPpmiSvd), "PPMI-SVD");
+}
+
+class SgnsDims : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SgnsDims, OutputDimMatchesConfig) {
+  const text::Corpus corpus = tiny_corpus();
+  SgnsConfig config;
+  config.dim = GetParam();
+  config.epochs = 1;
+  const Embedding e = train_sgns(corpus, config);
+  EXPECT_EQ(e.dim, GetParam());
+  for (const float v : e.data) EXPECT_TRUE(std::isfinite(v));
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, SgnsDims,
+                         ::testing::Values<std::size_t>(4, 8, 16, 32));
+
+}  // namespace
+}  // namespace anchor::embed

@@ -1,0 +1,113 @@
+// Tests for the word2vec-text embedding IO: round-trips, format structure,
+// and loud failure on malformed files.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "embed/io.hpp"
+#include "util/rng.hpp"
+
+namespace anchor::embed {
+namespace {
+
+namespace fs = std::filesystem;
+
+class EmbedIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("anchor_io_test_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path path(const std::string& name) const { return dir_ / name; }
+
+  static Embedding random_embedding(std::size_t vocab, std::size_t dim,
+                                    std::uint64_t seed) {
+    Rng rng(seed);
+    Embedding e(vocab, dim);
+    for (auto& x : e.data) x = static_cast<float>(rng.normal());
+    return e;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(EmbedIoTest, RoundTripPreservesValuesToTextPrecision) {
+  const Embedding original = random_embedding(30, 6, 1);
+  save_text(original, path("e.txt"));
+  const Embedding loaded = load_text(path("e.txt"));
+  ASSERT_EQ(loaded.vocab_size, 30u);
+  ASSERT_EQ(loaded.dim, 6u);
+  for (std::size_t i = 0; i < original.data.size(); ++i) {
+    EXPECT_NEAR(loaded.data[i], original.data[i],
+                1e-6f * std::abs(original.data[i]) + 1e-7f);
+  }
+}
+
+TEST_F(EmbedIoTest, HeaderMatchesWord2vecConvention) {
+  save_text(random_embedding(5, 3, 2), path("e.txt"));
+  std::ifstream in(path("e.txt"));
+  std::string first_line;
+  std::getline(in, first_line);
+  EXPECT_EQ(first_line, "5 3");
+  std::string word;
+  in >> word;
+  EXPECT_EQ(word, "w0000");
+}
+
+TEST_F(EmbedIoTest, LoadAcceptsPermutedRows) {
+  // Word lines in any order must land at their id.
+  std::ofstream out(path("p.txt"));
+  out << "3 2\n"
+      << "w0002 5 6\n"
+      << "w0000 1 2\n"
+      << "w0001 3 4\n";
+  out.close();
+  const Embedding e = load_text(path("p.txt"));
+  EXPECT_FLOAT_EQ(e.row(0)[0], 1.0f);
+  EXPECT_FLOAT_EQ(e.row(1)[1], 4.0f);
+  EXPECT_FLOAT_EQ(e.row(2)[0], 5.0f);
+}
+
+TEST_F(EmbedIoTest, RejectsMissingFile) {
+  EXPECT_THROW(load_text(path("nope.txt")), CheckError);
+}
+
+TEST_F(EmbedIoTest, RejectsMalformedHeader) {
+  std::ofstream(path("h.txt")) << "abc def\n";
+  EXPECT_THROW(load_text(path("h.txt")), CheckError);
+  std::ofstream(path("z.txt")) << "0 4\n";
+  EXPECT_THROW(load_text(path("z.txt")), CheckError);
+}
+
+TEST_F(EmbedIoTest, RejectsTruncatedFile) {
+  std::ofstream(path("t.txt")) << "2 2\nw0000 1 2\n";  // one row missing
+  EXPECT_THROW(load_text(path("t.txt")), CheckError);
+}
+
+TEST_F(EmbedIoTest, RejectsDuplicateWordIds) {
+  std::ofstream(path("d.txt")) << "2 1\nw0000 1\nw0000 2\n";
+  EXPECT_THROW(load_text(path("d.txt")), CheckError);
+}
+
+TEST_F(EmbedIoTest, RejectsOutOfRangeWordId) {
+  std::ofstream(path("r.txt")) << "2 1\nw0000 1\nw0009 2\n";
+  EXPECT_THROW(load_text(path("r.txt")), CheckError);
+}
+
+TEST_F(EmbedIoTest, RejectsNonNumericValues) {
+  std::ofstream(path("n.txt")) << "1 2\nw0000 1 banana\n";
+  EXPECT_THROW(load_text(path("n.txt")), CheckError);
+}
+
+TEST_F(EmbedIoTest, RejectsForeignWordTokens) {
+  std::ofstream(path("f.txt")) << "1 1\nhello 1\n";
+  EXPECT_THROW(load_text(path("f.txt")), CheckError);
+}
+
+}  // namespace
+}  // namespace anchor::embed

@@ -1,0 +1,277 @@
+// Tests for the embedding algorithms: CBOW, GloVe, MC, fastText-subword.
+// Training quality is asserted structurally: embeddings must recover the
+// latent topic structure (same-topic words more similar than cross-topic).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "embed/negative_sampling.hpp"
+#include "embed/trainer.hpp"
+#include "text/cooc.hpp"
+#include "util/rng.hpp"
+
+namespace anchor::embed {
+namespace {
+
+text::LatentSpace test_space() {
+  text::LatentSpaceConfig c;
+  c.vocab_size = 150;
+  c.latent_dim = 8;
+  c.num_topics = 5;
+  c.seed = 21;
+  return text::LatentSpace(c);
+}
+
+text::Corpus test_corpus(const text::LatentSpace& space) {
+  text::CorpusConfig c;
+  c.num_documents = 250;
+  c.sentences_per_document = 3;
+  c.tokens_per_sentence = 12;
+  c.seed = 4;
+  return text::generate_corpus(space, c);
+}
+
+/// Average cosine similarity among same-topic pairs minus cross-topic pairs,
+/// over moderately frequent words. Positive = topic structure recovered.
+double topic_separation(const Embedding& e, const text::LatentSpace& space) {
+  double same = 0.0, cross = 0.0;
+  std::size_t same_n = 0, cross_n = 0;
+  const std::size_t lo = 5, hi = 80;  // skip stopword-like head
+  for (std::size_t a = lo; a < hi; ++a) {
+    for (std::size_t b = a + 1; b < hi; ++b) {
+      const double cs = e.cosine(a, b);
+      if (space.word_topics()[a] == space.word_topics()[b]) {
+        same += cs;
+        ++same_n;
+      } else {
+        cross += cs;
+        ++cross_n;
+      }
+    }
+  }
+  return same / static_cast<double>(same_n) -
+         cross / static_cast<double>(cross_n);
+}
+
+TEST(Embedding, MatrixRoundTrip) {
+  Embedding e(3, 2);
+  e.row(1)[0] = 1.5f;
+  e.row(2)[1] = -2.0f;
+  const Embedding back = Embedding::from_matrix(e.to_matrix());
+  EXPECT_EQ(back.data, e.data);
+  EXPECT_EQ(back.vocab_size, 3u);
+  EXPECT_EQ(back.dim, 2u);
+}
+
+TEST(Embedding, CosineOracle) {
+  Embedding e(3, 2);
+  e.row(0)[0] = 1.0f;
+  e.row(1)[0] = 2.0f;            // parallel to row 0
+  e.row(2)[1] = 1.0f;            // orthogonal to row 0
+  EXPECT_NEAR(e.cosine(0, 1), 1.0, 1e-6);
+  EXPECT_NEAR(e.cosine(0, 2), 0.0, 1e-6);
+}
+
+TEST(Embedding, CosineZeroRowIsZero) {
+  Embedding e(2, 2);
+  e.row(0)[0] = 1.0f;
+  EXPECT_DOUBLE_EQ(e.cosine(0, 1), 0.0);
+}
+
+TEST(Embedding, AlgoNames) {
+  EXPECT_EQ(algo_name(Algo::kCbow), "CBOW");
+  EXPECT_EQ(algo_name(Algo::kGloVe), "GloVe");
+  EXPECT_EQ(algo_name(Algo::kMc), "MC");
+  EXPECT_EQ(algo_name(Algo::kFastText), "FT-SG");
+}
+
+TEST(UnigramTable, SamplesProportionalToSmoothedCounts) {
+  const std::vector<std::int64_t> counts = {1000, 100, 0};
+  UnigramTable table(counts, 0.75, 1u << 16);
+  Rng rng(1);
+  int hits[3] = {0, 0, 0};
+  for (int i = 0; i < 30000; ++i) ++hits[table.sample(rng)];
+  EXPECT_EQ(hits[2], 0);  // zero-count word never drawn
+  const double ratio = static_cast<double>(hits[0]) / hits[1];
+  // Expected ratio = (1000/100)^0.75 ≈ 5.62.
+  EXPECT_NEAR(ratio, std::pow(10.0, 0.75), 1.2);
+}
+
+TEST(Sigmoid, ValuesAndClamping) {
+  EXPECT_NEAR(sigmoid(0.0f), 0.5f, 1e-6);
+  EXPECT_NEAR(sigmoid(100.0f), 1.0f, 1e-6);
+  EXPECT_NEAR(sigmoid(-100.0f), 0.0f, 1e-6);
+  EXPECT_GT(sigmoid(1.0f), sigmoid(-1.0f));
+}
+
+struct AlgoCase {
+  Algo algo;
+  double min_separation;
+};
+
+class EmbeddingAlgoTest : public ::testing::TestWithParam<AlgoCase> {};
+
+TEST_P(EmbeddingAlgoTest, RecoversTopicStructure) {
+  const text::LatentSpace space = test_space();
+  const text::Corpus corpus = test_corpus(space);
+  TrainOptions opts;
+  opts.dim = 16;
+  opts.seed = 1;
+  const Embedding e = train_embedding(corpus, GetParam().algo, opts);
+  EXPECT_EQ(e.vocab_size, space.vocab_size());
+  EXPECT_EQ(e.dim, 16u);
+  for (const float v : e.data) EXPECT_TRUE(std::isfinite(v));
+  EXPECT_GT(topic_separation(e, space), GetParam().min_separation);
+}
+
+TEST_P(EmbeddingAlgoTest, DeterministicGivenSeed) {
+  const text::LatentSpace space = test_space();
+  const text::Corpus corpus = test_corpus(space);
+  TrainOptions opts;
+  opts.dim = 8;
+  opts.seed = 7;
+  const Embedding a = train_embedding(corpus, GetParam().algo, opts);
+  const Embedding b = train_embedding(corpus, GetParam().algo, opts);
+  EXPECT_EQ(a.data, b.data);
+}
+
+TEST_P(EmbeddingAlgoTest, SeedChangesResult) {
+  const text::LatentSpace space = test_space();
+  const text::Corpus corpus = test_corpus(space);
+  TrainOptions a_opts;
+  a_opts.dim = 8;
+  a_opts.seed = 1;
+  TrainOptions b_opts = a_opts;
+  b_opts.seed = 2;
+  const Embedding a = train_embedding(corpus, GetParam().algo, a_opts);
+  const Embedding b = train_embedding(corpus, GetParam().algo, b_opts);
+  EXPECT_NE(a.data, b.data);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Algos, EmbeddingAlgoTest,
+    ::testing::Values(AlgoCase{Algo::kCbow, 0.05},
+                      AlgoCase{Algo::kGloVe, 0.05},
+                      AlgoCase{Algo::kMc, 0.05},
+                      AlgoCase{Algo::kFastText, 0.03}),
+    [](const ::testing::TestParamInfo<AlgoCase>& info) {
+      std::string name = algo_name(info.param.algo);
+      for (auto& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(Mc, ApproximatesPpmiBetterThanInit) {
+  const text::LatentSpace space = test_space();
+  const text::Corpus corpus = test_corpus(space);
+  text::CoocConfig cc;
+  cc.distance_weighting = false;
+  const text::CoocMatrix a = text::ppmi(count_cooccurrences(corpus, cc));
+
+  McConfig config;
+  config.dim = 16;
+  config.seed = 3;
+  const Embedding trained = train_mc(a, config);
+
+  McConfig no_train = config;
+  no_train.epochs = 1;
+  no_train.learning_rate = 0.0f;
+  const Embedding init = train_mc(a, no_train);
+
+  auto loss = [&](const Embedding& e) {
+    double acc = 0.0;
+    for (const auto& cell : a.entries) {
+      const float* xi = e.row(static_cast<std::size_t>(cell.row));
+      const float* xj = e.row(static_cast<std::size_t>(cell.col));
+      double dot = 0.0;
+      for (std::size_t k = 0; k < e.dim; ++k) dot += static_cast<double>(xi[k]) * xj[k];
+      acc += (dot - cell.value) * (dot - cell.value);
+    }
+    return acc / static_cast<double>(a.entries.size());
+  };
+  EXPECT_LT(loss(trained), 0.5 * loss(init));
+}
+
+TEST(Glove, FitsLogCooccurrence) {
+  const text::LatentSpace space = test_space();
+  const text::Corpus corpus = test_corpus(space);
+  const text::CoocMatrix cooc =
+      count_cooccurrences(corpus, text::CoocConfig{});
+
+  GloveConfig config;
+  config.dim = 16;
+  config.seed = 3;
+  const Embedding e = train_glove(cooc, config);
+
+  // Frequent pairs should have larger dot products than absent pairs: check
+  // correlation between dot(Xi,Xj) and log count over observed cells vs a
+  // shuffled control.
+  double corr_num = 0.0;
+  double sum_dot = 0.0, sum_log = 0.0, sum_dot2 = 0.0, sum_log2 = 0.0;
+  const std::size_t n = std::min<std::size_t>(cooc.entries.size(), 3000);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& cell = cooc.entries[i];
+    const float* xi = e.row(static_cast<std::size_t>(cell.row));
+    const float* xj = e.row(static_cast<std::size_t>(cell.col));
+    double dot = 0.0;
+    for (std::size_t k = 0; k < e.dim; ++k) dot += static_cast<double>(xi[k]) * xj[k];
+    const double lv = std::log(cell.value);
+    corr_num += dot * lv;
+    sum_dot += dot;
+    sum_log += lv;
+    sum_dot2 += dot * dot;
+    sum_log2 += lv * lv;
+  }
+  const double nn = static_cast<double>(n);
+  const double cov = corr_num / nn - (sum_dot / nn) * (sum_log / nn);
+  const double var_d = sum_dot2 / nn - (sum_dot / nn) * (sum_dot / nn);
+  const double var_l = sum_log2 / nn - (sum_log / nn) * (sum_log / nn);
+  const double corr = cov / std::sqrt(var_d * var_l);
+  EXPECT_GT(corr, 0.3);
+}
+
+TEST(FastText, NgramBucketsDeterministicAndBounded) {
+  FastTextConfig config;
+  config.bucket_count = 1024;
+  const auto a = word_ngram_buckets("w0042", config);
+  const auto b = word_ngram_buckets("w0042", config);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.empty());
+  for (const auto bucket : a) EXPECT_LT(bucket, 1024u);
+}
+
+TEST(FastText, SharedSubstringsShareBuckets) {
+  FastTextConfig config;
+  // "w0042" and "w0043" share the n-grams of their common prefix.
+  const auto a = word_ngram_buckets("w0042", config);
+  const auto b = word_ngram_buckets("w0043", config);
+  std::size_t shared = 0;
+  for (const auto x : a) {
+    for (const auto y : b) shared += (x == y);
+  }
+  EXPECT_GT(shared, 0u);
+}
+
+TEST(FastText, ShortWordHasFewerNgramsThanLong) {
+  FastTextConfig config;
+  EXPECT_LT(word_ngram_buckets("ab", config).size(),
+            word_ngram_buckets("abcdefgh", config).size());
+}
+
+TEST(Trainer, EpochScaleReducesWork) {
+  // Structural check: epoch_scale is honored (result differs from default).
+  const text::LatentSpace space = test_space();
+  const text::Corpus corpus = test_corpus(space);
+  TrainOptions full;
+  full.dim = 8;
+  full.seed = 1;
+  TrainOptions quick = full;
+  quick.epoch_scale = 0.2;
+  const Embedding a = train_embedding(corpus, Algo::kCbow, full);
+  const Embedding b = train_embedding(corpus, Algo::kCbow, quick);
+  EXPECT_NE(a.data, b.data);
+}
+
+}  // namespace
+}  // namespace anchor::embed

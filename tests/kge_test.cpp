@@ -1,0 +1,223 @@
+// Tests for the knowledge-graph substrate: graph generation, TransE
+// training, link prediction, triplet classification, and quantization.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "kge/kg_data.hpp"
+#include "kge/kge_eval.hpp"
+#include "kge/transe.hpp"
+
+namespace anchor::kge {
+namespace {
+
+KgConfig small_kg_config() {
+  KgConfig c;
+  c.num_entities = 80;
+  c.num_relations = 6;
+  c.latent_dim = 6;
+  c.train_triplets = 1200;
+  c.valid_triplets = 100;
+  c.test_triplets = 150;
+  c.tail_temperature = 0.4;  // sharp enough that TransE is clearly learnable
+  c.seed = 5;
+  return c;
+}
+
+TEST(KgData, SplitSizesAndRanges) {
+  const KgDataset ds = generate_kg(small_kg_config());
+  EXPECT_EQ(ds.train.size(), 1200u);
+  EXPECT_EQ(ds.valid.size(), 100u);
+  EXPECT_EQ(ds.test.size(), 150u);
+  auto check = [&](const std::vector<Triplet>& split) {
+    for (const auto& t : split) {
+      EXPECT_GE(t.head, 0);
+      EXPECT_LT(t.head, 80);
+      EXPECT_GE(t.relation, 0);
+      EXPECT_LT(t.relation, 6);
+      EXPECT_GE(t.tail, 0);
+      EXPECT_LT(t.tail, 80);
+      EXPECT_NE(t.head, t.tail);
+    }
+  };
+  check(ds.train);
+  check(ds.valid);
+  check(ds.test);
+}
+
+TEST(KgData, TripletsAreUniqueAcrossSplits) {
+  const KgDataset ds = generate_kg(small_kg_config());
+  std::set<std::tuple<int, int, int>> seen;
+  auto insert_all = [&](const std::vector<Triplet>& split) {
+    for (const auto& t : split) {
+      EXPECT_TRUE(seen.insert({t.head, t.relation, t.tail}).second);
+    }
+  };
+  insert_all(ds.train);
+  insert_all(ds.valid);
+  insert_all(ds.test);
+}
+
+TEST(KgData, DeterministicGivenSeed) {
+  const KgDataset a = generate_kg(small_kg_config());
+  const KgDataset b = generate_kg(small_kg_config());
+  EXPECT_EQ(a.train, b.train);
+  EXPECT_EQ(a.test, b.test);
+}
+
+TEST(KgData, SubsampleDropsTrainOnly) {
+  const KgDataset full = generate_kg(small_kg_config());
+  const KgDataset sub = subsample_train(full, 0.05, 9);
+  EXPECT_EQ(sub.train.size(), 1140u);  // 95% of 1200
+  EXPECT_EQ(sub.valid, full.valid);
+  EXPECT_EQ(sub.test, full.test);
+  // Every kept triplet came from the full training set.
+  std::set<std::tuple<int, int, int>> full_set;
+  for (const auto& t : full.train) {
+    full_set.insert({t.head, t.relation, t.tail});
+  }
+  for (const auto& t : sub.train) {
+    EXPECT_TRUE(full_set.count({t.head, t.relation, t.tail}) > 0);
+  }
+}
+
+TransEConfig quick_transe() {
+  TransEConfig c;
+  c.dim = 12;
+  c.max_epochs = 30;
+  c.eval_every = 10;
+  c.learning_rate = 0.02f;
+  return c;
+}
+
+TEST(TransE, ScoreIsL1Distance) {
+  TransEModel m;
+  m.entities = embed::Embedding(3, 2, 0.0f);
+  m.relations = embed::Embedding(1, 2, 0.0f);
+  m.entities.row(0)[0] = 1.0f;
+  m.relations.row(0)[0] = 2.0f;
+  m.entities.row(1)[0] = 2.5f;
+  m.entities.row(1)[1] = -1.0f;
+  // |1+2−2.5| + |0+0−(−1)| = 0.5 + 1 = 1.5.
+  EXPECT_NEAR(m.score({0, 0, 1}), 1.5, 1e-6);
+}
+
+TEST(TransE, TrainingBeatsUntrainedMeanRank) {
+  const KgDataset ds = generate_kg(small_kg_config());
+  const TransEModel trained = train_transe(ds, quick_transe());
+
+  TransEConfig no_train = quick_transe();
+  no_train.max_epochs = 0;
+  const TransEModel random_init = train_transe(ds, no_train);
+
+  const double trained_rank = link_prediction(trained, ds.test).mean_rank;
+  const double random_rank = link_prediction(random_init, ds.test).mean_rank;
+  EXPECT_LT(trained_rank, 0.7 * random_rank);
+}
+
+TEST(TransE, DeterministicGivenSeed) {
+  const KgDataset ds = generate_kg(small_kg_config());
+  const TransEModel a = train_transe(ds, quick_transe());
+  const TransEModel b = train_transe(ds, quick_transe());
+  EXPECT_EQ(a.entities.data, b.entities.data);
+}
+
+TEST(LinkPrediction, RanksWithinBounds) {
+  const KgDataset ds = generate_kg(small_kg_config());
+  const TransEModel m = train_transe(ds, quick_transe());
+  const LinkPredictionResult r = link_prediction(m, ds.test);
+  EXPECT_EQ(r.ranks.size(), 2 * ds.test.size());
+  for (const auto rank : r.ranks) {
+    EXPECT_GE(rank, 1);
+    EXPECT_LE(rank, static_cast<std::int32_t>(ds.num_entities));
+  }
+  EXPECT_GE(r.mean_rank, 1.0);
+}
+
+TEST(LinkPrediction, UnstableRankZeroOnSelf) {
+  const KgDataset ds = generate_kg(small_kg_config());
+  const TransEModel m = train_transe(ds, quick_transe());
+  const LinkPredictionResult r = link_prediction(m, ds.test);
+  EXPECT_DOUBLE_EQ(unstable_rank_at_k(r, r, 10), 0.0);
+}
+
+TEST(LinkPrediction, UnstableRankCountsBigChanges) {
+  LinkPredictionResult a, b;
+  a.ranks = {1, 5, 100, 7};
+  b.ranks = {1, 20, 100, 18};  // changes: 15 (>10), 0, 11 (>10)... and 0
+  EXPECT_DOUBLE_EQ(unstable_rank_at_k(a, b, 10), 50.0);
+  EXPECT_DOUBLE_EQ(unstable_rank_at_k(a, b, 20), 0.0);
+}
+
+TEST(TripletClassification, NegativesDifferFromPositives) {
+  const KgDataset ds = generate_kg(small_kg_config());
+  const LabeledTriplets lt =
+      make_classification_set(ds.valid, ds.num_entities, 3);
+  EXPECT_EQ(lt.triplets.size(), 2 * ds.valid.size());
+  for (std::size_t i = 0; i < lt.triplets.size(); i += 2) {
+    EXPECT_EQ(lt.labels[i], 1);
+    EXPECT_EQ(lt.labels[i + 1], 0);
+    EXPECT_NE(lt.triplets[i].tail, lt.triplets[i + 1].tail);
+    EXPECT_EQ(lt.triplets[i].head, lt.triplets[i + 1].head);
+  }
+}
+
+TEST(TripletClassification, SameSeedSameNegatives) {
+  const KgDataset ds = generate_kg(small_kg_config());
+  const auto a = make_classification_set(ds.valid, ds.num_entities, 3);
+  const auto b = make_classification_set(ds.valid, ds.num_entities, 3);
+  EXPECT_EQ(a.triplets, b.triplets);
+}
+
+TEST(TripletClassification, TunedThresholdsBeatChance) {
+  const KgDataset ds = generate_kg(small_kg_config());
+  const TransEModel m = train_transe(ds, quick_transe());
+  const auto valid = make_classification_set(ds.valid, ds.num_entities, 3);
+  const auto test = make_classification_set(ds.test, ds.num_entities, 4);
+  const std::vector<double> thresholds =
+      tune_thresholds(m, valid, ds.num_relations);
+  const auto preds = classify_triplets(m, test.triplets, thresholds);
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    hits += (preds[i] == test.labels[i]);
+  }
+  EXPECT_GT(static_cast<double>(hits) / preds.size(), 0.62);
+}
+
+TEST(Quantize, FullPrecisionPassthrough) {
+  const KgDataset ds = generate_kg(small_kg_config());
+  TransEConfig qc = quick_transe();
+  qc.max_epochs = 5;
+  const TransEModel m = train_transe(ds, qc);
+  const TransEModel q = quantize_model(m, 32);
+  EXPECT_EQ(q.entities.data, m.entities.data);
+}
+
+TEST(Quantize, LowerBitsChangeScoresMore) {
+  const KgDataset ds = generate_kg(small_kg_config());
+  const TransEModel m = train_transe(ds, quick_transe());
+  auto score_delta = [&](int bits) {
+    const TransEModel q = quantize_model(m, bits);
+    double acc = 0.0;
+    for (const auto& t : ds.test) acc += std::abs(q.score(t) - m.score(t));
+    return acc;
+  };
+  EXPECT_GT(score_delta(1), score_delta(4));
+  EXPECT_GT(score_delta(4), score_delta(16));
+}
+
+TEST(Quantize, SharedClipUsesReferenceThreshold) {
+  const KgDataset full = generate_kg(small_kg_config());
+  const KgDataset sub = subsample_train(full, 0.05, 7);
+  TransEConfig qc = quick_transe();
+  qc.max_epochs = 10;
+  const TransEModel a = train_transe(sub, qc);
+  const TransEModel b = train_transe(full, qc);
+  const TransEModel qb_shared = quantize_model(b, 2, &a);
+  const TransEModel qb_own = quantize_model(b, 2);
+  // Shared-threshold quantization differs from own-threshold quantization.
+  EXPECT_NE(qb_shared.entities.data, qb_own.entities.data);
+}
+
+}  // namespace
+}  // namespace anchor::kge

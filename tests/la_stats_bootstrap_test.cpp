@@ -1,0 +1,84 @@
+// Tests for the bootstrap Spearman confidence interval: coverage of the
+// point estimate, determinism, width behavior with sample size, and input
+// validation.
+#include <gtest/gtest.h>
+
+#include "la/stats.hpp"
+#include "util/rng.hpp"
+
+namespace anchor::la {
+namespace {
+
+/// Correlated pair sample: y = x + noise·ε.
+std::pair<std::vector<double>, std::vector<double>> correlated_sample(
+    std::size_t n, double noise, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(n), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = rng.normal();
+    y[i] = x[i] + noise * rng.normal();
+  }
+  return {x, y};
+}
+
+TEST(BootstrapSpearman, IntervalContainsPointEstimate) {
+  const auto [x, y] = correlated_sample(60, 0.8, 1);
+  const BootstrapInterval ci = bootstrap_spearman_ci(x, y, 500);
+  EXPECT_LE(ci.lo, ci.point);
+  EXPECT_GE(ci.hi, ci.point);
+  EXPECT_DOUBLE_EQ(ci.point, spearman(x, y));
+}
+
+TEST(BootstrapSpearman, StrongCorrelationExcludesZero) {
+  const auto [x, y] = correlated_sample(80, 0.2, 2);
+  const BootstrapInterval ci = bootstrap_spearman_ci(x, y, 1000);
+  EXPECT_GT(ci.lo, 0.0) << "a nearly-deterministic relation's 95% CI "
+                           "must not include zero";
+}
+
+TEST(BootstrapSpearman, IndependentDataIntervalStraddlesZero) {
+  Rng rng(3);
+  std::vector<double> x(100), y(100);
+  for (auto& v : x) v = rng.normal();
+  for (auto& v : y) v = rng.normal();
+  const BootstrapInterval ci = bootstrap_spearman_ci(x, y, 1000);
+  EXPECT_LT(ci.lo, 0.0);
+  EXPECT_GT(ci.hi, 0.0);
+}
+
+TEST(BootstrapSpearman, DeterministicGivenSeed) {
+  const auto [x, y] = correlated_sample(40, 0.5, 4);
+  const BootstrapInterval a = bootstrap_spearman_ci(x, y, 300, 0.95, 99);
+  const BootstrapInterval b = bootstrap_spearman_ci(x, y, 300, 0.95, 99);
+  EXPECT_EQ(a.lo, b.lo);
+  EXPECT_EQ(a.hi, b.hi);
+}
+
+TEST(BootstrapSpearman, MoreDataNarrowsTheInterval) {
+  const auto [xs, ys] = correlated_sample(20, 0.8, 5);
+  const auto [xl, yl] = correlated_sample(400, 0.8, 5);
+  const BootstrapInterval small = bootstrap_spearman_ci(xs, ys, 800);
+  const BootstrapInterval large = bootstrap_spearman_ci(xl, yl, 800);
+  EXPECT_LT(large.hi - large.lo, small.hi - small.lo);
+}
+
+TEST(BootstrapSpearman, WiderLevelGivesWiderInterval) {
+  const auto [x, y] = correlated_sample(50, 1.0, 6);
+  const BootstrapInterval narrow = bootstrap_spearman_ci(x, y, 800, 0.80);
+  const BootstrapInterval wide = bootstrap_spearman_ci(x, y, 800, 0.99);
+  EXPECT_LE(narrow.hi - narrow.lo, wide.hi - wide.lo);
+}
+
+TEST(BootstrapSpearman, RejectsDegenerateInputs) {
+  const std::vector<double> two = {1.0, 2.0};
+  EXPECT_THROW(bootstrap_spearman_ci(two, two), CheckError);
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y = {1.0, 2.0, 3.0};
+  EXPECT_THROW(bootstrap_spearman_ci(x, y), CheckError);
+  const std::vector<double> ok = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_THROW(bootstrap_spearman_ci(ok, ok, 2000, 1.5), CheckError);
+  EXPECT_THROW(bootstrap_spearman_ci(ok, ok, 1), CheckError);
+}
+
+}  // namespace
+}  // namespace anchor::la

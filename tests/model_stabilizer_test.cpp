@@ -1,0 +1,169 @@
+// Tests for prediction-churn stabilization in the linear BOW model
+// (Fard et al., 2016): λ = 0 reproduces plain training, churn to the anchor
+// model falls as λ grows, and the API rejects inconsistent inputs.
+#include <gtest/gtest.h>
+
+#include "core/instability.hpp"
+#include "model/linear_bow.hpp"
+#include "tasks/sentiment.hpp"
+#include "text/latent_space.hpp"
+#include "util/rng.hpp"
+
+namespace anchor::model {
+namespace {
+
+struct Fixture {
+  text::LatentSpace space;
+  tasks::TextClassificationDataset ds;
+  embed::Embedding old_embedding;  // "last month's" embedding
+  embed::Embedding new_embedding;  // retrained, drifted
+
+  static Fixture make() {
+    text::LatentSpaceConfig lsc;
+    lsc.vocab_size = 200;
+    lsc.latent_dim = 8;
+    lsc.seed = 23;
+    text::LatentSpace space(lsc);
+    tasks::SentimentTaskConfig tc;
+    tc.train_size = 600;
+    tc.val_size = 100;
+    tc.test_size = 400;
+    tasks::TextClassificationDataset ds = tasks::make_sentiment_task(space, tc);
+
+    // Two noisy views of the ground-truth vectors stand in for the
+    // Wiki'17/Wiki'18 embedding pair; enough to create genuine churn.
+    Rng rng(5);
+    embed::Embedding old_e =
+        embed::Embedding::from_matrix(space.word_vectors());
+    embed::Embedding new_e = old_e;
+    for (auto& x : old_e.data) x += static_cast<float>(rng.normal(0.0, 0.25));
+    for (auto& x : new_e.data) x += static_cast<float>(rng.normal(0.0, 0.25));
+    return {std::move(space), std::move(ds), std::move(old_e),
+            std::move(new_e)};
+  }
+};
+
+double churn(const LinearBowClassifier& a, const LinearBowClassifier& b,
+             const std::vector<std::vector<std::int32_t>>& test) {
+  return core::prediction_disagreement_pct(a.predict_all(test),
+                                           b.predict_all(test));
+}
+
+double accuracy(const LinearBowClassifier& m,
+                const std::vector<std::vector<std::int32_t>>& test,
+                const std::vector<std::int32_t>& labels) {
+  const auto preds = m.predict_all(test);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    correct += preds[i] == labels[i] ? 1 : 0;
+  }
+  return 100.0 * static_cast<double>(correct) /
+         static_cast<double>(preds.size());
+}
+
+TEST(Stabilizer, ProbabilitiesAreValidDistributions) {
+  const Fixture f = Fixture::make();
+  LinearBowConfig mc;
+  const LinearBowClassifier m(f.old_embedding, f.ds.train_sentences,
+                              f.ds.train_labels, mc);
+  for (std::size_t i = 0; i < 20; ++i) {
+    const auto p = m.probabilities(f.ds.test_sentences[i]);
+    ASSERT_EQ(p.size(), 2u);
+    double sum = 0.0;
+    for (const float v : p) {
+      EXPECT_GE(v, 0.0f);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+    // argmax of probabilities must agree with predict().
+    EXPECT_EQ(m.predict(f.ds.test_sentences[i]),
+              p[1] > p[0] ? 1 : 0);
+  }
+}
+
+TEST(Stabilizer, LambdaZeroWithoutAnchorMatchesPlainTraining) {
+  const Fixture f = Fixture::make();
+  LinearBowConfig mc;
+  const LinearBowClassifier plain(f.new_embedding, f.ds.train_sentences,
+                                  f.ds.train_labels, mc);
+  mc.stabilization_lambda = 0.0f;
+  const LinearBowClassifier zero(f.new_embedding, f.ds.train_sentences,
+                                 f.ds.train_labels, mc, nullptr);
+  EXPECT_EQ(plain.predict_all(f.ds.test_sentences),
+            zero.predict_all(f.ds.test_sentences));
+}
+
+TEST(Stabilizer, ChurnDecreasesWithLambda) {
+  const Fixture f = Fixture::make();
+  LinearBowConfig mc;
+  const LinearBowClassifier old_model(f.old_embedding, f.ds.train_sentences,
+                                      f.ds.train_labels, mc);
+  const auto anchor = old_model.probabilities_all(f.ds.train_sentences);
+
+  std::vector<double> churns;
+  for (const float lambda : {0.0f, 0.5f, 0.9f}) {
+    LinearBowConfig sc = mc;
+    sc.stabilization_lambda = lambda;
+    const LinearBowClassifier next(
+        f.new_embedding, f.ds.train_sentences, f.ds.train_labels, sc,
+        lambda > 0.0f ? &anchor : nullptr);
+    churns.push_back(churn(old_model, next, f.ds.test_sentences));
+  }
+  EXPECT_LT(churns[2], churns[0])
+      << "strong stabilization must reduce churn vs plain retraining";
+  EXPECT_LE(churns[1], churns[0] + 0.5)
+      << "moderate stabilization must not increase churn";
+}
+
+TEST(Stabilizer, StrongStabilizationKeepsUsableAccuracy) {
+  const Fixture f = Fixture::make();
+  LinearBowConfig mc;
+  const LinearBowClassifier old_model(f.old_embedding, f.ds.train_sentences,
+                                      f.ds.train_labels, mc);
+  const auto anchor = old_model.probabilities_all(f.ds.train_sentences);
+
+  LinearBowConfig sc = mc;
+  sc.stabilization_lambda = 0.5f;
+  const LinearBowClassifier stabilized(f.new_embedding, f.ds.train_sentences,
+                                       f.ds.train_labels, sc, &anchor);
+  const LinearBowClassifier plain(f.new_embedding, f.ds.train_sentences,
+                                  f.ds.train_labels, mc);
+  const double acc_plain =
+      accuracy(plain, f.ds.test_sentences, f.ds.test_labels);
+  const double acc_stab =
+      accuracy(stabilized, f.ds.test_sentences, f.ds.test_labels);
+  EXPECT_GT(acc_stab, 55.0);
+  EXPECT_GT(acc_stab, acc_plain - 10.0)
+      << "λ=0.5 must not collapse accuracy";
+}
+
+TEST(Stabilizer, RejectsInconsistentInputs) {
+  const Fixture f = Fixture::make();
+  LinearBowConfig mc;
+  mc.stabilization_lambda = 0.5f;
+  // Missing anchor with lambda > 0.
+  EXPECT_THROW(LinearBowClassifier(f.new_embedding, f.ds.train_sentences,
+                                   f.ds.train_labels, mc, nullptr),
+               CheckError);
+  // Anchor supplied with lambda == 0.
+  mc.stabilization_lambda = 0.0f;
+  const std::vector<std::vector<float>> anchor(f.ds.train_sentences.size(),
+                                               {0.5f, 0.5f});
+  EXPECT_THROW(LinearBowClassifier(f.new_embedding, f.ds.train_sentences,
+                                   f.ds.train_labels, mc, &anchor),
+               CheckError);
+  // Wrong anchor size.
+  mc.stabilization_lambda = 0.5f;
+  const std::vector<std::vector<float>> short_anchor(3, {0.5f, 0.5f});
+  EXPECT_THROW(LinearBowClassifier(f.new_embedding, f.ds.train_sentences,
+                                   f.ds.train_labels, mc, &short_anchor),
+               CheckError);
+  // Out-of-range lambda.
+  mc.stabilization_lambda = 1.5f;
+  EXPECT_THROW(LinearBowClassifier(f.new_embedding, f.ds.train_sentences,
+                                   f.ds.train_labels, mc, &anchor),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace anchor::model

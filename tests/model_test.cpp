@@ -1,0 +1,346 @@
+// Tests for the downstream models: optimizers, linear bag-of-words, text
+// CNN, and the BiLSTM(-CRF) tagger. The BiLSTM gradients are validated
+// against finite differences and the CRF against brute-force enumeration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/bilstm.hpp"
+#include "model/linear_bow.hpp"
+#include "model/optimizer.hpp"
+#include "model/text_cnn.hpp"
+#include "util/rng.hpp"
+
+namespace anchor::model {
+namespace {
+
+embed::Embedding random_embedding(std::size_t vocab, std::size_t dim,
+                                  std::uint64_t seed) {
+  Rng rng(seed);
+  embed::Embedding e(vocab, dim);
+  for (auto& x : e.data) x = static_cast<float>(rng.normal(0.0, 0.5));
+  return e;
+}
+
+/// Synthetic linearly separable sentences: label 1 sentences use words
+/// [0, vocab/2), label 0 sentences use the other half.
+void separable_dataset(std::size_t n, std::size_t vocab, std::uint64_t seed,
+                       std::vector<std::vector<std::int32_t>>& sentences,
+                       std::vector<std::int32_t>& labels) {
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool pos = rng.bernoulli(0.5);
+    std::vector<std::int32_t> s(6);
+    for (auto& t : s) {
+      const std::size_t half = vocab / 2;
+      t = static_cast<std::int32_t>(pos ? rng.index(half)
+                                        : half + rng.index(half));
+    }
+    sentences.push_back(std::move(s));
+    labels.push_back(pos ? 1 : 0);
+  }
+}
+
+TEST(Adam, MinimizesQuadratic) {
+  std::vector<float> params = {5.0f, -3.0f};
+  Adam opt(2, 0.1f);
+  for (int i = 0; i < 500; ++i) {
+    const std::vector<float> grads = {2.0f * params[0], 2.0f * params[1]};
+    opt.step(params, grads);
+  }
+  EXPECT_NEAR(params[0], 0.0f, 1e-2);
+  EXPECT_NEAR(params[1], 0.0f, 1e-2);
+}
+
+TEST(Adam, SizeMismatchThrows) {
+  std::vector<float> params = {1.0f};
+  Adam opt(2);
+  EXPECT_THROW(opt.step(params, {1.0f}), CheckError);
+}
+
+TEST(Sgd, BasicStepAndClipping) {
+  std::vector<float> params = {0.0f};
+  Sgd opt(0.5f, /*clip_norm=*/1.0f);
+  opt.step(params, {10.0f});  // clipped to norm 1 → step = −0.5
+  EXPECT_NEAR(params[0], -0.5f, 1e-6);
+  Sgd unclipped(0.5f);
+  params = {0.0f};
+  unclipped.step(params, {10.0f});
+  EXPECT_NEAR(params[0], -5.0f, 1e-6);
+}
+
+TEST(LinearBow, LearnsSeparableTask) {
+  const embed::Embedding emb = random_embedding(40, 12, 1);
+  std::vector<std::vector<std::int32_t>> sentences;
+  std::vector<std::int32_t> labels;
+  separable_dataset(300, 40, 2, sentences, labels);
+
+  LinearBowConfig config;
+  config.epochs = 25;
+  config.learning_rate = 0.01f;
+  const LinearBowClassifier clf(emb, sentences, labels, config);
+
+  std::vector<std::vector<std::int32_t>> test_s;
+  std::vector<std::int32_t> test_l;
+  separable_dataset(200, 40, 3, test_s, test_l);
+  const auto preds = clf.predict_all(test_s);
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    hits += (preds[i] == test_l[i]);
+  }
+  EXPECT_GT(static_cast<double>(hits) / preds.size(), 0.9);
+}
+
+TEST(LinearBow, DeterministicGivenSeeds) {
+  const embed::Embedding emb = random_embedding(30, 8, 4);
+  std::vector<std::vector<std::int32_t>> sentences;
+  std::vector<std::int32_t> labels;
+  separable_dataset(100, 30, 5, sentences, labels);
+  LinearBowConfig config;
+  config.epochs = 5;
+  const LinearBowClassifier a(emb, sentences, labels, config);
+  const LinearBowClassifier b(emb, sentences, labels, config);
+  EXPECT_EQ(a.predict_all(sentences), b.predict_all(sentences));
+}
+
+TEST(LinearBow, InitSeedChangesTraining) {
+  const embed::Embedding emb = random_embedding(30, 8, 6);
+  std::vector<std::vector<std::int32_t>> sentences;
+  std::vector<std::int32_t> labels;
+  separable_dataset(100, 30, 7, sentences, labels);
+  LinearBowConfig a_cfg;
+  a_cfg.epochs = 2;
+  LinearBowConfig b_cfg = a_cfg;
+  b_cfg.init_seed = 99;
+  const LinearBowClassifier a(emb, sentences, labels, a_cfg);
+  const LinearBowClassifier b(emb, sentences, labels, b_cfg);
+  // With few epochs the decision boundary still reflects the init.
+  EXPECT_NE(a.predict_all(sentences), b.predict_all(sentences));
+}
+
+TEST(LinearBow, FineTuningMutatesOwnCopyOnly) {
+  const embed::Embedding emb = random_embedding(30, 8, 8);
+  std::vector<std::vector<std::int32_t>> sentences;
+  std::vector<std::int32_t> labels;
+  separable_dataset(80, 30, 9, sentences, labels);
+  LinearBowConfig config;
+  config.epochs = 3;
+  config.fine_tune_embeddings = true;
+  const LinearBowClassifier clf(emb, sentences, labels, config);
+  EXPECT_NE(clf.embedding().data, emb.data);   // model's copy was updated
+  // Caller's embedding shows the original values (copied, not referenced).
+  const embed::Embedding fresh = random_embedding(30, 8, 8);
+  EXPECT_EQ(emb.data, fresh.data);
+}
+
+TEST(LinearBow, EmptySentencePredictsFromBias) {
+  const embed::Embedding emb = random_embedding(10, 4, 10);
+  std::vector<std::vector<std::int32_t>> sentences = {{1, 2}, {3, 4}};
+  std::vector<std::int32_t> labels = {0, 1};
+  LinearBowConfig config;
+  config.epochs = 1;
+  const LinearBowClassifier clf(emb, sentences, labels, config);
+  const std::int32_t p = clf.predict({});
+  EXPECT_TRUE(p == 0 || p == 1);
+}
+
+TEST(TextCnn, LearnsSeparableTask) {
+  const embed::Embedding emb = random_embedding(40, 10, 11);
+  std::vector<std::vector<std::int32_t>> sentences;
+  std::vector<std::int32_t> labels;
+  separable_dataset(300, 40, 12, sentences, labels);
+  TextCnnConfig config;
+  config.channels = 4;
+  config.epochs = 12;
+  config.learning_rate = 5e-3f;
+  config.dropout = 0.2f;
+  const TextCnn cnn(emb, sentences, labels, config);
+  std::vector<std::vector<std::int32_t>> test_s;
+  std::vector<std::int32_t> test_l;
+  separable_dataset(150, 40, 13, test_s, test_l);
+  const auto preds = cnn.predict_all(test_s);
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    hits += (preds[i] == test_l[i]);
+  }
+  EXPECT_GT(static_cast<double>(hits) / preds.size(), 0.85);
+}
+
+TEST(TextCnn, HandlesSentencesShorterThanKernel) {
+  const embed::Embedding emb = random_embedding(20, 6, 14);
+  std::vector<std::vector<std::int32_t>> sentences = {{1}, {2, 3}, {4, 5, 6}};
+  std::vector<std::int32_t> labels = {0, 1, 0};
+  TextCnnConfig config;
+  config.channels = 2;
+  config.epochs = 2;
+  const TextCnn cnn(emb, sentences, labels, config);
+  EXPECT_NO_THROW(cnn.predict({7}));
+}
+
+TEST(TextCnn, DeterministicGivenSeeds) {
+  const embed::Embedding emb = random_embedding(25, 6, 15);
+  std::vector<std::vector<std::int32_t>> sentences;
+  std::vector<std::int32_t> labels;
+  separable_dataset(60, 25, 16, sentences, labels);
+  TextCnnConfig config;
+  config.channels = 3;
+  config.epochs = 3;
+  const TextCnn a(emb, sentences, labels, config);
+  const TextCnn b(emb, sentences, labels, config);
+  EXPECT_EQ(a.predict_all(sentences), b.predict_all(sentences));
+}
+
+// ---------- BiLSTM ----------
+
+BiLstmConfig tiny_bilstm_config(bool crf) {
+  BiLstmConfig c;
+  c.num_tags = 3;
+  c.hidden = 4;
+  c.epochs = 1;
+  c.word_dropout = 0.0f;
+  c.locked_dropout = 0.0f;
+  c.use_crf = crf;
+  return c;
+}
+
+TEST(BiLstm, GradientMatchesFiniteDifference) {
+  const embed::Embedding emb = random_embedding(12, 5, 17);
+  const std::vector<std::vector<std::int32_t>> train = {{0, 1, 2}};
+  const std::vector<std::vector<std::int32_t>> tags = {{0, 1, 2}};
+  for (const bool crf : {false, true}) {
+    BiLstmTagger tagger(emb, train, tags, tiny_bilstm_config(crf));
+    const std::vector<std::int32_t> sentence = {3, 7, 1, 5};
+    const std::vector<std::int32_t> gold = {1, 0, 2, 1};
+    const std::vector<float> analytic =
+        tagger.example_gradient(sentence, gold, nullptr, nullptr);
+
+    Rng rng(18);
+    const float eps = 1e-3f;
+    int checked = 0;
+    for (int trial = 0; trial < 40; ++trial) {
+      const std::size_t idx = rng.index(tagger.parameters().size());
+      const float saved = tagger.parameters()[idx];
+      tagger.parameters()[idx] = saved + eps;
+      const double up = tagger.loss(sentence, gold);
+      tagger.parameters()[idx] = saved - eps;
+      const double down = tagger.loss(sentence, gold);
+      tagger.parameters()[idx] = saved;
+      const double numeric = (up - down) / (2.0 * eps);
+      if (std::abs(numeric) < 1e-5 && std::abs(analytic[idx]) < 1e-5) continue;
+      EXPECT_NEAR(analytic[idx], numeric,
+                  2e-2 * std::max(1.0, std::abs(numeric)))
+          << "param " << idx << " crf=" << crf;
+      ++checked;
+    }
+    EXPECT_GT(checked, 5);
+  }
+}
+
+TEST(BiLstm, CrfLossMatchesBruteForceEnumeration) {
+  const embed::Embedding emb = random_embedding(10, 4, 19);
+  const std::vector<std::vector<std::int32_t>> train = {{0, 1}};
+  const std::vector<std::vector<std::int32_t>> tags = {{0, 1}};
+  BiLstmTagger tagger(emb, train, tags, tiny_bilstm_config(true));
+
+  const std::vector<std::int32_t> sentence = {2, 5, 8};
+  const std::vector<std::int32_t> gold = {1, 2, 0};
+  const double nll = tagger.loss(sentence, gold);
+
+  // Brute force: logZ over all 3^3 paths using the emissions + CRF params.
+  // Recover path scores through loss() itself: score(y) = logZ − nll(y), so
+  // Σ_y exp(score(y)) must equal exp(logZ) ⇔ Σ_y exp(−nll(y)) = 1.
+  double total = 0.0;
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      for (int c = 0; c < 3; ++c) {
+        total += std::exp(-tagger.loss(sentence, {a, b, c}));
+      }
+    }
+  }
+  EXPECT_NEAR(total, 1.0, 1e-4);
+  EXPECT_GT(nll, 0.0);
+}
+
+TEST(BiLstm, ViterbiMatchesBruteForceArgmax) {
+  const embed::Embedding emb = random_embedding(10, 4, 20);
+  const std::vector<std::vector<std::int32_t>> train = {{0, 1, 2}, {3, 4, 5}};
+  const std::vector<std::vector<std::int32_t>> tags = {{0, 1, 2}, {1, 0, 2}};
+  BiLstmConfig config = tiny_bilstm_config(true);
+  config.epochs = 2;
+  BiLstmTagger tagger(emb, train, tags, config);
+
+  const std::vector<std::int32_t> sentence = {6, 2, 9};
+  const std::vector<std::int32_t> decoded = tagger.predict(sentence);
+  double best = 1e300;
+  std::vector<std::int32_t> best_path;
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      for (int c = 0; c < 3; ++c) {
+        const double nll = tagger.loss(sentence, {a, b, c});
+        if (nll < best) {
+          best = nll;
+          best_path = {a, b, c};
+        }
+      }
+    }
+  }
+  EXPECT_EQ(decoded, best_path);
+}
+
+TEST(BiLstm, LearnsPositionalTaggingTask) {
+  // Task: words < 10 get tag 1, words ≥ 10 get tag 0 — learnable from the
+  // embedding alone.
+  embed::Embedding emb = random_embedding(20, 6, 21);
+  Rng rng(22);
+  std::vector<std::vector<std::int32_t>> train, tags;
+  for (int i = 0; i < 120; ++i) {
+    std::vector<std::int32_t> s(5), t(5);
+    for (int j = 0; j < 5; ++j) {
+      s[j] = static_cast<std::int32_t>(rng.index(20));
+      t[j] = s[j] < 10 ? 1 : 0;
+    }
+    train.push_back(std::move(s));
+    tags.push_back(std::move(t));
+  }
+  BiLstmConfig config;
+  config.num_tags = 2;
+  config.hidden = 8;
+  config.epochs = 4;
+  config.word_dropout = 0.0f;
+  config.locked_dropout = 0.0f;
+  const BiLstmTagger tagger(emb, train, tags, config);
+
+  std::size_t hits = 0, total = 0;
+  for (int i = 0; i < 30; ++i) {
+    std::vector<std::int32_t> s(5);
+    for (auto& w : s) w = static_cast<std::int32_t>(rng.index(20));
+    const auto pred = tagger.predict(s);
+    for (int j = 0; j < 5; ++j) {
+      hits += (pred[j] == (s[j] < 10 ? 1 : 0));
+      ++total;
+    }
+  }
+  EXPECT_GT(static_cast<double>(hits) / total, 0.85);
+}
+
+TEST(BiLstm, PredictFlatConcatenatesSentences) {
+  const embed::Embedding emb = random_embedding(10, 4, 23);
+  const std::vector<std::vector<std::int32_t>> train = {{0, 1}};
+  const std::vector<std::vector<std::int32_t>> tags = {{0, 1}};
+  const BiLstmTagger tagger(emb, train, tags, tiny_bilstm_config(false));
+  const auto flat = tagger.predict_flat({{1, 2, 3}, {4, 5}});
+  EXPECT_EQ(flat.size(), 5u);
+}
+
+TEST(BiLstm, EmissionsShape) {
+  const embed::Embedding emb = random_embedding(10, 4, 24);
+  const std::vector<std::vector<std::int32_t>> train = {{0, 1}};
+  const std::vector<std::vector<std::int32_t>> tags = {{0, 1}};
+  const BiLstmTagger tagger(emb, train, tags, tiny_bilstm_config(false));
+  const auto e = tagger.emissions({1, 2, 3, 4});
+  ASSERT_EQ(e.size(), 4u);
+  EXPECT_EQ(e[0].size(), 3u);
+}
+
+}  // namespace
+}  // namespace anchor::model

@@ -1,0 +1,112 @@
+// Pipeline integration tests for the extension embedding algorithms (SGNS,
+// PPMI-SVD): cache-key separation from the main trio, end-to-end
+// instability and measures, and deterministic re-reads from the cache.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "pipeline/pipeline.hpp"
+
+namespace anchor::pipeline {
+namespace {
+
+PipelineConfig tiny_config() {
+  PipelineConfig c;
+  c.vocab = 200;
+  c.latent_dim = 6;
+  c.num_topics = 6;
+  c.num_documents = 150;
+  c.dims = {8, 16};
+  c.precisions = {1, 32};
+  c.seeds = {1};
+  c.reference_dim = 16;
+  c.knn_queries = 60;
+  c.sentiment_scale_train = 400;
+  c.ner_train = 80;
+  c.ner_test = 50;
+  c.ner_hidden = 6;
+  c.ner_epochs = 2;
+  c.epoch_scale = 0.5;
+  return c;
+}
+
+class PipelineExtTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("anchor_pipeline_ext_test_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir_);
+    pipe_ = std::make_unique<Pipeline>(tiny_config(), dir_.string());
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+  std::unique_ptr<Pipeline> pipe_;
+};
+
+TEST_F(PipelineExtTest, ExtensionAlgosProduceDistinctEmbeddings) {
+  const auto sgns = pipe_->raw_embedding(Year::k17, embed::Algo::kSgns, 8, 1);
+  const auto svd = pipe_->raw_embedding(Year::k17, embed::Algo::kPpmiSvd, 8, 1);
+  const auto cbow = pipe_->raw_embedding(Year::k17, embed::Algo::kCbow, 8, 1);
+  EXPECT_EQ(sgns.dim, 8u);
+  EXPECT_EQ(svd.dim, 8u);
+  EXPECT_NE(sgns.data, cbow.data) << "cache keys must separate algorithms";
+  EXPECT_NE(svd.data, cbow.data);
+  EXPECT_NE(sgns.data, svd.data);
+}
+
+TEST_F(PipelineExtTest, CachedReReadIsIdentical) {
+  const auto first = pipe_->raw_embedding(Year::k18, embed::Algo::kSgns, 8, 1);
+  const auto second =
+      pipe_->raw_embedding(Year::k18, embed::Algo::kSgns, 8, 1);
+  EXPECT_EQ(first.data, second.data);
+
+  // A fresh pipeline over the same cache dir must read the same artifact.
+  Pipeline other(tiny_config(), dir_.string());
+  EXPECT_EQ(other.raw_embedding(Year::k18, embed::Algo::kSgns, 8, 1).data,
+            first.data);
+}
+
+TEST_F(PipelineExtTest, EndToEndInstabilityInRange) {
+  for (const auto algo : {embed::Algo::kSgns, embed::Algo::kPpmiSvd}) {
+    const double di = pipe_->downstream_instability("sst2", algo, 8, 32, 1);
+    EXPECT_GE(di, 0.0) << embed::algo_name(algo);
+    EXPECT_LE(di, 100.0) << embed::algo_name(algo);
+  }
+}
+
+TEST_F(PipelineExtTest, MeasuresOrientedForExtensionAlgos) {
+  for (const auto algo : {embed::Algo::kSgns, embed::Algo::kPpmiSvd}) {
+    const auto m = pipe_->measures(algo, 8, 1, 1);
+    for (const double v : m) {
+      EXPECT_TRUE(std::isfinite(v)) << embed::algo_name(algo);
+    }
+    // EIS and 1−kNN live in [0, ~2] and [0, 1]; coarse sanity bounds.
+    EXPECT_GE(m[0], 0.0);
+    EXPECT_GE(m[1], 0.0);
+    EXPECT_LE(m[1], 1.0);
+  }
+}
+
+TEST_F(PipelineExtTest, PpmiSvdPairAlignsLikeOtherAlgos) {
+  const auto [x17, x18] = pipe_->aligned_pair(embed::Algo::kPpmiSvd, 8, 1);
+  EXPECT_EQ(x17.vocab_size, x18.vocab_size);
+  EXPECT_EQ(x17.dim, x18.dim);
+  // Alignment must not be a no-op: the aligned pair should be closer in
+  // Frobenius distance than the raw pair.
+  const auto raw17 = pipe_->raw_embedding(Year::k17, embed::Algo::kPpmiSvd, 8, 1);
+  const auto raw18 = pipe_->raw_embedding(Year::k18, embed::Algo::kPpmiSvd, 8, 1);
+  auto dist = [](const embed::Embedding& a, const embed::Embedding& b) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.data.size(); ++i) {
+      const double d = static_cast<double>(a.data[i]) - b.data[i];
+      acc += d * d;
+    }
+    return acc;
+  };
+  EXPECT_LE(dist(x17, x18), dist(raw17, raw18) + 1e-9);
+}
+
+}  // namespace
+}  // namespace anchor::pipeline

@@ -1,0 +1,241 @@
+// Integration tests for the experiment pipeline at miniature scale:
+// caching, alignment, quantization threading, downstream instability, and
+// the end-to-end shape checks the paper's conclusions rest on.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "la/matrix.hpp"
+#include "pipeline/pipeline.hpp"
+
+namespace anchor::pipeline {
+namespace {
+
+PipelineConfig tiny_config() {
+  PipelineConfig c;
+  c.vocab = 200;
+  c.latent_dim = 6;
+  c.num_topics = 6;
+  c.num_documents = 150;
+  c.dims = {8, 16};
+  c.precisions = {1, 8, 32};
+  c.seeds = {1};
+  c.reference_dim = 16;
+  c.knn_queries = 60;
+  c.sentiment_scale_train = 400;
+  c.ner_train = 80;
+  c.ner_test = 50;
+  c.ner_hidden = 6;
+  c.ner_epochs = 2;
+  c.epoch_scale = 0.5;
+  return c;
+}
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("anchor_pipeline_test_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir_);
+    pipe_ = std::make_unique<Pipeline>(tiny_config(), dir_.string());
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+  std::unique_ptr<Pipeline> pipe_;
+};
+
+TEST_F(PipelineTest, TaskListAndNerDetection) {
+  EXPECT_EQ(Pipeline::all_tasks().size(), 5u);
+  EXPECT_TRUE(Pipeline::is_ner_task("conll2003"));
+  EXPECT_FALSE(Pipeline::is_ner_task("sst2"));
+}
+
+TEST_F(PipelineTest, EmbeddingCachingIsStable) {
+  const embed::Embedding a =
+      pipe_->raw_embedding(Year::k17, embed::Algo::kMc, 8, 1);
+  const embed::Embedding b =
+      pipe_->raw_embedding(Year::k17, embed::Algo::kMc, 8, 1);
+  EXPECT_EQ(a.data, b.data);
+  EXPECT_EQ(a.vocab_size, 200u);
+  EXPECT_EQ(a.dim, 8u);
+}
+
+TEST_F(PipelineTest, CachePersistsAcrossPipelineInstances) {
+  const embed::Embedding a =
+      pipe_->raw_embedding(Year::k17, embed::Algo::kMc, 4, 1);
+  Pipeline second(tiny_config(), dir_.string());
+  const embed::Embedding b =
+      second.raw_embedding(Year::k17, embed::Algo::kMc, 4, 1);
+  EXPECT_EQ(a.data, b.data);
+}
+
+TEST_F(PipelineTest, YearsDiffer) {
+  const embed::Embedding a =
+      pipe_->raw_embedding(Year::k17, embed::Algo::kMc, 8, 1);
+  const embed::Embedding b =
+      pipe_->raw_embedding(Year::k18, embed::Algo::kMc, 8, 1);
+  EXPECT_NE(a.data, b.data);
+}
+
+TEST_F(PipelineTest, AlignmentReducesFrobeniusDistance) {
+  const embed::Embedding raw17 =
+      pipe_->raw_embedding(Year::k17, embed::Algo::kMc, 8, 1);
+  const embed::Embedding raw18 =
+      pipe_->raw_embedding(Year::k18, embed::Algo::kMc, 8, 1);
+  auto [x17, x18] = pipe_->aligned_pair(embed::Algo::kMc, 8, 1);
+  EXPECT_EQ(x17.data, raw17.data);  // the anchor side is untouched
+  const double before = la::frobenius_norm(
+      la::subtract(raw17.to_matrix(), raw18.to_matrix()));
+  const double after =
+      la::frobenius_norm(la::subtract(x17.to_matrix(), x18.to_matrix()));
+  EXPECT_LE(after, before + 1e-9);
+}
+
+TEST_F(PipelineTest, QuantizedPairSharesLevelGrid) {
+  auto [q17, q18] = pipe_->quantized_pair(embed::Algo::kMc, 8, 1, 2);
+  std::set<float> levels(q17.data.begin(), q17.data.end());
+  EXPECT_LE(levels.size(), 4u);
+  for (const float v : q18.data) {
+    EXPECT_TRUE(levels.count(v) > 0) << "X18 value off X17's grid: " << v;
+  }
+}
+
+TEST_F(PipelineTest, FullPrecisionQuantizedPairIsAlignedPair) {
+  auto [a17, a18] = pipe_->aligned_pair(embed::Algo::kMc, 8, 1);
+  auto [q17, q18] = pipe_->quantized_pair(embed::Algo::kMc, 8, 1, 32);
+  EXPECT_EQ(q17.data, a17.data);
+  EXPECT_EQ(q18.data, a18.data);
+}
+
+TEST_F(PipelineTest, PredictionsDeterministicAndCached) {
+  const auto a = pipe_->predictions("sst2", Year::k17, embed::Algo::kMc, 8,
+                                    32, 1);
+  const auto b = pipe_->predictions("sst2", Year::k17, embed::Algo::kMc, 8,
+                                    32, 1);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), pipe_->sentiment_dataset("sst2").test_labels.size());
+  for (const auto p : a) EXPECT_TRUE(p == 0 || p == 1);
+}
+
+TEST_F(PipelineTest, NerPredictionsFlattenTestTokens) {
+  const auto p = pipe_->predictions("conll2003", Year::k17, embed::Algo::kMc,
+                                    8, 32, 1);
+  EXPECT_EQ(p.size(), pipe_->ner_dataset().flat_test_gold().size());
+}
+
+TEST_F(PipelineTest, InstabilityWithinRangeAndNonzero) {
+  const double di =
+      pipe_->downstream_instability("sst2", embed::Algo::kMc, 8, 1, 1);
+  EXPECT_GE(di, 0.0);
+  EXPECT_LE(di, 100.0);
+  // 1-bit embeddings from drifted corpora virtually always disagree some.
+  EXPECT_GT(di, 0.0);
+}
+
+TEST_F(PipelineTest, QualityIsReasonable) {
+  const double acc =
+      pipe_->quality("sst2", Year::k17, embed::Algo::kMc, 8, 32, 1);
+  EXPECT_GT(acc, 50.0);  // better than chance
+  EXPECT_LE(acc, 100.0);
+}
+
+TEST_F(PipelineTest, MeasuresFiniteAndOriented) {
+  const auto m = pipe_->measures(embed::Algo::kMc, 8, 8, 1);
+  for (const double v : m) EXPECT_TRUE(std::isfinite(v));
+  // EIS, 1−kNN, 1−overlap are in [0, 1]; displacement and PIP ≥ 0.
+  EXPECT_GE(m[0], -1e-9);
+  EXPECT_LE(m[0], 1.0 + 1e-9);
+  EXPECT_GE(m[1], -1e-9);
+  EXPECT_LE(m[1], 1.0 + 1e-9);
+  EXPECT_GE(m[2], 0.0);
+  EXPECT_GE(m[3], 0.0);
+  EXPECT_GE(m[4], -1e-9);
+  EXPECT_LE(m[4], 1.0 + 1e-9);
+}
+
+TEST_F(PipelineTest, LowerPrecisionHasLargerMeasureDistance) {
+  const auto coarse = pipe_->measures(embed::Algo::kMc, 8, 1, 1);
+  const auto fine = pipe_->measures(embed::Algo::kMc, 8, 32, 1);
+  // Semantic displacement measures per-word movement after alignment and
+  // grows robustly as precision collapses. (PIP loss is scale-sensitive —
+  // aggressive quantization shrinks all norms — so it is not asserted here;
+  // the paper's Table 1 likewise reports weak/negative PIP correlations.)
+  EXPECT_GT(coarse[2], fine[2]);
+}
+
+TEST_F(PipelineTest, EisAlphaAndKnnKVariants) {
+  const double a0 = pipe_->eis_with_alpha(embed::Algo::kMc, 8, 8, 1, 0.0);
+  const double a3 = pipe_->eis_with_alpha(embed::Algo::kMc, 8, 8, 1, 3.0);
+  EXPECT_TRUE(std::isfinite(a0));
+  EXPECT_TRUE(std::isfinite(a3));
+  EXPECT_NE(a0, a3);
+  const double k1 = pipe_->knn_with_k(embed::Algo::kMc, 8, 8, 1, 1);
+  const double k10 = pipe_->knn_with_k(embed::Algo::kMc, 8, 8, 1, 10);
+  EXPECT_GE(k1, 0.0);
+  EXPECT_LE(k10, 1.0);
+}
+
+TEST_F(PipelineTest, ConfigGridCoversAllCells) {
+  const auto grid = pipe_->config_grid("sst2", embed::Algo::kMc, 1);
+  EXPECT_EQ(grid.size(), 2u * 3u);  // dims × precisions
+  for (const auto& p : grid) {
+    EXPECT_EQ(p.measures.size(), 5u);
+    EXPECT_GE(p.downstream_instability_pct, 0.0);
+  }
+}
+
+TEST_F(PipelineTest, InstabilityGridAveragesSeeds) {
+  const auto grid = pipe_->instability_grid("sst2", embed::Algo::kMc);
+  EXPECT_EQ(grid.size(), 6u);
+  for (const auto& cell : grid) {
+    EXPECT_EQ(cell.per_seed_pct.size(), 1u);
+    EXPECT_DOUBLE_EQ(cell.mean_pct, cell.per_seed_pct[0]);
+  }
+}
+
+TEST_F(PipelineTest, StabilityMemoryShape) {
+  // The paper's headline: more memory ⇒ (weakly) less instability. At tiny
+  // scale we assert the extremes: the highest-memory cell is no less stable
+  // than the lowest-memory cell.
+  const auto grid = pipe_->instability_grid("sst2", embed::Algo::kMc);
+  double lo_mem = 1e18, hi_mem = -1;
+  double lo_di = 0, hi_di = 0;
+  for (const auto& cell : grid) {
+    const double mem = static_cast<double>(cell.dim) * cell.bits;
+    if (mem < lo_mem) {
+      lo_mem = mem;
+      lo_di = cell.mean_pct;
+    }
+    if (mem > hi_mem) {
+      hi_mem = mem;
+      hi_di = cell.mean_pct;
+    }
+  }
+  EXPECT_LE(hi_di, lo_di + 1e-9);
+}
+
+TEST_F(PipelineTest, DownstreamOptionsChangeCacheKey) {
+  DownstreamOptions default_opts;
+  DownstreamOptions decoupled;
+  decoupled.init_seed = 99;
+  const auto a = pipe_->predictions("sst2", Year::k17, embed::Algo::kMc, 8,
+                                    32, 1, default_opts);
+  const auto b = pipe_->predictions("sst2", Year::k17, embed::Algo::kMc, 8,
+                                    32, 1, decoupled);
+  EXPECT_NE(a, b);  // different init seed trains a different model
+}
+
+TEST_F(PipelineTest, SignatureDistinguishesConfigs) {
+  PipelineConfig a = tiny_config();
+  PipelineConfig b = tiny_config();
+  b.drift = 0.999;
+  EXPECT_NE(a.signature(), b.signature());
+  DownstreamOptions o1, o2;
+  o2.fine_tune = true;
+  EXPECT_NE(o1.signature(), o2.signature());
+}
+
+}  // namespace
+}  // namespace anchor::pipeline

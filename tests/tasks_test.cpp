@@ -1,0 +1,187 @@
+// Tests for the synthetic downstream tasks: learnability from the latent
+// ground truth, determinism, profile distinctness, and NER structure.
+#include <gtest/gtest.h>
+
+#include "model/linear_bow.hpp"
+#include "tasks/ner.hpp"
+#include "tasks/sentiment.hpp"
+
+namespace anchor::tasks {
+namespace {
+
+text::LatentSpace task_space() {
+  text::LatentSpaceConfig c;
+  c.vocab_size = 400;
+  c.latent_dim = 12;
+  c.num_topics = 8;
+  c.seed = 33;
+  return text::LatentSpace(c);
+}
+
+SentimentTaskConfig small_sentiment() {
+  SentimentTaskConfig c;
+  c.train_size = 400;
+  c.val_size = 80;
+  c.test_size = 150;
+  return c;
+}
+
+TEST(Sentiment, SplitSizesMatchConfig) {
+  const auto ds = make_sentiment_task(task_space(), small_sentiment());
+  EXPECT_EQ(ds.train_sentences.size(), 400u);
+  EXPECT_EQ(ds.train_labels.size(), 400u);
+  EXPECT_EQ(ds.val_sentences.size(), 80u);
+  EXPECT_EQ(ds.test_sentences.size(), 150u);
+  for (const auto& s : ds.train_sentences) {
+    EXPECT_EQ(s.size(), small_sentiment().sentence_length);
+  }
+}
+
+TEST(Sentiment, LabelsRoughlyBalanced) {
+  const auto ds = make_sentiment_task(task_space(), small_sentiment());
+  std::size_t pos = 0;
+  for (const auto l : ds.train_labels) pos += l;
+  const double frac = static_cast<double>(pos) / ds.train_labels.size();
+  EXPECT_GT(frac, 0.4);
+  EXPECT_LT(frac, 0.6);
+}
+
+TEST(Sentiment, DeterministicGivenSeed) {
+  const text::LatentSpace space = task_space();
+  const auto a = make_sentiment_task(space, small_sentiment());
+  const auto b = make_sentiment_task(space, small_sentiment());
+  EXPECT_EQ(a.train_sentences, b.train_sentences);
+  EXPECT_EQ(a.train_labels, b.train_labels);
+}
+
+TEST(Sentiment, LearnableFromGroundTruthVectors) {
+  // A linear model over the *true* latent vectors must solve the task well —
+  // this is the learnability guarantee the whole pipeline rests on.
+  const text::LatentSpace space = task_space();
+  SentimentTaskConfig config = small_sentiment();
+  config.train_size = 800;
+  const auto ds = make_sentiment_task(space, config);
+
+  embed::Embedding truth(space.vocab_size(), space.latent_dim());
+  for (std::size_t w = 0; w < space.vocab_size(); ++w) {
+    for (std::size_t j = 0; j < space.latent_dim(); ++j) {
+      truth.row(w)[j] = static_cast<float>(space.word_vectors()(w, j));
+    }
+  }
+  model::LinearBowConfig mc;
+  mc.epochs = 40;
+  const model::LinearBowClassifier clf(truth, ds.train_sentences,
+                                       ds.train_labels, mc);
+  const auto preds = clf.predict_all(ds.test_sentences);
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    hits += (preds[i] == ds.test_labels[i]);
+  }
+  EXPECT_GT(static_cast<double>(hits) / preds.size(), 0.8);
+}
+
+TEST(Sentiment, ProfilesAreDistinctAndComplete) {
+  ASSERT_EQ(sentiment_task_names().size(), 4u);
+  std::set<std::uint64_t> seeds;
+  for (const auto& name : sentiment_task_names()) {
+    const SentimentTaskConfig c = sentiment_profile(name);
+    EXPECT_EQ(c.name, name);
+    seeds.insert(c.seed);
+  }
+  EXPECT_EQ(seeds.size(), 4u);  // distinct θ per task
+  // Subj is configured easier (stabler) than MR, matching the paper.
+  EXPECT_GT(sentiment_profile("subj").polarity_strength,
+            sentiment_profile("mr").polarity_strength);
+  EXPECT_LT(sentiment_profile("subj").label_noise,
+            sentiment_profile("mr").label_noise);
+  EXPECT_LT(sentiment_profile("mpqa").sentence_length,
+            sentiment_profile("sst2").sentence_length);
+}
+
+TEST(Sentiment, UnknownProfileThrows) {
+  EXPECT_THROW(sentiment_profile("imdb"), CheckError);
+}
+
+NerTaskConfig small_ner() {
+  NerTaskConfig c;
+  c.train_size = 150;
+  c.test_size = 80;
+  c.gazetteer_size = 40;
+  return c;
+}
+
+TEST(Ner, DatasetShapesAndTagRange) {
+  const auto ds = make_ner_task(task_space(), small_ner());
+  EXPECT_EQ(ds.train_sentences.size(), 150u);
+  EXPECT_EQ(ds.test_sentences.size(), 80u);
+  for (std::size_t i = 0; i < ds.train_sentences.size(); ++i) {
+    ASSERT_EQ(ds.train_sentences[i].size(), ds.train_tags[i].size());
+    for (const auto t : ds.train_tags[i]) {
+      EXPECT_GE(t, 0);
+      EXPECT_LT(t, static_cast<std::int32_t>(kNumNerTags));
+    }
+  }
+}
+
+TEST(Ner, ContainsAllEntityTypes) {
+  const auto ds = make_ner_task(task_space(), small_ner());
+  std::set<std::int32_t> seen;
+  for (const auto& tags : ds.train_tags) {
+    for (const auto t : tags) seen.insert(t);
+  }
+  EXPECT_EQ(seen.size(), kNumNerTags);
+}
+
+TEST(Ner, EntityMaskMatchesGoldTags) {
+  const auto ds = make_ner_task(task_space(), small_ner());
+  const auto gold = ds.flat_test_gold();
+  const auto mask = ds.flat_test_entity_mask();
+  ASSERT_EQ(gold.size(), mask.size());
+  std::size_t entities = 0;
+  for (std::size_t i = 0; i < gold.size(); ++i) {
+    EXPECT_EQ(mask[i] != 0, gold[i] != kTagO);
+    entities += mask[i];
+  }
+  // Entities exist but are a minority of tokens.
+  EXPECT_GT(entities, gold.size() / 20);
+  EXPECT_LT(entities, gold.size() / 2);
+}
+
+TEST(Ner, DeterministicGivenSeed) {
+  const text::LatentSpace space = task_space();
+  const auto a = make_ner_task(space, small_ner());
+  const auto b = make_ner_task(space, small_ner());
+  EXPECT_EQ(a.train_sentences, b.train_sentences);
+  EXPECT_EQ(a.train_tags, b.train_tags);
+}
+
+TEST(Ner, GazetteerWordsMostlyTaggedConsistently) {
+  // A given non-O word id should (almost) always carry the same entity type
+  // — gazetteers are disjoint by construction, up to tag noise.
+  NerTaskConfig config = small_ner();
+  config.tag_noise = 0.0;
+  const auto ds = make_ner_task(task_space(), config);
+  std::map<std::int32_t, std::set<std::int32_t>> word_tags;
+  for (std::size_t i = 0; i < ds.train_sentences.size(); ++i) {
+    for (std::size_t j = 0; j < ds.train_sentences[i].size(); ++j) {
+      if (ds.train_tags[i][j] != kTagO) {
+        word_tags[ds.train_sentences[i][j]].insert(ds.train_tags[i][j]);
+      }
+    }
+  }
+  for (const auto& [word, tags] : word_tags) {
+    EXPECT_EQ(tags.size(), 1u) << "word " << word << " has multiple types";
+  }
+}
+
+TEST(Ner, RequiresEnoughTopics) {
+  text::LatentSpaceConfig c;
+  c.vocab_size = 50;
+  c.latent_dim = 4;
+  c.num_topics = 2;  // fewer than 4 entity types
+  const text::LatentSpace space(c);
+  EXPECT_THROW(make_ner_task(space, small_ner()), CheckError);
+}
+
+}  // namespace
+}  // namespace anchor::tasks

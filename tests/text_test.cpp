@@ -1,0 +1,233 @@
+// Tests for the text substrate: latent space, corpus generator,
+// co-occurrence counting, and PPMI.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "text/cooc.hpp"
+#include "text/corpus.hpp"
+#include "text/latent_space.hpp"
+
+namespace anchor::text {
+namespace {
+
+LatentSpaceConfig small_space_config() {
+  LatentSpaceConfig c;
+  c.vocab_size = 120;
+  c.latent_dim = 8;
+  c.num_topics = 6;
+  c.seed = 3;
+  return c;
+}
+
+TEST(LatentSpace, ShapesMatchConfig) {
+  const LatentSpace s(small_space_config());
+  EXPECT_EQ(s.word_vectors().rows(), 120u);
+  EXPECT_EQ(s.word_vectors().cols(), 8u);
+  EXPECT_EQ(s.topic_centers().rows(), 6u);
+  EXPECT_EQ(s.word_topics().size(), 120u);
+  EXPECT_EQ(s.unigram_prior().size(), 120u);
+}
+
+TEST(LatentSpace, DeterministicGivenSeed) {
+  const LatentSpace a(small_space_config());
+  const LatentSpace b(small_space_config());
+  EXPECT_EQ(a.word_vectors().storage(), b.word_vectors().storage());
+}
+
+TEST(LatentSpace, ZipfPriorIsDecreasing) {
+  const LatentSpace s(small_space_config());
+  for (std::size_t w = 1; w < s.vocab_size(); ++w) {
+    EXPECT_GT(s.unigram_prior()[w - 1], s.unigram_prior()[w]);
+  }
+}
+
+TEST(LatentSpace, DriftPerturbsVectorsProportionally) {
+  const LatentSpace base(small_space_config());
+  const LatentSpace small = base.drifted(0.01, 5);
+  const LatentSpace large = base.drifted(0.5, 5);
+  double small_delta = 0.0, large_delta = 0.0;
+  for (std::size_t i = 0; i < base.word_vectors().size(); ++i) {
+    small_delta += std::abs(small.word_vectors().storage()[i] -
+                            base.word_vectors().storage()[i]);
+    large_delta += std::abs(large.word_vectors().storage()[i] -
+                            base.word_vectors().storage()[i]);
+  }
+  EXPECT_GT(small_delta, 0.0);
+  EXPECT_GT(large_delta, 10.0 * small_delta);
+}
+
+TEST(LatentSpace, ZeroDriftIsIdentityOnStructure) {
+  const LatentSpace base(small_space_config());
+  const LatentSpace same = base.drifted(0.0, 5, 0.02);
+  EXPECT_EQ(base.word_vectors().storage(), same.word_vectors().storage());
+  EXPECT_DOUBLE_EQ(same.doc_fraction_delta(), 0.02);
+  EXPECT_DOUBLE_EQ(base.doc_fraction_delta(), 0.0);
+}
+
+CorpusConfig small_corpus_config() {
+  CorpusConfig c;
+  c.num_documents = 60;
+  c.sentences_per_document = 3;
+  c.tokens_per_sentence = 10;
+  c.seed = 2;
+  return c;
+}
+
+TEST(Corpus, CountsConsistentWithSentences) {
+  const LatentSpace space(small_space_config());
+  const Corpus corpus = generate_corpus(space, small_corpus_config());
+  EXPECT_EQ(corpus.sentences.size(), 60u * 3u);
+  EXPECT_EQ(corpus.total_tokens(), 60 * 3 * 10);
+  std::int64_t total = 0;
+  for (const auto c : corpus.word_counts) total += c;
+  EXPECT_EQ(total, corpus.total_tokens());
+  for (const auto& s : corpus.sentences) {
+    for (const auto t : s) {
+      EXPECT_GE(t, 0);
+      EXPECT_LT(t, static_cast<std::int32_t>(corpus.vocab_size));
+    }
+  }
+}
+
+TEST(Corpus, DeterministicGivenSeeds) {
+  const LatentSpace space(small_space_config());
+  const Corpus a = generate_corpus(space, small_corpus_config());
+  const Corpus b = generate_corpus(space, small_corpus_config());
+  EXPECT_EQ(a.sentences, b.sentences);
+}
+
+TEST(Corpus, ExtraDocFractionAppendsDocuments) {
+  LatentSpaceConfig sc = small_space_config();
+  const LatentSpace base(sc);
+  const LatentSpace next = base.drifted(0.0, 9, 0.10);
+  const CorpusConfig cc = small_corpus_config();
+  const Corpus c17 = generate_corpus(base, cc);
+  const Corpus c18 = generate_corpus(next, cc);
+  EXPECT_EQ(c18.sentences.size(), c17.sentences.size() + 6 * 3);
+  // Zero drift + same doc stream ⇒ the shared prefix is identical.
+  for (std::size_t i = 0; i < c17.sentences.size(); ++i) {
+    EXPECT_EQ(c17.sentences[i], c18.sentences[i]);
+  }
+}
+
+TEST(Corpus, DriftChangesSomeTokensButNotAll) {
+  const LatentSpace base(small_space_config());
+  const LatentSpace next = base.drifted(0.05, 9, 0.0);
+  const CorpusConfig cc = small_corpus_config();
+  const Corpus c17 = generate_corpus(base, cc);
+  const Corpus c18 = generate_corpus(next, cc);
+  ASSERT_EQ(c17.sentences.size(), c18.sentences.size());
+  std::size_t same = 0, total = 0;
+  for (std::size_t i = 0; i < c17.sentences.size(); ++i) {
+    for (std::size_t j = 0; j < c17.sentences[i].size(); ++j) {
+      same += (c17.sentences[i][j] == c18.sentences[i][j]);
+      ++total;
+    }
+  }
+  const double frac_same = static_cast<double>(same) / total;
+  EXPECT_GT(frac_same, 0.3);  // small drift: corpora mostly overlap
+  EXPECT_LT(frac_same, 0.999);  // but not identical
+}
+
+TEST(Corpus, ZipfHeadDominates) {
+  const LatentSpace space(small_space_config());
+  const Corpus corpus = generate_corpus(space, small_corpus_config());
+  std::int64_t head = 0;
+  for (std::size_t w = 0; w < 12; ++w) head += corpus.word_counts[w];
+  EXPECT_GT(head, corpus.total_tokens() / 5);
+}
+
+TEST(Corpus, WordStringFormat) {
+  EXPECT_EQ(Corpus::word_string(7), "w0007");
+  EXPECT_EQ(Corpus::word_string(1234), "w1234");
+}
+
+TEST(Cooc, HandCountedTinyCorpus) {
+  Corpus corpus;
+  corpus.vocab_size = 3;
+  corpus.sentences = {{0, 1, 2}};
+  corpus.word_counts = {1, 1, 1};
+  CoocConfig cc;
+  cc.window = 1;
+  cc.distance_weighting = false;
+  const CoocMatrix m = count_cooccurrences(corpus, cc);
+  // Pairs within window 1: (0,1), (1,2); symmetric ⇒ 4 cells.
+  EXPECT_EQ(m.nnz(), 4u);
+  double v01 = 0.0, v02 = 0.0;
+  for (const auto& e : m.entries) {
+    if (e.row == 0 && e.col == 1) v01 = e.value;
+    if (e.row == 0 && e.col == 2) v02 = e.value;
+  }
+  EXPECT_DOUBLE_EQ(v01, 1.0);
+  EXPECT_DOUBLE_EQ(v02, 0.0);
+  EXPECT_DOUBLE_EQ(m.total, 4.0);
+}
+
+TEST(Cooc, DistanceWeightingHalvesFarPairs) {
+  Corpus corpus;
+  corpus.vocab_size = 3;
+  corpus.sentences = {{0, 1, 2}};
+  corpus.word_counts = {1, 1, 1};
+  CoocConfig cc;
+  cc.window = 2;
+  cc.distance_weighting = true;
+  const CoocMatrix m = count_cooccurrences(corpus, cc);
+  double v02 = 0.0;
+  for (const auto& e : m.entries) {
+    if (e.row == 0 && e.col == 2) v02 = e.value;
+  }
+  EXPECT_DOUBLE_EQ(v02, 0.5);  // distance 2 ⇒ weight 1/2
+}
+
+TEST(Cooc, SymmetricAndSorted) {
+  const LatentSpace space(small_space_config());
+  const Corpus corpus = generate_corpus(space, small_corpus_config());
+  const CoocMatrix m = count_cooccurrences(corpus, CoocConfig{});
+  // Row sums total twice... the grand total counts both triangles.
+  double sum = 0.0;
+  for (const double r : m.row_sums) sum += r;
+  EXPECT_NEAR(sum, m.total, 1e-9);
+  for (std::size_t i = 1; i < m.entries.size(); ++i) {
+    const auto& a = m.entries[i - 1];
+    const auto& b = m.entries[i];
+    EXPECT_TRUE(a.row < b.row || (a.row == b.row && a.col < b.col));
+  }
+}
+
+TEST(Ppmi, HandComputedValue) {
+  // Two cells, symmetric: total = 2, each p = 1/2, marginals p0 = p1 = 1/2
+  // (from row_sums 1,1). PMI = log(0.5 / 0.25) = log 2 > 0.
+  CoocMatrix cooc;
+  cooc.vocab_size = 2;
+  cooc.entries = {{0, 1, 1.0}, {1, 0, 1.0}};
+  cooc.row_sums = {1.0, 1.0};
+  cooc.total = 2.0;
+  const CoocMatrix p = ppmi(cooc);
+  ASSERT_EQ(p.nnz(), 2u);
+  EXPECT_NEAR(p.entries[0].value, std::log(2.0), 1e-12);
+}
+
+TEST(Ppmi, DropsNegativeCells) {
+  // Independent-ish cell: p(0,1) = p(0)·p(1) exactly ⇒ PMI = 0 ⇒ dropped.
+  CoocMatrix cooc;
+  cooc.vocab_size = 2;
+  cooc.entries = {{0, 0, 2.0}, {0, 1, 2.0}, {1, 0, 2.0}, {1, 1, 2.0}};
+  cooc.row_sums = {4.0, 4.0};
+  cooc.total = 8.0;
+  const CoocMatrix p = ppmi(cooc);
+  EXPECT_EQ(p.nnz(), 0u);
+}
+
+TEST(Ppmi, AllValuesPositive) {
+  const LatentSpace space(small_space_config());
+  const Corpus corpus = generate_corpus(space, small_corpus_config());
+  CoocConfig cc;
+  cc.distance_weighting = false;
+  const CoocMatrix p = ppmi(count_cooccurrences(corpus, cc));
+  EXPECT_GT(p.nnz(), 0u);
+  for (const auto& e : p.entries) EXPECT_GT(e.value, 0.0);
+}
+
+}  // namespace
+}  // namespace anchor::text

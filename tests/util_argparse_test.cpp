@@ -1,0 +1,125 @@
+// Tests for the command-line argument parser used by the tools/ binaries.
+#include <gtest/gtest.h>
+
+#include "util/argparse.hpp"
+#include "util/check.hpp"
+
+namespace anchor {
+namespace {
+
+ArgParser make_parser() {
+  ArgParser p("prog", "test program");
+  p.add_option("dim", "dimension", "32")
+      .add_option("out", "output", "", /*required=*/true)
+      .add_option("rate", "learning rate", "0.5")
+      .add_flag("verbose", "talk more")
+      .add_positional("input", "input file");
+  return p;
+}
+
+TEST(ArgParser, ParsesSeparateAndInlineValues) {
+  ArgParser p = make_parser();
+  ASSERT_TRUE(p.parse({"file.txt", "--dim", "64", "--out=o.txt"}))
+      << p.error();
+  EXPECT_EQ(p.get("input"), "file.txt");
+  EXPECT_EQ(p.get_int("dim"), 64);
+  EXPECT_EQ(p.get("out"), "o.txt");
+  EXPECT_DOUBLE_EQ(p.get_double("rate"), 0.5);  // default preserved
+  EXPECT_FALSE(p.get_flag("verbose"));
+}
+
+TEST(ArgParser, FlagsAreBooleansWithoutValues) {
+  ArgParser p = make_parser();
+  ASSERT_TRUE(p.parse({"in", "--out", "o", "--verbose"}));
+  EXPECT_TRUE(p.get_flag("verbose"));
+
+  ArgParser q = make_parser();
+  EXPECT_FALSE(q.parse({"in", "--out", "o", "--verbose=yes"}));
+  EXPECT_NE(q.error().find("does not take a value"), std::string::npos);
+}
+
+TEST(ArgParser, MissingRequiredOptionFails) {
+  ArgParser p = make_parser();
+  EXPECT_FALSE(p.parse({"in"}));
+  EXPECT_NE(p.error().find("--out"), std::string::npos);
+}
+
+TEST(ArgParser, MissingRequiredPositionalFails) {
+  ArgParser p = make_parser();
+  EXPECT_FALSE(p.parse({"--out", "o"}));
+  EXPECT_NE(p.error().find("<input>"), std::string::npos);
+}
+
+TEST(ArgParser, UnknownOptionFails) {
+  ArgParser p = make_parser();
+  EXPECT_FALSE(p.parse({"in", "--out", "o", "--bogus", "1"}));
+  EXPECT_NE(p.error().find("--bogus"), std::string::npos);
+}
+
+TEST(ArgParser, ExtraPositionalFails) {
+  ArgParser p = make_parser();
+  EXPECT_FALSE(p.parse({"in", "extra", "--out", "o"}));
+  EXPECT_NE(p.error().find("unexpected argument"), std::string::npos);
+}
+
+TEST(ArgParser, DanglingValueOptionFails) {
+  ArgParser p = make_parser();
+  EXPECT_FALSE(p.parse({"in", "--out"}));
+  EXPECT_NE(p.error().find("expects a value"), std::string::npos);
+}
+
+TEST(ArgParser, HelpShortCircuits) {
+  ArgParser p = make_parser();
+  EXPECT_FALSE(p.parse({"--help"}));
+  EXPECT_TRUE(p.help_requested());
+  EXPECT_TRUE(p.error().empty());
+  const std::string usage = p.usage();
+  EXPECT_NE(usage.find("--dim"), std::string::npos);
+  EXPECT_NE(usage.find("<input>"), std::string::npos);
+  EXPECT_NE(usage.find("(default: 32)"), std::string::npos);
+}
+
+TEST(ArgParser, TypedAccessorsValidate) {
+  ArgParser p = make_parser();
+  ASSERT_TRUE(p.parse({"in", "--out", "o", "--dim", "abc"}));
+  EXPECT_THROW(p.get_int("dim"), CheckError);
+  EXPECT_THROW(p.get("nonexistent"), CheckError);
+}
+
+TEST(ArgParser, HasReflectsPresence) {
+  ArgParser p = make_parser();
+  ASSERT_TRUE(p.parse({"in", "--out", "o"}));
+  EXPECT_TRUE(p.has("out"));
+  EXPECT_FALSE(p.has("rate"));  // only a default, never seen
+  EXPECT_TRUE(p.has("input"));
+}
+
+TEST(ArgParser, NegativeNumbersParseAsValues) {
+  ArgParser p("prog", "t");
+  p.add_option("offset", "signed value", "0");
+  ASSERT_TRUE(p.parse({"--offset", "-12"}));
+  EXPECT_EQ(p.get_int("offset"), -12);
+  ArgParser q("prog", "t");
+  q.add_option("rate", "signed value", "0");
+  ASSERT_TRUE(q.parse({"--rate=-0.25"}));
+  EXPECT_DOUBLE_EQ(q.get_double("rate"), -0.25);
+}
+
+TEST(ArgParser, DuplicateDeclarationIsACodingError) {
+  ArgParser p("prog", "t");
+  p.add_option("x", "first");
+  EXPECT_THROW(p.add_option("x", "again"), CheckError);
+  EXPECT_THROW(p.add_flag("x", "again"), CheckError);
+}
+
+TEST(ArgParser, OptionalPositionalMayBeOmitted) {
+  ArgParser p("prog", "t");
+  p.add_positional("a", "first");
+  p.add_positional("b", "second", /*required=*/false);
+  ASSERT_TRUE(p.parse({"one"}));
+  EXPECT_EQ(p.get("a"), "one");
+  EXPECT_FALSE(p.has("b"));
+}
+
+}  // namespace
+}  // namespace anchor

@@ -1,0 +1,351 @@
+// anchor-cli: command-line driver for the library's main workflows.
+//
+// Subcommands:
+//   train      train an embedding on a synthetic corpus "year" and save it
+//   align      Procrustes-align one embedding to a reference
+//   quantize   uniform-quantize an embedding (optionally sharing the
+//              reference's clip threshold, per Appendix C.2)
+//   measure    compute the five embedding distance measures between a pair
+//   stability  run the end-to-end pipeline for one configuration and print
+//              the downstream instability plus all measures
+//
+// Embeddings are stored in word2vec text format, so outputs are directly
+// inspectable and consumable by standard NLP tooling.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "compress/quantize.hpp"
+#include "core/measures.hpp"
+#include "core/report.hpp"
+#include "embed/io.hpp"
+#include "embed/trainer.hpp"
+#include "la/procrustes.hpp"
+#include "pipeline/pipeline.hpp"
+#include "text/corpus.hpp"
+#include "text/latent_space.hpp"
+#include "util/argparse.hpp"
+
+namespace {
+
+using anchor::ArgParser;
+
+int fail_usage(const ArgParser& parser) {
+  if (parser.help_requested()) {
+    std::cout << parser.usage();
+    return 0;
+  }
+  std::cerr << "error: " << parser.error() << "\n\n" << parser.usage();
+  return 2;
+}
+
+anchor::embed::Algo parse_algo(const std::string& name) {
+  using anchor::embed::Algo;
+  for (const Algo algo : {Algo::kCbow, Algo::kGloVe, Algo::kMc,
+                          Algo::kFastText, Algo::kSgns, Algo::kPpmiSvd}) {
+    if (anchor::embed::algo_name(algo) == name) return algo;
+  }
+  ANCHOR_CHECK_MSG(
+      false, "unknown algorithm (use CBOW, GloVe, MC, FT-SG, SGNS, PPMI-SVD)");
+  return Algo::kCbow;
+}
+
+/// Miniature pipeline scale for --quick runs: trains in seconds, preserving
+/// every stage of the protocol (the defaults are bench scale — minutes).
+anchor::pipeline::PipelineConfig quick_pipeline_config() {
+  anchor::pipeline::PipelineConfig c;
+  c.vocab = 200;
+  c.latent_dim = 6;
+  c.num_topics = 6;
+  c.num_documents = 150;
+  c.dims = {8, 16};
+  c.precisions = {1, 2, 4, 8, 16, 32};
+  c.seeds = {1};
+  c.reference_dim = 16;
+  c.knn_queries = 60;
+  c.sentiment_scale_train = 400;
+  c.ner_train = 80;
+  c.ner_test = 50;
+  c.ner_hidden = 6;
+  c.ner_epochs = 2;
+  c.epoch_scale = 0.5;
+  return c;
+}
+
+/// Builds the corpus for a "year": year 17 is the base space, year 18 the
+/// drifted one — the same construction the pipeline uses.
+anchor::text::Corpus make_corpus(std::size_t vocab, std::size_t docs,
+                                 std::uint64_t space_seed, int year,
+                                 double drift) {
+  anchor::text::LatentSpaceConfig lsc;
+  lsc.vocab_size = vocab;
+  lsc.seed = space_seed;
+  const anchor::text::LatentSpace base(lsc);
+  anchor::text::CorpusConfig cc;
+  cc.num_documents = docs;
+  cc.seed = 1;
+  if (year == 17) return anchor::text::generate_corpus(base, cc);
+  ANCHOR_CHECK_MSG(year == 18, "--year must be 17 or 18");
+  return anchor::text::generate_corpus(
+      base.drifted(drift, space_seed + 1), cc);
+}
+
+int cmd_train(const std::vector<std::string>& args) {
+  ArgParser parser("anchor-cli train",
+                   "Train a word embedding on a synthetic corpus year.");
+  parser.add_option("algo", "embedding algorithm name", "CBOW")
+      .add_option("dim", "embedding dimension", "32")
+      .add_option("seed", "training seed", "1")
+      .add_option("year", "corpus year: 17 (base) or 18 (drifted)", "17")
+      .add_option("drift", "latent drift for year 18", "0.08")
+      .add_option("vocab", "vocabulary size", "500")
+      .add_option("docs", "number of documents", "800")
+      .add_option("space-seed", "latent space seed", "17")
+      .add_option("out", "output embedding path (word2vec text)", "",
+                  /*required=*/true);
+  if (!parser.parse(args)) return fail_usage(parser);
+
+  const anchor::text::Corpus corpus = make_corpus(
+      static_cast<std::size_t>(parser.get_int("vocab")),
+      static_cast<std::size_t>(parser.get_int("docs")),
+      static_cast<std::uint64_t>(parser.get_int("space-seed")),
+      static_cast<int>(parser.get_int("year")), parser.get_double("drift"));
+  anchor::embed::TrainOptions options;
+  options.dim = static_cast<std::size_t>(parser.get_int("dim"));
+  options.seed = static_cast<std::uint64_t>(parser.get_int("seed"));
+  const anchor::embed::Embedding e = anchor::embed::train_embedding(
+      corpus, parse_algo(parser.get("algo")), options);
+  anchor::embed::save_text(e, parser.get("out"));
+  std::cout << "trained " << parser.get("algo") << " dim=" << e.dim
+            << " on year-" << parser.get("year") << " corpus ("
+            << corpus.total_tokens() << " tokens) -> " << parser.get("out")
+            << "\n";
+  return 0;
+}
+
+int cmd_align(const std::vector<std::string>& args) {
+  ArgParser parser("anchor-cli align",
+                   "Rotate an embedding onto a reference with orthogonal "
+                   "Procrustes (the paper aligns Wiki'18 to Wiki'17 before "
+                   "compression).");
+  parser.add_positional("input", "embedding to rotate")
+      .add_option("ref", "reference embedding", "", /*required=*/true)
+      .add_option("out", "output path", "", /*required=*/true);
+  if (!parser.parse(args)) return fail_usage(parser);
+
+  const anchor::embed::Embedding input =
+      anchor::embed::load_text(parser.get("input"));
+  const anchor::embed::Embedding ref =
+      anchor::embed::load_text(parser.get("ref"));
+  ANCHOR_CHECK_EQ(input.dim, ref.dim);
+  const anchor::la::Matrix rotated =
+      anchor::la::procrustes_align(ref.to_matrix(), input.to_matrix());
+  anchor::embed::save_text(anchor::embed::Embedding::from_matrix(rotated),
+                           parser.get("out"));
+  std::cout << "aligned " << parser.get("input") << " to " << parser.get("ref")
+            << " -> " << parser.get("out") << "\n";
+  return 0;
+}
+
+int cmd_quantize(const std::vector<std::string>& args) {
+  ArgParser parser("anchor-cli quantize",
+                   "Uniformly quantize an embedding to b bits per entry.");
+  parser.add_positional("input", "embedding to quantize")
+      .add_option("bits", "precision in {1,2,4,8,16,32}", "8")
+      .add_option("clip-from",
+                  "reuse this embedding's optimal clip threshold "
+                  "(the shared-threshold protocol of Appendix C.2)")
+      .add_option("out", "output path", "", /*required=*/true);
+  if (!parser.parse(args)) return fail_usage(parser);
+
+  const anchor::embed::Embedding input =
+      anchor::embed::load_text(parser.get("input"));
+  anchor::compress::QuantizeConfig config;
+  config.bits = static_cast<int>(parser.get_int("bits"));
+  if (parser.has("clip-from")) {
+    const anchor::embed::Embedding ref =
+        anchor::embed::load_text(parser.get("clip-from"));
+    config.clip_override =
+        anchor::compress::optimal_clip_threshold(ref.data, config.bits);
+  }
+  const anchor::compress::QuantizeResult r =
+      anchor::compress::uniform_quantize(input, config);
+  anchor::embed::save_text(r.embedding, parser.get("out"));
+  std::cout << "quantized to " << config.bits << " bits (clip="
+            << r.clip << ", " << anchor::compress::bits_per_word(
+                   input.dim, config.bits)
+            << " bits/word) -> " << parser.get("out") << "\n";
+  return 0;
+}
+
+int cmd_measure(const std::vector<std::string>& args) {
+  ArgParser parser(
+      "anchor-cli measure",
+      "Compute the five embedding distance measures between two embeddings. "
+      "The eigenspace instability measure's reference pair (E, E~) defaults "
+      "to the inputs themselves; pass --ref-e/--ref-et to use "
+      "higher-dimensional references as the paper does.");
+  parser.add_positional("x", "first embedding (e.g. Wiki'17)")
+      .add_positional("xt", "second embedding (e.g. Wiki'18)")
+      .add_option("ref-e", "EIS reference embedding E")
+      .add_option("ref-et", "EIS reference embedding E~")
+      .add_option("alpha", "EIS eigenvalue-importance exponent", "3")
+      .add_option("k", "k-NN neighborhood size", "5")
+      .add_option("queries", "k-NN query words", "200");
+  if (!parser.parse(args)) return fail_usage(parser);
+
+  const anchor::la::Matrix x =
+      anchor::embed::load_text(parser.get("x")).to_matrix();
+  const anchor::la::Matrix xt =
+      anchor::embed::load_text(parser.get("xt")).to_matrix();
+  const anchor::la::Matrix e =
+      parser.has("ref-e")
+          ? anchor::embed::load_text(parser.get("ref-e")).to_matrix()
+          : x;
+  const anchor::la::Matrix et =
+      parser.has("ref-et")
+          ? anchor::embed::load_text(parser.get("ref-et")).to_matrix()
+          : xt;
+  const anchor::core::EisContext ctx = anchor::core::EisContext::build(
+      e, et, parser.get_double("alpha"));
+
+  std::cout << "eigenspace_instability "
+            << anchor::core::eigenspace_instability_of(x, xt, ctx) << "\n"
+            << "one_minus_knn "
+            << 1.0 - anchor::core::knn_measure(
+                         x, xt, static_cast<std::size_t>(parser.get_int("k")),
+                         static_cast<std::size_t>(parser.get_int("queries")))
+            << "\n"
+            << "semantic_displacement "
+            << anchor::core::semantic_displacement(x, xt) << "\n"
+            << "pip_loss " << anchor::core::pip_loss(x, xt) << "\n"
+            << "one_minus_eigenspace_overlap "
+            << 1.0 - anchor::core::eigenspace_overlap(x, xt) << "\n";
+  return 0;
+}
+
+int cmd_export(const std::vector<std::string>& args) {
+  ArgParser parser(
+      "anchor-cli export",
+      "Run the pipeline over the full dimension-precision grid for one "
+      "(task, algo, seed) and export the per-cell downstream instability "
+      "and all five measures as a CSV — the artifact's 'lightweight "
+      "option' input (Appendix A.7).");
+  parser.add_option("task", "sst2 | mr | subj | mpqa | conll2003", "sst2")
+      .add_option("algo", "embedding algorithm name", "CBOW")
+      .add_option("seed", "seed", "1")
+      .add_option("cache", "artifact cache directory", "anchor-cache")
+      .add_flag("quick", "miniature pipeline scale (seconds, not minutes)")
+      .add_option("out", "output CSV path", "", /*required=*/true);
+  if (!parser.parse(args)) return fail_usage(parser);
+
+  const anchor::pipeline::PipelineConfig config =
+      parser.get_flag("quick") ? quick_pipeline_config()
+                               : anchor::pipeline::PipelineConfig{};
+  anchor::pipeline::Pipeline pipe(config, parser.get("cache"));
+  const auto grid = pipe.config_grid(
+      parser.get("task"), parse_algo(parser.get("algo")),
+      static_cast<std::uint64_t>(parser.get_int("seed")));
+  anchor::core::write_config_points_csv(grid, parser.get("out"));
+  std::cout << "exported " << grid.size() << " grid cells -> "
+            << parser.get("out") << "\n";
+  return 0;
+}
+
+int cmd_analyze(const std::vector<std::string>& args) {
+  ArgParser parser(
+      "anchor-cli analyze",
+      "Reproduce the analysis stage (Tables 1-3) from a results CSV, with "
+      "no training — the artifact's Appendix A.5 step 3.");
+  parser.add_positional("csv", "results CSV from `anchor-cli export`");
+  if (!parser.parse(args)) return fail_usage(parser);
+
+  const auto points =
+      anchor::core::read_config_points_csv(parser.get("csv"));
+  const anchor::core::GridAnalysis a = anchor::core::analyze_grid(points);
+
+  std::cout << points.size() << " grid cells\n\n"
+            << "measure, spearman, pairwise_error, budget_gap_pct\n";
+  const auto gap_str = [&](double gap) {
+    return a.has_contested_budget ? std::to_string(gap) : std::string("n/a");
+  };
+  for (const auto& row : a.measures) {
+    std::cout << anchor::core::measure_name(row.measure) << ", "
+              << row.spearman << ", " << row.pairwise_error << ", "
+              << gap_str(row.budget_gap_pct) << "\n";
+  }
+  std::cout << "High Precision (naive), -, -, "
+            << gap_str(a.high_precision_gap_pct)
+            << "\nLow Precision (naive), -, -, "
+            << gap_str(a.low_precision_gap_pct) << "\n";
+  return 0;
+}
+
+int cmd_stability(const std::vector<std::string>& args) {
+  ArgParser parser(
+      "anchor-cli stability",
+      "Run the end-to-end pipeline for one (algo, dim, bits, seed) "
+      "configuration: train the Wiki'17/Wiki'18 embedding pair, align, "
+      "quantize, train downstream models, and print Definition-1 "
+      "instability plus all five measures.");
+  parser.add_option("task", "sst2 | mr | subj | mpqa | conll2003", "sst2")
+      .add_option("algo", "embedding algorithm name", "CBOW")
+      .add_option("dim", "embedding dimension", "16")
+      .add_option("bits", "precision", "8")
+      .add_option("seed", "seed", "1")
+      .add_option("cache", "artifact cache directory", "anchor-cache")
+      .add_flag("quick", "miniature pipeline scale (seconds, not minutes)");
+  if (!parser.parse(args)) return fail_usage(parser);
+
+  const anchor::pipeline::PipelineConfig config =
+      parser.get_flag("quick") ? quick_pipeline_config()
+                               : anchor::pipeline::PipelineConfig{};
+  anchor::pipeline::Pipeline pipe(config, parser.get("cache"));
+  const auto algo = parse_algo(parser.get("algo"));
+  const auto dim = static_cast<std::size_t>(parser.get_int("dim"));
+  const auto bits = static_cast<int>(parser.get_int("bits"));
+  const auto seed = static_cast<std::uint64_t>(parser.get_int("seed"));
+
+  const double di =
+      pipe.downstream_instability(parser.get("task"), algo, dim, bits, seed);
+  const auto measures = pipe.measures(algo, dim, bits, seed);
+  std::cout << "task " << parser.get("task") << ", " << parser.get("algo")
+            << " dim=" << dim << " bits=" << bits << " seed=" << seed << "\n"
+            << "downstream_instability_pct " << di << "\n";
+  for (std::size_t i = 0; i < measures.size(); ++i) {
+    std::cout << anchor::core::measure_name(anchor::core::kAllMeasures[i])
+              << " " << measures[i] << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string usage =
+      "usage: anchor-cli "
+      "<train|align|quantize|measure|stability|export|analyze> [args]\n"
+      "       anchor-cli <subcommand> --help for details\n";
+  if (argc < 2) {
+    std::cerr << usage;
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  std::vector<std::string> rest;
+  for (int i = 2; i < argc; ++i) rest.emplace_back(argv[i]);
+
+  try {
+    if (cmd == "train") return cmd_train(rest);
+    if (cmd == "align") return cmd_align(rest);
+    if (cmd == "quantize") return cmd_quantize(rest);
+    if (cmd == "measure") return cmd_measure(rest);
+    if (cmd == "stability") return cmd_stability(rest);
+    if (cmd == "export") return cmd_export(rest);
+    if (cmd == "analyze") return cmd_analyze(rest);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  std::cerr << "unknown subcommand '" << cmd << "'\n" << usage;
+  return 2;
+}

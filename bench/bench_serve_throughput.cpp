@@ -1,0 +1,143 @@
+// Serving throughput bench: multi-threaded batched lookup against the
+// EmbeddingStore/LookupService across precision (fp32 vs bit-packed
+// quantized), hot-row cache on/off, and thread count — including a
+// hot-swap-under-load scenario showing version promotion costs readers
+// nothing.
+//
+// Reported numbers are aggregate QPS (vectors/sec) and per-batch p50/p99
+// latency from ServeStats. Run: ./build/bench/bench_serve_throughput
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "serve/serve.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace anchor;
+
+constexpr std::size_t kVocab = 50000;
+constexpr std::size_t kDim = 64;
+constexpr std::size_t kBatch = 64;
+constexpr double kSecondsPerCell = 0.4;
+
+embed::Embedding random_embedding(std::uint64_t seed) {
+  embed::Embedding e(kVocab, kDim);
+  Rng rng(seed);
+  for (auto& x : e.data) x = static_cast<float>(rng.normal(0.0, 1.0));
+  return e;
+}
+
+/// Zipf-ish skewed row id: popular rows dominate, so the hot-row cache has
+/// something to cache (uniform traffic would thrash any bounded cache).
+std::size_t skewed_id(Rng& rng) {
+  const double u = rng.uniform();
+  return static_cast<std::size_t>(u * u * u * static_cast<double>(kVocab)) %
+         kVocab;
+}
+
+serve::StatsSnapshot run_cell(serve::LookupService& service, int threads) {
+  service.stats().reset();
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&service, &stop, t] {
+      Rng rng(1000 + static_cast<std::uint64_t>(t));
+      std::vector<std::size_t> ids(kBatch);
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (auto& id : ids) id = skewed_id(rng);
+        service.lookup_ids(ids);
+      }
+    });
+  }
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(kSecondsPerCell));
+  stop.store(true);
+  for (auto& w : workers) w.join();
+  return service.stats().snapshot();
+}
+
+void add_row(TextTable& table, const std::string& label,
+             const serve::StatsSnapshot& s, int threads) {
+  table.add_row({label, std::to_string(threads),
+                 format_double(s.qps / 1e6, 2), format_double(s.p50_latency_us, 1),
+                 format_double(s.p99_latency_us, 1),
+                 format_double(100.0 * s.cache_hit_rate(), 1) + "%"});
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "\n=== Serving throughput (EmbeddingStore + LookupService) "
+               "===\n"
+            << "vocab=" << kVocab << " dim=" << kDim << " batch=" << kBatch
+            << ", skewed traffic, " << kSecondsPerCell
+            << "s per cell\n\n";
+
+  serve::EmbeddingStore store;
+  const auto source = random_embedding(7);
+  serve::SnapshotConfig fp32;
+  fp32.build_oov_table = false;
+  serve::SnapshotConfig q8 = fp32;
+  q8.bits = 8;
+  store.add_version("fp32", source, fp32);
+  store.add_version("int8", source, q8);
+
+  std::cout << "resident bytes: fp32="
+            << store.snapshot("fp32")->memory_bytes() << " int8="
+            << store.snapshot("int8")->memory_bytes() << "\n\n";
+
+  TextTable table({"config", "threads", "Mqps", "p50 us", "p99 us",
+                   "cache hit"});
+  for (const int threads : {1, 2, 4, 8}) {
+    store.set_live("fp32");
+    {
+      serve::LookupService service(store, {.cache_rows_per_shard = 0});
+      add_row(table, "fp32 nocache", run_cell(service, threads), threads);
+    }
+    store.set_live("int8");
+    {
+      serve::LookupService service(store, {.cache_rows_per_shard = 0});
+      add_row(table, "int8 nocache", run_cell(service, threads), threads);
+    }
+    {
+      serve::LookupService service(store, {.cache_rows_per_shard = 1024});
+      add_row(table, "int8 cached", run_cell(service, threads), threads);
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nReading the grid: the cache only wins when a hit is "
+               "cheaper than re-dequantizing a row, i.e. for wide rows or "
+               "aggressive bit widths; at narrow dims the per-shard mutex "
+               "can cost more than the unpack it saves.\n";
+
+  // Hot swap under load: flip the live version every 10ms while 4 threads
+  // read. Any stall or stale read would show up as a latency spike or a
+  // crash; the snapshot shared_ptr design means neither can happen.
+  std::cout << "\nhot-swap under load (4 threads, swap every 10ms):\n";
+  serve::LookupService service(store, {.cache_rows_per_shard = 1024});
+  service.stats().reset();
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&service, &stop, t] {
+      Rng rng(2000 + static_cast<std::uint64_t>(t));
+      std::vector<std::size_t> ids(kBatch);
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (auto& id : ids) id = skewed_id(rng);
+        service.lookup_ids(ids);
+      }
+    });
+  }
+  for (int swap = 0; swap < 40; ++swap) {
+    store.set_live(swap % 2 == 0 ? "fp32" : "int8");
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  stop.store(true);
+  for (auto& w : workers) w.join();
+  std::cout << "  " << service.stats().snapshot().summary() << "\n";
+
+  return 0;
+}

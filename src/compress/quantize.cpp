@@ -12,13 +12,7 @@ namespace {
 /// Snaps x to the 2^bits-level uniform grid on [-clip, clip].
 /// `jitter` ∈ [0,1) implements stochastic rounding (0.5 = deterministic).
 float snap(float x, float clip, int bits, float jitter) {
-  const float lo = -clip;
-  const auto levels = static_cast<float>((1u << bits) - 1u);
-  const float delta = (2.0f * clip) / levels;
-  float t = (std::clamp(x, -clip, clip) - lo) / delta;
-  t = std::floor(t + jitter);
-  t = std::clamp(t, 0.0f, levels);
-  return lo + t * delta;
+  return dequantize_code(quantize_code(x, clip, bits, jitter), clip, bits);
 }
 
 double quantization_mse(const std::vector<float>& values, float clip,

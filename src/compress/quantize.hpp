@@ -10,6 +10,8 @@
 //      disagreement between the Wiki'17 and Wiki'18 compressions.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 
 #include "embed/embedding.hpp"
@@ -25,6 +27,31 @@ enum class Rounding { kDeterministic, kStochastic };
 /// 5% and 100% of max|x|. For bits ≥ 16 clipping is unnecessary and max|x|
 /// is returned directly.
 float optimal_clip_threshold(const std::vector<float>& values, int bits);
+
+/// Code index of `x` on the 2^bits-level uniform grid over [-clip, clip].
+/// `jitter` ∈ [0,1) selects the rounding (0.5 = deterministic midpoint).
+/// This pair is the single definition of the grid — uniform_quantize and
+/// the serving layer's packed snapshots both go through it, so they can
+/// never desynchronize. Inline: both sit on per-element hot loops.
+/// NaN inputs quantize as 0.0 (the float→int cast would otherwise be UB);
+/// infinities clamp to ±clip.
+inline std::uint32_t quantize_code(float x, float clip, int bits,
+                                   float jitter = 0.5f) {
+  if (std::isnan(x)) x = 0.0f;
+  const auto levels = static_cast<float>((1u << bits) - 1u);
+  const float delta = (2.0f * clip) / levels;
+  float t = (std::clamp(x, -clip, clip) + clip) / delta;
+  t = std::floor(t + jitter);
+  t = std::clamp(t, 0.0f, levels);
+  return static_cast<std::uint32_t>(t);
+}
+
+/// Grid value of a code produced by quantize_code.
+inline float dequantize_code(std::uint32_t code, float clip, int bits) {
+  const auto levels = static_cast<float>((1u << bits) - 1u);
+  const float delta = (2.0f * clip) / levels;
+  return -clip + static_cast<float>(code) * delta;
+}
 
 struct QuantizeConfig {
   int bits = 8;  // b ∈ {1, 2, 4, 8, 16, 32}; 32 = full precision passthrough

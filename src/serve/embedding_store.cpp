@@ -1,0 +1,267 @@
+#include "serve/embedding_store.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "compress/quantize.hpp"
+#include "embed/io.hpp"
+#include "util/check.hpp"
+
+namespace anchor::serve {
+
+namespace {
+
+// Codes per packed byte for b-bit quantization (b ∈ {1, 2, 4, 8}).
+std::size_t codes_per_byte(int bits) {
+  return 8u / static_cast<std::size_t>(bits);
+}
+
+std::size_t packed_bytes(std::size_t values, int bits) {
+  const std::size_t per = codes_per_byte(bits);
+  return (values + per - 1) / per;
+}
+
+}  // namespace
+
+EmbeddingSnapshot::EmbeddingSnapshot(std::string version,
+                                     const embed::Embedding& source,
+                                     const SnapshotConfig& config,
+                                     std::uint64_t epoch)
+    : version_(std::move(version)),
+      config_(config),
+      vocab_size_(source.vocab_size),
+      dim_(source.dim),
+      epoch_(epoch) {
+  ANCHOR_CHECK_GT(vocab_size_, 0u);
+  ANCHOR_CHECK_GT(dim_, 0u);
+  ANCHOR_CHECK_GT(config.num_shards, 0u);
+  ANCHOR_CHECK_MSG(config.bits == 1 || config.bits == 2 || config.bits == 4 ||
+                       config.bits == 8 || config.bits == 32,
+                   "serve snapshots support bits in {1,2,4,8,32}");
+
+  if (config_.bits < 32) {
+    clip_ = config_.clip_override > 0.0f
+                ? config_.clip_override
+                : compress::optimal_clip_threshold(source.data, config_.bits);
+  }
+
+  const std::size_t num_shards = std::min(config.num_shards, vocab_size_);
+  shards_.resize(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    shards_[s].rows = vocab_size_ / num_shards +
+                      (s < vocab_size_ % num_shards ? 1 : 0);
+    if (config_.bits == 32) {
+      shards_[s].fp32.resize(shards_[s].rows * dim_);
+    } else {
+      shards_[s].codes.resize(shards_[s].rows *
+                              packed_bytes(dim_, config_.bits));
+    }
+  }
+  for (std::size_t w = 0; w < vocab_size_; ++w) {
+    encode_shard_row(shards_[w % num_shards], w / num_shards, source.row(w));
+  }
+
+  if (config_.build_oov_table) build_oov_table(source);
+}
+
+void EmbeddingSnapshot::encode_shard_row(Shard& shard, std::size_t local_row,
+                                         const float* src) {
+  if (config_.bits == 32) {
+    std::memcpy(shard.fp32.data() + local_row * dim_, src,
+                dim_ * sizeof(float));
+    return;
+  }
+  const std::size_t per = codes_per_byte(config_.bits);
+  std::uint8_t* row_bytes =
+      shard.codes.data() + local_row * packed_bytes(dim_, config_.bits);
+  for (std::size_t j = 0; j < dim_; ++j) {
+    const std::uint32_t code =
+        compress::quantize_code(src[j], clip_, config_.bits);
+    const std::size_t shift = (j % per) * static_cast<std::size_t>(config_.bits);
+    row_bytes[j / per] |= static_cast<std::uint8_t>(code << shift);
+  }
+}
+
+void EmbeddingSnapshot::copy_row(std::size_t w, float* out) const {
+  ANCHOR_CHECK_LT(w, vocab_size_);
+  const Shard& shard = shards_[w % shards_.size()];
+  const std::size_t local_row = w / shards_.size();
+  if (config_.bits == 32) {
+    std::memcpy(out, shard.fp32.data() + local_row * dim_,
+                dim_ * sizeof(float));
+    return;
+  }
+  const std::size_t per = codes_per_byte(config_.bits);
+  const std::uint8_t mask =
+      static_cast<std::uint8_t>((1u << config_.bits) - 1u);
+  const std::uint8_t* row_bytes =
+      shard.codes.data() + local_row * packed_bytes(dim_, config_.bits);
+  for (std::size_t j = 0; j < dim_; ++j) {
+    const std::size_t shift = (j % per) * static_cast<std::size_t>(config_.bits);
+    const std::uint8_t code = (row_bytes[j / per] >> shift) & mask;
+    out[j] = compress::dequantize_code(code, clip_, config_.bits);
+  }
+}
+
+std::size_t EmbeddingSnapshot::memory_bytes() const {
+  std::size_t total = 0;
+  for (const Shard& s : shards_) {
+    total += s.fp32.size() * sizeof(float) + s.codes.size();
+  }
+  return total;
+}
+
+void EmbeddingSnapshot::build_oov_table(const embed::Embedding& source) {
+  oov_config_.dim = dim_;
+  oov_config_.bucket_count = 1u << 12;  // 4096 buckets is plenty at our scale
+  oov_table_.assign(oov_config_.bucket_count * dim_, 0.0f);
+  std::vector<std::uint32_t> counts(oov_config_.bucket_count, 0);
+  // Scatter-average every in-vocabulary word's vector into its n-gram
+  // buckets; an OOV word then composes from the buckets its own n-grams
+  // share with known words (the fastText compositionality assumption).
+  for (std::size_t w = 0; w < vocab_size_; ++w) {
+    const auto buckets = embed::word_ngram_buckets(
+        text::Corpus::word_string(static_cast<std::int32_t>(w)), oov_config_);
+    for (const std::uint32_t b : buckets) {
+      const float* row = source.row(w);
+      float* bucket = oov_table_.data() + static_cast<std::size_t>(b) * dim_;
+      for (std::size_t j = 0; j < dim_; ++j) bucket[j] += row[j];
+      ++counts[b];
+    }
+  }
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] == 0) continue;
+    float* bucket = oov_table_.data() + b * dim_;
+    const float inv = 1.0f / static_cast<float>(counts[b]);
+    for (std::size_t j = 0; j < dim_; ++j) bucket[j] *= inv;
+  }
+  oov_counts_ = std::move(counts);
+}
+
+bool EmbeddingSnapshot::synthesize_oov(const std::string& word,
+                                       float* out) const {
+  std::fill(out, out + dim_, 0.0f);
+  if (oov_table_.empty()) return false;
+  const auto buckets = embed::word_ngram_buckets(word, oov_config_);
+  std::size_t used = 0;
+  for (const std::uint32_t b : buckets) {
+    if (oov_counts_[b] == 0) continue;  // bucket never seen in-vocab
+    const float* bucket = oov_table_.data() + static_cast<std::size_t>(b) * dim_;
+    for (std::size_t j = 0; j < dim_; ++j) out[j] += bucket[j];
+    ++used;
+  }
+  if (used == 0) return false;
+  const float inv = 1.0f / static_cast<float>(used);
+  for (std::size_t j = 0; j < dim_; ++j) out[j] *= inv;
+  return true;
+}
+
+la::Matrix EmbeddingSnapshot::to_matrix(std::size_t max_rows) const {
+  const std::size_t rows =
+      max_rows == 0 ? vocab_size_ : std::min(max_rows, vocab_size_);
+  la::Matrix m(rows, dim_);
+  std::vector<float> buf(dim_);
+  for (std::size_t w = 0; w < rows; ++w) {
+    copy_row(w, buf.data());
+    double* dst = m.row(w);
+    for (std::size_t j = 0; j < dim_; ++j) dst[j] = buf[j];
+  }
+  return m;
+}
+
+SnapshotPtr EmbeddingStore::add_version(const std::string& version,
+                                        const embed::Embedding& source,
+                                        const SnapshotConfig& config) {
+  ANCHOR_CHECK_MSG(!version.empty(), "version id must be non-empty");
+  ANCHOR_CHECK_MSG(version.find_first_of(",\n\r") == std::string::npos,
+                   "version id must not contain commas or newlines (it is "
+                   "written to CSV audit logs)");
+  std::uint64_t epoch = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    epoch = next_epoch_++;
+  }
+  // Snapshot construction (clip scan, quantization, OOV table) is O(vocab·
+  // dim) — done outside the lock so concurrent lookups never stall on an
+  // ingest.
+  auto snap =
+      std::make_shared<const EmbeddingSnapshot>(version, source, config, epoch);
+  std::lock_guard<std::mutex> lock(mu_);
+  versions_[version] = snap;
+  if (!live_) live_ = snap;
+  return snap;
+}
+
+SnapshotPtr EmbeddingStore::load_version(const std::string& version,
+                                         const std::filesystem::path& path,
+                                         const SnapshotConfig& config) {
+  return add_version(version, embed::load_text(path), config);
+}
+
+SnapshotPtr EmbeddingStore::snapshot(const std::string& version) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = versions_.find(version);
+  return it == versions_.end() ? nullptr : it->second;
+}
+
+bool EmbeddingStore::has_version(const std::string& version) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return versions_.count(version) > 0;
+}
+
+std::vector<std::string> EmbeddingStore::versions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(versions_.size());
+  for (const auto& [id, snap] : versions_) out.push_back(id);
+  return out;
+}
+
+SnapshotPtr EmbeddingStore::live() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_;
+}
+
+std::string EmbeddingStore::live_version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_ ? live_->version() : std::string();
+}
+
+void EmbeddingStore::set_live(const std::string& version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = versions_.find(version);
+  ANCHOR_CHECK_MSG(it != versions_.end(),
+                   "cannot promote unknown version '" << version << "'");
+  live_ = it->second;
+}
+
+bool EmbeddingStore::set_live_snapshot(const SnapshotPtr& snap) {
+  ANCHOR_CHECK_MSG(snap != nullptr, "cannot promote a null snapshot");
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = versions_.find(snap->version());
+  if (it == versions_.end() || it->second != snap) return false;
+  live_ = snap;
+  return true;
+}
+
+void EmbeddingStore::remove_version(const std::string& version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = versions_.find(version);
+  ANCHOR_CHECK_MSG(it != versions_.end(),
+                   "cannot remove unknown version '" << version << "'");
+  // Also refuse when the live snapshot merely *shares the name*: a same-name
+  // re-register leaves live_ pointing at the older snapshot, and erasing the
+  // entry would have the store serving a version it denies knowing.
+  ANCHOR_CHECK_MSG(!live_ || version != live_->version(),
+                   "cannot remove the live version");
+  versions_.erase(it);
+}
+
+std::size_t EmbeddingStore::total_memory_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t total = 0;
+  for (const auto& [id, snap] : versions_) total += snap->memory_bytes();
+  return total;
+}
+
+}  // namespace anchor::serve

@@ -1,0 +1,157 @@
+// Versioned in-memory embedding store — the state behind the serving layer.
+//
+// The paper's motivating scenario (§1) is an embedding server whose periodic
+// model refreshes churn downstream predictions. This module holds the
+// *versions*: each snapshot is an immutable, sharded embedding matrix that
+// is either full-precision fp32 or uniform-quantized to b bits (same grid as
+// compress/quantize, bit-packed, dequantized on the fly), so a server can
+// keep several generations resident — the live one, the candidate under
+// evaluation by the DeploymentGate, and a rollback target — within a memory
+// budget set by the paper's compression axis.
+//
+// Snapshots are immutable after construction; readers hold shared_ptrs, so
+// hot-swapping the live version never blocks or invalidates in-flight
+// lookups.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "embed/embedding.hpp"
+#include "embed/subword.hpp"
+#include "la/matrix.hpp"
+
+namespace anchor::serve {
+
+struct SnapshotConfig {
+  /// 32 stores fp32 rows verbatim; 1/2/4/8 stores bit-packed uniform-
+  /// quantization codes on the compress/quantize grid (≈ 32/bits× smaller).
+  int bits = 32;
+  /// Rows are distributed round-robin over shards (row → shard row % S),
+  /// keeping per-shard storage independently allocated — the unit a future
+  /// NUMA/affinity placement works with. (The LookupService's cache has its
+  /// own fixed shard pool, independent of this count.)
+  std::size_t num_shards = 8;
+  /// When > 0, reuse this clip threshold instead of computing one — the
+  /// Appendix C.2 convention of sharing the first snapshot's threshold with
+  /// its successor so quantization adds no gratuitous disagreement.
+  float clip_override = 0.0f;
+  /// Build the hashed character-n-gram table used for OOV fallback
+  /// (scatter-averaged from the word vectors, fastText-style).
+  bool build_oov_table = true;
+};
+
+/// One immutable embedding version. Construct via EmbeddingStore.
+class EmbeddingSnapshot {
+ public:
+  EmbeddingSnapshot(std::string version, const embed::Embedding& source,
+                    const SnapshotConfig& config, std::uint64_t epoch);
+
+  const std::string& version() const { return version_; }
+  std::size_t vocab_size() const { return vocab_size_; }
+  std::size_t dim() const { return dim_; }
+  int bits() const { return config_.bits; }
+  float clip() const { return clip_; }
+  std::size_t num_shards() const { return shards_.size(); }
+  /// Monotonically increasing id unique across all snapshots of a store;
+  /// hot-row caches key on it so a swap can never serve stale vectors.
+  std::uint64_t epoch() const { return epoch_; }
+  /// Resident bytes of the row storage (excludes the OOV table).
+  std::size_t memory_bytes() const;
+  bool has_oov_table() const { return !oov_table_.empty(); }
+
+  std::size_t shard_of(std::size_t row) const { return row % shards_.size(); }
+
+  /// Writes row `w` (dequantized if stored quantized) into out[0..dim).
+  void copy_row(std::size_t w, float* out) const;
+
+  /// Synthesizes a vector for an out-of-vocabulary word as the average of
+  /// its hashed character-n-gram bucket vectors. Returns false (and zeroes
+  /// `out`) when no table was built or no n-gram bucket is populated.
+  bool synthesize_oov(const std::string& word, float* out) const;
+
+  /// First min(vocab, max_rows) rows as a double matrix — the form the
+  /// core/measures gate computations consume. max_rows = 0 means all.
+  la::Matrix to_matrix(std::size_t max_rows = 0) const;
+
+ private:
+  struct Shard {
+    std::vector<float> fp32;          // bits == 32
+    std::vector<std::uint8_t> codes;  // bits < 32, bit-packed
+    std::size_t rows = 0;
+  };
+
+  void encode_shard_row(Shard& shard, std::size_t local_row,
+                        const float* src);
+  void build_oov_table(const embed::Embedding& source);
+
+  std::string version_;
+  SnapshotConfig config_;
+  std::size_t vocab_size_ = 0;
+  std::size_t dim_ = 0;
+  float clip_ = 0.0f;
+  std::uint64_t epoch_ = 0;
+  std::vector<Shard> shards_;
+  embed::FastTextConfig oov_config_;    // hashing parameters for n-grams
+  std::vector<float> oov_table_;        // bucket_count × dim, scatter-averaged
+  std::vector<std::uint32_t> oov_counts_;  // words contributing per bucket
+};
+
+using SnapshotPtr = std::shared_ptr<const EmbeddingSnapshot>;
+
+/// Thread-safe registry of embedding versions with one designated "live"
+/// snapshot. Promotion is expected to go through the DeploymentGate.
+class EmbeddingStore {
+ public:
+  EmbeddingStore() = default;
+
+  /// Registers an in-memory embedding under `version`. Replacing an
+  /// existing version is allowed (the old snapshot lives on in any reader
+  /// still holding it). The first version added becomes live.
+  SnapshotPtr add_version(const std::string& version,
+                          const embed::Embedding& source,
+                          const SnapshotConfig& config = {});
+
+  /// Registers a version from a word2vec-text file via embed::load_text.
+  SnapshotPtr load_version(const std::string& version,
+                           const std::filesystem::path& path,
+                           const SnapshotConfig& config = {});
+
+  /// Snapshot by version id; nullptr when absent.
+  SnapshotPtr snapshot(const std::string& version) const;
+  bool has_version(const std::string& version) const;
+  std::vector<std::string> versions() const;
+
+  /// The snapshot currently serving traffic; nullptr before any add.
+  SnapshotPtr live() const;
+  std::string live_version() const;
+
+  /// Points live at `version`. Throws when the version is unknown. Called
+  /// by DeploymentGate::try_promote after the instability check passes.
+  void set_live(const std::string& version);
+
+  /// Points live at the exact snapshot `snap` — but only if it is still the
+  /// one registered under its version id. Returns false when a concurrent
+  /// add_version replaced it, so a gate never promotes a snapshot it did
+  /// not evaluate (the TOCTOU hole a name-based promote would open).
+  bool set_live_snapshot(const SnapshotPtr& snap);
+
+  /// Drops a version from the registry. Throws when it is the live one.
+  void remove_version(const std::string& version);
+
+  /// Total resident row-storage bytes across all registered versions.
+  std::size_t total_memory_bytes() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, SnapshotPtr> versions_;
+  SnapshotPtr live_;
+  std::uint64_t next_epoch_ = 1;
+};
+
+}  // namespace anchor::serve

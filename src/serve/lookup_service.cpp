@@ -1,0 +1,145 @@
+#include "serve/lookup_service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace anchor::serve {
+
+namespace {
+
+constexpr std::size_t kCacheShards = 16;
+
+// Cache key mixing the snapshot epoch and the row id. Epochs are small
+// monotonically increasing integers, rows are bounded by vocab size, so
+// (epoch << 40) | row is collision-free for any realistic store lifetime.
+std::uint64_t cache_key(std::uint64_t epoch, std::size_t row) {
+  return (epoch << 40) | static_cast<std::uint64_t>(row);
+}
+
+/// Parses a synthetic id "wNNNN" → row id; returns false for anything else
+/// (real-word strings, malformed or overflowing tokens), which then takes
+/// the OOV path.
+bool parse_synthetic_id(const std::string& word, std::size_t* id) {
+  // > 15 digits cannot be a real row id and would overflow the accumulator
+  // into a wrong-but-valid id.
+  if (word.size() < 2 || word.size() > 16 || word[0] != 'w') return false;
+  std::size_t value = 0;
+  for (std::size_t i = 1; i < word.size(); ++i) {
+    const char c = word[i];
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::size_t>(c - '0');
+  }
+  *id = value;
+  return true;
+}
+
+}  // namespace
+
+LookupService::LookupService(const EmbeddingStore& store, LookupConfig config,
+                             std::shared_ptr<ServeStats> stats)
+    : store_(store),
+      config_(config),
+      stats_(stats ? std::move(stats) : std::make_shared<ServeStats>()),
+      cache_shards_(kCacheShards) {}
+
+void LookupService::fetch_row(const EmbeddingSnapshot& snap, std::size_t w,
+                              float* out) const {
+  // fp32 rows are a bare memcpy — the cache's mutex + LRU bookkeeping can
+  // only slow them down, so only quantized snapshots go through it.
+  if (config_.cache_rows_per_shard == 0 || snap.bits() == 32) {
+    snap.copy_row(w, out);
+    return;
+  }
+  const std::uint64_t key = cache_key(snap.epoch(), w);
+  // Distribute over all cache shards by key (low bits are the row id), not
+  // by the snapshot's shard — a snapshot with few shards would otherwise
+  // collapse the cache's mutex concurrency to its own shard count.
+  CacheShard& shard = cache_shards_[key % cache_shards_.size()];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      std::memcpy(out, it->second->vec.data(), snap.dim() * sizeof(float));
+      stats_->record_cache_hit();
+      return;
+    }
+  }
+  // Dequantize outside the lock so a burst of misses (cold cache, post-swap
+  // stale epoch) doesn't serialize the unpack work across threads.
+  stats_->record_cache_miss();
+  snap.copy_row(w, out);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.index.count(key) > 0) return;  // another thread raced us in
+  shard.lru.push_front({key, std::vector<float>(out, out + snap.dim())});
+  shard.index[key] = shard.lru.begin();
+  if (shard.lru.size() > config_.cache_rows_per_shard) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+  }
+}
+
+template <typename Resolve>
+LookupResult LookupService::lookup_batch(std::size_t n,
+                                         const Resolve& resolve) const {
+  const auto start = std::chrono::steady_clock::now();
+  const SnapshotPtr snap = store_.live();
+  ANCHOR_CHECK_MSG(snap != nullptr, "lookup against a store with no versions");
+
+  LookupResult result;
+  result.dim = snap->dim();
+  result.version = snap->version();
+  result.vectors.resize(n * snap->dim());
+  result.oov.assign(n, 0);
+
+  std::size_t oov_count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    float* out = result.vectors.data() + i * snap->dim();
+    if (resolve(i, *snap, out)) {
+      result.oov[i] = 1;
+      ++oov_count;
+    }
+  }
+
+  const double latency_us =
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  stats_->record_batch(n, latency_us);
+  if (oov_count > 0) stats_->record_oov(oov_count);
+  return result;
+}
+
+LookupResult LookupService::lookup_ids(
+    const std::vector<std::size_t>& ids) const {
+  return lookup_batch(
+      ids.size(),
+      [&](std::size_t i, const EmbeddingSnapshot& snap, float* out) {
+        if (ids[i] < snap.vocab_size()) {
+          fetch_row(snap, ids[i], out);
+          return false;
+        }
+        std::fill(out, out + snap.dim(), 0.0f);
+        return true;
+      });
+}
+
+LookupResult LookupService::lookup_words(
+    const std::vector<std::string>& words) const {
+  return lookup_batch(
+      words.size(),
+      [&](std::size_t i, const EmbeddingSnapshot& snap, float* out) {
+        std::size_t id = 0;
+        if (parse_synthetic_id(words[i], &id) && id < snap.vocab_size()) {
+          fetch_row(snap, id, out);
+          return false;
+        }
+        snap.synthesize_oov(words[i], out);  // zeroes `out` on failure
+        return true;
+      });
+}
+
+}  // namespace anchor::serve

@@ -1,0 +1,102 @@
+// Thread-safe batched embedding lookup over an EmbeddingStore.
+//
+// The hot path — resolve the live snapshot, gather rows into the caller's
+// output buffer — takes no global lock: the snapshot is an immutable
+// shared_ptr and the only synchronization is a fixed pool of 16 cache
+// shards, each a mutex-guarded LRU keyed by (snapshot epoch, row) — rows
+// spread over the pool by key, independently of the snapshot's own storage
+// sharding. The cache holds *dequantized* vectors, so
+// for quantized snapshots a popular row pays the unpack cost once per swap
+// instead of once per request (the same motivation as util/cache's
+// compute-once-serve-many artifact discipline, applied at row granularity).
+// Cache entries are keyed by (snapshot epoch, row), so a hot swap can never
+// serve a stale generation — old entries age out through normal LRU
+// eviction.
+//
+// Requests may also carry word *strings*; ids outside the live vocabulary
+// fall back to subword synthesis (embed/subword hashed n-grams) when the
+// snapshot carries an OOV table.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/embedding_store.hpp"
+#include "serve/serve_stats.hpp"
+
+namespace anchor::serve {
+
+struct LookupConfig {
+  /// Hot rows cached per *cache* shard (a fixed pool of 16, so total
+  /// capacity is 16× this, shared across live epochs). 0 disables caching.
+  /// Only quantized snapshots use the cache (it skips their repeated
+  /// unpacks); fp32 rows are a bare memcpy and always bypass it.
+  std::size_t cache_rows_per_shard = 256;
+};
+
+/// Result of a batched lookup: vectors are concatenated row-major in
+/// request order (batch_size × dim).
+struct LookupResult {
+  std::size_t dim = 0;
+  std::vector<float> vectors;
+  /// Per-request flags: true when the word was out-of-vocabulary and the
+  /// vector was synthesized (or zeroed) rather than looked up.
+  std::vector<std::uint8_t> oov;
+  std::string version;  // snapshot that answered
+
+  const float* row(std::size_t i) const { return vectors.data() + i * dim; }
+};
+
+class LookupService {
+ public:
+  /// The store must outlive the service. `stats` may be shared with other
+  /// services; when null an internal ServeStats is used.
+  explicit LookupService(const EmbeddingStore& store, LookupConfig config = {},
+                         std::shared_ptr<ServeStats> stats = nullptr);
+
+  /// Batched lookup by word id against the live snapshot. Ids ≥ vocab_size
+  /// yield zero vectors flagged oov (no subword string to synthesize from).
+  LookupResult lookup_ids(const std::vector<std::size_t>& ids) const;
+
+  /// Batched lookup by word string. In-vocabulary synthetic ids ("w0042")
+  /// resolve to their row; anything else takes the subword OOV fallback.
+  LookupResult lookup_words(const std::vector<std::string>& words) const;
+
+  const ServeStats& stats() const { return *stats_; }
+  ServeStats& stats() { return *stats_; }
+
+ private:
+  struct CacheShard {
+    mutable std::mutex mu;
+    // LRU: most-recent at front; map values point into the list.
+    struct Entry {
+      std::uint64_t key = 0;
+      std::vector<float> vec;
+    };
+    std::list<Entry> lru;
+    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index;
+  };
+
+  /// Copies row `w` of `snap` into `out`, through the shard cache.
+  void fetch_row(const EmbeddingSnapshot& snap, std::size_t w,
+                 float* out) const;
+
+  /// Shared batch skeleton: resolve the live snapshot, size the result, run
+  /// `resolve(i, snap, out)` (returns true when request i was OOV) per
+  /// request, record stats. Defined in the .cpp; both public entry points
+  /// instantiate it there.
+  template <typename Resolve>
+  LookupResult lookup_batch(std::size_t n, const Resolve& resolve) const;
+
+  const EmbeddingStore& store_;
+  LookupConfig config_;
+  std::shared_ptr<ServeStats> stats_;
+  mutable std::vector<CacheShard> cache_shards_;
+};
+
+}  // namespace anchor::serve

@@ -1,0 +1,9 @@
+// Umbrella header for the serving subsystem: versioned snapshot storage,
+// batched thread-safe lookup, instability-gated promotion, and runtime
+// stats. See each header for the design rationale.
+#pragma once
+
+#include "serve/deployment_gate.hpp"
+#include "serve/embedding_store.hpp"
+#include "serve/lookup_service.hpp"
+#include "serve/serve_stats.hpp"

@@ -1,0 +1,87 @@
+#include "serve/serve_stats.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace anchor::serve {
+
+void ServeStats::record_batch(std::uint64_t lookups, double latency_us) {
+  lookups_.fetch_add(lookups, std::memory_order_relaxed);
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t slot =
+      latency_cursor_.fetch_add(1, std::memory_order_relaxed) % kLatencyRing;
+  latency_ring_us_[slot].store(static_cast<float>(latency_us),
+                               std::memory_order_relaxed);
+}
+
+StatsSnapshot ServeStats::snapshot() const {
+  StatsSnapshot s;
+  s.lookups = lookups_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  s.oov_fallbacks = oov_fallbacks_.load(std::memory_order_relaxed);
+
+  const auto start = std::chrono::steady_clock::time_point(
+      std::chrono::steady_clock::duration(
+          start_ticks_.load(std::memory_order_relaxed)));
+  s.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (s.elapsed_seconds > 0.0) {
+    s.qps = static_cast<double>(s.lookups) / s.elapsed_seconds;
+  }
+
+  const std::uint64_t written =
+      std::min<std::uint64_t>(latency_cursor_.load(std::memory_order_relaxed),
+                              kLatencyRing);
+  if (written > 0) {
+    std::vector<float> samples(written);
+    for (std::uint64_t i = 0; i < written; ++i) {
+      samples[i] = latency_ring_us_[i].load(std::memory_order_relaxed);
+    }
+    std::sort(samples.begin(), samples.end());
+    const auto pct = [&](double p) {
+      const auto idx = static_cast<std::size_t>(
+          p * static_cast<double>(samples.size() - 1));
+      return static_cast<double>(samples[idx]);
+    };
+    s.p50_latency_us = pct(0.50);
+    s.p99_latency_us = pct(0.99);
+  }
+  return s;
+}
+
+void ServeStats::reset() {
+  lookups_.store(0, std::memory_order_relaxed);
+  batches_.store(0, std::memory_order_relaxed);
+  cache_hits_.store(0, std::memory_order_relaxed);
+  cache_misses_.store(0, std::memory_order_relaxed);
+  oov_fallbacks_.store(0, std::memory_order_relaxed);
+  latency_cursor_.store(0, std::memory_order_relaxed);
+  for (auto& slot : latency_ring_us_) {
+    slot.store(0.0f, std::memory_order_relaxed);
+  }
+  start_ticks_.store(
+      std::chrono::steady_clock::now().time_since_epoch().count(),
+      std::memory_order_relaxed);
+}
+
+std::string StatsSnapshot::summary() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const StatsSnapshot& s) {
+  os << "lookups=" << s.lookups << " batches=" << s.batches
+     << " qps=" << s.qps << " p50=" << s.p50_latency_us
+     << "us p99=" << s.p99_latency_us
+     << "us cache_hit_rate=" << s.cache_hit_rate()
+     << " oov=" << s.oov_fallbacks;
+  return os;
+}
+
+}  // namespace anchor::serve

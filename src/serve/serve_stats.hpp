@@ -1,0 +1,88 @@
+// Serving-side runtime statistics.
+//
+// Counters are lock-free atomics so the lookup hot path never serializes on
+// a stats mutex; latency percentiles come from a fixed-size ring of recent
+// per-batch samples written with a relaxed fetch_add cursor. A snapshot()
+// copies the ring and sorts it off the hot path, so p50/p99 cost is paid by
+// whoever asks for the numbers, not by the servers producing them.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace anchor::serve {
+
+/// Point-in-time view of the counters, produced by ServeStats::snapshot().
+struct StatsSnapshot {
+  std::uint64_t lookups = 0;        // individual vectors served
+  std::uint64_t batches = 0;        // batched requests served
+  std::uint64_t cache_hits = 0;     // hot-row cache hits
+  std::uint64_t cache_misses = 0;
+  std::uint64_t oov_fallbacks = 0;  // lookups answered via subword synthesis
+  double elapsed_seconds = 0.0;     // since construction or last reset
+  double qps = 0.0;                 // lookups / elapsed_seconds
+  double p50_latency_us = 0.0;      // per-batch latency percentiles
+  double p99_latency_us = 0.0;
+
+  double cache_hit_rate() const {
+    const std::uint64_t total = cache_hits + cache_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(cache_hits) /
+                            static_cast<double>(total);
+  }
+
+  /// One-line human-readable summary ("qps=... p50=...us ...").
+  std::string summary() const;
+};
+
+/// Lock-free counters shared by every thread of a LookupService.
+class ServeStats {
+ public:
+  ServeStats() { reset(); }
+
+  /// Records one served batch of `lookups` vectors taking `latency_us`.
+  void record_batch(std::uint64_t lookups, double latency_us);
+  void record_cache_hit(std::uint64_t n = 1) {
+    cache_hits_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void record_cache_miss(std::uint64_t n = 1) {
+    cache_misses_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void record_oov(std::uint64_t n = 1) {
+    oov_fallbacks_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Consistent-enough copy of all counters plus derived rates. Safe to call
+  /// concurrently with recording.
+  StatsSnapshot snapshot() const;
+
+  /// Zeroes every counter and restarts the QPS clock. Concurrent recording
+  /// during a reset can leave a few counts attributed to either side of the
+  /// reset — counters stay valid, only the attribution is fuzzy.
+  void reset();
+
+ private:
+  static constexpr std::size_t kLatencyRing = 4096;
+
+  std::atomic<std::uint64_t> lookups_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> cache_hits_{0};
+  std::atomic<std::uint64_t> cache_misses_{0};
+  std::atomic<std::uint64_t> oov_fallbacks_{0};
+  std::atomic<std::uint64_t> latency_cursor_{0};
+  // Latency samples in microseconds; slots are overwritten oldest-first once
+  // the ring wraps. Relaxed ordering is fine: percentile estimation does not
+  // need a linearizable view.
+  std::array<std::atomic<float>, kLatencyRing> latency_ring_us_{};
+  // steady_clock ticks at the last reset; atomic because snapshot() is
+  // documented safe to call concurrently with reset().
+  std::atomic<std::chrono::steady_clock::rep> start_ticks_{0};
+};
+
+std::ostream& operator<<(std::ostream& os, const StatsSnapshot& s);
+
+}  // namespace anchor::serve

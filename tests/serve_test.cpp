@@ -1,0 +1,599 @@
+// Tests for the serving subsystem: snapshot encoding/sharding, versioned
+// store semantics, thread-safe cached lookup, hot swap under concurrency,
+// and the instability-gated promotion path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <filesystem>
+#include <thread>
+
+#include "compress/quantize.hpp"
+#include "embed/io.hpp"
+#include "serve/serve.hpp"
+#include "util/rng.hpp"
+
+namespace anchor::serve {
+namespace {
+
+embed::Embedding random_embedding(std::size_t vocab, std::size_t dim,
+                                  std::uint64_t seed) {
+  embed::Embedding e(vocab, dim);
+  Rng rng(seed);
+  for (auto& x : e.data) {
+    x = static_cast<float>(rng.normal(0.0, 1.0));
+  }
+  return e;
+}
+
+embed::Embedding perturbed(const embed::Embedding& e, double scale,
+                           std::uint64_t seed) {
+  embed::Embedding out = e;
+  Rng rng(seed);
+  for (auto& x : out.data) {
+    x += static_cast<float>(rng.normal(0.0, scale));
+  }
+  return out;
+}
+
+// ---- EmbeddingSnapshot -------------------------------------------------
+
+TEST(Snapshot, Fp32RoundTripsRowsAcrossShardCounts) {
+  const auto e = random_embedding(37, 8, 1);
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{3},
+                                   std::size_t{8}, std::size_t{64}}) {
+    SnapshotConfig config;
+    config.num_shards = shards;
+    config.build_oov_table = false;
+    EmbeddingSnapshot snap("v1", e, config, 1);
+    std::vector<float> row(e.dim);
+    for (std::size_t w = 0; w < e.vocab_size; ++w) {
+      snap.copy_row(w, row.data());
+      for (std::size_t j = 0; j < e.dim; ++j) {
+        EXPECT_FLOAT_EQ(row[j], e.row(w)[j]) << "shards=" << shards;
+      }
+    }
+  }
+}
+
+TEST(Snapshot, QuantizedRowsMatchCompressQuantizeGrid) {
+  const auto e = random_embedding(25, 6, 2);
+  for (const int bits : {1, 2, 4, 8}) {
+    SnapshotConfig config;
+    config.bits = bits;
+    config.build_oov_table = false;
+    EmbeddingSnapshot snap("q", e, config, 1);
+
+    compress::QuantizeConfig qc;
+    qc.bits = bits;
+    const auto reference = compress::uniform_quantize(e, qc);
+    EXPECT_FLOAT_EQ(snap.clip(), reference.clip);
+
+    std::vector<float> row(e.dim);
+    for (std::size_t w = 0; w < e.vocab_size; ++w) {
+      snap.copy_row(w, row.data());
+      for (std::size_t j = 0; j < e.dim; ++j) {
+        EXPECT_FLOAT_EQ(row[j], reference.embedding.row(w)[j])
+            << "bits=" << bits << " w=" << w << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(Snapshot, QuantizedStorageIsSmaller) {
+  const auto e = random_embedding(64, 32, 3);
+  SnapshotConfig fp32;
+  fp32.build_oov_table = false;
+  SnapshotConfig q8 = fp32;
+  q8.bits = 8;
+  SnapshotConfig q4 = fp32;
+  q4.bits = 4;
+  const std::size_t full = EmbeddingSnapshot("a", e, fp32, 1).memory_bytes();
+  EXPECT_EQ(EmbeddingSnapshot("b", e, q8, 2).memory_bytes(), full / 4);
+  EXPECT_EQ(EmbeddingSnapshot("c", e, q4, 3).memory_bytes(), full / 8);
+}
+
+TEST(Snapshot, ClipOverrideIsHonored) {
+  const auto e = random_embedding(10, 4, 4);
+  SnapshotConfig config;
+  config.bits = 8;
+  config.clip_override = 0.5f;
+  config.build_oov_table = false;
+  EmbeddingSnapshot snap("v", e, config, 1);
+  EXPECT_FLOAT_EQ(snap.clip(), 0.5f);
+  std::vector<float> row(e.dim);
+  for (std::size_t w = 0; w < e.vocab_size; ++w) {
+    snap.copy_row(w, row.data());
+    for (std::size_t j = 0; j < e.dim; ++j) {
+      EXPECT_LE(std::abs(row[j]), 0.5f + 1e-6f);
+    }
+  }
+}
+
+TEST(Snapshot, ToMatrixSubsamplesRows) {
+  const auto e = random_embedding(20, 5, 5);
+  SnapshotConfig config;
+  config.build_oov_table = false;
+  EmbeddingSnapshot snap("v", e, config, 1);
+  const la::Matrix m = snap.to_matrix(7);
+  ASSERT_EQ(m.rows(), 7u);
+  ASSERT_EQ(m.cols(), 5u);
+  for (std::size_t w = 0; w < 7; ++w) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      EXPECT_DOUBLE_EQ(m(w, j), static_cast<double>(e.row(w)[j]));
+    }
+  }
+}
+
+TEST(Snapshot, OovSynthesisUsesSharedNgrams) {
+  const auto e = random_embedding(50, 8, 6);
+  SnapshotConfig config;  // build_oov_table defaults to true
+  EmbeddingSnapshot snap("v", e, config, 1);
+  ASSERT_TRUE(snap.has_oov_table());
+
+  // "w00zz" is out of vocabulary but shares the "<w0"/"w00" prefix n-grams
+  // with every in-vocab synthetic id, so synthesis must find support.
+  std::vector<float> vec(e.dim, -1.0f);
+  EXPECT_TRUE(snap.synthesize_oov("w00zz", vec.data()));
+  double norm = 0.0;
+  for (const float x : vec) norm += static_cast<double>(x) * x;
+  EXPECT_GT(norm, 0.0);
+}
+
+TEST(Snapshot, OovSynthesisWithoutTableZeroesOutput) {
+  const auto e = random_embedding(10, 4, 7);
+  SnapshotConfig config;
+  config.build_oov_table = false;
+  EmbeddingSnapshot snap("v", e, config, 1);
+  std::vector<float> vec(e.dim, -1.0f);
+  EXPECT_FALSE(snap.synthesize_oov("w00zz", vec.data()));
+  for (const float x : vec) EXPECT_EQ(x, 0.0f);
+}
+
+// ---- EmbeddingStore ----------------------------------------------------
+
+TEST(Store, FirstVersionBecomesLive) {
+  EmbeddingStore store;
+  EXPECT_EQ(store.live(), nullptr);
+  store.add_version("2017-01", random_embedding(10, 4, 8));
+  store.add_version("2017-02", random_embedding(10, 4, 9));
+  EXPECT_EQ(store.live_version(), "2017-01");
+  EXPECT_EQ(store.versions().size(), 2u);
+}
+
+TEST(Store, SetLiveSwitchesAndRemoveLiveThrows) {
+  EmbeddingStore store;
+  store.add_version("a", random_embedding(10, 4, 10));
+  store.add_version("b", random_embedding(10, 4, 11));
+  store.set_live("b");
+  EXPECT_EQ(store.live_version(), "b");
+  EXPECT_THROW(store.remove_version("b"), CheckError);
+  store.remove_version("a");
+  EXPECT_FALSE(store.has_version("a"));
+}
+
+TEST(Store, VersionIdsWithCsvMetacharactersAreRejected) {
+  EmbeddingStore store;
+  const auto e = random_embedding(5, 2, 41);
+  EXPECT_THROW(store.add_version("", e), CheckError);
+  EXPECT_THROW(store.add_version("a,b", e), CheckError);
+  EXPECT_THROW(store.add_version("a\nb", e), CheckError);
+}
+
+TEST(Lookup, OverlongNumericWordTakesOovPathNotWraparound) {
+  EmbeddingStore store;
+  store.add_version("v1", random_embedding(10, 4, 42));
+  LookupService service(store);
+  // 2^64 + 1 would wrap a naive accumulator to row 1; it must be OOV.
+  const LookupResult r = service.lookup_words({"w18446744073709551617"});
+  EXPECT_EQ(r.oov[0], 1);
+}
+
+TEST(Store, SetLiveUnknownVersionThrows) {
+  EmbeddingStore store;
+  store.add_version("a", random_embedding(5, 2, 12));
+  EXPECT_THROW(store.set_live("nope"), CheckError);
+}
+
+TEST(Store, SnapshotEpochsAreUnique) {
+  EmbeddingStore store;
+  const auto s1 = store.add_version("a", random_embedding(5, 2, 13));
+  const auto s2 = store.add_version("b", random_embedding(5, 2, 14));
+  const auto s3 = store.add_version("a", random_embedding(5, 2, 15));
+  EXPECT_NE(s1->epoch(), s2->epoch());
+  EXPECT_NE(s2->epoch(), s3->epoch());
+  EXPECT_NE(s1->epoch(), s3->epoch());
+}
+
+TEST(Store, RemoveVersionRefusesLiveNameAfterReregister) {
+  EmbeddingStore store;
+  store.add_version("v", random_embedding(5, 2, 48));  // live (old snapshot)
+  store.add_version("v", random_embedding(5, 2, 49));  // same name, new snap
+  // The registry entry is not the live snapshot, but erasing it would leave
+  // the store serving a version id it no longer knows.
+  EXPECT_THROW(store.remove_version("v"), CheckError);
+  EXPECT_TRUE(store.has_version("v"));
+}
+
+TEST(Store, SetLiveSnapshotRefusesReplacedSnapshot) {
+  EmbeddingStore store;
+  const auto gated = store.add_version("v", random_embedding(5, 2, 45));
+  // A concurrent ingest replaces "v" after the gate captured `gated`.
+  store.add_version("v", random_embedding(5, 2, 46));
+  EXPECT_FALSE(store.set_live_snapshot(gated));
+  EXPECT_EQ(store.live()->epoch(), gated->epoch());  // live unchanged
+  EXPECT_TRUE(store.set_live_snapshot(store.snapshot("v")));
+}
+
+TEST(Snapshot, NanEntriesQuantizeAsZeroNotUb) {
+  embed::Embedding e = random_embedding(4, 4, 47);
+  e.row(1)[2] = std::nanf("");
+  SnapshotConfig config;
+  config.bits = 8;
+  config.build_oov_table = false;
+  EmbeddingSnapshot snap("v", e, config, 1);
+  std::vector<float> row(e.dim);
+  snap.copy_row(1, row.data());
+  // The NaN entry lands on the grid point nearest 0, not garbage.
+  EXPECT_TRUE(std::isfinite(row[2]));
+  EXPECT_NEAR(row[2], 0.0f, snap.clip() / 100.0f);
+}
+
+TEST(Store, LoadVersionFromDisk) {
+  const auto e = random_embedding(12, 6, 16);
+  const auto path = std::filesystem::temp_directory_path() /
+                    "anchor_serve_store_test.txt";
+  embed::save_text(e, path);
+  EmbeddingStore store;
+  const auto snap = store.load_version("disk", path);
+  std::filesystem::remove(path);
+  ASSERT_EQ(snap->vocab_size(), e.vocab_size);
+  std::vector<float> row(e.dim);
+  snap->copy_row(3, row.data());
+  for (std::size_t j = 0; j < e.dim; ++j) {
+    EXPECT_NEAR(row[j], e.row(3)[j], 1e-5f);
+  }
+}
+
+TEST(Store, TotalMemoryCountsAllVersions) {
+  EmbeddingStore store;
+  store.add_version("a", random_embedding(16, 8, 17),
+                    {.bits = 32, .build_oov_table = false});
+  const std::size_t one = store.total_memory_bytes();
+  store.add_version("b", random_embedding(16, 8, 18),
+                    {.bits = 8, .build_oov_table = false});
+  EXPECT_EQ(store.total_memory_bytes(), one + one / 4);
+}
+
+// ---- LookupService -----------------------------------------------------
+
+TEST(Lookup, BatchedIdsMatchSnapshotRows) {
+  EmbeddingStore store;
+  const auto e = random_embedding(30, 8, 19);
+  store.add_version("v1", e);
+  LookupService service(store);
+
+  const std::vector<std::size_t> ids = {0, 7, 7, 29, 13};
+  const LookupResult result = service.lookup_ids(ids);
+  EXPECT_EQ(result.version, "v1");
+  ASSERT_EQ(result.dim, e.dim);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(result.oov[i], 0);
+    for (std::size_t j = 0; j < e.dim; ++j) {
+      EXPECT_FLOAT_EQ(result.row(i)[j], e.row(ids[i])[j]);
+    }
+  }
+}
+
+TEST(Lookup, OutOfRangeIdsAreZeroedAndFlagged) {
+  EmbeddingStore store;
+  store.add_version("v1", random_embedding(5, 4, 20));
+  LookupService service(store);
+  const LookupResult result = service.lookup_ids({2, 100});
+  EXPECT_EQ(result.oov[0], 0);
+  EXPECT_EQ(result.oov[1], 1);
+  for (std::size_t j = 0; j < result.dim; ++j) {
+    EXPECT_EQ(result.row(1)[j], 0.0f);
+  }
+  EXPECT_EQ(service.stats().snapshot().oov_fallbacks, 1u);
+}
+
+TEST(Lookup, EmptyStoreThrows) {
+  EmbeddingStore store;
+  LookupService service(store);
+  EXPECT_THROW(service.lookup_ids({0}), CheckError);
+}
+
+TEST(Lookup, RepeatedRowsHitTheCache) {
+  EmbeddingStore store;
+  store.add_version("v1", random_embedding(20, 8, 21),
+                    {.bits = 8, .build_oov_table = false});
+  LookupService service(store);
+  service.lookup_ids({3, 3, 3, 3});
+  const auto stats = service.stats().snapshot();
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.cache_hits, 3u);
+  EXPECT_GT(stats.cache_hit_rate(), 0.7);
+}
+
+TEST(Lookup, CacheDisabledRecordsNothing) {
+  EmbeddingStore store;
+  store.add_version("v1", random_embedding(20, 8, 22),
+                    {.bits = 8, .build_oov_table = false});
+  LookupService service(store, {.cache_rows_per_shard = 0});
+  service.lookup_ids({3, 3, 3});
+  const auto stats = service.stats().snapshot();
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, 0u);
+  EXPECT_EQ(stats.lookups, 3u);
+}
+
+TEST(Lookup, Fp32SnapshotsBypassTheCache) {
+  EmbeddingStore store;
+  store.add_version("v1", random_embedding(20, 8, 22));  // fp32
+  LookupService service(store);  // caching enabled
+  service.lookup_ids({3, 3, 3});
+  const auto stats = service.stats().snapshot();
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, 0u);
+}
+
+TEST(Lookup, HotSwapServesNewVersionNotStaleCache) {
+  EmbeddingStore store;
+  const auto e1 = random_embedding(10, 4, 23);
+  const auto e2 = random_embedding(10, 4, 24);
+  store.add_version("v1", e1);
+  store.add_version("v2", e2);
+  LookupService service(store);
+
+  service.lookup_ids({5, 5});  // warm the cache with v1's row 5
+  store.set_live("v2");
+  const LookupResult result = service.lookup_ids({5});
+  EXPECT_EQ(result.version, "v2");
+  for (std::size_t j = 0; j < result.dim; ++j) {
+    EXPECT_FLOAT_EQ(result.row(0)[j], e2.row(5)[j]);
+  }
+}
+
+TEST(Lookup, WordsResolveInVocabAndSynthesizeOov) {
+  EmbeddingStore store;
+  const auto e = random_embedding(50, 8, 25);
+  store.add_version("v1", e);  // OOV table on by default
+  LookupService service(store);
+
+  const LookupResult result = service.lookup_words({"w0003", "w00zz"});
+  EXPECT_EQ(result.oov[0], 0);
+  for (std::size_t j = 0; j < e.dim; ++j) {
+    EXPECT_FLOAT_EQ(result.row(0)[j], e.row(3)[j]);
+  }
+  EXPECT_EQ(result.oov[1], 1);
+  double norm = 0.0;
+  for (std::size_t j = 0; j < e.dim; ++j) {
+    norm += static_cast<double>(result.row(1)[j]) * result.row(1)[j];
+  }
+  EXPECT_GT(norm, 0.0);  // synthesized, not zeroed
+  EXPECT_EQ(service.stats().snapshot().oov_fallbacks, 1u);
+}
+
+TEST(Lookup, ConcurrentLookupsDuringHotSwapStayConsistent) {
+  EmbeddingStore store;
+  const auto e1 = random_embedding(64, 8, 26);
+  const auto e2 = random_embedding(64, 8, 27);
+  store.add_version("v1", e1);
+  store.add_version("v2", e2);
+  LookupService service(store);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> inconsistencies{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(100 + static_cast<std::uint64_t>(t));
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::vector<std::size_t> ids(8);
+        for (auto& id : ids) id = rng.index(64);
+        const LookupResult r = service.lookup_ids(ids);
+        const embed::Embedding& expect = r.version == "v1" ? e1 : e2;
+        for (std::size_t i = 0; i < ids.size(); ++i) {
+          for (std::size_t j = 0; j < r.dim; ++j) {
+            if (r.row(i)[j] != expect.row(ids[i])[j]) {
+              inconsistencies.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        }
+      }
+    });
+  }
+  // Flap the live version while the workers hammer lookups.
+  for (int swap = 0; swap < 50; ++swap) {
+    store.set_live(swap % 2 == 0 ? "v2" : "v1");
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stop.store(true);
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(inconsistencies.load(), 0);
+  EXPECT_GT(service.stats().snapshot().lookups, 0u);
+}
+
+// ---- ServeStats --------------------------------------------------------
+
+TEST(Stats, CountsAndPercentiles) {
+  ServeStats stats;
+  for (int i = 1; i <= 100; ++i) {
+    stats.record_batch(10, static_cast<double>(i));
+  }
+  const StatsSnapshot snap = stats.snapshot();
+  EXPECT_EQ(snap.lookups, 1000u);
+  EXPECT_EQ(snap.batches, 100u);
+  EXPECT_GT(snap.qps, 0.0);
+  EXPECT_NEAR(snap.p50_latency_us, 50.0, 2.0);
+  EXPECT_NEAR(snap.p99_latency_us, 99.0, 2.0);
+  EXPECT_FALSE(snap.summary().empty());
+}
+
+TEST(Stats, ResetZeroesEverything) {
+  ServeStats stats;
+  stats.record_batch(5, 1.0);
+  stats.record_cache_hit();
+  stats.reset();
+  const StatsSnapshot snap = stats.snapshot();
+  EXPECT_EQ(snap.lookups, 0u);
+  EXPECT_EQ(snap.cache_hits, 0u);
+  EXPECT_EQ(snap.p99_latency_us, 0.0);
+}
+
+// ---- DeploymentGate ----------------------------------------------------
+
+TEST(Gate, IdenticalSnapshotsScoreNearZeroAndAdmit) {
+  const auto e = random_embedding(120, 8, 28);
+  EmbeddingStore store;
+  store.add_version("old", e);
+  store.add_version("new", e);
+  GateConfig config;
+  config.knn_queries = 64;
+  DeploymentGate gate(config);
+  const GateReport report =
+      gate.evaluate(*store.snapshot("old"), *store.snapshot("new"));
+  EXPECT_NEAR(report.eis, 0.0, 1e-6);
+  EXPECT_NEAR(report.one_minus_knn, 0.0, 1e-9);
+  EXPECT_EQ(report.decision, GateDecision::kAdmit);
+}
+
+TEST(Gate, UnrelatedSnapshotScoresHigherThanPerturbed) {
+  const auto e = random_embedding(120, 8, 29);
+  EmbeddingStore store;
+  store.add_version("old", e);
+  store.add_version("minor", perturbed(e, 0.05, 30));
+  store.add_version("alien", random_embedding(120, 8, 31));
+  GateConfig config;
+  config.knn_queries = 64;
+  DeploymentGate gate(config);
+  const auto minor =
+      gate.evaluate(*store.snapshot("old"), *store.snapshot("minor"));
+  const auto alien =
+      gate.evaluate(*store.snapshot("old"), *store.snapshot("alien"));
+  EXPECT_LT(minor.eis, alien.eis);
+  EXPECT_LT(minor.one_minus_knn, alien.one_minus_knn);
+}
+
+TEST(Gate, TryPromoteAdmitsLowAndRejectsHighInstability) {
+  const auto e = random_embedding(120, 8, 32);
+  EmbeddingStore store;
+  store.add_version("old", e);
+  store.add_version("minor", perturbed(e, 0.05, 33));
+  store.add_version("alien", random_embedding(120, 8, 34));
+
+  // Self-calibrate the thresholds between the two candidates' measured
+  // values, the way an operator would pin them from rollout history.
+  GateConfig probe;
+  probe.knn_queries = 64;
+  const auto lo = DeploymentGate(probe).evaluate(*store.snapshot("old"),
+                                                 *store.snapshot("minor"));
+  const auto hi = DeploymentGate(probe).evaluate(*store.snapshot("old"),
+                                                 *store.snapshot("alien"));
+  ASSERT_LT(lo.eis, hi.eis);
+
+  GateConfig config = probe;
+  config.eis_warn = config.eis_reject = 0.5 * (lo.eis + hi.eis);
+  config.knn_warn = config.knn_reject =
+      std::max(1.001 * hi.one_minus_knn, 1e-3);
+  DeploymentGate gate(config);
+
+  const GateReport rejected = gate.try_promote(store, "alien");
+  EXPECT_EQ(rejected.decision, GateDecision::kReject);
+  EXPECT_FALSE(rejected.promoted);
+  EXPECT_EQ(store.live_version(), "old");
+
+  const GateReport admitted = gate.try_promote(store, "minor");
+  EXPECT_NE(admitted.decision, GateDecision::kReject);
+  EXPECT_TRUE(admitted.promoted);
+  EXPECT_EQ(store.live_version(), "minor");
+}
+
+TEST(Gate, NoIncumbentAdmitsUnconditionally) {
+  EmbeddingStore store;
+  LookupService service(store);
+  store.add_version("first", random_embedding(20, 4, 35));
+  // add_version already made it live; promoting the live version again is a
+  // no-op admit.
+  DeploymentGate gate;
+  const GateReport report = gate.try_promote(store, "first");
+  EXPECT_EQ(report.decision, GateDecision::kAdmit);
+  EXPECT_TRUE(report.promoted);
+}
+
+TEST(Gate, ReregisteredLiveVersionNameIsStillGated) {
+  const auto e = random_embedding(120, 8, 43);
+  EmbeddingStore store;
+  store.add_version("v1", e);  // live
+  // A botched refresh re-registered under the SAME version id must not
+  // bypass the gate via the name shortcut: live_ still points at the old
+  // snapshot, so the comparison is identity, not string equality.
+  store.add_version("v1", random_embedding(120, 8, 44));
+  GateConfig config;
+  config.knn_queries = 64;
+  config.eis_reject = 1e-6;  // anything non-identical rejects
+  config.eis_warn = 1e-6;
+  const GateReport report =
+      DeploymentGate(config).try_promote(store, "v1");
+  EXPECT_EQ(report.decision, GateDecision::kReject);
+  EXPECT_FALSE(report.promoted);
+  // The incumbent snapshot keeps serving.
+  EXPECT_EQ(store.live()->epoch(), 1u);
+}
+
+TEST(Gate, UnknownCandidateThrows) {
+  EmbeddingStore store;
+  store.add_version("a", random_embedding(10, 4, 36));
+  DeploymentGate gate;
+  EXPECT_THROW(gate.try_promote(store, "ghost"), CheckError);
+}
+
+TEST(Gate, DifferingDimensionsAreComparable) {
+  EmbeddingStore store;
+  store.add_version("d8", random_embedding(100, 8, 37));
+  store.add_version("d16", random_embedding(100, 16, 38));
+  GateConfig config;
+  config.knn_queries = 32;
+  DeploymentGate gate(config);
+  const auto report =
+      gate.evaluate(*store.snapshot("d8"), *store.snapshot("d16"));
+  EXPECT_GT(report.eis, 0.0);
+  EXPECT_EQ(report.rows_compared, 100u);
+}
+
+TEST(Gate, AuditLogRoundTrips) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("anchor_serve_audit_" + std::to_string(::getpid()) +
+                     ".csv");
+  std::filesystem::remove(path);
+
+  const auto e = random_embedding(80, 6, 39);
+  EmbeddingStore store;
+  store.add_version("old", e);
+  store.add_version("new", perturbed(e, 0.05, 40));
+  GateConfig config;
+  config.knn_queries = 32;
+  config.audit_log = path;
+  DeploymentGate gate(config);
+  gate.try_promote(store, "new");
+  gate.try_promote(store, "new");  // already-live no-op also audited
+
+  // A row with an empty reason (the struct default) must also round-trip:
+  // getline drops the field after a trailing comma.
+  GateReport bare;
+  bare.old_version = "x";
+  bare.new_version = "y";
+  append_audit_csv(path, bare);
+
+  const auto rows = read_audit_csv(path);
+  std::filesystem::remove(path);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[2].reason, "");
+  EXPECT_EQ(rows[0].old_version, "old");
+  EXPECT_EQ(rows[0].new_version, "new");
+  EXPECT_TRUE(rows[0].promoted);
+  EXPECT_GE(rows[0].eis, 0.0);
+  EXPECT_EQ(rows[1].reason, "candidate is already live");
+}
+
+}  // namespace
+}  // namespace anchor::serve

@@ -4,8 +4,10 @@
 
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 
+#include "la/matrix.hpp"
 #include "util/cache.hpp"
 #include "util/check.hpp"
 #include "util/io.hpp"
@@ -212,6 +214,55 @@ TEST_F(CacheTest, PersistsAcrossInstances) {
   ArtifactCache reopened(dir_);
   EXPECT_EQ(reopened.load<float>("persist").value(),
             std::vector<float>{9.0f});
+}
+
+TEST_F(CacheTest, HashCollisionDetectedViaKeySidecar) {
+  ArtifactCache cache(dir_);
+  cache.store("honest-key", std::vector<float>{1.0f});
+  // Simulate an fnv64 collision: another key hashed to the same file name,
+  // so its sidecar records a different full key. The cache must refuse to
+  // serve the blob rather than silently return the wrong artifact.
+  std::ostringstream name;
+  name << std::hex << fnv1a("honest-key") << ".key";
+  std::ofstream side(dir_ / name.str(), std::ios::binary | std::ios::trunc);
+  side << "colliding-key";
+  side.close();
+  EXPECT_THROW(cache.load<float>("honest-key"), CheckError);
+  EXPECT_THROW(cache.contains("honest-key"), CheckError);
+}
+
+TEST_F(CacheTest, MissingSidecarIsAMissNotACollision) {
+  ArtifactCache cache(dir_);
+  cache.store("k", std::vector<float>{2.0f});
+  std::ostringstream name;
+  name << std::hex << fnv1a("k") << ".key";
+  std::filesystem::remove(dir_ / name.str());
+  EXPECT_FALSE(cache.contains("k"));
+  EXPECT_FALSE(cache.load<float>("k").has_value());
+}
+
+TEST_F(CacheTest, FromEnvPrefersEnvVarAndFallsBack) {
+  const auto env_dir = dir_ / "env";
+  const auto fallback_dir = dir_ / "fallback";
+  ::setenv("ANCHOR_CACHE_DIR", env_dir.string().c_str(), 1);
+  EXPECT_EQ(ArtifactCache::from_env(fallback_dir).dir(), env_dir);
+  ::setenv("ANCHOR_CACHE_DIR", "", 1);  // empty counts as unset
+  EXPECT_EQ(ArtifactCache::from_env(fallback_dir).dir(), fallback_dir);
+  ::unsetenv("ANCHOR_CACHE_DIR");
+  EXPECT_EQ(ArtifactCache::from_env(fallback_dir).dir(), fallback_dir);
+}
+
+TEST_F(CacheTest, MatrixRoundTripsThroughStorage) {
+  ArtifactCache cache(dir_);
+  la::Matrix m(3, 2);
+  m(0, 0) = 1.5;
+  m(1, 1) = -2.25;
+  m(2, 0) = 1e-12;
+  cache.store("matrix/3x2", m.storage());
+  const auto loaded = cache.load<double>("matrix/3x2");
+  ASSERT_TRUE(loaded.has_value());
+  const la::Matrix back(3, 2, *loaded);
+  EXPECT_EQ(la::max_abs_diff(m, back), 0.0);
 }
 
 TEST_F(CacheTest, DistinctKeysDistinctValues) {

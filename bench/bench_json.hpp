@@ -1,0 +1,123 @@
+// Minimal streaming JSON writer for machine-readable bench baselines.
+//
+// The perf benches print human tables to stdout *and* append structured
+// records to a BENCH_*.json file so the perf trajectory across PRs is
+// diffable. Deliberately tiny: objects, arrays, string/number/bool leaves,
+// no reading. Commas and nesting are tracked internally; keys must be
+// valid per the caller (no escaping needed beyond quotes/backslashes,
+// handled here).
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace anchor::bench {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() {
+    comma();
+    out_ << '{';
+    fresh_.push_back(true);
+    return *this;
+  }
+  JsonWriter& end_object() {
+    out_ << '}';
+    fresh_.pop_back();
+    return *this;
+  }
+  JsonWriter& begin_array() {
+    comma();
+    out_ << '[';
+    fresh_.push_back(true);
+    return *this;
+  }
+  JsonWriter& end_array() {
+    out_ << ']';
+    fresh_.pop_back();
+    return *this;
+  }
+  JsonWriter& key(const std::string& k) {
+    comma();
+    out_ << '"' << escape(k) << "\":";
+    pending_value_ = true;
+    return *this;
+  }
+  JsonWriter& value(const std::string& v) {
+    comma();
+    out_ << '"' << escape(v) << '"';
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string(v)); }
+  JsonWriter& value(double v) {
+    comma();
+    std::ostringstream num;
+    num.precision(10);
+    num << v;
+    out_ << num.str();
+    return *this;
+  }
+  JsonWriter& value(std::size_t v) {
+    comma();
+    out_ << v;
+    return *this;
+  }
+  JsonWriter& value(int v) {
+    comma();
+    out_ << v;
+    return *this;
+  }
+  JsonWriter& value(bool v) {
+    comma();
+    out_ << (v ? "true" : "false");
+    return *this;
+  }
+  template <typename T>
+  JsonWriter& kv(const std::string& k, const T& v) {
+    return key(k).value(v);
+  }
+
+  std::string str() const { return out_.str(); }
+
+  /// Writes the document to `path` (overwriting) with a trailing newline.
+  void write_file(const std::string& path) const {
+    std::ofstream f(path);
+    ANCHOR_CHECK_MSG(f.good(), "cannot open " << path << " for writing");
+    f << out_.str() << '\n';
+    ANCHOR_CHECK_MSG(f.good(), "write failure on " << path);
+  }
+
+ private:
+  // Emits the separating comma for the current nesting level; a value
+  // directly after key() never takes one.
+  void comma() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;
+    }
+    if (!fresh_.empty()) {
+      if (!fresh_.back()) out_ << ',';
+      fresh_.back() = false;
+    }
+  }
+
+  static std::string escape(const std::string& s) {
+    std::string r;
+    r.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') r.push_back('\\');
+      r.push_back(c);
+    }
+    return r;
+  }
+
+  std::ostringstream out_;
+  std::vector<bool> fresh_;
+  bool pending_value_ = false;
+};
+
+}  // namespace anchor::bench

@@ -1,0 +1,290 @@
+// Kernel-layer microbench: scalar vs SIMD for every la/kernels primitive,
+// plus end-to-end DeploymentGate::evaluate wall time on a 50k×300 snapshot
+// pair at 1/4/8 measure threads.
+//
+// Emits a human table to stdout and a machine-readable baseline to
+// BENCH_kernels.json (override with --json <path>) so the perf trajectory
+// is recorded across PRs. --smoke shrinks repetitions for CI (~seconds).
+//
+// Run: ./build/bench/bench_kernels [--smoke] [--json path]
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.hpp"
+#include "la/kernels.hpp"
+#include "serve/serve.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace anchor;
+namespace k = la::kernels;
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Times fn() repeated `reps` times; returns seconds per call. A volatile
+/// sink defeats dead-code elimination in the measured loops.
+volatile double g_sink = 0.0;
+
+template <typename Fn>
+double time_per_call(std::size_t reps, const Fn& fn) {
+  fn();  // warm caches and the dispatch branch
+  const double t0 = now_seconds();
+  for (std::size_t r = 0; r < reps; ++r) fn();
+  return (now_seconds() - t0) / static_cast<double>(reps);
+}
+
+struct Cell {
+  std::string name;
+  std::string config;
+  double scalar_ns = 0.0;
+  double simd_ns = 0.0;
+  double speedup() const {
+    return simd_ns > 0.0 ? scalar_ns / simd_ns : 0.0;
+  }
+};
+
+std::vector<double> random_vec(std::size_t n, std::uint64_t seed) {
+  std::vector<double> v(n);
+  Rng rng(seed);
+  for (auto& x : v) x = rng.normal(0.0, 1.0);
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path = "BENCH_kernels.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") smoke = true;
+    if (arg == "--json" && i + 1 < argc) json_path = argv[++i];
+  }
+
+  const std::size_t dim = 300;
+  const std::size_t reps = smoke ? 20000 : 200000;
+  std::cout << "\n=== la/kernels microbench (dim=" << dim
+            << ", simd=" << (k::simd_available() ? "avx2" : "unavailable")
+            << ", " << (smoke ? "smoke" : "full") << ") ===\n\n";
+
+  std::vector<Cell> cells;
+
+  // ---- vector kernels --------------------------------------------------
+  {
+    const auto a = random_vec(dim, 1);
+    const auto b = random_vec(dim, 2);
+    Cell c{"dot", "d=300", 0, 0};
+    k::set_simd_enabled(false);
+    c.scalar_ns = 1e9 * time_per_call(reps, [&] {
+      g_sink = k::dot(a.data(), b.data(), dim);
+    });
+    k::set_simd_enabled(true);
+    c.simd_ns = 1e9 * time_per_call(reps, [&] {
+      g_sink = k::dot(a.data(), b.data(), dim);
+    });
+    cells.push_back(c);
+  }
+  {
+    const auto x = random_vec(dim, 3);
+    auto y = random_vec(dim, 4);
+    Cell c{"axpy", "d=300", 0, 0};
+    k::set_simd_enabled(false);
+    c.scalar_ns = 1e9 * time_per_call(reps, [&] {
+      k::axpy(1e-9, x.data(), y.data(), dim);
+    });
+    k::set_simd_enabled(true);
+    c.simd_ns = 1e9 * time_per_call(reps, [&] {
+      k::axpy(1e-9, x.data(), y.data(), dim);
+    });
+    g_sink = y[0];
+    cells.push_back(c);
+  }
+  {
+    auto x = random_vec(dim, 5);
+    Cell c{"l2_normalize", "d=300", 0, 0};
+    k::set_simd_enabled(false);
+    c.scalar_ns = 1e9 * time_per_call(reps, [&] {
+      g_sink = k::l2_normalize(x.data(), dim);
+    });
+    k::set_simd_enabled(true);
+    c.simd_ns = 1e9 * time_per_call(reps, [&] {
+      g_sink = k::l2_normalize(x.data(), dim);
+    });
+    cells.push_back(c);
+  }
+
+  // ---- matrix kernels --------------------------------------------------
+  {
+    const std::size_t rows = 4096;
+    const auto m = random_vec(rows * dim, 6);
+    const auto x = random_vec(dim, 7);
+    std::vector<double> y(rows);
+    const std::size_t mat_reps = smoke ? 20 : 200;
+    Cell c{"matvec_rowmajor", "4096x300", 0, 0};
+    k::set_simd_enabled(false);
+    c.scalar_ns = 1e9 * time_per_call(mat_reps, [&] {
+      k::matvec_rowmajor(m.data(), rows, dim, x.data(), y.data());
+    });
+    k::set_simd_enabled(true);
+    c.simd_ns = 1e9 * time_per_call(mat_reps, [&] {
+      k::matvec_rowmajor(m.data(), rows, dim, x.data(), y.data());
+    });
+    g_sink = y[0];
+    cells.push_back(c);
+  }
+  {
+    const std::size_t ar = 512, br = 512;
+    const auto a = random_vec(ar * dim, 8);
+    const auto b = random_vec(br * dim, 9);
+    std::vector<double> cbuf(ar * br);
+    const std::size_t gemm_reps = smoke ? 2 : 10;
+    Cell c{"gemm_nt", "512x512x300", 0, 0};
+    k::set_simd_enabled(false);
+    c.scalar_ns = 1e9 * time_per_call(gemm_reps, [&] {
+      k::gemm_nt(a.data(), ar, b.data(), br, dim, cbuf.data());
+    });
+    k::set_simd_enabled(true);
+    c.simd_ns = 1e9 * time_per_call(gemm_reps, [&] {
+      k::gemm_nt(a.data(), ar, b.data(), br, dim, cbuf.data());
+    });
+    g_sink = cbuf[0];
+    cells.push_back(c);
+  }
+
+  // ---- fused dequantize ------------------------------------------------
+  for (const int bits : {1, 2, 4, 8}) {
+    const std::size_t rows = 4096;
+    const float clip = 1.0f;
+    std::vector<std::uint8_t> packed(rows * k::packed_row_bytes(dim, bits));
+    Rng rng(10);
+    for (auto& byte : packed) {
+      byte = static_cast<std::uint8_t>(rng.next_u64() & 0xff);
+    }
+    std::vector<float> out(rows * dim);
+    const std::size_t dq_reps = smoke ? 10 : 100;
+    Cell c{"dequantize_rows", "4096x300 b=" + std::to_string(bits), 0, 0};
+    k::set_simd_enabled(false);
+    c.scalar_ns = 1e9 * time_per_call(dq_reps, [&] {
+      k::dequantize_rows(packed.data(), rows, dim, bits, clip, out.data());
+    });
+    k::set_simd_enabled(true);
+    c.simd_ns = 1e9 * time_per_call(dq_reps, [&] {
+      k::dequantize_rows(packed.data(), rows, dim, bits, clip, out.data());
+    });
+    g_sink = out[0];
+    cells.push_back(c);
+  }
+
+  TextTable table({"kernel", "config", "scalar ns", "simd ns", "speedup"});
+  for (const Cell& c : cells) {
+    table.add_row({c.name, c.config, format_double(c.scalar_ns, 1),
+                   format_double(c.simd_ns, 1),
+                   format_double(c.speedup(), 2) + "x"});
+  }
+  table.print(std::cout);
+
+  // ---- end-to-end gate evaluation -------------------------------------
+  // The serving-time shape from the ISSUE: a 50k×300 incumbent/candidate
+  // pair, measures subsampled to the gate's default 2048 rows.
+  const std::size_t vocab = smoke ? 10000 : 50000;
+  std::cout << "\nDeploymentGate::evaluate, " << vocab
+            << "x300 fp32 pair (max_rows=" << (smoke ? 512 : 2048) << "):\n";
+  embed::Embedding source(vocab, dim);
+  Rng rng(20);
+  for (auto& x : source.data) x = static_cast<float>(rng.normal(0.0, 1.0));
+  embed::Embedding refreshed = source;
+  for (auto& x : refreshed.data) {
+    x += static_cast<float>(rng.normal(0.0, 0.05));
+  }
+  serve::SnapshotConfig sc;
+  sc.build_oov_table = false;
+  serve::EmbeddingSnapshot incumbent("live", source, sc, 1);
+  serve::EmbeddingSnapshot candidate("next", refreshed, sc, 2);
+
+  serve::GateConfig gc;
+  gc.max_rows = smoke ? 512 : 2048;
+  const serve::DeploymentGate gate(gc);
+  const std::size_t gate_reps = smoke ? 1 : 3;
+
+  struct GateCell {
+    std::string variant;
+    std::size_t threads = 1;
+    double ms = 0.0;
+  };
+  std::vector<GateCell> gate_cells;
+  k::set_simd_enabled(false);
+  util::set_global_pool_threads(1);
+  gate_cells.push_back(
+      {"scalar", 1, 1e3 * time_per_call(gate_reps, [&] {
+         g_sink = gate.evaluate(incumbent, candidate).eis;
+       })});
+  k::set_simd_enabled(true);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4},
+                                    std::size_t{8}}) {
+    util::set_global_pool_threads(threads);
+    gate_cells.push_back(
+        {"simd", threads, 1e3 * time_per_call(gate_reps, [&] {
+           g_sink = gate.evaluate(incumbent, candidate).eis;
+         })});
+  }
+  util::set_global_pool_threads(0);
+
+  TextTable gate_table({"variant", "threads", "evaluate ms", "speedup"});
+  const double scalar_ms = gate_cells.front().ms;
+  for (const GateCell& c : gate_cells) {
+    gate_table.add_row({c.variant, std::to_string(c.threads),
+                        format_double(c.ms, 1),
+                        format_double(scalar_ms / c.ms, 2) + "x"});
+  }
+  gate_table.print(std::cout);
+  std::cout << "(threads > hardware cores cannot speed up further; this "
+               "host has "
+            << std::thread::hardware_concurrency() << ")\n";
+
+  // ---- machine-readable baseline --------------------------------------
+  bench::JsonWriter json;
+  json.begin_object();
+  json.kv("bench", "kernels");
+  json.kv("mode", smoke ? "smoke" : "full");
+  json.key("host").begin_object();
+  json.kv("simd_available", k::simd_available());
+  json.kv("isa", k::simd_available() ? "avx2" : "scalar");
+  json.kv("hardware_threads",
+          static_cast<std::size_t>(std::thread::hardware_concurrency()));
+  json.end_object();
+  json.key("kernels").begin_array();
+  for (const Cell& c : cells) {
+    json.begin_object();
+    json.kv("name", c.name);
+    json.kv("config", c.config);
+    json.kv("scalar_ns", c.scalar_ns);
+    json.kv("simd_ns", c.simd_ns);
+    json.kv("speedup", c.speedup());
+    json.end_object();
+  }
+  json.end_array();
+  json.key("gate_evaluate").begin_array();
+  for (const GateCell& c : gate_cells) {
+    json.begin_object();
+    json.kv("variant", c.variant);
+    json.kv("threads", c.threads);
+    json.kv("ms", c.ms);
+    json.kv("speedup_vs_scalar", scalar_ms / c.ms);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  json.write_file(json_path);
+  std::cout << "\nwrote " << json_path << "\n";
+  return 0;
+}

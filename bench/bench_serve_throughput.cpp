@@ -5,11 +5,17 @@
 // nothing.
 //
 // Reported numbers are aggregate QPS (vectors/sec) and per-batch p50/p99
-// latency from ServeStats. Run: ./build/bench/bench_serve_throughput
+// latency from ServeStats; every cell is also appended to a machine-
+// readable BENCH_serve.json (override with --json <path>) so the serving
+// perf trajectory is recorded across PRs.
+// Run: ./build/bench/bench_serve_throughput [--json path]
 #include <iostream>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "bench/bench_json.hpp"
+#include "la/kernels.hpp"
 #include "serve/serve.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -59,17 +65,31 @@ serve::StatsSnapshot run_cell(serve::LookupService& service, int threads) {
   return service.stats().snapshot();
 }
 
-void add_row(TextTable& table, const std::string& label,
-             const serve::StatsSnapshot& s, int threads) {
+struct BenchCell {
+  std::string config;
+  int threads = 0;
+  serve::StatsSnapshot stats;
+};
+
+void add_row(TextTable& table, std::vector<BenchCell>& cells,
+             const std::string& label, const serve::StatsSnapshot& s,
+             int threads) {
   table.add_row({label, std::to_string(threads),
                  format_double(s.qps / 1e6, 2), format_double(s.p50_latency_us, 1),
                  format_double(s.p99_latency_us, 1),
                  format_double(100.0 * s.cache_hit_rate(), 1) + "%"});
+  cells.push_back({label, threads, s});
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_serve.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
   std::cout << "\n=== Serving throughput (EmbeddingStore + LookupService) "
                "===\n"
             << "vocab=" << kVocab << " dim=" << kDim << " batch=" << kBatch
@@ -91,20 +111,24 @@ int main() {
 
   TextTable table({"config", "threads", "Mqps", "p50 us", "p99 us",
                    "cache hit"});
+  std::vector<BenchCell> cells;
   for (const int threads : {1, 2, 4, 8}) {
     store.set_live("fp32");
     {
       serve::LookupService service(store, {.cache_rows_per_shard = 0});
-      add_row(table, "fp32 nocache", run_cell(service, threads), threads);
+      add_row(table, cells, "fp32 nocache", run_cell(service, threads),
+              threads);
     }
     store.set_live("int8");
     {
       serve::LookupService service(store, {.cache_rows_per_shard = 0});
-      add_row(table, "int8 nocache", run_cell(service, threads), threads);
+      add_row(table, cells, "int8 nocache", run_cell(service, threads),
+              threads);
     }
     {
       serve::LookupService service(store, {.cache_rows_per_shard = 1024});
-      add_row(table, "int8 cached", run_cell(service, threads), threads);
+      add_row(table, cells, "int8 cached", run_cell(service, threads),
+              threads);
     }
   }
   table.print(std::cout);
@@ -137,7 +161,44 @@ int main() {
   }
   stop.store(true);
   for (auto& w : workers) w.join();
-  std::cout << "  " << service.stats().snapshot().summary() << "\n";
+  const auto swap_stats = service.stats().snapshot();
+  std::cout << "  " << swap_stats.summary() << "\n";
+
+  bench::JsonWriter json;
+  json.begin_object();
+  json.kv("bench", "serve_throughput");
+  json.key("host").begin_object();
+  json.kv("hardware_threads",
+          static_cast<std::size_t>(std::thread::hardware_concurrency()));
+  json.kv("isa", anchor::la::kernels::active_isa());
+  json.end_object();
+  json.key("workload").begin_object();
+  json.kv("vocab", kVocab);
+  json.kv("dim", kDim);
+  json.kv("batch", kBatch);
+  json.kv("seconds_per_cell", kSecondsPerCell);
+  json.end_object();
+  json.key("cells").begin_array();
+  for (const BenchCell& c : cells) {
+    json.begin_object();
+    json.kv("config", c.config);
+    json.kv("threads", c.threads);
+    json.kv("qps", c.stats.qps);
+    json.kv("p50_us", c.stats.p50_latency_us);
+    json.kv("p99_us", c.stats.p99_latency_us);
+    json.kv("cache_hit_rate", c.stats.cache_hit_rate());
+    json.end_object();
+  }
+  json.end_array();
+  json.key("hot_swap_under_load").begin_object();
+  json.kv("threads", 4);
+  json.kv("qps", swap_stats.qps);
+  json.kv("p50_us", swap_stats.p50_latency_us);
+  json.kv("p99_us", swap_stats.p99_latency_us);
+  json.end_object();
+  json.end_object();
+  json.write_file(json_path);
+  std::cout << "\nwrote " << json_path << "\n";
 
   return 0;
 }

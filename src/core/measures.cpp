@@ -5,40 +5,23 @@
 #include <numeric>
 #include <unordered_set>
 
+#include "la/kernels.hpp"
 #include "la/procrustes.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace anchor::core {
 
 namespace {
 
-/// Row-normalizes a copy of m (zero rows stay zero).
-la::Matrix normalize_rows(const la::Matrix& m) {
-  la::Matrix out = m;
-  for (std::size_t i = 0; i < out.rows(); ++i) {
-    double* row = out.row(i);
-    double norm = 0.0;
-    for (std::size_t j = 0; j < out.cols(); ++j) norm += row[j] * row[j];
-    norm = std::sqrt(norm);
-    if (norm > 0.0) {
-      for (std::size_t j = 0; j < out.cols(); ++j) row[j] /= norm;
-    }
-  }
-  return out;
-}
-
 /// Indices of the k most cosine-similar rows to `query` (self excluded).
+/// `sims` is caller-provided scratch of size n (reused across queries).
 std::vector<std::size_t> top_k_neighbors(const la::Matrix& normalized,
-                                         std::size_t query, std::size_t k) {
+                                         std::size_t query, std::size_t k,
+                                         std::vector<double>& sims) {
   const std::size_t n = normalized.rows();
-  std::vector<double> sims(n, 0.0);
-  const double* q = normalized.row(query);
-  for (std::size_t i = 0; i < n; ++i) {
-    const double* r = normalized.row(i);
-    double acc = 0.0;
-    for (std::size_t j = 0; j < normalized.cols(); ++j) acc += q[j] * r[j];
-    sims[i] = acc;
-  }
+  la::kernels::matvec_rowmajor(normalized.data(), n, normalized.cols(),
+                               normalized.row(query), sims.data());
   sims[query] = -2.0;  // exclude self
 
   std::vector<std::size_t> idx(n);
@@ -56,16 +39,22 @@ std::vector<std::size_t> top_k_neighbors(const la::Matrix& normalized,
 
 }  // namespace
 
-double knn_measure(const la::Matrix& x, const la::Matrix& x_tilde,
-                   std::size_t k, std::size_t num_queries,
-                   std::uint64_t seed) {
-  ANCHOR_CHECK_EQ(x.rows(), x_tilde.rows());
-  ANCHOR_CHECK_GT(k, 0u);
-  const std::size_t n = x.rows();
-  ANCHOR_CHECK_GE(n, 2u);
+la::Matrix normalize_rows_l2(const la::Matrix& m) {
+  la::Matrix out = m;
+  const std::size_t cols = out.cols();
+  util::global_pool().parallel_for(0, out.rows(), [&](std::size_t i) {
+    la::kernels::l2_normalize(out.row(i), cols);
+  });
+  return out;
+}
 
-  const la::Matrix nx = normalize_rows(x);
-  const la::Matrix nxt = normalize_rows(x_tilde);
+double knn_measure_normalized(const la::Matrix& nx, const la::Matrix& nxt,
+                              std::size_t k, std::size_t num_queries,
+                              std::uint64_t seed) {
+  ANCHOR_CHECK_EQ(nx.rows(), nxt.rows());
+  ANCHOR_CHECK_GT(k, 0u);
+  const std::size_t n = nx.rows();
+  ANCHOR_CHECK_GE(n, 2u);
 
   // Sample query words without replacement.
   std::vector<std::size_t> queries(n);
@@ -74,16 +63,31 @@ double knn_measure(const la::Matrix& x, const la::Matrix& x_tilde,
   rng.shuffle(queries);
   queries.resize(std::min(num_queries, n));
 
-  double overlap_sum = 0.0;
-  for (const std::size_t q : queries) {
-    const auto a = top_k_neighbors(nx, q, k);
-    const auto b = top_k_neighbors(nxt, q, k);
+  // Queries are scored in parallel; each writes only its own overlap slot
+  // and the reduction below runs in fixed query order, so the value is
+  // independent of the pool size.
+  std::vector<double> overlaps(queries.size(), 0.0);
+  util::global_pool().parallel_for(0, queries.size(), [&](std::size_t qi) {
+    thread_local std::vector<double> sims;
+    if (sims.size() < n) sims.resize(n);
+    const std::size_t q = queries[qi];
+    const auto a = top_k_neighbors(nx, q, k, sims);
+    const auto b = top_k_neighbors(nxt, q, k, sims);
     const std::unordered_set<std::size_t> sa(a.begin(), a.end());
     std::size_t hits = 0;
     for (const std::size_t w : b) hits += sa.count(w);
-    overlap_sum += static_cast<double>(hits) / static_cast<double>(a.size());
-  }
+    overlaps[qi] = static_cast<double>(hits) / static_cast<double>(a.size());
+  });
+  double overlap_sum = 0.0;
+  for (const double o : overlaps) overlap_sum += o;
   return overlap_sum / static_cast<double>(queries.size());
+}
+
+double knn_measure(const la::Matrix& x, const la::Matrix& x_tilde,
+                   std::size_t k, std::size_t num_queries,
+                   std::uint64_t seed) {
+  return knn_measure_normalized(normalize_rows_l2(x), normalize_rows_l2(x_tilde),
+                                k, num_queries, seed);
 }
 
 double semantic_displacement(const la::Matrix& x, const la::Matrix& x_tilde) {
@@ -91,19 +95,21 @@ double semantic_displacement(const la::Matrix& x, const la::Matrix& x_tilde) {
   ANCHOR_CHECK_EQ(x.cols(), x_tilde.cols());
   const la::Matrix aligned = la::procrustes_align(x, x_tilde);
   const std::size_t n = x.rows();
-  double acc = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
+  const std::size_t d = x.cols();
+  // Per-row cosine distances land in their own slots; the sum below runs in
+  // row order, so the measure is thread-count-independent.
+  std::vector<double> dists(n, 0.0);
+  util::global_pool().parallel_for(0, n, [&](std::size_t i) {
     const double* a = x.row(i);
     const double* b = aligned.row(i);
-    double dot = 0.0, na = 0.0, nb = 0.0;
-    for (std::size_t j = 0; j < x.cols(); ++j) {
-      dot += a[j] * b[j];
-      na += a[j] * a[j];
-      nb += b[j] * b[j];
-    }
+    const double dot = la::kernels::dot(a, b, d);
+    const double na = la::kernels::dot(a, a, d);
+    const double nb = la::kernels::dot(b, b, d);
     const double denom = std::sqrt(na * nb);
-    acc += (denom > 0.0) ? 1.0 - dot / denom : 0.0;
-  }
+    dists[i] = (denom > 0.0) ? 1.0 - dot / denom : 0.0;
+  });
+  double acc = 0.0;
+  for (const double v : dists) acc += v;
   return acc / static_cast<double>(n);
 }
 

@@ -31,6 +31,21 @@ double knn_measure(const la::Matrix& x, const la::Matrix& x_tilde,
                    std::size_t k = 5, std::size_t num_queries = 1000,
                    std::uint64_t seed = 42);
 
+/// Row-L2-normalized copy of m (zero rows stay zero) — the cosine-scoring
+/// form knn_measure consumes. Exposed so callers evaluating several
+/// candidates against one incumbent (e.g. the DeploymentGate) can normalize
+/// once and reuse the copy.
+la::Matrix normalize_rows_l2(const la::Matrix& m);
+
+/// knn_measure on matrices already row-normalized via normalize_rows_l2.
+/// Queries are scored in parallel over the shared util::global_pool();
+/// each query's overlap is computed independently and reduced in query
+/// order, so the result is bit-for-bit identical at any thread count.
+double knn_measure_normalized(const la::Matrix& nx, const la::Matrix& nxt,
+                              std::size_t k = 5,
+                              std::size_t num_queries = 1000,
+                              std::uint64_t seed = 42);
+
 /// Semantic displacement: mean cosine distance between rows of X and the
 /// Procrustes-rotated rows of X̃ (requires equal dimensions).
 double semantic_displacement(const la::Matrix& x, const la::Matrix& x_tilde);

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "la/kernels.hpp"
+
 namespace anchor::la {
 
 namespace {
@@ -36,7 +38,10 @@ EigenResult eigen_symmetric(const Matrix& input, double tol, int max_sweeps) {
                    "eigen_symmetric: input is not symmetric (max asym=" << asym
                                                                         << ")");
 
-  Matrix v = Matrix::identity(n);
+  // V is accumulated transposed (rows of vt are eigenvector candidates):
+  // the rotation V ← V·J becomes Vᵀ ← JᵀVᵀ, a contiguous two-row Givens
+  // update instead of a strided two-column walk.
+  Matrix vt = Matrix::identity(n);
   const double norm_sq = frobenius_norm_sq(a);
   const double threshold = tol * tol * std::max(norm_sq, 1e-300);
 
@@ -55,26 +60,23 @@ EigenResult eigen_symmetric(const Matrix& input, double tol, int max_sweeps) {
                              : 1.0 / (tau - std::sqrt(1.0 + tau * tau));
         const double c = 1.0 / std::sqrt(1.0 + t * t);
         const double s = t * c;
-        // A ← JᵀAJ applied in place on rows/columns p and q.
+        // A ← JᵀAJ, exploiting symmetry: rotate the two *rows* (contiguous,
+        // SIMD rot kernel), fix the 2×2 pivot block with the exact Jacobi
+        // identities, then mirror the updated rows onto the two columns
+        // instead of recomputing them with a second strided rotation pass.
+        double* ap = a.row(p);
+        double* aq = a.row(q);
+        kernels::rot(ap, aq, n, c, s);
+        ap[p] = app - t * apq;
+        aq[q] = aqq + t * apq;
+        ap[q] = 0.0;
+        aq[p] = 0.0;
         for (std::size_t k = 0; k < n; ++k) {
-          const double akp = a(k, p);
-          const double akq = a(k, q);
-          a(k, p) = c * akp - s * akq;
-          a(k, q) = s * akp + c * akq;
+          a(k, p) = ap[k];
+          a(k, q) = aq[k];
         }
-        for (std::size_t k = 0; k < n; ++k) {
-          const double apk = a(p, k);
-          const double aqk = a(q, k);
-          a(p, k) = c * apk - s * aqk;
-          a(q, k) = s * apk + c * aqk;
-        }
-        // Accumulate V ← V·J.
-        for (std::size_t k = 0; k < n; ++k) {
-          const double vkp = v(k, p);
-          const double vkq = v(k, q);
-          v(k, p) = c * vkp - s * vkq;
-          v(k, q) = s * vkp + c * vkq;
-        }
+        // Accumulate Vᵀ ← JᵀVᵀ.
+        kernels::rot(vt.row(p), vt.row(q), n, c, s);
       }
     }
   }
@@ -92,7 +94,8 @@ EigenResult eigen_symmetric(const Matrix& input, double tol, int max_sweeps) {
   result.vectors = Matrix(n, n);
   for (std::size_t i = 0; i < n; ++i) {
     result.values[i] = values[order[i]];
-    for (std::size_t k = 0; k < n; ++k) result.vectors(k, i) = v(k, order[i]);
+    const double* vrow = vt.row(order[i]);
+    for (std::size_t k = 0; k < n; ++k) result.vectors(k, i) = vrow[k];
   }
   return result;
 }

@@ -3,7 +3,23 @@
 #include <algorithm>
 #include <cmath>
 
+#include "la/kernels.hpp"
+#include "util/thread_pool.hpp"
+
 namespace anchor::la {
+
+namespace {
+
+// Fixed row-block sizes for the parallel paths. Blocking is keyed to the
+// *size* of the input, never the pool width, so results are bit-for-bit
+// identical at any thread count (the determinism contract of the measure
+// layer). Below the threshold everything stays serial — identical to the
+// historical loops.
+constexpr std::size_t kParallelRowThreshold = 512;
+constexpr std::size_t kReduceRowBlock = 256;  // matmul_at_b partial width
+constexpr std::size_t kGemmRowTile = 64;      // matmul/matmul_a_bt tiles
+
+}  // namespace
 
 Matrix Matrix::identity(std::size_t n) {
   Matrix m(n, n, 0.0);
@@ -15,30 +31,66 @@ Matrix matmul(const Matrix& a, const Matrix& b) {
   ANCHOR_CHECK_EQ(a.cols(), b.rows());
   Matrix c(a.rows(), b.cols(), 0.0);
   // ikj loop order keeps the inner loop streaming over contiguous rows.
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double* arow = a.row(i);
-    double* crow = c.row(i);
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-      const double aik = arow[k];
-      if (aik == 0.0) continue;
-      const double* brow = b.row(k);
-      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+  // Every output row is an independent computation, so tall products fan
+  // out over the pool in fixed tiles (bit-exact with the serial loop).
+  const auto run_rows = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const double* arow = a.row(i);
+      double* crow = c.row(i);
+      for (std::size_t k = 0; k < a.cols(); ++k) {
+        const double aik = arow[k];
+        if (aik == 0.0) continue;
+        kernels::axpy(aik, b.row(k), crow, b.cols());
+      }
     }
+  };
+  if (a.rows() < kParallelRowThreshold) {
+    run_rows(0, a.rows());
+  } else {
+    const std::size_t tiles = (a.rows() + kGemmRowTile - 1) / kGemmRowTile;
+    util::global_pool().parallel_for(0, tiles, [&](std::size_t t) {
+      run_rows(t * kGemmRowTile,
+               std::min((t + 1) * kGemmRowTile, a.rows()));
+    });
   }
   return c;
 }
 
 Matrix matmul_at_b(const Matrix& a, const Matrix& b) {
   ANCHOR_CHECK_EQ(a.rows(), b.rows());
+  const auto accumulate = [&](Matrix& c, std::size_t lo, std::size_t hi) {
+    for (std::size_t r = lo; r < hi; ++r) {
+      const double* arow = a.row(r);
+      const double* brow = b.row(r);
+      for (std::size_t i = 0; i < a.cols(); ++i) {
+        const double ari = arow[i];
+        if (ari == 0.0) continue;
+        kernels::axpy(ari, brow, c.row(i), b.cols());
+      }
+    }
+  };
   Matrix c(a.cols(), b.cols(), 0.0);
-  for (std::size_t r = 0; r < a.rows(); ++r) {
-    const double* arow = a.row(r);
-    const double* brow = b.row(r);
-    for (std::size_t i = 0; i < a.cols(); ++i) {
-      const double ari = arow[i];
-      if (ari == 0.0) continue;
-      double* crow = c.row(i);
-      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += ari * brow[j];
+  if (a.rows() < kParallelRowThreshold) {
+    accumulate(c, 0, a.rows());
+    return c;
+  }
+  // Tall reduction: fixed row blocks accumulate into private partials in
+  // parallel, then fold in block order. The grouping depends only on the
+  // input height — never the pool size — so the (reassociated) sum is the
+  // same at every thread count. Doubling the block height past 32 blocks
+  // bounds the transient partial storage on very tall inputs.
+  std::size_t block_rows = kReduceRowBlock;
+  while (block_rows * 32 < a.rows()) block_rows *= 2;
+  const std::size_t blocks = (a.rows() + block_rows - 1) / block_rows;
+  std::vector<Matrix> partials(blocks);
+  util::global_pool().parallel_for(0, blocks, [&](std::size_t blk) {
+    partials[blk] = Matrix(a.cols(), b.cols(), 0.0);
+    accumulate(partials[blk], blk * block_rows,
+               std::min((blk + 1) * block_rows, a.rows()));
+  });
+  for (const Matrix& p : partials) {
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      c.storage()[i] += p.storage()[i];
     }
   }
   return c;
@@ -46,17 +98,21 @@ Matrix matmul_at_b(const Matrix& a, const Matrix& b) {
 
 Matrix matmul_a_bt(const Matrix& a, const Matrix& b) {
   ANCHOR_CHECK_EQ(a.cols(), b.cols());
-  Matrix c(a.rows(), b.rows(), 0.0);
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double* arow = a.row(i);
-    double* crow = c.row(i);
-    for (std::size_t j = 0; j < b.rows(); ++j) {
-      const double* brow = b.row(j);
-      double acc = 0.0;
-      for (std::size_t k = 0; k < a.cols(); ++k) acc += arow[k] * brow[k];
-      crow[j] = acc;
-    }
+  Matrix c(a.rows(), b.rows());
+  if (a.rows() < kParallelRowThreshold) {
+    kernels::gemm_nt(a.data(), a.rows(), b.data(), b.rows(), a.cols(),
+                     c.data());
+    return c;
   }
+  // Every output element is an independent dot product, so tiling the A
+  // rows across the pool is bit-exact with the single-call gemm.
+  const std::size_t tiles = (a.rows() + kGemmRowTile - 1) / kGemmRowTile;
+  util::global_pool().parallel_for(0, tiles, [&](std::size_t t) {
+    const std::size_t lo = t * kGemmRowTile;
+    const std::size_t hi = std::min(lo + kGemmRowTile, a.rows());
+    kernels::gemm_nt(a.data() + lo * a.cols(), hi - lo, b.data(), b.rows(),
+                     a.cols(), c.data() + lo * b.rows());
+  });
   return c;
 }
 
@@ -93,9 +149,7 @@ Matrix scale(const Matrix& a, double s) {
 }
 
 double frobenius_norm_sq(const Matrix& m) {
-  double acc = 0.0;
-  for (double x : m.storage()) acc += x * x;
-  return acc;
+  return kernels::dot(m.data(), m.data(), m.size());
 }
 
 double frobenius_norm(const Matrix& m) { return std::sqrt(frobenius_norm_sq(m)); }
@@ -120,12 +174,7 @@ double max_abs_diff(const Matrix& a, const Matrix& b) {
 std::vector<double> matvec(const Matrix& m, const std::vector<double>& x) {
   ANCHOR_CHECK_EQ(m.cols(), x.size());
   std::vector<double> y(m.rows(), 0.0);
-  for (std::size_t i = 0; i < m.rows(); ++i) {
-    const double* row = m.row(i);
-    double acc = 0.0;
-    for (std::size_t j = 0; j < m.cols(); ++j) acc += row[j] * x[j];
-    y[i] = acc;
-  }
+  kernels::matvec_rowmajor(m.data(), m.rows(), m.cols(), x.data(), y.data());
   return y;
 }
 

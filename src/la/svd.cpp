@@ -4,50 +4,40 @@
 #include <cmath>
 
 #include "la/eigen.hpp"
+#include "la/kernels.hpp"
 
 namespace anchor::la {
 
 namespace {
 
-/// Modified Gram-Schmidt pass over the columns of U, in place. Columns whose
-/// residual collapses (linearly dependent set) are replaced with a canonical
-/// basis vector orthogonalized against the rest, so the result is always a
-/// full orthonormal set.
-void orthonormalize_columns(Matrix& u) {
-  const std::size_t n = u.rows();
-  const std::size_t r = u.cols();
+/// Modified Gram-Schmidt over the *rows* of ut (i.e. the columns of U,
+/// handed in transposed so every projection is a contiguous dot/axpy).
+/// Rows whose residual collapses (linearly dependent set) are replaced with
+/// a canonical basis vector orthogonalized against the rest, so the result
+/// is always a full orthonormal set.
+void orthonormalize_rows(Matrix& ut) {
+  const std::size_t n = ut.cols();
+  const std::size_t r = ut.rows();
   for (std::size_t j = 0; j < r; ++j) {
-    // Project out previously accepted columns (twice-is-enough reorthog).
+    double* uj = ut.row(j);
+    // Project out previously accepted rows (twice-is-enough reorthog).
     for (int pass = 0; pass < 2; ++pass) {
       for (std::size_t k = 0; k < j; ++k) {
-        double dot = 0.0;
-        for (std::size_t i = 0; i < n; ++i) dot += u(i, k) * u(i, j);
-        for (std::size_t i = 0; i < n; ++i) u(i, j) -= dot * u(i, k);
+        const double* uk = ut.row(k);
+        kernels::axpy(-kernels::dot(uk, uj, n), uk, uj, n);
       }
     }
-    double norm = 0.0;
-    for (std::size_t i = 0; i < n; ++i) norm += u(i, j) * u(i, j);
-    norm = std::sqrt(norm);
-    if (norm > 1e-12) {
-      for (std::size_t i = 0; i < n; ++i) u(i, j) /= norm;
-      continue;
-    }
-    // Degenerate column: seed with successive canonical vectors until one
+    if (kernels::l2_normalize(uj, n) > 1e-12) continue;
+    // Degenerate row: seed with successive canonical vectors until one
     // survives projection.
     for (std::size_t seed = 0; seed < n; ++seed) {
-      for (std::size_t i = 0; i < n; ++i) u(i, j) = (i == seed) ? 1.0 : 0.0;
+      std::fill(uj, uj + n, 0.0);
+      uj[seed] = 1.0;
       for (std::size_t k = 0; k < j; ++k) {
-        double dot = 0.0;
-        for (std::size_t i = 0; i < n; ++i) dot += u(i, k) * u(i, j);
-        for (std::size_t i = 0; i < n; ++i) u(i, j) -= dot * u(i, k);
+        const double* uk = ut.row(k);
+        kernels::axpy(-kernels::dot(uk, uj, n), uk, uj, n);
       }
-      double nn = 0.0;
-      for (std::size_t i = 0; i < n; ++i) nn += u(i, j) * u(i, j);
-      nn = std::sqrt(nn);
-      if (nn > 0.5) {
-        for (std::size_t i = 0; i < n; ++i) u(i, j) /= nn;
-        break;
-      }
+      if (kernels::l2_normalize(uj, n) > 0.5) break;
     }
   }
 }
@@ -72,20 +62,20 @@ SvdResult svd_tall(const Matrix& x) {
                                : result.singular_values.front();
   const double cutoff = 1e-10 * std::max(sigma_max, 1e-300);
 
-  // U = X · V · S⁻¹ column by column; tiny-σ columns are filled by the
-  // orthonormalization pass below.
-  result.u = Matrix(n, d, 0.0);
+  // U = X · (V·S⁻¹) as one gemm over V with its columns pre-scaled by 1/σ
+  // (zeroed for tiny σ — those columns are filled by the orthonormalization
+  // pass below).
+  Matrix v_scaled = result.v;
   for (std::size_t j = 0; j < d; ++j) {
     const double sigma = result.singular_values[j];
-    if (sigma <= cutoff) continue;
-    for (std::size_t i = 0; i < n; ++i) {
-      const double* xrow = x.row(i);
-      double acc = 0.0;
-      for (std::size_t k = 0; k < d; ++k) acc += xrow[k] * result.v(k, j);
-      result.u(i, j) = acc / sigma;
-    }
+    const double inv = sigma > cutoff ? 1.0 / sigma : 0.0;
+    for (std::size_t k = 0; k < d; ++k) v_scaled(k, j) *= inv;
   }
-  orthonormalize_columns(result.u);
+  // Orthonormalize U's columns as rows of Uᵀ: contiguous dot/axpy instead
+  // of d-strided column walks.
+  Matrix ut = transpose(matmul(x, v_scaled));
+  orthonormalize_rows(ut);
+  result.u = transpose(ut);
   return result;
 }
 

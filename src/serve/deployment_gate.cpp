@@ -6,6 +6,7 @@
 
 #include "core/measures.hpp"
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace anchor::serve {
 
@@ -66,14 +67,50 @@ GateReport DeploymentGate::evaluate(const EmbeddingSnapshot& incumbent,
   const la::Matrix x = incumbent.to_matrix(rows);
   const la::Matrix x_tilde = candidate.to_matrix(rows);
 
+  // The two measures read the same immutable matrices and are independent.
+  // Each snapshot is row-normalized exactly once (knn_measure would
+  // otherwise build its own copies) and the normalized pair is what the
+  // parallel query scoring shares.
+  const auto one_minus_knn = [&] {
+    const la::Matrix nx = core::normalize_rows_l2(x);
+    const la::Matrix nxt = core::normalize_rows_l2(x_tilde);
+    return 1.0 - core::knn_measure_normalized(nx, nxt, config_.knn_k,
+                                              config_.knn_queries,
+                                              config_.knn_seed);
+  };
   // The incumbent/candidate pair doubles as the reference pair defining
   // Σ = (EEᵀ)^α + (ẼẼᵀ)^α — the serving-time analogue of the paper using
-  // the highest-dimensional full-precision pair as the reference.
-  const auto ctx = core::EisContext::build(x, x_tilde, config_.alpha);
-  report.eis = core::eigenspace_instability_of(x, x_tilde, ctx);
-  report.one_minus_knn =
-      1.0 - core::knn_measure(x, x_tilde, config_.knn_k, config_.knn_queries,
-                              config_.knn_seed);
+  // the highest-dimensional full-precision pair as the reference. Because
+  // the reference pair *is* the evaluated pair, ctx.v / ctx.v_tilde already
+  // hold the left singular vectors of x / x̃ — reusing them instead of
+  // calling eigenspace_instability_of halves the SVD work per evaluation
+  // (bit-identical result: same deterministic SVD of the same matrices).
+  const auto eis = [&] {
+    const auto ctx = core::EisContext::build(x, x_tilde, config_.alpha);
+    return core::eigenspace_instability(ctx.v, ctx.v_tilde, ctx);
+  };
+
+  if (util::ThreadPool::on_worker_thread()) {
+    // Already inside the pool (e.g. a canarying job evaluating gates in
+    // parallel): submit-and-get from a worker would block a pool slot on a
+    // task queued behind it — run sequentially instead; both measures
+    // still fan out internally via nested parallel_for.
+    report.eis = eis();
+    report.one_minus_knn = one_minus_knn();
+  } else {
+    // Overlap the kNN overlap with the SVD-heavy instability work (whose
+    // Jacobi sweeps are inherently serial).
+    auto knn_future = util::global_pool().submit(one_minus_knn);
+    try {
+      report.eis = eis();
+    } catch (...) {
+      // The worker still reads x / x_tilde; futures from packaged_task do
+      // not block on destruction, so join it before unwinding frees them.
+      knn_future.wait();
+      throw;
+    }
+    report.one_minus_knn = knn_future.get();
+  }
 
   GateDecision eis_decision = GateDecision::kAdmit;
   if (report.eis >= config_.eis_reject) {

@@ -5,6 +5,7 @@
 
 #include "compress/quantize.hpp"
 #include "embed/io.hpp"
+#include "la/kernels.hpp"
 #include "util/check.hpp"
 
 namespace anchor::serve {
@@ -91,16 +92,14 @@ void EmbeddingSnapshot::copy_row(std::size_t w, float* out) const {
                 dim_ * sizeof(float));
     return;
   }
-  const std::size_t per = codes_per_byte(config_.bits);
-  const std::uint8_t mask =
-      static_cast<std::uint8_t>((1u << config_.bits) - 1u);
-  const std::uint8_t* row_bytes =
-      shard.codes.data() + local_row * packed_bytes(dim_, config_.bits);
-  for (std::size_t j = 0; j < dim_; ++j) {
-    const std::size_t shift = (j % per) * static_cast<std::size_t>(config_.bits);
-    const std::uint8_t code = (row_bytes[j / per] >> shift) & mask;
-    out[j] = compress::dequantize_code(code, clip_, config_.bits);
-  }
+  la::kernels::dequantize_rows(
+      shard.codes.data() + local_row * packed_bytes(dim_, config_.bits), 1,
+      dim_, config_.bits, clip_, out);
+}
+
+void EmbeddingSnapshot::copy_rows(const std::size_t* ids, std::size_t n,
+                                  float* out) const {
+  for (std::size_t i = 0; i < n; ++i) copy_row(ids[i], out + i * dim_);
 }
 
 std::size_t EmbeddingSnapshot::memory_bytes() const {
@@ -160,11 +159,33 @@ la::Matrix EmbeddingSnapshot::to_matrix(std::size_t max_rows) const {
   const std::size_t rows =
       max_rows == 0 ? vocab_size_ : std::min(max_rows, vocab_size_);
   la::Matrix m(rows, dim_);
-  std::vector<float> buf(dim_);
-  for (std::size_t w = 0; w < rows; ++w) {
-    copy_row(w, buf.data());
-    double* dst = m.row(w);
-    for (std::size_t j = 0; j < dim_; ++j) dst[j] = buf[j];
+  const std::size_t num_shards = shards_.size();
+  if (config_.bits == 32) {
+    for (std::size_t w = 0; w < rows; ++w) {
+      const float* src =
+          shards_[w % num_shards].fp32.data() + (w / num_shards) * dim_;
+      double* dst = m.row(w);
+      for (std::size_t j = 0; j < dim_; ++j) dst[j] = src[j];
+    }
+    return m;
+  }
+  // Quantized: each shard's local rows are contiguous in its code block, so
+  // the whole needed span unpacks in one fused dequantize_rows call into a
+  // scratch sized once (the largest shard), then scatters to word order
+  // (word w lives at local row w / S of shard w % S).
+  std::vector<float> scratch;
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    const std::size_t local_rows =
+        rows / num_shards + (s < rows % num_shards ? 1 : 0);
+    if (local_rows == 0) continue;
+    if (scratch.size() < local_rows * dim_) scratch.resize(local_rows * dim_);
+    la::kernels::dequantize_rows(shards_[s].codes.data(), local_rows, dim_,
+                                 config_.bits, clip_, scratch.data());
+    for (std::size_t l = 0; l < local_rows; ++l) {
+      const float* src = scratch.data() + l * dim_;
+      double* dst = m.row(l * num_shards + s);
+      for (std::size_t j = 0; j < dim_; ++j) dst[j] = src[j];
+    }
   }
   return m;
 }

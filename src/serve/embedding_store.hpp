@@ -68,7 +68,14 @@ class EmbeddingSnapshot {
   std::size_t shard_of(std::size_t row) const { return row % shards_.size(); }
 
   /// Writes row `w` (dequantized if stored quantized) into out[0..dim).
+  /// Quantized rows unpack through the fused la::kernels::dequantize_rows
+  /// path (whole row per call, SIMD when available).
   void copy_row(std::size_t w, float* out) const;
+
+  /// Batched copy_row: writes rows ids[0..n) consecutively into
+  /// out[0 .. n·dim). Every id must be < vocab_size(). This is the unit the
+  /// LookupService's miss path and the gate's matrix export build on.
+  void copy_rows(const std::size_t* ids, std::size_t n, float* out) const;
 
   /// Synthesizes a vector for an out-of-vocabulary word as the average of
   /// its hashed character-n-gram bucket vectors. Returns false (and zeroes

@@ -1,6 +1,7 @@
 #include "serve/lookup_service.hpp"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstring>
 
@@ -11,6 +12,7 @@ namespace anchor::serve {
 namespace {
 
 constexpr std::size_t kCacheShards = 16;
+constexpr std::size_t kNotARow = static_cast<std::size_t>(-1);
 
 // Cache key mixing the snapshot epoch and the row id. Epochs are small
 // monotonically increasing integers, rows are bounded by vocab size, so
@@ -45,46 +47,121 @@ LookupService::LookupService(const EmbeddingStore& store, LookupConfig config,
       stats_(stats ? std::move(stats) : std::make_shared<ServeStats>()),
       cache_shards_(kCacheShards) {}
 
-void LookupService::fetch_row(const EmbeddingSnapshot& snap, std::size_t w,
-                              float* out) const {
+void LookupService::fetch_rows(const EmbeddingSnapshot& snap,
+                               const std::vector<std::size_t>& rows,
+                               float* out) const {
+  const std::size_t dim = snap.dim();
   // fp32 rows are a bare memcpy — the cache's mutex + LRU bookkeeping can
   // only slow them down, so only quantized snapshots go through it.
   if (config_.cache_rows_per_shard == 0 || snap.bits() == 32) {
-    snap.copy_row(w, out);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      if (rows[i] != kNotARow) snap.copy_row(rows[i], out + i * dim);
+    }
     return;
   }
-  const std::uint64_t key = cache_key(snap.epoch(), w);
-  // Distribute over all cache shards by key (low bits are the row id), not
-  // by the snapshot's shard — a snapshot with few shards would otherwise
-  // collapse the cache's mutex concurrency to its own shard count.
-  CacheShard& shard = cache_shards_[key % cache_shards_.size()];
-  {
+
+  // Pass 1 — probe: requests are bucketed by cache shard so each shard's
+  // mutex is taken once per batch (not once per row); hits are copied out
+  // under that one lock, misses collected for the block-dequantize pass.
+  struct Miss {
+    std::uint32_t req = 0;    // request index (result slot)
+    std::uint32_t shard = 0;  // cache shard the row hashes to
+  };
+  const std::uint64_t epoch = snap.epoch();
+  // Reused scratch (like block/miss_rows below): the steady-state hot path
+  // should not pay a heap allocation per batch.
+  thread_local std::array<std::vector<std::uint32_t>, kCacheShards> by_shard;
+  for (auto& bucket : by_shard) bucket.clear();
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i] == kNotARow) continue;
+    by_shard[cache_key(epoch, rows[i]) % kCacheShards].push_back(
+        static_cast<std::uint32_t>(i));
+  }
+  std::vector<Miss> misses;
+  // A row requested twice in one batch misses at most once: later
+  // occurrences copy from the first one's result slot after the block
+  // dequantize and count as hits — the same accounting the per-row path
+  // gave them (they would have hit the entry the first occurrence
+  // inserted).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> dups;  // (req, source)
+  thread_local std::unordered_map<std::size_t, std::uint32_t> first_miss;
+  std::uint64_t hits = 0;
+  for (std::size_t s = 0; s < kCacheShards; ++s) {
+    if (by_shard[s].empty()) continue;
+    CacheShard& shard = cache_shards_[s];
+    first_miss.clear();
     std::lock_guard<std::mutex> lock(shard.mu);
-    const auto it = shard.index.find(key);
-    if (it != shard.index.end()) {
-      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-      std::memcpy(out, it->second->vec.data(), snap.dim() * sizeof(float));
-      stats_->record_cache_hit();
-      return;
+    for (const std::uint32_t i : by_shard[s]) {
+      const auto it = shard.index.find(cache_key(epoch, rows[i]));
+      if (it != shard.index.end()) {
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        std::memcpy(out + i * dim, it->second->vec.data(),
+                    dim * sizeof(float));
+        ++hits;
+        continue;
+      }
+      const auto [fit, fresh] = first_miss.try_emplace(rows[i], i);
+      if (fresh) {
+        misses.push_back({i, static_cast<std::uint32_t>(s)});
+      } else {
+        dups.emplace_back(i, fit->second);
+        ++hits;
+      }
     }
   }
-  // Dequantize outside the lock so a burst of misses (cold cache, post-swap
-  // stale epoch) doesn't serialize the unpack work across threads.
-  stats_->record_cache_miss();
-  snap.copy_row(w, out);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  if (shard.index.count(key) > 0) return;  // another thread raced us in
-  shard.lru.push_front({key, std::vector<float>(out, out + snap.dim())});
-  shard.index[key] = shard.lru.begin();
-  if (shard.lru.size() > config_.cache_rows_per_shard) {
-    shard.index.erase(shard.lru.back().key);
-    shard.lru.pop_back();
+  if (hits > 0) stats_->record_cache_hit(hits);
+  if (misses.empty() && dups.empty()) return;
+  if (!misses.empty()) stats_->record_cache_miss(misses.size());
+
+  // Pass 2 — block dequantize outside any lock: one copy_rows call unpacks
+  // every missed row straight into its result slot (a burst of misses after
+  // a cold start or hot swap never serializes the unpack work).
+  thread_local std::vector<std::size_t> miss_rows;
+  miss_rows.clear();
+  miss_rows.reserve(misses.size());
+  for (const Miss& m : misses) miss_rows.push_back(rows[m.req]);
+  thread_local std::vector<float> block;
+  if (block.size() < misses.size() * dim) block.resize(misses.size() * dim);
+  snap.copy_rows(miss_rows.data(), miss_rows.size(), block.data());
+  for (std::size_t k = 0; k < misses.size(); ++k) {
+    std::memcpy(out + misses[k].req * dim, block.data() + k * dim,
+                dim * sizeof(float));
+  }
+  for (const auto& [req, source] : dups) {
+    std::memcpy(out + req * dim, out + source * dim, dim * sizeof(float));
+  }
+
+  // Pass 3 — insert: misses are already grouped by shard (pass 1 emitted
+  // them shard-by-shard), so again one lock per shard. try_emplace probes
+  // and claims the slot in a single hash walk; at capacity the evicted LRU
+  // node is recycled in place, so the steady state allocates nothing.
+  std::size_t k = 0;
+  while (k < misses.size()) {
+    const std::uint32_t s = misses[k].shard;
+    CacheShard& shard = cache_shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (; k < misses.size() && misses[k].shard == s; ++k) {
+      const std::uint64_t key = cache_key(epoch, rows[misses[k].req]);
+      const auto [it, inserted] = shard.index.try_emplace(key);
+      if (!inserted) continue;  // another thread raced us in
+      const float* vec = block.data() + k * dim;
+      if (shard.lru.size() >= config_.cache_rows_per_shard) {
+        const auto last = std::prev(shard.lru.end());
+        shard.index.erase(last->key);
+        shard.lru.splice(shard.lru.begin(), shard.lru, last);
+        last->key = key;
+        last->vec.assign(vec, vec + dim);
+      } else {
+        shard.lru.push_front({key, std::vector<float>(vec, vec + dim)});
+      }
+      it->second = shard.lru.begin();
+    }
   }
 }
 
-template <typename Resolve>
-LookupResult LookupService::lookup_batch(std::size_t n,
-                                         const Resolve& resolve) const {
+template <typename Resolve, typename OovFill>
+LookupResult LookupService::lookup_batch(std::size_t n, const Resolve& resolve,
+                                         const OovFill& oov_fill) const {
   const auto start = std::chrono::steady_clock::now();
   const SnapshotPtr snap = store_.live();
   ANCHOR_CHECK_MSG(snap != nullptr, "lookup against a store with no versions");
@@ -92,15 +169,26 @@ LookupResult LookupService::lookup_batch(std::size_t n,
   LookupResult result;
   result.dim = snap->dim();
   result.version = snap->version();
-  result.vectors.resize(n * snap->dim());
+  result.vectors.assign(n * snap->dim(), 0.0f);
   result.oov.assign(n, 0);
 
+  // Resolve every request to a row id (or the OOV sentinel) first, then
+  // gather all in-vocabulary rows in one batched cache/dequantize pass.
+  std::vector<std::size_t> rows(n, kNotARow);
   std::size_t oov_count = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    float* out = result.vectors.data() + i * snap->dim();
-    if (resolve(i, *snap, out)) {
+    if (!resolve(i, *snap, &rows[i])) {
+      rows[i] = kNotARow;
       result.oov[i] = 1;
       ++oov_count;
+    }
+  }
+  fetch_rows(*snap, rows, result.vectors.data());
+  if (oov_count > 0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (result.oov[i]) {
+        oov_fill(i, *snap, result.vectors.data() + i * snap->dim());
+      }
     }
   }
 
@@ -117,28 +205,30 @@ LookupResult LookupService::lookup_ids(
     const std::vector<std::size_t>& ids) const {
   return lookup_batch(
       ids.size(),
-      [&](std::size_t i, const EmbeddingSnapshot& snap, float* out) {
-        if (ids[i] < snap.vocab_size()) {
-          fetch_row(snap, ids[i], out);
-          return false;
-        }
-        std::fill(out, out + snap.dim(), 0.0f);
+      [&](std::size_t i, const EmbeddingSnapshot& snap, std::size_t* row) {
+        if (ids[i] >= snap.vocab_size()) return false;
+        *row = ids[i];
         return true;
-      });
+      },
+      // Ids outside the vocabulary have no subword string to synthesize
+      // from; their slots stay zeroed.
+      [](std::size_t, const EmbeddingSnapshot&, float*) {});
 }
 
 LookupResult LookupService::lookup_words(
     const std::vector<std::string>& words) const {
   return lookup_batch(
       words.size(),
-      [&](std::size_t i, const EmbeddingSnapshot& snap, float* out) {
+      [&](std::size_t i, const EmbeddingSnapshot& snap, std::size_t* row) {
         std::size_t id = 0;
-        if (parse_synthetic_id(words[i], &id) && id < snap.vocab_size()) {
-          fetch_row(snap, id, out);
+        if (!parse_synthetic_id(words[i], &id) || id >= snap.vocab_size()) {
           return false;
         }
-        snap.synthesize_oov(words[i], out);  // zeroes `out` on failure
+        *row = id;
         return true;
+      },
+      [&](std::size_t i, const EmbeddingSnapshot& snap, float* out) {
+        snap.synthesize_oov(words[i], out);  // zeroes `out` on failure
       });
 }
 

@@ -5,7 +5,9 @@
 // shared_ptr and the only synchronization is a fixed pool of 16 cache
 // shards, each a mutex-guarded LRU keyed by (snapshot epoch, row) — rows
 // spread over the pool by key, independently of the snapshot's own storage
-// sharding. The cache holds *dequantized* vectors, so
+// sharding. Batches take each shard mutex at most twice per request batch
+// (one probe pass, one insert pass) and dequantize all misses in a single
+// block between them. The cache holds *dequantized* vectors, so
 // for quantized snapshots a popular row pays the unpack cost once per swap
 // instead of once per request (the same motivation as util/cache's
 // compute-once-serve-many artifact discipline, applied at row granularity).
@@ -82,16 +84,22 @@ class LookupService {
     std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index;
   };
 
-  /// Copies row `w` of `snap` into `out`, through the shard cache.
-  void fetch_row(const EmbeddingSnapshot& snap, std::size_t w,
-                 float* out) const;
+  /// Batched row gather through the shard cache: one probe pass taking each
+  /// cache shard's mutex at most once (hits copied under that lock), one
+  /// lock-free block dequantize of every miss straight into the result
+  /// buffer, one insert pass (again one lock per shard, recycling evicted
+  /// LRU nodes so the steady state allocates nothing). Entries of `rows`
+  /// equal to the OOV sentinel are skipped.
+  void fetch_rows(const EmbeddingSnapshot& snap,
+                  const std::vector<std::size_t>& rows, float* out) const;
 
-  /// Shared batch skeleton: resolve the live snapshot, size the result, run
-  /// `resolve(i, snap, out)` (returns true when request i was OOV) per
-  /// request, record stats. Defined in the .cpp; both public entry points
-  /// instantiate it there.
-  template <typename Resolve>
-  LookupResult lookup_batch(std::size_t n, const Resolve& resolve) const;
+  /// Shared batch skeleton: resolve the live snapshot, map every request to
+  /// a row id via `resolve(i, snap, &row)` (false = OOV), gather all rows
+  /// in one fetch_rows pass, fill OOV slots via `oov_fill`, record stats.
+  /// Defined in the .cpp; both public entry points instantiate it there.
+  template <typename Resolve, typename OovFill>
+  LookupResult lookup_batch(std::size_t n, const Resolve& resolve,
+                            const OovFill& oov_fill) const;
 
   const EmbeddingStore& store_;
   LookupConfig config_;

@@ -12,6 +12,7 @@
 #include "embed/io.hpp"
 #include "serve/serve.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace anchor::serve {
 namespace {
@@ -75,6 +76,57 @@ TEST(Snapshot, QuantizedRowsMatchCompressQuantizeGrid) {
       for (std::size_t j = 0; j < e.dim; ++j) {
         EXPECT_FLOAT_EQ(row[j], reference.embedding.row(w)[j])
             << "bits=" << bits << " w=" << w << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(Snapshot, CopyRowsMatchesPerRowCopyInAnyOrder) {
+  const auto e = random_embedding(41, 13, 26);
+  for (const int bits : {4, 8, 32}) {
+    SnapshotConfig config;
+    config.bits = bits;
+    config.num_shards = 5;
+    config.build_oov_table = false;
+    EmbeddingSnapshot snap("v1", e, config, 1);
+
+    // Scattered, duplicated, unsorted ids — the shape a lookup batch takes.
+    const std::vector<std::size_t> ids = {40, 0, 7, 7, 13, 39, 1, 0};
+    std::vector<float> batched(ids.size() * e.dim);
+    snap.copy_rows(ids.data(), ids.size(), batched.data());
+    std::vector<float> row(e.dim);
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      snap.copy_row(ids[i], row.data());
+      for (std::size_t j = 0; j < e.dim; ++j) {
+        EXPECT_EQ(batched[i * e.dim + j], row[j])
+            << "bits=" << bits << " i=" << i << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(Snapshot, ToMatrixBlockExportMatchesCopyRow) {
+  // dim 13 and 5 shards hit both the sub-byte packing tail and an uneven
+  // rows-per-shard split in the blocked (per-shard dequantize) export path.
+  const auto e = random_embedding(23, 13, 27);
+  for (const int bits : {1, 2, 4, 8, 32}) {
+    SnapshotConfig config;
+    config.bits = bits;
+    config.num_shards = 5;
+    config.build_oov_table = false;
+    EmbeddingSnapshot snap("v1", e, config, 1);
+    for (const std::size_t max_rows : {std::size_t{0}, std::size_t{1},
+                                       std::size_t{17}, std::size_t{23}}) {
+      const la::Matrix m = snap.to_matrix(max_rows);
+      const std::size_t rows = max_rows == 0 ? e.vocab_size : max_rows;
+      ASSERT_EQ(m.rows(), rows);
+      std::vector<float> row(e.dim);
+      for (std::size_t w = 0; w < rows; ++w) {
+        snap.copy_row(w, row.data());
+        for (std::size_t j = 0; j < e.dim; ++j) {
+          EXPECT_EQ(m(w, j), static_cast<double>(row[j]))
+              << "bits=" << bits << " max_rows=" << max_rows << " w=" << w;
+        }
       }
     }
   }
@@ -316,6 +368,45 @@ TEST(Lookup, RepeatedRowsHitTheCache) {
   EXPECT_GT(stats.cache_hit_rate(), 0.7);
 }
 
+TEST(Lookup, CachedBatchEqualsUncachedBatch) {
+  EmbeddingStore store;
+  store.add_version("v1", random_embedding(60, 13, 28),
+                    {.bits = 8, .build_oov_table = false});
+  LookupService cached(store, {.cache_rows_per_shard = 4});
+  LookupService uncached(store, {.cache_rows_per_shard = 0});
+  Rng rng(29);
+  for (int round = 0; round < 5; ++round) {
+    std::vector<std::size_t> ids(37);
+    for (auto& id : ids) id = rng.index(60);
+    ids[3] = ids[11];  // in-batch duplicate
+    const auto a = cached.lookup_ids(ids);
+    const auto b = uncached.lookup_ids(ids);
+    ASSERT_EQ(a.vectors.size(), b.vectors.size());
+    for (std::size_t i = 0; i < a.vectors.size(); ++i) {
+      EXPECT_EQ(a.vectors[i], b.vectors[i]) << "round=" << round << " i=" << i;
+    }
+  }
+  // The tiny 4-rows-per-shard capacity forces constant eviction/recycling
+  // above; the cache must still have answered something.
+  EXPECT_GT(cached.stats().snapshot().cache_hits, 0u);
+}
+
+TEST(Lookup, DuplicateRowsInOneBatchMissOnlyOnce) {
+  EmbeddingStore store;
+  store.add_version("v1", random_embedding(20, 8, 30),
+                    {.bits = 8, .build_oov_table = false});
+  LookupService service(store);
+  const auto r = service.lookup_ids({7, 7, 2, 7, 2});
+  const auto stats = service.stats().snapshot();
+  EXPECT_EQ(stats.cache_misses, 2u);  // rows 7 and 2
+  EXPECT_EQ(stats.cache_hits, 3u);    // the three repeats
+  for (std::size_t j = 0; j < r.dim; ++j) {
+    EXPECT_EQ(r.row(0)[j], r.row(1)[j]);
+    EXPECT_EQ(r.row(0)[j], r.row(3)[j]);
+    EXPECT_EQ(r.row(2)[j], r.row(4)[j]);
+  }
+}
+
 TEST(Lookup, CacheDisabledRecordsNothing) {
   EmbeddingStore store;
   store.add_version("v1", random_embedding(20, 8, 22),
@@ -455,6 +546,31 @@ TEST(Gate, IdenticalSnapshotsScoreNearZeroAndAdmit) {
   EXPECT_NEAR(report.eis, 0.0, 1e-6);
   EXPECT_NEAR(report.one_minus_knn, 0.0, 1e-9);
   EXPECT_EQ(report.decision, GateDecision::kAdmit);
+}
+
+TEST(Gate, EvaluateFromPoolWorkerDoesNotDeadlockAndMatches) {
+  // A canarying job may run evaluate() *on* the shared pool; with a single
+  // worker the overlap path (submit + get) would block that worker on a
+  // task queued behind it forever, so the gate must detect it and fall
+  // back to sequential — with an identical report.
+  const auto e = random_embedding(100, 8, 41);
+  EmbeddingStore store;
+  store.add_version("old", e, {.build_oov_table = false});
+  store.add_version("new", perturbed(e, 0.05, 42), {.build_oov_table = false});
+  GateConfig config;
+  config.knn_queries = 32;
+  DeploymentGate gate(config);
+  const GateReport direct =
+      gate.evaluate(*store.snapshot("old"), *store.snapshot("new"));
+
+  util::set_global_pool_threads(1);
+  auto fut = util::global_pool().submit([&] {
+    return gate.evaluate(*store.snapshot("old"), *store.snapshot("new"));
+  });
+  const GateReport nested = fut.get();
+  util::set_global_pool_threads(0);
+  EXPECT_EQ(nested.eis, direct.eis);
+  EXPECT_EQ(nested.one_minus_knn, direct.one_minus_knn);
 }
 
 TEST(Gate, UnrelatedSnapshotScoresHigherThanPerturbed) {

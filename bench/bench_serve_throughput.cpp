@@ -8,7 +8,22 @@
 // latency from ServeStats; every cell is also appended to a machine-
 // readable BENCH_serve.json (override with --json <path>) so the serving
 // perf trajectory is recorded across PRs.
-// Run: ./build/bench/bench_serve_throughput [--json path]
+//
+// The async section measures the coalescing front-end: N client threads
+// each keep a window of pipelined SINGLE-KEY futures against an
+// AsyncLookupService, so all batching happens inside its flat-combining
+// ring. Numbers to watch (both in the JSON's "async_vs_native" object):
+// the ratio of coalesced single-key throughput to native lookup_batch
+// throughput at the same batch size, and the speedup over UNcoalesced
+// native single-key calls (the naive front-end the batcher replaces).
+// On a 1-core host the multi-client cells are scheduler-bound: clients,
+// combiner, and consumers time-slice one core, so the ratio peaks at 1
+// client (~50% of native batch-64) and decays with client count; the
+// single-key speedup is the robust signal.
+// Run: ./build/bench/bench_serve_throughput [--json path] [--smoke]
+#include <atomic>
+#include <deque>
+#include <future>
 #include <iostream>
 #include <string>
 #include <thread>
@@ -27,7 +42,8 @@ using namespace anchor;
 constexpr std::size_t kVocab = 50000;
 constexpr std::size_t kDim = 64;
 constexpr std::size_t kBatch = 64;
-constexpr double kSecondsPerCell = 0.4;
+constexpr std::size_t kAsyncWindow = 64;  // pipelined futures per client
+double g_seconds_per_cell = 0.4;
 
 embed::Embedding random_embedding(std::uint64_t seed) {
   embed::Embedding e(kVocab, kDim);
@@ -44,14 +60,15 @@ std::size_t skewed_id(Rng& rng) {
          kVocab;
 }
 
-serve::StatsSnapshot run_cell(serve::LookupService& service, int threads) {
+serve::StatsSnapshot run_cell(serve::LookupService& service, int threads,
+                              std::size_t batch = kBatch) {
   service.stats().reset();
   std::atomic<bool> stop{false};
   std::vector<std::thread> workers;
   for (int t = 0; t < threads; ++t) {
-    workers.emplace_back([&service, &stop, t] {
+    workers.emplace_back([&service, &stop, batch, t] {
       Rng rng(1000 + static_cast<std::uint64_t>(t));
-      std::vector<std::size_t> ids(kBatch);
+      std::vector<std::size_t> ids(batch);
       while (!stop.load(std::memory_order_relaxed)) {
         for (auto& id : ids) id = skewed_id(rng);
         service.lookup_ids(ids);
@@ -59,41 +76,94 @@ serve::StatsSnapshot run_cell(serve::LookupService& service, int threads) {
     });
   }
   std::this_thread::sleep_for(
-      std::chrono::duration<double>(kSecondsPerCell));
+      std::chrono::duration<double>(g_seconds_per_cell));
   stop.store(true);
   for (auto& w : workers) w.join();
   return service.stats().snapshot();
+}
+
+/// Coalesced single-key traffic: every request carries ONE key; each
+/// client pipelines kAsyncWindow futures so the dispatcher always has
+/// enough queued keys to form full batches (a blocking client per thread
+/// would cap coalesced batches at `threads` keys).
+serve::StatsSnapshot run_async_cell(const serve::LookupService& service,
+                                    int threads, double* mean_batch) {
+  serve::BatcherConfig config;
+  config.max_batch_size = kBatch;
+  serve::AsyncLookupService async(service, config);
+  async.stats().reset();
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < threads; ++t) {
+    clients.emplace_back([&async, &stop, t] {
+      Rng rng(3000 + static_cast<std::uint64_t>(t));
+      std::deque<serve::AsyncLookupService::SliceFuture> window;
+      while (!stop.load(std::memory_order_relaxed)) {
+        window.push_back(async.lookup_id(skewed_id(rng)));
+        // Drain everything already completed; block only when the
+        // window is full (keeps slack against batch-phase drift).
+        while (!window.empty() &&
+               (window.size() >= kAsyncWindow || window.front().ready())) {
+          window.front().get();
+          window.pop_front();
+        }
+      }
+      while (!window.empty()) {
+        window.front().get();
+        window.pop_front();
+      }
+    });
+  }
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(g_seconds_per_cell));
+  stop.store(true);
+  for (auto& c : clients) c.join();
+  const serve::StatsSnapshot s = async.stats().snapshot();
+  *mean_batch = s.batches > 0
+                    ? static_cast<double>(s.lookups) /
+                          static_cast<double>(s.batches)
+                    : 0.0;
+  return s;
 }
 
 struct BenchCell {
   std::string config;
   int threads = 0;
   serve::StatsSnapshot stats;
+  double mean_coalesced_batch = 0.0;  // async cells only
 };
 
 void add_row(TextTable& table, std::vector<BenchCell>& cells,
              const std::string& label, const serve::StatsSnapshot& s,
-             int threads) {
+             int threads, double mean_batch = 0.0) {
   table.add_row({label, std::to_string(threads),
                  format_double(s.qps / 1e6, 2), format_double(s.p50_latency_us, 1),
                  format_double(s.p99_latency_us, 1),
                  format_double(100.0 * s.cache_hit_rate(), 1) + "%"});
-  cells.push_back({label, threads, s});
+  cells.push_back({label, threads, s, mean_batch});
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string json_path = "BENCH_serve.json";
+  bool smoke = false;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--json" && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::string(argv[i]) == "--smoke") {
+      smoke = true;  // CI: exercise every path in well under a second each
     }
   }
+  if (smoke) g_seconds_per_cell = 0.05;
+  const std::vector<int> native_threads =
+      smoke ? std::vector<int>{1, 8} : std::vector<int>{1, 2, 4, 8};
+  const std::vector<int> async_threads =
+      smoke ? std::vector<int>{1, 8} : std::vector<int>{1, 2, 4, 8, 16};
   std::cout << "\n=== Serving throughput (EmbeddingStore + LookupService) "
                "===\n"
             << "vocab=" << kVocab << " dim=" << kDim << " batch=" << kBatch
-            << ", skewed traffic, " << kSecondsPerCell
+            << ", skewed traffic, " << g_seconds_per_cell
             << "s per cell\n\n";
 
   serve::EmbeddingStore store;
@@ -112,7 +182,7 @@ int main(int argc, char** argv) {
   TextTable table({"config", "threads", "Mqps", "p50 us", "p99 us",
                    "cache hit"});
   std::vector<BenchCell> cells;
-  for (const int threads : {1, 2, 4, 8}) {
+  for (const int threads : native_threads) {
     store.set_live("fp32");
     {
       serve::LookupService service(store, {.cache_rows_per_shard = 0});
@@ -137,6 +207,60 @@ int main(int argc, char** argv) {
                "aggressive bit widths; at narrow dims the per-shard mutex "
                "can cost more than the unpack it saves.\n";
 
+  // Async coalescing: single-key futures only, batching done entirely by
+  // the AsyncLookupService dispatcher. Compare against "int8 nocache"
+  // above — that is the native lookup_batch(kBatch) hot path the
+  // coalesced traffic is trying to match.
+  std::cout << "\nasync coalesced single-key (window=" << kAsyncWindow
+            << " futures/client, max_batch=" << kBatch << "):\n";
+  store.set_live("int8");
+  serve::LookupService async_backend(store, {.cache_rows_per_shard = 0});
+  // The uncoalesced baseline: every single-key request pays the full
+  // per-batch cost itself — what a naive RPC front-end would do, and the
+  // number the batcher exists to beat.
+  const auto native1 = run_cell(async_backend, 8, 1);
+  std::cout << "  (uncoalesced native single-key at 8 threads: "
+            << format_double(native1.qps / 1e6, 2) << " Mqps)\n";
+  cells.push_back({"int8 native1key", 8, native1, 0.0});
+  TextTable async_table({"config", "threads", "Mqps", "p50 us", "p99 us",
+                         "coalesced batch"});
+  for (const int threads : async_threads) {
+    double mean_batch = 0.0;
+    const auto s = run_async_cell(async_backend, threads, &mean_batch);
+    async_table.add_row({"int8 async1key", std::to_string(threads),
+                         format_double(s.qps / 1e6, 2),
+                         format_double(s.p50_latency_us, 1),
+                         format_double(s.p99_latency_us, 1),
+                         format_double(mean_batch, 1)});
+    cells.push_back({"int8 async1key", threads, s, mean_batch});
+  }
+  async_table.print(std::cout);
+
+  // The acceptance ratio the JSON records: coalesced single-key QPS vs
+  // native batch QPS, both int8/nocache, at the highest common thread
+  // count (p50 here is client-observed latency including queue wait, so
+  // it is expected to sit near max_wait_us under light load).
+  double native_ref = 0.0, async_ref = 0.0;
+  int ref_threads = 0;
+  for (const BenchCell& c : cells) {
+    if (c.config == "int8 nocache" && c.threads >= 8) {
+      native_ref = c.stats.qps;
+      ref_threads = c.threads;
+    }
+    if (c.config == "int8 async1key" && c.threads == 8) {
+      async_ref = c.stats.qps;
+    }
+  }
+  const double ratio = native_ref > 0.0 ? async_ref / native_ref : 0.0;
+  const double coalescing_speedup =
+      native1.qps > 0.0 ? async_ref / native1.qps : 0.0;
+  std::cout << "\nasync vs native batch-" << kBatch << " at " << ref_threads
+            << " threads: " << format_double(async_ref / 1e6, 2) << " / "
+            << format_double(native_ref / 1e6, 2)
+            << " Mqps = " << format_double(100.0 * ratio, 1)
+            << "%\nasync vs UNcoalesced single-key: "
+            << format_double(coalescing_speedup, 1) << "x\n";
+
   // Hot swap under load: flip the live version every 10ms while 4 threads
   // read. Any stall or stale read would show up as a latency spike or a
   // crash; the snapshot shared_ptr design means neither can happen.
@@ -155,7 +279,7 @@ int main(int argc, char** argv) {
       }
     });
   }
-  for (int swap = 0; swap < 40; ++swap) {
+  for (int swap = 0; swap < (smoke ? 5 : 40); ++swap) {
     store.set_live(swap % 2 == 0 ? "fp32" : "int8");
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
@@ -176,7 +300,8 @@ int main(int argc, char** argv) {
   json.kv("vocab", kVocab);
   json.kv("dim", kDim);
   json.kv("batch", kBatch);
-  json.kv("seconds_per_cell", kSecondsPerCell);
+  json.kv("async_window", kAsyncWindow);
+  json.kv("seconds_per_cell", g_seconds_per_cell);
   json.end_object();
   json.key("cells").begin_array();
   for (const BenchCell& c : cells) {
@@ -187,9 +312,20 @@ int main(int argc, char** argv) {
     json.kv("p50_us", c.stats.p50_latency_us);
     json.kv("p99_us", c.stats.p99_latency_us);
     json.kv("cache_hit_rate", c.stats.cache_hit_rate());
+    if (c.mean_coalesced_batch > 0.0) {
+      json.kv("mean_coalesced_batch", c.mean_coalesced_batch);
+    }
     json.end_object();
   }
   json.end_array();
+  json.key("async_vs_native").begin_object();
+  json.kv("threads", ref_threads);
+  json.kv("native_batch_qps", native_ref);
+  json.kv("native_single_key_qps", native1.qps);
+  json.kv("async_single_key_qps", async_ref);
+  json.kv("ratio_vs_native_batch", ratio);
+  json.kv("speedup_vs_uncoalesced", coalescing_speedup);
+  json.end_object();
   json.key("hot_swap_under_load").begin_object();
   json.kv("threads", 4);
   json.kv("qps", swap_stats.qps);

@@ -12,7 +12,14 @@
 // make the call, which is the point of the paper's cheap predictive
 // measures.
 //
-// Build & run:  ./build/examples/serve_hot_swap
+// The gate's audit trail goes to a CSV whose location is configurable:
+// pass a path as argv[1], or set ANCHOR_AUDIT_LOG; the default is
+// anchor_serve_audit.csv under the system temp directory (never the
+// current working directory — a demo must not litter a repo checkout).
+//
+// Build & run:  ./build/examples/serve_hot_swap [audit.csv]
+#include <cstdlib>
+#include <filesystem>
 #include <iostream>
 
 #include "embed/trainer.hpp"
@@ -21,7 +28,17 @@
 #include "text/latent_space.hpp"
 #include "util/table.hpp"
 
-int main() {
+namespace {
+
+std::filesystem::path audit_log_path(int argc, char** argv) {
+  if (argc > 1) return argv[1];
+  if (const char* env = std::getenv("ANCHOR_AUDIT_LOG")) return env;
+  return std::filesystem::temp_directory_path() / "anchor_serve_audit.csv";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace anchor;
 
   // Bench-scale corpora: one base year, a drifted next year, and a
@@ -74,7 +91,7 @@ int main() {
   gate_config.eis_reject = 4.0 * baseline.eis;
   gate_config.knn_warn = 2.0 * baseline.one_minus_knn;
   gate_config.knn_reject = 4.0 * baseline.one_minus_knn;
-  gate_config.audit_log = "serve_audit.csv";
+  gate_config.audit_log = audit_log_path(argc, argv);
   const serve::DeploymentGate gate(gate_config);
 
   std::cout << "\nBaseline (seed-to-seed) measures: eis="

@@ -1,0 +1,89 @@
+#include "net/client.hpp"
+
+namespace anchor::net {
+
+Client::Client(const std::string& host, std::uint16_t port)
+    : stream_(TcpStream::connect(host, port)) {}
+
+std::vector<std::uint8_t> Client::roundtrip(MsgType request,
+                                            const WireWriter& body,
+                                            MsgType expected) {
+  write_frame(stream_, request, body);
+  MsgType type{};
+  std::vector<std::uint8_t> payload;
+  if (!read_frame(stream_, &type, &payload)) {
+    throw NetError("server closed the connection");
+  }
+  if (type == MsgType::kError) {
+    WireReader reader(payload);
+    throw RpcError(reader.str());
+  }
+  if (type != expected) {
+    throw WireError("unexpected reply type " +
+                    std::to_string(static_cast<int>(type)));
+  }
+  return payload;
+}
+
+serve::LookupResult Client::lookup_ids(const std::vector<std::size_t>& ids) {
+  WireWriter body;
+  body.u32(static_cast<std::uint32_t>(ids.size()));
+  for (const std::size_t id : ids) body.u64(id);
+  const auto payload =
+      roundtrip(MsgType::kLookupIds, body, MsgType::kLookupIdsReply);
+  WireReader reader(payload);
+  serve::LookupResult result = decode_lookup_result(&reader);
+  reader.expect_done();
+  return result;
+}
+
+serve::LookupResult Client::lookup_words(
+    const std::vector<std::string>& words) {
+  WireWriter body;
+  body.u32(static_cast<std::uint32_t>(words.size()));
+  for (const std::string& word : words) body.str(word);
+  const auto payload =
+      roundtrip(MsgType::kLookupWords, body, MsgType::kLookupWordsReply);
+  WireReader reader(payload);
+  serve::LookupResult result = decode_lookup_result(&reader);
+  reader.expect_done();
+  return result;
+}
+
+serve::LookupResult Client::lookup_id(std::size_t id) {
+  return lookup_ids({id});
+}
+
+serve::LookupResult Client::lookup_word(const std::string& word) {
+  return lookup_words({word});
+}
+
+serve::GateReport Client::try_promote(const std::string& candidate) {
+  WireWriter body;
+  body.str(candidate);
+  const auto payload =
+      roundtrip(MsgType::kTryPromote, body, MsgType::kTryPromoteReply);
+  WireReader reader(payload);
+  serve::GateReport report = decode_gate_report(&reader);
+  reader.expect_done();
+  return report;
+}
+
+ServerStatsReport Client::stats() {
+  const auto payload =
+      roundtrip(MsgType::kStats, WireWriter(), MsgType::kStatsReply);
+  WireReader reader(payload);
+  ServerStatsReport report = decode_server_stats(&reader);
+  reader.expect_done();
+  return report;
+}
+
+void Client::ping() {
+  roundtrip(MsgType::kPing, WireWriter(), MsgType::kPong);
+}
+
+void Client::shutdown_server() {
+  roundtrip(MsgType::kShutdown, WireWriter(), MsgType::kShutdownReply);
+}
+
+}  // namespace anchor::net

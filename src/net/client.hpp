@@ -1,0 +1,59 @@
+// Blocking RPC client for the serving daemon. One connection, one request
+// in flight at a time — the server-side batcher provides the concurrency,
+// coalescing requests from many such clients into shared batches.
+//
+// Results come back as the same serve-layer structs in-process callers
+// get (LookupResult, GateReport), so code can swap between the in-process
+// LookupService and a remote daemon without changing its downstream types.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "serve/deployment_gate.hpp"
+#include "serve/lookup_service.hpp"
+
+namespace anchor::net {
+
+/// The server answered with an error frame (e.g. unknown candidate
+/// version). The connection remains usable.
+struct RpcError : std::runtime_error {
+  explicit RpcError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Client {
+ public:
+  /// Connects to the daemon; throws NetError when nothing is listening.
+  Client(const std::string& host, std::uint16_t port);
+
+  /// Batched lookups, mirroring LookupService's entry points.
+  serve::LookupResult lookup_ids(const std::vector<std::size_t>& ids);
+  serve::LookupResult lookup_words(const std::vector<std::string>& words);
+  /// Single-key convenience (still one RPC; the server coalesces).
+  serve::LookupResult lookup_id(std::size_t id);
+  serve::LookupResult lookup_word(const std::string& word);
+
+  /// Gates + promotes `candidate` on the server. Throws RpcError when the
+  /// version is unknown there.
+  serve::GateReport try_promote(const std::string& candidate);
+
+  ServerStatsReport stats();
+  void ping();
+  /// Asks the daemon to exit its serving loop. The reply is confirmed
+  /// before returning, so a scripted caller can wait(1) on the daemon pid.
+  void shutdown_server();
+
+ private:
+  /// Sends one frame, reads one reply. Throws RpcError on kError replies,
+  /// WireError when the reply type is not `expected`.
+  std::vector<std::uint8_t> roundtrip(MsgType request, const WireWriter& body,
+                                      MsgType expected);
+
+  TcpStream stream_;
+};
+
+}  // namespace anchor::net

@@ -1,0 +1,242 @@
+#include "net/server.hpp"
+
+#include <chrono>
+#include <exception>
+#include <utility>
+
+#include "net/wire.hpp"
+
+namespace anchor::net {
+
+Server::Server(serve::EmbeddingStore& store, ServerConfig config)
+    : store_(store),
+      config_(config),
+      service_(store, config.lookup),
+      async_(service_, config.batcher),
+      gate_(config.gate),
+      listener_(TcpListener::bind_loopback(config.port)) {}
+
+Server::~Server() { stop(); }
+
+void Server::run() { accept_loop(); }
+
+void Server::start() {
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::stop() {
+  stop_.store(true, std::memory_order_release);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // run() callers drive the accept loop on their own thread; wait for it
+  // to observe the stop flag (bounded by poll_interval_ms) so the
+  // listener is never closed mid-accept and no connection is pushed
+  // after the final reap.
+  while (accept_running_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  reap_connections(/*all=*/true);
+  listener_.close();
+}
+
+void Server::reap_connections(bool all) {
+  std::vector<std::unique_ptr<Connection>> to_join;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (all) {
+      to_join.swap(connections_);
+    } else {
+      for (std::size_t i = 0; i < connections_.size();) {
+        if (connections_[i]->done.load(std::memory_order_acquire)) {
+          to_join.push_back(std::move(connections_[i]));
+          connections_[i] = std::move(connections_.back());
+          connections_.pop_back();
+        } else {
+          ++i;
+        }
+      }
+    }
+  }
+  for (auto& conn : to_join) conn->thread.join();
+}
+
+void Server::accept_loop() {
+  accept_running_.store(true, std::memory_order_release);
+  while (!stop_.load(std::memory_order_acquire)) {
+    reap_connections(/*all=*/false);
+    TcpStream conn = listener_.accept(config_.poll_interval_ms);
+    if (!conn.valid()) continue;  // poll timeout — recheck stop flag
+    auto connection = std::make_unique<Connection>();
+    Connection* raw = connection.get();
+    raw->thread =
+        std::thread([this, raw, stream = std::move(conn)]() mutable {
+          handle_connection(std::move(stream));
+          raw->done.store(true, std::memory_order_release);
+        });
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    connections_.push_back(std::move(connection));
+  }
+  accept_running_.store(false, std::memory_order_release);
+}
+
+void Server::handle_connection(TcpStream stream) {
+  stream.set_io_timeout(config_.io_timeout_ms);
+  MsgType type{};
+  std::vector<std::uint8_t> payload;
+  try {
+    while (!stop_.load(std::memory_order_acquire)) {
+      // Poll so a stop() issued while the client is idle is honored within
+      // one interval instead of blocking in recv forever.
+      if (!stream.wait_readable(config_.poll_interval_ms)) continue;
+      if (!read_frame(stream, &type, &payload)) break;  // client went away
+      if (!dispatch(stream, type, payload)) break;
+    }
+  } catch (const WireError&) {
+    // Malformed framing: the stream position is unrecoverable, so close
+    // without a reply (an error frame could land mid-garbage anyway).
+  } catch (const NetError&) {
+    // Peer reset or vanished mid-message; nothing left to answer.
+  }
+}
+
+bool Server::dispatch(TcpStream& stream, MsgType type,
+                      const std::vector<std::uint8_t>& payload) {
+  WireReader reader(payload);
+  WireWriter reply;
+  // Upper bound on keys whose REPLY still fits the frame cap: each row
+  // costs dim f32s plus an oov byte. Checked before running a lookup, so
+  // an oversized-but-well-formed request is refused with an error frame
+  // instead of allocating gigabytes and failing at send time. Uses the
+  // live snapshot's dim; a concurrent hot swap to a different dim is
+  // caught by write_frame's own cap check (kError reply, no crash).
+  const auto max_reply_keys = [this]() -> std::uint64_t {
+    const serve::SnapshotPtr live = store_.live();
+    const std::uint64_t row_bytes =
+        live ? live->dim() * sizeof(float) + 1 : 1;
+    return (kMaxFrameBytes - 1024) / row_bytes;
+  };
+  // Payload decode errors (WireError) propagate to handle_connection and
+  // close the connection — the stream itself is fine but the peer speaks a
+  // different layout. Serving errors (unknown version, empty store) keep
+  // the connection and answer kError instead.
+  switch (type) {
+    case MsgType::kLookupIds: {
+      const std::uint32_t n = reader.u32();
+      // Each id occupies 8 payload bytes, so a count the payload cannot
+      // hold is malformed — reject before allocating n slots.
+      if (n > reader.remaining() / sizeof(std::uint64_t)) {
+        throw WireError("id count exceeds payload");
+      }
+      if (n > max_reply_keys()) {
+        WireWriter err;
+        err.str("batch too large: reply would exceed the frame cap");
+        write_frame(stream, MsgType::kError, err);
+        return true;
+      }
+      std::vector<std::size_t> ids(n);
+      for (auto& id : ids) id = static_cast<std::size_t>(reader.u64());
+      reader.expect_done();
+      try {
+        // Single keys ride the allocation-free ring fast path; bigger
+        // requests coalesce on the general path.
+        const serve::ResultSlice slice =
+            ids.size() == 1 ? async_.lookup_id(ids[0]).get()
+                            : async_.lookup_ids(std::move(ids)).get();
+        encode_result_slice(slice, &reply);
+        write_frame(stream, MsgType::kLookupIdsReply, reply);
+      } catch (const NetError&) {
+        // Transport failure, possibly mid-reply: the stream framing is
+        // gone; close the connection instead of appending an error frame
+        // onto a truncated reply.
+        throw;
+      } catch (const std::exception& e) {
+        WireWriter err;
+        err.str(e.what());
+        write_frame(stream, MsgType::kError, err);
+      }
+      return true;
+    }
+    case MsgType::kLookupWords: {
+      const std::uint32_t n = reader.u32();
+      // Every word carries at least its 4-byte length prefix.
+      if (n > reader.remaining() / sizeof(std::uint32_t)) {
+        throw WireError("word count exceeds payload");
+      }
+      if (n > max_reply_keys()) {
+        WireWriter err;
+        err.str("batch too large: reply would exceed the frame cap");
+        write_frame(stream, MsgType::kError, err);
+        return true;
+      }
+      std::vector<std::string> words(n);
+      for (auto& word : words) word = reader.str();
+      reader.expect_done();
+      try {
+        const serve::ResultSlice slice =
+            async_.lookup_words(std::move(words)).get();
+        encode_result_slice(slice, &reply);
+        write_frame(stream, MsgType::kLookupWordsReply, reply);
+      } catch (const NetError&) {
+        throw;  // transport failure mid-reply: close, don't answer
+      } catch (const std::exception& e) {
+        WireWriter err;
+        err.str(e.what());
+        write_frame(stream, MsgType::kError, err);
+      }
+      return true;
+    }
+    case MsgType::kTryPromote: {
+      const std::string candidate = reader.str();
+      reader.expect_done();
+      try {
+        // Promotions are serialized: concurrent handlers would interleave
+        // appends to the gate's audit CSV (and gate two candidates
+        // against the same incumbent at once, promoting both).
+        std::lock_guard<std::mutex> lock(promote_mu_);
+        const serve::GateReport report = gate_.try_promote(store_, candidate);
+        encode_gate_report(report, &reply);
+        write_frame(stream, MsgType::kTryPromoteReply, reply);
+      } catch (const NetError&) {
+        throw;  // transport failure mid-reply: close, don't answer
+      } catch (const std::exception& e) {
+        WireWriter err;
+        err.str(e.what());
+        write_frame(stream, MsgType::kError, err);
+      }
+      return true;
+    }
+    case MsgType::kStats: {
+      reader.expect_done();
+      ServerStatsReport report;
+      report.live_version = store_.live_version();
+      report.service = service_.stats().snapshot();
+      report.batcher = async_.stats().snapshot();
+      encode_server_stats(report, &reply);
+      write_frame(stream, MsgType::kStatsReply, reply);
+      return true;
+    }
+    case MsgType::kPing: {
+      reader.expect_done();
+      write_frame(stream, MsgType::kPong, reply);
+      return true;
+    }
+    case MsgType::kShutdown: {
+      reader.expect_done();
+      // Flags first, reply second: a client that received the reply must
+      // observe shutdown_requested() as true. The accept loop stops;
+      // stop() (daemon main / destructor) joins the other handlers, and
+      // this handler just closes its own connection.
+      shutdown_requested_.store(true, std::memory_order_release);
+      stop_.store(true, std::memory_order_release);
+      write_frame(stream, MsgType::kShutdownReply, reply);
+      return false;
+    }
+    default:
+      WireWriter err;
+      err.str("unknown request type " +
+              std::to_string(static_cast<int>(type)));
+      write_frame(stream, MsgType::kError, err);
+      return true;
+  }
+}
+
+}  // namespace anchor::net

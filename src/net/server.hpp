@@ -1,0 +1,124 @@
+// TCP front-end for the serving stack: accepts loopback connections and
+// drives the async batcher, so out-of-process consumers get gated,
+// versioned embeddings over the wire.
+//
+// Topology: one accept thread + one handler thread per connection. Each
+// handler parses frames and blocks on the batcher future for lookups —
+// which is exactly what makes the design scale on the serving side:
+// concurrent connections' single-key requests coalesce into shared
+// batches inside AsyncLookupService instead of each paying the full
+// per-batch cost. Control-plane requests (try_promote, stats, shutdown)
+// execute on the handler thread directly.
+//
+// The server binds in the constructor (so an ephemeral port is known
+// immediately), but serves only once run() or start() is called. stop()
+// is idempotent and safe from any thread; a kShutdown frame from a client
+// also stops the accept loop, which is how the daemon supports remote
+// shutdown for scripted smoke tests.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "serve/batcher.hpp"
+#include "serve/deployment_gate.hpp"
+#include "serve/embedding_store.hpp"
+#include "serve/lookup_service.hpp"
+
+namespace anchor::net {
+
+struct ServerConfig {
+  /// 0 = ephemeral; read the bound port back with Server::port().
+  std::uint16_t port = 0;
+  serve::LookupConfig lookup;
+  serve::BatcherConfig batcher;
+  serve::GateConfig gate;
+  /// Poll granularity of the accept/handler loops — bounds how long stop()
+  /// waits for idle connections to notice.
+  int poll_interval_ms = 100;
+  /// Per-recv/send stall bound on connection sockets: a client that goes
+  /// silent mid-frame or stops draining a reply is dropped after this
+  /// long, so it can never pin a handler thread (and therefore stop())
+  /// indefinitely. Idle BETWEEN frames is unlimited — that wait is the
+  /// stop-aware poll loop.
+  int io_timeout_ms = 2000;
+};
+
+class Server {
+ public:
+  /// Binds 127.0.0.1:port and builds the serving stack (LookupService →
+  /// AsyncLookupService → DeploymentGate) over the caller's store. The
+  /// store must outlive the server; it may be mutated concurrently
+  /// (add_version + RPC try_promote is the intended hot-swap flow).
+  Server(serve::EmbeddingStore& store, ServerConfig config = {});
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  std::uint16_t port() const { return listener_.port(); }
+
+  /// Serves on the calling thread until stop() is called from elsewhere or
+  /// a client sends kShutdown. Handler threads are joined by stop()/dtor.
+  void run();
+  /// Serves on a background thread; returns immediately.
+  void start();
+  /// Stops accepting, closes the listener, and joins every thread. Safe to
+  /// call multiple times and from any thread (except a handler's own).
+  void stop();
+
+  /// True once a client's kShutdown was honored — the daemon's main loop
+  /// watches this.
+  bool shutdown_requested() const {
+    return shutdown_requested_.load(std::memory_order_acquire);
+  }
+
+  const serve::LookupService& service() const { return service_; }
+  serve::AsyncLookupService& async() { return async_; }
+  const serve::DeploymentGate& gate() const { return gate_; }
+
+ private:
+  void accept_loop();
+  void handle_connection(TcpStream stream);
+  /// Dispatches one request frame; returns false when the connection
+  /// should close (shutdown honored).
+  bool dispatch(TcpStream& stream, MsgType type,
+                const std::vector<std::uint8_t>& payload);
+
+  serve::EmbeddingStore& store_;
+  ServerConfig config_;
+  serve::LookupService service_;
+  serve::AsyncLookupService async_;
+  serve::DeploymentGate gate_;
+  TcpListener listener_;
+
+  struct Connection {
+    std::thread thread;
+    std::atomic<bool> done{false};  // set by the handler as it exits
+  };
+  /// Joins and drops finished handlers (every accept-loop iteration), so
+  /// a long-running daemon does not retain one dead thread per
+  /// connection ever served. stop() joins the rest unconditionally.
+  void reap_connections(bool all);
+
+  /// Serializes kTryPromote handling (audit-log appends are not
+  /// internally synchronized, and gating is control-plane-rare anyway).
+  std::mutex promote_mu_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> shutdown_requested_{false};
+  /// True while accept_loop() is executing — run() callers have no
+  /// thread for stop() to join, so stop() waits on this flag before
+  /// closing the listener out from under the loop.
+  std::atomic<bool> accept_running_{false};
+  std::thread accept_thread_;
+  std::mutex conn_mu_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+};
+
+}  // namespace anchor::net

@@ -1,0 +1,165 @@
+#include "net/wire.hpp"
+
+#include "net/socket.hpp"
+#include "util/check.hpp"
+
+namespace anchor::net {
+
+void write_frame(TcpStream& stream, MsgType type, const WireWriter& payload) {
+  const std::vector<std::uint8_t>& body = payload.buffer();
+  ANCHOR_CHECK_MSG(body.size() + 3 <= kMaxFrameBytes, "frame too large");
+  // One contiguous buffer per frame: a single send() keeps small RPCs in
+  // one TCP segment (TCP_NODELAY would otherwise split prefix and body).
+  std::vector<std::uint8_t> frame;
+  frame.reserve(4 + 3 + body.size());
+  const std::uint32_t len = static_cast<std::uint32_t>(3 + body.size());
+  const auto* lp = reinterpret_cast<const std::uint8_t*>(&len);
+  frame.insert(frame.end(), lp, lp + 4);
+  frame.push_back(kWireMagic);
+  frame.push_back(kWireVersion);
+  frame.push_back(static_cast<std::uint8_t>(type));
+  frame.insert(frame.end(), body.begin(), body.end());
+  stream.write_all(frame.data(), frame.size());
+}
+
+bool read_frame(TcpStream& stream, MsgType* type,
+                std::vector<std::uint8_t>* payload) {
+  std::uint32_t len = 0;
+  if (!stream.read_exact_or_eof(&len, sizeof(len))) return false;
+  if (len < 3 || len > kMaxFrameBytes) {
+    throw WireError("bad frame length: " + std::to_string(len));
+  }
+  std::uint8_t header[3];
+  stream.read_exact(header, sizeof(header));
+  if (header[0] != kWireMagic) throw WireError("bad magic byte");
+  if (header[1] != kWireVersion) {
+    throw WireError("unsupported protocol version " +
+                    std::to_string(header[1]));
+  }
+  *type = static_cast<MsgType>(header[2]);
+  payload->resize(len - 3);
+  if (!payload->empty()) stream.read_exact(payload->data(), payload->size());
+  return true;
+}
+
+// ---- LookupResult ------------------------------------------------------
+
+void encode_lookup_result_slice(const serve::LookupResult& result,
+                                std::size_t first, std::size_t count,
+                                WireWriter* w) {
+  ANCHOR_CHECK_LE(first + count, result.size());
+  w->str(result.version);
+  w->u32(static_cast<std::uint32_t>(count));
+  w->u32(static_cast<std::uint32_t>(result.dim));
+  w->f32s(result.vectors.data() + first * result.dim, count * result.dim);
+  w->bytes(result.oov.data() + first, count);
+}
+
+void encode_lookup_result(const serve::LookupResult& result, WireWriter* w) {
+  encode_lookup_result_slice(result, 0, result.size(), w);
+}
+
+void encode_result_slice(const serve::ResultSlice& slice, WireWriter* w) {
+  if (slice.batch() == nullptr) {
+    w->str("");
+    w->u32(0);
+    w->u32(0);
+    return;
+  }
+  encode_lookup_result_slice(*slice.batch(), slice.first(), slice.size(), w);
+}
+
+serve::LookupResult decode_lookup_result(WireReader* r) {
+  serve::LookupResult result;
+  result.version = r->str();
+  const std::uint32_t n = r->u32();
+  result.dim = r->u32();
+  // Guard the sizes before resizing: both fields are attacker-controlled
+  // in principle and the frame cap alone does not bound n·dim. Every row
+  // carries at least its oov byte, so n beyond the remaining payload is
+  // malformed even at dim == 0 — without this, n=2^32-1, dim=0 would ask
+  // for a 4 GiB oov vector from a 13-byte frame.
+  if (n > r->remaining() ||
+      (result.dim > 0 && n > kMaxFrameBytes / sizeof(float) / result.dim)) {
+    throw WireError("lookup result dimensions overflow frame cap");
+  }
+  result.vectors.resize(static_cast<std::size_t>(n) * result.dim);
+  result.oov.resize(n);
+  r->f32s(result.vectors.data(), result.vectors.size());
+  r->bytes(result.oov.data(), result.oov.size());
+  return result;
+}
+
+// ---- GateReport --------------------------------------------------------
+
+void encode_gate_report(const serve::GateReport& report, WireWriter* w) {
+  w->str(report.old_version);
+  w->str(report.new_version);
+  w->u8(static_cast<std::uint8_t>(report.decision));
+  w->u8(report.promoted ? 1 : 0);
+  w->f64(report.eis);
+  w->f64(report.one_minus_knn);
+  w->u64(report.rows_compared);
+  w->str(report.reason);
+}
+
+serve::GateReport decode_gate_report(WireReader* r) {
+  serve::GateReport report;
+  report.old_version = r->str();
+  report.new_version = r->str();
+  const std::uint8_t decision = r->u8();
+  if (decision > static_cast<std::uint8_t>(serve::GateDecision::kReject)) {
+    throw WireError("bad gate decision code");
+  }
+  report.decision = static_cast<serve::GateDecision>(decision);
+  report.promoted = r->u8() != 0;
+  report.eis = r->f64();
+  report.one_minus_knn = r->f64();
+  report.rows_compared = r->u64();
+  report.reason = r->str();
+  return report;
+}
+
+// ---- StatsSnapshot -----------------------------------------------------
+
+void encode_stats_snapshot(const serve::StatsSnapshot& s, WireWriter* w) {
+  w->u64(s.lookups);
+  w->u64(s.batches);
+  w->u64(s.cache_hits);
+  w->u64(s.cache_misses);
+  w->u64(s.oov_fallbacks);
+  w->f64(s.elapsed_seconds);
+  w->f64(s.qps);
+  w->f64(s.p50_latency_us);
+  w->f64(s.p99_latency_us);
+}
+
+serve::StatsSnapshot decode_stats_snapshot(WireReader* r) {
+  serve::StatsSnapshot s;
+  s.lookups = r->u64();
+  s.batches = r->u64();
+  s.cache_hits = r->u64();
+  s.cache_misses = r->u64();
+  s.oov_fallbacks = r->u64();
+  s.elapsed_seconds = r->f64();
+  s.qps = r->f64();
+  s.p50_latency_us = r->f64();
+  s.p99_latency_us = r->f64();
+  return s;
+}
+
+void encode_server_stats(const ServerStatsReport& s, WireWriter* w) {
+  w->str(s.live_version);
+  encode_stats_snapshot(s.service, w);
+  encode_stats_snapshot(s.batcher, w);
+}
+
+ServerStatsReport decode_server_stats(WireReader* r) {
+  ServerStatsReport s;
+  s.live_version = r->str();
+  s.service = decode_stats_snapshot(r);
+  s.batcher = decode_stats_snapshot(r);
+  return s;
+}
+
+}  // namespace anchor::net

@@ -1,0 +1,194 @@
+// Length-prefixed binary wire protocol for the serving front-end.
+//
+// Every message is one frame: a u32 payload length, then a 3-byte header
+// (magic, protocol version, message type), then a type-specific payload.
+// All integers and floats are little-endian (x86 native; see PROTOCOL.md
+// for the normative layout). Response payloads reuse the serve-layer
+// structs verbatim — a lookup reply IS a serialized serve::LookupResult,
+// a promote reply IS a serialized serve::GateReport — so the client
+// deserializes straight into the same types in-process callers use.
+//
+// WireWriter/WireReader are deliberately dumb append/consume cursors:
+// bounds are checked on every read and a violation throws WireError, so a
+// malformed or truncated frame can never read out of bounds.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "serve/batcher.hpp"
+#include "serve/deployment_gate.hpp"
+#include "serve/lookup_service.hpp"
+#include "serve/serve_stats.hpp"
+
+namespace anchor::net {
+
+class TcpStream;
+
+/// Thrown on malformed frames/payloads (bad magic, truncated field,
+/// oversized frame). A connection that produced one is not trustworthy and
+/// should be closed.
+struct WireError : std::runtime_error {
+  explicit WireError(const std::string& what) : std::runtime_error(what) {}
+};
+
+inline constexpr std::uint8_t kWireMagic = 0xA7;
+inline constexpr std::uint8_t kWireVersion = 1;
+/// Frames above this are rejected before allocation — a garbage length
+/// prefix must not become a multi-gigabyte resize.
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 26;  // 64 MiB
+
+enum class MsgType : std::uint8_t {
+  // Requests.
+  kLookupIds = 0x01,
+  kLookupWords = 0x02,
+  kTryPromote = 0x03,
+  kStats = 0x04,
+  kPing = 0x05,
+  kShutdown = 0x06,
+  // Responses: request type | 0x80.
+  kLookupIdsReply = 0x81,
+  kLookupWordsReply = 0x82,
+  kTryPromoteReply = 0x83,
+  kStatsReply = 0x84,
+  kPong = 0x85,
+  kShutdownReply = 0x86,
+  // Carries a string; sent instead of the normal reply when the server
+  // failed to serve the request (e.g. unknown candidate version).
+  kError = 0x7F,
+};
+
+/// Append-only payload builder.
+class WireWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { raw(&v, sizeof(v)); }
+  void u32(std::uint32_t v) { raw(&v, sizeof(v)); }
+  void u64(std::uint64_t v) { raw(&v, sizeof(v)); }
+  void f32(float v) { raw(&v, sizeof(v)); }
+  void f64(double v) { raw(&v, sizeof(v)); }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    raw(s.data(), s.size());
+  }
+  void f32s(const float* data, std::size_t n) { raw(data, n * sizeof(float)); }
+  void bytes(const std::uint8_t* data, std::size_t n) { raw(data, n); }
+
+  const std::vector<std::uint8_t>& buffer() const { return buf_; }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked payload consumer over a received frame.
+class WireReader {
+ public:
+  WireReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit WireReader(const std::vector<std::uint8_t>& payload)
+      : WireReader(payload.data(), payload.size()) {}
+
+  std::uint8_t u8() { return take<std::uint8_t>(); }
+  std::uint16_t u16() { return take<std::uint16_t>(); }
+  std::uint32_t u32() { return take<std::uint32_t>(); }
+  std::uint64_t u64() { return take<std::uint64_t>(); }
+  float f32() { return take<float>(); }
+  double f64() { return take<double>(); }
+  std::string str() {
+    const std::uint32_t n = u32();
+    need(n);
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+  void f32s(float* out, std::size_t n) {
+    need(n * sizeof(float));
+    std::memcpy(out, data_ + pos_, n * sizeof(float));
+    pos_ += n * sizeof(float);
+  }
+  void bytes(std::uint8_t* out, std::size_t n) {
+    need(n);
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+  }
+
+  std::size_t remaining() const { return size_ - pos_; }
+  /// Call after decoding a payload: trailing bytes mean the peer and we
+  /// disagree about the layout, which should fail loudly, not silently.
+  void expect_done() const {
+    if (pos_ != size_) {
+      throw WireError("trailing bytes in payload: " +
+                      std::to_string(size_ - pos_));
+    }
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (size_ - pos_ < n) throw WireError("truncated payload");
+  }
+  template <typename T>
+  T take() {
+    need(sizeof(T));
+    T v;
+    std::memcpy(&v, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+// ---- frame I/O ---------------------------------------------------------
+
+/// Writes one frame (length prefix + header + payload) in a single send.
+void write_frame(TcpStream& stream, MsgType type, const WireWriter& payload);
+
+/// Reads one frame. Returns false on clean EOF before a frame starts.
+/// Throws WireError on bad magic/version/length, NetError on socket
+/// failures or EOF mid-frame.
+bool read_frame(TcpStream& stream, MsgType* type,
+                std::vector<std::uint8_t>* payload);
+
+// ---- payload codecs (shared by Client and Server) ----------------------
+
+void encode_lookup_result(const serve::LookupResult& result, WireWriter* w);
+/// Encodes rows [first, first+count) of `result` in the same layout —
+/// what the server uses to answer from a batcher ResultSlice without
+/// materializing a per-caller LookupResult.
+void encode_lookup_result_slice(const serve::LookupResult& result,
+                                std::size_t first, std::size_t count,
+                                WireWriter* w);
+/// Same layout, straight from a batcher slice (empty slices with no
+/// backing batch encode as a zero-row result).
+void encode_result_slice(const serve::ResultSlice& slice, WireWriter* w);
+serve::LookupResult decode_lookup_result(WireReader* r);
+
+void encode_gate_report(const serve::GateReport& report, WireWriter* w);
+serve::GateReport decode_gate_report(WireReader* r);
+
+void encode_stats_snapshot(const serve::StatsSnapshot& s, WireWriter* w);
+serve::StatsSnapshot decode_stats_snapshot(WireReader* r);
+
+/// Stats reply payload: what the daemon reports about itself.
+struct ServerStatsReport {
+  std::string live_version;
+  /// Underlying LookupService counters (per executed batch).
+  serve::StatsSnapshot service;
+  /// Batcher counters: one record per *coalesced* batch, latency measured
+  /// from the oldest waiter's enqueue — the client-observed view.
+  serve::StatsSnapshot batcher;
+};
+
+void encode_server_stats(const ServerStatsReport& s, WireWriter* w);
+ServerStatsReport decode_server_stats(WireReader* r);
+
+}  // namespace anchor::net

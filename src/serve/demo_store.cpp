@@ -1,0 +1,34 @@
+#include "serve/demo_store.hpp"
+
+#include "util/rng.hpp"
+
+namespace anchor::serve {
+
+void add_demo_versions(EmbeddingStore& store, const DemoStoreConfig& config) {
+  embed::Embedding base(config.vocab, config.dim);
+  Rng rng(config.seed);
+  for (auto& x : base.data) x = static_cast<float>(rng.normal(0.0, 1.0));
+
+  embed::Embedding refreshed = base;
+  Rng refresh_rng(config.seed ^ 0x5bd1e995u);
+  for (auto& x : refreshed.data) {
+    x += static_cast<float>(refresh_rng.normal(0.0, config.refresh_noise));
+  }
+
+  // A different seed is a different latent space: nearest-neighbor
+  // structure is unrelated to v1's, which is what the gate's k-NN measure
+  // is built to catch.
+  embed::Embedding botched(config.vocab, config.dim);
+  Rng bad_rng(config.seed * 2654435761u + 1);
+  for (auto& x : botched.data) x = static_cast<float>(bad_rng.normal(0.0, 1.0));
+
+  SnapshotConfig snap;
+  snap.bits = config.bits;
+  snap.num_shards = config.num_shards;
+  snap.build_oov_table = config.build_oov_table;
+  store.add_version("v1", base, snap);
+  store.add_version("v2-good", refreshed, snap);
+  store.add_version("v3-bad", botched, snap);
+}
+
+}  // namespace anchor::serve

@@ -1,0 +1,39 @@
+// Synthetic store fixture shared by the serving daemon's --demo mode, the
+// two-process RPC example, and the net/serve tests: three versions whose
+// gate outcomes are known by construction, so an end-to-end demo can show
+// both sides of the instability gate without shipping embedding files.
+#pragma once
+
+#include <cstdint>
+
+#include "serve/embedding_store.hpp"
+
+namespace anchor::serve {
+
+struct DemoStoreConfig {
+  std::size_t vocab = 1500;
+  std::size_t dim = 48;
+  /// Precision of the registered snapshots (32 = fp32, else bit-packed).
+  int bits = 32;
+  /// Storage shards per snapshot (SnapshotConfig::num_shards).
+  std::size_t num_shards = 8;
+  std::uint64_t seed = 7;
+  /// Per-entry noise of the routine refresh, relative to the unit-variance
+  /// base entries. Small enough that the default GateConfig thresholds
+  /// admit it (see demo_store_test coverage).
+  double refresh_noise = 0.01;
+  /// Build OOV tables so lookup_words can synthesize unseen words.
+  bool build_oov_table = true;
+};
+
+/// Registers three versions in `store`:
+///   "v1"      — the incumbent (becomes live when the store was empty),
+///   "v2-good" — v1 plus `refresh_noise` jitter: a routine refresh the
+///               default DeploymentGate thresholds admit,
+///   "v3-bad"  — an independently seeded embedding (a botched refresh from
+///               the wrong pipeline) the default thresholds reject on
+///               k-NN disagreement.
+void add_demo_versions(EmbeddingStore& store,
+                       const DemoStoreConfig& config = {});
+
+}  // namespace anchor::serve

@@ -160,34 +160,38 @@ void LookupService::fetch_rows(const EmbeddingSnapshot& snap,
 }
 
 template <typename Resolve, typename OovFill>
-LookupResult LookupService::lookup_batch(std::size_t n, const Resolve& resolve,
-                                         const OovFill& oov_fill) const {
+void LookupService::lookup_batch_into(std::size_t n, const Resolve& resolve,
+                                      const OovFill& oov_fill,
+                                      LookupResult* out) const {
   const auto start = std::chrono::steady_clock::now();
   const SnapshotPtr snap = store_.live();
   ANCHOR_CHECK_MSG(snap != nullptr, "lookup against a store with no versions");
 
-  LookupResult result;
-  result.dim = snap->dim();
-  result.version = snap->version();
-  result.vectors.assign(n * snap->dim(), 0.0f);
-  result.oov.assign(n, 0);
+  out->dim = snap->dim();
+  out->version = snap->version();
+  out->vectors.assign(n * snap->dim(), 0.0f);
+  out->oov.assign(n, 0);
 
   // Resolve every request to a row id (or the OOV sentinel) first, then
   // gather all in-vocabulary rows in one batched cache/dequantize pass.
-  std::vector<std::size_t> rows(n, kNotARow);
+  // The row scratch is thread_local for the same reason fetch_rows'
+  // buffers are: a server thread answering batches forever should not pay
+  // a heap allocation per batch.
+  thread_local std::vector<std::size_t> rows;
+  rows.assign(n, kNotARow);
   std::size_t oov_count = 0;
   for (std::size_t i = 0; i < n; ++i) {
     if (!resolve(i, *snap, &rows[i])) {
       rows[i] = kNotARow;
-      result.oov[i] = 1;
+      out->oov[i] = 1;
       ++oov_count;
     }
   }
-  fetch_rows(*snap, rows, result.vectors.data());
+  fetch_rows(*snap, rows, out->vectors.data());
   if (oov_count > 0) {
     for (std::size_t i = 0; i < n; ++i) {
-      if (result.oov[i]) {
-        oov_fill(i, *snap, result.vectors.data() + i * snap->dim());
+      if (out->oov[i]) {
+        oov_fill(i, *snap, out->vectors.data() + i * snap->dim());
       }
     }
   }
@@ -198,12 +202,11 @@ LookupResult LookupService::lookup_batch(std::size_t n, const Resolve& resolve,
           .count();
   stats_->record_batch(n, latency_us);
   if (oov_count > 0) stats_->record_oov(oov_count);
-  return result;
 }
 
-LookupResult LookupService::lookup_ids(
-    const std::vector<std::size_t>& ids) const {
-  return lookup_batch(
+void LookupService::lookup_ids_into(const std::vector<std::size_t>& ids,
+                                    LookupResult* out) const {
+  lookup_batch_into(
       ids.size(),
       [&](std::size_t i, const EmbeddingSnapshot& snap, std::size_t* row) {
         if (ids[i] >= snap.vocab_size()) return false;
@@ -212,12 +215,12 @@ LookupResult LookupService::lookup_ids(
       },
       // Ids outside the vocabulary have no subword string to synthesize
       // from; their slots stay zeroed.
-      [](std::size_t, const EmbeddingSnapshot&, float*) {});
+      [](std::size_t, const EmbeddingSnapshot&, float*) {}, out);
 }
 
-LookupResult LookupService::lookup_words(
-    const std::vector<std::string>& words) const {
-  return lookup_batch(
+void LookupService::lookup_words_into(const std::vector<std::string>& words,
+                                      LookupResult* out) const {
+  lookup_batch_into(
       words.size(),
       [&](std::size_t i, const EmbeddingSnapshot& snap, std::size_t* row) {
         std::size_t id = 0;
@@ -227,9 +230,24 @@ LookupResult LookupService::lookup_words(
         *row = id;
         return true;
       },
-      [&](std::size_t i, const EmbeddingSnapshot& snap, float* out) {
-        snap.synthesize_oov(words[i], out);  // zeroes `out` on failure
-      });
+      [&](std::size_t i, const EmbeddingSnapshot& snap, float* out_row) {
+        snap.synthesize_oov(words[i], out_row);  // zeroes on failure
+      },
+      out);
+}
+
+LookupResult LookupService::lookup_ids(
+    const std::vector<std::size_t>& ids) const {
+  LookupResult result;
+  lookup_ids_into(ids, &result);
+  return result;
+}
+
+LookupResult LookupService::lookup_words(
+    const std::vector<std::string>& words) const {
+  LookupResult result;
+  lookup_words_into(words, &result);
+  return result;
 }
 
 }  // namespace anchor::serve

@@ -42,7 +42,11 @@ struct LookupConfig {
 };
 
 /// Result of a batched lookup: vectors are concatenated row-major in
-/// request order (batch_size × dim).
+/// request order (batch_size × dim). The struct is reusable: the *_into
+/// entry points overwrite it in place, so a long-lived caller (the async
+/// batcher, a connection handler) keeps one result per coalesced batch and
+/// never reallocates in the steady state. It also doubles as the RPC
+/// payload layout (net/wire serializes these fields verbatim).
 struct LookupResult {
   std::size_t dim = 0;
   std::vector<float> vectors;
@@ -51,6 +55,7 @@ struct LookupResult {
   std::vector<std::uint8_t> oov;
   std::string version;  // snapshot that answered
 
+  std::size_t size() const { return oov.size(); }
   const float* row(std::size_t i) const { return vectors.data() + i * dim; }
 };
 
@@ -68,6 +73,14 @@ class LookupService {
   /// Batched lookup by word string. In-vocabulary synthetic ids ("w0042")
   /// resolve to their row; anything else takes the subword OOV fallback.
   LookupResult lookup_words(const std::vector<std::string>& words) const;
+
+  /// In-place variants: overwrite `out`, reusing its buffers (`assign`
+  /// keeps capacity), so a caller serving many batches pays no allocation
+  /// after warm-up. The batcher and the RPC connection handlers use these.
+  void lookup_ids_into(const std::vector<std::size_t>& ids,
+                       LookupResult* out) const;
+  void lookup_words_into(const std::vector<std::string>& words,
+                         LookupResult* out) const;
 
   const ServeStats& stats() const { return *stats_; }
   ServeStats& stats() { return *stats_; }
@@ -96,10 +109,11 @@ class LookupService {
   /// Shared batch skeleton: resolve the live snapshot, map every request to
   /// a row id via `resolve(i, snap, &row)` (false = OOV), gather all rows
   /// in one fetch_rows pass, fill OOV slots via `oov_fill`, record stats.
-  /// Defined in the .cpp; both public entry points instantiate it there.
+  /// Writes into `*out` (reusing its buffers). Defined in the .cpp; the
+  /// public entry points instantiate it there.
   template <typename Resolve, typename OovFill>
-  LookupResult lookup_batch(std::size_t n, const Resolve& resolve,
-                            const OovFill& oov_fill) const;
+  void lookup_batch_into(std::size_t n, const Resolve& resolve,
+                         const OovFill& oov_fill, LookupResult* out) const;
 
   const EmbeddingStore& store_;
   LookupConfig config_;

@@ -1,6 +1,7 @@
 #include "serve/serve_stats.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <ostream>
 #include <sstream>
 #include <vector>
@@ -43,9 +44,14 @@ StatsSnapshot ServeStats::snapshot() const {
       samples[i] = latency_ring_us_[i].load(std::memory_order_relaxed);
     }
     std::sort(samples.begin(), samples.end());
+    // Nearest-rank percentile: ceil(p·n) is the smallest sample count that
+    // covers fraction p, so with few samples p99 reports the tail value
+    // instead of collapsing onto the median.
     const auto pct = [&](double p) {
-      const auto idx = static_cast<std::size_t>(
-          p * static_cast<double>(samples.size() - 1));
+      const double rank = std::ceil(p * static_cast<double>(samples.size()));
+      const auto idx = std::min<std::size_t>(
+          samples.size() - 1,
+          static_cast<std::size_t>(std::max(rank - 1.0, 0.0)));
       return static_cast<double>(samples[idx]);
     };
     s.p50_latency_us = pct(0.50);

@@ -1,0 +1,313 @@
+// net/ subsystem: wire codecs, frame robustness, and an in-process
+// client/server loopback exercising every RPC — real TCP sockets on
+// 127.0.0.1, with the server's accept loop and batcher running on their
+// own threads.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "serve/demo_store.hpp"
+#include "serve/serve.hpp"
+#include "util/rng.hpp"
+
+namespace anchor::net {
+namespace {
+
+// ---- codecs ------------------------------------------------------------
+
+TEST(Wire, PrimitiveRoundTripAndBoundsChecks) {
+  WireWriter w;
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEFu);
+  w.u64(0x0123456789ABCDEFull);
+  w.f32(1.5f);
+  w.f64(-2.25);
+  w.str("hello");
+  w.str("");
+
+  WireReader r(w.buffer());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.f32(), 1.5f);
+  EXPECT_EQ(r.f64(), -2.25);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.str(), "");
+  r.expect_done();
+
+  WireReader truncated(w.buffer().data(), 3);
+  truncated.u8();
+  EXPECT_THROW(truncated.u32(), WireError);
+
+  // A string length pointing past the payload must throw, not overread.
+  WireWriter bad;
+  bad.u32(1000);
+  WireReader bad_reader(bad.buffer());
+  EXPECT_THROW(bad_reader.str(), WireError);
+}
+
+TEST(Wire, LookupResultRoundTripsThroughSliceEncoding) {
+  serve::LookupResult result;
+  result.dim = 3;
+  result.version = "v42";
+  result.vectors = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  result.oov = {0, 1, 0};
+
+  WireWriter w;
+  encode_lookup_result(result, &w);
+  WireReader r(w.buffer());
+  const serve::LookupResult back = decode_lookup_result(&r);
+  r.expect_done();
+  EXPECT_EQ(back.version, "v42");
+  EXPECT_EQ(back.dim, 3u);
+  EXPECT_EQ(back.vectors, result.vectors);
+  EXPECT_EQ(back.oov, result.oov);
+
+  // Middle slice only.
+  WireWriter ws;
+  encode_lookup_result_slice(result, 1, 2, &ws);
+  WireReader rs(ws.buffer());
+  const serve::LookupResult mid = decode_lookup_result(&rs);
+  EXPECT_EQ(mid.size(), 2u);
+  EXPECT_EQ(mid.vectors, (std::vector<float>{4, 5, 6, 7, 8, 9}));
+  EXPECT_EQ(mid.oov, (std::vector<std::uint8_t>{1, 0}));
+
+  // A row count the payload cannot hold must throw BEFORE allocating —
+  // including at dim == 0, where the n·dim guard alone would pass and
+  // oov.resize(n) would ask for 4 GiB from a 13-byte frame.
+  WireWriter hostile;
+  hostile.str("");
+  hostile.u32(0xFFFFFFFFu);  // n
+  hostile.u32(0);            // dim
+  WireReader hostile_reader(hostile.buffer());
+  EXPECT_THROW(decode_lookup_result(&hostile_reader), WireError);
+}
+
+TEST(Wire, GateReportAndStatsRoundTrip) {
+  serve::GateReport report;
+  report.old_version = "a";
+  report.new_version = "b";
+  report.decision = serve::GateDecision::kWarn;
+  report.promoted = true;
+  report.eis = 0.125;
+  report.one_minus_knn = 0.5;
+  report.rows_compared = 2048;
+  report.reason = "eis=0.125 (warn)";
+
+  WireWriter w;
+  encode_gate_report(report, &w);
+  WireReader r(w.buffer());
+  const serve::GateReport back = decode_gate_report(&r);
+  r.expect_done();
+  EXPECT_EQ(back.old_version, "a");
+  EXPECT_EQ(back.new_version, "b");
+  EXPECT_EQ(back.decision, serve::GateDecision::kWarn);
+  EXPECT_TRUE(back.promoted);
+  EXPECT_EQ(back.eis, 0.125);
+  EXPECT_EQ(back.one_minus_knn, 0.5);
+  EXPECT_EQ(back.rows_compared, 2048u);
+  EXPECT_EQ(back.reason, "eis=0.125 (warn)");
+
+  ServerStatsReport stats;
+  stats.live_version = "live";
+  stats.service.lookups = 7;
+  stats.service.qps = 123.5;
+  stats.batcher.batches = 3;
+  stats.batcher.p99_latency_us = 42.0;
+  WireWriter sw;
+  encode_server_stats(stats, &sw);
+  WireReader sr(sw.buffer());
+  const ServerStatsReport sback = decode_server_stats(&sr);
+  sr.expect_done();
+  EXPECT_EQ(sback.live_version, "live");
+  EXPECT_EQ(sback.service.lookups, 7u);
+  EXPECT_EQ(sback.service.qps, 123.5);
+  EXPECT_EQ(sback.batcher.batches, 3u);
+  EXPECT_EQ(sback.batcher.p99_latency_us, 42.0);
+
+  // Corrupt decision codes must not cast into the enum silently.
+  WireWriter cw;
+  cw.str("a");
+  cw.str("b");
+  cw.u8(9);  // not a GateDecision
+  WireReader cr(cw.buffer());
+  EXPECT_THROW(decode_gate_report(&cr), WireError);
+}
+
+// ---- loopback RPC ------------------------------------------------------
+
+class RpcTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    serve::DemoStoreConfig demo;
+    demo.vocab = 600;
+    demo.dim = 32;
+    serve::add_demo_versions(store_, demo);
+    server_ = std::make_unique<Server>(store_, ServerConfig{});
+    server_->start();
+  }
+
+  void TearDown() override { server_->stop(); }
+
+  serve::EmbeddingStore store_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(RpcTest, LookupsMatchInProcessService) {
+  Client client("127.0.0.1", server_->port());
+  client.ping();
+
+  const serve::LookupService direct(store_);
+  const std::vector<std::size_t> ids = {0, 3, 599, 600, 17};
+  const serve::LookupResult remote = client.lookup_ids(ids);
+  const serve::LookupResult local = direct.lookup_ids(ids);
+  ASSERT_EQ(remote.size(), local.size());
+  EXPECT_EQ(remote.version, local.version);
+  EXPECT_EQ(remote.dim, local.dim);
+  EXPECT_EQ(remote.oov, local.oov);
+  EXPECT_EQ(remote.vectors, local.vectors);
+
+  const std::vector<std::string> words = {"w5", "never-seen-word"};
+  const serve::LookupResult remote_words = client.lookup_words(words);
+  const serve::LookupResult local_words = direct.lookup_words(words);
+  EXPECT_EQ(remote_words.oov, local_words.oov);
+  EXPECT_EQ(remote_words.vectors, local_words.vectors);
+
+  const serve::LookupResult empty = client.lookup_ids({});
+  EXPECT_EQ(empty.size(), 0u);
+}
+
+TEST_F(RpcTest, ConcurrentClientsCoalesceAndAgree) {
+  constexpr int kClients = 4;
+  constexpr int kLookups = 50;
+  const serve::LookupService direct(store_);
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&, t] {
+      Client client("127.0.0.1", server_->port());
+      Rng rng(7 + static_cast<std::uint64_t>(t));
+      for (int i = 0; i < kLookups; ++i) {
+        const std::size_t id = rng.index(600);
+        const serve::LookupResult remote = client.lookup_id(id);
+        const serve::LookupResult local = direct.lookup_ids({id});
+        if (remote.vectors != local.vectors) ++mismatches;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  // All traffic flowed through the server's batcher.
+  EXPECT_EQ(server_->async().stats().snapshot().lookups,
+            static_cast<std::uint64_t>(kClients * kLookups));
+}
+
+TEST_F(RpcTest, TryPromoteGatesOverRpc) {
+  Client client("127.0.0.1", server_->port());
+  EXPECT_EQ(client.stats().live_version, "v1");
+
+  const serve::GateReport bad = client.try_promote("v3-bad");
+  EXPECT_EQ(bad.decision, serve::GateDecision::kReject);
+  EXPECT_FALSE(bad.promoted);
+  EXPECT_EQ(client.stats().live_version, "v1");
+
+  const serve::GateReport good = client.try_promote("v2-good");
+  EXPECT_TRUE(good.promoted);
+  EXPECT_EQ(client.stats().live_version, "v2-good");
+  // Lookups follow the swap.
+  EXPECT_EQ(client.lookup_id(0).version, "v2-good");
+
+  EXPECT_THROW(client.try_promote("no-such-version"), RpcError);
+  // The connection survives an error reply.
+  client.ping();
+}
+
+TEST_F(RpcTest, StatsReflectServedTraffic) {
+  Client client("127.0.0.1", server_->port());
+  client.lookup_ids({1, 2, 3});
+  client.lookup_id(4);
+  const ServerStatsReport stats = client.stats();
+  EXPECT_EQ(stats.live_version, "v1");
+  EXPECT_EQ(stats.batcher.lookups, 4u);
+  EXPECT_GE(stats.service.lookups, 4u);
+  EXPECT_GT(stats.batcher.batches, 0u);
+}
+
+TEST_F(RpcTest, MalformedFramesCloseTheConnection) {
+  // Bad magic byte: the server must drop the connection without replying.
+  {
+    TcpStream raw = TcpStream::connect("127.0.0.1", server_->port());
+    const std::uint32_t len = 3;
+    std::uint8_t frame[7];
+    std::memcpy(frame, &len, 4);
+    frame[4] = 0x00;  // wrong magic
+    frame[5] = kWireVersion;
+    frame[6] = static_cast<std::uint8_t>(MsgType::kPing);
+    raw.write_all(frame, sizeof(frame));
+    std::uint8_t byte;
+    EXPECT_FALSE(raw.read_exact_or_eof(&byte, 1));  // clean EOF
+  }
+  // Oversized declared length: same treatment, before any allocation.
+  {
+    TcpStream raw = TcpStream::connect("127.0.0.1", server_->port());
+    const std::uint32_t len = kMaxFrameBytes + 1;
+    raw.write_all(&len, sizeof(len));
+    std::uint8_t byte;
+    EXPECT_FALSE(raw.read_exact_or_eof(&byte, 1));
+  }
+  // The server is still healthy for well-formed clients.
+  Client client("127.0.0.1", server_->port());
+  client.ping();
+}
+
+TEST_F(RpcTest, UnknownRequestTypeAnswersError) {
+  TcpStream raw = TcpStream::connect("127.0.0.1", server_->port());
+  WireWriter empty;
+  write_frame(raw, static_cast<MsgType>(0x55), empty);
+  MsgType type{};
+  std::vector<std::uint8_t> payload;
+  ASSERT_TRUE(read_frame(raw, &type, &payload));
+  EXPECT_EQ(type, MsgType::kError);
+}
+
+TEST(RpcShutdown, ShutdownFrameStopsTheServer) {
+  serve::EmbeddingStore store;
+  serve::DemoStoreConfig demo;
+  demo.vocab = 200;
+  demo.dim = 16;
+  demo.build_oov_table = false;
+  serve::add_demo_versions(store, demo);
+  Server server(store, ServerConfig{});
+  server.start();
+  {
+    Client client("127.0.0.1", server.port());
+    client.ping();
+    EXPECT_FALSE(server.shutdown_requested());
+    client.shutdown_server();
+  }
+  EXPECT_TRUE(server.shutdown_requested());
+  server.stop();  // joins promptly because the accept loop already quit
+}
+
+TEST(Sockets, ConnectToClosedPortThrows) {
+  // Bind-then-close to obtain a port that is very likely unused.
+  std::uint16_t port;
+  {
+    TcpListener listener = TcpListener::bind_loopback(0);
+    port = listener.port();
+  }
+  EXPECT_THROW(TcpStream::connect("127.0.0.1", port), NetError);
+}
+
+}  // namespace
+}  // namespace anchor::net

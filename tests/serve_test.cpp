@@ -531,6 +531,84 @@ TEST(Stats, ResetZeroesEverything) {
   EXPECT_EQ(snap.p99_latency_us, 0.0);
 }
 
+TEST(Stats, PercentilesWithFewerSamplesThanRing) {
+  // Nearest-rank: with 3 samples p50 is the 2nd smallest and p99 the
+  // maximum — the tail must not collapse onto the median.
+  ServeStats stats;
+  stats.record_batch(1, 20.0);
+  stats.record_batch(1, 1000.0);
+  stats.record_batch(1, 10.0);
+  const StatsSnapshot snap = stats.snapshot();
+  EXPECT_EQ(snap.p50_latency_us, 20.0);
+  EXPECT_EQ(snap.p99_latency_us, 1000.0);
+
+  ServeStats one;
+  one.record_batch(1, 7.0);
+  const StatsSnapshot single = one.snapshot();
+  EXPECT_EQ(single.p50_latency_us, 7.0);
+  EXPECT_EQ(single.p99_latency_us, 7.0);
+}
+
+TEST(Stats, LatencyRingWrapsToTheMostRecentWindow) {
+  // 2× ring capacity: the second pass fully overwrites the first, so both
+  // percentiles must report the new level — wraparound keeps the window
+  // recent, it does not mix epochs forever.
+  constexpr std::size_t kRing = 4096;  // ServeStats::kLatencyRing
+  ServeStats stats;
+  for (std::size_t i = 0; i < kRing; ++i) stats.record_batch(1, 100.0);
+  for (std::size_t i = 0; i < kRing; ++i) stats.record_batch(1, 200.0);
+  const StatsSnapshot snap = stats.snapshot();
+  EXPECT_EQ(snap.lookups, 2 * kRing);
+  EXPECT_EQ(snap.p50_latency_us, 200.0);
+  EXPECT_EQ(snap.p99_latency_us, 200.0);
+
+  // A partial third epoch leaves a mix: percentiles stay within the two
+  // recorded levels (never stale junk, never out of range).
+  for (std::size_t i = 0; i < kRing / 4; ++i) stats.record_batch(1, 50.0);
+  const StatsSnapshot mixed = stats.snapshot();
+  EXPECT_GE(mixed.p50_latency_us, 50.0);
+  EXPECT_LE(mixed.p99_latency_us, 200.0);
+}
+
+TEST(Stats, ResetUnderConcurrentRecordingStaysCoherent) {
+  // Counters may land on either side of a concurrent reset (documented),
+  // but every snapshot must stay internally sane: no torn counts beyond
+  // the recorded total, percentiles inside the recorded value range. No
+  // sleeps — threads just hammer; ASan/TSan runs give the race coverage.
+  ServeStats stats;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> recorders;
+  for (int t = 0; t < kThreads; ++t) {
+    recorders.emplace_back([&] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (int i = 0; i < kPerThread; ++i) {
+        stats.record_batch(2, 5.0 + (i % 3));
+        stats.record_cache_hit();
+        stats.record_oov();
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (int r = 0; r < 100; ++r) {
+    stats.reset();
+    const StatsSnapshot snap = stats.snapshot();
+    EXPECT_LE(snap.lookups, 2ull * kThreads * kPerThread);
+    EXPECT_LE(snap.batches, 1ull * kThreads * kPerThread);
+    if (snap.batches > 0) {
+      EXPECT_GE(snap.p99_latency_us, 0.0);
+      EXPECT_LE(snap.p99_latency_us, 8.0);
+    }
+  }
+  for (auto& t : recorders) t.join();
+  const StatsSnapshot final_snap = stats.snapshot();
+  EXPECT_LE(final_snap.lookups, 2ull * kThreads * kPerThread);
+  stats.reset();
+  EXPECT_EQ(stats.snapshot().batches, 0u);
+}
+
 // ---- DeploymentGate ----------------------------------------------------
 
 TEST(Gate, IdenticalSnapshotsScoreNearZeroAndAdmit) {

@@ -1,0 +1,205 @@
+// anchor_served — the embedding-serving daemon: loads one or more
+// embedding versions into an EmbeddingStore, wraps them in the
+// LookupService → AsyncLookupService batching stack, and serves the
+// binary RPC protocol (src/net/PROTOCOL.md) on a TCP loopback port.
+//
+// Examples:
+//   # serve two word2vec-text files, int8-quantized, gate thresholds set
+//   anchor_served --stores live=2017.vec,candidate=2018.vec --bits 8
+//       --port 7411 --eis-reject 0.12 --audit-log /tmp/audit.csv
+//   # then from another process: lookups, gated promotion, stats
+//   serve_rpc_demo --connect 127.0.0.1:7411
+//
+//   # self-contained synthetic store (smoke tests, demos)
+//   anchor_served --demo --port 0
+//
+// The daemon prints exactly one line
+//   anchor_served listening on 127.0.0.1:<port>
+// to stdout once it serves, so scripts can scrape the (possibly
+// ephemeral) port. It exits on SIGINT/SIGTERM or a client kShutdown.
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/server.hpp"
+#include "serve/demo_store.hpp"
+#include "serve/serve.hpp"
+#include "util/argparse.hpp"
+
+namespace {
+
+std::atomic<bool> g_signaled{false};
+
+void on_signal(int) { g_signaled.store(true); }
+
+/// Splits "name=path,name=path" store specs; a bare "path" gets version
+/// id "v<index>".
+struct StoreSpec {
+  std::string version;
+  std::string path;
+};
+
+std::vector<StoreSpec> parse_store_specs(const std::string& arg) {
+  std::vector<StoreSpec> specs;
+  std::size_t begin = 0;
+  while (begin <= arg.size()) {
+    std::size_t end = arg.find(',', begin);
+    if (end == std::string::npos) end = arg.size();
+    const std::string item = arg.substr(begin, end - begin);
+    if (!item.empty()) {
+      StoreSpec spec;
+      const std::size_t eq = item.find('=');
+      if (eq == std::string::npos) {
+        spec.version = "v" + std::to_string(specs.size() + 1);
+        spec.path = item;
+      } else {
+        spec.version = item.substr(0, eq);
+        spec.path = item.substr(eq + 1);
+      }
+      specs.push_back(std::move(spec));
+    }
+    begin = end + 1;
+  }
+  return specs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace anchor;
+
+  ArgParser parser(
+      "anchor_served",
+      "Embedding serving daemon: batched lookups, instability-gated "
+      "promotion, and stats over a binary TCP protocol (see "
+      "src/net/PROTOCOL.md).");
+  parser.add_option("stores",
+                    "comma-separated version=path word2vec-text files; "
+                    "first entry becomes live (e.g. live=a.vec,cand=b.vec)");
+  parser.add_flag("demo",
+                  "serve a synthetic three-version store (v1 live, "
+                  "v2-good admitable, v3-bad rejectable) instead of files");
+  parser.add_option("demo-vocab", "demo store vocabulary size", "1500");
+  parser.add_option("demo-dim", "demo store dimension", "48");
+  parser.add_option("bits",
+                    "snapshot precision: 32 = fp32, 1/2/4/8 = bit-packed "
+                    "quantized", "32");
+  parser.add_option("shards", "storage shards per snapshot", "8");
+  parser.add_option("cache-rows",
+                    "hot rows per lookup-cache shard (0 disables)", "256");
+  parser.add_option("port", "TCP port on 127.0.0.1 (0 = ephemeral)", "0");
+  parser.add_option("max-batch",
+                    "batcher: flush when this many keys are waiting", "64");
+  parser.add_option("max-wait-us",
+                    "batcher: flush when the oldest request is this old",
+                    "100");
+  parser.add_option("eis-warn", "gate: EIS warn threshold", "0.05");
+  parser.add_option("eis-reject", "gate: EIS reject threshold", "0.15");
+  parser.add_option("knn-warn", "gate: 1−kNN warn threshold", "0.30");
+  parser.add_option("knn-reject", "gate: 1−kNN reject threshold", "0.60");
+  parser.add_option("knn-queries", "gate: sampled kNN query words", "256");
+  parser.add_option("gate-max-rows",
+                    "gate: vocabulary subsample for the measures (0 = all)",
+                    "2048");
+  parser.add_option("audit-log",
+                    "CSV audit log path for gate decisions (empty = no log)");
+
+  if (!parser.parse(argc, argv)) {
+    if (parser.help_requested()) {
+      std::cout << parser.usage();
+      return 0;
+    }
+    std::cerr << parser.error() << "\n" << parser.usage();
+    return 2;
+  }
+
+  serve::SnapshotConfig snap;
+  serve::EmbeddingStore store;
+  try {
+    snap.bits = static_cast<int>(parser.get_int("bits"));
+    snap.num_shards = static_cast<std::size_t>(parser.get_int("shards"));
+    if (parser.get_flag("demo")) {
+      serve::DemoStoreConfig demo;
+      demo.vocab = static_cast<std::size_t>(parser.get_int("demo-vocab"));
+      demo.dim = static_cast<std::size_t>(parser.get_int("demo-dim"));
+      demo.bits = snap.bits;
+      demo.num_shards = snap.num_shards;
+      serve::add_demo_versions(store, demo);
+      std::cerr << "loaded demo store: v1 (live), v2-good, v3-bad; vocab="
+                << demo.vocab << " dim=" << demo.dim << " bits=" << demo.bits
+                << "\n";
+    } else {
+      const auto specs = parse_store_specs(parser.get("stores"));
+      if (specs.empty()) {
+        std::cerr << "error: provide --stores version=path[,...] or --demo\n"
+                  << parser.usage();
+        return 2;
+      }
+      for (const StoreSpec& spec : specs) {
+        store.load_version(spec.version, spec.path, snap);
+        const auto loaded = store.snapshot(spec.version);
+        std::cerr << "loaded " << spec.version << " from " << spec.path
+                  << ": vocab=" << loaded->vocab_size()
+                  << " dim=" << loaded->dim() << " bits=" << loaded->bits()
+                  << " (" << loaded->memory_bytes() << " bytes)\n";
+      }
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error loading store: " << e.what() << "\n";
+    return 1;
+  }
+
+  net::ServerConfig config;
+  // Numeric-flag parsing throws (CheckError) on malformed values; turn
+  // that into the usage exit path rather than an abort.
+  try {
+    const std::int64_t port = parser.get_int("port");
+    if (port < 0 || port > 65535) {
+      throw std::runtime_error("--port must be in [0, 65535]");
+    }
+    config.port = static_cast<std::uint16_t>(port);
+    config.lookup.cache_rows_per_shard =
+        static_cast<std::size_t>(parser.get_int("cache-rows"));
+    config.batcher.max_batch_size =
+        static_cast<std::size_t>(parser.get_int("max-batch"));
+    config.batcher.max_wait_us =
+        static_cast<std::uint32_t>(parser.get_int("max-wait-us"));
+    config.gate.eis_warn = parser.get_double("eis-warn");
+    config.gate.eis_reject = parser.get_double("eis-reject");
+    config.gate.knn_warn = parser.get_double("knn-warn");
+    config.gate.knn_reject = parser.get_double("knn-reject");
+    config.gate.knn_queries =
+        static_cast<std::size_t>(parser.get_int("knn-queries"));
+    config.gate.max_rows =
+        static_cast<std::size_t>(parser.get_int("gate-max-rows"));
+    config.gate.audit_log = parser.get("audit-log");
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n" << parser.usage();
+    return 2;
+  }
+
+  try {
+    net::Server server(store, config);
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    server.start();
+    // The one machine-readable line scripts scrape for the bound port.
+    std::cout << "anchor_served listening on 127.0.0.1:" << server.port()
+              << std::endl;
+
+    while (!g_signaled.load() && !server.shutdown_requested()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    server.stop();
+    const auto stats = server.service().stats().snapshot();
+    std::cerr << "anchor_served exiting; " << stats.summary() << "\n";
+  } catch (const std::exception& e) {
+    std::cerr << "fatal: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

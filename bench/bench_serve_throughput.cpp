@@ -20,6 +20,17 @@
 // combiner, and consumers time-slice one core, so the ratio peaks at 1
 // client (~50% of native batch-64) and decays with client count; the
 // single-key speedup is the robust signal.
+//
+// The canary section prices the CanaryRouter data plane. Two numbers:
+// the SHADOW overhead (shadow-rate 0.1 vs 0 through the same router —
+// the cost of observing agreement, a few percent) and the ROUTING
+// overhead vs the plain async batch path. The latter is dominated on a
+// 1-core host by the general path's cv-wait latency floor: the hash
+// split turns every full batch into two underfull sub-batches whose
+// flush deadline + promise wakeup cost ~100 µs of timer slack per
+// request with a single blocking driver. With concurrent clients the
+// sub-batches coalesce across requests and that floor amortizes away —
+// re-measure on multicore before reading it as steady-state cost.
 // Run: ./build/bench/bench_serve_throughput [--json path] [--smoke]
 #include <atomic>
 #include <deque>
@@ -261,6 +272,114 @@ int main(int argc, char** argv) {
             << "%\nasync vs UNcoalesced single-key: "
             << format_double(coalescing_speedup, 1) << "x\n";
 
+  // Canary overhead: run the CanaryRouter as the data plane (fraction
+  // 0.1 of keys to a candidate pinned snapshot) and price the shadow
+  // mirror at shadow-rate 0.1 against shadow-rate 0 and against the
+  // plain async batch path. The candidate is the same source matrix, the
+  // decision thresholds are disabled, and min_shadows is unreachable, so
+  // the canary stays RUNNING for the whole cell — these numbers are the
+  // steady-state cost of observing a canary, not of deciding one.
+  std::cout << "\ncanary routing overhead (fraction=0.1, batch=" << kBatch
+            << "):\n";
+  store.set_live("int8");
+  store.add_version("int8cand", source, q8);
+  serve::LookupService canary_backend(store, {.cache_rows_per_shard = 0});
+  serve::BatcherConfig canary_batcher;
+  canary_batcher.max_batch_size = kBatch;
+  // The hash split turns each 64-key request into two underfull
+  // sub-batches (~6 + ~58 keys), so with blocking drivers the flush
+  // deadline — not the lookup — dominates. 20 µs is a latency-tuned
+  // serving value; the same batcher serves the baseline cell, keeping
+  // the comparison apples-to-apples.
+  canary_batcher.max_wait_us = 20;
+  serve::AsyncLookupService canary_primary(canary_backend, canary_batcher);
+  serve::GateConfig canary_gate;
+  canary_gate.eis_warn = canary_gate.eis_reject = 100.0;
+  canary_gate.knn_warn = canary_gate.knn_reject = 100.0;
+  canary_gate.max_rows = 512;
+  canary_gate.knn_queries = 64;
+  const serve::DeploymentGate permissive(canary_gate);
+
+  const auto run_blocking_cell = [&](auto&& fn, int threads) {
+    serve::ServeStats cell_stats;
+    std::atomic<bool> cell_stop{false};
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        Rng rng(5000 + static_cast<std::uint64_t>(t));
+        std::vector<std::size_t> ids(kBatch);
+        serve::LookupResult result;
+        while (!cell_stop.load(std::memory_order_relaxed)) {
+          for (auto& id : ids) id = skewed_id(rng);
+          const auto t0 = std::chrono::steady_clock::now();
+          fn(ids, &result);
+          cell_stats.record_batch(
+              kBatch, std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count());
+        }
+      });
+    }
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(g_seconds_per_cell));
+    cell_stop.store(true);
+    for (auto& w : workers) w.join();
+    return cell_stats.snapshot();
+  };
+
+  const int canary_threads = smoke ? 1 : 2;
+  const auto baseline_cell = run_blocking_cell(
+      [&](const std::vector<std::size_t>& ids, serve::LookupResult*) {
+        canary_primary.lookup_ids(std::vector<std::size_t>(ids)).get();
+      },
+      canary_threads);
+
+  serve::StatsSnapshot canary_cells[2];
+  const double shadow_rates[2] = {0.0, 0.1};
+  for (int c = 0; c < 2; ++c) {
+    serve::CanaryConfig ccfg;
+    ccfg.fraction = 0.1;
+    ccfg.shadow_rate = shadow_rates[c];
+    ccfg.min_shadows = ~std::size_t{0} / 2;  // observe forever, never decide
+    ccfg.max_shadows = ~std::size_t{0} / 2;
+    ccfg.candidate_batcher.max_wait_us = 20;
+    const auto router =
+        permissive.try_promote(store, "int8cand", canary_primary, ccfg);
+    canary_cells[c] = run_blocking_cell(
+        [&](const std::vector<std::size_t>& ids, serve::LookupResult* out) {
+          router->lookup_ids_into(ids, out);
+        },
+        canary_threads);
+    if (c == 1) {
+      const auto cs = router->stats();
+      std::cout << "  shadow samples collected at rate 0.1: " << cs.shadows
+                << " (mean agreement " << format_double(cs.mean_agreement, 3)
+                << ")\n";
+    }
+    router->abort();
+  }
+  const double canary_routing_cost =
+      baseline_cell.qps > 0.0
+          ? 1.0 - canary_cells[0].qps / baseline_cell.qps
+          : 0.0;
+  const double shadow_cost =
+      canary_cells[0].qps > 0.0
+          ? 1.0 - canary_cells[1].qps / canary_cells[0].qps
+          : 0.0;
+  TextTable canary_table({"config", "threads", "Mqps", "p50 us", "p99 us",
+                          "cache hit"});
+  add_row(canary_table, cells, "int8 asyncbatch nocanary", baseline_cell,
+          canary_threads);
+  add_row(canary_table, cells, "int8 canary f0.1 s0.0", canary_cells[0],
+          canary_threads);
+  add_row(canary_table, cells, "int8 canary f0.1 s0.1", canary_cells[1],
+          canary_threads);
+  canary_table.print(std::cout);
+  std::cout << "  routing overhead (canary vs plain async batch): "
+            << format_double(100.0 * canary_routing_cost, 1)
+            << "%\n  shadow overhead (s=0.1 vs s=0.0):               "
+            << format_double(100.0 * shadow_cost, 1) << "%\n";
+
   // Hot swap under load: flip the live version every 10ms while 4 threads
   // read. Any stall or stale read would show up as a latency spike or a
   // crash; the snapshot shared_ptr design means neither can happen.
@@ -325,6 +444,16 @@ int main(int argc, char** argv) {
   json.kv("async_single_key_qps", async_ref);
   json.kv("ratio_vs_native_batch", ratio);
   json.kv("speedup_vs_uncoalesced", coalescing_speedup);
+  json.end_object();
+  json.key("canary_overhead").begin_object();
+  json.kv("threads", static_cast<std::size_t>(canary_threads));
+  json.kv("fraction", 0.1);
+  json.kv("shadow_rate", 0.1);
+  json.kv("baseline_async_batch_qps", baseline_cell.qps);
+  json.kv("canary_no_shadow_qps", canary_cells[0].qps);
+  json.kv("canary_shadow_qps", canary_cells[1].qps);
+  json.kv("routing_overhead_frac", canary_routing_cost);
+  json.kv("shadow_overhead_frac", shadow_cost);
   json.end_object();
   json.key("hot_swap_under_load").begin_object();
   json.kv("threads", 4);

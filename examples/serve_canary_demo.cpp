@@ -1,0 +1,293 @@
+// Online canarying across TWO processes: shadow-traffic agreement decides
+// what the offline gate alone cannot.
+//
+// By default this example forks: the child serves the synthetic demo
+// store (v1 live, v2-good a routine refresh, v3-bad a botched one) with a
+// deliberately PERMISSIVE offline gate — the point of this demo is the
+// online phase — and an audit log in the temp directory. The parent
+// connects over loopback RPC and runs two canaried promotions:
+//
+//   1. canary_start("v2-good"): phase 1 admits, the canary routes half
+//      of the lookup keys to the candidate and mirrors half of those to
+//      the incumbent; online top-k agreement is high, so the server
+//      auto-PROMOTES once the lower confidence bound clears the promote
+//      threshold. Lookups follow the swap.
+//   2. canary_start("v3-bad"): the permissive offline gate admits the
+//      scrambled candidate too (a real fleet's gate can be fooled — or
+//      misconfigured — which is exactly why online canarying exists);
+//      online agreement is chance-level, so the server auto-ROLLS-BACK
+//      and v2-good keeps serving.
+//
+// Both decisions land in the audit CSV, which the parent prints at the
+// end: the rollout history shows measured online agreement, not just
+// offline prediction.
+//
+// Against an already-running daemon (e.g. the CI smoke):
+//   anchor_served --demo --port 7411 --eis-warn 10 --eis-reject 10
+//       --knn-warn 10 --knn-reject 10 --canary-fraction 0.5
+//       --shadow-rate 0.5 --canary-min-shadows 48
+//       --audit-log /tmp/canary_audit.csv &    (one line)
+//   serve_canary_demo --connect 127.0.0.1:7411 --shutdown
+//
+// Build & run:  ./build/examples/serve_canary_demo
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "serve/demo_store.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace anchor;
+
+constexpr std::size_t kVocab = 1500;
+
+net::ServerConfig demo_server_config(const std::filesystem::path& audit) {
+  net::ServerConfig config;
+  // Permissive offline gate: phase 1 admits even the scrambled candidate,
+  // so the ONLINE phase is what stands between it and production.
+  config.gate.eis_warn = config.gate.eis_reject = 10.0;
+  config.gate.knn_warn = config.gate.knn_reject = 10.0;
+  config.gate.max_rows = 512;   // keep phase 1 snappy for a demo
+  config.gate.knn_queries = 64;
+  config.gate.audit_log = audit;
+  // Aggressive canary so decisions arrive within a few hundred lookups.
+  config.canary.fraction = 0.5;
+  config.canary.shadow_rate = 0.5;
+  config.canary.min_shadows = 48;
+  config.canary.probe_rows = 128;
+  return config;
+}
+
+/// Child: serve the demo store until the parent sends kShutdown.
+int run_server_child(int port_fd, const std::filesystem::path& audit) {
+  serve::EmbeddingStore store;
+  serve::DemoStoreConfig demo;
+  demo.vocab = kVocab;
+  serve::add_demo_versions(store, demo);
+
+  net::Server server(store, demo_server_config(audit));
+  server.start();
+  const std::uint16_t port = server.port();
+  if (::write(port_fd, &port, sizeof(port)) != sizeof(port)) return 1;
+  ::close(port_fd);
+
+  while (!server.shutdown_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  server.stop();
+  return 0;
+}
+
+/// Drives random id lookups until the canary reaches a terminal state
+/// (every lookup batch feeds the shadow scorer server-side).
+net::CanaryStatusReport pump_until_decided(net::Client& client, Rng& rng) {
+  net::CanaryStatusReport status = client.canary_status();
+  for (int iter = 0; iter < 600 && status.state == serve::CanaryState::kRunning;
+       ++iter) {
+    std::vector<std::size_t> ids(16);
+    for (auto& id : ids) id = rng.index(kVocab);
+    client.lookup_ids(ids);
+    if (iter % 4 == 3) status = client.canary_status();
+  }
+  return client.canary_status();
+}
+
+bool run_client(const std::string& host, std::uint16_t port,
+                bool send_shutdown) {
+  net::Client client(host, port);
+  client.ping();
+  std::cout << "connected to " << host << ":" << port << " (ping ok)\n"
+            << "live version: " << client.stats().live_version << "\n\n";
+  Rng rng(11);
+
+  TextTable table({"candidate", "offline", "state", "agreement [lo, hi]",
+                   "displacement", "shadows"});
+  const auto add_row = [&table](const net::CanaryStatusReport& s) {
+    table.add_row({s.candidate, serve::decision_name(s.offline.decision),
+                   serve::canary_state_name(s.state),
+                   format_double(s.online.mean_agreement, 3) + " [" +
+                       format_double(s.online.agreement_lower, 3) + ", " +
+                       format_double(s.online.agreement_upper, 3) + "]",
+                   format_double(s.online.mean_displacement, 4),
+                   std::to_string(s.online.shadows)});
+  };
+
+  // Cycle 1: the routine refresh. Phase 1 admits; online agreement
+  // promotes it without any human in the loop.
+  std::cout << "starting canary for v2-good (fraction=0.5, shadow=0.5)...\n";
+  net::CanaryStatusReport good = client.canary_start("v2-good");
+  if (good.state != serve::CanaryState::kRunning) {
+    std::cerr << "canary did not start: " << good.reason << "\n";
+    return false;
+  }
+  good = pump_until_decided(client, rng);
+  add_row(good);
+  const std::string live_after_good = client.stats().live_version;
+  std::cout << "  → " << serve::canary_state_name(good.state) << "; live='"
+            << live_after_good << "'\n  reason: " << good.reason << "\n\n";
+
+  // Cycle 2: the botched refresh sails through the (permissive) offline
+  // gate — and the online agreement measured on real shadow traffic
+  // catches it.
+  std::cout << "starting canary for v3-bad (same knobs)...\n";
+  net::CanaryStatusReport bad = client.canary_start("v3-bad");
+  const bool bad_started = bad.state == serve::CanaryState::kRunning;
+  if (bad_started) bad = pump_until_decided(client, rng);
+  add_row(bad);
+  const std::string live_after_bad = client.stats().live_version;
+  std::cout << "  → " << serve::canary_state_name(bad.state) << "; live='"
+            << live_after_bad << "'\n  reason: " << bad.reason << "\n\n";
+  table.print(std::cout);
+
+  if (send_shutdown) {
+    client.shutdown_server();
+    std::cout << "\nsent shutdown; daemon acknowledged\n";
+  }
+
+  const bool ok =
+      good.state == serve::CanaryState::kPromoted &&
+      live_after_good == "v2-good" && bad_started &&
+      bad.state == serve::CanaryState::kRolledBack &&
+      live_after_bad == "v2-good" && good.online.shadows >= 48 &&
+      bad.online.shadows >= 48 &&
+      good.online.agreement_lower > bad.online.agreement_upper;
+  std::cout << "\n[shape] " << (ok ? "PASS" : "FAIL")
+            << "  online agreement promotes the routine refresh and rolls "
+               "back the botched one, both hands-free\n";
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string connect;
+  bool send_shutdown = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--connect" && i + 1 < argc) {
+      connect = argv[++i];
+    } else if (arg == "--shutdown") {
+      send_shutdown = true;
+    } else {
+      std::cerr
+          << "usage: serve_canary_demo [--connect host:port] [--shutdown]\n";
+      return 2;
+    }
+  }
+
+  if (!connect.empty()) {
+    const std::size_t colon = connect.rfind(':');
+    int port = -1;
+    if (colon != std::string::npos) {
+      try {
+        port = std::stoi(connect.substr(colon + 1));
+      } catch (const std::exception&) {
+        port = -1;
+      }
+    }
+    if (colon == std::string::npos || port < 1 || port > 65535) {
+      std::cerr << "--connect expects host:port (port in [1, 65535])\n";
+      return 2;
+    }
+    try {
+      return run_client(connect.substr(0, colon),
+                        static_cast<std::uint16_t>(port), send_shutdown)
+                 ? 0
+                 : 1;
+    } catch (const std::exception& e) {
+      std::cerr << "client error: " << e.what() << "\n";
+      return 1;
+    }
+  }
+
+  // Self-contained mode: fork a daemon so the canary really runs across a
+  // process boundary, with an audit log the parent inspects afterwards.
+  const std::filesystem::path audit =
+      std::filesystem::temp_directory_path() /
+      ("serve_canary_demo_audit_" + std::to_string(::getpid()) + ".csv");
+  std::error_code ec;
+  std::filesystem::remove(audit, ec);
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    std::cerr << "pipe failed: " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  const pid_t child = ::fork();
+  if (child < 0) {
+    std::cerr << "fork failed: " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  if (child == 0) {
+    ::close(pipe_fds[0]);
+    ::_exit(run_server_child(pipe_fds[1], audit));
+  }
+  ::close(pipe_fds[1]);
+
+  std::uint16_t port = 0;
+  const ssize_t got = ::read(pipe_fds[0], &port, sizeof(port));
+  ::close(pipe_fds[0]);
+  if (got != sizeof(port)) {
+    std::cerr << "server child died before reporting its port\n";
+    ::waitpid(child, nullptr, 0);
+    return 1;
+  }
+  std::cout << "server child pid " << child << " listening on 127.0.0.1:"
+            << port << "\n";
+
+  bool ok = false;
+  try {
+    ok = run_client("127.0.0.1", port, /*send_shutdown=*/true);
+  } catch (const std::exception& e) {
+    std::cerr << "client error: " << e.what() << "\n";
+    ::kill(child, SIGTERM);
+  }
+
+  int status = 0;
+  ::waitpid(child, &status, 0);
+  const bool child_ok = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+  if (!child_ok) std::cerr << "server child exited abnormally\n";
+
+  // Both online decisions must be in the rollout history.
+  bool audit_ok = false;
+  try {
+    const auto rows = serve::read_audit_csv(audit);
+    bool saw_promote = false, saw_rollback = false;
+    std::cout << "\naudit log (" << audit.string() << "):\n";
+    for (const auto& r : rows) {
+      std::cout << "  " << r.old_version << " → " << r.new_version << "  ["
+                << serve::decision_name(r.decision)
+                << (r.promoted ? ", promoted" : "") << "]  " << r.reason
+                << "\n";
+      if (r.promoted && r.reason.find("canary promote") != std::string::npos) {
+        saw_promote = true;
+      }
+      if (!r.promoted &&
+          r.reason.find("canary rollback") != std::string::npos) {
+        saw_rollback = true;
+      }
+    }
+    audit_ok = saw_promote && saw_rollback;
+    if (!audit_ok) {
+      std::cerr << "audit log is missing a canary promote/rollback row\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "audit log check failed: " << e.what() << "\n";
+  }
+  std::filesystem::remove(audit, ec);
+  return ok && child_ok && audit_ok ? 0 : 1;
+}

@@ -69,6 +69,39 @@ serve::GateReport Client::try_promote(const std::string& candidate) {
   return report;
 }
 
+CanaryStatusReport Client::canary_start(const std::string& candidate,
+                                        double fraction,
+                                        double shadow_rate) {
+  WireWriter body;
+  body.str(candidate);
+  body.f64(fraction);
+  body.f64(shadow_rate);
+  const auto payload =
+      roundtrip(MsgType::kCanaryStart, body, MsgType::kCanaryStartReply);
+  WireReader reader(payload);
+  CanaryStatusReport report = decode_canary_status(&reader);
+  reader.expect_done();
+  return report;
+}
+
+CanaryStatusReport Client::canary_status() {
+  const auto payload = roundtrip(MsgType::kCanaryStatus, WireWriter(),
+                                 MsgType::kCanaryStatusReply);
+  WireReader reader(payload);
+  CanaryStatusReport report = decode_canary_status(&reader);
+  reader.expect_done();
+  return report;
+}
+
+CanaryStatusReport Client::canary_abort() {
+  const auto payload = roundtrip(MsgType::kCanaryAbort, WireWriter(),
+                                 MsgType::kCanaryAbortReply);
+  WireReader reader(payload);
+  CanaryStatusReport report = decode_canary_status(&reader);
+  reader.expect_done();
+  return report;
+}
+
 ServerStatsReport Client::stats() {
   const auto payload =
       roundtrip(MsgType::kStats, WireWriter(), MsgType::kStatsReply);

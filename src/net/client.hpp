@@ -41,6 +41,20 @@ class Client {
   /// version is unknown there.
   serve::GateReport try_promote(const std::string& candidate);
 
+  /// Starts a two-phase canaried promotion of `candidate` on the server:
+  /// offline gate first, then online shadow-traffic agreement (the server
+  /// auto-promotes/auto-rolls-back; poll canary_status()). fraction /
+  /// shadow_rate ≤ 0 use the server's configured defaults. Throws
+  /// RpcError when the version is unknown or a canary is already running.
+  CanaryStatusReport canary_start(const std::string& candidate,
+                                  double fraction = 0.0,
+                                  double shadow_rate = 0.0);
+  /// State + online measurements of the current (or last) canary.
+  CanaryStatusReport canary_status();
+  /// Aborts a running canary (incumbent stays live); returns the
+  /// resulting status. No-op when none is running.
+  CanaryStatusReport canary_abort();
+
   ServerStatsReport stats();
   void ping();
   /// Asks the daemon to exit its serving loop. The reply is confirmed

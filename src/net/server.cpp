@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <exception>
+#include <stdexcept>
 #include <utility>
 
 #include "net/wire.hpp"
@@ -11,8 +12,10 @@ namespace anchor::net {
 Server::Server(serve::EmbeddingStore& store, ServerConfig config)
     : store_(store),
       config_(config),
-      service_(store, config.lookup),
-      async_(service_, config.batcher),
+      service_stats_(std::make_shared<serve::ServeStats>()),
+      batcher_stats_(std::make_shared<serve::ServeStats>()),
+      service_(store, config.lookup, service_stats_),
+      async_(service_, config.batcher, batcher_stats_),
       gate_(config.gate),
       listener_(TcpListener::bind_loopback(config.port)) {}
 
@@ -136,6 +139,16 @@ bool Server::dispatch(TcpStream& stream, MsgType type,
       for (auto& id : ids) id = static_cast<std::size_t>(reader.u64());
       reader.expect_done();
       try {
+        if (const auto canary = active_canary()) {
+          // Canary data plane: the router hash-splits the keys between
+          // incumbent and candidate (and mirrors the shadow sample),
+          // then merges back into request order.
+          serve::LookupResult merged;
+          canary->lookup_ids_into(ids, &merged);
+          encode_lookup_result(merged, &reply);
+          write_frame(stream, MsgType::kLookupIdsReply, reply);
+          return true;
+        }
         // Single keys ride the allocation-free ring fast path; bigger
         // requests coalesce on the general path.
         const serve::ResultSlice slice =
@@ -171,6 +184,13 @@ bool Server::dispatch(TcpStream& stream, MsgType type,
       for (auto& word : words) word = reader.str();
       reader.expect_done();
       try {
+        if (const auto canary = active_canary()) {
+          serve::LookupResult merged;
+          canary->lookup_words_into(words, &merged);
+          encode_lookup_result(merged, &reply);
+          write_frame(stream, MsgType::kLookupWordsReply, reply);
+          return true;
+        }
         const serve::ResultSlice slice =
             async_.lookup_words(std::move(words)).get();
         encode_result_slice(slice, &reply);
@@ -192,6 +212,18 @@ bool Server::dispatch(TcpStream& stream, MsgType type,
         // appends to the gate's audit CSV (and gate two candidates
         // against the same incumbent at once, promoting both).
         std::lock_guard<std::mutex> lock(promote_mu_);
+        {
+          // An offline promote under a running canary would flip the
+          // incumbent out from under the router mid-measurement (and the
+          // canary's own decision could later silently override it).
+          std::lock_guard<std::mutex> clock(canary_mu_);
+          if (canary_ && canary_->active()) {
+            throw std::runtime_error(
+                "a canary is running (candidate '" +
+                canary_->candidate_version() +
+                "'); abort it before an offline promote");
+          }
+        }
         const serve::GateReport report = gate_.try_promote(store_, candidate);
         encode_gate_report(report, &reply);
         write_frame(stream, MsgType::kTryPromoteReply, reply);
@@ -219,6 +251,83 @@ bool Server::dispatch(TcpStream& stream, MsgType type,
       write_frame(stream, MsgType::kPong, reply);
       return true;
     }
+    case MsgType::kCanaryStart: {
+      const std::string candidate = reader.str();
+      const double fraction = reader.f64();
+      const double shadow_rate = reader.f64();
+      reader.expect_done();
+      try {
+        std::lock_guard<std::mutex> lock(promote_mu_);
+        {
+          std::lock_guard<std::mutex> clock(canary_mu_);
+          if (canary_ && canary_->active()) {
+            throw std::runtime_error(
+                "a canary is already running (candidate '" +
+                canary_->candidate_version() + "'); abort it first");
+          }
+        }
+        serve::CanaryConfig ccfg = config_.canary;
+        // Per-request overrides; out-of-range values mean "server
+        // default" so a thin client can pass zeros.
+        if (fraction > 0.0 && fraction <= 1.0) ccfg.fraction = fraction;
+        if (shadow_rate > 0.0 && shadow_rate <= 1.0) {
+          ccfg.shadow_rate = shadow_rate;
+        }
+        // Candidate-side traffic counts into the server's own stats, so
+        // kStats does not under-report while the canary runs.
+        ccfg.candidate_service_stats = service_stats_;
+        ccfg.candidate_batcher_stats = batcher_stats_;
+        serve::GateReport offline;
+        const auto router =
+            gate_.try_promote(store_, candidate, async_, ccfg, &offline);
+        {
+          std::lock_guard<std::mutex> clock(canary_mu_);
+          canary_ = router;
+          if (!router) {
+            // Phase 1 decided everything (reject, no incumbent, or
+            // already live); keep its report for status queries.
+            last_canary_status_ = CanaryStatusReport{};
+            last_canary_status_.state =
+                offline.decision == serve::GateDecision::kReject
+                    ? serve::CanaryState::kOfflineRejected
+                    : serve::CanaryState::kNone;
+            last_canary_status_.incumbent = offline.old_version;
+            last_canary_status_.candidate = offline.new_version;
+            last_canary_status_.offline = offline;
+            last_canary_status_.reason = offline.reason;
+          }
+        }
+        encode_canary_status(canary_status_report(), &reply);
+        write_frame(stream, MsgType::kCanaryStartReply, reply);
+      } catch (const NetError&) {
+        throw;  // transport failure mid-reply: close, don't answer
+      } catch (const std::exception& e) {
+        WireWriter err;
+        err.str(e.what());
+        write_frame(stream, MsgType::kError, err);
+      }
+      return true;
+    }
+    case MsgType::kCanaryStatus: {
+      reader.expect_done();
+      encode_canary_status(canary_status_report(), &reply);
+      write_frame(stream, MsgType::kCanaryStatusReply, reply);
+      return true;
+    }
+    case MsgType::kCanaryAbort: {
+      reader.expect_done();
+      {
+        std::lock_guard<std::mutex> lock(promote_mu_);
+        const auto canary = [this] {
+          std::lock_guard<std::mutex> clock(canary_mu_);
+          return canary_;
+        }();
+        if (canary) canary->abort();  // no-op unless running
+      }
+      encode_canary_status(canary_status_report(), &reply);
+      write_frame(stream, MsgType::kCanaryAbortReply, reply);
+      return true;
+    }
     case MsgType::kShutdown: {
       reader.expect_done();
       // Flags first, reply second: a client that received the reply must
@@ -237,6 +346,36 @@ bool Server::dispatch(TcpStream& stream, MsgType type,
       write_frame(stream, MsgType::kError, err);
       return true;
   }
+}
+
+std::shared_ptr<serve::CanaryRouter> Server::canary() const {
+  std::lock_guard<std::mutex> lock(canary_mu_);
+  return canary_;
+}
+
+std::shared_ptr<serve::CanaryRouter> Server::active_canary() const {
+  std::lock_guard<std::mutex> lock(canary_mu_);
+  if (canary_ && canary_->active()) return canary_;
+  return nullptr;
+}
+
+CanaryStatusReport Server::canary_status_report() const {
+  std::shared_ptr<serve::CanaryRouter> canary;
+  {
+    std::lock_guard<std::mutex> lock(canary_mu_);
+    if (!canary_) return last_canary_status_;
+    canary = canary_;
+  }
+  CanaryStatusReport s;
+  s.state = canary->state();
+  s.incumbent = canary->incumbent_version();
+  s.candidate = canary->candidate_version();
+  s.fraction = canary->config().fraction;
+  s.shadow_rate = canary->config().shadow_rate;
+  s.offline = canary->offline_report();
+  s.online = canary->stats();
+  s.reason = canary->decision_reason();
+  return s;
 }
 
 }  // namespace anchor::net

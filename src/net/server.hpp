@@ -28,6 +28,7 @@
 #include "net/socket.hpp"
 #include "net/wire.hpp"
 #include "serve/batcher.hpp"
+#include "serve/canary.hpp"
 #include "serve/deployment_gate.hpp"
 #include "serve/embedding_store.hpp"
 #include "serve/lookup_service.hpp"
@@ -40,6 +41,9 @@ struct ServerConfig {
   serve::LookupConfig lookup;
   serve::BatcherConfig batcher;
   serve::GateConfig gate;
+  /// Defaults for kCanaryStart (a request may override fraction and
+  /// shadow_rate per canary).
+  serve::CanaryConfig canary;
   /// Poll granularity of the accept/handler loops — bounds how long stop()
   /// waits for idle connections to notice.
   int poll_interval_ms = 100;
@@ -82,6 +86,9 @@ class Server {
   const serve::LookupService& service() const { return service_; }
   serve::AsyncLookupService& async() { return async_; }
   const serve::DeploymentGate& gate() const { return gate_; }
+  /// The canary most recently started over RPC (running or terminal);
+  /// nullptr when none was ever started. For tests/monitoring.
+  std::shared_ptr<serve::CanaryRouter> canary() const;
 
  private:
   void accept_loop();
@@ -93,6 +100,10 @@ class Server {
 
   serve::EmbeddingStore& store_;
   ServerConfig config_;
+  /// Shared with the canary router's candidate-side stack, so the Stats
+  /// RPC keeps covering all traffic while a canary routes part of it.
+  std::shared_ptr<serve::ServeStats> service_stats_;
+  std::shared_ptr<serve::ServeStats> batcher_stats_;
   serve::LookupService service_;
   serve::AsyncLookupService async_;
   serve::DeploymentGate gate_;
@@ -107,9 +118,20 @@ class Server {
   /// connection ever served. stop() joins the rest unconditionally.
   void reap_connections(bool all);
 
-  /// Serializes kTryPromote handling (audit-log appends are not
+  /// The canary-routed data plane: nullptr or inactive → the plain async
+  /// path. The pointer is swapped under canary_mu_ by the control plane;
+  /// handlers take a shared_ptr copy per request, so an abort/replace
+  /// never invalidates a lookup in flight.
+  std::shared_ptr<serve::CanaryRouter> active_canary() const;
+  CanaryStatusReport canary_status_report() const;
+
+  /// Serializes kTryPromote/kCanary* handling (audit-log appends are not
   /// internally synchronized, and gating is control-plane-rare anyway).
   std::mutex promote_mu_;
+  mutable std::mutex canary_mu_;
+  std::shared_ptr<serve::CanaryRouter> canary_;
+  /// Status of a phase-1-rejected canary (no router to ask).
+  CanaryStatusReport last_canary_status_;
   std::atomic<bool> stop_{false};
   std::atomic<bool> shutdown_requested_{false};
   /// True while accept_loop() is executing — run() callers have no

@@ -162,4 +162,62 @@ ServerStatsReport decode_server_stats(WireReader* r) {
   return s;
 }
 
+// ---- Canary ------------------------------------------------------------
+
+void encode_canary_stats(const serve::CanaryStatsSnapshot& s, WireWriter* w) {
+  w->u64(s.candidate_lookups);
+  w->u64(s.incumbent_lookups);
+  w->u64(s.shadows);
+  w->f64(s.mean_agreement);
+  w->f64(s.agreement_lower);
+  w->f64(s.agreement_upper);
+  w->f64(s.mean_displacement);
+  w->f64(s.mean_latency_delta_us);
+  w->f64(s.p50_agreement);
+  w->f64(s.p50_displacement);
+}
+
+serve::CanaryStatsSnapshot decode_canary_stats(WireReader* r) {
+  serve::CanaryStatsSnapshot s;
+  s.candidate_lookups = r->u64();
+  s.incumbent_lookups = r->u64();
+  s.shadows = r->u64();
+  s.mean_agreement = r->f64();
+  s.agreement_lower = r->f64();
+  s.agreement_upper = r->f64();
+  s.mean_displacement = r->f64();
+  s.mean_latency_delta_us = r->f64();
+  s.p50_agreement = r->f64();
+  s.p50_displacement = r->f64();
+  return s;
+}
+
+void encode_canary_status(const CanaryStatusReport& s, WireWriter* w) {
+  w->u8(static_cast<std::uint8_t>(s.state));
+  w->str(s.incumbent);
+  w->str(s.candidate);
+  w->f64(s.fraction);
+  w->f64(s.shadow_rate);
+  encode_gate_report(s.offline, w);
+  encode_canary_stats(s.online, w);
+  w->str(s.reason);
+}
+
+CanaryStatusReport decode_canary_status(WireReader* r) {
+  CanaryStatusReport s;
+  const std::uint8_t state = r->u8();
+  if (state > static_cast<std::uint8_t>(serve::CanaryState::kAborted)) {
+    throw WireError("bad canary state code");
+  }
+  s.state = static_cast<serve::CanaryState>(state);
+  s.incumbent = r->str();
+  s.candidate = r->str();
+  s.fraction = r->f64();
+  s.shadow_rate = r->f64();
+  s.offline = decode_gate_report(r);
+  s.online = decode_canary_stats(r);
+  s.reason = r->str();
+  return s;
+}
+
 }  // namespace anchor::net

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "serve/batcher.hpp"
+#include "serve/canary.hpp"
 #include "serve/deployment_gate.hpp"
 #include "serve/lookup_service.hpp"
 #include "serve/serve_stats.hpp"
@@ -49,6 +50,9 @@ enum class MsgType : std::uint8_t {
   kStats = 0x04,
   kPing = 0x05,
   kShutdown = 0x06,
+  kCanaryStart = 0x07,
+  kCanaryStatus = 0x08,
+  kCanaryAbort = 0x09,
   // Responses: request type | 0x80.
   kLookupIdsReply = 0x81,
   kLookupWordsReply = 0x82,
@@ -56,6 +60,9 @@ enum class MsgType : std::uint8_t {
   kStatsReply = 0x84,
   kPong = 0x85,
   kShutdownReply = 0x86,
+  kCanaryStartReply = 0x87,
+  kCanaryStatusReply = 0x88,
+  kCanaryAbortReply = 0x89,
   // Carries a string; sent instead of the normal reply when the server
   // failed to serve the request (e.g. unknown candidate version).
   kError = 0x7F,
@@ -190,5 +197,25 @@ struct ServerStatsReport {
 
 void encode_server_stats(const ServerStatsReport& s, WireWriter* w);
 ServerStatsReport decode_server_stats(WireReader* r);
+
+/// Canary reply payload (all three canary RPCs answer with this): the
+/// state machine position, the participating versions, the phase-1
+/// offline report, and the live online measurements.
+struct CanaryStatusReport {
+  serve::CanaryState state = serve::CanaryState::kNone;
+  std::string incumbent;
+  std::string candidate;
+  double fraction = 0.0;
+  double shadow_rate = 0.0;
+  serve::GateReport offline;      // zero-valued when state == kNone
+  serve::CanaryStatsSnapshot online;
+  std::string reason;             // terminal decision reason ("" otherwise)
+};
+
+void encode_canary_stats(const serve::CanaryStatsSnapshot& s, WireWriter* w);
+serve::CanaryStatsSnapshot decode_canary_stats(WireReader* r);
+
+void encode_canary_status(const CanaryStatusReport& s, WireWriter* w);
+CanaryStatusReport decode_canary_status(WireReader* r);
 
 }  // namespace anchor::net

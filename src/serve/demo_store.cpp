@@ -27,6 +27,7 @@ void add_demo_versions(EmbeddingStore& store, const DemoStoreConfig& config) {
   snap.num_shards = config.num_shards;
   snap.build_oov_table = config.build_oov_table;
   store.add_version("v1", base, snap);
+  snap.align_to_live = config.align_to_live;  // v1 has no incumbent anyway
   store.add_version("v2-good", refreshed, snap);
   store.add_version("v3-bad", botched, snap);
 }

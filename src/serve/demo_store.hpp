@@ -24,6 +24,10 @@ struct DemoStoreConfig {
   double refresh_noise = 0.01;
   /// Build OOV tables so lookup_words can synthesize unseen words.
   bool build_oov_table = true;
+  /// Procrustes-align v2-good and v3-bad to v1 at registration
+  /// (SnapshotConfig::align_to_live), mirroring the daemon's
+  /// --align-candidates flag.
+  bool align_to_live = false;
 };
 
 /// Registers three versions in `store`:

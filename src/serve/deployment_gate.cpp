@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 
 #include "core/measures.hpp"
@@ -168,6 +169,11 @@ GateReport DeploymentGate::try_promote(
 
 void append_audit_csv(const std::filesystem::path& path,
                       const GateReport& report) {
+  // Appenders run on control-plane handlers AND on whichever serving
+  // thread a canary auto-decision fires from; a process-wide mutex keeps
+  // rows whole and the exists→header sequence atomic.
+  static std::mutex audit_mu;
+  std::lock_guard<std::mutex> lock(audit_mu);
   const bool fresh = !std::filesystem::exists(path);
   if (path.has_parent_path()) {
     std::filesystem::create_directories(path.parent_path());

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -62,6 +63,10 @@ struct GateReport {
   std::string reason;          // human-readable threshold explanation
 };
 
+class AsyncLookupService;
+class CanaryRouter;
+struct CanaryConfig;
+
 class DeploymentGate {
  public:
   explicit DeploymentGate(GateConfig config = {});
@@ -78,6 +83,24 @@ class DeploymentGate {
   /// candidate version is unknown.
   GateReport try_promote(EmbeddingStore& store,
                          const std::string& candidate_version) const;
+
+  /// Two-phase promotion (the ROADMAP's online-canarying rung). Phase 1
+  /// runs the offline EIS/k-NN gate exactly like the overload above but
+  /// does NOT flip live on admit — instead it returns a running
+  /// CanaryRouter that routes `canary.fraction` of lookup keys to the
+  /// candidate while mirroring a shadow sample to the incumbent; the
+  /// router auto-promotes (or auto-rolls-back) once the online top-k
+  /// agreement estimate crosses the configured confidence bounds
+  /// (phase 2). Returns nullptr when phase 1 rejects, when there is no
+  /// incumbent (the candidate is promoted outright — nothing to canary
+  /// against), or when the candidate is already live; `*offline` always
+  /// receives the phase-1 report. Both phases append to the audit log
+  /// when configured. Throws on unknown candidate version or dimension
+  /// mismatch. Defined in serve/canary.cpp.
+  std::shared_ptr<CanaryRouter> try_promote(
+      EmbeddingStore& store, const std::string& candidate_version,
+      AsyncLookupService& incumbent_traffic, const CanaryConfig& canary,
+      GateReport* offline = nullptr) const;
 
   const GateConfig& config() const { return config_; }
 

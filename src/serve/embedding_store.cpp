@@ -6,6 +6,7 @@
 #include "compress/quantize.hpp"
 #include "embed/io.hpp"
 #include "la/kernels.hpp"
+#include "la/procrustes.hpp"
 #include "util/check.hpp"
 
 namespace anchor::serve {
@@ -27,12 +28,13 @@ std::size_t packed_bytes(std::size_t values, int bits) {
 EmbeddingSnapshot::EmbeddingSnapshot(std::string version,
                                      const embed::Embedding& source,
                                      const SnapshotConfig& config,
-                                     std::uint64_t epoch)
+                                     std::uint64_t epoch, bool aligned)
     : version_(std::move(version)),
       config_(config),
       vocab_size_(source.vocab_size),
       dim_(source.dim),
-      epoch_(epoch) {
+      epoch_(epoch),
+      aligned_(aligned) {
   ANCHOR_CHECK_GT(vocab_size_, 0u);
   ANCHOR_CHECK_GT(dim_, 0u);
   ANCHOR_CHECK_GT(config.num_shards, 0u);
@@ -190,6 +192,55 @@ la::Matrix EmbeddingSnapshot::to_matrix(std::size_t max_rows) const {
   return m;
 }
 
+namespace {
+
+/// B·Ω with Ω fit on the shared-vocabulary prefix of live vs source —
+/// the Appendix C.2 alignment, applied at ingestion time. Writes the
+/// rotated rows into `*out` and returns true; returns false WITHOUT
+/// allocating anything when there is nothing to align against
+/// (dimension mismatch, or too few shared rows for a full-rank fit).
+bool align_to_incumbent(const EmbeddingSnapshot& live,
+                        const embed::Embedding& source,
+                        std::size_t align_rows, embed::Embedding* out) {
+  if (live.dim() != source.dim) return false;
+  std::size_t rows = std::min(live.vocab_size(), source.vocab_size);
+  if (align_rows > 0) rows = std::min(rows, align_rows);
+  if (rows < source.dim) return false;  // BᵀA would be rank-deficient
+
+  const la::Matrix a = live.to_matrix(rows);
+  la::Matrix b(rows, source.dim);
+  for (std::size_t w = 0; w < rows; ++w) {
+    const float* src = source.row(w);
+    double* dst = b.row(w);
+    for (std::size_t j = 0; j < source.dim; ++j) dst[j] = src[j];
+  }
+  const la::Matrix omega = la::procrustes_rotation(a, b);
+
+  // Rotate every row: y = Ωᵀ·x (row-vector convention x·Ω), written
+  // straight into the output matrix.
+  la::Matrix omega_t(source.dim, source.dim);
+  for (std::size_t r = 0; r < source.dim; ++r) {
+    for (std::size_t c = 0; c < source.dim; ++c) {
+      omega_t(r, c) = omega(c, r);
+    }
+  }
+  *out = embed::Embedding(source.vocab_size, source.dim);
+  std::vector<double> x(source.dim), y(source.dim);
+  for (std::size_t w = 0; w < source.vocab_size; ++w) {
+    const float* src = source.row(w);
+    float* dst = out->row(w);
+    for (std::size_t j = 0; j < source.dim; ++j) x[j] = src[j];
+    la::kernels::matvec_rowmajor(omega_t.data(), source.dim, source.dim,
+                                 x.data(), y.data());
+    for (std::size_t j = 0; j < source.dim; ++j) {
+      dst[j] = static_cast<float>(y[j]);
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
 SnapshotPtr EmbeddingStore::add_version(const std::string& version,
                                         const embed::Embedding& source,
                                         const SnapshotConfig& config) {
@@ -198,15 +249,25 @@ SnapshotPtr EmbeddingStore::add_version(const std::string& version,
                    "version id must not contain commas or newlines (it is "
                    "written to CSV audit logs)");
   std::uint64_t epoch = 0;
+  SnapshotPtr incumbent;
   {
     std::lock_guard<std::mutex> lock(mu_);
     epoch = next_epoch_++;
+    incumbent = live_;
   }
-  // Snapshot construction (clip scan, quantization, OOV table) is O(vocab·
-  // dim) — done outside the lock so concurrent lookups never stall on an
-  // ingest.
-  auto snap =
-      std::make_shared<const EmbeddingSnapshot>(version, source, config, epoch);
+  // Alignment and snapshot construction (clip scan, quantization, OOV
+  // table) are O(vocab·dim) and up — done outside the lock so concurrent
+  // lookups never stall on an ingest.
+  bool aligned = false;
+  embed::Embedding aligned_copy;
+  const embed::Embedding* rows = &source;
+  if (config.align_to_live && incumbent) {
+    aligned = align_to_incumbent(*incumbent, source, config.align_rows,
+                                 &aligned_copy);
+    if (aligned) rows = &aligned_copy;
+  }
+  auto snap = std::make_shared<const EmbeddingSnapshot>(version, *rows, config,
+                                                        epoch, aligned);
   std::lock_guard<std::mutex> lock(mu_);
   versions_[version] = snap;
   if (!live_) live_ = snap;

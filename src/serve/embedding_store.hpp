@@ -44,13 +44,27 @@ struct SnapshotConfig {
   /// Build the hashed character-n-gram table used for OOV fallback
   /// (scatter-averaged from the word vectors, fastText-style).
   bool build_oov_table = true;
+  /// Orthogonal-Procrustes-align the incoming rows to the store's live
+  /// snapshot before encoding (the paper's Appendix C.2 protocol, applied
+  /// at ingestion): the rotation is fit on the shared-vocabulary prefix
+  /// and applied to every row, so a refresh that differs from the
+  /// incumbent mostly by a rotation of the latent space stops tripping
+  /// the displacement-based canary rollback (and downstream consumers
+  /// mixing vectors across versions see comparable coordinates). No-op
+  /// when the store has no live snapshot or the dimensions differ.
+  bool align_to_live = false;
+  /// Shared-prefix rows the rotation is fit on (0 = the full shared
+  /// vocabulary). The d×d Procrustes solve is cheap; this bounds only the
+  /// BᵀA Gram accumulation.
+  std::size_t align_rows = 2048;
 };
 
 /// One immutable embedding version. Construct via EmbeddingStore.
 class EmbeddingSnapshot {
  public:
   EmbeddingSnapshot(std::string version, const embed::Embedding& source,
-                    const SnapshotConfig& config, std::uint64_t epoch);
+                    const SnapshotConfig& config, std::uint64_t epoch,
+                    bool aligned = false);
 
   const std::string& version() const { return version_; }
   std::size_t vocab_size() const { return vocab_size_; }
@@ -61,6 +75,9 @@ class EmbeddingSnapshot {
   /// Monotonically increasing id unique across all snapshots of a store;
   /// hot-row caches key on it so a swap can never serve stale vectors.
   std::uint64_t epoch() const { return epoch_; }
+  /// True when the rows were Procrustes-aligned to the then-live snapshot
+  /// at ingestion (SnapshotConfig::align_to_live actually applied).
+  bool aligned_to_incumbent() const { return aligned_; }
   /// Resident bytes of the row storage (excludes the OOV table).
   std::size_t memory_bytes() const;
   bool has_oov_table() const { return !oov_table_.empty(); }
@@ -103,6 +120,7 @@ class EmbeddingSnapshot {
   std::size_t dim_ = 0;
   float clip_ = 0.0f;
   std::uint64_t epoch_ = 0;
+  bool aligned_ = false;
   std::vector<Shard> shards_;
   embed::FastTextConfig oov_config_;    // hashing parameters for n-grams
   std::vector<float> oov_table_;        // bucket_count × dim, scatter-averaged

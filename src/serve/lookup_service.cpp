@@ -164,7 +164,8 @@ void LookupService::lookup_batch_into(std::size_t n, const Resolve& resolve,
                                       const OovFill& oov_fill,
                                       LookupResult* out) const {
   const auto start = std::chrono::steady_clock::now();
-  const SnapshotPtr snap = store_.live();
+  const SnapshotPtr snap =
+      config_.pin_snapshot ? config_.pin_snapshot : store_.live();
   ANCHOR_CHECK_MSG(snap != nullptr, "lookup against a store with no versions");
 
   out->dim = snap->dim();

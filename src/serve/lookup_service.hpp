@@ -39,6 +39,11 @@ struct LookupConfig {
   /// Only quantized snapshots use the cache (it skips their repeated
   /// unpacks); fp32 rows are a bare memcpy and always bypass it.
   std::size_t cache_rows_per_shard = 256;
+  /// When set, every lookup resolves this exact snapshot instead of the
+  /// store's live one. Identity, not name: the canary router pins the
+  /// candidate snapshot it evaluated, so a concurrent re-register under
+  /// the same version id can never ride into a running canary.
+  SnapshotPtr pin_snapshot = nullptr;
 };
 
 /// Result of a batched lookup: vectors are concatenated row-major in

@@ -6,6 +6,7 @@
 #pragma once
 
 #include "serve/batcher.hpp"
+#include "serve/canary.hpp"
 #include "serve/deployment_gate.hpp"
 #include "serve/embedding_store.hpp"
 #include "serve/lookup_service.hpp"

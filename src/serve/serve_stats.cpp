@@ -1,6 +1,7 @@
 #include "serve/serve_stats.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <ostream>
 #include <sstream>
@@ -11,10 +12,15 @@ namespace anchor::serve {
 void ServeStats::record_batch(std::uint64_t lookups, double latency_us) {
   lookups_.fetch_add(lookups, std::memory_order_relaxed);
   batches_.fetch_add(1, std::memory_order_relaxed);
+  // Generation first: a record that straddles a concurrent reset() keeps
+  // the OLD tag and is excluded from post-reset snapshots, never mixed in.
+  const std::uint64_t gen = generation_.load(std::memory_order_acquire);
   const std::uint64_t slot =
       latency_cursor_.fetch_add(1, std::memory_order_relaxed) % kLatencyRing;
-  latency_ring_us_[slot].store(static_cast<float>(latency_us),
-                               std::memory_order_relaxed);
+  const std::uint64_t packed =
+      (gen << 32) |
+      std::bit_cast<std::uint32_t>(static_cast<float>(latency_us));
+  latency_ring_[slot].store(packed, std::memory_order_relaxed);
 }
 
 StatsSnapshot ServeStats::snapshot() const {
@@ -35,14 +41,24 @@ StatsSnapshot ServeStats::snapshot() const {
     s.qps = static_cast<double>(s.lookups) / s.elapsed_seconds;
   }
 
+  const std::uint64_t gen =
+      generation_.load(std::memory_order_acquire) & 0xffffffffull;
   const std::uint64_t written =
       std::min<std::uint64_t>(latency_cursor_.load(std::memory_order_relaxed),
                               kLatencyRing);
-  if (written > 0) {
-    std::vector<float> samples(written);
-    for (std::uint64_t i = 0; i < written; ++i) {
-      samples[i] = latency_ring_us_[i].load(std::memory_order_relaxed);
-    }
+  std::vector<float> samples;
+  samples.reserve(written);
+  for (std::uint64_t i = 0; i < written; ++i) {
+    const std::uint64_t packed =
+        latency_ring_[i].load(std::memory_order_relaxed);
+    // Slots tagged with another generation straddled a reset (or predate
+    // the latest one); mixing them into this window's percentiles is the
+    // bug this filter exists to prevent.
+    if ((packed >> 32) != gen) continue;
+    samples.push_back(
+        std::bit_cast<float>(static_cast<std::uint32_t>(packed)));
+  }
+  if (!samples.empty()) {
     std::sort(samples.begin(), samples.end());
     // Nearest-rank percentile: ceil(p·n) is the smallest sample count that
     // covers fraction p, so with few samples p99 reports the tail value
@@ -66,10 +82,13 @@ void ServeStats::reset() {
   cache_hits_.store(0, std::memory_order_relaxed);
   cache_misses_.store(0, std::memory_order_relaxed);
   oov_fallbacks_.store(0, std::memory_order_relaxed);
+  // Generation bump BEFORE the cursor rewind: records racing this reset
+  // either carry the old tag (excluded from the new window) or the new
+  // tag with a pre-rewind cursor (their slot simply is not read until
+  // genuinely overwritten). Stale slots need no clearing — the tag filter
+  // in snapshot() makes them invisible, so reset is O(1).
+  generation_.fetch_add(1, std::memory_order_acq_rel);
   latency_cursor_.store(0, std::memory_order_relaxed);
-  for (auto& slot : latency_ring_us_) {
-    slot.store(0.0f, std::memory_order_relaxed);
-  }
   start_ticks_.store(
       std::chrono::steady_clock::now().time_since_epoch().count(),
       std::memory_order_relaxed);

@@ -69,8 +69,13 @@ class ServeStats {
   StatsSnapshot snapshot() const;
 
   /// Zeroes every counter and restarts the QPS clock. Concurrent recording
-  /// during a reset can leave a few counts attributed to either side of the
-  /// reset — counters stay valid, only the attribution is fuzzy.
+  /// during a reset can leave a few COUNTS attributed to either side of the
+  /// reset — counters stay valid, only the attribution is fuzzy. The
+  /// percentile ring is stricter: every slot is tagged with the reset
+  /// generation it was recorded under, and snapshot() ignores slots from
+  /// older generations, so p50/p99 can never mix pre- and post-reset
+  /// samples (an in-flight record that straddles the reset lands tagged
+  /// with the OLD generation and is simply excluded).
   void reset();
 
  private:
@@ -82,10 +87,14 @@ class ServeStats {
   std::atomic<std::uint64_t> cache_misses_{0};
   std::atomic<std::uint64_t> oov_fallbacks_{0};
   std::atomic<std::uint64_t> latency_cursor_{0};
-  // Latency samples in microseconds; slots are overwritten oldest-first once
-  // the ring wraps. Relaxed ordering is fine: percentile estimation does not
-  // need a linearizable view.
-  std::array<std::atomic<float>, kLatencyRing> latency_ring_us_{};
+  /// Bumped by reset(); the low 32 bits tag every ring slot.
+  std::atomic<std::uint64_t> generation_{0};
+  // Latency samples in microseconds, packed (generation << 32 | f32 bits);
+  // slots are overwritten oldest-first once the ring wraps. Relaxed
+  // ordering is fine: percentile estimation does not need a linearizable
+  // view, and stale-generation slots are filtered at snapshot time rather
+  // than cleared at reset time (O(1) reset).
+  std::array<std::atomic<std::uint64_t>, kLatencyRing> latency_ring_{};
   // steady_clock ticks at the last reset; atomic because snapshot() is
   // documented safe to call concurrently with reset().
   std::atomic<std::chrono::steady_clock::rep> start_ticks_{0};

@@ -144,6 +144,125 @@ TEST(Wire, GateReportAndStatsRoundTrip) {
   EXPECT_THROW(decode_gate_report(&cr), WireError);
 }
 
+TEST(Wire, CanaryStatusRoundTrip) {
+  CanaryStatusReport status;
+  status.state = serve::CanaryState::kRunning;
+  status.incumbent = "v1";
+  status.candidate = "v2";
+  status.fraction = 0.25;
+  status.shadow_rate = 0.5;
+  status.offline.old_version = "v1";
+  status.offline.new_version = "v2";
+  status.offline.decision = serve::GateDecision::kWarn;
+  status.offline.eis = 0.07;
+  status.online.candidate_lookups = 100;
+  status.online.shadows = 42;
+  status.online.mean_agreement = 0.9;
+  status.online.agreement_lower = 0.8;
+  status.online.agreement_upper = 1.0;
+  status.online.mean_displacement = 0.01;
+  status.online.mean_latency_delta_us = 3.5;
+  status.reason = "still watching";
+
+  WireWriter w;
+  encode_canary_status(status, &w);
+  WireReader r(w.buffer());
+  const CanaryStatusReport back = decode_canary_status(&r);
+  r.expect_done();
+  EXPECT_EQ(back.state, serve::CanaryState::kRunning);
+  EXPECT_EQ(back.incumbent, "v1");
+  EXPECT_EQ(back.candidate, "v2");
+  EXPECT_EQ(back.fraction, 0.25);
+  EXPECT_EQ(back.shadow_rate, 0.5);
+  EXPECT_EQ(back.offline.decision, serve::GateDecision::kWarn);
+  EXPECT_EQ(back.offline.eis, 0.07);
+  EXPECT_EQ(back.online.shadows, 42u);
+  EXPECT_EQ(back.online.mean_agreement, 0.9);
+  EXPECT_EQ(back.reason, "still watching");
+
+  // An out-of-range state byte must throw, not cast silently.
+  WireWriter bad;
+  bad.u8(42);
+  WireReader bad_reader(bad.buffer());
+  EXPECT_THROW(decode_canary_status(&bad_reader), WireError);
+}
+
+// ---- decoder fuzz ------------------------------------------------------
+//
+// The decoders face attacker-controlled bytes; under fuzzed input every
+// outcome must be "decoded cleanly" or "threw WireError" — never a crash,
+// an overread (ASan job), or a length-driven huge allocation.
+
+template <typename Decoder>
+void fuzz_decoder(const Decoder& decode, std::uint64_t seed) {
+  Rng rng(seed);
+  for (int iter = 0; iter < 800; ++iter) {
+    const std::size_t len = rng.index(96);
+    std::vector<std::uint8_t> payload(len);
+    for (auto& b : payload) {
+      b = static_cast<std::uint8_t>(rng.index(256));
+    }
+    // Bias some bytes toward small values so length-prefixed fields
+    // occasionally parse a few levels deep instead of throwing at the
+    // first u32.
+    if (len >= 4 && rng.bernoulli(0.5)) {
+      payload[1] = payload[2] = payload[3] = 0;
+    }
+    try {
+      WireReader reader(payload);
+      (void)decode(&reader);
+    } catch (const WireError&) {
+      // expected for malformed input
+    }
+  }
+}
+
+TEST(WireFuzz, RandomPayloadsNeverCrashTheDecoders) {
+  fuzz_decoder([](WireReader* r) { return decode_lookup_result(r); }, 91);
+  fuzz_decoder([](WireReader* r) { return decode_gate_report(r); }, 92);
+  fuzz_decoder([](WireReader* r) { return decode_server_stats(r); }, 93);
+  fuzz_decoder([](WireReader* r) { return decode_canary_status(r); }, 94);
+}
+
+TEST(WireFuzz, TruncatedAndBitFlippedLookupResultsDecodeOrThrowCleanly) {
+  serve::LookupResult result;
+  result.dim = 6;
+  result.version = "v-fuzz";
+  for (int i = 0; i < 5 * 6; ++i) {
+    result.vectors.push_back(static_cast<float>(i) * 0.5f);
+  }
+  result.oov = {0, 1, 0, 0, 1};
+  WireWriter w;
+  encode_lookup_result(result, &w);
+  const std::vector<std::uint8_t>& valid = w.buffer();
+
+  // Every truncation prefix: decode must throw WireError or succeed on
+  // a consistent prefix — never read past the buffer.
+  for (std::size_t cut = 0; cut < valid.size(); ++cut) {
+    try {
+      WireReader reader(valid.data(), cut);
+      (void)decode_lookup_result(&reader);
+    } catch (const WireError&) {
+    }
+  }
+
+  // Random single-bit flips over the whole payload.
+  Rng rng(95);
+  for (int iter = 0; iter < 400; ++iter) {
+    std::vector<std::uint8_t> flipped = valid;
+    const std::size_t byte = rng.index(flipped.size());
+    flipped[byte] ^= static_cast<std::uint8_t>(1u << rng.index(8));
+    try {
+      WireReader reader(flipped);
+      const serve::LookupResult back = decode_lookup_result(&reader);
+      // When it does decode, the sizes must be internally consistent
+      // (the guarded resize path).
+      EXPECT_EQ(back.vectors.size(), back.size() * back.dim);
+    } catch (const WireError&) {
+    }
+  }
+}
+
 // ---- loopback RPC ------------------------------------------------------
 
 class RpcTest : public ::testing::Test {
@@ -278,6 +397,167 @@ TEST_F(RpcTest, UnknownRequestTypeAnswersError) {
   std::vector<std::uint8_t> payload;
   ASSERT_TRUE(read_frame(raw, &type, &payload));
   EXPECT_EQ(type, MsgType::kError);
+}
+
+TEST_F(RpcTest, FuzzedFramesNeverKillTheServer) {
+  // Seeded garbage thrown at a LIVE server: raw byte soup, well-framed
+  // random payloads under every request type, truncated and bit-flipped
+  // frames. Per connection the server may answer (reply or error frame)
+  // or hang up — but it must survive all of it and keep serving
+  // well-formed clients (and the whole test runs under ASan in CI).
+  Rng rng(4242);
+  for (int iter = 0; iter < 60; ++iter) {
+    try {
+      TcpStream raw = TcpStream::connect("127.0.0.1", server_->port());
+      const int mode = static_cast<int>(rng.index(3));
+      if (mode == 0) {
+        // Raw byte soup — usually an invalid frame header.
+        std::vector<std::uint8_t> bytes(1 + rng.index(64));
+        for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.index(256));
+        raw.write_all(bytes.data(), bytes.size());
+      } else if (mode == 1) {
+        // Valid framing, random payload, random (mostly valid) type.
+        WireWriter payload;
+        const std::size_t len = rng.index(48);
+        for (std::size_t i = 0; i < len; ++i) {
+          payload.u8(static_cast<std::uint8_t>(rng.index(256)));
+        }
+        // Never draw kShutdown: an empty-payload draw would be a
+        // LEGITIMATE shutdown request and kill the server mid-fuzz.
+        std::uint8_t type_byte =
+            static_cast<std::uint8_t>(1 + rng.index(12));
+        if (type_byte == static_cast<std::uint8_t>(MsgType::kShutdown)) {
+          type_byte = 0x0D;  // unused type → error frame
+        }
+        write_frame(raw, static_cast<MsgType>(type_byte), payload);
+        MsgType reply_type{};
+        std::vector<std::uint8_t> reply;
+        try {
+          (void)read_frame(raw, &reply_type, &reply);
+        } catch (const NetError&) {
+          // server hung up on us — acceptable for malformed payloads
+        } catch (const WireError&) {
+        }
+      } else {
+        // Declared length bigger than what we send, then hang up:
+        // mid-frame EOF on the server side.
+        const std::uint32_t len = 3 + static_cast<std::uint32_t>(
+                                          16 + rng.index(1024));
+        std::vector<std::uint8_t> partial;
+        partial.insert(partial.end(),
+                       reinterpret_cast<const std::uint8_t*>(&len),
+                       reinterpret_cast<const std::uint8_t*>(&len) + 4);
+        partial.push_back(kWireMagic);
+        partial.push_back(kWireVersion);
+        partial.push_back(static_cast<std::uint8_t>(MsgType::kPing));
+        partial.push_back(0x00);  // 1 of len-3 payload bytes, then EOF
+        raw.write_all(partial.data(), partial.size());
+      }
+    } catch (const NetError&) {
+      // Connection refused/reset mid-write is fine — the server closing
+      // early is one of the allowed outcomes.
+    }
+  }
+  // The server took 60 hostile connections and still serves.
+  Client client("127.0.0.1", server_->port());
+  client.ping();
+  EXPECT_EQ(client.lookup_id(3).size(), 1u);
+}
+
+TEST_F(RpcTest, CanaryLifecycleOverRpc) {
+  Client client("127.0.0.1", server_->port());
+  EXPECT_EQ(client.canary_status().state, serve::CanaryState::kNone);
+
+  // The strict default gate bounces the botched candidate offline —
+  // phase 2 never starts and no traffic is ever routed to it.
+  const CanaryStatusReport rejected = client.canary_start("v3-bad");
+  EXPECT_EQ(rejected.state, serve::CanaryState::kOfflineRejected);
+  EXPECT_EQ(rejected.offline.decision, serve::GateDecision::kReject);
+  EXPECT_EQ(client.stats().live_version, "v1");
+  EXPECT_EQ(client.canary_status().state,
+            serve::CanaryState::kOfflineRejected);
+
+  // Unknown candidates error without disturbing anything.
+  EXPECT_THROW(client.canary_start("no-such-version"), RpcError);
+
+  // The routine refresh starts phase 2; a second start is refused while
+  // it runs.
+  const CanaryStatusReport started =
+      client.canary_start("v2-good", 0.5, 0.5);
+  ASSERT_EQ(started.state, serve::CanaryState::kRunning);
+  EXPECT_EQ(started.fraction, 0.5);
+  EXPECT_EQ(started.shadow_rate, 0.5);
+  EXPECT_NE(started.offline.decision, serve::GateDecision::kReject);
+  EXPECT_EQ(client.stats().live_version, "v1");  // not flipped yet
+  EXPECT_THROW(client.canary_start("v2-good"), RpcError);
+
+  // Drive traffic; the server auto-promotes once the agreement bound
+  // clears (min_shadows = 64 on the default config).
+  Rng rng(31);
+  CanaryStatusReport status = started;
+  for (int iter = 0;
+       iter < 400 && status.state == serve::CanaryState::kRunning; ++iter) {
+    std::vector<std::size_t> ids(16);
+    for (auto& id : ids) id = rng.index(600);
+    client.lookup_ids(ids);
+    if (iter % 4 == 3) status = client.canary_status();
+  }
+  status = client.canary_status();
+  EXPECT_EQ(status.state, serve::CanaryState::kPromoted);
+  EXPECT_GE(status.online.shadows, 64u);
+  EXPECT_GE(status.online.agreement_lower, 0.70);
+  EXPECT_EQ(client.stats().live_version, "v2-good");
+  EXPECT_EQ(client.lookup_id(0).version, "v2-good");
+
+  // A fresh canary (v1 as candidate against the new incumbent) can be
+  // aborted by the operator; the incumbent stays live.
+  const CanaryStatusReport second = client.canary_start("v1", 0.25, 0.25);
+  ASSERT_EQ(second.state, serve::CanaryState::kRunning);
+  // While it runs, an OFFLINE promote is refused too — it would flip the
+  // incumbent out from under the router mid-measurement.
+  EXPECT_THROW(client.try_promote("v1"), RpcError);
+  EXPECT_EQ(client.stats().live_version, "v2-good");
+  const CanaryStatusReport aborted = client.canary_abort();
+  EXPECT_EQ(aborted.state, serve::CanaryState::kAborted);
+  EXPECT_EQ(client.stats().live_version, "v2-good");
+  // Abort with nothing running is a no-op status read.
+  EXPECT_EQ(client.canary_abort().state, serve::CanaryState::kAborted);
+}
+
+TEST_F(RpcTest, CanaryRoutedLookupsMatchTheRightVersionPerKey) {
+  Client client("127.0.0.1", server_->port());
+  // Keep the canary running for the whole test: tiny shadow sample, huge
+  // decision floor comes from the server default (min_shadows=64) — use
+  // shadow_rate small enough that 64 is never reached here.
+  const CanaryStatusReport started =
+      client.canary_start("v2-good", 0.5, 0.01);
+  ASSERT_EQ(started.state, serve::CanaryState::kRunning);
+
+  const serve::LookupService direct_inc(store_);
+  const serve::LookupService direct_cand(
+      store_, {.pin_snapshot = store_.snapshot("v2-good")});
+  const auto router = server_->canary();
+  ASSERT_NE(router, nullptr);
+
+  std::vector<std::size_t> ids = {0, 1, 2, 3, 4, 5, 6, 7,
+                                  100, 200, 300, 400, 599};
+  const std::uint64_t batcher_before = client.stats().batcher.lookups;
+  const serve::LookupResult merged = client.lookup_ids(ids);
+  // The Stats RPC must keep covering ALL keys while the canary routes
+  // part of them to its own candidate stack (shared counters).
+  EXPECT_GE(client.stats().batcher.lookups - batcher_before, ids.size());
+  const serve::LookupResult inc = direct_inc.lookup_ids(ids);
+  const serve::LookupResult cand = direct_cand.lookup_ids(ids);
+  ASSERT_EQ(merged.size(), ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const serve::LookupResult& want =
+        router->routes_to_candidate(ids[i]) ? cand : inc;
+    for (std::size_t j = 0; j < merged.dim; ++j) {
+      EXPECT_EQ(merged.row(i)[j], want.row(i)[j])
+          << "key " << ids[i] << " col " << j;
+    }
+  }
+  client.canary_abort();
 }
 
 TEST(RpcShutdown, ShutdownFrameStopsTheServer) {

@@ -570,6 +570,37 @@ TEST(Stats, LatencyRingWrapsToTheMostRecentWindow) {
   EXPECT_LE(mixed.p99_latency_us, 200.0);
 }
 
+TEST(Stats, SnapshotNeverMixesSamplesAcrossReset) {
+  // reset() no longer clears the ring — it bumps a generation tag and
+  // snapshot() filters stale slots. So after filling ALL 4096 slots with
+  // a marker value, a reset plus a handful of new samples must yield
+  // percentiles computed from the new samples ONLY: any 1000 µs marker
+  // surfacing would mean a pre-reset sample leaked into the post-reset
+  // window (the race this mechanism closes for in-flight recorders).
+  constexpr std::size_t kRing = 4096;  // ServeStats::kLatencyRing
+  ServeStats stats;
+  for (std::size_t i = 0; i < kRing; ++i) stats.record_batch(1, 1000.0);
+  stats.reset();
+
+  // Zero post-reset samples: empty window, not the old ring.
+  EXPECT_EQ(stats.snapshot().p99_latency_us, 0.0);
+
+  stats.record_batch(1, 7.0);
+  stats.record_batch(1, 5.0);
+  stats.record_batch(1, 6.0);
+  const StatsSnapshot snap = stats.snapshot();
+  EXPECT_EQ(snap.batches, 3u);
+  EXPECT_EQ(snap.p50_latency_us, 6.0);
+  EXPECT_EQ(snap.p99_latency_us, 7.0);
+
+  // Across several generations the filter keeps holding.
+  stats.reset();
+  stats.record_batch(1, 3.0);
+  const StatsSnapshot again = stats.snapshot();
+  EXPECT_EQ(again.p50_latency_us, 3.0);
+  EXPECT_EQ(again.p99_latency_us, 3.0);
+}
+
 TEST(Stats, ResetUnderConcurrentRecordingStaysCoherent) {
   // Counters may land on either side of a concurrent reset (documented),
   // but every snapshot must stay internally sane: no torn counts beyond

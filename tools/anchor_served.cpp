@@ -107,6 +107,28 @@ int main(int argc, char** argv) {
                     "2048");
   parser.add_option("audit-log",
                     "CSV audit log path for gate decisions (empty = no log)");
+  parser.add_option("canary-fraction",
+                    "canary: default fraction of lookup keys routed to the "
+                    "candidate", "0.1");
+  parser.add_option("shadow-rate",
+                    "canary: fraction of candidate-routed keys mirrored to "
+                    "the incumbent for online agreement", "0.1");
+  parser.add_option("canary-min-shadows",
+                    "canary: shadow samples required before any "
+                    "auto-decision", "64");
+  parser.add_option("canary-max-shadows",
+                    "canary: shadow budget at which the point estimate "
+                    "decides", "8192");
+  parser.add_option("canary-promote",
+                    "canary: promote once the agreement lower confidence "
+                    "bound reaches this", "0.70");
+  parser.add_option("canary-rollback",
+                    "canary: roll back once the agreement upper confidence "
+                    "bound falls to this", "0.40");
+  parser.add_flag("align-candidates",
+                  "Procrustes-align every loaded version after the first "
+                  "to the then-live snapshot before serving (cuts false "
+                  "canary rollbacks from rotation-only drift)");
 
   if (!parser.parse(argc, argv)) {
     if (parser.help_requested()) {
@@ -122,12 +144,14 @@ int main(int argc, char** argv) {
   try {
     snap.bits = static_cast<int>(parser.get_int("bits"));
     snap.num_shards = static_cast<std::size_t>(parser.get_int("shards"));
+    snap.align_to_live = parser.get_flag("align-candidates");
     if (parser.get_flag("demo")) {
       serve::DemoStoreConfig demo;
       demo.vocab = static_cast<std::size_t>(parser.get_int("demo-vocab"));
       demo.dim = static_cast<std::size_t>(parser.get_int("demo-dim"));
       demo.bits = snap.bits;
       demo.num_shards = snap.num_shards;
+      demo.align_to_live = snap.align_to_live;
       serve::add_demo_versions(store, demo);
       std::cerr << "loaded demo store: v1 (live), v2-good, v3-bad; vocab="
                 << demo.vocab << " dim=" << demo.dim << " bits=" << demo.bits
@@ -177,6 +201,31 @@ int main(int argc, char** argv) {
     config.gate.max_rows =
         static_cast<std::size_t>(parser.get_int("gate-max-rows"));
     config.gate.audit_log = parser.get("audit-log");
+    config.canary.fraction = parser.get_double("canary-fraction");
+    config.canary.shadow_rate = parser.get_double("shadow-rate");
+    config.canary.min_shadows =
+        static_cast<std::size_t>(parser.get_int("canary-min-shadows"));
+    config.canary.max_shadows =
+        static_cast<std::size_t>(parser.get_int("canary-max-shadows"));
+    config.canary.promote_agreement = parser.get_double("canary-promote");
+    config.canary.rollback_agreement = parser.get_double("canary-rollback");
+    // A typo here misroutes live traffic (1.5 saturates to "everything to
+    // the candidate"); reject out-of-range knobs like the RPC layer does.
+    if (config.canary.fraction <= 0.0 || config.canary.fraction > 1.0 ||
+        config.canary.shadow_rate <= 0.0 || config.canary.shadow_rate > 1.0) {
+      throw std::runtime_error(
+          "--canary-fraction and --shadow-rate must be in (0, 1]");
+    }
+    if (config.canary.min_shadows > config.canary.max_shadows) {
+      throw std::runtime_error(
+          "--canary-min-shadows must not exceed --canary-max-shadows");
+    }
+    if (config.canary.rollback_agreement > config.canary.promote_agreement ||
+        config.canary.promote_agreement > 1.0 ||
+        config.canary.rollback_agreement < 0.0) {
+      throw std::runtime_error(
+          "--canary-rollback ≤ --canary-promote required, both in [0, 1]");
+    }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n" << parser.usage();
     return 2;

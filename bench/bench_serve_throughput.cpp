@@ -31,6 +31,15 @@
 // request with a single blocking driver. With concurrent clients the
 // sub-batches coalesce across requests and that floor amortizes away —
 // re-measure on multicore before reading it as steady-state cost.
+//
+// The cluster section prices the shard router's scatter-gather data
+// plane: batch-64 lookups over loopback TCP against one direct backend
+// vs a 2-shard ClusterClient split (the JSON's "cluster" object). On a
+// 1-core host the fan-out cost is dominated by time-slicing: client,
+// two backend accept/handler/batcher stacks, and the merge all share
+// one core, so the two sub-requests serialize instead of overlapping —
+// the number to watch on multicore is how far the overhead falls once
+// shard execution is genuinely concurrent (the design's whole point).
 // Run: ./build/bench/bench_serve_throughput [--json path] [--smoke]
 #include <atomic>
 #include <deque>
@@ -41,7 +50,10 @@
 #include <vector>
 
 #include "bench/bench_json.hpp"
+#include "cluster/cluster_client.hpp"
 #include "la/kernels.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
 #include "serve/serve.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -380,6 +392,102 @@ int main(int argc, char** argv) {
             << "%\n  shadow overhead (s=0.1 vs s=0.0):               "
             << format_double(100.0 * shadow_cost, 1) << "%\n";
 
+  // Cluster scatter-gather: the same int8 rows served over loopback TCP,
+  // once by a single backend and once split across two shard backends
+  // behind a ClusterClient (the router's data plane). The delta prices
+  // the fan-out: two sub-requests, two replies, one merge per batch —
+  // against the one-RPC direct path. Both cells pay the wire, so the
+  // ratio isolates the sharding cost rather than TCP itself. Shards share
+  // the full store's clip threshold, keeping the split bit-identical to
+  // the single backend (the deployment contract README documents).
+  std::cout << "\ncluster scatter-gather over loopback (batch=" << kBatch
+            << "):\n";
+  const int cluster_threads = smoke ? 1 : 2;
+  serve::StatsSnapshot cluster_cells[2];
+  {
+    serve::SnapshotConfig q8_shared = q8;
+    q8_shared.clip_override = store.snapshot("int8")->clip();
+    const std::size_t split = kVocab / 2;
+    const auto make_slice = [&](std::size_t begin, std::size_t end) {
+      embed::Embedding e(end - begin, kDim);
+      std::memcpy(e.data.data(), source.data.data() + begin * kDim,
+                  (end - begin) * kDim * sizeof(float));
+      return e;
+    };
+    serve::EmbeddingStore whole, lo, hi;
+    whole.add_version("int8", source, q8_shared);
+    lo.add_version("int8", make_slice(0, split), q8_shared);
+    hi.add_version("int8", make_slice(split, kVocab), q8_shared);
+    net::Server direct(whole, {});
+    net::Server shard1(lo, {});
+    net::Server shard2(hi, {});
+    direct.start();
+    shard1.start();
+    shard2.start();
+    const cluster::ShardMap map(
+        1, {{"127.0.0.1", shard1.port(), 0, split},
+            {"127.0.0.1", shard2.port(), split, kVocab}});
+
+    // make_client(t) builds the per-thread lookup fn (blocking clients
+    // are single-stream, so each worker owns its own).
+    const auto run_rpc_cell = [&](auto&& make_client) {
+      serve::ServeStats cell_stats;
+      std::atomic<bool> cell_stop{false};
+      std::vector<std::thread> workers;
+      for (int t = 0; t < cluster_threads; ++t) {
+        workers.emplace_back([&, t] {
+          auto lookup = make_client(t);
+          Rng rng(7000 + static_cast<std::uint64_t>(t));
+          std::vector<std::size_t> ids(kBatch);
+          while (!cell_stop.load(std::memory_order_relaxed)) {
+            for (auto& id : ids) id = skewed_id(rng);
+            const auto t0 = std::chrono::steady_clock::now();
+            lookup(ids);
+            cell_stats.record_batch(
+                kBatch, std::chrono::duration<double, std::micro>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count());
+          }
+        });
+      }
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(g_seconds_per_cell));
+      cell_stop.store(true);
+      for (auto& w : workers) w.join();
+      return cell_stats.snapshot();
+    };
+    cluster_cells[0] = run_rpc_cell([&](int) {
+      auto client = std::make_shared<net::Client>("127.0.0.1", direct.port());
+      return [client](const std::vector<std::size_t>& ids) {
+        client->lookup_ids(ids);
+      };
+    });
+    cluster_cells[1] = run_rpc_cell([&](int) {
+      cluster::ClusterConfig cc;
+      cc.map = map;
+      auto client = std::make_shared<cluster::ClusterClient>(cc);
+      return [client](const std::vector<std::size_t>& ids) {
+        client->lookup_ids(ids);
+      };
+    });
+    direct.stop();
+    shard1.stop();
+    shard2.stop();
+  }
+  const double fanout_cost =
+      cluster_cells[0].qps > 0.0
+          ? 1.0 - cluster_cells[1].qps / cluster_cells[0].qps
+          : 0.0;
+  TextTable cluster_table({"config", "threads", "Mqps", "p50 us", "p99 us",
+                           "cache hit"});
+  add_row(cluster_table, cells, "int8 rpc direct", cluster_cells[0],
+          cluster_threads);
+  add_row(cluster_table, cells, "int8 cluster 2shard", cluster_cells[1],
+          cluster_threads);
+  cluster_table.print(std::cout);
+  std::cout << "  fan-out overhead (2-shard scatter-gather vs direct RPC): "
+            << format_double(100.0 * fanout_cost, 1) << "%\n";
+
   // Hot swap under load: flip the live version every 10ms while 4 threads
   // read. Any stall or stale read would show up as a latency spike or a
   // crash; the snapshot shared_ptr design means neither can happen.
@@ -444,6 +552,13 @@ int main(int argc, char** argv) {
   json.kv("async_single_key_qps", async_ref);
   json.kv("ratio_vs_native_batch", ratio);
   json.kv("speedup_vs_uncoalesced", coalescing_speedup);
+  json.end_object();
+  json.key("cluster").begin_object();
+  json.kv("threads", static_cast<std::size_t>(cluster_threads));
+  json.kv("shards", static_cast<std::size_t>(2));
+  json.kv("direct_rpc_qps", cluster_cells[0].qps);
+  json.kv("cluster_qps", cluster_cells[1].qps);
+  json.kv("fanout_overhead_frac", fanout_cost);
   json.end_object();
   json.key("canary_overhead").begin_object();
   json.kv("threads", static_cast<std::size_t>(canary_threads));

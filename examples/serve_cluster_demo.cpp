@@ -1,0 +1,373 @@
+// Distributed serving across THREE processes: two anchor backends each
+// owning half the vocabulary, fronted by a cluster::Router that
+// unmodified net::Client code talks to as if it were one store.
+//
+// The demo proves the three cluster guarantees end to end:
+//   1. TRANSPARENCY — scatter-gathered id and word lookups through the
+//      router are bit-identical (vectors, flags, version) to a single-
+//      process store holding the concatenated rows.
+//   2. COORDINATED ROLLOUT — ROLLOUT_START walks the shards in order,
+//      promoting the v2 refresh on shard 2 only after shard 1's gate
+//      said yes; every step lands in the audit CSV.
+//   3. DEGRADED MODE — SIGKILLing one backend turns its rows into
+//      flagged partial results (kLookupFlagDegraded), never an error.
+//
+// Against an already-running router (e.g. started by CI or by hand):
+//   serve_cluster_demo --connect 127.0.0.1:7500 [--rollout v2-good]
+//       [--shutdown]
+// (connect mode checks shapes and the rollout state machine, not
+// bit-identity — it cannot know how the remote backends were loaded).
+//
+// Build & run:  ./build/examples/serve_cluster_demo
+#include <csignal>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/router.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "serve/serve.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace anchor;
+
+constexpr std::size_t kVocab = 1200;
+constexpr std::size_t kDim = 32;
+constexpr std::size_t kSplit = 600;  // shard 1: [0, 600), shard 2: [600, 1200)
+
+embed::Embedding base_embedding(std::uint64_t seed) {
+  embed::Embedding e(kVocab, kDim);
+  Rng rng(seed);
+  for (auto& x : e.data) x = static_cast<float>(rng.normal(0.0, 1.0));
+  return e;
+}
+
+/// v2 = v1 + 1% jitter: the routine refresh the default gate admits.
+embed::Embedding refreshed(const embed::Embedding& v1) {
+  embed::Embedding e = v1;
+  Rng rng(99);
+  for (auto& x : e.data) x += static_cast<float>(rng.normal(0.0, 0.01));
+  return e;
+}
+
+embed::Embedding slice(const embed::Embedding& full, std::size_t begin,
+                       std::size_t end) {
+  embed::Embedding e(end - begin, full.dim);
+  std::memcpy(e.data.data(), full.data.data() + begin * full.dim,
+              (end - begin) * full.dim * sizeof(float));
+  return e;
+}
+
+serve::SnapshotConfig demo_snapshot_config() {
+  serve::SnapshotConfig snap;
+  // No OOV tables: synthesis draws on whichever rows a process holds, so
+  // it is the one lookup output that legitimately differs between one
+  // process and a sliced cluster. Dropping it makes EVERY byte
+  // comparable (OOV slots are zero + flagged on both sides).
+  snap.build_oov_table = false;
+  return snap;
+}
+
+/// Backend child: serve rows [begin, end) of v1 (live) and v2 (candidate)
+/// until a client kShutdown; report the ephemeral port through `port_fd`.
+int run_backend_child(int port_fd, std::size_t begin, std::size_t end) {
+  const embed::Embedding v1 = base_embedding(7);
+  const embed::Embedding v2 = refreshed(v1);
+  serve::EmbeddingStore store;
+  const serve::SnapshotConfig snap = demo_snapshot_config();
+  store.add_version("v1", slice(v1, begin, end), snap);
+  store.add_version("v2", slice(v2, begin, end), snap);
+
+  net::Server server(store, {});
+  server.start();
+  const std::uint16_t port = server.port();
+  if (::write(port_fd, &port, sizeof(port)) != sizeof(port)) return 1;
+  ::close(port_fd);
+  while (!server.shutdown_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  server.stop();
+  return 0;
+}
+
+bool results_identical(const serve::LookupResult& a,
+                       const serve::LookupResult& b) {
+  return a.version == b.version && a.dim == b.dim && a.oov == b.oov &&
+         a.vectors.size() == b.vectors.size() &&
+         (a.vectors.empty() ||
+          std::memcmp(a.vectors.data(), b.vectors.data(),
+                      a.vectors.size() * sizeof(float)) == 0);
+}
+
+net::RolloutStatusReport poll_rollout(net::Client& client) {
+  net::RolloutStatusReport st = client.rollout_status();
+  for (int i = 0; i < 600 && !st.terminal(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    st = client.rollout_status();
+  }
+  return st;
+}
+
+void print_rollout(const net::RolloutStatusReport& st) {
+  std::cout << "rollout '" << st.candidate
+            << "': " << net::rollout_state_name(st.state) << "\n";
+  for (std::size_t i = 0; i < st.shards.size(); ++i) {
+    std::cout << "  shard " << (i + 1) << ": "
+              << net::shard_rollout_state_name(st.shards[i].state) << " — "
+              << st.shards[i].detail << "\n";
+  }
+}
+
+/// Connect mode (CI): shape checks + rollout against a live router.
+bool run_connect(const std::string& host, std::uint16_t port,
+                 const std::string& rollout_candidate, bool send_shutdown) {
+  net::Client client(host, port);
+  client.ping();
+  const std::string map_text = client.shard_map();
+  const cluster::ShardMap map = cluster::ShardMap::parse(map_text);
+  std::cout << "connected to router at " << host << ":" << port
+            << "\nshard map: " << map_text << "\n";
+
+  // Ids spanning every shard plus one past the end of the vocabulary.
+  std::vector<std::size_t> ids;
+  for (std::size_t s = 0; s < map.num_shards(); ++s) {
+    ids.push_back(map.shard(s).row_begin);
+    ids.push_back(map.shard(s).row_end - 1);
+  }
+  ids.push_back(map.total_rows());
+  const auto result = client.lookup_ids(ids);
+  bool ok = result.size() == ids.size() && result.dim > 0;
+  for (std::size_t i = 0; i + 1 < ids.size(); ++i) ok = ok && !result.oov[i];
+  ok = ok && result.oov.back() == serve::kLookupFlagOov;
+  std::cout << "lookup spanning " << map.num_shards() << " shards: dim="
+            << result.dim << " version='" << result.version << "'\n";
+
+  if (!rollout_candidate.empty()) {
+    client.rollout_start(rollout_candidate, /*mode=*/0);
+    const auto st = poll_rollout(client);
+    print_rollout(st);
+    ok = ok && st.state == net::RolloutState::kCompleted;
+    const auto after = client.lookup_ids({0});
+    ok = ok && after.version == rollout_candidate;
+    std::cout << "now serving from '" << after.version << "'\n";
+  }
+  const auto stats = client.stats();
+  std::cout << "aggregated stats: live=" << stats.live_version
+            << " service lookups=" << stats.service.lookups << "\n";
+  if (send_shutdown) {
+    client.shutdown_server();
+    std::cout << "sent shutdown; router acknowledged\n";
+  }
+  std::cout << "\n[shape] " << (ok ? "PASS" : "FAIL")
+            << "  scatter-gather shapes + coordinated rollout over the "
+               "live cluster\n";
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string connect, rollout_candidate;
+  bool send_shutdown = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--connect" && i + 1 < argc) {
+      connect = argv[++i];
+    } else if (arg == "--rollout" && i + 1 < argc) {
+      rollout_candidate = argv[++i];
+    } else if (arg == "--shutdown") {
+      send_shutdown = true;
+    } else {
+      std::cerr << "usage: serve_cluster_demo [--connect host:port] "
+                   "[--rollout candidate] [--shutdown]\n";
+      return 2;
+    }
+  }
+
+  if (!connect.empty()) {
+    const std::size_t colon = connect.rfind(':');
+    int port = -1;
+    if (colon != std::string::npos) {
+      try {
+        port = std::stoi(connect.substr(colon + 1));
+      } catch (const std::exception&) {
+        port = -1;
+      }
+    }
+    if (colon == std::string::npos || port < 1 || port > 65535) {
+      std::cerr << "--connect expects host:port (port in [1, 65535])\n";
+      return 2;
+    }
+    try {
+      return run_connect(connect.substr(0, colon),
+                         static_cast<std::uint16_t>(port), rollout_candidate,
+                         send_shutdown)
+                 ? 0
+                 : 1;
+    } catch (const std::exception& e) {
+      std::cerr << "client error: " << e.what() << "\n";
+      return 1;
+    }
+  }
+
+  // Self-contained mode: two forked backend processes + the router in
+  // this one (three processes total).
+  int pipes[2][2];
+  pid_t children[2] = {0, 0};
+  const std::size_t ranges[2][2] = {{0, kSplit}, {kSplit, kVocab}};
+  for (int c = 0; c < 2; ++c) {
+    if (::pipe(pipes[c]) != 0) {
+      std::cerr << "pipe failed: " << std::strerror(errno) << "\n";
+      return 1;
+    }
+    children[c] = ::fork();
+    if (children[c] < 0) {
+      std::cerr << "fork failed: " << std::strerror(errno) << "\n";
+      return 1;
+    }
+    if (children[c] == 0) {
+      ::close(pipes[c][0]);
+      ::_exit(run_backend_child(pipes[c][1], ranges[c][0], ranges[c][1]));
+    }
+    ::close(pipes[c][1]);
+  }
+  std::uint16_t backend_ports[2] = {0, 0};
+  for (int c = 0; c < 2; ++c) {
+    const ssize_t got =
+        ::read(pipes[c][0], &backend_ports[c], sizeof(backend_ports[c]));
+    ::close(pipes[c][0]);
+    if (got != sizeof(backend_ports[c])) {
+      std::cerr << "backend child " << c << " died before reporting a port\n";
+      for (const pid_t child : children) {
+        if (child > 0) ::kill(child, SIGKILL);
+      }
+      return 1;
+    }
+  }
+  std::cout << "backends: pid " << children[0] << " on 127.0.0.1:"
+            << backend_ports[0] << " rows [0," << kSplit << "), pid "
+            << children[1] << " on 127.0.0.1:" << backend_ports[1]
+            << " rows [" << kSplit << "," << kVocab << ")\n";
+
+  bool ok = false;
+  int failures = 0;
+  const auto check = [&](bool cond, const std::string& what) {
+    std::cout << "  [" << (cond ? "ok" : "FAIL") << "] " << what << "\n";
+    if (!cond) ++failures;
+  };
+  try {
+    cluster::RouterConfig rc;
+    rc.map = cluster::ShardMap(
+        1, {{"127.0.0.1", backend_ports[0], 0, kSplit},
+            {"127.0.0.1", backend_ports[1], kSplit, kVocab}});
+    rc.probe_interval_ms = 100;
+    rc.backend_io_timeout_ms = 1000;
+    rc.audit_log = "/tmp/serve_cluster_demo_audit.csv";
+    std::filesystem::remove(rc.audit_log);
+    cluster::Router router(rc);
+    router.start();
+    std::cout << "router on 127.0.0.1:" << router.port() << " — map "
+              << rc.map.serialize() << "\n\n";
+
+    // The single-process reference: the SAME rows in one store.
+    const embed::Embedding v1 = base_embedding(7);
+    const embed::Embedding v2 = refreshed(v1);
+    serve::EmbeddingStore reference;
+    const serve::SnapshotConfig snap = demo_snapshot_config();
+    reference.add_version("v1", v1, snap);
+    reference.add_version("v2", v2, snap);
+    serve::LookupService ref_service(reference);
+
+    net::Client client("127.0.0.1", router.port());
+    client.ping();
+    check(cluster::ShardMap::parse(client.shard_map()) == rc.map,
+          "SHARD_MAP round-trips the router's topology");
+
+    // 1. Bit-identical scatter-gather: ids crossing both shards, the
+    //    shard boundary, and one past the vocabulary end.
+    std::vector<std::size_t> ids = {0,          17,        kSplit - 1,
+                                    kSplit,     kSplit + 5, kVocab - 1,
+                                    kVocab + 3, 42,        kSplit + 300};
+    check(results_identical(client.lookup_ids(ids), ref_service.lookup_ids(ids)),
+          "id lookup through the router is bit-identical to one process");
+    const std::vector<std::string> words = {"w0", "w599", "w600", "w1199",
+                                            "quux-unseen", "w87"};
+    check(results_identical(client.lookup_words(words),
+                            ref_service.lookup_words(words)),
+          "word lookup (incl. the OOV flag path) is bit-identical");
+
+    // 2. Coordinated rollout: v2 goes live shard-by-shard, gated.
+    client.rollout_start("v2", /*mode=*/0);
+    const auto st = poll_rollout(client);
+    print_rollout(st);
+    check(st.state == net::RolloutState::kCompleted,
+          "rolling promote completed");
+    bool shards_promoted = !st.shards.empty();
+    for (const auto& shard : st.shards) {
+      shards_promoted =
+          shards_promoted && shard.state == net::ShardRolloutState::kPromoted;
+    }
+    check(shards_promoted, "every shard reports promoted");
+    reference.set_live("v2");
+    check(results_identical(client.lookup_ids(ids), ref_service.lookup_ids(ids)),
+          "post-rollout lookups serve v2, still bit-identical");
+    const auto audit = serve::read_audit_csv(rc.audit_log);
+    check(audit.size() >= 3, "audit CSV has per-shard + summary rows (" +
+                                 std::to_string(audit.size()) + ")");
+
+    // 3. Degraded mode: kill shard 2 mid-stream, lookups keep answering.
+    ::kill(children[1], SIGKILL);
+    int status = 0;
+    ::waitpid(children[1], &status, 0);
+    children[1] = 0;
+    const auto degraded = client.lookup_ids(ids);
+    bool flags_ok = degraded.size() == ids.size();
+    for (std::size_t i = 0; i < ids.size() && flags_ok; ++i) {
+      if (ids[i] >= kVocab) {
+        flags_ok = degraded.oov[i] == serve::kLookupFlagOov;
+      } else if (ids[i] >= kSplit) {
+        flags_ok = degraded.oov[i] == serve::kLookupFlagDegraded;
+      } else {
+        flags_ok = !degraded.oov[i] &&
+                   std::memcmp(degraded.row(i), ref_service.lookup_ids(
+                       {ids[i]}).row(0), kDim * sizeof(float)) == 0;
+      }
+    }
+    check(flags_ok,
+          "after SIGKILLing shard 2: partial result, dead rows flagged "
+          "degraded, live rows still exact");
+
+    // Teardown: backend 1 by direct RPC, the router by its own RPC.
+    net::Client backend1("127.0.0.1", backend_ports[0]);
+    backend1.shutdown_server();
+    client.shutdown_server();
+    ok = failures == 0;
+  } catch (const std::exception& e) {
+    std::cerr << "demo error: " << e.what() << "\n";
+  }
+
+  for (const pid_t child : children) {
+    if (child > 0) {
+      int status = 0;
+      ::waitpid(child, &status, 0);
+      if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+        std::cerr << "backend child exited abnormally\n";
+        ok = false;
+      }
+    }
+  }
+  std::cout << "\n[shape] " << (ok ? "PASS" : "FAIL")
+            << "  bit-identical scatter-gather, shard-by-shard rollout, "
+               "flagged partial results on backend loss\n";
+  return ok ? 0 : 1;
+}

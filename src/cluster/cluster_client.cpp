@@ -1,0 +1,453 @@
+#include "cluster/cluster_client.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <map>
+
+#include "util/check.hpp"
+
+namespace anchor::cluster {
+
+// ---- ClusterHealth -----------------------------------------------------
+
+ClusterHealth::ClusterHealth(std::size_t num_shards) : up_(num_shards) {}
+
+bool ClusterHealth::healthy(std::size_t shard) const {
+  return up_[shard].up.load(std::memory_order_acquire);
+}
+
+void ClusterHealth::mark(std::size_t shard, bool up) {
+  up_[shard].up.store(up, std::memory_order_release);
+}
+
+std::size_t ClusterHealth::alive() const {
+  std::size_t n = 0;
+  for (const Flag& f : up_) {
+    if (f.up.load(std::memory_order_acquire)) ++n;
+  }
+  return n;
+}
+
+// ---- ClusterClient -----------------------------------------------------
+
+ClusterClient::ClusterClient(ClusterConfig config,
+                             std::shared_ptr<ClusterHealth> health)
+    : config_(std::move(config)),
+      health_(std::move(health)),
+      streams_(config_.map.num_shards()),
+      last_shard_ok_(config_.map.num_shards(), 1) {
+  ANCHOR_CHECK_MSG(config_.map.num_shards() > 0,
+                   "ClusterClient needs a non-empty ShardMap");
+}
+
+net::TcpStream* ClusterClient::stream(std::size_t shard) {
+  if (!streams_[shard]) {
+    const ShardSpec& spec = config_.map.shard(shard);
+    try {
+      streams_[shard].emplace(net::TcpStream::connect(spec.host, spec.port));
+      streams_[shard]->set_io_timeout(config_.io_timeout_ms);
+    } catch (const net::NetError&) {
+      streams_[shard].reset();
+      return nullptr;
+    }
+  }
+  return &*streams_[shard];
+}
+
+void ClusterClient::drop(std::size_t shard) { streams_[shard].reset(); }
+
+bool ClusterClient::send_plan(std::size_t shard, const Plan& plan) {
+  net::TcpStream* s = stream(shard);
+  if (s == nullptr) return false;
+  try {
+    if (!plan.local_ids.empty()) {
+      net::WireWriter body;
+      body.reserve(4 + plan.local_ids.size() * 8);
+      body.u32(static_cast<std::uint32_t>(plan.local_ids.size()));
+      for (const std::uint64_t id : plan.local_ids) body.u64(id);
+      net::write_frame(*s, net::MsgType::kLookupIds, body);
+    }
+    if (!plan.words.empty()) {
+      std::size_t bytes = 4;
+      for (const std::string& w : plan.words) bytes += 4 + w.size();
+      net::WireWriter body;
+      body.reserve(bytes);
+      body.u32(static_cast<std::uint32_t>(plan.words.size()));
+      for (const std::string& w : plan.words) body.str(w);
+      net::write_frame(*s, net::MsgType::kLookupWords, body);
+    }
+    return true;
+  } catch (const net::NetError&) {
+    drop(shard);
+    return false;
+  }
+}
+
+bool ClusterClient::read_plan(std::size_t shard, const Plan& plan,
+                              serve::LookupResult* ids_reply,
+                              serve::LookupResult* words_reply) {
+  net::TcpStream* s = stream(shard);
+  if (s == nullptr) return false;
+  const auto read_one = [&](net::MsgType expected,
+                            serve::LookupResult* out) -> bool {
+    net::MsgType type{};
+    std::vector<std::uint8_t> payload;
+    if (!net::read_frame(*s, &type, &payload)) return false;  // backend EOF
+    if (type != expected) return false;  // kError or a protocol mismatch
+    net::WireReader reader(payload);
+    *out = net::decode_lookup_result(&reader);
+    reader.expect_done();
+    return true;
+  };
+  try {
+    if (!plan.local_ids.empty() &&
+        !read_one(net::MsgType::kLookupIdsReply, ids_reply)) {
+      drop(shard);
+      return false;
+    }
+    if (!plan.words.empty() &&
+        !read_one(net::MsgType::kLookupWordsReply, words_reply)) {
+      drop(shard);
+      return false;
+    }
+    return true;
+  } catch (const net::NetError&) {
+    drop(shard);
+    return false;
+  } catch (const net::WireError&) {
+    drop(shard);
+    return false;
+  }
+}
+
+serve::LookupResult ClusterClient::execute(const std::vector<Plan>& plans,
+                                           std::size_t n_slots,
+                                           std::vector<std::uint8_t> flags) {
+  const std::size_t n_shards = config_.map.num_shards();
+  std::fill(last_shard_ok_.begin(), last_shard_ok_.end(), 1);
+
+  // An all-OOV batch involves no shard, but its reply must still carry
+  // the store's dim and live version (the single-process shape — a
+  // consumer sizing buffers as n×dim must see the same numbers through
+  // the router). Probe shard 0 for them on EVERY such batch — not just
+  // cold start — so the reported version cannot go stale across a
+  // rollout that happened while this client saw only OOV traffic; the
+  // cached hint is the fallback when the probe fails.
+  bool any_involved = false;
+  for (const Plan& plan : plans) any_involved |= plan.involved();
+  if (!any_involved && n_slots > 0 && config_.map.total_rows() > 0 &&
+      (!health_ || health_->healthy(0))) {
+    Plan probe;
+    probe.local_ids.push_back(0);
+    probe.id_slots.push_back(0);
+    serve::LookupResult ids_reply, words_reply;
+    if (send_plan(0, probe) &&
+        read_plan(0, probe, &ids_reply, &words_reply) &&
+        ids_reply.size() == 1) {
+      hint_dim_ = ids_reply.dim;
+      hint_version_ = ids_reply.version;
+    }
+  }
+
+  // Phase 1 — fan out: all involved backends get their frames before any
+  // reply is read, so shard execution overlaps. A shard marked down by a
+  // previous failure (and not yet revived by a probe) is skipped outright:
+  // degrading instantly beats re-paying a 2 s timeout on every request.
+  std::vector<std::uint8_t> sent(n_shards, 0);
+  std::vector<std::uint8_t> retried(n_shards, 0);
+  for (std::size_t b = 0; b < n_shards; ++b) {
+    if (!plans[b].involved()) continue;
+    if (health_ && !health_->healthy(b)) {
+      last_shard_ok_[b] = 0;
+      continue;
+    }
+    if (send_plan(b, plans[b])) {
+      sent[b] = 1;
+    } else if (config_.retry && send_plan(b, plans[b])) {
+      // send_plan dropped the dead stream; the second call reconnects.
+      sent[b] = retried[b] = 1;
+    } else {
+      last_shard_ok_[b] = 0;
+      if (health_) health_->mark(b, false);
+    }
+  }
+
+  // Phase 2 — gather, in shard order (per-connection replies are ordered
+  // anyway). A read failure burns the shard's single retry on a full
+  // synchronous resend+reread; a second failure degrades its rows.
+  std::vector<serve::LookupResult> ids_replies(n_shards);
+  std::vector<serve::LookupResult> words_replies(n_shards);
+  for (std::size_t b = 0; b < n_shards; ++b) {
+    if (!sent[b]) continue;
+    if (read_plan(b, plans[b], &ids_replies[b], &words_replies[b])) continue;
+    if (config_.retry && !retried[b] && send_plan(b, plans[b]) &&
+        read_plan(b, plans[b], &ids_replies[b], &words_replies[b])) {
+      continue;
+    }
+    sent[b] = 0;
+    last_shard_ok_[b] = 0;
+    if (health_) health_->mark(b, false);
+  }
+
+  // Merge. dim comes from the first answering shard whose reply actually
+  // matches its sub-request (a stale-topology shard answering the wrong
+  // row count must not get to define the output shape and starve the
+  // correct shards); the map's row-range total is the authority on
+  // vocabulary, so every slot already has a home — scatter fills the
+  // served ones and the flags vector already carries kLookupFlagOov for
+  // unroutable keys.
+  serve::LookupResult out;
+  out.dim = 0;
+  const auto matching_subs = [&](std::size_t b) {
+    return std::array<std::pair<const serve::LookupResult*, std::size_t>, 2>{
+        {{&ids_replies[b], plans[b].local_ids.size()},
+         {&words_replies[b], plans[b].words.size()}}};
+  };
+  // Pass 1: row-weighted majority dim among size-matching replies (ties →
+  // smaller dim, arbitrarily but deterministically).
+  std::map<std::size_t, std::uint64_t> dim_rows;
+  for (std::size_t b = 0; b < n_shards; ++b) {
+    if (!sent[b]) continue;
+    for (const auto& [reply, expected] : matching_subs(b)) {
+      if (expected > 0 && reply->size() == expected) {
+        dim_rows[reply->dim] += expected;
+      }
+    }
+  }
+  std::uint64_t dim_best = 0;
+  for (const auto& [dim, rows] : dim_rows) {
+    if (rows > dim_best) {
+      dim_best = rows;
+      out.dim = dim;
+    }
+  }
+  // Pass 2: version majority, counting only replies of the chosen dim.
+  std::map<std::string, std::uint64_t> version_rows;
+  for (std::size_t b = 0; b < n_shards; ++b) {
+    if (!sent[b]) continue;
+    for (const auto& [reply, expected] : matching_subs(b)) {
+      if (expected > 0 && reply->size() == expected &&
+          reply->dim == out.dim) {
+        version_rows[reply->version] += expected;
+      }
+    }
+  }
+  // Refuse (don't allocate) a merged result that could never be encoded
+  // within the frame cap — the same pre-flight the backend server runs,
+  // done here once dim is known. Requests whose shards ALL failed skip
+  // this (dim 0): the flags-only degraded reply is small by construction.
+  if (out.dim > 0 &&
+      n_slots > (net::kMaxFrameBytes - 1024) /
+                    (out.dim * sizeof(float) + 1)) {
+    throw std::runtime_error(
+        "batch too large: reply would exceed the frame cap");
+  }
+  out.vectors.assign(n_slots * out.dim, 0.0f);
+  out.oov = std::move(flags);
+  out.oov.resize(n_slots, 0);
+
+  const auto scatter = [&](const serve::LookupResult& reply,
+                           const std::vector<std::uint32_t>& slots,
+                           bool expected_rows_match) {
+    // A shard answering with the wrong row count or dim disagrees with the
+    // map (a topology change mid-flight); treat its rows as degraded
+    // rather than scattering garbage.
+    if (!expected_rows_match || reply.dim != out.dim) {
+      for (const std::uint32_t slot : slots) {
+        out.oov[slot] = serve::kLookupFlagDegraded;
+      }
+      return;
+    }
+    for (std::size_t r = 0; r < reply.size(); ++r) {
+      std::memcpy(out.vectors.data() + slots[r] * out.dim, reply.row(r),
+                  out.dim * sizeof(float));
+      out.oov[slots[r]] = reply.oov[r];
+    }
+  };
+  bool degraded = false;
+  for (std::size_t b = 0; b < n_shards; ++b) {
+    const Plan& plan = plans[b];
+    if (!plan.involved()) continue;
+    if (!sent[b]) {
+      for (const std::uint32_t slot : plan.id_slots) {
+        out.oov[slot] = serve::kLookupFlagDegraded;
+      }
+      for (const std::uint32_t slot : plan.word_slots) {
+        out.oov[slot] = serve::kLookupFlagDegraded;
+      }
+      degraded = true;
+      continue;
+    }
+    if (!plan.local_ids.empty()) {
+      scatter(ids_replies[b], plan.id_slots,
+              ids_replies[b].size() == plan.local_ids.size());
+    }
+    if (!plan.words.empty()) {
+      scatter(words_replies[b], plan.word_slots,
+              words_replies[b].size() == plan.words.size());
+    }
+  }
+  for (std::size_t i = 0; i < out.oov.size() && !degraded; ++i) {
+    degraded = out.oov[i] == serve::kLookupFlagDegraded;
+  }
+  last_degraded_ = degraded;
+
+  // Version = row-weighted majority of the answering shards (a healthy,
+  // rollout-coordinated cluster is unanimous; during a rolling promote the
+  // majority version is the honest summary). Ties break lexicographically.
+  std::uint64_t best = 0;
+  for (const auto& [version, rows] : version_rows) {
+    if (rows > best) {
+      best = rows;
+      out.version = version;
+    }
+  }
+  // Fall back to (then refresh) the hint so all-OOV and all-degraded
+  // replies keep a stable shape across requests. Same frame-cap
+  // pre-flight as above — the hint dim can turn a previously flags-only
+  // reply into a full n×dim one.
+  if (out.dim == 0) out.dim = hint_dim_;
+  if (out.version.empty()) out.version = hint_version_;
+  if (out.dim > 0 && out.vectors.empty() && n_slots > 0) {
+    if (n_slots > (net::kMaxFrameBytes - 1024) /
+                      (out.dim * sizeof(float) + 1)) {
+      throw std::runtime_error(
+          "batch too large: reply would exceed the frame cap");
+    }
+    out.vectors.assign(n_slots * out.dim, 0.0f);
+  }
+  hint_dim_ = out.dim;
+  if (!out.version.empty()) hint_version_ = out.version;
+  return out;
+}
+
+serve::LookupResult ClusterClient::lookup_ids(
+    const std::vector<std::size_t>& ids) {
+  const std::uint64_t total = config_.map.total_rows();
+  std::vector<Plan> plans(config_.map.num_shards());
+  std::vector<std::uint8_t> flags(ids.size(), 0);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const std::uint64_t id = ids[i];
+    if (id >= total) {
+      flags[i] = serve::kLookupFlagOov;  // same contract as one process
+      continue;
+    }
+    const std::size_t b = config_.map.shard_of_id(id);
+    plans[b].local_ids.push_back(id - config_.map.shard(b).row_begin);
+    plans[b].id_slots.push_back(static_cast<std::uint32_t>(i));
+  }
+  return execute(plans, ids.size(), std::move(flags));
+}
+
+serve::LookupResult ClusterClient::lookup_words(
+    const std::vector<std::string>& words) {
+  const std::uint64_t total = config_.map.total_rows();
+  std::vector<Plan> plans(config_.map.num_shards());
+  std::vector<std::uint8_t> flags(words.size(), 0);
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    std::size_t id = 0;
+    if (serve::parse_synthetic_word_id(words[i], &id) && id < total) {
+      // In-vocabulary: route by row range and ship the LOCAL id — the
+      // backend's own "w<local>" naming must never be consulted, it
+      // numbers a different (sliced) space.
+      const std::size_t b = config_.map.shard_of_id(id);
+      plans[b].local_ids.push_back(id - config_.map.shard(b).row_begin);
+      plans[b].id_slots.push_back(static_cast<std::uint32_t>(i));
+    } else {
+      // OOV: one deterministic home shard synthesizes it.
+      const std::size_t b = config_.map.shard_of_word(words[i]);
+      plans[b].words.push_back(words[i]);
+      plans[b].word_slots.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  return execute(plans, words.size(), std::move(flags));
+}
+
+ClusterStatsReport ClusterClient::stats() {
+  ClusterStatsReport report;
+  const std::size_t n_shards = config_.map.num_shards();
+  report.shard_versions.assign(n_shards, "");
+  for (std::size_t b = 0; b < n_shards; ++b) {
+    if (health_ && !health_->healthy(b)) continue;
+    net::TcpStream* s = stream(b);
+    if (s == nullptr) continue;
+    try {
+      net::write_frame(*s, net::MsgType::kStats, net::WireWriter());
+      net::MsgType type{};
+      std::vector<std::uint8_t> payload;
+      if (!net::read_frame(*s, &type, &payload) ||
+          type != net::MsgType::kStatsReply) {
+        drop(b);
+        continue;
+      }
+      net::WireReader reader(payload);
+      const net::ServerStatsReport one = net::decode_server_stats(&reader);
+      reader.expect_done();
+      ++report.shards_answering;
+      report.shard_versions[b] = one.live_version;
+      const auto fold = [](serve::StatsSnapshot* acc,
+                           const serve::StatsSnapshot& x) {
+        acc->lookups += x.lookups;
+        acc->batches += x.batches;
+        acc->cache_hits += x.cache_hits;
+        acc->cache_misses += x.cache_misses;
+        acc->oov_fallbacks += x.oov_fallbacks;
+        acc->qps += x.qps;
+        acc->elapsed_seconds = std::max(acc->elapsed_seconds,
+                                        x.elapsed_seconds);
+        acc->p50_latency_us = std::max(acc->p50_latency_us, x.p50_latency_us);
+        acc->p99_latency_us = std::max(acc->p99_latency_us, x.p99_latency_us);
+      };
+      fold(&report.aggregate.service, one.service);
+      fold(&report.aggregate.batcher, one.batcher);
+    } catch (const std::exception&) {
+      drop(b);
+    }
+  }
+  // Unanimous version, or the literal "mixed" while shards disagree (a
+  // rollout in flight) — stats is a monitoring surface, and "mixed" is
+  // the honest summary; per-shard truth is in shard_versions.
+  for (const std::string& v : report.shard_versions) {
+    if (v.empty()) continue;
+    if (report.aggregate.live_version.empty()) {
+      report.aggregate.live_version = v;
+    } else if (report.aggregate.live_version != v) {
+      report.aggregate.live_version = "mixed";
+      break;
+    }
+  }
+  return report;
+}
+
+void ClusterClient::shutdown_backends() {
+  for (std::size_t b = 0; b < config_.map.num_shards(); ++b) {
+    net::TcpStream* s = stream(b);
+    if (s == nullptr) continue;
+    try {
+      net::write_frame(*s, net::MsgType::kShutdown, net::WireWriter());
+      net::MsgType type{};
+      std::vector<std::uint8_t> payload;
+      net::read_frame(*s, &type, &payload);
+    } catch (const std::exception&) {
+    }
+    drop(b);
+  }
+}
+
+bool ClusterClient::probe(const std::string& host, std::uint16_t port,
+                          int timeout_ms) {
+  try {
+    net::TcpStream s = net::TcpStream::connect(host, port);
+    s.set_io_timeout(timeout_ms);
+    net::write_frame(s, net::MsgType::kPing, net::WireWriter());
+    net::MsgType type{};
+    std::vector<std::uint8_t> payload;
+    return net::read_frame(s, &type, &payload) &&
+           type == net::MsgType::kPong;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace anchor::cluster

@@ -1,0 +1,156 @@
+// Scatter-gather lookup client over a ShardMap of anchor_served backends.
+//
+// A ClusterClient speaks the standard wire protocol (net/PROTOCOL.md) to
+// every backend over one persistent connection each. A batched lookup is
+// split by the map — global row ids to the shard owning their range
+// (translated to that shard's local id space), word strings to the row
+// they resolve to, or to their FNV home shard when they are OOV — then
+// the per-backend sub-requests are PIPELINED: all frames go out before
+// any reply is read, so the backends execute concurrently and the
+// caller's latency is the slowest involved shard, not the sum. Replies
+// scatter back into request order, producing a LookupResult bit-identical
+// to a single-process store holding the concatenated rows (same id → same
+// bytes; quantized deployments must share one clip threshold via
+// SnapshotConfig::clip_override — see README "Distributed serving").
+//
+// Failure policy (the degraded-mode contract): a backend that refuses,
+// stalls past the I/O timeout, or answers garbage gets ONE
+// reconnect-and-resend retry; if that also fails, its rows come back
+// zeroed and flagged kLookupFlagDegraded — a partial result, never an
+// exception — and the shard is marked down in the shared ClusterHealth so
+// subsequent lookups skip it until a health probe sees it answer again.
+//
+// Thread-compatibility: a ClusterClient is NOT thread-safe (it owns
+// blocking per-backend streams); give each serving thread its own and
+// share only the ClusterHealth.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/shard_map.hpp"
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "serve/lookup_service.hpp"
+
+namespace anchor::cluster {
+
+struct ClusterConfig {
+  ShardMap map;
+  /// Per-recv/send stall bound on backend connections: a backend that
+  /// accepts a frame and never answers surfaces as a degraded shard after
+  /// this long instead of hanging the caller. 0 disables.
+  int io_timeout_ms = 2000;
+  /// One reconnect-and-resend attempt per backend per lookup before its
+  /// rows degrade. Off = fail straight to the partial result (tests).
+  bool retry = true;
+};
+
+/// Shared per-backend up/down state: handlers mark a shard down the moment
+/// an exchange fails (so the next lookup degrades instantly instead of
+/// re-paying the timeout) and the router's probe loop marks it up again
+/// once it answers a ping. All methods are thread-safe.
+class ClusterHealth {
+ public:
+  explicit ClusterHealth(std::size_t num_shards);
+  bool healthy(std::size_t shard) const;
+  void mark(std::size_t shard, bool up);
+  std::size_t num_shards() const { return up_.size(); }
+  std::size_t alive() const;
+
+ private:
+  // deque-of-atomics is not movable; a fixed vector of wrappers is enough
+  // (the shard count never changes after construction).
+  struct Flag {
+    std::atomic<bool> up{true};
+  };
+  std::vector<Flag> up_;
+};
+
+/// Aggregated view of a control-plane fan-out (stats, ping).
+struct ClusterStatsReport {
+  net::ServerStatsReport aggregate;  // counters summed, latencies maxed
+  /// live_version per shard ("" when the shard did not answer).
+  std::vector<std::string> shard_versions;
+  std::size_t shards_answering = 0;
+};
+
+class ClusterClient {
+ public:
+  explicit ClusterClient(ClusterConfig config,
+                         std::shared_ptr<ClusterHealth> health = nullptr);
+
+  /// Batched lookup by GLOBAL row id. Ids ≥ map.total_rows() come back
+  /// zeroed + kLookupFlagOov (the single-process contract); rows owned by
+  /// an unreachable shard come back zeroed + kLookupFlagDegraded.
+  serve::LookupResult lookup_ids(const std::vector<std::size_t>& ids);
+
+  /// Batched lookup by word. Words resolving to a global row route like
+  /// ids; anything else goes to its FNV home shard for OOV synthesis
+  /// (deterministic per word, but synthesized from that shard's table —
+  /// not comparable to a single-process OOV table).
+  serve::LookupResult lookup_words(const std::vector<std::string>& words);
+
+  /// True when the most recent lookup had at least one degraded row.
+  bool last_degraded() const { return last_degraded_; }
+  /// Per-shard success of the most recent lookup (1 = answered or not
+  /// involved, 0 = failed). Sized num_shards().
+  const std::vector<std::uint8_t>& last_shard_ok() const {
+    return last_shard_ok_;
+  }
+
+  /// Control plane: kStats to every shard (skipping ones marked down),
+  /// summing counters and maxing latencies. aggregate.live_version is
+  /// the shards' unanimous version, or "mixed" while they disagree.
+  ClusterStatsReport stats();
+  /// Best-effort kShutdown to every reachable backend.
+  void shutdown_backends();
+
+  const ShardMap& map() const { return config_.map; }
+  const std::shared_ptr<ClusterHealth>& health() const { return health_; }
+
+  /// One fresh-connection ping probe (the router's health loop): true iff
+  /// host:port accepts, answers kPong within timeout_ms.
+  static bool probe(const std::string& host, std::uint16_t port,
+                    int timeout_ms);
+
+ private:
+  /// Per-backend slice of one scatter-gather lookup.
+  struct Plan {
+    std::vector<std::uint64_t> local_ids;   // kLookupIds sub-request
+    std::vector<std::uint32_t> id_slots;    // → caller slots
+    std::vector<std::string> words;         // kLookupWords sub-request
+    std::vector<std::uint32_t> word_slots;  // → caller slots
+    bool involved() const { return !local_ids.empty() || !words.empty(); }
+  };
+
+  net::TcpStream* stream(std::size_t shard);  // connect on demand
+  void drop(std::size_t shard);
+  bool send_plan(std::size_t shard, const Plan& plan);
+  /// Reads one reply per sub-request in `plan`; false on any failure.
+  bool read_plan(std::size_t shard, const Plan& plan,
+                 serve::LookupResult* ids_reply,
+                 serve::LookupResult* words_reply);
+  serve::LookupResult execute(const std::vector<Plan>& plans,
+                              std::size_t n_slots,
+                              std::vector<std::uint8_t> flags);
+
+  ClusterConfig config_;
+  std::shared_ptr<ClusterHealth> health_;
+  std::vector<std::optional<net::TcpStream>> streams_;
+  bool last_degraded_ = false;
+  std::vector<std::uint8_t> last_shard_ok_;
+  /// Last observed embedding dim / majority version: the fallback shape
+  /// for batches that reach no shard (all-OOV with the shard-0 probe
+  /// failing, or every involved shard degraded), so replies keep the
+  /// single-process "store dim + live version, rows zeroed and flagged"
+  /// contract instead of collapsing to dim 0.
+  std::size_t hint_dim_ = 0;
+  std::string hint_version_;
+};
+
+}  // namespace anchor::cluster

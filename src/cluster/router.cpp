@@ -1,0 +1,523 @@
+#include "cluster/router.hpp"
+
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+#include "net/client.hpp"
+#include "serve/deployment_gate.hpp"
+#include "util/check.hpp"
+
+namespace anchor::cluster {
+
+namespace {
+
+bool canary_terminal(serve::CanaryState s) {
+  return s == serve::CanaryState::kPromoted ||
+         s == serve::CanaryState::kRolledBack ||
+         s == serve::CanaryState::kAborted ||
+         s == serve::CanaryState::kOfflineRejected;
+}
+
+}  // namespace
+
+Router::Router(RouterConfig config)
+    : config_(std::move(config)),
+      health_(std::make_shared<ClusterHealth>(config_.map.num_shards())),
+      listener_(net::TcpListener::bind_loopback(config_.port)) {
+  // Fail at construction, not at the first connection: an empty map
+  // would otherwise throw from the handler thread's ClusterClient
+  // constructor (outside its try block) and std::terminate the process.
+  ANCHOR_CHECK_MSG(config_.map.num_shards() > 0,
+                   "Router needs a non-empty ShardMap");
+  rollout_.shards.assign(config_.map.num_shards(), {});
+}
+
+Router::~Router() { stop(); }
+
+void Router::run() { accept_loop(); }
+
+void Router::start() {
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Router::stop() {
+  stop_.store(true, std::memory_order_release);
+  rollout_abort_.store(true, std::memory_order_release);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  while (accept_running_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  if (probe_thread_.joinable()) probe_thread_.join();
+  {
+    // The rollout thread is replaced only under rollout_mu_ while not
+    // running, so joining the current handle here races nothing.
+    std::thread rollout;
+    {
+      std::lock_guard<std::mutex> lock(rollout_mu_);
+      rollout.swap(rollout_thread_);
+    }
+    if (rollout.joinable()) rollout.join();
+  }
+  reap_connections(/*all=*/true);
+  listener_.close();
+}
+
+void Router::reap_connections(bool all) {
+  std::vector<std::unique_ptr<Connection>> to_join;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (all) {
+      to_join.swap(connections_);
+    } else {
+      for (std::size_t i = 0; i < connections_.size();) {
+        if (connections_[i]->done.load(std::memory_order_acquire)) {
+          to_join.push_back(std::move(connections_[i]));
+          connections_[i] = std::move(connections_.back());
+          connections_.pop_back();
+        } else {
+          ++i;
+        }
+      }
+    }
+  }
+  for (auto& conn : to_join) conn->thread.join();
+}
+
+void Router::accept_loop() {
+  accept_running_.store(true, std::memory_order_release);
+  if (config_.probe_interval_ms > 0 && !probe_thread_.joinable()) {
+    probe_thread_ = std::thread([this] { probe_loop(); });
+  }
+  while (!stop_.load(std::memory_order_acquire)) {
+    reap_connections(/*all=*/false);
+    net::TcpStream conn = listener_.accept(config_.poll_interval_ms);
+    if (!conn.valid()) continue;
+    auto connection = std::make_unique<Connection>();
+    Connection* raw = connection.get();
+    raw->thread =
+        std::thread([this, raw, stream = std::move(conn)]() mutable {
+          handle_connection(std::move(stream));
+          raw->done.store(true, std::memory_order_release);
+        });
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    connections_.push_back(std::move(connection));
+  }
+  accept_running_.store(false, std::memory_order_release);
+}
+
+void Router::probe_loop() {
+  // First sweep runs immediately so a router started against a dead
+  // backend knows within one probe, not one interval.
+  while (!stop_.load(std::memory_order_acquire)) {
+    for (std::size_t b = 0; b < config_.map.num_shards(); ++b) {
+      if (stop_.load(std::memory_order_acquire)) return;
+      const ShardSpec& spec = config_.map.shard(b);
+      health_->mark(
+          b, ClusterClient::probe(spec.host, spec.port,
+                                  config_.backend_io_timeout_ms));
+    }
+    // Stop-responsive sleep between sweeps.
+    for (int waited = 0;
+         waited < config_.probe_interval_ms &&
+         !stop_.load(std::memory_order_acquire);
+         waited += 10) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+}
+
+void Router::handle_connection(net::TcpStream stream) {
+  stream.set_io_timeout(config_.io_timeout_ms);
+  // One scatter-gather client (one pipeline per backend) per connection:
+  // handlers never share backend streams, so no data-plane locking.
+  ClusterConfig cc_config;
+  cc_config.map = config_.map;
+  cc_config.io_timeout_ms = config_.backend_io_timeout_ms;
+  ClusterClient cc(cc_config, health_);
+  net::MsgType type{};
+  std::vector<std::uint8_t> payload;
+  try {
+    while (!stop_.load(std::memory_order_acquire)) {
+      if (!stream.wait_readable(config_.poll_interval_ms)) continue;
+      if (!net::read_frame(stream, &type, &payload)) break;
+      if (!dispatch(stream, type, payload, cc)) break;
+    }
+  } catch (const net::WireError&) {
+    // Malformed framing from the client: close without a reply, exactly
+    // like the backend server does.
+  } catch (const net::NetError&) {
+  }
+}
+
+bool Router::dispatch(net::TcpStream& stream, net::MsgType type,
+                      const std::vector<std::uint8_t>& payload,
+                      ClusterClient& cc) {
+  net::WireReader reader(payload);
+  net::WireWriter reply;
+  const auto send_error = [&](const std::string& message) {
+    net::WireWriter err;
+    err.str(message);
+    net::write_frame(stream, net::MsgType::kError, err);
+  };
+  switch (type) {
+    case net::MsgType::kLookupIds: {
+      const std::uint32_t n = reader.u32();
+      if (n > reader.remaining() / sizeof(std::uint64_t)) {
+        throw net::WireError("id count exceeds payload");
+      }
+      std::vector<std::size_t> ids(n);
+      for (auto& id : ids) id = static_cast<std::size_t>(reader.u64());
+      reader.expect_done();
+      try {
+        const serve::LookupResult merged = cc.lookup_ids(ids);
+        net::encode_lookup_result(merged, &reply);
+        net::write_frame(stream, net::MsgType::kLookupIdsReply, reply);
+      } catch (const net::NetError&) {
+        throw;  // client-side transport failure mid-reply: close
+      } catch (const std::exception& e) {
+        send_error(e.what());  // e.g. reply would exceed the frame cap
+      }
+      return true;
+    }
+    case net::MsgType::kLookupWords: {
+      const std::uint32_t n = reader.u32();
+      if (n > reader.remaining() / sizeof(std::uint32_t)) {
+        throw net::WireError("word count exceeds payload");
+      }
+      std::vector<std::string> words(n);
+      for (auto& word : words) word = reader.str();
+      reader.expect_done();
+      try {
+        const serve::LookupResult merged = cc.lookup_words(words);
+        net::encode_lookup_result(merged, &reply);
+        net::write_frame(stream, net::MsgType::kLookupWordsReply, reply);
+      } catch (const net::NetError&) {
+        throw;
+      } catch (const std::exception& e) {
+        send_error(e.what());
+      }
+      return true;
+    }
+    case net::MsgType::kStats: {
+      reader.expect_done();
+      const ClusterStatsReport agg = cc.stats();
+      net::encode_server_stats(agg.aggregate, &reply);
+      net::write_frame(stream, net::MsgType::kStatsReply, reply);
+      return true;
+    }
+    case net::MsgType::kPing: {
+      reader.expect_done();
+      net::write_frame(stream, net::MsgType::kPong, reply);
+      return true;
+    }
+    case net::MsgType::kShardMap: {
+      reader.expect_done();
+      reply.str(config_.map.serialize());
+      net::write_frame(stream, net::MsgType::kShardMapReply, reply);
+      return true;
+    }
+    case net::MsgType::kRolloutStart: {
+      const std::string candidate = reader.str();
+      const std::uint8_t mode = reader.u8();
+      const double fraction = reader.f64();
+      const double shadow_rate = reader.f64();
+      reader.expect_done();
+      const std::string error =
+          start_rollout(candidate, mode, fraction, shadow_rate);
+      if (!error.empty()) {
+        send_error(error);
+        return true;
+      }
+      net::encode_rollout_status(rollout_status(), &reply);
+      net::write_frame(stream, net::MsgType::kRolloutStartReply, reply);
+      return true;
+    }
+    case net::MsgType::kRolloutStatus: {
+      reader.expect_done();
+      net::encode_rollout_status(rollout_status(), &reply);
+      net::write_frame(stream, net::MsgType::kRolloutStatusReply, reply);
+      return true;
+    }
+    case net::MsgType::kRolloutAbort: {
+      // Drain byte optional, mirroring kCanaryAbort. The abort itself is
+      // observed by the rollout thread between shards / canary polls; the
+      // reply reports the state at this instant (poll for terminal).
+      const bool drain = reader.remaining() > 0 && reader.u8() != 0;
+      reader.expect_done();
+      (void)drain;  // the rollout thread always drains in-flight canaries
+      rollout_abort_.store(true, std::memory_order_release);
+      net::encode_rollout_status(rollout_status(), &reply);
+      net::write_frame(stream, net::MsgType::kRolloutAbortReply, reply);
+      return true;
+    }
+    case net::MsgType::kTryPromote: {
+      reader.str();
+      if (reader.remaining() > 0) reader.u8();  // optional force byte
+      reader.expect_done();
+      send_error(
+          "anchor_router does not serve single-shard promotes; use "
+          "ROLLOUT_START for a coordinated shard-by-shard rollout");
+      return true;
+    }
+    case net::MsgType::kCanaryStart:
+    case net::MsgType::kCanaryStatus:
+    case net::MsgType::kCanaryAbort: {
+      send_error(
+          "canaries run per-shard behind the router; start one through "
+          "ROLLOUT_START mode 1 (canary), or address a backend directly");
+      return true;
+    }
+    case net::MsgType::kShutdown: {
+      reader.expect_done();
+      if (config_.forward_shutdown) cc.shutdown_backends();
+      shutdown_requested_.store(true, std::memory_order_release);
+      stop_.store(true, std::memory_order_release);
+      net::write_frame(stream, net::MsgType::kShutdownReply, reply);
+      return false;
+    }
+    default: {
+      send_error("unknown request type " +
+                 std::to_string(static_cast<int>(type)));
+      return true;
+    }
+  }
+}
+
+// ---- rollout -----------------------------------------------------------
+
+net::RolloutStatusReport Router::rollout_status() const {
+  std::lock_guard<std::mutex> lock(rollout_mu_);
+  return rollout_;
+}
+
+void Router::set_shard_state(std::size_t shard, net::ShardRolloutState state,
+                             const std::string& detail) {
+  std::lock_guard<std::mutex> lock(rollout_mu_);
+  rollout_.shards[shard].state = state;
+  rollout_.shards[shard].detail = detail;
+}
+
+void Router::finish_rollout(net::RolloutState terminal,
+                            const std::string& candidate,
+                            const std::string& reason) {
+  {
+    std::lock_guard<std::mutex> lock(rollout_mu_);
+    rollout_.state = terminal;
+    rollout_.reason = reason;
+  }
+  if (!config_.audit_log.empty()) {
+    serve::GateReport row;
+    row.new_version = candidate;
+    row.decision = terminal == net::RolloutState::kCompleted
+                       ? serve::GateDecision::kAdmit
+                       : serve::GateDecision::kReject;
+    row.promoted = terminal == net::RolloutState::kCompleted;
+    row.reason = "rollout " + net::rollout_state_name(terminal) + ": " + reason;
+    serve::append_audit_csv(config_.audit_log, row);
+  }
+}
+
+void Router::audit_shard(std::size_t shard, const std::string& candidate,
+                         bool promoted, const std::string& detail) {
+  if (config_.audit_log.empty()) return;
+  serve::GateReport row;
+  row.new_version = candidate;
+  row.decision =
+      promoted ? serve::GateDecision::kAdmit : serve::GateDecision::kReject;
+  row.promoted = promoted;
+  std::ostringstream os;
+  os << "rollout shard " << (shard + 1) << "/" << config_.map.num_shards()
+     << " (" << config_.map.shard(shard).address() << "): " << detail;
+  row.reason = os.str();
+  serve::append_audit_csv(config_.audit_log, row);
+}
+
+std::string Router::start_rollout(const std::string& candidate,
+                                  std::uint8_t mode, double fraction,
+                                  double shadow_rate) {
+  if (candidate.empty()) return "empty candidate version";
+  if (mode > 1) {
+    return "unknown rollout mode " + std::to_string(mode) +
+           " (0 = gated, 1 = canary)";
+  }
+  std::thread previous;
+  {
+    std::lock_guard<std::mutex> lock(rollout_mu_);
+    if (rollout_.state == net::RolloutState::kRunning) {
+      return "a rollout is already running (candidate '" +
+             rollout_.candidate + "'); abort it first";
+    }
+    previous.swap(rollout_thread_);  // terminal predecessor, join below
+    rollout_ = net::RolloutStatusReport{};
+    rollout_.state = net::RolloutState::kRunning;
+    rollout_.candidate = candidate;
+    rollout_.mode = mode;
+    rollout_.map_version = config_.map.version();
+    rollout_.shards.assign(config_.map.num_shards(), {});
+    rollout_abort_.store(false, std::memory_order_release);
+    rollout_thread_ = std::thread([this, candidate, mode, fraction,
+                                   shadow_rate] {
+      rollout_body(candidate, mode, fraction, shadow_rate);
+    });
+  }
+  if (previous.joinable()) previous.join();
+  return "";
+}
+
+void Router::rollout_body(std::string candidate, std::uint8_t mode,
+                          double fraction, double shadow_rate) {
+  const std::size_t n = config_.map.num_shards();
+  // Incumbent displaced per promoted shard — what a rollback restores.
+  std::vector<std::string> old_versions(n);
+  std::vector<std::uint8_t> promoted(n, 0);
+
+  const auto rollback_all = [&] {
+    // Reverse order: the most recently flipped shard reverts first, so a
+    // concurrent observer sees the promoted prefix only ever shrink.
+    for (std::size_t j = n; j-- > 0;) {
+      if (!promoted[j]) continue;
+      const ShardSpec& spec = config_.map.shard(j);
+      std::string detail;
+      try {
+        // Forced: the incumbent being restored was serving traffic
+        // moments ago, and a near-threshold gate re-run in the reverse
+        // direction must not be able to refuse the restore and strand
+        // this shard on the rolled-back candidate.
+        net::Client client(spec.host, spec.port);
+        const serve::GateReport rep =
+            client.try_promote(old_versions[j], /*force=*/true);
+        detail = rep.promoted
+                     ? "rolled back to '" + old_versions[j] + "'"
+                     : "rollback refused: " + rep.reason;
+        set_shard_state(j,
+                        rep.promoted ? net::ShardRolloutState::kRolledBack
+                                     : net::ShardRolloutState::kFailed,
+                        detail);
+      } catch (const std::exception& e) {
+        detail = std::string("rollback failed: ") + e.what();
+        set_shard_state(j, net::ShardRolloutState::kFailed, detail);
+      }
+      audit_shard(j, candidate, /*promoted=*/false, detail);
+    }
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (stop_.load(std::memory_order_acquire) ||
+        rollout_abort_.load(std::memory_order_acquire)) {
+      rollback_all();
+      finish_rollout(net::RolloutState::kAborted, candidate,
+                     "rollout aborted by operator before shard " +
+                         std::to_string(i + 1));
+      return;
+    }
+    set_shard_state(i, net::ShardRolloutState::kInProgress,
+                    mode == 0 ? "gated promote" : "canary");
+    std::string detail;
+    if (rollout_shard(i, candidate, mode, fraction, shadow_rate,
+                      &old_versions[i], &detail)) {
+      promoted[i] = 1;
+      set_shard_state(i, net::ShardRolloutState::kPromoted, detail);
+      audit_shard(i, candidate, /*promoted=*/true, detail);
+      continue;
+    }
+    // Shard i said no (or died): stop here, restore the promoted prefix.
+    set_shard_state(i, net::ShardRolloutState::kFailed, detail);
+    audit_shard(i, candidate, /*promoted=*/false, detail);
+    promoted[i] = 0;
+    rollback_all();
+    const bool aborted = rollout_abort_.load(std::memory_order_acquire);
+    finish_rollout(aborted ? net::RolloutState::kAborted
+                           : net::RolloutState::kRolledBack,
+                   candidate,
+                   "shard " + std::to_string(i + 1) + "/" +
+                       std::to_string(n) + " (" +
+                       config_.map.shard(i).address() + ") " +
+                       (aborted ? "aborted" : "refused") + ": " + detail);
+    return;
+  }
+  finish_rollout(net::RolloutState::kCompleted, candidate,
+                 "candidate '" + candidate + "' live on all " +
+                     std::to_string(n) + " shards");
+}
+
+bool Router::rollout_shard(std::size_t shard, const std::string& candidate,
+                           std::uint8_t mode, double fraction,
+                           double shadow_rate, std::string* old_version,
+                           std::string* detail) {
+  const ShardSpec& spec = config_.map.shard(shard);
+  // Best-effort kill switch for the failure paths below: a canary left
+  // RUNNING on a shard the rollout has given up on would keep measuring
+  // and could later promote the candidate BY ITSELF — one shard quietly
+  // converging on the version the rollout rolled back everywhere else.
+  // A fresh connection (the original one may be the thing that broke).
+  // Only fires for a canary THIS rollout started (never an operator's
+  // pre-existing one, whose "already running" error lands in the catch
+  // below with canary_started still false).
+  bool canary_started = false;
+  const auto abort_shard_canary = [&] {
+    if (!canary_started) return;
+    try {
+      net::Client(spec.host, spec.port).canary_abort(/*drain=*/true);
+    } catch (const std::exception&) {
+      // Unreachable shard: nothing to abort from here; the canary dies
+      // with the backend or decides on its own — surfaced via detail.
+    }
+  };
+  try {
+    net::Client client(spec.host, spec.port);
+    if (mode == 0) {
+      const serve::GateReport rep = client.try_promote(candidate);
+      *detail = rep.reason;
+      if (!rep.promoted) return false;
+      *old_version = rep.old_version;
+      return true;
+    }
+    // Canary mode: start it, then poll this shard to its own terminal
+    // decision — the per-shard Hoeffding machinery is exactly the single-
+    // node canary, the router only sequences it.
+    net::CanaryStatusReport st =
+        client.canary_start(candidate, fraction, shadow_rate);
+    canary_started = st.state == serve::CanaryState::kRunning;
+    while (!canary_terminal(st.state) &&
+           st.state != serve::CanaryState::kNone) {
+      if (stop_.load(std::memory_order_acquire) ||
+          rollout_abort_.load(std::memory_order_acquire)) {
+        st = client.canary_abort(/*drain=*/true);
+        *detail = "canary aborted by rollout abort; " + st.online.summary();
+        return false;
+      }
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(config_.rollout_poll_ms));
+      st = client.canary_status();
+    }
+    *detail =
+        st.reason.empty() ? serve::canary_state_name(st.state) : st.reason;
+    if (st.state == serve::CanaryState::kPromoted) {
+      *old_version = st.incumbent;
+      return true;
+    }
+    if (st.state == serve::CanaryState::kNone && st.offline.promoted) {
+      // No incumbent on this shard: promoted outright without a canary.
+      *old_version = st.offline.old_version;
+      return true;
+    }
+    return false;
+  } catch (const net::NetError& e) {
+    *detail = e.what();
+    // One fresh-connection abort attempt before declaring the shard
+    // down: a single dropped reply must not orphan a running canary that
+    // could later promote the rolled-back candidate on this shard alone.
+    abort_shard_canary();
+    health_->mark(shard, false);  // unreachable control plane = down shard
+    return false;
+  } catch (const std::exception& e) {
+    // RpcError / WireError: the shard answered (it is alive), it just
+    // refused or mangled the control-plane exchange.
+    *detail = e.what();
+    abort_shard_canary();
+    return false;
+  }
+}
+
+}  // namespace anchor::cluster

@@ -1,0 +1,141 @@
+// Stateless shard-routing front-end: one TCP server speaking the standard
+// wire protocol to unmodified net::Clients, fanned out over N
+// anchor_served backends by a ShardMap.
+//
+// Data plane: every connection handler owns its own ClusterClient (one
+// persistent pipeline per backend), so concurrent client connections
+// scatter-gather independently; all handlers share one ClusterHealth that
+// a background probe loop keeps current (ping per shard per interval), so
+// a dead backend degrades requests for at most one exchange before
+// everyone routes around it, and a revived one is folded back in within a
+// probe interval.
+//
+// Control plane — coordinated rollout: ROLLOUT_START walks the shards IN
+// ORDER, promoting the candidate on shard i+1 only after shard i's
+// decision landed (offline gated promote, or a full per-shard canary the
+// router polls to its terminal state). On the first failing shard the
+// rollout stops and rolls the already-promoted shards BACK to their
+// incumbents, so the cluster never converges on a bad refresh and never
+// serves a mixed-version majority longer than one in-flight shard
+// decision. ROLLOUT_STATUS reports the per-shard state machine;
+// ROLLOUT_ABORT stops between shards (draining an in-flight canary) and
+// rolls back. Every per-shard outcome appends to the router's own audit
+// CSV (same format as the gate's).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster_client.hpp"
+#include "cluster/shard_map.hpp"
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+
+namespace anchor::cluster {
+
+struct RouterConfig {
+  /// 0 = ephemeral; read the bound port back with Router::port().
+  std::uint16_t port = 0;
+  ShardMap map;
+  /// Accept/handler poll granularity (bounds stop() latency).
+  int poll_interval_ms = 100;
+  /// Client-facing per-recv/send stall bound (same role as ServerConfig's).
+  int io_timeout_ms = 2000;
+  /// Backend-facing stall bound: how long a lookup waits on a hung shard
+  /// before its rows degrade.
+  int backend_io_timeout_ms = 2000;
+  /// Health-probe cadence; 0 disables the probe loop (tests drive health
+  /// by hand).
+  int probe_interval_ms = 500;
+  /// Poll cadence for a per-shard canary during a rollout.
+  int rollout_poll_ms = 50;
+  /// Forward a client kShutdown to every backend before stopping — lets
+  /// one RPC tear down a whole demo/CI cluster.
+  bool forward_shutdown = false;
+  /// Per-shard rollout outcomes append here (append_audit_csv format).
+  std::filesystem::path audit_log;
+};
+
+class Router {
+ public:
+  explicit Router(RouterConfig config);
+  ~Router();
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  std::uint16_t port() const { return listener_.port(); }
+
+  void run();    // serve on the calling thread until stop()
+  void start();  // serve on a background thread
+  void stop();   // idempotent; joins every thread
+
+  bool shutdown_requested() const {
+    return shutdown_requested_.load(std::memory_order_acquire);
+  }
+
+  const ShardMap& map() const { return config_.map; }
+  const ClusterHealth& health() const { return *health_; }
+  net::RolloutStatusReport rollout_status() const;
+
+ private:
+  void accept_loop();
+  void probe_loop();
+  void handle_connection(net::TcpStream stream);
+  bool dispatch(net::TcpStream& stream, net::MsgType type,
+                const std::vector<std::uint8_t>& payload, ClusterClient& cc);
+
+  /// Starts the rollout thread; returns a non-empty error when one is
+  /// already running or the request is malformed.
+  std::string start_rollout(const std::string& candidate, std::uint8_t mode,
+                            double fraction, double shadow_rate);
+  void rollout_body(std::string candidate, std::uint8_t mode, double fraction,
+                    double shadow_rate);
+  /// Gated or canaried promote of `candidate` on one shard; fills
+  /// *old_version with the incumbent it displaced on success.
+  bool rollout_shard(std::size_t shard, const std::string& candidate,
+                     std::uint8_t mode, double fraction, double shadow_rate,
+                     std::string* old_version, std::string* detail);
+  void set_shard_state(std::size_t shard, net::ShardRolloutState state,
+                       const std::string& detail);
+  /// `candidate` is passed through (not re-read from rollout_) so the
+  /// terminal audit row can never pick up a successor rollout's
+  /// candidate if ROLLOUT_START lands between the state write and the
+  /// audit append.
+  void finish_rollout(net::RolloutState terminal, const std::string& candidate,
+                      const std::string& reason);
+  void audit_shard(std::size_t shard, const std::string& candidate,
+                   bool promoted, const std::string& detail);
+
+  RouterConfig config_;
+  std::shared_ptr<ClusterHealth> health_;
+  net::TcpListener listener_;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> shutdown_requested_{false};
+  std::atomic<bool> accept_running_{false};
+  std::thread accept_thread_;
+  std::thread probe_thread_;
+
+  struct Connection {
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+  void reap_connections(bool all);
+  std::mutex conn_mu_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+
+  /// Rollout state machine, mutex-guarded (control-plane-rare). The
+  /// report is the single source of truth ROLLOUT_STATUS serializes.
+  mutable std::mutex rollout_mu_;
+  net::RolloutStatusReport rollout_;
+  std::atomic<bool> rollout_abort_{false};
+  std::thread rollout_thread_;
+};
+
+}  // namespace anchor::cluster

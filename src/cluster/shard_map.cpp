@@ -1,0 +1,136 @@
+#include "cluster/shard_map.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/check.hpp"
+#include "util/io.hpp"
+
+namespace anchor::cluster {
+
+ShardMap::ShardMap(std::uint64_t version, std::vector<ShardSpec> shards)
+    : version_(version), shards_(std::move(shards)) {
+  ANCHOR_CHECK_MSG(!shards_.empty(), "ShardMap needs at least one shard");
+  std::uint64_t expect_begin = 0;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const ShardSpec& s = shards_[i];
+    ANCHOR_CHECK_MSG(!s.host.empty(), "shard " << i << " has an empty host");
+    ANCHOR_CHECK_MSG(s.port != 0, "shard " << i << " has port 0");
+    ANCHOR_CHECK_MSG(s.row_begin == expect_begin,
+                     "shard " << i << " row range must start at "
+                              << expect_begin << " (contiguous coverage), got "
+                              << s.row_begin);
+    ANCHOR_CHECK_MSG(s.row_end > s.row_begin,
+                     "shard " << i << " owns an empty row range");
+    expect_begin = s.row_end;
+  }
+}
+
+std::string ShardMap::serialize() const {
+  std::ostringstream os;
+  os << "v" << version_;
+  for (const ShardSpec& s : shards_) {
+    os << "," << s.host << ":" << s.port << ":" << s.row_begin << ":"
+       << s.row_end;
+  }
+  return os.str();
+}
+
+namespace {
+
+std::uint64_t parse_u64(const std::string& token, const std::string& what) {
+  if (token.empty() ||
+      token.find_first_not_of("0123456789") != std::string::npos) {
+    throw std::runtime_error("ShardMap: bad " + what + " '" + token + "'");
+  }
+  try {
+    return std::stoull(token);
+  } catch (const std::exception&) {
+    throw std::runtime_error("ShardMap: " + what + " overflows: '" + token +
+                             "'");
+  }
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  while (begin <= s.size()) {
+    std::size_t end = s.find(sep, begin);
+    if (end == std::string::npos) end = s.size();
+    out.push_back(s.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+ShardMap ShardMap::parse(const std::string& text) {
+  const std::vector<std::string> parts = split(text, ',');
+  if (parts.empty() || parts[0].size() < 2 || parts[0][0] != 'v') {
+    throw std::runtime_error(
+        "ShardMap: expected leading version token 'v<N>', got '" +
+        (parts.empty() ? std::string() : parts[0]) + "'");
+  }
+  const std::uint64_t version = parse_u64(parts[0].substr(1), "map version");
+  std::vector<ShardSpec> shards;
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    const std::vector<std::string> f = split(parts[i], ':');
+    if (f.size() != 4) {
+      throw std::runtime_error(
+          "ShardMap: shard entry must be host:port:row_begin:row_end, got '" +
+          parts[i] + "'");
+    }
+    ShardSpec spec;
+    spec.host = f[0];
+    const std::uint64_t port = parse_u64(f[1], "port");
+    if (port == 0 || port > 65535) {
+      throw std::runtime_error("ShardMap: port out of range in '" + parts[i] +
+                               "'");
+    }
+    spec.port = static_cast<std::uint16_t>(port);
+    spec.row_begin = parse_u64(f[2], "row_begin");
+    spec.row_end = parse_u64(f[3], "row_end");
+    shards.push_back(std::move(spec));
+  }
+  try {
+    return ShardMap(version, std::move(shards));
+  } catch (const CheckError& e) {
+    throw std::runtime_error(std::string("ShardMap: ") + e.what());
+  }
+}
+
+std::size_t ShardMap::shard_of_id(std::uint64_t id) const {
+  ANCHOR_CHECK_LT(id, total_rows());
+  // Ranges are contiguous and sorted: first shard whose row_end exceeds id.
+  const auto it = std::upper_bound(
+      shards_.begin(), shards_.end(), id,
+      [](std::uint64_t v, const ShardSpec& s) { return v < s.row_end; });
+  return static_cast<std::size_t>(it - shards_.begin());
+}
+
+std::uint64_t ShardMap::local_id(std::uint64_t id) const {
+  return id - shards_[shard_of_id(id)].row_begin;
+}
+
+std::size_t ShardMap::shard_of_word(const std::string& word) const {
+  return static_cast<std::size_t>(anchor::fnv1a(word) % shards_.size());
+}
+
+bool ShardMap::operator==(const ShardMap& other) const {
+  if (version_ != other.version_ || shards_.size() != other.shards_.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const ShardSpec& a = shards_[i];
+    const ShardSpec& b = other.shards_[i];
+    if (a.host != b.host || a.port != b.port || a.row_begin != b.row_begin ||
+        a.row_end != b.row_end) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace anchor::cluster

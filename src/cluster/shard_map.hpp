@@ -1,0 +1,73 @@
+// Vocabulary partitioning for distributed serving — who owns which rows.
+//
+// A ShardMap describes how one logical embedding vocabulary is split
+// across N `anchor_served` backends: shard i owns the contiguous global
+// row range [row_begin_i, row_end_i) (ranges cover [0, total_rows) with
+// no gaps), and out-of-vocabulary *word* traffic — strings that do not
+// resolve to a global row — is assigned a deterministic home shard by
+// FNV-1a hash, so OOV synthesis for a given word always happens on the
+// same backend (stable vectors, warm subword caches).
+//
+// The map is a pure value: routing is a function of (map, key) only, so
+// a router restart, a second router instance, or an offline audit script
+// all route identically. It serializes to a one-line text form
+//   v<version>,host:port:row_begin:row_end,...
+// used for --backends flags, config files, and the SHARD_MAP RPC;
+// `version` is a monotonically bumped id so rollout tooling can detect a
+// topology change mid-flight.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace anchor::cluster {
+
+/// One backend and the global row range it owns.
+struct ShardSpec {
+  std::string host;
+  std::uint16_t port = 0;
+  std::uint64_t row_begin = 0;
+  std::uint64_t row_end = 0;  // exclusive
+
+  std::uint64_t rows() const { return row_end - row_begin; }
+  std::string address() const { return host + ":" + std::to_string(port); }
+};
+
+class ShardMap {
+ public:
+  ShardMap() = default;
+  /// Validates: at least one shard, first range starts at 0, ranges are
+  /// contiguous and non-empty, ports are non-zero. Throws CheckError.
+  ShardMap(std::uint64_t version, std::vector<ShardSpec> shards);
+
+  /// Parses the serialize() text form; throws std::runtime_error with a
+  /// position-specific message on malformed input.
+  static ShardMap parse(const std::string& text);
+  std::string serialize() const;
+
+  std::uint64_t version() const { return version_; }
+  std::size_t num_shards() const { return shards_.size(); }
+  std::uint64_t total_rows() const {
+    return shards_.empty() ? 0 : shards_.back().row_end;
+  }
+  const ShardSpec& shard(std::size_t i) const { return shards_[i]; }
+  const std::vector<ShardSpec>& shards() const { return shards_; }
+
+  /// Shard owning global row `id`. Requires id < total_rows().
+  std::size_t shard_of_id(std::uint64_t id) const;
+  /// Global row → that shard's local row id (what goes on the wire).
+  std::uint64_t local_id(std::uint64_t id) const;
+  /// Home shard for a word that does not resolve to a global row:
+  /// fnv1a(word) % num_shards — same FNV-1a 64 the canary router hashes
+  /// words with, so any protocol implementation can restate it.
+  std::size_t shard_of_word(const std::string& word) const;
+
+  bool operator==(const ShardMap& other) const;
+
+ private:
+  std::uint64_t version_ = 0;
+  std::vector<ShardSpec> shards_;
+};
+
+}  // namespace anchor::cluster

@@ -58,9 +58,11 @@ serve::LookupResult Client::lookup_word(const std::string& word) {
   return lookup_words({word});
 }
 
-serve::GateReport Client::try_promote(const std::string& candidate) {
+serve::GateReport Client::try_promote(const std::string& candidate,
+                                      bool force) {
   WireWriter body;
   body.str(candidate);
+  body.u8(force ? 1 : 0);
   const auto payload =
       roundtrip(MsgType::kTryPromote, body, MsgType::kTryPromoteReply);
   WireReader reader(payload);
@@ -93,13 +95,60 @@ CanaryStatusReport Client::canary_status() {
   return report;
 }
 
-CanaryStatusReport Client::canary_abort() {
-  const auto payload = roundtrip(MsgType::kCanaryAbort, WireWriter(),
-                                 MsgType::kCanaryAbortReply);
+CanaryStatusReport Client::canary_abort(bool drain) {
+  WireWriter body;
+  body.u8(drain ? 1 : 0);
+  const auto payload =
+      roundtrip(MsgType::kCanaryAbort, body, MsgType::kCanaryAbortReply);
   WireReader reader(payload);
   CanaryStatusReport report = decode_canary_status(&reader);
   reader.expect_done();
   return report;
+}
+
+RolloutStatusReport Client::rollout_start(const std::string& candidate,
+                                          std::uint8_t mode, double fraction,
+                                          double shadow_rate) {
+  WireWriter body;
+  body.str(candidate);
+  body.u8(mode);
+  body.f64(fraction);
+  body.f64(shadow_rate);
+  const auto payload =
+      roundtrip(MsgType::kRolloutStart, body, MsgType::kRolloutStartReply);
+  WireReader reader(payload);
+  RolloutStatusReport report = decode_rollout_status(&reader);
+  reader.expect_done();
+  return report;
+}
+
+RolloutStatusReport Client::rollout_status() {
+  const auto payload = roundtrip(MsgType::kRolloutStatus, WireWriter(),
+                                 MsgType::kRolloutStatusReply);
+  WireReader reader(payload);
+  RolloutStatusReport report = decode_rollout_status(&reader);
+  reader.expect_done();
+  return report;
+}
+
+RolloutStatusReport Client::rollout_abort(bool drain) {
+  WireWriter body;
+  body.u8(drain ? 1 : 0);
+  const auto payload =
+      roundtrip(MsgType::kRolloutAbort, body, MsgType::kRolloutAbortReply);
+  WireReader reader(payload);
+  RolloutStatusReport report = decode_rollout_status(&reader);
+  reader.expect_done();
+  return report;
+}
+
+std::string Client::shard_map() {
+  const auto payload =
+      roundtrip(MsgType::kShardMap, WireWriter(), MsgType::kShardMapReply);
+  WireReader reader(payload);
+  std::string map = reader.str();
+  reader.expect_done();
+  return map;
 }
 
 ServerStatsReport Client::stats() {

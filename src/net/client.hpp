@@ -38,8 +38,12 @@ class Client {
   serve::LookupResult lookup_word(const std::string& word);
 
   /// Gates + promotes `candidate` on the server. Throws RpcError when the
-  /// version is unknown there.
-  serve::GateReport try_promote(const std::string& candidate);
+  /// version is unknown there. `force` bypasses the instability gate and
+  /// flips live directly (still audited, still refused while a canary
+  /// runs) — the escape hatch a rollback needs when the near-threshold
+  /// gate would refuse the reverse direction; not for routine promotes.
+  serve::GateReport try_promote(const std::string& candidate,
+                                bool force = false);
 
   /// Starts a two-phase canaried promotion of `candidate` on the server:
   /// offline gate first, then online shadow-traffic agreement (the server
@@ -52,8 +56,28 @@ class Client {
   /// State + online measurements of the current (or last) canary.
   CanaryStatusReport canary_status();
   /// Aborts a running canary (incumbent stays live); returns the
-  /// resulting status. No-op when none is running.
-  CanaryStatusReport canary_abort();
+  /// resulting status. No-op when none is running. With `drain` the
+  /// server finishes scoring in-flight shadows first, so the returned
+  /// status is the final measured word on the candidate.
+  CanaryStatusReport canary_abort(bool drain = false);
+
+  /// Cluster-router RPCs (anchor_router answers these; a plain backend
+  /// replies with an Error frame). rollout_start kicks off a shard-by-
+  /// shard promotion of `candidate`: mode 0 = offline gated promote per
+  /// shard, mode 1 = per-shard canary (fraction / shadow_rate ≤ 0 use the
+  /// backend's configured defaults). The reply is the rollout's state at
+  /// that instant; poll rollout_status() until report.terminal().
+  RolloutStatusReport rollout_start(const std::string& candidate,
+                                    std::uint8_t mode = 0,
+                                    double fraction = 0.0,
+                                    double shadow_rate = 0.0);
+  RolloutStatusReport rollout_status();
+  /// Stops a running rollout between shards (draining an in-flight
+  /// canary) and rolls already-promoted shards back.
+  RolloutStatusReport rollout_abort(bool drain = true);
+  /// The router's ShardMap in its serialized text form
+  /// (cluster::ShardMap::parse round-trips it).
+  std::string shard_map();
 
   ServerStatsReport stats();
   void ping();

@@ -206,6 +206,11 @@ bool Server::dispatch(TcpStream& stream, MsgType type,
     }
     case MsgType::kTryPromote: {
       const std::string candidate = reader.str();
+      // Optional byte (older clients omit it): bypass the gate and flip
+      // live directly — the rollout rollback path, where re-running a
+      // near-threshold gate in the reverse direction could refuse to
+      // restore the incumbent and strand a mixed-version cluster.
+      const bool force = reader.remaining() > 0 && reader.u8() != 0;
       reader.expect_done();
       try {
         // Promotions are serialized: concurrent handlers would interleave
@@ -216,15 +221,40 @@ bool Server::dispatch(TcpStream& stream, MsgType type,
           // An offline promote under a running canary would flip the
           // incumbent out from under the router mid-measurement (and the
           // canary's own decision could later silently override it).
+          // state()==kRunning, not active(): a DRAINING canary has
+          // active()==false but is still measuring and about to write
+          // its own terminal decision — flipping under it is just as
+          // wrong.
           std::lock_guard<std::mutex> clock(canary_mu_);
-          if (canary_ && canary_->active()) {
+          if (canary_ &&
+              canary_->state() == serve::CanaryState::kRunning) {
             throw std::runtime_error(
                 "a canary is running (candidate '" +
                 canary_->candidate_version() +
                 "'); abort it before an offline promote");
           }
         }
-        const serve::GateReport report = gate_.try_promote(store_, candidate);
+        serve::GateReport report;
+        if (force) {
+          const serve::SnapshotPtr snap = store_.snapshot(candidate);
+          if (snap == nullptr) {
+            throw std::runtime_error("unknown candidate version '" +
+                                     candidate + "'");
+          }
+          report.old_version = store_.live_version();
+          report.new_version = candidate;
+          report.decision = serve::GateDecision::kAdmit;
+          report.promoted = store_.set_live_snapshot(snap);
+          report.reason = report.promoted
+                              ? "forced promote (gate bypassed)"
+                              : "forced promote aborted: candidate was "
+                                "re-registered during the request";
+          if (!config_.gate.audit_log.empty()) {
+            serve::append_audit_csv(config_.gate.audit_log, report);
+          }
+        } else {
+          report = gate_.try_promote(store_, candidate);
+        }
         encode_gate_report(report, &reply);
         write_frame(stream, MsgType::kTryPromoteReply, reply);
       } catch (const NetError&) {
@@ -259,8 +289,12 @@ bool Server::dispatch(TcpStream& stream, MsgType type,
       try {
         std::lock_guard<std::mutex> lock(promote_mu_);
         {
+          // Same state()==kRunning rationale as kTryPromote: a draining
+          // canary still owns the decision slot until it writes its
+          // terminal state.
           std::lock_guard<std::mutex> clock(canary_mu_);
-          if (canary_ && canary_->active()) {
+          if (canary_ &&
+              canary_->state() == serve::CanaryState::kRunning) {
             throw std::runtime_error(
                 "a canary is already running (candidate '" +
                 canary_->candidate_version() + "'); abort it first");
@@ -315,14 +349,23 @@ bool Server::dispatch(TcpStream& stream, MsgType type,
       return true;
     }
     case MsgType::kCanaryAbort: {
+      // The drain byte is optional: an empty payload (older client) means
+      // a plain immediate abort.
+      const bool drain = reader.remaining() > 0 && reader.u8() != 0;
       reader.expect_done();
       {
-        std::lock_guard<std::mutex> lock(promote_mu_);
+        // Deliberately NOT under promote_mu_: a drained abort can wait
+        // up to the drain timeout on in-flight lookups, and holding the
+        // promote lock that long would stall every other control-plane
+        // RPC. Safe without it: abort() decides at most once under its
+        // own mutex, and the kRunning guards above keep promotes out
+        // until the canary (draining included) reaches a terminal
+        // state.
         const auto canary = [this] {
           std::lock_guard<std::mutex> clock(canary_mu_);
           return canary_;
         }();
-        if (canary) canary->abort();  // no-op unless running
+        if (canary) canary->abort(drain);  // no-op unless running
       }
       encode_canary_status(canary_status_report(), &reply);
       write_frame(stream, MsgType::kCanaryAbortReply, reply);

@@ -175,6 +175,11 @@ void encode_canary_stats(const serve::CanaryStatsSnapshot& s, WireWriter* w) {
   w->f64(s.mean_latency_delta_us);
   w->f64(s.p50_agreement);
   w->f64(s.p50_displacement);
+  w->u32(static_cast<std::uint32_t>(s.worst_keys.size()));
+  for (const serve::CanaryWorstKey& k : s.worst_keys) {
+    w->u64(k.key);
+    w->f64(k.displacement);
+  }
 }
 
 serve::CanaryStatsSnapshot decode_canary_stats(WireReader* r) {
@@ -189,6 +194,17 @@ serve::CanaryStatsSnapshot decode_canary_stats(WireReader* r) {
   s.mean_latency_delta_us = r->f64();
   s.p50_agreement = r->f64();
   s.p50_displacement = r->f64();
+  const std::uint32_t n_worst = r->u32();
+  // Each entry is 16 payload bytes; a count the payload cannot hold is
+  // malformed (same overrun discipline as decode_lookup_result).
+  if (n_worst > r->remaining() / 16) {
+    throw WireError("worst-key count exceeds payload");
+  }
+  s.worst_keys.resize(n_worst);
+  for (serve::CanaryWorstKey& k : s.worst_keys) {
+    k.key = r->u64();
+    k.displacement = r->f64();
+  }
   return s;
 }
 
@@ -216,6 +232,83 @@ CanaryStatusReport decode_canary_status(WireReader* r) {
   s.shadow_rate = r->f64();
   s.offline = decode_gate_report(r);
   s.online = decode_canary_stats(r);
+  s.reason = r->str();
+  return s;
+}
+
+// ---- cluster rollout ----------------------------------------------------
+
+std::string rollout_state_name(RolloutState s) {
+  switch (s) {
+    case RolloutState::kIdle:
+      return "idle";
+    case RolloutState::kRunning:
+      return "running";
+    case RolloutState::kCompleted:
+      return "completed";
+    case RolloutState::kRolledBack:
+      return "rolled-back";
+    case RolloutState::kAborted:
+      return "aborted";
+  }
+  ANCHOR_CHECK_MSG(false, "unknown RolloutState");
+  return "";
+}
+
+std::string shard_rollout_state_name(ShardRolloutState s) {
+  switch (s) {
+    case ShardRolloutState::kPending:
+      return "pending";
+    case ShardRolloutState::kInProgress:
+      return "in-progress";
+    case ShardRolloutState::kPromoted:
+      return "promoted";
+    case ShardRolloutState::kFailed:
+      return "failed";
+    case ShardRolloutState::kRolledBack:
+      return "rolled-back";
+  }
+  ANCHOR_CHECK_MSG(false, "unknown ShardRolloutState");
+  return "";
+}
+
+void encode_rollout_status(const RolloutStatusReport& s, WireWriter* w) {
+  w->u8(static_cast<std::uint8_t>(s.state));
+  w->str(s.candidate);
+  w->u8(s.mode);
+  w->u64(s.map_version);
+  w->u32(static_cast<std::uint32_t>(s.shards.size()));
+  for (const ShardRolloutStatus& shard : s.shards) {
+    w->u8(static_cast<std::uint8_t>(shard.state));
+    w->str(shard.detail);
+  }
+  w->str(s.reason);
+}
+
+RolloutStatusReport decode_rollout_status(WireReader* r) {
+  RolloutStatusReport s;
+  const std::uint8_t state = r->u8();
+  if (state > static_cast<std::uint8_t>(RolloutState::kAborted)) {
+    throw WireError("bad rollout state code");
+  }
+  s.state = static_cast<RolloutState>(state);
+  s.candidate = r->str();
+  s.mode = r->u8();
+  s.map_version = r->u64();
+  const std::uint32_t n = r->u32();
+  // Every shard entry carries at least its state byte + detail length.
+  if (n > r->remaining() / 5) {
+    throw WireError("shard count exceeds payload");
+  }
+  s.shards.resize(n);
+  for (ShardRolloutStatus& shard : s.shards) {
+    const std::uint8_t ss = r->u8();
+    if (ss > static_cast<std::uint8_t>(ShardRolloutState::kRolledBack)) {
+      throw WireError("bad shard rollout state code");
+    }
+    shard.state = static_cast<ShardRolloutState>(ss);
+    shard.detail = r->str();
+  }
   s.reason = r->str();
   return s;
 }

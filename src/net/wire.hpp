@@ -37,7 +37,12 @@ struct WireError : std::runtime_error {
 };
 
 inline constexpr std::uint8_t kWireMagic = 0xA7;
-inline constexpr std::uint8_t kWireVersion = 1;
+/// v2: CanaryStatus payloads carry the worst-k displacement keys (an
+/// insertion before trailing fields — not decodable as v1), CanaryAbort
+/// grew an optional drain byte, and the cluster router types 0x0A–0x0D
+/// were added. Mixed v1/v2 peers disconnect cleanly on the version byte
+/// instead of tripping over the layout mid-payload.
+inline constexpr std::uint8_t kWireVersion = 2;
 /// Frames above this are rejected before allocation — a garbage length
 /// prefix must not become a multi-gigabyte resize.
 inline constexpr std::uint32_t kMaxFrameBytes = 1u << 26;  // 64 MiB
@@ -53,6 +58,12 @@ enum class MsgType : std::uint8_t {
   kCanaryStart = 0x07,
   kCanaryStatus = 0x08,
   kCanaryAbort = 0x09,
+  // Cluster-router requests (answered by anchor_router; a plain backend
+  // answers them with an Error frame like any unknown type).
+  kRolloutStart = 0x0A,
+  kRolloutStatus = 0x0B,
+  kRolloutAbort = 0x0C,
+  kShardMap = 0x0D,
   // Responses: request type | 0x80.
   kLookupIdsReply = 0x81,
   kLookupWordsReply = 0x82,
@@ -63,6 +74,10 @@ enum class MsgType : std::uint8_t {
   kCanaryStartReply = 0x87,
   kCanaryStatusReply = 0x88,
   kCanaryAbortReply = 0x89,
+  kRolloutStartReply = 0x8A,
+  kRolloutStatusReply = 0x8B,
+  kRolloutAbortReply = 0x8C,
+  kShardMapReply = 0x8D,
   // Carries a string; sent instead of the normal reply when the server
   // failed to serve the request (e.g. unknown candidate version).
   kError = 0x7F,
@@ -71,6 +86,9 @@ enum class MsgType : std::uint8_t {
 /// Append-only payload builder.
 class WireWriter {
  public:
+  /// Pre-size the buffer when the payload size is known — saves the
+  /// growth reallocations on large frames.
+  void reserve(std::size_t bytes) { buf_.reserve(bytes); }
   void u8(std::uint8_t v) { buf_.push_back(v); }
   void u16(std::uint16_t v) { raw(&v, sizeof(v)); }
   void u32(std::uint32_t v) { raw(&v, sizeof(v)); }
@@ -87,9 +105,13 @@ class WireWriter {
   const std::vector<std::uint8_t>& buffer() const { return buf_; }
 
  private:
+  // resize+memcpy rather than insert: identical behavior, but GCC 12's
+  // -Wstringop-overflow false-fires on the inlined insert-into-empty-
+  // vector memmove in some TUs.
   void raw(const void* p, std::size_t n) {
-    const auto* b = static_cast<const std::uint8_t*>(p);
-    buf_.insert(buf_.end(), b, b + n);
+    const std::size_t old = buf_.size();
+    buf_.resize(old + n);
+    std::memcpy(buf_.data() + old, p, n);
   }
   std::vector<std::uint8_t> buf_;
 };
@@ -217,5 +239,56 @@ serve::CanaryStatsSnapshot decode_canary_stats(WireReader* r);
 
 void encode_canary_status(const CanaryStatusReport& s, WireWriter* w);
 CanaryStatusReport decode_canary_status(WireReader* r);
+
+// ---- cluster rollout ----------------------------------------------------
+// Plain-type mirrors of the cluster router's rollout state machine. They
+// live here (not in src/cluster/) because they ARE the wire contract: the
+// client decodes them without linking any cluster code, and cluster/
+// already depends on net/.
+
+enum class RolloutState : std::uint8_t {
+  kIdle = 0,        // no rollout ever started
+  kRunning = 1,     // walking the shards
+  kCompleted = 2,   // every shard promoted the candidate
+  kRolledBack = 3,  // a shard refused; promoted shards were rolled back
+  kAborted = 4,     // operator abort; promoted shards were rolled back
+};
+
+enum class ShardRolloutState : std::uint8_t {
+  kPending = 0,     // not reached yet
+  kInProgress = 1,  // gated promote / canary running on this shard
+  kPromoted = 2,    // candidate live on this shard
+  kFailed = 3,      // gate rejected, canary rolled back, or shard down
+  kRolledBack = 4,  // was promoted, then reverted by the rollout
+};
+
+std::string rollout_state_name(RolloutState s);
+std::string shard_rollout_state_name(ShardRolloutState s);
+
+/// Reply payload of ROLLOUT_START / ROLLOUT_STATUS / ROLLOUT_ABORT.
+struct ShardRolloutStatus {
+  ShardRolloutState state = ShardRolloutState::kPending;
+  std::string detail;  // per-shard decision reason / error text
+};
+
+struct RolloutStatusReport {
+  RolloutState state = RolloutState::kIdle;
+  std::string candidate;
+  /// 0 = offline gated promote per shard, 1 = full canary per shard.
+  std::uint8_t mode = 0;
+  /// ShardMap::version() the rollout was started against.
+  std::uint64_t map_version = 0;
+  std::vector<ShardRolloutStatus> shards;
+  std::string reason;  // terminal summary ("" while running/idle)
+
+  bool terminal() const {
+    return state == RolloutState::kCompleted ||
+           state == RolloutState::kRolledBack ||
+           state == RolloutState::kAborted;
+  }
+};
+
+void encode_rollout_status(const RolloutStatusReport& s, WireWriter* w);
+RolloutStatusReport decode_rollout_status(WireReader* r);
 
 }  // namespace anchor::net

@@ -263,15 +263,9 @@ void AsyncLookupService::execute_fast_batch(
           fl->free.push_back(hold);
         });
   }
-  const std::uint32_t state = hold->error ? 2 : 1;
-  for (std::size_t k = 0; k < boxes.size(); ++k) {
-    Mailbox* box = boxes[k];
-    box->offset = static_cast<std::uint32_t>(k);
-    box->hold = hold;
-    box->state.store(state, std::memory_order_release);
-    // No notify: waiters poll with bounded sleeps (see await_and_consume),
-    // so completion costs no syscall per request.
-  }
+  // Stats BEFORE releasing the waiters: a caller whose get() returned
+  // must find its own keys already counted in a subsequent stats read
+  // (the RPC test observes exactly this ordering over the wire).
   if (!hold->error) {
     if (oldest_ns == 0) {
       // No sampled timestamp in this batch — count it without polluting
@@ -282,6 +276,15 @@ void AsyncLookupService::execute_fast_batch(
           boxes.size(),
           static_cast<double>(now_ns() - oldest_ns) / 1000.0);
     }
+  }
+  const std::uint32_t state = hold->error ? 2 : 1;
+  for (std::size_t k = 0; k < boxes.size(); ++k) {
+    Mailbox* box = boxes[k];
+    box->offset = static_cast<std::uint32_t>(k);
+    box->hold = hold;
+    box->state.store(state, std::memory_order_release);
+    // No notify: waiters poll with bounded sleeps (see await_and_consume),
+    // so completion costs no syscall per request.
   }
 }
 
@@ -558,6 +561,15 @@ void AsyncLookupService::run_batch(std::vector<Request> batch) {
     error = std::current_exception();
   }
 
+  // Stats before fulfilling the promises, for the same
+  // caller-sees-its-own-lookup ordering the fast path guarantees.
+  if (!error) {
+    const double latency_us = std::chrono::duration<double, std::micro>(
+                                  std::chrono::steady_clock::now() - oldest)
+                                  .count();
+    stats_->record_batch(keys, latency_us);
+  }
+
   std::size_t id_off = 0, word_off = 0;
   for (Request& r : batch) {
     if (error) {
@@ -571,13 +583,6 @@ void AsyncLookupService::run_batch(std::vector<Request> batch) {
       r.promise.set_value(ResultSlice(word_result, word_off, r.key_count));
       word_off += r.key_count;
     }
-  }
-
-  if (!error) {
-    const double latency_us = std::chrono::duration<double, std::micro>(
-                                  std::chrono::steady_clock::now() - oldest)
-                                  .count();
-    stats_->record_batch(keys, latency_us);
   }
 
   {

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstring>
 #include <sstream>
+#include <thread>
 #include <unordered_set>
 
 #include "la/kernels.hpp"
@@ -101,7 +102,47 @@ std::string canary_state_name(CanaryState s) {
 // ---- CanaryStats -------------------------------------------------------
 
 void CanaryStats::record_shadow(double agreement, double displacement,
-                                double latency_delta_us) {
+                                double latency_delta_us, std::uint64_t key) {
+  if (key != kNoKey) {
+    // Fast reject: once the worst-k heap is full, only a displacement
+    // beating its cached minimum (or updating a key already tracked —
+    // caught under the lock) needs the mutex. The floor is conservative
+    // (it only ever rises under the lock), so a stale read can cause a
+    // harmless extra lock, never a missed outlier.
+    const double floor = worst_floor_.load(std::memory_order_relaxed);
+    if (floor < 0.0 || displacement > floor) {
+      std::lock_guard<std::mutex> lock(worst_mu_);
+      const auto by_disp = [](const CanaryWorstKey& a,
+                              const CanaryWorstKey& b) {
+        return a.displacement > b.displacement;  // min-heap on displacement
+      };
+      bool known = false;
+      for (CanaryWorstKey& w : worst_) {
+        if (w.key == key) {
+          known = true;
+          if (displacement > w.displacement) {
+            w.displacement = displacement;
+            std::make_heap(worst_.begin(), worst_.end(), by_disp);
+          }
+          break;
+        }
+      }
+      if (!known) {
+        if (worst_.size() < kWorstK) {
+          worst_.push_back({key, displacement});
+          std::push_heap(worst_.begin(), worst_.end(), by_disp);
+        } else if (displacement > worst_.front().displacement) {
+          std::pop_heap(worst_.begin(), worst_.end(), by_disp);
+          worst_.back() = {key, displacement};
+          std::push_heap(worst_.begin(), worst_.end(), by_disp);
+        }
+      }
+      if (worst_.size() == kWorstK) {
+        worst_floor_.store(worst_.front().displacement,
+                           std::memory_order_relaxed);
+      }
+    }
+  }
   agreement_sum_micro_.fetch_add(
       static_cast<std::uint64_t>(agreement * kMicro + 0.5),
       std::memory_order_relaxed);
@@ -153,9 +194,33 @@ CanaryStatsSnapshot CanaryStats::snapshot(double confidence,
                                   kRing);
       s.p50_agreement = ring_median(agreement_ring_.data(), written);
       s.p50_displacement = ring_median(displacement_ring_.data(), written);
+      {
+        std::lock_guard<std::mutex> lock(worst_mu_);
+        s.worst_keys = worst_;
+      }
+      std::sort(s.worst_keys.begin(), s.worst_keys.end(),
+                [](const CanaryWorstKey& a, const CanaryWorstKey& b) {
+                  if (a.displacement != b.displacement) {
+                    return a.displacement > b.displacement;  // worst first
+                  }
+                  return a.key < b.key;
+                });
     }
   }
   return s;
+}
+
+/// "key:displacement|key:displacement" — ':' and '|' keep the list safe
+/// inside the audit CSV's comma-separated reason column.
+static std::string format_worst_keys(
+    const std::vector<CanaryWorstKey>& worst) {
+  std::ostringstream os;
+  os.precision(4);
+  for (std::size_t i = 0; i < worst.size(); ++i) {
+    if (i > 0) os << "|";
+    os << worst[i].key << ":" << worst[i].displacement;
+  }
+  return os.str();
 }
 
 std::string CanaryStatsSnapshot::summary() const {
@@ -166,6 +231,9 @@ std::string CanaryStatsSnapshot::summary() const {
      << " latency_delta_us=" << mean_latency_delta_us
      << " cand_keys=" << candidate_lookups
      << " inc_keys=" << incumbent_lookups;
+  if (!worst_keys.empty()) {
+    os << " worst_keys=" << format_worst_keys(worst_keys);
+  }
   return os.str();
 }
 
@@ -311,10 +379,44 @@ const std::vector<std::size_t>& self_probe_ids(
 
 }  // namespace
 
+/// Decrement-on-scope-exit for CanaryRouter::inflight_ (drain-mode abort
+/// waits on it, so every early return must decrement). seq_cst, not
+/// acq_rel: the drain handshake is a Dekker-style store-load pattern
+/// (router: inc inflight THEN load draining; abort: store draining THEN
+/// load inflight), and with anything weaker both sides may read the
+/// stale value — the abort seeing inflight==0 while the router saw
+/// draining==false and still routes to the candidate. Under the seq_cst
+/// total order, an abort that reads inflight==0 is ordered before the
+/// increment, which is ordered before the router's draining load, which
+/// therefore observes true.
+struct InflightGuard {
+  std::atomic<int>* counter;
+  explicit InflightGuard(std::atomic<int>& c) : counter(&c) {
+    counter->fetch_add(1, std::memory_order_seq_cst);
+  }
+  /// Early decrement for the passthrough (not-routing) branch: once the
+  /// active() check came back false this request can never touch the
+  /// candidate, and keeping it counted would make a drain wait on plain
+  /// incumbent traffic (under steady load, for the whole drain timeout).
+  void release() {
+    if (counter != nullptr) {
+      counter->fetch_sub(1, std::memory_order_seq_cst);
+      counter = nullptr;
+    }
+  }
+  ~InflightGuard() { release(); }
+};
+
 template <typename Key>
 void CanaryRouter::route_into(const std::vector<Key>& keys,
                               LookupResult* out) {
+  // Count BEFORE the active() check: a drain that observes inflight_ == 0
+  // after setting draining_ then knows no request can still be on its way
+  // to the candidate (later entrants see draining_ and take the live
+  // path).
+  InflightGuard inflight(inflight_);
   if (!active()) {
+    inflight.release();  // incumbent-only from here; don't stall a drain
     // Terminal (or about to be replaced): everything follows the store's
     // live version through the shared front-end.
     Pending p;
@@ -493,7 +595,10 @@ void CanaryRouter::score_shadows(
     const double denom = std::sqrt(nc) * std::sqrt(ni);
     if (denom == 0.0) continue;
     const double displacement = std::clamp(1.0 - dot / denom, 0.0, 2.0);
-    stats_.record_shadow(agreement, displacement, latency_delta_us);
+    const std::uint64_t key = j < shadow_keys.size()
+                                  ? static_cast<std::uint64_t>(shadow_keys[j])
+                                  : CanaryStats::kNoKey;
+    stats_.record_shadow(agreement, displacement, latency_delta_us, key);
   }
 }
 
@@ -560,6 +665,15 @@ void CanaryRouter::decide(CanaryState terminal, const std::string& reason) {
           "canary";
     }
   }
+  // The audit trail names the outlier keys, not just the aggregate: a
+  // rollback row that says WHICH rows moved furthest is actionable.
+  if (final_reason.find("worst_keys=") == std::string::npos) {
+    const CanaryStatsSnapshot worst =
+        stats_.snapshot(config_.confidence, /*with_medians=*/true);
+    if (!worst.worst_keys.empty()) {
+      final_reason += "; worst_keys=" + format_worst_keys(worst.worst_keys);
+    }
+  }
   decision_reason_ = final_reason;
   state_.store(terminal, std::memory_order_release);
   if (!audit_log_.empty()) {
@@ -577,9 +691,27 @@ void CanaryRouter::decide(CanaryState terminal, const std::string& reason) {
   }
 }
 
-void CanaryRouter::abort() {
+void CanaryRouter::abort(bool drain) {
+  if (drain && state() == CanaryState::kRunning) {
+    // Stop NEW requests from routing to the candidate (active() flips
+    // false), then let the routed lookups already in flight finish and
+    // score their shadows so the terminal status reports everything that
+    // was measured. Bounded wait: a wedged consumer must not turn an
+    // abort RPC into a hang. seq_cst pairs with InflightGuard (see its
+    // comment) so reading inflight == 0 proves later entrants observed
+    // the drain.
+    draining_.store(true, std::memory_order_seq_cst);
+    constexpr auto kDrainTimeout = std::chrono::seconds(5);
+    const auto deadline = std::chrono::steady_clock::now() + kDrainTimeout;
+    while (inflight_.load(std::memory_order_seq_cst) > 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
   const CanaryStatsSnapshot s = stats_.snapshot(config_.confidence);
-  decide(CanaryState::kAborted, "canary aborted by operator; " + s.summary());
+  decide(CanaryState::kAborted,
+         std::string("canary aborted by operator") +
+             (drain ? " (drained)" : "") + "; " + s.summary());
 }
 
 std::string CanaryRouter::decision_reason() const {

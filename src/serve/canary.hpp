@@ -108,6 +108,15 @@ enum class CanaryState : std::uint8_t {
 
 std::string canary_state_name(CanaryState s);
 
+/// One per-key displacement outlier: a shadowed key whose candidate
+/// vector moved unusually far from its incumbent vector. The worst-k of
+/// these name WHICH keys a refresh hurts — the first thing an operator
+/// wants after "displacement is high".
+struct CanaryWorstKey {
+  std::uint64_t key = 0;
+  double displacement = 0.0;
+};
+
 /// Point-in-time view of a canary's online measurements.
 struct CanaryStatsSnapshot {
   std::uint64_t candidate_lookups = 0;  // keys served by the candidate
@@ -120,6 +129,9 @@ struct CanaryStatsSnapshot {
   double mean_latency_delta_us = 0.0;   // candidate − incumbent, per shadow
   double p50_agreement = 0.0;           // recent-window medians (the ring)
   double p50_displacement = 0.0;
+  /// Worst per-key displacement outliers, worst first (id-keyed traffic
+  /// only; deduplicated by key, each key reporting its max).
+  std::vector<CanaryWorstKey> worst_keys;
 
   std::string summary() const;
 };
@@ -132,6 +144,10 @@ struct CanaryStatsSnapshot {
 /// ServeStats' percentile ring).
 class CanaryStats {
  public:
+  /// Key value meaning "no key identity available" (word traffic): the
+  /// sample still feeds every aggregate, it just can't enter worst_keys.
+  static constexpr std::uint64_t kNoKey = ~0ull;
+
   void record_candidate(std::uint64_t keys) {
     candidate_lookups_.fetch_add(keys, std::memory_order_relaxed);
   }
@@ -139,9 +155,13 @@ class CanaryStats {
     incumbent_lookups_.fetch_add(keys, std::memory_order_relaxed);
   }
   /// One shadowed key: agreement ∈ [0,1], displacement ∈ [0,2], latency
-  /// delta in µs (candidate − incumbent; may be negative).
+  /// delta in µs (candidate − incumbent; may be negative). `key`
+  /// identifies the row for worst-k outlier tracking (kNoKey = skip it);
+  /// that one bookkeeping step takes a mutex, but only when the sample
+  /// beats (or is) a current worst-k entry — the common case is a single
+  /// relaxed load + compare.
   void record_shadow(double agreement, double displacement,
-                     double latency_delta_us);
+                     double latency_delta_us, std::uint64_t key = kNoKey);
 
   std::uint64_t shadows() const {
     return shadows_.load(std::memory_order_acquire);
@@ -157,6 +177,9 @@ class CanaryStats {
  private:
   static constexpr std::size_t kRing = 2048;
   static constexpr double kMicro = 1e6;  // fixed-point unit for the sums
+  /// Worst-k capacity: small on purpose — the report names the headline
+  /// outliers, the audit CSV and status RPC are not a full histogram.
+  static constexpr std::size_t kWorstK = 8;
 
   std::atomic<std::uint64_t> candidate_lookups_{0};
   std::atomic<std::uint64_t> incumbent_lookups_{0};
@@ -167,6 +190,14 @@ class CanaryStats {
   std::atomic<std::uint64_t> cursor_{0};
   std::array<std::atomic<float>, kRing> agreement_ring_{};
   std::array<std::atomic<float>, kRing> displacement_ring_{};
+
+  /// Worst-k per-key displacement outliers: a min-heap on displacement
+  /// (front = easiest to displace from the set), deduplicated by key.
+  /// `worst_floor_` caches the heap minimum (or −1 while not full) so the
+  /// hot path can skip the mutex for the overwhelming majority of samples.
+  mutable std::mutex worst_mu_;
+  std::vector<CanaryWorstKey> worst_;
+  std::atomic<double> worst_floor_{-1.0};
 };
 
 /// Phase 2 of a two-phase promotion: routes traffic between incumbent
@@ -213,10 +244,21 @@ class CanaryRouter {
   CanaryState state() const {
     return state_.load(std::memory_order_acquire);
   }
-  bool active() const { return state() == CanaryState::kRunning; }
+  bool active() const {
+    // seq_cst: half of the drain handshake (see InflightGuard in the
+    // .cpp) — the routing thread increments inflight_ and THEN reads
+    // this flag; both must be in the seq_cst total order for the drain
+    // wait to be sound.
+    return state() == CanaryState::kRunning &&
+           !draining_.load(std::memory_order_seq_cst);
+  }
   /// Operator abort: stops routing, keeps the incumbent live, writes the
-  /// audit row. No-op unless running.
-  void abort();
+  /// audit row. No-op unless running. With `drain` set, new requests
+  /// immediately stop routing to the candidate but the in-flight routed
+  /// lookups are waited for (bounded by kDrainTimeout), so every shadow
+  /// already in motion lands in the final scored status instead of being
+  /// discarded mid-measurement.
+  void abort(bool drain = false);
 
   const GateReport& offline_report() const { return offline_; }
   const std::string& incumbent_version() const { return incumbent_name_; }
@@ -278,6 +320,11 @@ class CanaryRouter {
 
   CanaryStats stats_;
   std::atomic<CanaryState> state_{CanaryState::kRunning};
+  /// Set by abort(drain): active() turns false (new requests route live)
+  /// while in-flight route_into calls — counted by inflight_ — finish
+  /// scoring their shadows before the terminal decision is written.
+  std::atomic<bool> draining_{false};
+  std::atomic<int> inflight_{0};
   mutable std::mutex decide_mu_;
   std::string decision_reason_;
 };

@@ -21,10 +21,11 @@ std::uint64_t cache_key(std::uint64_t epoch, std::size_t row) {
   return (epoch << 40) | static_cast<std::uint64_t>(row);
 }
 
-/// Parses a synthetic id "wNNNN" → row id; returns false for anything else
-/// (real-word strings, malformed or overflowing tokens), which then takes
-/// the OOV path.
-bool parse_synthetic_id(const std::string& word, std::size_t* id) {
+}  // namespace
+
+// Documented in the header; lives outside the anonymous namespace so the
+// cluster shard router resolves words with the identical rule.
+bool parse_synthetic_word_id(const std::string& word, std::size_t* id) {
   // > 15 digits cannot be a real row id and would overflow the accumulator
   // into a wrong-but-valid id.
   if (word.size() < 2 || word.size() > 16 || word[0] != 'w') return false;
@@ -37,8 +38,6 @@ bool parse_synthetic_id(const std::string& word, std::size_t* id) {
   *id = value;
   return true;
 }
-
-}  // namespace
 
 LookupService::LookupService(const EmbeddingStore& store, LookupConfig config,
                              std::shared_ptr<ServeStats> stats)
@@ -225,7 +224,7 @@ void LookupService::lookup_words_into(const std::vector<std::string>& words,
       words.size(),
       [&](std::size_t i, const EmbeddingSnapshot& snap, std::size_t* row) {
         std::size_t id = 0;
-        if (!parse_synthetic_id(words[i], &id) || id >= snap.vocab_size()) {
+        if (!parse_synthetic_word_id(words[i], &id) || id >= snap.vocab_size()) {
           return false;
         }
         *row = id;

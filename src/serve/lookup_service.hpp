@@ -46,6 +46,21 @@ struct LookupConfig {
   SnapshotPtr pin_snapshot = nullptr;
 };
 
+/// LookupResult::oov flag values. The serve layer itself only ever writes
+/// 0 or kLookupFlagOov; the cluster router additionally flags rows it
+/// could not serve because the owning shard was down with
+/// kLookupFlagDegraded (zero vector, same consumer contract as OOV: "this
+/// is not a real embedding"). Callers that only test `oov[i] != 0` treat
+/// both identically, which is exactly the degraded-mode contract.
+inline constexpr std::uint8_t kLookupFlagOov = 1;
+inline constexpr std::uint8_t kLookupFlagDegraded = 2;
+
+/// Parses a synthetic id "wNNNN" → row id; returns false for anything else
+/// (real-word strings, malformed or overflowing tokens), which then takes
+/// the OOV path. Shared with the cluster shard router, which resolves
+/// word traffic to global rows with the same rule the backends use.
+bool parse_synthetic_word_id(const std::string& word, std::size_t* id);
+
 /// Result of a batched lookup: vectors are concatenated row-major in
 /// request order (batch_size × dim). The struct is reusable: the *_into
 /// entry points overwrite it in place, so a long-lived caller (the async

@@ -162,6 +162,7 @@ TEST(Wire, CanaryStatusRoundTrip) {
   status.online.agreement_upper = 1.0;
   status.online.mean_displacement = 0.01;
   status.online.mean_latency_delta_us = 3.5;
+  status.online.worst_keys = {{123, 0.75}, {7, 0.5}};
   status.reason = "still watching";
 
   WireWriter w;
@@ -178,6 +179,10 @@ TEST(Wire, CanaryStatusRoundTrip) {
   EXPECT_EQ(back.offline.eis, 0.07);
   EXPECT_EQ(back.online.shadows, 42u);
   EXPECT_EQ(back.online.mean_agreement, 0.9);
+  ASSERT_EQ(back.online.worst_keys.size(), 2u);
+  EXPECT_EQ(back.online.worst_keys[0].key, 123u);
+  EXPECT_EQ(back.online.worst_keys[0].displacement, 0.75);
+  EXPECT_EQ(back.online.worst_keys[1].key, 7u);
   EXPECT_EQ(back.reason, "still watching");
 
   // An out-of-range state byte must throw, not cast silently.
@@ -185,6 +190,51 @@ TEST(Wire, CanaryStatusRoundTrip) {
   bad.u8(42);
   WireReader bad_reader(bad.buffer());
   EXPECT_THROW(decode_canary_status(&bad_reader), WireError);
+
+  // A worst-key count the payload cannot hold must throw pre-allocation.
+  WireWriter hostile;
+  serve::CanaryStatsSnapshot empty;
+  encode_canary_stats(empty, &hostile);
+  std::vector<std::uint8_t> bytes = hostile.buffer();
+  bytes[bytes.size() - 1] = 0xFF;  // worst-key count → huge
+  bytes[bytes.size() - 2] = 0xFF;
+  WireReader hostile_reader(bytes.data(), bytes.size());
+  EXPECT_THROW(decode_canary_stats(&hostile_reader), WireError);
+}
+
+TEST(Wire, RolloutStatusRoundTrip) {
+  RolloutStatusReport st;
+  st.state = RolloutState::kRolledBack;
+  st.candidate = "v9";
+  st.mode = 1;
+  st.map_version = 12;
+  st.shards = {{ShardRolloutState::kRolledBack, "reverted to v1"},
+               {ShardRolloutState::kFailed, "gate rejected"},
+               {ShardRolloutState::kPending, ""}};
+  st.reason = "shard 2/3 refused";
+
+  WireWriter w;
+  encode_rollout_status(st, &w);
+  WireReader r(w.buffer());
+  const RolloutStatusReport back = decode_rollout_status(&r);
+  r.expect_done();
+  EXPECT_EQ(back.state, RolloutState::kRolledBack);
+  EXPECT_TRUE(back.terminal());
+  EXPECT_EQ(back.candidate, "v9");
+  EXPECT_EQ(back.mode, 1);
+  EXPECT_EQ(back.map_version, 12u);
+  ASSERT_EQ(back.shards.size(), 3u);
+  EXPECT_EQ(back.shards[0].state, ShardRolloutState::kRolledBack);
+  EXPECT_EQ(back.shards[0].detail, "reverted to v1");
+  EXPECT_EQ(back.shards[1].state, ShardRolloutState::kFailed);
+  EXPECT_EQ(back.shards[2].state, ShardRolloutState::kPending);
+  EXPECT_EQ(back.reason, "shard 2/3 refused");
+
+  // Bad state bytes throw; so does a shard count beyond the payload.
+  WireWriter bad;
+  bad.u8(99);
+  WireReader bad_reader(bad.buffer());
+  EXPECT_THROW(decode_rollout_status(&bad_reader), WireError);
 }
 
 // ---- decoder fuzz ------------------------------------------------------
@@ -222,6 +272,7 @@ TEST(WireFuzz, RandomPayloadsNeverCrashTheDecoders) {
   fuzz_decoder([](WireReader* r) { return decode_gate_report(r); }, 92);
   fuzz_decoder([](WireReader* r) { return decode_server_stats(r); }, 93);
   fuzz_decoder([](WireReader* r) { return decode_canary_status(r); }, 94);
+  fuzz_decoder([](WireReader* r) { return decode_rollout_status(r); }, 95);
 }
 
 TEST(WireFuzz, TruncatedAndBitFlippedLookupResultsDecodeOrThrowCleanly) {
@@ -424,10 +475,12 @@ TEST_F(RpcTest, FuzzedFramesNeverKillTheServer) {
         }
         // Never draw kShutdown: an empty-payload draw would be a
         // LEGITIMATE shutdown request and kill the server mid-fuzz.
+        // (Covers the router-only types 0x0A–0x0D too: a plain backend
+        // answers them with an error frame like any unknown type.)
         std::uint8_t type_byte =
-            static_cast<std::uint8_t>(1 + rng.index(12));
+            static_cast<std::uint8_t>(1 + rng.index(13));
         if (type_byte == static_cast<std::uint8_t>(MsgType::kShutdown)) {
-          type_byte = 0x0D;  // unused type → error frame
+          type_byte = 0x7E;  // unused type → error frame
         }
         write_frame(raw, static_cast<MsgType>(type_byte), payload);
         MsgType reply_type{};
@@ -462,6 +515,25 @@ TEST_F(RpcTest, FuzzedFramesNeverKillTheServer) {
   Client client("127.0.0.1", server_->port());
   client.ping();
   EXPECT_EQ(client.lookup_id(3).size(), 1u);
+}
+
+TEST_F(RpcTest, ForcedPromoteBypassesTheGateAndIsAudited) {
+  Client client("127.0.0.1", server_->port());
+  // The gate rejects v3-bad outright...
+  const serve::GateReport gated = client.try_promote("v3-bad");
+  EXPECT_EQ(gated.decision, serve::GateDecision::kReject);
+  EXPECT_FALSE(gated.promoted);
+  // ...but a forced promote (the cluster rollback path) flips it anyway,
+  // with an honest reason instead of fabricated measures.
+  const serve::GateReport forced = client.try_promote("v3-bad", true);
+  EXPECT_TRUE(forced.promoted);
+  EXPECT_EQ(forced.old_version, "v1");
+  EXPECT_NE(forced.reason.find("forced promote"), std::string::npos);
+  EXPECT_EQ(client.lookup_id(0).version, "v3-bad");
+  // Unknown versions still error; force is not a creation operator.
+  EXPECT_THROW(client.try_promote("no-such-version", true), RpcError);
+  // Restore v1 for any later test using this fixture instance.
+  EXPECT_TRUE(client.try_promote("v1", true).promoted);
 }
 
 TEST_F(RpcTest, CanaryLifecycleOverRpc) {
@@ -517,8 +589,11 @@ TEST_F(RpcTest, CanaryLifecycleOverRpc) {
   // incumbent out from under the router mid-measurement.
   EXPECT_THROW(client.try_promote("v1"), RpcError);
   EXPECT_EQ(client.stats().live_version, "v2-good");
-  const CanaryStatusReport aborted = client.canary_abort();
+  // Drained abort: the reply is the final scored status (the reason
+  // names the drain so the audit trail distinguishes it).
+  const CanaryStatusReport aborted = client.canary_abort(/*drain=*/true);
   EXPECT_EQ(aborted.state, serve::CanaryState::kAborted);
+  EXPECT_NE(aborted.reason.find("(drained)"), std::string::npos);
   EXPECT_EQ(client.stats().live_version, "v2-good");
   // Abort with nothing running is a no-op status read.
   EXPECT_EQ(client.canary_abort().state, serve::CanaryState::kAborted);

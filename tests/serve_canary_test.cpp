@@ -5,10 +5,13 @@
 // displacement rollback.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "la/svd.hpp"
@@ -320,6 +323,153 @@ TEST(Canary, AbortKeepsTheIncumbentAndStopsRouting) {
   LookupResult after;
   router->lookup_ids_into({0, 1}, &after);
   EXPECT_EQ(after.version, "v1");
+}
+
+TEST(CanaryStats, WorstKeysTrackTopDisplacementOutliersDeduplicated) {
+  CanaryStats stats;
+  // 20 distinct keys with displacement key/100: the worst 8 must survive.
+  for (std::uint64_t key = 0; key < 20; ++key) {
+    stats.record_shadow(0.9, static_cast<double>(key) / 100.0, 0.0, key);
+  }
+  CanaryStatsSnapshot s = stats.snapshot(0.99);
+  ASSERT_EQ(s.worst_keys.size(), 8u);
+  for (std::size_t i = 0; i < s.worst_keys.size(); ++i) {
+    EXPECT_EQ(s.worst_keys[i].key, 19 - i);  // sorted worst-first
+    if (i > 0) {
+      EXPECT_GE(s.worst_keys[i - 1].displacement,
+                s.worst_keys[i].displacement);
+    }
+  }
+  // A repeat observation of a tracked key keeps its MAX, no duplicate.
+  stats.record_shadow(0.9, 0.05, 0.0, 19);
+  stats.record_shadow(0.9, 0.99, 0.0, 18);
+  s = stats.snapshot(0.99);
+  ASSERT_EQ(s.worst_keys.size(), 8u);
+  EXPECT_EQ(s.worst_keys[0].key, 18u);
+  EXPECT_NEAR(s.worst_keys[0].displacement, 0.99, 1e-9);
+  std::size_t seen19 = 0;
+  for (const auto& w : s.worst_keys) {
+    if (w.key == 19) {
+      ++seen19;
+      EXPECT_NEAR(w.displacement, 0.19, 1e-9);  // max, not latest
+    }
+  }
+  EXPECT_EQ(seen19, 1u);
+  // Keyless samples (word traffic) feed the aggregates, never the heap.
+  stats.record_shadow(0.9, 2.0, 0.0);
+  EXPECT_EQ(stats.snapshot(0.99).worst_keys[0].key, 18u);
+  // The decision path's snapshot skips the heap copy entirely.
+  EXPECT_TRUE(stats.snapshot(0.99, /*with_medians=*/false).worst_keys.empty());
+  // And the status summary names the outliers.
+  EXPECT_NE(s.summary().find("worst_keys="), std::string::npos);
+}
+
+TEST(Canary, WorstKeysSurfaceInStatusAndAuditTrail) {
+  TempAudit audit;
+  EmbeddingStore store;
+  const auto base = random_embedding(400, 16, 43);
+  store.add_version("v1", base);
+  store.add_version("v2", perturbed(base, 0.05, 44));
+  LookupService service(store);
+  AsyncLookupService async(service);
+  DeploymentGate gate(permissive_gate(audit.path));
+
+  CanaryConfig config = fast_canary();
+  config.min_shadows = 100000;  // keep it running; we abort below
+  const auto router = gate.try_promote(store, "v2", async, config);
+  ASSERT_NE(router, nullptr);
+  pump(*router, 400, 45, /*max_iters=*/60);
+  ASSERT_GT(router->stats().shadows, 0u);
+  ASSERT_FALSE(router->stats().worst_keys.empty());
+  // Every reported outlier is a real row id of shadowed traffic.
+  for (const auto& w : router->stats().worst_keys) {
+    EXPECT_LT(w.key, 400u);
+    EXPECT_TRUE(router->routes_to_candidate(
+        static_cast<std::size_t>(w.key)));
+    EXPECT_TRUE(router->shadows_key(static_cast<std::size_t>(w.key)));
+  }
+  router->abort();
+  const auto rows = read_audit_csv(audit.path);
+  ASSERT_GE(rows.size(), 2u);
+  EXPECT_NE(rows.back().reason.find("worst_keys="), std::string::npos);
+}
+
+TEST(Canary, DrainAbortFinishesInFlightShadowsAndReportsScoredStatus) {
+  TempAudit audit;
+  EmbeddingStore store;
+  const auto base = random_embedding(400, 16, 53);
+  store.add_version("v1", base);
+  store.add_version("v2", perturbed(base, 0.01, 54));
+  LookupService service(store);
+  AsyncLookupService async(service);
+  DeploymentGate gate(permissive_gate(audit.path));
+
+  CanaryConfig config = fast_canary();
+  config.min_shadows = 100000;  // the operator decides, not the bounds
+  const auto router = gate.try_promote(store, "v2", async, config);
+  ASSERT_NE(router, nullptr);
+  pump(*router, 400, 55, /*max_iters=*/40);
+  const std::uint64_t shadows_before = router->stats().shadows;
+  ASSERT_GT(shadows_before, 0u);
+
+  router->abort(/*drain=*/true);
+  EXPECT_EQ(router->state(), CanaryState::kAborted);
+  EXPECT_EQ(store.live_version(), "v1");
+  // The terminal reason is the final scored status of a drained abort.
+  EXPECT_NE(router->decision_reason().find("(drained)"), std::string::npos);
+  EXPECT_NE(router->decision_reason().find("shadows="), std::string::npos);
+  EXPECT_GE(router->stats().shadows, shadows_before);
+
+  // Post-drain traffic routes to the live store and scores nothing new.
+  LookupResult after;
+  router->lookup_ids_into({0, 1, 2, 3}, &after);
+  EXPECT_EQ(after.version, "v1");
+  const std::uint64_t frozen = router->stats().shadows;
+  router->lookup_ids_into({4, 5, 6, 7}, &after);
+  EXPECT_EQ(router->stats().shadows, frozen);
+
+  const auto rows = read_audit_csv(audit.path);
+  ASSERT_GE(rows.size(), 2u);
+  EXPECT_NE(rows.back().reason.find("drained"), std::string::npos);
+}
+
+TEST(Canary, DrainAbortWaitsForConcurrentRoutedLookups) {
+  // Abort(drain) from one thread while another thread is mid-pump: the
+  // drained abort must observe a quiesced router (inflight == 0) and the
+  // final state must be terminal with the incumbent live — under TSan-ish
+  // stress this is the race the inflight counter exists for.
+  EmbeddingStore store;
+  const auto base = random_embedding(400, 16, 63);
+  store.add_version("v1", base);
+  store.add_version("v2", perturbed(base, 0.01, 64));
+  LookupService service(store);
+  AsyncLookupService async(service);
+  DeploymentGate gate(permissive_gate());
+
+  CanaryConfig config = fast_canary();
+  config.min_shadows = 100000;
+  const auto router = gate.try_promote(store, "v2", async, config);
+  ASSERT_NE(router, nullptr);
+
+  std::atomic<bool> stop{false};
+  std::thread pump_thread([&] {
+    Rng rng(65);
+    LookupResult result;
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::vector<std::size_t> ids(16);
+      for (auto& id : ids) id = rng.index(400);
+      router->lookup_ids_into(ids, &result);
+    }
+  });
+  // Let some traffic flow, then drain-abort concurrently with the pump.
+  while (router->stats().candidate_lookups < 64) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  router->abort(/*drain=*/true);
+  EXPECT_EQ(router->state(), CanaryState::kAborted);
+  stop.store(true, std::memory_order_relaxed);
+  pump_thread.join();
+  EXPECT_EQ(store.live_version(), "v1");
 }
 
 TEST(Canary, WordTrafficShadowsAndMergesInRequestOrder) {

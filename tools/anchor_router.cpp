@@ -1,0 +1,132 @@
+// anchor_router — the distributed-serving front-end: speaks the standard
+// wire protocol (src/net/PROTOCOL.md) to clients and scatter-gathers
+// every lookup across the anchor_served backends named by a ShardMap.
+// Unmodified net::Client code pointed at this port sees one logical
+// store covering the union of all shard row ranges.
+//
+//   # two backends serving rows [0,1500) and [1500,3000)
+//   anchor_served --demo --port 7501 &
+//   anchor_served --demo --port 7502 &
+//   anchor_router --backends 127.0.0.1:7501:0:1500,127.0.0.1:7502:1500:3000
+//       --port 7500 --audit-log /tmp/rollout_audit.csv
+//   # then: lookups via any client, plus ROLLOUT_START/STATUS/ABORT for
+//   # coordinated shard-by-shard version promotion.
+//
+// Prints exactly one line
+//   anchor_router listening on 127.0.0.1:<port>
+// once it serves (--port 0 picks a free port, reported here). Exits on
+// SIGINT/SIGTERM or a client kShutdown.
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "cluster/router.hpp"
+#include "net/socket.hpp"
+#include "util/argparse.hpp"
+
+namespace {
+
+std::atomic<bool> g_signaled{false};
+
+void on_signal(int) { g_signaled.store(true); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace anchor;
+
+  ArgParser parser(
+      "anchor_router",
+      "Shard-routing front-end: scatter-gather lookups across anchor_served "
+      "backends plus coordinated shard-by-shard rollout (see "
+      "src/net/PROTOCOL.md).");
+  parser.add_option("backends",
+                    "comma-separated host:port:row_begin:row_end shard "
+                    "entries, contiguous from row 0",
+                    "", /*required=*/true);
+  parser.add_option("map-version",
+                    "topology version stamped into the ShardMap", "1");
+  parser.add_option("port", "TCP port on 127.0.0.1 (0 = pick a free port, "
+                    "printed on the listening line)", "0");
+  parser.add_option("probe-interval-ms",
+                    "backend health-probe cadence (0 disables probing)",
+                    "500");
+  parser.add_option("backend-timeout-ms",
+                    "per-recv/send stall bound on backend connections "
+                    "before a shard's rows degrade", "2000");
+  parser.add_option("rollout-poll-ms",
+                    "poll cadence for a per-shard canary during a rollout",
+                    "50");
+  parser.add_option("audit-log",
+                    "CSV audit log for per-shard rollout outcomes "
+                    "(empty = no log)");
+  parser.add_flag("forward-shutdown",
+                  "forward a client kShutdown to every backend before "
+                  "stopping (one RPC tears down the whole cluster)");
+
+  if (!parser.parse(argc, argv)) {
+    if (parser.help_requested()) {
+      std::cout << parser.usage();
+      return 0;
+    }
+    std::cerr << parser.error() << "\n" << parser.usage();
+    return 2;
+  }
+
+  cluster::RouterConfig config;
+  try {
+    const std::int64_t port = parser.get_int("port");
+    if (port < 0 || port > 65535) {
+      throw std::runtime_error("--port must be in [0, 65535]");
+    }
+    config.port = static_cast<std::uint16_t>(port);
+    std::string map_text = "v";
+    map_text += std::to_string(parser.get_int("map-version"));
+    map_text += ',';
+    map_text += parser.get("backends");
+    config.map = cluster::ShardMap::parse(map_text);
+    config.probe_interval_ms =
+        static_cast<int>(parser.get_int("probe-interval-ms"));
+    config.backend_io_timeout_ms =
+        static_cast<int>(parser.get_int("backend-timeout-ms"));
+    config.rollout_poll_ms =
+        static_cast<int>(parser.get_int("rollout-poll-ms"));
+    config.audit_log = parser.get("audit-log");
+    config.forward_shutdown = parser.get_flag("forward-shutdown");
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n" << parser.usage();
+    return 2;
+  }
+
+  try {
+    cluster::Router router(config);
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    router.start();
+    std::cerr << "routing " << config.map.total_rows() << " rows over "
+              << config.map.num_shards() << " shards: "
+              << config.map.serialize() << "\n";
+    std::cout << "anchor_router listening on 127.0.0.1:" << router.port()
+              << std::endl;
+
+    while (!g_signaled.load() && !router.shutdown_requested()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    router.stop();
+    std::cerr << "anchor_router exiting\n";
+  } catch (const net::NetError& e) {
+    // The common operator mistake is a port that is already bound; fail
+    // fast with the remedy instead of a bare errno string.
+    std::cerr << "fatal: " << e.what()
+              << "\nhint: pass --port 0 to pick a free port (printed on "
+                 "the listening line)\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "fatal: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

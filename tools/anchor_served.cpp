@@ -54,7 +54,8 @@ std::vector<StoreSpec> parse_store_specs(const std::string& arg) {
       StoreSpec spec;
       const std::size_t eq = item.find('=');
       if (eq == std::string::npos) {
-        spec.version = "v" + std::to_string(specs.size() + 1);
+        spec.version = "v";
+        spec.version += std::to_string(specs.size() + 1);
         spec.path = item;
       } else {
         spec.version = item.substr(0, eq);
@@ -139,44 +140,6 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  serve::SnapshotConfig snap;
-  serve::EmbeddingStore store;
-  try {
-    snap.bits = static_cast<int>(parser.get_int("bits"));
-    snap.num_shards = static_cast<std::size_t>(parser.get_int("shards"));
-    snap.align_to_live = parser.get_flag("align-candidates");
-    if (parser.get_flag("demo")) {
-      serve::DemoStoreConfig demo;
-      demo.vocab = static_cast<std::size_t>(parser.get_int("demo-vocab"));
-      demo.dim = static_cast<std::size_t>(parser.get_int("demo-dim"));
-      demo.bits = snap.bits;
-      demo.num_shards = snap.num_shards;
-      demo.align_to_live = snap.align_to_live;
-      serve::add_demo_versions(store, demo);
-      std::cerr << "loaded demo store: v1 (live), v2-good, v3-bad; vocab="
-                << demo.vocab << " dim=" << demo.dim << " bits=" << demo.bits
-                << "\n";
-    } else {
-      const auto specs = parse_store_specs(parser.get("stores"));
-      if (specs.empty()) {
-        std::cerr << "error: provide --stores version=path[,...] or --demo\n"
-                  << parser.usage();
-        return 2;
-      }
-      for (const StoreSpec& spec : specs) {
-        store.load_version(spec.version, spec.path, snap);
-        const auto loaded = store.snapshot(spec.version);
-        std::cerr << "loaded " << spec.version << " from " << spec.path
-                  << ": vocab=" << loaded->vocab_size()
-                  << " dim=" << loaded->dim() << " bits=" << loaded->bits()
-                  << " (" << loaded->memory_bytes() << " bytes)\n";
-      }
-    }
-  } catch (const std::exception& e) {
-    std::cerr << "error loading store: " << e.what() << "\n";
-    return 1;
-  }
-
   net::ServerConfig config;
   // Numeric-flag parsing throws (CheckError) on malformed values; turn
   // that into the usage exit path rather than an abort.
@@ -231,6 +194,64 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Fail fast on an occupied port BEFORE the (potentially slow) store
+  // load: a multi-process demo or CI script pointing two daemons at one
+  // port should see "address in use" in milliseconds, not after parsing a
+  // multi-gigabyte vector file — and should see it as an error exit, not
+  // sit behind a daemon that never prints its listening line. The probe
+  // listener closes immediately; the authoritative bind is the Server
+  // constructor's (losing that race just reverts to the late error path).
+  if (config.port != 0) {
+    try {
+      net::TcpListener::bind_loopback(config.port).close();
+    } catch (const net::NetError& e) {
+      std::cerr << "error: " << e.what()
+                << "\nhint: 127.0.0.1:" << config.port
+                << " is busy — stop the other process, choose another "
+                   "--port, or pass --port 0 to pick a free one (printed "
+                   "on the listening line)\n";
+      return 1;
+    }
+  }
+
+  serve::SnapshotConfig snap;
+  serve::EmbeddingStore store;
+  try {
+    snap.bits = static_cast<int>(parser.get_int("bits"));
+    snap.num_shards = static_cast<std::size_t>(parser.get_int("shards"));
+    snap.align_to_live = parser.get_flag("align-candidates");
+    if (parser.get_flag("demo")) {
+      serve::DemoStoreConfig demo;
+      demo.vocab = static_cast<std::size_t>(parser.get_int("demo-vocab"));
+      demo.dim = static_cast<std::size_t>(parser.get_int("demo-dim"));
+      demo.bits = snap.bits;
+      demo.num_shards = snap.num_shards;
+      demo.align_to_live = snap.align_to_live;
+      serve::add_demo_versions(store, demo);
+      std::cerr << "loaded demo store: v1 (live), v2-good, v3-bad; vocab="
+                << demo.vocab << " dim=" << demo.dim << " bits=" << demo.bits
+                << "\n";
+    } else {
+      const auto specs = parse_store_specs(parser.get("stores"));
+      if (specs.empty()) {
+        std::cerr << "error: provide --stores version=path[,...] or --demo\n"
+                  << parser.usage();
+        return 2;
+      }
+      for (const StoreSpec& spec : specs) {
+        store.load_version(spec.version, spec.path, snap);
+        const auto loaded = store.snapshot(spec.version);
+        std::cerr << "loaded " << spec.version << " from " << spec.path
+                  << ": vocab=" << loaded->vocab_size()
+                  << " dim=" << loaded->dim() << " bits=" << loaded->bits()
+                  << " (" << loaded->memory_bytes() << " bytes)\n";
+      }
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error loading store: " << e.what() << "\n";
+    return 1;
+  }
+
   try {
     net::Server server(store, config);
     std::signal(SIGINT, on_signal);
@@ -246,6 +267,13 @@ int main(int argc, char** argv) {
     server.stop();
     const auto stats = server.service().stats().snapshot();
     std::cerr << "anchor_served exiting; " << stats.summary() << "\n";
+  } catch (const net::NetError& e) {
+    // Usually the bind racing another process onto the same port (the
+    // pre-load probe above catches the common case early).
+    std::cerr << "fatal: " << e.what()
+              << "\nhint: pass --port 0 to pick a free port (printed on "
+                 "the listening line)\n";
+    return 1;
   } catch (const std::exception& e) {
     std::cerr << "fatal: " << e.what() << "\n";
     return 1;

@@ -7,7 +7,13 @@
 // Reported numbers are aggregate QPS (vectors/sec) and per-batch p50/p99
 // latency from ServeStats; every cell is also appended to a machine-
 // readable BENCH_serve.json (override with --json <path>) so the serving
-// perf trajectory is recorded across PRs.
+// perf trajectory is recorded across PRs. Latency quantiles come from
+// ServeStats' obs::LogHistogram (nearest-rank bucket lower bound, ≤1/32
+// relative error) — the same estimator the daemon and router report, so
+// bench cells are directly comparable to production scrapes. The JSON
+// stamps this as workload.latency_estimator; cells from before that
+// field existed used a raw nearest-rank sample ring and are not
+// bit-comparable at the tail.
 //
 // The async section measures the coalescing front-end: N client threads
 // each keep a window of pipelined SINGLE-KEY futures against an
@@ -529,6 +535,9 @@ int main(int argc, char** argv) {
   json.kv("batch", kBatch);
   json.kv("async_window", kAsyncWindow);
   json.kv("seconds_per_cell", g_seconds_per_cell);
+  // Quantile provenance: p50/p99 in every cell are derived from the
+  // shared obs::LogHistogram, not a raw sample ring.
+  json.kv("latency_estimator", "log_histogram_rel_err_1_32");
   json.end_object();
   json.key("cells").begin_array();
   for (const BenchCell& c : cells) {

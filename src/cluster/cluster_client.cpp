@@ -61,12 +61,18 @@ bool ClusterClient::send_plan(std::size_t shard, const Plan& plan) {
   net::TcpStream* s = stream(shard);
   if (s == nullptr) return false;
   try {
+    // A sampled lookup stamps a child context (same trace, fresh span id)
+    // on every backend frame, so the backend's spans join this trace.
     if (!plan.local_ids.empty()) {
       net::WireWriter body;
       body.reserve(4 + plan.local_ids.size() * 8);
       body.u32(static_cast<std::uint32_t>(plan.local_ids.size()));
       for (const std::uint64_t id : plan.local_ids) body.u64(id);
-      net::write_frame(*s, net::MsgType::kLookupIds, body);
+      if (trace_.sampled()) {
+        net::write_frame(*s, net::MsgType::kLookupIds, body, trace_.child());
+      } else {
+        net::write_frame(*s, net::MsgType::kLookupIds, body);
+      }
     }
     if (!plan.words.empty()) {
       std::size_t bytes = 4;
@@ -75,7 +81,12 @@ bool ClusterClient::send_plan(std::size_t shard, const Plan& plan) {
       body.reserve(bytes);
       body.u32(static_cast<std::uint32_t>(plan.words.size()));
       for (const std::string& w : plan.words) body.str(w);
-      net::write_frame(*s, net::MsgType::kLookupWords, body);
+      if (trace_.sampled()) {
+        net::write_frame(*s, net::MsgType::kLookupWords, body,
+                         trace_.child());
+      } else {
+        net::write_frame(*s, net::MsgType::kLookupWords, body);
+      }
     }
     return true;
   } catch (const net::NetError&) {
@@ -154,6 +165,9 @@ serve::LookupResult ClusterClient::execute(const std::vector<Plan>& plans,
   // reply is read, so shard execution overlaps. A shard marked down by a
   // previous failure (and not yet revived by a probe) is skipped outright:
   // degrading instantly beats re-paying a 2 s timeout on every request.
+  const bool traced = trace_.sampled();
+  const std::uint64_t scatter_t0 = traced ? obs::Tracer::now_ns() : 0;
+  std::vector<std::uint64_t> send_ns(traced ? n_shards : 0, 0);
   std::vector<std::uint8_t> sent(n_shards, 0);
   std::vector<std::uint8_t> retried(n_shards, 0);
   for (std::size_t b = 0; b < n_shards; ++b) {
@@ -162,6 +176,7 @@ serve::LookupResult ClusterClient::execute(const std::vector<Plan>& plans,
       last_shard_ok_[b] = 0;
       continue;
     }
+    if (traced) send_ns[b] = obs::Tracer::now_ns();
     if (send_plan(b, plans[b])) {
       sent[b] = 1;
     } else if (config_.retry && send_plan(b, plans[b])) {
@@ -180,14 +195,31 @@ serve::LookupResult ClusterClient::execute(const std::vector<Plan>& plans,
   std::vector<serve::LookupResult> words_replies(n_shards);
   for (std::size_t b = 0; b < n_shards; ++b) {
     if (!sent[b]) continue;
-    if (read_plan(b, plans[b], &ids_replies[b], &words_replies[b])) continue;
+    if (read_plan(b, plans[b], &ids_replies[b], &words_replies[b])) {
+      if (traced) {
+        obs::Tracer::instance().record(trace_, obs::TraceStage::kShardRtt,
+                                       send_ns[b], obs::Tracer::now_ns(),
+                                       static_cast<std::uint32_t>(b));
+      }
+      continue;
+    }
     if (config_.retry && !retried[b] && send_plan(b, plans[b]) &&
         read_plan(b, plans[b], &ids_replies[b], &words_replies[b])) {
+      if (traced) {
+        obs::Tracer::instance().record(trace_, obs::TraceStage::kShardRtt,
+                                       send_ns[b], obs::Tracer::now_ns(),
+                                       static_cast<std::uint32_t>(b));
+      }
       continue;
     }
     sent[b] = 0;
     last_shard_ok_[b] = 0;
     if (health_) health_->mark(b, false);
+  }
+  const std::uint64_t merge_t0 = traced ? obs::Tracer::now_ns() : 0;
+  if (traced) {
+    obs::Tracer::instance().record(trace_, obs::TraceStage::kRouterScatter,
+                                   scatter_t0, merge_t0);
   }
 
   // Merge. dim comes from the first answering shard whose reply actually
@@ -319,6 +351,11 @@ serve::LookupResult ClusterClient::execute(const std::vector<Plan>& plans,
   }
   hint_dim_ = out.dim;
   if (!out.version.empty()) hint_version_ = out.version;
+  if (traced) {
+    obs::Tracer::instance().record(trace_, obs::TraceStage::kRouterMerge,
+                                   merge_t0, obs::Tracer::now_ns());
+  }
+  trace_ = obs::TraceContext{};  // consumed: one set_trace per lookup
   return out;
 }
 
@@ -396,8 +433,11 @@ ClusterStatsReport ClusterClient::stats() {
         acc->qps += x.qps;
         acc->elapsed_seconds = std::max(acc->elapsed_seconds,
                                         x.elapsed_seconds);
-        acc->p50_latency_us = std::max(acc->p50_latency_us, x.p50_latency_us);
-        acc->p99_latency_us = std::max(acc->p99_latency_us, x.p99_latency_us);
+        // Latency distributions MERGE (exact integer bucket adds); the
+        // fleet percentiles are re-derived from the merged histogram
+        // below. A max over per-shard percentile scalars — the pre-v3
+        // behavior — is not a fleet percentile at all.
+        acc->latency.merge(x.latency);
       };
       fold(&report.aggregate.service, one.service);
       fold(&report.aggregate.batcher, one.batcher);
@@ -417,6 +457,8 @@ ClusterStatsReport ClusterClient::stats() {
       break;
     }
   }
+  report.aggregate.service.refresh_percentiles();
+  report.aggregate.batcher.refresh_percentiles();
   return report;
 }
 

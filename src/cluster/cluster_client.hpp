@@ -35,6 +35,7 @@
 #include "cluster/shard_map.hpp"
 #include "net/socket.hpp"
 #include "net/wire.hpp"
+#include "obs/trace.hpp"
 #include "serve/lookup_service.hpp"
 
 namespace anchor::cluster {
@@ -73,7 +74,7 @@ class ClusterHealth {
 
 /// Aggregated view of a control-plane fan-out (stats, ping).
 struct ClusterStatsReport {
-  net::ServerStatsReport aggregate;  // counters summed, latencies maxed
+  net::ServerStatsReport aggregate;  // counters summed, histograms merged
   /// live_version per shard ("" when the shard did not answer).
   std::vector<std::string> shard_versions;
   std::size_t shards_answering = 0;
@@ -103,9 +104,18 @@ class ClusterClient {
     return last_shard_ok_;
   }
 
+  /// Trace context for the NEXT lookup only: the router stamps the
+  /// request's context here before calling lookup_*, each backend frame
+  /// carries a child of it, and the scatter/per-shard-RTT/merge spans are
+  /// recorded against it. Consumed (reset) by the lookup, so untraced
+  /// requests on the same connection never inherit a stale trace.
+  void set_trace(const obs::TraceContext& ctx) { trace_ = ctx; }
+
   /// Control plane: kStats to every shard (skipping ones marked down),
-  /// summing counters and maxing latencies. aggregate.live_version is
-  /// the shards' unanimous version, or "mixed" while they disagree.
+  /// summing counters and MERGING the latency histograms — the
+  /// aggregate's percentiles are recomputed from the merged buckets, not
+  /// maxed across shards. aggregate.live_version is the shards'
+  /// unanimous version, or "mixed" while they disagree.
   ClusterStatsReport stats();
   /// Best-effort kShutdown to every reachable backend.
   void shutdown_backends();
@@ -142,6 +152,7 @@ class ClusterClient {
   ClusterConfig config_;
   std::shared_ptr<ClusterHealth> health_;
   std::vector<std::optional<net::TcpStream>> streams_;
+  obs::TraceContext trace_;  // pending trace for the next lookup
   bool last_degraded_ = false;
   std::vector<std::uint8_t> last_shard_ok_;
   /// Last observed embedding dim / majority version: the fallback shape

@@ -31,6 +31,40 @@ Router::Router(RouterConfig config)
   ANCHOR_CHECK_MSG(config_.map.num_shards() > 0,
                    "Router needs a non-empty ShardMap");
   rollout_.shards.assign(config_.map.num_shards(), {});
+  register_metrics();
+}
+
+void Router::register_metrics() {
+  requests_total_ = &metrics_.counter(
+      "anchor_router_requests_total",
+      "Request frames dispatched by the router (all types)");
+  lookups_total_ = &metrics_.counter(
+      "anchor_router_lookups_total",
+      "Scatter-gather lookups executed (ids + words)");
+  degraded_total_ = &metrics_.counter(
+      "anchor_router_degraded_lookups_total",
+      "Lookups that returned at least one degraded (zeroed+flagged) row");
+  lookup_latency_ = &metrics_.histogram(
+      "anchor_router_lookup_latency_us",
+      "End-to-end scatter-gather lookup latency as the router sees it "
+      "(microseconds)");
+  metrics_.on_collect([this](obs::MetricsRegistry& r) {
+    r.gauge("anchor_router_shards_alive",
+            "Backends currently marked healthy")
+        .set(static_cast<double>(health_->alive()));
+    r.gauge("anchor_router_shards_total", "Backends in the shard map")
+        .set(static_cast<double>(config_.map.num_shards()));
+    // RolloutState numeric: 0 idle, 1 running, 2 completed, 3 rolled
+    // back, 4 aborted (net/wire.hpp enum order).
+    r.gauge("anchor_router_rollout_state",
+            "Coordinated rollout state (0=idle 1=running 2=completed "
+            "3=rolled_back 4=aborted)")
+        .set(static_cast<double>(
+            static_cast<int>(rollout_status().state)));
+    r.counter("anchor_trace_spans_total",
+              "Trace spans recorded into this process's span ring")
+        .set(obs::Tracer::instance().spans_recorded());
+  });
 }
 
 Router::~Router() { stop(); }
@@ -137,11 +171,21 @@ void Router::handle_connection(net::TcpStream stream) {
   ClusterClient cc(cc_config, health_);
   net::MsgType type{};
   std::vector<std::uint8_t> payload;
+  obs::TraceContext trace;
   try {
     while (!stop_.load(std::memory_order_acquire)) {
       if (!stream.wait_readable(config_.poll_interval_ms)) continue;
-      if (!net::read_frame(stream, &type, &payload)) break;
-      if (!dispatch(stream, type, payload, cc)) break;
+      if (!net::read_frame(stream, &type, &payload, &trace)) break;
+      // router_recv brackets the whole router-side handling: frame
+      // parsed → reply written (scatter/merge spans nest inside it).
+      const std::uint64_t recv_ns =
+          trace.sampled() ? obs::Tracer::now_ns() : 0;
+      const bool keep = dispatch(stream, type, payload, cc, trace);
+      if (trace.sampled()) {
+        obs::Tracer::instance().record(trace, obs::TraceStage::kRouterRecv,
+                                       recv_ns, obs::Tracer::now_ns());
+      }
+      if (!keep) break;
     }
   } catch (const net::WireError&) {
     // Malformed framing from the client: close without a reply, exactly
@@ -152,13 +196,25 @@ void Router::handle_connection(net::TcpStream stream) {
 
 bool Router::dispatch(net::TcpStream& stream, net::MsgType type,
                       const std::vector<std::uint8_t>& payload,
-                      ClusterClient& cc) {
+                      ClusterClient& cc, const obs::TraceContext& trace) {
   net::WireReader reader(payload);
   net::WireWriter reply;
+  requests_total_->inc();
   const auto send_error = [&](const std::string& message) {
     net::WireWriter err;
     err.str(message);
     net::write_frame(stream, net::MsgType::kError, err);
+  };
+  // Times one scatter-gather lookup into the router's latency histogram
+  // and maintains the lookup/degraded counters around `body()`.
+  const auto timed_lookup = [&](const auto& body) {
+    const auto start = std::chrono::steady_clock::now();
+    body();
+    lookups_total_->inc();
+    if (cc.last_degraded()) degraded_total_->inc();
+    lookup_latency_->record(std::chrono::duration<double, std::micro>(
+                                std::chrono::steady_clock::now() - start)
+                                .count());
   };
   switch (type) {
     case net::MsgType::kLookupIds: {
@@ -170,7 +226,9 @@ bool Router::dispatch(net::TcpStream& stream, net::MsgType type,
       for (auto& id : ids) id = static_cast<std::size_t>(reader.u64());
       reader.expect_done();
       try {
-        const serve::LookupResult merged = cc.lookup_ids(ids);
+        if (trace.sampled()) cc.set_trace(trace);
+        serve::LookupResult merged;
+        timed_lookup([&] { merged = cc.lookup_ids(ids); });
         net::encode_lookup_result(merged, &reply);
         net::write_frame(stream, net::MsgType::kLookupIdsReply, reply);
       } catch (const net::NetError&) {
@@ -189,7 +247,9 @@ bool Router::dispatch(net::TcpStream& stream, net::MsgType type,
       for (auto& word : words) word = reader.str();
       reader.expect_done();
       try {
-        const serve::LookupResult merged = cc.lookup_words(words);
+        if (trace.sampled()) cc.set_trace(trace);
+        serve::LookupResult merged;
+        timed_lookup([&] { merged = cc.lookup_words(words); });
         net::encode_lookup_result(merged, &reply);
         net::write_frame(stream, net::MsgType::kLookupWordsReply, reply);
       } catch (const net::NetError&) {
@@ -197,6 +257,12 @@ bool Router::dispatch(net::TcpStream& stream, net::MsgType type,
       } catch (const std::exception& e) {
         send_error(e.what());
       }
+      return true;
+    }
+    case net::MsgType::kMetrics: {
+      reader.expect_done();
+      net::encode_metrics_report(metrics_.snapshot(), &reply);
+      net::write_frame(stream, net::MsgType::kMetricsReply, reply);
       return true;
     }
     case net::MsgType::kStats: {

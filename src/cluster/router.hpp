@@ -36,6 +36,8 @@
 #include "cluster/shard_map.hpp"
 #include "net/socket.hpp"
 #include "net/wire.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace anchor::cluster {
 
@@ -83,12 +85,24 @@ class Router {
   const ClusterHealth& health() const { return *health_; }
   net::RolloutStatusReport rollout_status() const;
 
+  /// The router's own metrics plane: scatter-gather latency histogram,
+  /// request/degradation counters, shards-alive and rollout-state gauges.
+  /// The kMetrics RPC and the daemon's Prometheus endpoint render
+  /// snapshots of this (disjoint from the backends' registries — scrape
+  /// each process separately, or merge histograms downstream).
+  obs::MetricsRegistry& metrics_registry() { return metrics_; }
+
  private:
   void accept_loop();
   void probe_loop();
   void handle_connection(net::TcpStream stream);
+  /// `trace` is the request frame's trace context (invalid when
+  /// untraced): lookups hand it to the ClusterClient so the scatter /
+  /// per-shard RTT / merge spans and the backends' frames join the trace.
   bool dispatch(net::TcpStream& stream, net::MsgType type,
-                const std::vector<std::uint8_t>& payload, ClusterClient& cc);
+                const std::vector<std::uint8_t>& payload, ClusterClient& cc,
+                const obs::TraceContext& trace);
+  void register_metrics();
 
   /// Starts the rollout thread; returns a non-empty error when one is
   /// already running or the request is malformed.
@@ -115,6 +129,13 @@ class Router {
   RouterConfig config_;
   std::shared_ptr<ClusterHealth> health_;
   net::TcpListener listener_;
+  obs::MetricsRegistry metrics_;
+  /// Owned hot-path metrics (registry references are stable for its
+  /// lifetime; handlers update them lock-free).
+  obs::Counter* requests_total_ = nullptr;
+  obs::Counter* lookups_total_ = nullptr;
+  obs::Counter* degraded_total_ = nullptr;
+  obs::LogHistogram* lookup_latency_ = nullptr;
 
   std::atomic<bool> stop_{false};
   std::atomic<bool> shutdown_requested_{false};

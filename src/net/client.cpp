@@ -8,11 +8,28 @@ Client::Client(const std::string& host, std::uint16_t port)
 std::vector<std::uint8_t> Client::roundtrip(MsgType request,
                                             const WireWriter& body,
                                             MsgType expected) {
-  write_frame(stream_, request, body);
+  // Attach a trace context: a pinned one (set_next_trace, consumed here)
+  // wins over the sampling draw.
+  obs::TraceContext ctx = next_trace_;
+  next_trace_ = obs::TraceContext{};
+  if (!ctx.valid() && trace_sampling_ > 0.0) {
+    std::uniform_real_distribution<double> u(0.0, 1.0);
+    if (u(sample_rng_) < trace_sampling_) ctx = obs::TraceContext::start();
+  }
+  last_trace_ = ctx;
+
+  const std::uint64_t start_ns = obs::Tracer::now_ns();
+  write_frame(stream_, request, body, ctx);
   MsgType type{};
   std::vector<std::uint8_t> payload;
   if (!read_frame(stream_, &type, &payload)) {
     throw NetError("server closed the connection");
+  }
+  if (ctx.sampled()) {
+    const std::uint64_t end_ns = obs::Tracer::now_ns();
+    obs::Tracer::instance().record(ctx, obs::TraceStage::kClientSend,
+                                   start_ns, end_ns);
+    obs::Tracer::instance().finish_request(ctx, start_ns, end_ns);
   }
   if (type == MsgType::kError) {
     WireReader reader(payload);
@@ -156,6 +173,15 @@ ServerStatsReport Client::stats() {
       roundtrip(MsgType::kStats, WireWriter(), MsgType::kStatsReply);
   WireReader reader(payload);
   ServerStatsReport report = decode_server_stats(&reader);
+  reader.expect_done();
+  return report;
+}
+
+obs::MetricsReport Client::metrics() {
+  const auto payload =
+      roundtrip(MsgType::kMetrics, WireWriter(), MsgType::kMetricsReply);
+  WireReader reader(payload);
+  obs::MetricsReport report = decode_metrics_report(&reader);
   reader.expect_done();
   return report;
 }

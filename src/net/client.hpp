@@ -8,12 +8,14 @@
 #pragma once
 
 #include <cstdint>
+#include <random>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "net/socket.hpp"
 #include "net/wire.hpp"
+#include "obs/trace.hpp"
 #include "serve/deployment_gate.hpp"
 #include "serve/lookup_service.hpp"
 
@@ -80,10 +82,29 @@ class Client {
   std::string shard_map();
 
   ServerStatsReport stats();
+  /// The server's metrics registry (counters, gauges, histograms) — what
+  /// `anchor_cli metrics` renders. Both daemons answer this.
+  obs::MetricsReport metrics();
   void ping();
   /// Asks the daemon to exit its serving loop. The reply is confirmed
   /// before returning, so a scripted caller can wait(1) on the daemon pid.
   void shutdown_server();
+
+  // ---- request tracing --------------------------------------------------
+  // A traced request carries a TraceContext in its frame extension; every
+  // stage along the path (server dispatch, batcher, lookup, and — through
+  // a router — scatter/gather and per-shard RTTs) records spans into its
+  // process's obs::Tracer. The client itself records the end-to-end
+  // kClientSend span and triggers the slow-request log.
+
+  /// Fraction of requests to trace (0 = off, 1 = all). Sampled per
+  /// request with fresh trace ids.
+  void set_trace_sampling(double rate) { trace_sampling_ = rate; }
+  /// Forces the NEXT request (only) to carry exactly `ctx` — how tests
+  /// and `anchor_cli` pin a known trace id.
+  void set_next_trace(const obs::TraceContext& ctx) { next_trace_ = ctx; }
+  /// The context the most recent request carried (invalid when untraced).
+  const obs::TraceContext& last_trace() const { return last_trace_; }
 
  private:
   /// Sends one frame, reads one reply. Throws RpcError on kError replies,
@@ -92,6 +113,10 @@ class Client {
                                       MsgType expected);
 
   TcpStream stream_;
+  double trace_sampling_ = 0.0;
+  obs::TraceContext next_trace_;
+  obs::TraceContext last_trace_;
+  std::mt19937_64 sample_rng_{std::random_device{}()};
 };
 
 }  // namespace anchor::net

@@ -1,0 +1,85 @@
+#include "net/metrics_http.hpp"
+
+#include <cstring>
+
+namespace anchor::net {
+
+namespace {
+
+// Scrape-side bounds: an HTTP request head larger than this is not a
+// scraper, and a peer that dribbles bytes slower than the timeout is
+// dropped rather than pinning the exporter thread.
+constexpr std::size_t kMaxHeadBytes = 8192;
+constexpr int kIoTimeoutMs = 2000;
+constexpr int kAcceptPollMs = 100;
+
+}  // namespace
+
+MetricsHttpServer::MetricsHttpServer(std::uint16_t port,
+                                     std::function<std::string()> render)
+    : listener_(TcpListener::bind_loopback(port)),
+      render_(std::move(render)) {}
+
+MetricsHttpServer::~MetricsHttpServer() { stop(); }
+
+void MetricsHttpServer::start() {
+  if (thread_.joinable()) return;
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+void MetricsHttpServer::stop() {
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  listener_.close();
+}
+
+void MetricsHttpServer::serve_loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    try {
+      TcpStream conn = listener_.accept(kAcceptPollMs);
+      if (!conn.valid()) continue;
+      handle(std::move(conn));
+    } catch (const NetError&) {
+      // accept() can fail transiently (or the listener was closed by a
+      // racing stop()); a scrape endpoint should never take the process
+      // down over it.
+      if (stop_.load(std::memory_order_acquire)) return;
+    }
+  }
+}
+
+void MetricsHttpServer::handle(TcpStream stream) {
+  stream.set_io_timeout(kIoTimeoutMs);
+  // Read until the CRLFCRLF (or bare LFLF) that ends the request head.
+  // Byte-at-a-time is fine: heads are ~100 bytes and scrapes are rare.
+  std::string head;
+  try {
+    char c = 0;
+    while (head.size() < kMaxHeadBytes) {
+      stream.read_exact(&c, 1);
+      head.push_back(c);
+      if (head.size() >= 4 &&
+          head.compare(head.size() - 4, 4, "\r\n\r\n") == 0) {
+        break;
+      }
+      if (head.size() >= 2 && head.compare(head.size() - 2, 2, "\n\n") == 0) {
+        break;
+      }
+    }
+  } catch (const NetError&) {
+    return;  // truncated request: nothing useful to answer
+  }
+  const std::string body = render_();
+  std::string response = "HTTP/1.0 200 OK\r\n";
+  response += "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n";
+  response += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  response += "Connection: close\r\n\r\n";
+  response += body;
+  try {
+    stream.write_all(response.data(), response.size());
+  } catch (const NetError&) {
+    // Scraper went away mid-reply; drop it.
+  }
+}
+
+}  // namespace anchor::net

@@ -1,0 +1,55 @@
+// Minimal Prometheus scrape endpoint: an HTTP/1.0 responder over
+// TcpListener that answers every GET with the text exposition a render
+// callback produces at scrape time.
+//
+// This is deliberately NOT a web server. It exists so `curl
+// host:port/metrics` and a Prometheus scraper work against the daemons
+// without pulling an HTTP library into the image: it reads until the
+// blank line ending the request head (discarding method/path — every
+// path serves the metrics page, which is what node_exporter-style
+// single-purpose exporters do), writes one `200 OK` with
+// `Content-Type: text/plain; version=0.0.4`, and closes. Connection
+// reuse, chunked encoding, and request bodies are out of scope.
+//
+// One accept thread, scrapes handled inline (a scrape is one render +
+// one write — queueing the next scraper for that long is fine at any
+// realistic scrape interval). stop() is idempotent and joins the thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "net/socket.hpp"
+
+namespace anchor::net {
+
+class MetricsHttpServer {
+ public:
+  /// `render` is called once per scrape, on the exporter's thread; it
+  /// must be thread-safe against the process's hot paths (a
+  /// MetricsRegistry snapshot is). Binds 127.0.0.1:port immediately
+  /// (0 = ephemeral); serves once start() is called.
+  MetricsHttpServer(std::uint16_t port, std::function<std::string()> render);
+  ~MetricsHttpServer();
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  std::uint16_t port() const { return listener_.port(); }
+
+  void start();
+  void stop();
+
+ private:
+  void serve_loop();
+  void handle(TcpStream stream);
+
+  TcpListener listener_;
+  std::function<std::string()> render_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace anchor::net

@@ -17,7 +17,80 @@ Server::Server(serve::EmbeddingStore& store, ServerConfig config)
       service_(store, config.lookup, service_stats_),
       async_(service_, config.batcher, batcher_stats_),
       gate_(config.gate),
-      listener_(TcpListener::bind_loopback(config.port)) {}
+      listener_(TcpListener::bind_loopback(config.port)) {
+  register_metrics();
+}
+
+void Server::register_metrics() {
+  // Counter/gauge values are bridged at snapshot time from the serve
+  // layer's own atomics (no double counting, no hot-path changes); the
+  // latency histograms are live LogHistogram snapshots, so the exported
+  // _bucket series merge exactly across processes.
+  metrics_.register_histogram(
+      "anchor_service_latency_us",
+      "Per executed lookup batch latency (LookupService view)",
+      [this] { return service_stats_->latency_histogram(); });
+  metrics_.register_histogram(
+      "anchor_batcher_latency_us",
+      "Per coalesced batch latency, oldest enqueue to scatter "
+      "(client-observed view)",
+      [this] { return batcher_stats_->latency_histogram(); });
+  // Remembers the previously exported version label so a hot swap zeroes
+  // the stale series instead of leaving two versions claiming live.
+  auto last_version = std::make_shared<std::string>();
+  metrics_.on_collect([this, last_version](obs::MetricsRegistry& reg) {
+    const serve::StatsSnapshot service = service_stats_->snapshot();
+    const serve::StatsSnapshot batcher = batcher_stats_->snapshot();
+    reg.counter("anchor_lookup_requests_total",
+                "Vectors served (client-observed, batcher view)")
+        .set(batcher.lookups);
+    reg.counter("anchor_batches_total", "Coalesced batches executed")
+        .set(batcher.batches);
+    reg.counter("anchor_service_lookups_total",
+                "Vectors served by the underlying LookupService "
+                "(canary traffic included)")
+        .set(service.lookups);
+    reg.counter("anchor_cache_hits_total", "Hot-row cache hits")
+        .set(service.cache_hits);
+    reg.counter("anchor_cache_misses_total", "Hot-row cache misses")
+        .set(service.cache_misses);
+    reg.counter("anchor_oov_fallbacks_total",
+                "Lookups answered via subword synthesis")
+        .set(service.oov_fallbacks);
+    reg.gauge("anchor_batch_occupancy",
+              "Mean keys per coalesced batch since start/reset")
+        .set(batcher.batches > 0
+                 ? static_cast<double>(batcher.lookups) /
+                       static_cast<double>(batcher.batches)
+                 : 0.0);
+    reg.gauge("anchor_batcher_pending", "Requests queued, not yet flushed")
+        .set(static_cast<double>(async_.pending()));
+    reg.counter("anchor_trace_spans_total",
+                "Trace spans recorded into this process's span ring")
+        .set(obs::Tracer::instance().spans_recorded());
+    const std::string version = store_.live_version();
+    if (!version.empty()) {
+      const std::string name =
+          "anchor_live_version_info{version=\"" + version + "\"}";
+      if (*last_version != name) {
+        if (!last_version->empty()) {
+          reg.gauge(*last_version, "Live embedding version (1 = live)")
+              .set(0.0);
+        }
+        *last_version = name;
+      }
+      reg.gauge(name, "Live embedding version (1 = live)").set(1.0);
+    }
+    const CanaryStatusReport canary = canary_status_report();
+    reg.gauge("anchor_canary_state",
+              "CanaryState enum value (0 none, 1 offline-rejected, "
+              "2 running, 3 promoted, 4 rolled-back, 5 aborted)")
+        .set(static_cast<double>(canary.state));
+    reg.counter("anchor_canary_shadows_total",
+                "Shadow lookups scored by the current/last canary")
+        .set(canary.online.shadows);
+  });
+}
 
 Server::~Server() { stop(); }
 
@@ -85,13 +158,23 @@ void Server::handle_connection(TcpStream stream) {
   stream.set_io_timeout(config_.io_timeout_ms);
   MsgType type{};
   std::vector<std::uint8_t> payload;
+  obs::TraceContext trace;
   try {
     while (!stop_.load(std::memory_order_acquire)) {
       // Poll so a stop() issued while the client is idle is honored within
       // one interval instead of blocking in recv forever.
       if (!stream.wait_readable(config_.poll_interval_ms)) continue;
-      if (!read_frame(stream, &type, &payload)) break;  // client went away
-      if (!dispatch(stream, type, payload)) break;
+      if (!read_frame(stream, &type, &payload, &trace)) break;  // went away
+      // backend_recv brackets the whole server-side handling: frame
+      // parsed → reply written.
+      const std::uint64_t recv_ns =
+          trace.sampled() ? obs::Tracer::now_ns() : 0;
+      const bool keep = dispatch(stream, type, payload, trace);
+      if (trace.sampled()) {
+        obs::Tracer::instance().record(trace, obs::TraceStage::kBackendRecv,
+                                       recv_ns, obs::Tracer::now_ns());
+      }
+      if (!keep) break;
     }
   } catch (const WireError&) {
     // Malformed framing: the stream position is unrecoverable, so close
@@ -102,7 +185,8 @@ void Server::handle_connection(TcpStream stream) {
 }
 
 bool Server::dispatch(TcpStream& stream, MsgType type,
-                      const std::vector<std::uint8_t>& payload) {
+                      const std::vector<std::uint8_t>& payload,
+                      const obs::TraceContext& trace) {
   WireReader reader(payload);
   WireWriter reply;
   // Upper bound on keys whose REPLY still fits the frame cap: each row
@@ -150,10 +234,14 @@ bool Server::dispatch(TcpStream& stream, MsgType type,
           return true;
         }
         // Single keys ride the allocation-free ring fast path; bigger
-        // requests coalesce on the general path.
+        // requests coalesce on the general path. Traced requests always
+        // take the general path — the ring's slots carry no trace, and a
+        // sampled request is rare enough that the span fidelity is worth
+        // more than the fast path.
         const serve::ResultSlice slice =
-            ids.size() == 1 ? async_.lookup_id(ids[0]).get()
-                            : async_.lookup_ids(std::move(ids)).get();
+            trace.sampled() ? async_.lookup_ids(std::move(ids), trace).get()
+            : ids.size() == 1 ? async_.lookup_id(ids[0]).get()
+                              : async_.lookup_ids(std::move(ids)).get();
         encode_result_slice(slice, &reply);
         write_frame(stream, MsgType::kLookupIdsReply, reply);
       } catch (const NetError&) {
@@ -192,7 +280,9 @@ bool Server::dispatch(TcpStream& stream, MsgType type,
           return true;
         }
         const serve::ResultSlice slice =
-            async_.lookup_words(std::move(words)).get();
+            trace.sampled()
+                ? async_.lookup_words(std::move(words), trace).get()
+                : async_.lookup_words(std::move(words)).get();
         encode_result_slice(slice, &reply);
         write_frame(stream, MsgType::kLookupWordsReply, reply);
       } catch (const NetError&) {
@@ -279,6 +369,12 @@ bool Server::dispatch(TcpStream& stream, MsgType type,
     case MsgType::kPing: {
       reader.expect_done();
       write_frame(stream, MsgType::kPong, reply);
+      return true;
+    }
+    case MsgType::kMetrics: {
+      reader.expect_done();
+      encode_metrics_report(metrics_.snapshot(), &reply);
+      write_frame(stream, MsgType::kMetricsReply, reply);
       return true;
     }
     case MsgType::kCanaryStart: {

@@ -27,6 +27,8 @@
 
 #include "net/socket.hpp"
 #include "net/wire.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/batcher.hpp"
 #include "serve/canary.hpp"
 #include "serve/deployment_gate.hpp"
@@ -86,6 +88,10 @@ class Server {
   const serve::LookupService& service() const { return service_; }
   serve::AsyncLookupService& async() { return async_; }
   const serve::DeploymentGate& gate() const { return gate_; }
+  /// The process metrics plane: serve-layer counters and latency
+  /// histograms are bridged in by the constructor; the kMetrics RPC and
+  /// the daemon's Prometheus endpoint both render snapshots of this.
+  obs::MetricsRegistry& metrics_registry() { return metrics_; }
   /// The canary most recently started over RPC (running or terminal);
   /// nullptr when none was ever started. For tests/monitoring.
   std::shared_ptr<serve::CanaryRouter> canary() const;
@@ -94,9 +100,13 @@ class Server {
   void accept_loop();
   void handle_connection(TcpStream stream);
   /// Dispatches one request frame; returns false when the connection
-  /// should close (shutdown honored).
+  /// should close (shutdown honored). `trace` is the frame's trace
+  /// context (invalid for untraced requests): traced lookups take the
+  /// batcher's traced general path so their spans are recorded.
   bool dispatch(TcpStream& stream, MsgType type,
-                const std::vector<std::uint8_t>& payload);
+                const std::vector<std::uint8_t>& payload,
+                const obs::TraceContext& trace);
+  void register_metrics();
 
   serve::EmbeddingStore& store_;
   ServerConfig config_;
@@ -108,6 +118,7 @@ class Server {
   serve::AsyncLookupService async_;
   serve::DeploymentGate gate_;
   TcpListener listener_;
+  obs::MetricsRegistry metrics_;
 
   struct Connection {
     std::thread thread;

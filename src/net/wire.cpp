@@ -5,31 +5,49 @@
 
 namespace anchor::net {
 
-void write_frame(TcpStream& stream, MsgType type, const WireWriter& payload) {
+void write_frame(TcpStream& stream, MsgType type, const WireWriter& payload,
+                 const obs::TraceContext& trace) {
   const std::vector<std::uint8_t>& body = payload.buffer();
-  ANCHOR_CHECK_MSG(body.size() + 3 <= kMaxFrameBytes, "frame too large");
+  const std::uint8_t ext_len = trace.valid() ? kTraceExtBytes : 0;
+  ANCHOR_CHECK_MSG(body.size() + 4 + ext_len <= kMaxFrameBytes,
+                   "frame too large");
   // One contiguous buffer per frame: a single send() keeps small RPCs in
   // one TCP segment (TCP_NODELAY would otherwise split prefix and body).
   std::vector<std::uint8_t> frame;
-  frame.reserve(4 + 3 + body.size());
-  const std::uint32_t len = static_cast<std::uint32_t>(3 + body.size());
+  frame.reserve(4 + 4 + ext_len + body.size());
+  const std::uint32_t len =
+      static_cast<std::uint32_t>(4 + ext_len + body.size());
   const auto* lp = reinterpret_cast<const std::uint8_t*>(&len);
   frame.insert(frame.end(), lp, lp + 4);
   frame.push_back(kWireMagic);
   frame.push_back(kWireVersion);
   frame.push_back(static_cast<std::uint8_t>(type));
+  frame.push_back(ext_len);
+  if (ext_len != 0) {
+    const auto* tp = reinterpret_cast<const std::uint8_t*>(&trace.trace_id);
+    frame.insert(frame.end(), tp, tp + 8);
+    const auto* sp = reinterpret_cast<const std::uint8_t*>(&trace.span_id);
+    frame.insert(frame.end(), sp, sp + 8);
+    frame.push_back(trace.flags);
+  }
   frame.insert(frame.end(), body.begin(), body.end());
   stream.write_all(frame.data(), frame.size());
 }
 
+void write_frame(TcpStream& stream, MsgType type, const WireWriter& payload) {
+  write_frame(stream, type, payload, obs::TraceContext{});
+}
+
 bool read_frame(TcpStream& stream, MsgType* type,
-                std::vector<std::uint8_t>* payload) {
+                std::vector<std::uint8_t>* payload,
+                obs::TraceContext* trace) {
+  if (trace != nullptr) *trace = obs::TraceContext{};
   std::uint32_t len = 0;
   if (!stream.read_exact_or_eof(&len, sizeof(len))) return false;
-  if (len < 3 || len > kMaxFrameBytes) {
+  if (len < 4 || len > kMaxFrameBytes) {
     throw WireError("bad frame length: " + std::to_string(len));
   }
-  std::uint8_t header[3];
+  std::uint8_t header[4];
   stream.read_exact(header, sizeof(header));
   if (header[0] != kWireMagic) throw WireError("bad magic byte");
   if (header[1] != kWireVersion) {
@@ -37,7 +55,23 @@ bool read_frame(TcpStream& stream, MsgType* type,
                     std::to_string(header[1]));
   }
   *type = static_cast<MsgType>(header[2]);
-  payload->resize(len - 3);
+  const std::uint8_t ext_len = header[3];
+  if (ext_len > len - 4) {
+    throw WireError("extension length exceeds frame");
+  }
+  if (ext_len != 0) {
+    std::uint8_t ext[255];
+    stream.read_exact(ext, ext_len);
+    // A trace extension needs all 17 bytes; anything shorter (or any
+    // bytes beyond them) is an extension this version does not know and
+    // skips — that forward-compat hole is the point of ext_len.
+    if (ext_len >= kTraceExtBytes && trace != nullptr) {
+      std::memcpy(&trace->trace_id, ext, 8);
+      std::memcpy(&trace->span_id, ext + 8, 8);
+      trace->flags = ext[16];
+    }
+  }
+  payload->resize(len - 4 - ext_len);
   if (!payload->empty()) stream.read_exact(payload->data(), payload->size());
   return true;
 }
@@ -120,6 +154,51 @@ serve::GateReport decode_gate_report(WireReader* r) {
   return report;
 }
 
+// ---- histograms --------------------------------------------------------
+
+void encode_histogram(const obs::HistogramSnapshot& h, WireWriter* w) {
+  w->u64(h.count);
+  w->u64(h.sum_units);
+  w->u64(h.min_units);
+  w->u64(h.max_units);
+  std::uint32_t nonzero = 0;
+  for (const std::uint64_t c : h.counts) {
+    if (c != 0) ++nonzero;
+  }
+  w->u32(nonzero);
+  for (std::size_t i = 0; i < h.counts.size(); ++i) {
+    if (h.counts[i] != 0) {
+      w->u16(static_cast<std::uint16_t>(i));
+      w->u64(h.counts[i]);
+    }
+  }
+}
+
+obs::HistogramSnapshot decode_histogram(WireReader* r) {
+  obs::HistogramSnapshot h;
+  h.count = r->u64();
+  h.sum_units = r->u64();
+  h.min_units = r->u64();
+  h.max_units = r->u64();
+  const std::uint32_t nonzero = r->u32();
+  // Each entry is 10 payload bytes; same overrun discipline as
+  // decode_lookup_result.
+  if (nonzero > r->remaining() / 10) {
+    throw WireError("histogram entry count exceeds payload");
+  }
+  if (nonzero != 0) {
+    h.counts.assign(obs::LogHistogram::kNumBuckets, 0);
+    for (std::uint32_t i = 0; i < nonzero; ++i) {
+      const std::uint16_t idx = r->u16();
+      if (idx >= obs::LogHistogram::kNumBuckets) {
+        throw WireError("histogram bucket index out of range");
+      }
+      h.counts[idx] = r->u64();
+    }
+  }
+  return h;
+}
+
 // ---- StatsSnapshot -----------------------------------------------------
 
 void encode_stats_snapshot(const serve::StatsSnapshot& s, WireWriter* w) {
@@ -132,6 +211,9 @@ void encode_stats_snapshot(const serve::StatsSnapshot& s, WireWriter* w) {
   w->f64(s.qps);
   w->f64(s.p50_latency_us);
   w->f64(s.p99_latency_us);
+  // v3: the full histogram follows, so aggregators can MERGE latency
+  // distributions instead of comparing percentile scalars.
+  encode_histogram(s.latency, w);
 }
 
 serve::StatsSnapshot decode_stats_snapshot(WireReader* r) {
@@ -145,7 +227,61 @@ serve::StatsSnapshot decode_stats_snapshot(WireReader* r) {
   s.qps = r->f64();
   s.p50_latency_us = r->f64();
   s.p99_latency_us = r->f64();
+  s.latency = decode_histogram(r);
   return s;
+}
+
+// ---- metrics -----------------------------------------------------------
+
+void encode_metrics_report(const obs::MetricsReport& m, WireWriter* w) {
+  w->u32(static_cast<std::uint32_t>(m.metrics.size()));
+  for (const obs::MetricValue& v : m.metrics) {
+    w->u8(static_cast<std::uint8_t>(v.kind));
+    w->str(v.name);
+    w->str(v.help);
+    switch (v.kind) {
+      case obs::MetricKind::kCounter:
+        w->u64(v.counter);
+        break;
+      case obs::MetricKind::kGauge:
+        w->f64(v.gauge);
+        break;
+      case obs::MetricKind::kHistogram:
+        encode_histogram(v.hist, w);
+        break;
+    }
+  }
+}
+
+obs::MetricsReport decode_metrics_report(WireReader* r) {
+  obs::MetricsReport m;
+  const std::uint32_t n = r->u32();
+  // Minimum metric entry: kind byte + two empty strings = 9 bytes.
+  if (n > r->remaining() / 9) {
+    throw WireError("metric count exceeds payload");
+  }
+  m.metrics.resize(n);
+  for (obs::MetricValue& v : m.metrics) {
+    const std::uint8_t kind = r->u8();
+    if (kind > static_cast<std::uint8_t>(obs::MetricKind::kHistogram)) {
+      throw WireError("bad metric kind code");
+    }
+    v.kind = static_cast<obs::MetricKind>(kind);
+    v.name = r->str();
+    v.help = r->str();
+    switch (v.kind) {
+      case obs::MetricKind::kCounter:
+        v.counter = r->u64();
+        break;
+      case obs::MetricKind::kGauge:
+        v.gauge = r->f64();
+        break;
+      case obs::MetricKind::kHistogram:
+        v.hist = decode_histogram(r);
+        break;
+    }
+  }
+  return m;
 }
 
 void encode_server_stats(const ServerStatsReport& s, WireWriter* w) {

@@ -1,9 +1,12 @@
 // Length-prefixed binary wire protocol for the serving front-end.
 //
-// Every message is one frame: a u32 payload length, then a 3-byte header
-// (magic, protocol version, message type), then a type-specific payload.
-// All integers and floats are little-endian (x86 native; see PROTOCOL.md
-// for the normative layout). Response payloads reuse the serve-layer
+// Every message is one frame: a u32 payload length, then a 4-byte header
+// (magic, protocol version, message type, extension length), then
+// `ext_len` extension bytes, then a type-specific payload. The extension
+// carries the optional TraceContext (17 bytes; see PROTOCOL.md) — peers
+// skip extension bytes they do not understand, so tracing rides along
+// without perturbing any payload layout. All integers and floats are
+// little-endian (x86 native; see PROTOCOL.md for the normative layout). Response payloads reuse the serve-layer
 // structs verbatim — a lookup reply IS a serialized serve::LookupResult,
 // a promote reply IS a serialized serve::GateReport — so the client
 // deserializes straight into the same types in-process callers use.
@@ -19,6 +22,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/batcher.hpp"
 #include "serve/canary.hpp"
 #include "serve/deployment_gate.hpp"
@@ -40,9 +45,18 @@ inline constexpr std::uint8_t kWireMagic = 0xA7;
 /// v2: CanaryStatus payloads carry the worst-k displacement keys (an
 /// insertion before trailing fields — not decodable as v1), CanaryAbort
 /// grew an optional drain byte, and the cluster router types 0x0A–0x0D
-/// were added. Mixed v1/v2 peers disconnect cleanly on the version byte
-/// instead of tripping over the layout mid-payload.
-inline constexpr std::uint8_t kWireVersion = 2;
+/// were added.
+/// v3: the frame header grew a fourth byte (extension length) so frames
+/// can carry an optional TraceContext; StatsSnapshot payloads append the
+/// full latency histogram; the METRICS pair 0x0E/0x8E was added. Mixed
+/// v2/v3 peers disconnect cleanly on the version byte instead of
+/// tripping over the layout mid-payload.
+inline constexpr std::uint8_t kWireVersion = 3;
+/// Byte size of the TraceContext frame extension (u64 trace id, u64 span
+/// id, u8 flags). An ext_len ≥ this carries a trace; extension bytes
+/// beyond the first 17 are skipped (room for future extensions within
+/// v3).
+inline constexpr std::uint8_t kTraceExtBytes = 17;
 /// Frames above this are rejected before allocation — a garbage length
 /// prefix must not become a multi-gigabyte resize.
 inline constexpr std::uint32_t kMaxFrameBytes = 1u << 26;  // 64 MiB
@@ -64,6 +78,9 @@ enum class MsgType : std::uint8_t {
   kRolloutStatus = 0x0B,
   kRolloutAbort = 0x0C,
   kShardMap = 0x0D,
+  // Answered by daemon AND router: a MetricsReport of the process's
+  // metrics registry.
+  kMetrics = 0x0E,
   // Responses: request type | 0x80.
   kLookupIdsReply = 0x81,
   kLookupWordsReply = 0x82,
@@ -78,6 +95,7 @@ enum class MsgType : std::uint8_t {
   kRolloutStatusReply = 0x8B,
   kRolloutAbortReply = 0x8C,
   kShardMapReply = 0x8D,
+  kMetricsReply = 0x8E,
   // Carries a string; sent instead of the normal reply when the server
   // failed to serve the request (e.g. unknown candidate version).
   kError = 0x7F,
@@ -179,13 +197,19 @@ class WireReader {
 // ---- frame I/O ---------------------------------------------------------
 
 /// Writes one frame (length prefix + header + payload) in a single send.
+/// When `trace` is valid, it rides in the frame extension.
+void write_frame(TcpStream& stream, MsgType type, const WireWriter& payload,
+                 const obs::TraceContext& trace);
 void write_frame(TcpStream& stream, MsgType type, const WireWriter& payload);
 
 /// Reads one frame. Returns false on clean EOF before a frame starts.
-/// Throws WireError on bad magic/version/length, NetError on socket
-/// failures or EOF mid-frame.
+/// Throws WireError on bad magic/version/length or an extension length
+/// exceeding the frame, NetError on socket failures or EOF mid-frame.
+/// When `trace` is non-null it receives the frame's TraceContext (a
+/// zeroed context when the frame carried none).
 bool read_frame(TcpStream& stream, MsgType* type,
-                std::vector<std::uint8_t>* payload);
+                std::vector<std::uint8_t>* payload,
+                obs::TraceContext* trace = nullptr);
 
 // ---- payload codecs (shared by Client and Server) ----------------------
 
@@ -204,8 +228,17 @@ serve::LookupResult decode_lookup_result(WireReader* r);
 void encode_gate_report(const serve::GateReport& report, WireWriter* w);
 serve::GateReport decode_gate_report(WireReader* r);
 
+/// Sparse histogram codec: aggregates, then {bucket index, count} pairs
+/// for the nonzero buckets only — a latency histogram with a handful of
+/// hot buckets costs tens of bytes, not kNumBuckets · 8.
+void encode_histogram(const obs::HistogramSnapshot& h, WireWriter* w);
+obs::HistogramSnapshot decode_histogram(WireReader* r);
+
 void encode_stats_snapshot(const serve::StatsSnapshot& s, WireWriter* w);
 serve::StatsSnapshot decode_stats_snapshot(WireReader* r);
+
+void encode_metrics_report(const obs::MetricsReport& m, WireWriter* w);
+obs::MetricsReport decode_metrics_report(WireReader* r);
 
 /// Stats reply payload: what the daemon reports about itself.
 struct ServerStatsReport {

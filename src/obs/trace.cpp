@@ -1,0 +1,201 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+namespace anchor::obs {
+
+namespace {
+
+/// Per-thread splitmix64 stream seeded from the monotonic clock and the
+/// thread id — ids need to be unique-in-practice across the fleet, not
+/// cryptographic.
+std::uint64_t next_id() {
+  static std::atomic<std::uint64_t> salt{0x9e3779b97f4a7c15ull};
+  thread_local std::uint64_t state =
+      static_cast<std::uint64_t>(
+          std::chrono::steady_clock::now().time_since_epoch().count()) ^
+      (std::hash<std::thread::id>{}(std::this_thread::get_id()) << 1) ^
+      salt.fetch_add(0x9e3779b97f4a7c15ull, std::memory_order_relaxed);
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return z != 0 ? z : 1;  // 0 means "no trace"
+}
+
+thread_local TraceContext g_current{};
+
+}  // namespace
+
+TraceContext TraceContext::child() const {
+  TraceContext c = *this;
+  c.span_id = next_id();
+  return c;
+}
+
+TraceContext TraceContext::start(bool sampled) {
+  TraceContext c;
+  c.trace_id = next_id();
+  c.span_id = next_id();
+  c.flags = sampled ? kSampled : 0;
+  return c;
+}
+
+const char* trace_stage_name(TraceStage stage) {
+  switch (stage) {
+    case TraceStage::kClientSend:
+      return "client_send";
+    case TraceStage::kRouterRecv:
+      return "router_recv";
+    case TraceStage::kRouterScatter:
+      return "router_scatter";
+    case TraceStage::kShardRtt:
+      return "shard_rtt";
+    case TraceStage::kRouterMerge:
+      return "router_merge";
+    case TraceStage::kBackendRecv:
+      return "backend_recv";
+    case TraceStage::kBatchQueue:
+      return "batch_queue";
+    case TraceStage::kBatchExec:
+      return "batch_exec";
+    case TraceStage::kDequantize:
+      return "dequantize";
+  }
+  return "unknown";
+}
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::configure(TracerConfig config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  config_ = std::move(config);
+}
+
+TracerConfig Tracer::config() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return config_;
+}
+
+std::uint64_t Tracer::now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+void Tracer::record(const TraceContext& ctx, TraceStage stage,
+                    std::uint64_t start_ns, std::uint64_t end_ns,
+                    std::uint32_t detail) {
+  if (!ctx.sampled()) return;
+  Slot& slot = ring_[cursor_.fetch_add(1, std::memory_order_relaxed) % kRing];
+  // Seqlock write: odd seq marks the slot in flux; the release store of
+  // the even seq publishes the fields. A reader that raced us sees a
+  // changed (or odd) seq and discards the slot.
+  const std::uint64_t seq =
+      slot.seq.load(std::memory_order_relaxed) | 1ull;
+  slot.seq.store(seq, std::memory_order_release);
+  slot.trace_id.store(ctx.trace_id, std::memory_order_relaxed);
+  slot.span_id.store(ctx.span_id, std::memory_order_relaxed);
+  slot.start_ns.store(start_ns, std::memory_order_relaxed);
+  slot.end_ns.store(end_ns, std::memory_order_relaxed);
+  slot.stage_detail.store(
+      static_cast<std::uint32_t>(stage) | (detail << 8),
+      std::memory_order_relaxed);
+  slot.seq.store(seq + 1, std::memory_order_release);
+}
+
+std::vector<SpanRecord> Tracer::spans_for(std::uint64_t trace_id) const {
+  std::vector<SpanRecord> out;
+  for (const Slot& slot : ring_) {
+    const std::uint64_t s1 = slot.seq.load(std::memory_order_acquire);
+    if (s1 == 0 || (s1 & 1) != 0) continue;  // never written / in flux
+    SpanRecord r;
+    r.trace_id = slot.trace_id.load(std::memory_order_relaxed);
+    r.span_id = slot.span_id.load(std::memory_order_relaxed);
+    r.start_ns = slot.start_ns.load(std::memory_order_relaxed);
+    r.end_ns = slot.end_ns.load(std::memory_order_relaxed);
+    const std::uint32_t sd = slot.stage_detail.load(std::memory_order_relaxed);
+    r.stage = static_cast<TraceStage>(sd & 0xff);
+    r.detail = sd >> 8;
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != s1) continue;  // torn
+    if (r.trace_id == trace_id) out.push_back(r);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.end_ns > b.end_ns;  // enclosing span first
+            });
+  return out;
+}
+
+void Tracer::clear() {
+  for (Slot& slot : ring_) {
+    const std::uint64_t seq = slot.seq.load(std::memory_order_relaxed) | 1ull;
+    slot.seq.store(seq, std::memory_order_release);
+    slot.trace_id.store(0, std::memory_order_relaxed);
+    slot.seq.store(seq + 1, std::memory_order_release);
+  }
+}
+
+void Tracer::finish_request(const TraceContext& ctx, std::uint64_t start_ns,
+                            std::uint64_t end_ns) {
+  if (!ctx.sampled()) return;
+  const double total_us =
+      static_cast<double>(end_ns - start_ns) / 1000.0;
+  TracerConfig cfg = config();
+  if (cfg.slow_log_path.empty() || total_us < cfg.slow_threshold_us) return;
+  append_slow_log(ctx, total_us, start_ns);
+}
+
+void Tracer::append_slow_log(const TraceContext& ctx, double total_us,
+                             std::uint64_t start_ns) {
+  // Span collection happens outside the mutex; only the file append is
+  // serialized.
+  const std::vector<SpanRecord> spans = spans_for(ctx.trace_id);
+  std::ostringstream line;
+  char hex[32];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(ctx.trace_id));
+  line << "{\"trace\":\"" << hex << "\",\"total_us\":" << total_us
+       << ",\"spans\":[";
+  bool first = true;
+  for (const SpanRecord& s : spans) {
+    if (!first) line << ',';
+    first = false;
+    // Starts are reported relative to the request start so a reader can
+    // eyeball the waterfall without 19-digit timestamps.
+    const double rel_us =
+        (static_cast<double>(s.start_ns) - static_cast<double>(start_ns)) /
+        1000.0;
+    const double dur_us =
+        static_cast<double>(s.end_ns - s.start_ns) / 1000.0;
+    line << "{\"stage\":\"" << trace_stage_name(s.stage) << "\"";
+    if (s.stage == TraceStage::kShardRtt) {
+      line << ",\"shard\":" << s.detail;
+    }
+    line << ",\"start_us\":" << rel_us << ",\"dur_us\":" << dur_us << "}";
+  }
+  line << "]}\n";
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ofstream out(config_.slow_log_path, std::ios::app);
+  if (out) out << line.str();
+}
+
+const TraceContext& Tracer::current() { return g_current; }
+
+Tracer::Scope::Scope(const TraceContext& ctx) : saved_(g_current) {
+  g_current = ctx;
+}
+
+Tracer::Scope::~Scope() { g_current = saved_; }
+
+}  // namespace anchor::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <exception>
 #include <limits>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
@@ -453,6 +454,26 @@ std::future<ResultSlice> AsyncLookupService::lookup_words(
   return enqueue(std::move(req));
 }
 
+std::future<ResultSlice> AsyncLookupService::lookup_ids(
+    std::vector<std::size_t> ids, const obs::TraceContext& trace) {
+  Request req;
+  req.kind = Request::Kind::kIds;
+  req.key_count = ids.size();
+  req.ids = std::move(ids);
+  req.trace = trace;
+  return enqueue(std::move(req));
+}
+
+std::future<ResultSlice> AsyncLookupService::lookup_words(
+    std::vector<std::string> words, const obs::TraceContext& trace) {
+  Request req;
+  req.kind = Request::Kind::kWords;
+  req.key_count = words.size();
+  req.words = std::move(words);
+  req.trace = trace;
+  return enqueue(std::move(req));
+}
+
 std::size_t AsyncLookupService::pending() const {
   // Tail first: head only ever catches up to a later tail, so this order
   // keeps the difference non-negative under concurrent combining (the
@@ -546,9 +567,25 @@ void AsyncLookupService::run_batch(std::vector<Request> batch) {
     }
   }
 
+  // One batch may carry several traced requests; each gets its own
+  // batch_queue / batch_exec spans against the shared execution window.
+  const Request* traced = nullptr;
+  for (const Request& r : batch) {
+    if (r.trace.sampled()) {
+      traced = &r;
+      break;
+    }
+  }
+  const std::uint64_t exec_start_ns =
+      traced != nullptr ? obs::Tracer::now_ns() : 0;
+
   std::shared_ptr<LookupResult> id_result, word_result;
   std::exception_ptr error;
   try {
+    // The thread-local Scope lets LookupService (whose API predates
+    // tracing) attribute its dequantize span to this batch's trace.
+    std::optional<obs::Tracer::Scope> scope;
+    if (traced != nullptr) scope.emplace(traced->trace);
     if (!ids.empty()) {
       id_result = std::make_shared<LookupResult>();
       service_.lookup_ids_into(ids, id_result.get());
@@ -568,6 +605,20 @@ void AsyncLookupService::run_batch(std::vector<Request> batch) {
                                   std::chrono::steady_clock::now() - oldest)
                                   .count();
     stats_->record_batch(keys, latency_us);
+  }
+
+  if (traced != nullptr) {
+    const std::uint64_t exec_end_ns = obs::Tracer::now_ns();
+    obs::Tracer& tracer = obs::Tracer::instance();
+    for (const Request& r : batch) {
+      if (!r.trace.sampled()) continue;
+      tracer.record(r.trace, obs::TraceStage::kBatchQueue,
+                    static_cast<std::uint64_t>(
+                        r.enqueued.time_since_epoch().count()),
+                    exec_start_ns);
+      tracer.record(r.trace, obs::TraceStage::kBatchExec, exec_start_ns,
+                    exec_end_ns);
+    }
   }
 
   std::size_t id_off = 0, word_off = 0;

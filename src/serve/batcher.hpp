@@ -55,6 +55,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "serve/lookup_service.hpp"
 #include "serve/serve_stats.hpp"
 
@@ -190,6 +191,16 @@ class AsyncLookupService {
   std::future<ResultSlice> lookup_word(std::string word);
   std::future<ResultSlice> lookup_words(std::vector<std::string> words);
 
+  /// Traced variants: the request carries `trace` through the queue, so
+  /// run_batch records its batch_queue / batch_exec spans (and installs a
+  /// Tracer::Scope so the LookupService underneath attributes its
+  /// dequantize span). Untraced contexts behave exactly like the plain
+  /// overloads.
+  std::future<ResultSlice> lookup_ids(std::vector<std::size_t> ids,
+                                      const obs::TraceContext& trace);
+  std::future<ResultSlice> lookup_words(std::vector<std::string> words,
+                                        const obs::TraceContext& trace);
+
   const ServeStats& stats() const { return *stats_; }
   ServeStats& stats() { return *stats_; }
   const BatcherConfig& config() const { return config_; }
@@ -281,6 +292,9 @@ class AsyncLookupService {
     std::size_t key_count = 0;
     std::chrono::steady_clock::time_point enqueued;
     std::promise<ResultSlice> promise;
+    /// Invalid for untraced requests (the common case — no overhead
+    /// beyond the copy).
+    obs::TraceContext trace;
   };
 
   std::future<ResultSlice> enqueue(Request req);

@@ -67,17 +67,6 @@ double hoeffding_half(std::uint64_t n, double range, double confidence) {
                            (2.0 * static_cast<double>(n)));
 }
 
-double ring_median(const std::atomic<float>* ring, std::uint64_t written) {
-  if (written == 0) return 0.0;
-  std::vector<float> v(written);
-  for (std::uint64_t i = 0; i < written; ++i) {
-    v[i] = ring[i].load(std::memory_order_relaxed);
-  }
-  const std::size_t mid = (v.size() - 1) / 2;
-  std::nth_element(v.begin(), v.begin() + mid, v.end());
-  return v[mid];
-}
-
 }  // namespace
 
 std::string canary_state_name(CanaryState s) {
@@ -152,12 +141,8 @@ void CanaryStats::record_shadow(double agreement, double displacement,
   latency_delta_sum_micro_.fetch_add(
       static_cast<std::int64_t>(std::llround(latency_delta_us * kMicro)),
       std::memory_order_relaxed);
-  const std::uint64_t slot =
-      cursor_.fetch_add(1, std::memory_order_relaxed) % kRing;
-  agreement_ring_[slot].store(static_cast<float>(agreement),
-                              std::memory_order_relaxed);
-  displacement_ring_[slot].store(static_cast<float>(displacement),
-                                 std::memory_order_relaxed);
+  agreement_hist_.record(agreement);
+  displacement_hist_.record(displacement);
   // Count last (release): a reader that observes n shadows sees sums that
   // include at least those n samples, so the running means never read
   // ahead of the count.
@@ -189,11 +174,8 @@ CanaryStatsSnapshot CanaryStats::snapshot(double confidence,
     s.agreement_lower = std::max(0.0, s.mean_agreement - half);
     s.agreement_upper = std::min(1.0, s.mean_agreement + half);
     if (with_medians) {
-      const std::uint64_t written =
-          std::min<std::uint64_t>(cursor_.load(std::memory_order_relaxed),
-                                  kRing);
-      s.p50_agreement = ring_median(agreement_ring_.data(), written);
-      s.p50_displacement = ring_median(displacement_ring_.data(), written);
+      s.p50_agreement = agreement_hist_.quantile(0.50);
+      s.p50_displacement = displacement_hist_.quantile(0.50);
       {
         std::lock_guard<std::mutex> lock(worst_mu_);
         s.worst_keys = worst_;

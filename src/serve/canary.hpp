@@ -19,8 +19,8 @@
 //     ingestion aligned the candidate to the incumbent — see
 //     SnapshotConfig::align_to_live),
 //   • latency deltas between the mirrored lookups,
-// all recorded in a lock-free CanaryStats ring (counters + sample ring,
-// same discipline as ServeStats: recording never takes a lock).
+// all recorded in lock-free CanaryStats counters + obs::LogHistograms
+// (same discipline as ServeStats: recording never takes a lock).
 //
 // Promotion is two-phase (DeploymentGate::try_promote overload): phase 1
 // is the offline gate as before; phase 2 lets the router watch the
@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "la/matrix.hpp"
+#include "obs/log_histogram.hpp"
 #include "serve/batcher.hpp"
 #include "serve/deployment_gate.hpp"
 #include "serve/embedding_store.hpp"
@@ -127,7 +128,11 @@ struct CanaryStatsSnapshot {
   double agreement_upper = 0.0;
   double mean_displacement = 0.0;       // running mean of 1 − cos
   double mean_latency_delta_us = 0.0;   // candidate − incumbent, per shadow
-  double p50_agreement = 0.0;           // recent-window medians (the ring)
+  /// Medians over EVERY shadow sample of the canary, from the mergeable
+  /// histograms (bucket lower bound, ≤ 1/32 relative error). The old
+  /// fixed ring covered only the last 2048 samples, so a long canary's
+  /// median silently narrowed to its most recent window.
+  double p50_agreement = 0.0;
   double p50_displacement = 0.0;
   /// Worst per-key displacement outliers, worst first (id-keyed traffic
   /// only; deduplicated by key, each key reporting its max).
@@ -136,12 +141,11 @@ struct CanaryStatsSnapshot {
   std::string summary() const;
 };
 
-/// Lock-free online-measurement counters + a ring of recent samples.
+/// Lock-free online-measurement counters + mergeable sample histograms.
 /// record_* never takes a lock; snapshot() pays the aggregation cost.
-/// Decision math reads the exact running sums; the ring only serves the
-/// recent-window medians (its three arrays are written independently, so
-/// a snapshot may pair samples one slot apart — display-grade, like
-/// ServeStats' percentile ring).
+/// Decision math reads the exact running sums; the histograms serve the
+/// display-grade medians (all samples since the canary started — no ring
+/// to alias old samples out of a long canary's window).
 class CanaryStats {
  public:
   /// Key value meaning "no key identity available" (word traffic): the
@@ -168,14 +172,13 @@ class CanaryStats {
   }
   /// Bounds at `confidence` via Hoeffding's inequality (agreement range
   /// [0,1]); exact running-sum means. `with_medians` = false skips the
-  /// recent-window ring medians (copy + selection over the rings) —
-  /// the auto-decision path runs on every request and needs only the
-  /// sums; the medians are status-display material.
+  /// histogram medians (a bucket walk per median) — the auto-decision
+  /// path runs on every request and needs only the sums; the medians are
+  /// status-display material.
   CanaryStatsSnapshot snapshot(double confidence,
                                bool with_medians = true) const;
 
  private:
-  static constexpr std::size_t kRing = 2048;
   static constexpr double kMicro = 1e6;  // fixed-point unit for the sums
   /// Worst-k capacity: small on purpose — the report names the headline
   /// outliers, the audit CSV and status RPC are not a full histogram.
@@ -187,9 +190,10 @@ class CanaryStats {
   std::atomic<std::uint64_t> agreement_sum_micro_{0};
   std::atomic<std::uint64_t> displacement_sum_micro_{0};
   std::atomic<std::int64_t> latency_delta_sum_micro_{0};
-  std::atomic<std::uint64_t> cursor_{0};
-  std::array<std::atomic<float>, kRing> agreement_ring_{};
-  std::array<std::atomic<float>, kRing> displacement_ring_{};
+  /// Sample distributions (agreement ∈ [0,1], displacement ∈ [0,2]):
+  /// lock-free, mergeable, and covering every sample since start.
+  obs::LogHistogram agreement_hist_;
+  obs::LogHistogram displacement_hist_;
 
   /// Worst-k per-key displacement outliers: a min-heap on displacement
   /// (front = easiest to displace from the set), deduplicated by key.

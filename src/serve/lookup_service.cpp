@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace anchor::serve {
@@ -187,7 +188,18 @@ void LookupService::lookup_batch_into(std::size_t n, const Resolve& resolve,
       ++oov_count;
     }
   }
-  fetch_rows(*snap, rows, out->vectors.data());
+  {
+    // The cache/dequantize gather is the batch's compute kernel; when a
+    // traced batch is executing (Tracer::Scope installed by the batcher),
+    // bracket it as the dequantize span.
+    const obs::TraceContext& trace = obs::Tracer::current();
+    const std::uint64_t t0 = trace.sampled() ? obs::Tracer::now_ns() : 0;
+    fetch_rows(*snap, rows, out->vectors.data());
+    if (trace.sampled()) {
+      obs::Tracer::instance().record(trace, obs::TraceStage::kDequantize, t0,
+                                     obs::Tracer::now_ns());
+    }
+  }
   if (oov_count > 0) {
     for (std::size_t i = 0; i < n; ++i) {
       if (out->oov[i]) {

@@ -1,26 +1,14 @@
 #include "serve/serve_stats.hpp"
 
-#include <algorithm>
-#include <bit>
-#include <cmath>
 #include <ostream>
 #include <sstream>
-#include <vector>
 
 namespace anchor::serve {
 
 void ServeStats::record_batch(std::uint64_t lookups, double latency_us) {
   lookups_.fetch_add(lookups, std::memory_order_relaxed);
   batches_.fetch_add(1, std::memory_order_relaxed);
-  // Generation first: a record that straddles a concurrent reset() keeps
-  // the OLD tag and is excluded from post-reset snapshots, never mixed in.
-  const std::uint64_t gen = generation_.load(std::memory_order_acquire);
-  const std::uint64_t slot =
-      latency_cursor_.fetch_add(1, std::memory_order_relaxed) % kLatencyRing;
-  const std::uint64_t packed =
-      (gen << 32) |
-      std::bit_cast<std::uint32_t>(static_cast<float>(latency_us));
-  latency_ring_[slot].store(packed, std::memory_order_relaxed);
+  latency_.record(latency_us);
 }
 
 StatsSnapshot ServeStats::snapshot() const {
@@ -41,38 +29,8 @@ StatsSnapshot ServeStats::snapshot() const {
     s.qps = static_cast<double>(s.lookups) / s.elapsed_seconds;
   }
 
-  const std::uint64_t gen =
-      generation_.load(std::memory_order_acquire) & 0xffffffffull;
-  const std::uint64_t written =
-      std::min<std::uint64_t>(latency_cursor_.load(std::memory_order_relaxed),
-                              kLatencyRing);
-  std::vector<float> samples;
-  samples.reserve(written);
-  for (std::uint64_t i = 0; i < written; ++i) {
-    const std::uint64_t packed =
-        latency_ring_[i].load(std::memory_order_relaxed);
-    // Slots tagged with another generation straddled a reset (or predate
-    // the latest one); mixing them into this window's percentiles is the
-    // bug this filter exists to prevent.
-    if ((packed >> 32) != gen) continue;
-    samples.push_back(
-        std::bit_cast<float>(static_cast<std::uint32_t>(packed)));
-  }
-  if (!samples.empty()) {
-    std::sort(samples.begin(), samples.end());
-    // Nearest-rank percentile: ceil(p·n) is the smallest sample count that
-    // covers fraction p, so with few samples p99 reports the tail value
-    // instead of collapsing onto the median.
-    const auto pct = [&](double p) {
-      const double rank = std::ceil(p * static_cast<double>(samples.size()));
-      const auto idx = std::min<std::size_t>(
-          samples.size() - 1,
-          static_cast<std::size_t>(std::max(rank - 1.0, 0.0)));
-      return static_cast<double>(samples[idx]);
-    };
-    s.p50_latency_us = pct(0.50);
-    s.p99_latency_us = pct(0.99);
-  }
+  s.latency = latency_.snapshot();
+  s.refresh_percentiles();
   return s;
 }
 
@@ -82,13 +40,7 @@ void ServeStats::reset() {
   cache_hits_.store(0, std::memory_order_relaxed);
   cache_misses_.store(0, std::memory_order_relaxed);
   oov_fallbacks_.store(0, std::memory_order_relaxed);
-  // Generation bump BEFORE the cursor rewind: records racing this reset
-  // either carry the old tag (excluded from the new window) or the new
-  // tag with a pre-rewind cursor (their slot simply is not read until
-  // genuinely overwritten). Stale slots need no clearing — the tag filter
-  // in snapshot() makes them invisible, so reset is O(1).
-  generation_.fetch_add(1, std::memory_order_acq_rel);
-  latency_cursor_.store(0, std::memory_order_relaxed);
+  latency_.reset();
   start_ticks_.store(
       std::chrono::steady_clock::now().time_since_epoch().count(),
       std::memory_order_relaxed);

@@ -1,18 +1,21 @@
 // Serving-side runtime statistics.
 //
-// Counters are lock-free atomics so the lookup hot path never serializes on
-// a stats mutex; latency percentiles come from a fixed-size ring of recent
-// per-batch samples written with a relaxed fetch_add cursor. A snapshot()
-// copies the ring and sorts it off the hot path, so p50/p99 cost is paid by
+// Counters are lock-free atomics so the lookup hot path never serializes
+// on a stats mutex; latency quantiles come from an obs::LogHistogram —
+// fixed log-bucketed, lock-free, exactly mergeable across processes
+// (which is how the cluster router aggregates shard stats; see
+// obs/log_histogram.hpp for the bucket-error contract). A snapshot()
+// copies the buckets off the hot path, so p50/p99 cost is paid by
 // whoever asks for the numbers, not by the servers producing them.
 #pragma once
 
-#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+
+#include "obs/log_histogram.hpp"
 
 namespace anchor::serve {
 
@@ -25,14 +28,26 @@ struct StatsSnapshot {
   std::uint64_t oov_fallbacks = 0;  // lookups answered via subword synthesis
   double elapsed_seconds = 0.0;     // since construction or last reset
   double qps = 0.0;                 // lookups / elapsed_seconds
-  double p50_latency_us = 0.0;      // per-batch latency percentiles
+  /// Per-batch latency quantiles derived from `latency` (bucket lower
+  /// bound, ≤ 1/32 relative error — obs::LogHistogram's contract).
+  double p50_latency_us = 0.0;
   double p99_latency_us = 0.0;
+  /// The full mergeable latency histogram (µs). Cluster aggregation merges
+  /// these and re-derives the quantiles, never maxes the percentiles.
+  obs::HistogramSnapshot latency;
 
   double cache_hit_rate() const {
     const std::uint64_t total = cache_hits + cache_misses;
     return total == 0 ? 0.0
                       : static_cast<double>(cache_hits) /
                             static_cast<double>(total);
+  }
+
+  /// Re-derives p50/p99 from `latency` — what cluster aggregation calls
+  /// after merging shard histograms into this snapshot.
+  void refresh_percentiles() {
+    p50_latency_us = latency.quantile(0.50);
+    p99_latency_us = latency.quantile(0.99);
   }
 
   /// One-line human-readable summary ("qps=... p50=...us ...").
@@ -48,8 +63,8 @@ class ServeStats {
   void record_batch(std::uint64_t lookups, double latency_us);
   /// Counts a served batch WITHOUT a latency sample — for callers that
   /// timestamp only a fraction of their traffic (the async batcher's
-  /// sampled clock): unsampled batches must not pollute the percentile
-  /// ring with fake 0 µs entries.
+  /// sampled clock): unsampled batches must not pollute the latency
+  /// histogram with fake 0 µs entries.
   void record_batch_unsampled(std::uint64_t lookups) {
     lookups_.fetch_add(lookups, std::memory_order_relaxed);
     batches_.fetch_add(1, std::memory_order_relaxed);
@@ -68,33 +83,30 @@ class ServeStats {
   /// concurrently with recording.
   StatsSnapshot snapshot() const;
 
-  /// Zeroes every counter and restarts the QPS clock. Concurrent recording
-  /// during a reset can leave a few COUNTS attributed to either side of the
-  /// reset — counters stay valid, only the attribution is fuzzy. The
-  /// percentile ring is stricter: every slot is tagged with the reset
-  /// generation it was recorded under, and snapshot() ignores slots from
-  /// older generations, so p50/p99 can never mix pre- and post-reset
-  /// samples (an in-flight record that straddles the reset lands tagged
-  /// with the OLD generation and is simply excluded).
+  /// The live latency histogram's current state — what the metrics plane
+  /// bridges into its registry.
+  obs::HistogramSnapshot latency_histogram() const {
+    return latency_.snapshot();
+  }
+
+  /// Zeroes every counter and bucket and restarts the QPS clock.
+  /// Concurrent recording during a reset can leave a few records
+  /// attributed to either side of it — values stay valid, only the
+  /// attribution is fuzzy (the histogram zeroes its buckets in place, so
+  /// no pre-reset sample survives into the new window).
   void reset();
 
  private:
-  static constexpr std::size_t kLatencyRing = 4096;
-
   std::atomic<std::uint64_t> lookups_{0};
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> cache_hits_{0};
   std::atomic<std::uint64_t> cache_misses_{0};
   std::atomic<std::uint64_t> oov_fallbacks_{0};
-  std::atomic<std::uint64_t> latency_cursor_{0};
-  /// Bumped by reset(); the low 32 bits tag every ring slot.
-  std::atomic<std::uint64_t> generation_{0};
-  // Latency samples in microseconds, packed (generation << 32 | f32 bits);
-  // slots are overwritten oldest-first once the ring wraps. Relaxed
-  // ordering is fine: percentile estimation does not need a linearizable
-  // view, and stale-generation slots are filtered at snapshot time rather
-  // than cleared at reset time (O(1) reset).
-  std::array<std::atomic<std::uint64_t>, kLatencyRing> latency_ring_{};
+  /// Per-batch latency samples in µs. Covers every sampled batch since
+  /// the last reset (no ring, no windowing): quantiles describe the whole
+  /// window the counters describe, and two processes' histograms merge
+  /// into the fleet view exactly.
+  obs::LogHistogram latency_;
   // steady_clock ticks at the last reset; atomic because snapshot() is
   // documented safe to call concurrently with reset().
   std::atomic<std::chrono::steady_clock::rep> start_ticks_{0};

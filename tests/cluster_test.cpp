@@ -6,11 +6,14 @@
 // net_test style.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <memory>
 #include <optional>
+#include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -21,6 +24,8 @@
 #include "net/server.hpp"
 #include "net/socket.hpp"
 #include "net/wire.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/serve.hpp"
 #include "util/rng.hpp"
 
@@ -369,6 +374,148 @@ TEST(Router, DataPlaneMatchesSingleProcessAndServesControlPlane) {
   EXPECT_EQ(idle.shards.size(), fx.cluster->map.num_shards());
 }
 
+TEST(Router, AggregatedStatsMergeHistogramsNotMaxPercentiles) {
+  RouterFixture fx;
+  net::Client client("127.0.0.1", fx.router->port());
+
+  // Drive traffic that lands on both shards.
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    std::vector<std::size_t> ids(8);
+    for (auto& id : ids) id = rng.index(kVocab);
+    client.lookup_ids(ids);
+  }
+
+  // Ask each backend directly for its histogram, then merge client-side —
+  // the reference for what the router's kStats aggregation must produce.
+  obs::HistogramSnapshot service_merged, batcher_merged;
+  std::uint64_t service_lookups = 0;
+  for (const auto& backend : fx.cluster->backends) {
+    net::Client direct("127.0.0.1", backend->port());
+    const net::ServerStatsReport s = direct.stats();
+    service_merged.merge(s.service.latency);
+    batcher_merged.merge(s.batcher.latency);
+    service_lookups += s.service.lookups;
+  }
+
+  // No lookups ran between the two stats passes, so the router's merged
+  // aggregate must be bit-identical to the client-side merge.
+  const net::ServerStatsReport agg = client.stats();
+  EXPECT_EQ(agg.service.lookups, service_lookups);
+  EXPECT_EQ(agg.service.latency.count, service_merged.count);
+  EXPECT_EQ(agg.service.latency.counts, service_merged.counts);
+  EXPECT_EQ(agg.batcher.latency.counts, batcher_merged.counts);
+
+  // The exported scalar percentiles are quantiles OF THE MERGED buckets
+  // (the 2-shard fleet view a single process would have reported, to
+  // within the documented 1/32 bucket error) — not a max over shards.
+  EXPECT_EQ(agg.service.p50_latency_us, service_merged.quantile(0.5));
+  EXPECT_EQ(agg.service.p99_latency_us, service_merged.quantile(0.99));
+  EXPECT_EQ(agg.batcher.p50_latency_us, batcher_merged.quantile(0.5));
+  EXPECT_EQ(agg.batcher.p99_latency_us, batcher_merged.quantile(0.99));
+  EXPECT_GT(agg.service.latency.count, 0u);
+}
+
+TEST(Router, SampledTraceCoversClientRouterShardsAndBackends) {
+  RouterFixture fx;
+  obs::Tracer::instance().clear();
+  net::Client client("127.0.0.1", fx.router->port());
+
+  // One pinned, sampled trace on a lookup spanning both shards. Client,
+  // router, and backends run in this one process, so the whole waterfall
+  // lands in the shared Tracer ring.
+  const obs::TraceContext pinned = obs::TraceContext::start();
+  client.set_next_trace(pinned);
+  client.lookup_ids({1, 2, 299, 300, 301, 899});
+
+  // Router and backends record their spans after writing their replies,
+  // so the client can observe the result a beat before the last spans
+  // land in the ring — poll until the waterfall stops growing.
+  std::vector<obs::SpanRecord> spans;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  for (std::size_t stable = 0; stable < 3;) {
+    const std::size_t prev = spans.size();
+    spans = obs::Tracer::instance().spans_for(pinned.trace_id);
+    const bool has_recv =
+        std::any_of(spans.begin(), spans.end(), [](const obs::SpanRecord& s) {
+          return s.stage == obs::TraceStage::kRouterRecv;
+        });
+    stable = (has_recv && spans.size() == prev) ? stable + 1 : 0;
+    if (std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  std::set<obs::TraceStage> distinct;
+  std::set<std::uint32_t> shards_seen;
+  for (const obs::SpanRecord& s : spans) {
+    distinct.insert(s.stage);
+    if (s.stage == obs::TraceStage::kShardRtt) shards_seen.insert(s.detail);
+    EXPECT_LE(s.start_ns, s.end_ns);
+  }
+  // The acceptance bar: at least 4 distinct pipeline stages. In practice
+  // the full path records client_send, router_recv, router_scatter,
+  // shard_rtt, router_merge, backend_recv, batch_queue, batch_exec,
+  // dequantize.
+  EXPECT_GE(distinct.size(), 4u);
+  EXPECT_TRUE(distinct.count(obs::TraceStage::kClientSend));
+  EXPECT_TRUE(distinct.count(obs::TraceStage::kRouterRecv));
+  EXPECT_TRUE(distinct.count(obs::TraceStage::kRouterScatter));
+  EXPECT_TRUE(distinct.count(obs::TraceStage::kShardRtt));
+  EXPECT_TRUE(distinct.count(obs::TraceStage::kRouterMerge));
+  EXPECT_TRUE(distinct.count(obs::TraceStage::kBackendRecv));
+  // Both involved shards contributed an RTT span.
+  EXPECT_EQ(shards_seen, (std::set<std::uint32_t>{0, 1}));
+  // spans_for sorts by start time; timestamps are monotone and every
+  // stage starts no earlier than the request's client_send. (End times
+  // are NOT nested: router/backend close their recv spans after writing
+  // the reply, which races the client closing client_send.)
+  ASSERT_FALSE(spans.empty());
+  EXPECT_EQ(spans.front().stage, obs::TraceStage::kClientSend);
+  for (std::size_t i = 1; i < spans.size(); ++i) {
+    EXPECT_GE(spans[i].start_ns, spans[i - 1].start_ns);
+  }
+
+  // Untraced requests stay untraced end to end: no new spans.
+  const std::uint64_t before = obs::Tracer::instance().spans_recorded();
+  client.lookup_ids({5, 400});
+  EXPECT_EQ(obs::Tracer::instance().spans_recorded(), before);
+}
+
+TEST(Router, MetricsRpcExposesRouterCountersAndLatency) {
+  RouterFixture fx;
+  net::Client client("127.0.0.1", fx.router->port());
+  client.lookup_ids({1, 2, 500});
+  client.lookup_words({"w3"});
+
+  const obs::MetricsReport report = client.metrics();
+  const auto find = [&](const std::string& name) -> const obs::MetricValue* {
+    for (const obs::MetricValue& m : report.metrics) {
+      if (m.name == name) return &m;
+    }
+    return nullptr;
+  };
+  const obs::MetricValue* lookups = find("anchor_router_lookups_total");
+  ASSERT_NE(lookups, nullptr);
+  EXPECT_EQ(lookups->counter, 2u);
+  const obs::MetricValue* degraded =
+      find("anchor_router_degraded_lookups_total");
+  ASSERT_NE(degraded, nullptr);
+  EXPECT_EQ(degraded->counter, 0u);
+  const obs::MetricValue* alive = find("anchor_router_shards_alive");
+  ASSERT_NE(alive, nullptr);
+  EXPECT_EQ(alive->gauge, 2.0);
+  const obs::MetricValue* latency = find("anchor_router_lookup_latency_us");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->kind, obs::MetricKind::kHistogram);
+  EXPECT_EQ(latency->hist.count, 2u);
+  const obs::MetricValue* rollout = find("anchor_router_rollout_state");
+  ASSERT_NE(rollout, nullptr);
+  EXPECT_EQ(rollout->gauge, 0.0);  // idle
+  // The router's registry renders to Prometheus like the backend's.
+  const std::string text = obs::to_prometheus(report);
+  EXPECT_NE(text.find("anchor_router_lookups_total 2"), std::string::npos);
+}
+
 TEST(Router, GatedRolloutPromotesShardByShard) {
   const std::filesystem::path audit =
       std::filesystem::temp_directory_path() / "cluster_rollout_audit.csv";
@@ -551,7 +698,7 @@ TEST(Router, HostileFramesNeverKillTheRouter) {
         }
       } else {
         const std::uint32_t len =
-            3 + static_cast<std::uint32_t>(16 + rng.index(1024));
+            4 + static_cast<std::uint32_t>(16 + rng.index(1024));
         std::vector<std::uint8_t> partial;
         partial.insert(partial.end(),
                        reinterpret_cast<const std::uint8_t*>(&len),
@@ -559,6 +706,7 @@ TEST(Router, HostileFramesNeverKillTheRouter) {
         partial.push_back(net::kWireMagic);
         partial.push_back(net::kWireVersion);
         partial.push_back(static_cast<std::uint8_t>(net::MsgType::kPing));
+        partial.push_back(static_cast<std::uint8_t>(rng.index(256)));
         partial.push_back(0x00);
         raw.write_all(partial.data(), partial.size());
       }

@@ -4,7 +4,9 @@
 // own threads.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <memory>
 #include <thread>
@@ -14,6 +16,9 @@
 #include "net/server.hpp"
 #include "net/socket.hpp"
 #include "net/wire.hpp"
+#include "obs/log_histogram.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/demo_store.hpp"
 #include "serve/serve.hpp"
 #include "util/rng.hpp"
@@ -237,6 +242,183 @@ TEST(Wire, RolloutStatusRoundTrip) {
   EXPECT_THROW(decode_rollout_status(&bad_reader), WireError);
 }
 
+TEST(Wire, HistogramCodecRoundTripsSparsely) {
+  obs::LogHistogram h;
+  h.record(3.0);
+  h.record(100.0);
+  h.record_n(250.5, 7);
+  const obs::HistogramSnapshot s = h.snapshot();
+
+  WireWriter w;
+  encode_histogram(s, &w);
+  // Sparse on the wire: 3 occupied buckets, nowhere near the dense
+  // kNumBuckets × 8 bytes.
+  EXPECT_LT(w.buffer().size(), 100u);
+  WireReader r(w.buffer());
+  const obs::HistogramSnapshot back = decode_histogram(&r);
+  r.expect_done();
+  EXPECT_EQ(back.count, s.count);
+  EXPECT_EQ(back.sum_units, s.sum_units);
+  EXPECT_EQ(back.min_units, s.min_units);
+  EXPECT_EQ(back.max_units, s.max_units);
+  EXPECT_EQ(back.counts, s.counts);
+  EXPECT_EQ(back.quantile(0.99), s.quantile(0.99));
+
+  // Empty histograms cost 36 bytes and decode back to empty.
+  WireWriter we;
+  encode_histogram(obs::HistogramSnapshot{}, &we);
+  WireReader re(we.buffer());
+  EXPECT_EQ(decode_histogram(&re).count, 0u);
+
+  // Hostile: a nonzero-bucket count the payload cannot hold must throw
+  // before allocating.
+  WireWriter hostile;
+  for (int i = 0; i < 4; ++i) hostile.u64(1);
+  hostile.u32(0xFFFFFFFFu);
+  WireReader hostile_reader(hostile.buffer());
+  EXPECT_THROW(decode_histogram(&hostile_reader), WireError);
+
+  // Hostile: a bucket index past kNumBuckets must throw, not scribble.
+  WireWriter oob;
+  for (int i = 0; i < 4; ++i) oob.u64(1);
+  oob.u32(1);
+  oob.u16(60000);
+  oob.u64(1);
+  WireReader oob_reader(oob.buffer());
+  EXPECT_THROW(decode_histogram(&oob_reader), WireError);
+}
+
+TEST(Wire, MetricsReportRoundTrip) {
+  obs::MetricsReport m;
+  obs::MetricValue c;
+  c.kind = obs::MetricKind::kCounter;
+  c.name = "x_requests_total";
+  c.help = "requests";
+  c.counter = 42;
+  obs::MetricValue g;
+  g.kind = obs::MetricKind::kGauge;
+  g.name = "x_depth";
+  g.gauge = 2.5;
+  obs::MetricValue hist;
+  hist.kind = obs::MetricKind::kHistogram;
+  hist.name = "x_latency_us";
+  obs::LogHistogram lh;
+  lh.record(5.0);
+  lh.record(80.0);
+  hist.hist = lh.snapshot();
+  m.metrics = {c, g, hist};
+
+  WireWriter w;
+  encode_metrics_report(m, &w);
+  WireReader r(w.buffer());
+  const obs::MetricsReport back = decode_metrics_report(&r);
+  r.expect_done();
+  ASSERT_EQ(back.metrics.size(), 3u);
+  EXPECT_EQ(back.metrics[0].kind, obs::MetricKind::kCounter);
+  EXPECT_EQ(back.metrics[0].name, "x_requests_total");
+  EXPECT_EQ(back.metrics[0].help, "requests");
+  EXPECT_EQ(back.metrics[0].counter, 42u);
+  EXPECT_EQ(back.metrics[1].kind, obs::MetricKind::kGauge);
+  EXPECT_EQ(back.metrics[1].gauge, 2.5);
+  EXPECT_EQ(back.metrics[2].kind, obs::MetricKind::kHistogram);
+  EXPECT_EQ(back.metrics[2].hist.count, 2u);
+  EXPECT_EQ(back.metrics[2].hist.counts, hist.hist.counts);
+
+  // A bad metric kind byte throws.
+  WireWriter bad;
+  bad.u32(1);
+  bad.u8(9);  // no such kind
+  WireReader bad_reader(bad.buffer());
+  EXPECT_THROW(decode_metrics_report(&bad_reader), WireError);
+}
+
+TEST(Wire, TraceExtensionRoundTripsOverLoopback) {
+  TcpListener listener = TcpListener::bind_loopback(0);
+  TcpStream sender = TcpStream::connect("127.0.0.1", listener.port());
+  TcpStream receiver = listener.accept(2000);
+  ASSERT_TRUE(receiver.valid());
+
+  const obs::TraceContext ctx = obs::TraceContext::start();
+  WireWriter body;
+  body.u32(7);
+  write_frame(sender, MsgType::kPing, body, ctx);
+
+  MsgType type{};
+  std::vector<std::uint8_t> payload;
+  obs::TraceContext got;
+  ASSERT_TRUE(read_frame(receiver, &type, &payload, &got));
+  EXPECT_EQ(type, MsgType::kPing);
+  EXPECT_EQ(got.trace_id, ctx.trace_id);
+  EXPECT_EQ(got.span_id, ctx.span_id);
+  EXPECT_EQ(got.flags, ctx.flags);
+  WireReader r(payload);
+  EXPECT_EQ(r.u32(), 7u);
+  r.expect_done();
+
+  // An untraced frame resets the out-context (no stale trace leaks into
+  // the next request on the connection).
+  write_frame(sender, MsgType::kPing, body);
+  ASSERT_TRUE(read_frame(receiver, &type, &payload, &got));
+  EXPECT_FALSE(got.valid());
+
+  // Reading WITHOUT a trace out-param skips the extension and still
+  // yields the payload (old call sites stay correct).
+  write_frame(sender, MsgType::kPing, body, ctx);
+  ASSERT_TRUE(read_frame(receiver, &type, &payload));
+  WireReader r2(payload);
+  EXPECT_EQ(r2.u32(), 7u);
+
+  // Forward compatibility: a frame whose ext_len exceeds the 17 trace
+  // bytes (a future extension) — the trace decodes, the extra bytes are
+  // skipped, the payload follows intact.
+  {
+    const std::uint8_t ext_len = 20;
+    const std::uint32_t len = 4u + ext_len + 1u;
+    std::vector<std::uint8_t> frame;
+    frame.insert(frame.end(), reinterpret_cast<const std::uint8_t*>(&len),
+                 reinterpret_cast<const std::uint8_t*>(&len) + 4);
+    frame.push_back(kWireMagic);
+    frame.push_back(kWireVersion);
+    frame.push_back(static_cast<std::uint8_t>(MsgType::kPing));
+    frame.push_back(ext_len);
+    std::uint64_t tid = 0x1122334455667788ull;
+    std::uint64_t sid = 0x99AABBCCDDEEFF00ull;
+    frame.insert(frame.end(), reinterpret_cast<const std::uint8_t*>(&tid),
+                 reinterpret_cast<const std::uint8_t*>(&tid) + 8);
+    frame.insert(frame.end(), reinterpret_cast<const std::uint8_t*>(&sid),
+                 reinterpret_cast<const std::uint8_t*>(&sid) + 8);
+    frame.push_back(obs::TraceContext::kSampled);
+    frame.push_back(0xDE);  // 3 future-extension bytes
+    frame.push_back(0xAD);
+    frame.push_back(0xBF);
+    frame.push_back(0x5A);  // 1 payload byte
+    sender.write_all(frame.data(), frame.size());
+
+    ASSERT_TRUE(read_frame(receiver, &type, &payload, &got));
+    EXPECT_EQ(got.trace_id, tid);
+    EXPECT_EQ(got.span_id, sid);
+    EXPECT_TRUE(got.sampled());
+    ASSERT_EQ(payload.size(), 1u);
+    EXPECT_EQ(payload[0], 0x5A);
+  }
+
+  // Hostile: ext_len larger than the declared frame throws WireError on
+  // the reader side.
+  {
+    const std::uint32_t len = 4u + 1u;
+    std::vector<std::uint8_t> frame;
+    frame.insert(frame.end(), reinterpret_cast<const std::uint8_t*>(&len),
+                 reinterpret_cast<const std::uint8_t*>(&len) + 4);
+    frame.push_back(kWireMagic);
+    frame.push_back(kWireVersion);
+    frame.push_back(static_cast<std::uint8_t>(MsgType::kPing));
+    frame.push_back(200);  // ext_len > len - 4
+    frame.push_back(0x00);
+    sender.write_all(frame.data(), frame.size());
+    EXPECT_THROW(read_frame(receiver, &type, &payload, &got), WireError);
+  }
+}
+
 // ---- decoder fuzz ------------------------------------------------------
 //
 // The decoders face attacker-controlled bytes; under fuzzed input every
@@ -411,18 +593,103 @@ TEST_F(RpcTest, StatsReflectServedTraffic) {
   EXPECT_EQ(stats.batcher.lookups, 4u);
   EXPECT_GE(stats.service.lookups, 4u);
   EXPECT_GT(stats.batcher.batches, 0u);
+  // The stats snapshot now carries the full latency histogram (one
+  // sample per batch), and the scalar percentiles agree with it.
+  EXPECT_EQ(stats.batcher.latency.count, stats.batcher.batches);
+  EXPECT_EQ(stats.batcher.p50_latency_us,
+            stats.batcher.latency.quantile(0.5));
+}
+
+TEST_F(RpcTest, MetricsRpcExposesTheServerRegistry) {
+  Client client("127.0.0.1", server_->port());
+  client.lookup_ids({1, 2, 3});
+  const obs::MetricsReport report = client.metrics();
+  ASSERT_FALSE(report.metrics.empty());
+  const auto find = [&](const std::string& name) -> const obs::MetricValue* {
+    for (const obs::MetricValue& m : report.metrics) {
+      if (m.name.rfind(name, 0) == 0) return &m;
+    }
+    return nullptr;
+  };
+  const obs::MetricValue* lookups = find("anchor_lookup_requests_total");
+  ASSERT_NE(lookups, nullptr);
+  EXPECT_EQ(lookups->counter, 3u);
+  const obs::MetricValue* version = find("anchor_live_version_info");
+  ASSERT_NE(version, nullptr);
+  EXPECT_NE(version->name.find("version=\"v1\""), std::string::npos);
+  const obs::MetricValue* latency = find("anchor_service_latency_us");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->kind, obs::MetricKind::kHistogram);
+  EXPECT_GE(latency->hist.count, 1u);
+  // The same report renders to Prometheus text without falling over.
+  const std::string text = obs::to_prometheus(report);
+  EXPECT_NE(text.find("anchor_lookup_requests_total 3"), std::string::npos);
+}
+
+TEST_F(RpcTest, SampledLookupTracesEveryBackendStage) {
+  obs::Tracer::instance().clear();
+  Client client("127.0.0.1", server_->port());
+  const obs::TraceContext pinned = obs::TraceContext::start();
+  client.set_next_trace(pinned);
+  client.lookup_ids({1, 2, 3});
+  EXPECT_EQ(client.last_trace().trace_id, pinned.trace_id);
+
+  // Client and server share one in-process Tracer, so the whole span
+  // waterfall is visible here: client_send wraps backend_recv wraps the
+  // batcher stages. The server closes backend_recv after writing the
+  // reply, which races the client past this point — poll until the
+  // waterfall stops growing.
+  std::vector<obs::SpanRecord> spans;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  for (std::size_t stable = 0; stable < 3;) {
+    const std::size_t prev = spans.size();
+    spans = obs::Tracer::instance().spans_for(pinned.trace_id);
+    const bool has_recv =
+        std::any_of(spans.begin(), spans.end(), [](const obs::SpanRecord& s) {
+          return s.stage == obs::TraceStage::kBackendRecv;
+        });
+    stable = (has_recv && spans.size() == prev) ? stable + 1 : 0;
+    if (std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  std::vector<obs::TraceStage> stages;
+  for (const obs::SpanRecord& s : spans) stages.push_back(s.stage);
+  const auto has = [&](obs::TraceStage st) {
+    return std::find(stages.begin(), stages.end(), st) != stages.end();
+  };
+  EXPECT_TRUE(has(obs::TraceStage::kClientSend));
+  EXPECT_TRUE(has(obs::TraceStage::kBackendRecv));
+  EXPECT_TRUE(has(obs::TraceStage::kBatchQueue));
+  EXPECT_TRUE(has(obs::TraceStage::kBatchExec));
+  EXPECT_TRUE(has(obs::TraceStage::kDequantize));
+  // Monotone and well-formed: sorted by start, every span closed.
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_LE(spans[i].start_ns, spans[i].end_ns);
+    if (i > 0) EXPECT_GE(spans[i].start_ns, spans[i - 1].start_ns);
+  }
+
+  // The next request is untraced again (set_next_trace is one-shot).
+  client.lookup_ids({4});
+  EXPECT_FALSE(client.last_trace().valid());
+
+  // An unsampled server sees unsampled requests: no new spans.
+  const std::uint64_t before = obs::Tracer::instance().spans_recorded();
+  client.lookup_ids({5, 6});
+  EXPECT_EQ(obs::Tracer::instance().spans_recorded(), before);
 }
 
 TEST_F(RpcTest, MalformedFramesCloseTheConnection) {
   // Bad magic byte: the server must drop the connection without replying.
   {
     TcpStream raw = TcpStream::connect("127.0.0.1", server_->port());
-    const std::uint32_t len = 3;
-    std::uint8_t frame[7];
+    const std::uint32_t len = 4;
+    std::uint8_t frame[8];
     std::memcpy(frame, &len, 4);
     frame[4] = 0x00;  // wrong magic
     frame[5] = kWireVersion;
     frame[6] = static_cast<std::uint8_t>(MsgType::kPing);
+    frame[7] = 0;  // ext_len
     raw.write_all(frame, sizeof(frame));
     std::uint8_t byte;
     EXPECT_FALSE(raw.read_exact_or_eof(&byte, 1));  // clean EOF
@@ -494,7 +761,7 @@ TEST_F(RpcTest, FuzzedFramesNeverKillTheServer) {
       } else {
         // Declared length bigger than what we send, then hang up:
         // mid-frame EOF on the server side.
-        const std::uint32_t len = 3 + static_cast<std::uint32_t>(
+        const std::uint32_t len = 4 + static_cast<std::uint32_t>(
                                           16 + rng.index(1024));
         std::vector<std::uint8_t> partial;
         partial.insert(partial.end(),
@@ -503,7 +770,10 @@ TEST_F(RpcTest, FuzzedFramesNeverKillTheServer) {
         partial.push_back(kWireMagic);
         partial.push_back(kWireVersion);
         partial.push_back(static_cast<std::uint8_t>(MsgType::kPing));
-        partial.push_back(0x00);  // 1 of len-3 payload bytes, then EOF
+        // Random ext_len byte: sometimes valid, sometimes exceeding the
+        // declared frame — both must be survivable.
+        partial.push_back(static_cast<std::uint8_t>(rng.index(256)));
+        partial.push_back(0x00);  // 1 of the remaining bytes, then EOF
         raw.write_all(partial.data(), partial.size());
       }
     } catch (const NetError&) {

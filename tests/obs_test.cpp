@@ -1,0 +1,440 @@
+// Tests for the observability plane: log-bucketed mergeable histograms
+// (bucket math, quantile error bound, exact merges), the metrics registry
+// with its Prometheus/text renderings, the trace ring + slow-request log,
+// and the Prometheus HTTP scrape endpoint.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/metrics_http.hpp"
+#include "net/socket.hpp"
+#include "obs/log_histogram.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/rng.hpp"
+
+namespace anchor::obs {
+namespace {
+
+// ---- LogHistogram bucket math ------------------------------------------
+
+TEST(LogHistogram, BucketIndexIsMonotoneAndCoversUnitsRange) {
+  // Every unit value maps into range, indices never decrease, and each
+  // bucket's lower bound round-trips through bucket_index.
+  std::size_t prev = 0;
+  for (std::uint64_t u = 0; u < 4096; ++u) {
+    const std::size_t idx = LogHistogram::bucket_index(u);
+    ASSERT_LT(idx, LogHistogram::kNumBuckets);
+    ASSERT_GE(idx, prev);
+    prev = idx;
+  }
+  for (std::size_t idx = 0; idx < LogHistogram::kNumBuckets; ++idx) {
+    const std::uint64_t lower = LogHistogram::bucket_lower_units(idx);
+    if (lower > LogHistogram::kMaxUnits) break;
+    EXPECT_EQ(LogHistogram::bucket_index(lower), idx) << "idx=" << idx;
+    // The last unit inside the bucket still maps to it.
+    const std::uint64_t width = LogHistogram::bucket_width_units(idx);
+    const std::uint64_t last = lower + width - 1;
+    if (last <= LogHistogram::kMaxUnits) {
+      EXPECT_EQ(LogHistogram::bucket_index(last), idx) << "idx=" << idx;
+    }
+  }
+}
+
+TEST(LogHistogram, BucketWidthRespectsRelativeErrorBound) {
+  // The documented contract: every bucket spans at most 1/32 of its
+  // lower bound (beyond the exact linear region).
+  for (std::size_t idx = 0; idx < LogHistogram::kNumBuckets; ++idx) {
+    const std::uint64_t lower = LogHistogram::bucket_lower_units(idx);
+    if (lower > LogHistogram::kMaxUnits) break;
+    if (lower < LogHistogram::kSubBuckets) continue;  // exact region
+    const double width =
+        static_cast<double>(LogHistogram::bucket_width_units(idx));
+    EXPECT_LE(width / static_cast<double>(lower),
+              LogHistogram::kMaxRelativeError + 1e-12)
+        << "idx=" << idx;
+  }
+}
+
+TEST(LogHistogram, RoundValuesAreExact) {
+  // Values whose scaled units have ≤ 6 significant bits sit exactly on a
+  // bucket lower bound: recording them and asking for any quantile gives
+  // them back bit-exactly.
+  for (const double v : {0.0, 1.0, 3.0, 6.0, 7.0, 10.0, 20.0, 50.0, 100.0,
+                         200.0, 448.0}) {
+    LogHistogram h;
+    h.record(v);
+    EXPECT_EQ(h.quantile(0.5), v) << "v=" << v;
+  }
+}
+
+TEST(LogHistogram, QuantileHonorsDocumentedErrorBound) {
+  LogHistogram h;
+  Rng rng(7);
+  std::vector<double> values;
+  for (int i = 0; i < 5000; ++i) {
+    // Latency-shaped: lognormal-ish spread over ~4 orders of magnitude.
+    const double v = std::exp(rng.normal(4.0, 1.5));
+    values.push_back(v);
+    h.record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.1, 0.5, 0.9, 0.99, 0.999}) {
+    const double est = h.quantile(q);
+    const std::size_t rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(values.size())));
+    const double truth = values[rank == 0 ? 0 : rank - 1];
+    // est is the bucket lower bound: truth ∈ [est, est·(1+1/32)), plus
+    // the half-unit rounding of record().
+    EXPECT_LE(est, truth + 1.0 / LogHistogram::kUnitScale) << "q=" << q;
+    EXPECT_GE(est * (1.0 + LogHistogram::kMaxRelativeError),
+              truth * (1.0 - 1e-9))
+        << "q=" << q;
+  }
+}
+
+TEST(LogHistogram, AggregatesTrackCountSumMinMax) {
+  LogHistogram h;
+  h.record(5.0);
+  h.record(100.0);
+  h.record_n(20.0, 3);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 100.0);
+  EXPECT_NEAR(s.mean(), (5.0 + 100.0 + 3 * 20.0) / 5.0, 1e-9);
+}
+
+TEST(LogHistogram, ResetZeroesEverything) {
+  LogHistogram h;
+  h.record(42.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  h.record(7.0);
+  EXPECT_EQ(h.snapshot().count, 1u);
+  EXPECT_EQ(h.quantile(0.5), 7.0);
+}
+
+// ---- merges ------------------------------------------------------------
+
+TEST(LogHistogram, MergeEqualsSingleRecorderBitIdentical) {
+  // The tentpole property: two shards' histograms merged == one process
+  // recording all traffic, bucket for bucket.
+  LogHistogram a, b, all;
+  Rng rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    const double v = std::exp(rng.normal(3.0, 1.0));
+    (i % 2 == 0 ? a : b).record(v);
+    all.record(v);
+  }
+  HistogramSnapshot merged = a.snapshot();
+  merged.merge(b.snapshot());
+  const HistogramSnapshot reference = all.snapshot();
+  EXPECT_EQ(merged.count, reference.count);
+  EXPECT_EQ(merged.sum_units, reference.sum_units);
+  EXPECT_EQ(merged.min_units, reference.min_units);
+  EXPECT_EQ(merged.max_units, reference.max_units);
+  EXPECT_EQ(merged.counts, reference.counts);
+}
+
+TEST(LogHistogram, MergeIsCommutativeAndAssociative) {
+  LogHistogram h1, h2, h3;
+  Rng rng(13);
+  for (int i = 0; i < 300; ++i) {
+    h1.record(std::exp(rng.normal(2.0, 1.0)));
+    h2.record(std::exp(rng.normal(4.0, 0.5)));
+    h3.record(std::exp(rng.normal(6.0, 2.0)));
+  }
+  // (1 ⊕ 2) ⊕ 3
+  HistogramSnapshot left = h1.snapshot();
+  left.merge(h2.snapshot());
+  left.merge(h3.snapshot());
+  // 3 ⊕ (2 ⊕ 1)
+  HistogramSnapshot inner = h2.snapshot();
+  inner.merge(h1.snapshot());
+  HistogramSnapshot right = h3.snapshot();
+  right.merge(inner);
+  EXPECT_EQ(left.counts, right.counts);
+  EXPECT_EQ(left.count, right.count);
+  EXPECT_EQ(left.sum_units, right.sum_units);
+  EXPECT_EQ(left.min_units, right.min_units);
+  EXPECT_EQ(left.max_units, right.max_units);
+}
+
+TEST(LogHistogram, MergeWithEmptyIsIdentity) {
+  LogHistogram h;
+  h.record(33.0);
+  HistogramSnapshot s = h.snapshot();
+  s.merge(HistogramSnapshot{});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.quantile(0.5), 33.0);
+  HistogramSnapshot empty;
+  empty.merge(h.snapshot());
+  EXPECT_EQ(empty.count, 1u);
+  EXPECT_EQ(empty.quantile(0.5), 33.0);
+}
+
+TEST(LogHistogram, ConcurrentRecordersNeverLoseCounts) {
+  LogHistogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.record(static_cast<double>((t * 37 + i) % 1000));
+      }
+    });
+  }
+  // Concurrent snapshots must stay internally sane (count covers the
+  // buckets seen so far) while writers hammer the buckets.
+  for (int i = 0; i < 50; ++i) {
+    const HistogramSnapshot s = h.snapshot();
+    std::uint64_t bucket_total = 0;
+    for (const std::uint64_t c : s.counts) bucket_total += c;
+    EXPECT_LE(bucket_total, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t c : h.snapshot().counts) bucket_total += c;
+  EXPECT_EQ(bucket_total, static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+// ---- MetricsRegistry ---------------------------------------------------
+
+TEST(Metrics, OwnedCountersGaugesHistograms) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("test_requests_total", "requests");
+  c.inc();
+  c.inc(4);
+  reg.gauge("test_depth", "queue depth").set(3.5);
+  reg.histogram("test_latency_us", "latency").record(100.0);
+  // create-or-get returns the same instance.
+  EXPECT_EQ(&reg.counter("test_requests_total"), &c);
+
+  const MetricsReport report = reg.snapshot();
+  ASSERT_EQ(report.metrics.size(), 3u);
+  // Sorted by name: depth, latency, requests.
+  EXPECT_EQ(report.metrics[0].name, "test_depth");
+  EXPECT_EQ(report.metrics[0].kind, MetricKind::kGauge);
+  EXPECT_EQ(report.metrics[0].gauge, 3.5);
+  EXPECT_EQ(report.metrics[1].name, "test_latency_us");
+  EXPECT_EQ(report.metrics[1].kind, MetricKind::kHistogram);
+  EXPECT_EQ(report.metrics[1].hist.count, 1u);
+  EXPECT_EQ(report.metrics[2].name, "test_requests_total");
+  EXPECT_EQ(report.metrics[2].counter, 5u);
+}
+
+TEST(Metrics, BridgedCollectorsAndHistogramProvidersRunAtSnapshot) {
+  MetricsRegistry reg;
+  std::uint64_t source = 0;
+  reg.on_collect([&source](MetricsRegistry& r) {
+    r.counter("bridged_total", "from elsewhere").set(source);
+  });
+  LogHistogram live;
+  reg.register_histogram("bridged_latency_us", "live histogram",
+                         [&live] { return live.snapshot(); });
+  source = 7;
+  live.record(50.0);
+  const MetricsReport report = reg.snapshot();
+  ASSERT_EQ(report.metrics.size(), 2u);
+  EXPECT_EQ(report.metrics[0].name, "bridged_latency_us");
+  EXPECT_EQ(report.metrics[0].hist.count, 1u);
+  EXPECT_EQ(report.metrics[1].counter, 7u);
+  // A collector that itself registers metrics must not deadlock (the
+  // registry runs collectors without holding its lock).
+  reg.on_collect([](MetricsRegistry& r) {
+    r.gauge("collector_added", "registered during collect").set(1.0);
+  });
+  EXPECT_EQ(reg.snapshot().metrics.size(), 3u);
+}
+
+TEST(Metrics, PrometheusExposition) {
+  MetricsRegistry reg;
+  reg.counter("app_requests_total", "Total requests").inc(12);
+  reg.gauge("app_live_version_info{version=\"v2\"}", "Live version").set(1.0);
+  LogHistogram& h = reg.histogram("app_latency_us", "Latency");
+  h.record(3.0);
+  h.record(100.0);
+  const std::string text = to_prometheus(reg.snapshot());
+
+  EXPECT_NE(text.find("# HELP app_requests_total Total requests"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE app_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("app_requests_total 12"), std::string::npos);
+  // Labeled series pass through with the label set intact.
+  EXPECT_NE(text.find("app_live_version_info{version=\"v2\"} 1"),
+            std::string::npos);
+  // Histograms: cumulative buckets ending in +Inf, plus _count.
+  EXPECT_NE(text.find("app_latency_us_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("app_latency_us_count 2"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE app_latency_us histogram"), std::string::npos);
+
+  // Cumulative monotonicity across the rendered bucket series.
+  std::istringstream lines(text);
+  std::string line;
+  std::uint64_t prev = 0;
+  while (std::getline(lines, line)) {
+    if (line.rfind("app_latency_us_bucket", 0) != 0) continue;
+    const std::size_t space = line.rfind(' ');
+    const std::uint64_t v = std::stoull(line.substr(space + 1));
+    EXPECT_GE(v, prev) << line;
+    prev = v;
+  }
+  EXPECT_EQ(prev, 2u);  // +Inf bucket == count
+
+  // The human-readable rendering covers every metric too.
+  const std::string human = to_text(reg.snapshot());
+  EXPECT_NE(human.find("app_requests_total"), std::string::npos);
+  EXPECT_NE(human.find("app_latency_us"), std::string::npos);
+}
+
+// ---- Tracer ------------------------------------------------------------
+
+TEST(Trace, ContextChildKeepsTraceIdFreshSpanId) {
+  const TraceContext root = TraceContext::start();
+  EXPECT_TRUE(root.valid());
+  EXPECT_TRUE(root.sampled());
+  const TraceContext c = root.child();
+  EXPECT_EQ(c.trace_id, root.trace_id);
+  EXPECT_NE(c.span_id, root.span_id);
+  EXPECT_TRUE(c.sampled());
+  EXPECT_FALSE(TraceContext{}.valid());
+}
+
+TEST(Trace, RecordAndScanSortedByStartTime) {
+  Tracer& tracer = Tracer::instance();
+  tracer.clear();
+  const TraceContext ctx = TraceContext::start();
+  const std::uint64_t t0 = Tracer::now_ns();
+  tracer.record(ctx, TraceStage::kRouterMerge, t0 + 200, t0 + 300);
+  tracer.record(ctx, TraceStage::kClientSend, t0, t0 + 400);
+  tracer.record(ctx, TraceStage::kShardRtt, t0 + 50, t0 + 150,
+                /*detail=*/3);
+  // Another trace's spans do not leak into the scan.
+  tracer.record(TraceContext::start(), TraceStage::kClientSend, t0, t0 + 1);
+
+  const std::vector<SpanRecord> spans = tracer.spans_for(ctx.trace_id);
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].stage, TraceStage::kClientSend);
+  EXPECT_EQ(spans[1].stage, TraceStage::kShardRtt);
+  EXPECT_EQ(spans[1].detail, 3u);
+  EXPECT_EQ(spans[2].stage, TraceStage::kRouterMerge);
+  EXPECT_LE(spans[0].start_ns, spans[1].start_ns);
+  EXPECT_LE(spans[1].start_ns, spans[2].start_ns);
+}
+
+TEST(Trace, UnsampledContextsRecordNothing) {
+  Tracer& tracer = Tracer::instance();
+  // spans_recorded is a lifetime cursor (clear() empties the ring, not
+  // the counter) — compare against the baseline.
+  const std::uint64_t before = tracer.spans_recorded();
+  TraceContext unsampled = TraceContext::start(/*sampled=*/false);
+  tracer.record(unsampled, TraceStage::kClientSend, 0, 1);
+  tracer.record(TraceContext{}, TraceStage::kClientSend, 0, 1);
+  EXPECT_EQ(tracer.spans_recorded(), before);
+}
+
+TEST(Trace, ScopeInstallsAndRestoresCurrent) {
+  EXPECT_FALSE(Tracer::current().valid());
+  const TraceContext ctx = TraceContext::start();
+  {
+    Tracer::Scope scope(ctx);
+    EXPECT_EQ(Tracer::current().trace_id, ctx.trace_id);
+    {
+      const TraceContext inner = TraceContext::start();
+      Tracer::Scope nested(inner);
+      EXPECT_EQ(Tracer::current().trace_id, inner.trace_id);
+    }
+    EXPECT_EQ(Tracer::current().trace_id, ctx.trace_id);
+  }
+  EXPECT_FALSE(Tracer::current().valid());
+}
+
+TEST(Trace, SlowLogWritesOneJsonlLinePerSlowRequest) {
+  const std::filesystem::path log =
+      std::filesystem::temp_directory_path() / "anchor_obs_slow_test.jsonl";
+  std::filesystem::remove(log);
+
+  Tracer& tracer = Tracer::instance();
+  tracer.clear();
+  TracerConfig config;
+  config.slow_log_path = log.string();
+  config.slow_threshold_us = 100.0;
+  tracer.configure(config);
+
+  const TraceContext slow = TraceContext::start();
+  const std::uint64_t t0 = Tracer::now_ns();
+  tracer.record(slow, TraceStage::kBatchExec, t0, t0 + 150'000);
+  tracer.finish_request(slow, t0, t0 + 200'000);  // 200 µs ≥ threshold
+
+  const TraceContext fast = TraceContext::start();
+  tracer.finish_request(fast, t0, t0 + 10'000);  // 10 µs < threshold
+
+  std::ifstream in(log);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"trace\""), std::string::npos);
+    EXPECT_NE(line.find("batch_exec"), std::string::npos);
+  }
+  EXPECT_EQ(lines, 1u);  // the fast request logged nothing
+
+  tracer.configure(TracerConfig{});  // detach the file for other tests
+  std::filesystem::remove(log);
+}
+
+TEST(Trace, StageNamesAreStable) {
+  EXPECT_STREQ(trace_stage_name(TraceStage::kClientSend), "client_send");
+  EXPECT_STREQ(trace_stage_name(TraceStage::kRouterScatter),
+               "router_scatter");
+  EXPECT_STREQ(trace_stage_name(TraceStage::kDequantize), "dequantize");
+}
+
+// ---- Prometheus HTTP endpoint ------------------------------------------
+
+TEST(MetricsHttp, ServesPrometheusTextToARawGet) {
+  MetricsRegistry reg;
+  reg.counter("scrape_requests_total", "hits").inc(3);
+  net::MetricsHttpServer http(
+      0, [&reg] { return to_prometheus(reg.snapshot()); });
+  http.start();
+
+  net::TcpStream conn = net::TcpStream::connect("127.0.0.1", http.port());
+  const std::string request =
+      "GET /metrics HTTP/1.0\r\nHost: localhost\r\n\r\n";
+  conn.write_all(request.data(), request.size());
+  std::string response;
+  char buf[512];
+  try {
+    for (;;) {
+      conn.read_exact(buf, 1);
+      response.push_back(buf[0]);
+    }
+  } catch (const net::NetError&) {
+    // EOF: the exporter closes after one response.
+  }
+  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("text/plain"), std::string::npos);
+  EXPECT_NE(response.find("scrape_requests_total 3"), std::string::npos);
+  http.stop();
+}
+
+}  // namespace
+}  // namespace anchor::obs

@@ -161,7 +161,10 @@ TEST(CanaryStats, MeansCountersAndHoeffdingBounds) {
   const double half = std::sqrt(std::log(2.0 / 0.01) / (2.0 * n));
   EXPECT_NEAR(s.agreement_lower, 0.8 - half, 1e-5);
   EXPECT_NEAR(s.agreement_upper, 0.8 + half, 1e-5);
-  EXPECT_NEAR(s.p50_agreement, 0.8, 1e-5);
+  // Medians come from a log-bucketed histogram: the estimate is the
+  // bucket's lower bound, at most 1/32 below the true value.
+  EXPECT_NEAR(s.p50_agreement, 0.8, 0.8 / 32.0);
+  EXPECT_LE(s.p50_agreement, 0.8);
   EXPECT_FALSE(s.summary().empty());
 
   // Bounds clamp to the agreement range.

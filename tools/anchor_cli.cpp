@@ -21,6 +21,8 @@
 #include "embed/io.hpp"
 #include "embed/trainer.hpp"
 #include "la/procrustes.hpp"
+#include "net/client.hpp"
+#include "obs/metrics.hpp"
 #include "pipeline/pipeline.hpp"
 #include "text/corpus.hpp"
 #include "text/latent_space.hpp"
@@ -319,12 +321,42 @@ int cmd_stability(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_metrics(const std::vector<std::string>& args) {
+  ArgParser parser(
+      "anchor-cli metrics",
+      "Fetch the metrics plane of a running anchor_served or anchor_router "
+      "over the METRICS RPC and print it (human-readable by default, "
+      "Prometheus text exposition with --prometheus).");
+  parser.add_option("connect", "daemon address host:port", "",
+                    /*required=*/true)
+      .add_flag("prometheus",
+                "print the Prometheus 0.0.4 text exposition instead of the "
+                "human-readable dump");
+  if (!parser.parse(args)) return fail_usage(parser);
+
+  const std::string address = parser.get("connect");
+  const std::size_t colon = address.rfind(':');
+  ANCHOR_CHECK_MSG(colon != std::string::npos && colon + 1 < address.size(),
+                   "--connect takes host:port (e.g. 127.0.0.1:7411)");
+  const std::string host = address.substr(0, colon);
+  const int port = std::stoi(address.substr(colon + 1));
+  ANCHOR_CHECK_MSG(port > 0 && port <= 65535, "--connect port out of range");
+
+  anchor::net::Client client(host, static_cast<std::uint16_t>(port));
+  const anchor::obs::MetricsReport report = client.metrics();
+  std::cout << (parser.get_flag("prometheus")
+                    ? anchor::obs::to_prometheus(report)
+                    : anchor::obs::to_text(report));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::string usage =
       "usage: anchor-cli "
-      "<train|align|quantize|measure|stability|export|analyze> [args]\n"
+      "<train|align|quantize|measure|stability|export|analyze|metrics> "
+      "[args]\n"
       "       anchor-cli <subcommand> --help for details\n";
   if (argc < 2) {
     std::cerr << usage;
@@ -342,6 +374,7 @@ int main(int argc, char** argv) {
     if (cmd == "stability") return cmd_stability(rest);
     if (cmd == "export") return cmd_export(rest);
     if (cmd == "analyze") return cmd_analyze(rest);
+    if (cmd == "metrics") return cmd_metrics(rest);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -20,11 +20,15 @@
 #include <chrono>
 #include <csignal>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <thread>
 
 #include "cluster/router.hpp"
+#include "net/metrics_http.hpp"
 #include "net/socket.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/argparse.hpp"
 
 namespace {
@@ -51,6 +55,15 @@ int main(int argc, char** argv) {
                     "topology version stamped into the ShardMap", "1");
   parser.add_option("port", "TCP port on 127.0.0.1 (0 = pick a free port, "
                     "printed on the listening line)", "0");
+  parser.add_option("metrics",
+                    "Prometheus scrape port on 127.0.0.1 (0 = ephemeral, "
+                    "-1 = disabled)", "-1");
+  parser.add_option("slow-log",
+                    "JSONL slow-request trace log path (empty = disabled)");
+  parser.add_option("slow-threshold-us",
+                    "log a sampled trace when the request took at least "
+                    "this many microseconds (0 = every sampled request)",
+                    "10000");
   parser.add_option("probe-interval-ms",
                     "backend health-probe cadence (0 disables probing)",
                     "500");
@@ -77,12 +90,21 @@ int main(int argc, char** argv) {
   }
 
   cluster::RouterConfig config;
+  std::int64_t metrics_port = -1;
   try {
     const std::int64_t port = parser.get_int("port");
     if (port < 0 || port > 65535) {
       throw std::runtime_error("--port must be in [0, 65535]");
     }
     config.port = static_cast<std::uint16_t>(port);
+    metrics_port = parser.get_int("metrics");
+    if (metrics_port > 65535) {
+      throw std::runtime_error("--metrics must be in [-1, 65535]");
+    }
+    obs::TracerConfig tracer;
+    tracer.slow_log_path = parser.get("slow-log");
+    tracer.slow_threshold_us = parser.get_double("slow-threshold-us");
+    obs::Tracer::instance().configure(tracer);
     std::string map_text = "v";
     map_text += std::to_string(parser.get_int("map-version"));
     map_text += ',';
@@ -105,12 +127,24 @@ int main(int argc, char** argv) {
     cluster::Router router(config);
     std::signal(SIGINT, on_signal);
     std::signal(SIGTERM, on_signal);
+    std::optional<net::MetricsHttpServer> metrics_http;
+    if (metrics_port >= 0) {
+      metrics_http.emplace(
+          static_cast<std::uint16_t>(metrics_port), [&router] {
+            return obs::to_prometheus(router.metrics_registry().snapshot());
+          });
+      metrics_http->start();
+    }
     router.start();
     std::cerr << "routing " << config.map.total_rows() << " rows over "
               << config.map.num_shards() << " shards: "
               << config.map.serialize() << "\n";
     std::cout << "anchor_router listening on 127.0.0.1:" << router.port()
               << std::endl;
+    if (metrics_http) {
+      std::cout << "anchor_router metrics on 127.0.0.1:"
+                << metrics_http->port() << std::endl;
+    }
 
     while (!g_signaled.load() && !router.shutdown_requested()) {
       std::this_thread::sleep_for(std::chrono::milliseconds(50));

@@ -21,11 +21,15 @@
 #include <chrono>
 #include <csignal>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "net/metrics_http.hpp"
 #include "net/server.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/demo_store.hpp"
 #include "serve/serve.hpp"
 #include "util/argparse.hpp"
@@ -93,6 +97,15 @@ int main(int argc, char** argv) {
   parser.add_option("cache-rows",
                     "hot rows per lookup-cache shard (0 disables)", "256");
   parser.add_option("port", "TCP port on 127.0.0.1 (0 = ephemeral)", "0");
+  parser.add_option("metrics",
+                    "Prometheus scrape port on 127.0.0.1 (0 = ephemeral, "
+                    "-1 = disabled)", "-1");
+  parser.add_option("slow-log",
+                    "JSONL slow-request trace log path (empty = disabled)");
+  parser.add_option("slow-threshold-us",
+                    "log a sampled trace when the request took at least "
+                    "this many microseconds (0 = every sampled request)",
+                    "10000");
   parser.add_option("max-batch",
                     "batcher: flush when this many keys are waiting", "64");
   parser.add_option("max-wait-us",
@@ -141,6 +154,7 @@ int main(int argc, char** argv) {
   }
 
   net::ServerConfig config;
+  std::int64_t metrics_port = -1;
   // Numeric-flag parsing throws (CheckError) on malformed values; turn
   // that into the usage exit path rather than an abort.
   try {
@@ -149,6 +163,14 @@ int main(int argc, char** argv) {
       throw std::runtime_error("--port must be in [0, 65535]");
     }
     config.port = static_cast<std::uint16_t>(port);
+    metrics_port = parser.get_int("metrics");
+    if (metrics_port > 65535) {
+      throw std::runtime_error("--metrics must be in [-1, 65535]");
+    }
+    obs::TracerConfig tracer;
+    tracer.slow_log_path = parser.get("slow-log");
+    tracer.slow_threshold_us = parser.get_double("slow-threshold-us");
+    obs::Tracer::instance().configure(tracer);
     config.lookup.cache_rows_per_shard =
         static_cast<std::size_t>(parser.get_int("cache-rows"));
     config.batcher.max_batch_size =
@@ -256,10 +278,24 @@ int main(int argc, char** argv) {
     net::Server server(store, config);
     std::signal(SIGINT, on_signal);
     std::signal(SIGTERM, on_signal);
+    std::optional<net::MetricsHttpServer> metrics_http;
+    if (metrics_port >= 0) {
+      metrics_http.emplace(
+          static_cast<std::uint16_t>(metrics_port), [&server] {
+            return obs::to_prometheus(server.metrics_registry().snapshot());
+          });
+      metrics_http->start();
+    }
     server.start();
     // The one machine-readable line scripts scrape for the bound port.
     std::cout << "anchor_served listening on 127.0.0.1:" << server.port()
               << std::endl;
+    // Scripts scrape the "listening on" line specifically, so the
+    // metrics endpoint gets its own line (same greppable shape).
+    if (metrics_http) {
+      std::cout << "anchor_served metrics on 127.0.0.1:"
+                << metrics_http->port() << std::endl;
+    }
 
     while (!g_signaled.load() && !server.shutdown_requested()) {
       std::this_thread::sleep_for(std::chrono::milliseconds(50));

@@ -129,8 +129,12 @@ void print_rollout(const net::RolloutStatusReport& st) {
 }
 
 /// Connect mode (CI): shape checks + rollout against a live router.
+/// `pump` > 0 issues that many extra scatter-gather lookups and fails on
+/// ANY degraded row — the failover smoke: with replicated shards, killing
+/// one backend mid-pump must stay invisible to clients.
 bool run_connect(const std::string& host, std::uint16_t port,
-                 const std::string& rollout_candidate, bool send_shutdown) {
+                 const std::string& rollout_candidate, bool send_shutdown,
+                 std::size_t pump) {
   net::Client client(host, port);
   client.ping();
   const std::string map_text = client.shard_map();
@@ -151,6 +155,28 @@ bool run_connect(const std::string& host, std::uint16_t port,
   ok = ok && result.oov.back() == serve::kLookupFlagOov;
   std::cout << "lookup spanning " << map.num_shards() << " shards: dim="
             << result.dim << " version='" << result.version << "'\n";
+
+  if (pump > 0) {
+    // Rotate through id windows spanning every shard so each pump
+    // iteration scatter-gathers the whole cluster.
+    std::size_t degraded_rows = 0, pumped = 0;
+    for (std::size_t i = 0; i < pump; ++i) {
+      std::vector<std::size_t> window;
+      for (std::size_t s = 0; s < map.num_shards(); ++s) {
+        const auto& spec = map.shard(s);
+        const std::size_t rows = spec.row_end - spec.row_begin;
+        window.push_back(spec.row_begin + (i * 7) % rows);
+      }
+      const auto r = client.lookup_ids(window);
+      ++pumped;
+      for (std::size_t k = 0; k < r.size(); ++k) {
+        if (r.oov[k] & serve::kLookupFlagDegraded) ++degraded_rows;
+      }
+    }
+    std::cout << "pumped " << pumped << " scatter-gather lookups: "
+              << degraded_rows << " degraded rows\n";
+    ok = ok && degraded_rows == 0;
+  }
 
   if (!rollout_candidate.empty()) {
     client.rollout_start(rollout_candidate, /*mode=*/0);
@@ -179,17 +205,25 @@ bool run_connect(const std::string& host, std::uint16_t port,
 int main(int argc, char** argv) {
   std::string connect, rollout_candidate;
   bool send_shutdown = false;
+  std::size_t pump = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--connect" && i + 1 < argc) {
       connect = argv[++i];
     } else if (arg == "--rollout" && i + 1 < argc) {
       rollout_candidate = argv[++i];
+    } else if (arg == "--pump" && i + 1 < argc) {
+      try {
+        pump = static_cast<std::size_t>(std::stoul(argv[++i]));
+      } catch (const std::exception&) {
+        std::cerr << "--pump expects a lookup count\n";
+        return 2;
+      }
     } else if (arg == "--shutdown") {
       send_shutdown = true;
     } else {
       std::cerr << "usage: serve_cluster_demo [--connect host:port] "
-                   "[--rollout candidate] [--shutdown]\n";
+                   "[--pump N] [--rollout candidate] [--shutdown]\n";
       return 2;
     }
   }
@@ -211,7 +245,7 @@ int main(int argc, char** argv) {
     try {
       return run_connect(connect.substr(0, colon),
                          static_cast<std::uint16_t>(port), rollout_candidate,
-                         send_shutdown)
+                         send_shutdown, pump)
                  ? 0
                  : 1;
     } catch (const std::exception& e) {

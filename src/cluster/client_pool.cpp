@@ -1,0 +1,28 @@
+#include "cluster/client_pool.hpp"
+
+#include "util/check.hpp"
+
+namespace anchor::cluster {
+
+ClusterClientPool::ClusterClientPool(std::size_t size,
+                                     const ClusterConfig& config,
+                                     std::shared_ptr<ClusterHealth> health,
+                                     std::shared_ptr<HedgePolicy> hedge,
+                                     std::shared_ptr<ClusterCounters> counters) {
+  ANCHOR_CHECK_MSG(size > 0, "ClusterClientPool needs at least one client");
+  slots_.reserve(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    auto slot = std::make_unique<Slot>();
+    slot->client =
+        std::make_unique<ClusterClient>(config, health, hedge, counters);
+    slots_.push_back(std::move(slot));
+  }
+}
+
+void ClusterClientPool::shutdown_backends() {
+  Slot& slot = *slots_[0];
+  std::lock_guard<std::mutex> lock(slot.mu);
+  slot.client->shutdown_backends();
+}
+
+}  // namespace anchor::cluster

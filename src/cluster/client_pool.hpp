@@ -1,0 +1,64 @@
+// A shared, mutex-guarded pool of ClusterClients for the router's data
+// plane.
+//
+// A ClusterClient is deliberately single-threaded (blocking sockets, an
+// in-order reply protocol per connection), so the pre-pool router gave
+// every client connection its own instance — and with it a private
+// backend-socket set, private health guesses, and no shared latency
+// signal. The pool inverts that: N instances are constructed up front
+// over one shared ClusterHealth / HedgePolicy / ClusterCounters, and
+// every router connection handler borrows one per lookup, round-robin
+// with per-slot locking. Concurrency is capped at the pool size
+// (excess handlers queue on the slot mutexes, which is back-pressure,
+// not failure), backend fan-in is bounded at pool_size connections per
+// replica, and — the part the hedging tentpole needs — every borrowed
+// client records RTTs into the SAME per-shard histograms, so the p99
+// the hedge delay derives from is the router's merged view, not one
+// connection's.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "cluster/cluster_client.hpp"
+
+namespace anchor::cluster {
+
+class ClusterClientPool {
+ public:
+  /// Builds `size` clients, all sharing `health`, `hedge`, and
+  /// `counters` (each may be nullptr to disable that facility).
+  ClusterClientPool(std::size_t size, const ClusterConfig& config,
+                    std::shared_ptr<ClusterHealth> health,
+                    std::shared_ptr<HedgePolicy> hedge,
+                    std::shared_ptr<ClusterCounters> counters);
+
+  std::size_t size() const { return slots_.size(); }
+
+  /// Runs `fn(ClusterClient&)` on a round-robin-chosen instance, holding
+  /// that slot's lock for the duration. Returns fn's result.
+  template <typename Fn>
+  auto with_client(Fn&& fn) {
+    Slot& slot = *slots_[next_.fetch_add(1, std::memory_order_relaxed) %
+                        slots_.size()];
+    std::lock_guard<std::mutex> lock(slot.mu);
+    return fn(*slot.client);
+  }
+
+  /// Sends kShutdown to every backend replica once (through slot 0) —
+  /// forwarding a shutdown N times would race the backends' exits.
+  void shutdown_backends();
+
+ private:
+  struct Slot {
+    std::mutex mu;
+    std::unique_ptr<ClusterClient> client;
+  };
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::atomic<std::uint64_t> next_{0};
+};
+
+}  // namespace anchor::cluster

@@ -2,8 +2,13 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
+#include <cmath>
 #include <cstring>
 #include <map>
+#include <random>
+#include <stdexcept>
+#include <thread>
 
 #include "util/check.hpp"
 
@@ -11,54 +16,247 @@ namespace anchor::cluster {
 
 // ---- ClusterHealth -----------------------------------------------------
 
-ClusterHealth::ClusterHealth(std::size_t num_shards) : up_(num_shards) {}
+ClusterHealth::ClusterHealth(const ShardMap& map)
+    : flags_(map.num_replicas_total()), offsets_(map.num_shards() + 1, 0) {
+  for (std::size_t b = 0; b < map.num_shards(); ++b) {
+    offsets_[b + 1] = offsets_[b] + map.shard(b).num_replicas();
+  }
+}
 
-bool ClusterHealth::healthy(std::size_t shard) const {
-  return up_[shard].up.load(std::memory_order_acquire);
+ClusterHealth::ClusterHealth(std::size_t num_shards)
+    : flags_(num_shards), offsets_(num_shards + 1, 0) {
+  for (std::size_t b = 0; b < num_shards; ++b) offsets_[b + 1] = b + 1;
+}
+
+bool ClusterHealth::healthy(std::size_t shard, std::size_t replica) const {
+  return flags_[index(shard, replica)].up.load(std::memory_order_acquire);
+}
+
+void ClusterHealth::mark(std::size_t shard, std::size_t replica, bool up) {
+  flags_[index(shard, replica)].up.store(up, std::memory_order_release);
 }
 
 void ClusterHealth::mark(std::size_t shard, bool up) {
-  up_[shard].up.store(up, std::memory_order_release);
+  for (std::size_t r = 0; r < replicas(shard); ++r) mark(shard, r, up);
+}
+
+bool ClusterHealth::shard_alive(std::size_t shard) const {
+  for (std::size_t r = 0; r < replicas(shard); ++r) {
+    if (healthy(shard, r)) return true;
+  }
+  return false;
+}
+
+std::size_t ClusterHealth::alive_replicas(std::size_t shard) const {
+  std::size_t n = 0;
+  for (std::size_t r = 0; r < replicas(shard); ++r) {
+    if (healthy(shard, r)) ++n;
+  }
+  return n;
 }
 
 std::size_t ClusterHealth::alive() const {
   std::size_t n = 0;
-  for (const Flag& f : up_) {
-    if (f.up.load(std::memory_order_acquire)) ++n;
+  for (std::size_t b = 0; b < num_shards(); ++b) {
+    if (shard_alive(b)) ++n;
   }
   return n;
+}
+
+std::size_t ClusterHealth::replicas_alive() const {
+  std::size_t n = 0;
+  for (const Rep& r : flags_) {
+    if (r.up.load(std::memory_order_acquire)) ++n;
+  }
+  return n;
+}
+
+void ClusterHealth::add_load(std::size_t shard, std::size_t replica,
+                             std::int64_t delta) {
+  flags_[index(shard, replica)].load.fetch_add(delta,
+                                               std::memory_order_relaxed);
+}
+
+std::uint64_t ClusterHealth::load(std::size_t shard,
+                                  std::size_t replica) const {
+  const std::int64_t v =
+      flags_[index(shard, replica)].load.load(std::memory_order_relaxed);
+  return v > 0 ? static_cast<std::uint64_t>(v) : 0;
+}
+
+// ---- HedgePolicy -------------------------------------------------------
+
+HedgePolicy::HedgePolicy(std::size_t num_shards)
+    : HedgePolicy(num_shards, Config{}) {}
+
+HedgePolicy::HedgePolicy(std::size_t num_shards, Config config)
+    : config_(config) {
+  shards_.reserve(num_shards);
+  for (std::size_t b = 0; b < num_shards; ++b) {
+    shards_.push_back(std::make_unique<PerShard>());
+    shards_.back()->next_refresh.store(config_.min_samples,
+                                       std::memory_order_relaxed);
+  }
+}
+
+void HedgePolicy::record(std::size_t shard, double rtt_us) {
+  shards_[shard]->rtt.record(rtt_us);
+}
+
+double HedgePolicy::hedge_delay_us(std::size_t shard) const {
+  PerShard& s = *shards_[shard];
+  const std::uint64_t count = s.rtt.count();
+  if (count >= config_.min_samples) {
+    // Lazy refresh: the first caller to cross the refresh mark recomputes
+    // the quantile from the merged histogram; everyone else reads the
+    // cached value (quantile() walks 1856 buckets — too hot per lookup).
+    std::uint64_t next = s.next_refresh.load(std::memory_order_acquire);
+    if (count >= next &&
+        s.next_refresh.compare_exchange_strong(next,
+                                               count + config_.refresh_every,
+                                               std::memory_order_acq_rel)) {
+      const double q =
+          s.rtt.quantile(config_.quantile) * config_.multiplier;
+      s.cached_delay_us.store(
+          std::clamp(q, config_.min_delay_us, config_.max_delay_us),
+          std::memory_order_release);
+    }
+    const double cached = s.cached_delay_us.load(std::memory_order_acquire);
+    if (cached > 0.0) return cached;
+  }
+  return std::clamp(config_.default_delay_us, config_.min_delay_us,
+                    config_.max_delay_us);
+}
+
+obs::HistogramSnapshot HedgePolicy::shard_snapshot(std::size_t shard) const {
+  return shards_[shard]->rtt.snapshot();
+}
+
+std::uint64_t HedgePolicy::samples(std::size_t shard) const {
+  return shards_[shard]->rtt.count();
 }
 
 // ---- ClusterClient -----------------------------------------------------
 
 ClusterClient::ClusterClient(ClusterConfig config,
-                             std::shared_ptr<ClusterHealth> health)
+                             std::shared_ptr<ClusterHealth> health,
+                             std::shared_ptr<HedgePolicy> hedge,
+                             std::shared_ptr<ClusterCounters> counters)
     : config_(std::move(config)),
       health_(std::move(health)),
-      streams_(config_.map.num_shards()),
+      hedge_(std::move(hedge)),
+      counters_(std::move(counters)),
+      conns_(config_.map.num_shards()),
+      jitter_state_(std::random_device{}()),
       last_shard_ok_(config_.map.num_shards(), 1) {
   ANCHOR_CHECK_MSG(config_.map.num_shards() > 0,
                    "ClusterClient needs a non-empty ShardMap");
+  for (std::size_t b = 0; b < config_.map.num_shards(); ++b) {
+    conns_[b].resize(config_.map.shard(b).num_replicas());
+  }
 }
 
-net::TcpStream* ClusterClient::stream(std::size_t shard) {
-  if (!streams_[shard]) {
-    const ShardSpec& spec = config_.map.shard(shard);
+net::TcpStream* ClusterClient::stream(std::size_t shard,
+                                      std::size_t replica) {
+  ReplicaConn& c = conns_[shard][replica];
+  if (!c.stream) {
+    const Endpoint& ep = config_.map.shard(shard).replica(replica);
     try {
-      streams_[shard].emplace(net::TcpStream::connect(spec.host, spec.port));
-      streams_[shard]->set_io_timeout(config_.io_timeout_ms);
+      c.stream.emplace(net::TcpStream::connect(ep.host, ep.port));
+      c.stream->set_io_timeout(config_.io_timeout_ms);
+      c.owed_frames = 0;  // a fresh connection owes nothing
     } catch (const net::NetError&) {
-      streams_[shard].reset();
+      c.stream.reset();
       return nullptr;
     }
   }
-  return &*streams_[shard];
+  return &*c.stream;
 }
 
-void ClusterClient::drop(std::size_t shard) { streams_[shard].reset(); }
+void ClusterClient::drop(std::size_t shard, std::size_t replica) {
+  conns_[shard][replica].stream.reset();
+  conns_[shard][replica].owed_frames = 0;
+}
 
-bool ClusterClient::send_plan(std::size_t shard, const Plan& plan) {
-  net::TcpStream* s = stream(shard);
+bool ClusterClient::replica_up(std::size_t shard,
+                               std::size_t replica) const {
+  return !health_ || health_->healthy(shard, replica);
+}
+
+void ClusterClient::mark_replica(std::size_t shard, std::size_t replica,
+                                 bool up) {
+  if (health_) health_->mark(shard, replica, up);
+}
+
+std::size_t ClusterClient::choose_replica(std::size_t shard,
+                                          std::size_t exclude) {
+  const std::size_t n = config_.map.shard(shard).num_replicas();
+  // Rotating start so pooled clients with equal loads do not all pile on
+  // replica 0; least in-flight load wins, a connection owing hedge-loser
+  // frames loses ties (using it means draining or reconnecting first).
+  const std::size_t start = rr_++ % n;
+  std::size_t best = kNone;
+  std::uint64_t best_load = 0;
+  bool best_owed = false;
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t r = (start + k) % n;
+    if (r == exclude || !replica_up(shard, r)) continue;
+    const std::uint64_t load = health_ ? health_->load(shard, r) : 0;
+    const bool owed = conns_[shard][r].owed_frames > 0;
+    if (best == kNone || (best_owed && !owed) ||
+        (owed == best_owed && load < best_load)) {
+      best = r;
+      best_load = load;
+      best_owed = owed;
+    }
+  }
+  return best;
+}
+
+bool ClusterClient::settle_owed(std::size_t shard, std::size_t replica,
+                                int budget_ms) {
+  ReplicaConn& c = conns_[shard][replica];
+  if (c.owed_frames == 0) return true;
+  if (!c.stream) {
+    c.owed_frames = 0;
+    return true;
+  }
+  try {
+    while (c.owed_frames > 0) {
+      if (!c.stream->wait_readable(budget_ms)) {
+        drop(shard, replica);  // reconnect is cheaper than waiting
+        return false;
+      }
+      net::MsgType type{};
+      std::vector<std::uint8_t> payload;
+      if (!net::read_frame(*c.stream, &type, &payload)) {
+        drop(shard, replica);
+        return false;
+      }
+      --c.owed_frames;
+    }
+    return true;
+  } catch (const std::exception&) {
+    drop(shard, replica);
+    return false;
+  }
+}
+
+void ClusterClient::drain_owed_nonblocking() {
+  for (std::size_t b = 0; b < conns_.size(); ++b) {
+    for (std::size_t r = 0; r < conns_[b].size(); ++r) {
+      if (conns_[b][r].owed_frames > 0) settle_owed(b, r, 0);
+    }
+  }
+}
+
+bool ClusterClient::send_plan(std::size_t shard, std::size_t replica,
+                              const Plan& plan) {
+  // A hedge loser from an earlier lookup still owes replies on this
+  // connection; they must be consumed (or the stream replaced) before a
+  // new sub-request, or reply frames would misalign with requests.
+  settle_owed(shard, replica, /*budget_ms=*/50);
+  net::TcpStream* s = stream(shard, replica);
   if (s == nullptr) return false;
   try {
     // A sampled lookup stamps a child context (same trace, fresh span id)
@@ -90,16 +288,18 @@ bool ClusterClient::send_plan(std::size_t shard, const Plan& plan) {
     }
     return true;
   } catch (const net::NetError&) {
-    drop(shard);
+    drop(shard, replica);
     return false;
   }
 }
 
-bool ClusterClient::read_plan(std::size_t shard, const Plan& plan,
+bool ClusterClient::read_plan(std::size_t shard, std::size_t replica,
+                              const Plan& plan,
                               serve::LookupResult* ids_reply,
                               serve::LookupResult* words_reply) {
-  net::TcpStream* s = stream(shard);
-  if (s == nullptr) return false;
+  ReplicaConn& c = conns_[shard][replica];
+  if (!c.stream) return false;
+  net::TcpStream* s = &*c.stream;
   const auto read_one = [&](net::MsgType expected,
                             serve::LookupResult* out) -> bool {
     net::MsgType type{};
@@ -114,21 +314,236 @@ bool ClusterClient::read_plan(std::size_t shard, const Plan& plan,
   try {
     if (!plan.local_ids.empty() &&
         !read_one(net::MsgType::kLookupIdsReply, ids_reply)) {
-      drop(shard);
+      drop(shard, replica);
       return false;
     }
     if (!plan.words.empty() &&
         !read_one(net::MsgType::kLookupWordsReply, words_reply)) {
-      drop(shard);
+      drop(shard, replica);
       return false;
     }
     return true;
   } catch (const net::NetError&) {
-    drop(shard);
+    drop(shard, replica);
     return false;
   } catch (const net::WireError&) {
-    drop(shard);
+    drop(shard, replica);
     return false;
+  }
+}
+
+void ClusterClient::backoff_sleep(int attempt) {
+  // First failover is immediate (the replacement replica is presumed
+  // healthy); later attempts back off exponentially with jitter so pooled
+  // clients hammering one struggling shard spread out in time.
+  if (attempt <= 1 || config_.backoff_base_ms <= 0) return;
+  const int shift = std::min(attempt - 2, 20);
+  const std::int64_t base =
+      std::min<std::int64_t>(config_.backoff_max_ms,
+                             std::int64_t{config_.backoff_base_ms} << shift);
+  // splitmix64 step for the jitter draw — cheap, seeded per client.
+  jitter_state_ += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = jitter_state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  const double jitter = 0.5 + 0.5 * (static_cast<double>(z >> 11) /
+                                     9007199254740992.0);  // [0.5, 1.0)
+  const auto sleep_us = static_cast<std::int64_t>(
+      static_cast<double>(base) * 1000.0 * jitter);
+  if (sleep_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+  }
+}
+
+void ClusterClient::scatter_shard(std::size_t shard, const Plan& plan,
+                                  ShardState* st) {
+  // The attempt budget bounds requests actually SENT (each of which costs
+  // a read, possibly a full io timeout). An instant connect/send failure
+  // — the common shape when a replica was just killed — does NOT consume
+  // it: those failovers are already bounded by the replica count, because
+  // every failure marks its replica down and choose_replica skips downed
+  // ones. Burning budget on refused connects would leave a shard with one
+  // flaky survivor too few read attempts to ride out a transient.
+  std::size_t first = kNone;
+  std::size_t r = choose_replica(shard, kNone);
+  while (r != kNone) {
+    st->send_ns = obs::Tracer::now_ns();
+    if (send_plan(shard, r, plan)) {
+      ++st->attempts;
+      st->sent = true;
+      st->primary = r;
+      if (health_) health_->add_load(shard, r, +1);
+      if (counters_ && first != kNone) {
+        counters_->failovers.fetch_add(1, std::memory_order_relaxed);
+      }
+      return;
+    }
+    // Connect/send failures are instant (no backoff): fail over to the
+    // next live replica right away.
+    mark_replica(shard, r, false);
+    if (counters_) counters_->retries.fetch_add(1, std::memory_order_relaxed);
+    if (first == kNone) first = r;
+    r = choose_replica(shard, kNone);
+  }
+}
+
+bool ClusterClient::gather_shard(std::size_t shard, const Plan& plan,
+                                 ShardState* st,
+                                 serve::LookupResult* ids_reply,
+                                 serve::LookupResult* words_reply) {
+  if (!st->sent) return false;
+  const std::size_t n_replicas = config_.map.shard(shard).num_replicas();
+  const int budget = config_.retry ? std::max(config_.max_attempts, 1) : 1;
+  const std::size_t original = st->primary;
+
+  const auto release_load = [&](std::size_t r) {
+    if (health_ && r != kNone) health_->add_load(shard, r, -1);
+  };
+
+  while (true) {
+    // Hedge window: give the primary the shard's p99-derived delay to
+    // start answering; when it stays silent, mirror the plan to a second
+    // live replica and race them. At most one hedge per shard per lookup.
+    if (config_.hedge && hedge_ && n_replicas > 1 && st->hedged == kNone) {
+      const double delay_us = hedge_->hedge_delay_us(shard);
+      int delay_ms =
+          static_cast<int>(std::max(1.0, std::ceil(delay_us / 1000.0)));
+      if (config_.io_timeout_ms > 0) {
+        delay_ms = std::min(delay_ms, config_.io_timeout_ms);
+      }
+      net::TcpStream* ps = conns_[shard][st->primary].stream
+                               ? &*conns_[shard][st->primary].stream
+                               : nullptr;
+      if (ps != nullptr && !ps->wait_readable(delay_ms)) {
+        const std::size_t h = choose_replica(shard, st->primary);
+        if (h != kNone && send_plan(shard, h, plan)) {
+          st->hedged = h;
+          if (health_) health_->add_load(shard, h, +1);
+          if (counters_) {
+            counters_->hedges.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    }
+
+    // Read the winner. Un-hedged: one blocking read (io_timeout-bounded).
+    // Hedged: poll both connections; the first to turn readable gets the
+    // blocking read, and a failed racer does not doom the attempt while
+    // the other is still live.
+    std::size_t winner = kNone;
+    if (st->hedged == kNone) {
+      if (read_plan(shard, st->primary, plan, ids_reply, words_reply)) {
+        winner = st->primary;
+      } else {
+        mark_replica(shard, st->primary, false);
+      }
+    } else {
+      std::array<std::size_t, 2> racers = {st->primary, st->hedged};
+      std::array<bool, 2> dead = {false, false};
+      const std::uint64_t t0 = obs::Tracer::now_ns();
+      const double limit_ns = config_.io_timeout_ms > 0
+                                  ? config_.io_timeout_ms * 1e6
+                                  : 0.0;
+      while (winner == kNone && (!dead[0] || !dead[1])) {
+        for (int i = 0; i < 2 && winner == kNone; ++i) {
+          if (dead[i]) continue;
+          const std::size_t r = racers[i];
+          net::TcpStream* s =
+              conns_[shard][r].stream ? &*conns_[shard][r].stream : nullptr;
+          if (s == nullptr) {
+            dead[i] = true;
+            mark_replica(shard, r, false);
+            continue;
+          }
+          // Sole survivor: no need to poll, the io timeout bounds it.
+          if (dead[1 - i] || s->wait_readable(1)) {
+            if (read_plan(shard, r, plan, ids_reply, words_reply)) {
+              winner = r;
+            } else {
+              dead[i] = true;
+              mark_replica(shard, r, false);
+            }
+          }
+        }
+        if (limit_ns > 0.0 &&
+            static_cast<double>(obs::Tracer::now_ns() - t0) > limit_ns) {
+          // Both replicas accepted the plan and neither started answering
+          // within the io timeout — treat both as hung.
+          for (int i = 0; i < 2; ++i) {
+            if (!dead[i]) {
+              drop(shard, racers[i]);
+              mark_replica(shard, racers[i], false);
+              dead[i] = true;
+            }
+          }
+        }
+      }
+    }
+
+    if (winner != kNone) {
+      // Loser of a race owes its (in-order) replies on its connection;
+      // count them so a later lookup drains before reusing the stream.
+      if (st->hedged != kNone) {
+        const std::size_t loser =
+            winner == st->primary ? st->hedged : st->primary;
+        if (conns_[shard][loser].stream) {
+          conns_[shard][loser].owed_frames += plan.frames();
+        }
+        if (counters_ && winner == st->hedged) {
+          counters_->hedge_wins.fetch_add(1, std::memory_order_relaxed);
+        }
+        release_load(st->hedged);
+      }
+      release_load(st->primary);
+      mark_replica(shard, winner, true);  // it answered; no probe needed
+      if (hedge_) {
+        hedge_->record(shard,
+                       static_cast<double>(obs::Tracer::now_ns() -
+                                           st->send_ns) /
+                           1000.0);
+      }
+      st->primary = winner;
+      return true;
+    }
+
+    // Every replica this attempt engaged is dead; fail over with backoff
+    // until the attempt budget or the live replica set runs out.
+    release_load(st->primary);
+    release_load(st->hedged);
+    st->hedged = kNone;
+    bool resent = false;
+    while (st->attempts < budget) {
+      std::size_t next = choose_replica(shard, kNone);
+      if (next == kNone) {
+        // Every replica is marked down, but the shard may still be
+        // servable: a transient fault can mark the sole survivor down in
+        // the same breath that the dead replica fails. Rotate the
+        // remaining budget across ALL replicas — pinning to one endpoint
+        // (say, the original) would burn the budget on connect-refused
+        // while a live-but-marked-down replica sits untried. The shard
+        // degrades only once the budget runs out with nobody answering.
+        next = (original + static_cast<std::size_t>(st->attempts)) %
+               n_replicas;
+      }
+      if (counters_) {
+        counters_->retries.fetch_add(1, std::memory_order_relaxed);
+        if (next != original) {
+          counters_->failovers.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      backoff_sleep(st->attempts);
+      ++st->attempts;
+      st->send_ns = obs::Tracer::now_ns();
+      if (send_plan(shard, next, plan)) {
+        st->primary = next;
+        if (health_) health_->add_load(shard, next, +1);
+        resent = true;
+        break;
+      }
+      mark_replica(shard, next, false);
+    }
+    if (!resent) return false;
   }
 }
 
@@ -148,73 +563,58 @@ serve::LookupResult ClusterClient::execute(const std::vector<Plan>& plans,
   bool any_involved = false;
   for (const Plan& plan : plans) any_involved |= plan.involved();
   if (!any_involved && n_slots > 0 && config_.map.total_rows() > 0 &&
-      (!health_ || health_->healthy(0))) {
+      (!health_ || health_->shard_alive(0))) {
     Plan probe;
     probe.local_ids.push_back(0);
     probe.id_slots.push_back(0);
+    ShardState pst;
     serve::LookupResult ids_reply, words_reply;
-    if (send_plan(0, probe) &&
-        read_plan(0, probe, &ids_reply, &words_reply) &&
+    scatter_shard(0, probe, &pst);
+    if (gather_shard(0, probe, &pst, &ids_reply, &words_reply) &&
         ids_reply.size() == 1) {
       hint_dim_ = ids_reply.dim;
       hint_version_ = ids_reply.version;
     }
   }
 
-  // Phase 1 — fan out: all involved backends get their frames before any
-  // reply is read, so shard execution overlaps. A shard marked down by a
-  // previous failure (and not yet revived by a probe) is skipped outright:
-  // degrading instantly beats re-paying a 2 s timeout on every request.
+  // Phase 1 — fan out: every involved shard's plan goes to its chosen
+  // (least-loaded live) replica before any reply is read, so shard
+  // execution overlaps. A shard whose EVERY replica is marked down is
+  // skipped outright: degrading instantly beats re-paying a timeout.
   const bool traced = trace_.sampled();
   const std::uint64_t scatter_t0 = traced ? obs::Tracer::now_ns() : 0;
-  std::vector<std::uint64_t> send_ns(traced ? n_shards : 0, 0);
-  std::vector<std::uint8_t> sent(n_shards, 0);
-  std::vector<std::uint8_t> retried(n_shards, 0);
+  std::vector<ShardState> states(n_shards);
   for (std::size_t b = 0; b < n_shards; ++b) {
     if (!plans[b].involved()) continue;
-    if (health_ && !health_->healthy(b)) {
+    if (health_ && !health_->shard_alive(b)) {
       last_shard_ok_[b] = 0;
       continue;
     }
-    if (traced) send_ns[b] = obs::Tracer::now_ns();
-    if (send_plan(b, plans[b])) {
-      sent[b] = 1;
-    } else if (config_.retry && send_plan(b, plans[b])) {
-      // send_plan dropped the dead stream; the second call reconnects.
-      sent[b] = retried[b] = 1;
-    } else {
-      last_shard_ok_[b] = 0;
-      if (health_) health_->mark(b, false);
-    }
+    scatter_shard(b, plans[b], &states[b]);
+    if (!states[b].sent) last_shard_ok_[b] = 0;
   }
 
   // Phase 2 — gather, in shard order (per-connection replies are ordered
-  // anyway). A read failure burns the shard's single retry on a full
-  // synchronous resend+reread; a second failure degrades its rows.
+  // anyway). gather_shard hedges the straggler replica, fails over with
+  // bounded backoff, and only reports failure once every replica of the
+  // shard is exhausted — which is when its rows degrade.
   std::vector<serve::LookupResult> ids_replies(n_shards);
   std::vector<serve::LookupResult> words_replies(n_shards);
+  std::vector<std::uint8_t> ok(n_shards, 0);
   for (std::size_t b = 0; b < n_shards; ++b) {
-    if (!sent[b]) continue;
-    if (read_plan(b, plans[b], &ids_replies[b], &words_replies[b])) {
+    if (!states[b].sent) continue;
+    if (gather_shard(b, plans[b], &states[b], &ids_replies[b],
+                     &words_replies[b])) {
+      ok[b] = 1;
       if (traced) {
         obs::Tracer::instance().record(trace_, obs::TraceStage::kShardRtt,
-                                       send_ns[b], obs::Tracer::now_ns(),
+                                       states[b].send_ns,
+                                       obs::Tracer::now_ns(),
                                        static_cast<std::uint32_t>(b));
       }
       continue;
     }
-    if (config_.retry && !retried[b] && send_plan(b, plans[b]) &&
-        read_plan(b, plans[b], &ids_replies[b], &words_replies[b])) {
-      if (traced) {
-        obs::Tracer::instance().record(trace_, obs::TraceStage::kShardRtt,
-                                       send_ns[b], obs::Tracer::now_ns(),
-                                       static_cast<std::uint32_t>(b));
-      }
-      continue;
-    }
-    sent[b] = 0;
     last_shard_ok_[b] = 0;
-    if (health_) health_->mark(b, false);
   }
   const std::uint64_t merge_t0 = traced ? obs::Tracer::now_ns() : 0;
   if (traced) {
@@ -240,7 +640,7 @@ serve::LookupResult ClusterClient::execute(const std::vector<Plan>& plans,
   // smaller dim, arbitrarily but deterministically).
   std::map<std::size_t, std::uint64_t> dim_rows;
   for (std::size_t b = 0; b < n_shards; ++b) {
-    if (!sent[b]) continue;
+    if (!ok[b]) continue;
     for (const auto& [reply, expected] : matching_subs(b)) {
       if (expected > 0 && reply->size() == expected) {
         dim_rows[reply->dim] += expected;
@@ -257,7 +657,7 @@ serve::LookupResult ClusterClient::execute(const std::vector<Plan>& plans,
   // Pass 2: version majority, counting only replies of the chosen dim.
   std::map<std::string, std::uint64_t> version_rows;
   for (std::size_t b = 0; b < n_shards; ++b) {
-    if (!sent[b]) continue;
+    if (!ok[b]) continue;
     for (const auto& [reply, expected] : matching_subs(b)) {
       if (expected > 0 && reply->size() == expected &&
           reply->dim == out.dim) {
@@ -301,7 +701,7 @@ serve::LookupResult ClusterClient::execute(const std::vector<Plan>& plans,
   for (std::size_t b = 0; b < n_shards; ++b) {
     const Plan& plan = plans[b];
     if (!plan.involved()) continue;
-    if (!sent[b]) {
+    if (!ok[b]) {
       for (const std::uint32_t slot : plan.id_slots) {
         out.oov[slot] = serve::kLookupFlagDegraded;
       }
@@ -356,6 +756,9 @@ serve::LookupResult ClusterClient::execute(const std::vector<Plan>& plans,
                                    merge_t0, obs::Tracer::now_ns());
   }
   trace_ = obs::TraceContext{};  // consumed: one set_trace per lookup
+  // Hedge losers whose replies have arrived by now get their connections
+  // squared away for free; stragglers stay owed and settle on next use.
+  drain_owed_nonblocking();
   return out;
 }
 
@@ -405,44 +808,52 @@ ClusterStatsReport ClusterClient::stats() {
   ClusterStatsReport report;
   const std::size_t n_shards = config_.map.num_shards();
   report.shard_versions.assign(n_shards, "");
+  const auto fold = [](serve::StatsSnapshot* acc,
+                       const serve::StatsSnapshot& x) {
+    acc->lookups += x.lookups;
+    acc->batches += x.batches;
+    acc->cache_hits += x.cache_hits;
+    acc->cache_misses += x.cache_misses;
+    acc->oov_fallbacks += x.oov_fallbacks;
+    acc->qps += x.qps;
+    acc->elapsed_seconds = std::max(acc->elapsed_seconds, x.elapsed_seconds);
+    // Latency distributions MERGE (exact integer bucket adds); the
+    // fleet percentiles are re-derived from the merged histogram
+    // below. A max over per-shard percentile scalars — the pre-v3
+    // behavior — is not a fleet percentile at all.
+    acc->latency.merge(x.latency);
+  };
   for (std::size_t b = 0; b < n_shards; ++b) {
-    if (health_ && !health_->healthy(b)) continue;
-    net::TcpStream* s = stream(b);
-    if (s == nullptr) continue;
-    try {
-      net::write_frame(*s, net::MsgType::kStats, net::WireWriter());
-      net::MsgType type{};
-      std::vector<std::uint8_t> payload;
-      if (!net::read_frame(*s, &type, &payload) ||
-          type != net::MsgType::kStatsReply) {
-        drop(b);
-        continue;
+    bool answered = false;
+    // EVERY replica is serving traffic, so the fleet aggregate sums over
+    // all of them, not one delegate per shard.
+    for (std::size_t r = 0; r < config_.map.shard(b).num_replicas(); ++r) {
+      if (!replica_up(b, r)) continue;
+      settle_owed(b, r, /*budget_ms=*/50);
+      net::TcpStream* s = stream(b, r);
+      if (s == nullptr) continue;
+      try {
+        net::write_frame(*s, net::MsgType::kStats, net::WireWriter());
+        net::MsgType type{};
+        std::vector<std::uint8_t> payload;
+        if (!net::read_frame(*s, &type, &payload) ||
+            type != net::MsgType::kStatsReply) {
+          drop(b, r);
+          continue;
+        }
+        net::WireReader reader(payload);
+        const net::ServerStatsReport one = net::decode_server_stats(&reader);
+        reader.expect_done();
+        if (!answered) {
+          answered = true;
+          ++report.shards_answering;
+          report.shard_versions[b] = one.live_version;
+        }
+        fold(&report.aggregate.service, one.service);
+        fold(&report.aggregate.batcher, one.batcher);
+      } catch (const std::exception&) {
+        drop(b, r);
       }
-      net::WireReader reader(payload);
-      const net::ServerStatsReport one = net::decode_server_stats(&reader);
-      reader.expect_done();
-      ++report.shards_answering;
-      report.shard_versions[b] = one.live_version;
-      const auto fold = [](serve::StatsSnapshot* acc,
-                           const serve::StatsSnapshot& x) {
-        acc->lookups += x.lookups;
-        acc->batches += x.batches;
-        acc->cache_hits += x.cache_hits;
-        acc->cache_misses += x.cache_misses;
-        acc->oov_fallbacks += x.oov_fallbacks;
-        acc->qps += x.qps;
-        acc->elapsed_seconds = std::max(acc->elapsed_seconds,
-                                        x.elapsed_seconds);
-        // Latency distributions MERGE (exact integer bucket adds); the
-        // fleet percentiles are re-derived from the merged histogram
-        // below. A max over per-shard percentile scalars — the pre-v3
-        // behavior — is not a fleet percentile at all.
-        acc->latency.merge(x.latency);
-      };
-      fold(&report.aggregate.service, one.service);
-      fold(&report.aggregate.batcher, one.batcher);
-    } catch (const std::exception&) {
-      drop(b);
     }
   }
   // Unanimous version, or the literal "mixed" while shards disagree (a
@@ -464,16 +875,19 @@ ClusterStatsReport ClusterClient::stats() {
 
 void ClusterClient::shutdown_backends() {
   for (std::size_t b = 0; b < config_.map.num_shards(); ++b) {
-    net::TcpStream* s = stream(b);
-    if (s == nullptr) continue;
-    try {
-      net::write_frame(*s, net::MsgType::kShutdown, net::WireWriter());
-      net::MsgType type{};
-      std::vector<std::uint8_t> payload;
-      net::read_frame(*s, &type, &payload);
-    } catch (const std::exception&) {
+    for (std::size_t r = 0; r < config_.map.shard(b).num_replicas(); ++r) {
+      settle_owed(b, r, /*budget_ms=*/50);
+      net::TcpStream* s = stream(b, r);
+      if (s == nullptr) continue;
+      try {
+        net::write_frame(*s, net::MsgType::kShutdown, net::WireWriter());
+        net::MsgType type{};
+        std::vector<std::uint8_t> payload;
+        net::read_frame(*s, &type, &payload);
+      } catch (const std::exception&) {
+      }
+      drop(b, r);
     }
-    drop(b);
   }
 }
 

@@ -23,13 +23,27 @@ bool canary_terminal(serve::CanaryState s) {
 
 Router::Router(RouterConfig config)
     : config_(std::move(config)),
-      health_(std::make_shared<ClusterHealth>(config_.map.num_shards())),
       listener_(net::TcpListener::bind_loopback(config_.port)) {
   // Fail at construction, not at the first connection: an empty map
-  // would otherwise throw from the handler thread's ClusterClient
-  // constructor (outside its try block) and std::terminate the process.
+  // would otherwise throw from a handler thread (outside its try block)
+  // and std::terminate the process.
   ANCHOR_CHECK_MSG(config_.map.num_shards() > 0,
                    "Router needs a non-empty ShardMap");
+  health_ = std::make_shared<ClusterHealth>(config_.map);
+  hedge_ = std::make_shared<HedgePolicy>(config_.map.num_shards(),
+                                         config_.hedge_policy);
+  counters_ = std::make_shared<ClusterCounters>();
+  ClusterConfig cc_config;
+  cc_config.map = config_.map;
+  cc_config.io_timeout_ms = config_.backend_io_timeout_ms;
+  cc_config.max_attempts = config_.max_attempts;
+  cc_config.hedge = config_.hedge;
+  // hedge_ is shared even when hedging is off (ClusterConfig::hedge
+  // gates the behavior): the per-shard RTT histograms are still the
+  // router's latency signal worth recording.
+  pool_ = std::make_unique<ClusterClientPool>(
+      std::max<std::size_t>(config_.pool_size, 1), cc_config, health_,
+      hedge_, counters_);
   rollout_.shards.assign(config_.map.num_shards(), {});
   register_metrics();
 }
@@ -50,10 +64,45 @@ void Router::register_metrics() {
       "(microseconds)");
   metrics_.on_collect([this](obs::MetricsRegistry& r) {
     r.gauge("anchor_router_shards_alive",
-            "Backends currently marked healthy")
+            "Shards with at least one live replica")
         .set(static_cast<double>(health_->alive()));
-    r.gauge("anchor_router_shards_total", "Backends in the shard map")
+    r.gauge("anchor_router_shards_total", "Shards in the shard map")
         .set(static_cast<double>(config_.map.num_shards()));
+    r.gauge("anchor_router_replicas_alive",
+            "Backend replicas currently marked healthy")
+        .set(static_cast<double>(health_->replicas_alive()));
+    r.gauge("anchor_router_replicas_total",
+            "Backend replicas across all shards")
+        .set(static_cast<double>(health_->replicas_total()));
+    // Availability counters the pooled clients bump on the data plane.
+    r.counter("anchor_router_hedges_total",
+              "Hedge sub-requests sent to a second replica")
+        .set(counters_->hedges.load(std::memory_order_relaxed));
+    r.counter("anchor_router_hedge_wins_total",
+              "Hedged replica answered before the straggler")
+        .set(counters_->hedge_wins.load(std::memory_order_relaxed));
+    r.counter("anchor_router_retries_total",
+              "Lookup sub-request re-attempts after a replica failure")
+        .set(counters_->retries.load(std::memory_order_relaxed));
+    r.counter("anchor_router_failovers_total",
+              "Sub-requests moved to a different replica than first chosen")
+        .set(counters_->failovers.load(std::memory_order_relaxed));
+    // Per-replica health and per-shard hedge delay, labeled series.
+    for (std::size_t b = 0; b < config_.map.num_shards(); ++b) {
+      const ShardSpec& spec = config_.map.shard(b);
+      for (std::size_t rep = 0; rep < spec.num_replicas(); ++rep) {
+        r.gauge("anchor_router_replica_up{shard=\"" + std::to_string(b) +
+                    "\",replica=\"" + spec.address(rep) + "\"}",
+                "1 = replica marked healthy, 0 = down")
+            .set(health_->healthy(b, rep) ? 1.0 : 0.0);
+      }
+      r.gauge("anchor_router_hedge_delay_us{shard=\"" + std::to_string(b) +
+                  "\"}",
+              "Current hedge delay: p99 of the shard's merged RTT "
+              "histogram x multiplier, clamped (default until "
+              "min_samples)")
+          .set(hedge_->hedge_delay_us(b));
+    }
     // RolloutState numeric: 0 idle, 1 running, 2 completed, 3 rolled
     // back, 4 aborted (net/wire.hpp enum order).
     r.gauge("anchor_router_rollout_state",
@@ -142,14 +191,19 @@ void Router::accept_loop() {
 
 void Router::probe_loop() {
   // First sweep runs immediately so a router started against a dead
-  // backend knows within one probe, not one interval.
+  // backend knows within one probe, not one interval. Probes are per
+  // REPLICA: one dead member of a replica set must not take the shard's
+  // live members out of rotation.
   while (!stop_.load(std::memory_order_acquire)) {
     for (std::size_t b = 0; b < config_.map.num_shards(); ++b) {
-      if (stop_.load(std::memory_order_acquire)) return;
       const ShardSpec& spec = config_.map.shard(b);
-      health_->mark(
-          b, ClusterClient::probe(spec.host, spec.port,
-                                  config_.backend_io_timeout_ms));
+      for (std::size_t rep = 0; rep < spec.num_replicas(); ++rep) {
+        if (stop_.load(std::memory_order_acquire)) return;
+        const Endpoint& ep = spec.replica(rep);
+        health_->mark(b, rep,
+                      ClusterClient::probe(ep.host, ep.port,
+                                           config_.backend_io_timeout_ms));
+      }
     }
     // Stop-responsive sleep between sweeps.
     for (int waited = 0;
@@ -163,12 +217,6 @@ void Router::probe_loop() {
 
 void Router::handle_connection(net::TcpStream stream) {
   stream.set_io_timeout(config_.io_timeout_ms);
-  // One scatter-gather client (one pipeline per backend) per connection:
-  // handlers never share backend streams, so no data-plane locking.
-  ClusterConfig cc_config;
-  cc_config.map = config_.map;
-  cc_config.io_timeout_ms = config_.backend_io_timeout_ms;
-  ClusterClient cc(cc_config, health_);
   net::MsgType type{};
   std::vector<std::uint8_t> payload;
   obs::TraceContext trace;
@@ -180,7 +228,7 @@ void Router::handle_connection(net::TcpStream stream) {
       // parsed → reply written (scatter/merge spans nest inside it).
       const std::uint64_t recv_ns =
           trace.sampled() ? obs::Tracer::now_ns() : 0;
-      const bool keep = dispatch(stream, type, payload, cc, trace);
+      const bool keep = dispatch(stream, type, payload, trace);
       if (trace.sampled()) {
         obs::Tracer::instance().record(trace, obs::TraceStage::kRouterRecv,
                                        recv_ns, obs::Tracer::now_ns());
@@ -196,7 +244,7 @@ void Router::handle_connection(net::TcpStream stream) {
 
 bool Router::dispatch(net::TcpStream& stream, net::MsgType type,
                       const std::vector<std::uint8_t>& payload,
-                      ClusterClient& cc, const obs::TraceContext& trace) {
+                      const obs::TraceContext& trace) {
   net::WireReader reader(payload);
   net::WireWriter reply;
   requests_total_->inc();
@@ -205,13 +253,18 @@ bool Router::dispatch(net::TcpStream& stream, net::MsgType type,
     err.str(message);
     net::write_frame(stream, net::MsgType::kError, err);
   };
-  // Times one scatter-gather lookup into the router's latency histogram
-  // and maintains the lookup/degraded counters around `body()`.
+  // Borrows a pooled client, runs one scatter-gather lookup on it (timed
+  // into the router's latency histogram, lookup/degraded counters
+  // maintained), releases the slot BEFORE the reply is written back —
+  // a slow client draining its reply must not hold a pool slot.
   const auto timed_lookup = [&](const auto& body) {
     const auto start = std::chrono::steady_clock::now();
-    body();
+    pool_->with_client([&](ClusterClient& cc) {
+      if (trace.sampled()) cc.set_trace(trace);
+      body(cc);
+      if (cc.last_degraded()) degraded_total_->inc();
+    });
     lookups_total_->inc();
-    if (cc.last_degraded()) degraded_total_->inc();
     lookup_latency_->record(std::chrono::duration<double, std::micro>(
                                 std::chrono::steady_clock::now() - start)
                                 .count());
@@ -226,9 +279,9 @@ bool Router::dispatch(net::TcpStream& stream, net::MsgType type,
       for (auto& id : ids) id = static_cast<std::size_t>(reader.u64());
       reader.expect_done();
       try {
-        if (trace.sampled()) cc.set_trace(trace);
         serve::LookupResult merged;
-        timed_lookup([&] { merged = cc.lookup_ids(ids); });
+        timed_lookup(
+            [&](ClusterClient& cc) { merged = cc.lookup_ids(ids); });
         net::encode_lookup_result(merged, &reply);
         net::write_frame(stream, net::MsgType::kLookupIdsReply, reply);
       } catch (const net::NetError&) {
@@ -247,9 +300,9 @@ bool Router::dispatch(net::TcpStream& stream, net::MsgType type,
       for (auto& word : words) word = reader.str();
       reader.expect_done();
       try {
-        if (trace.sampled()) cc.set_trace(trace);
         serve::LookupResult merged;
-        timed_lookup([&] { merged = cc.lookup_words(words); });
+        timed_lookup(
+            [&](ClusterClient& cc) { merged = cc.lookup_words(words); });
         net::encode_lookup_result(merged, &reply);
         net::write_frame(stream, net::MsgType::kLookupWordsReply, reply);
       } catch (const net::NetError&) {
@@ -267,7 +320,8 @@ bool Router::dispatch(net::TcpStream& stream, net::MsgType type,
     }
     case net::MsgType::kStats: {
       reader.expect_done();
-      const ClusterStatsReport agg = cc.stats();
+      const ClusterStatsReport agg =
+          pool_->with_client([](ClusterClient& cc) { return cc.stats(); });
       net::encode_server_stats(agg.aggregate, &reply);
       net::write_frame(stream, net::MsgType::kStatsReply, reply);
       return true;
@@ -336,7 +390,7 @@ bool Router::dispatch(net::TcpStream& stream, net::MsgType type,
     }
     case net::MsgType::kShutdown: {
       reader.expect_done();
-      if (config_.forward_shutdown) cc.shutdown_backends();
+      if (config_.forward_shutdown) pool_->shutdown_backends();
       shutdown_requested_.store(true, std::memory_order_release);
       stop_.store(true, std::memory_order_release);
       net::write_frame(stream, net::MsgType::kShutdownReply, reply);
@@ -441,29 +495,47 @@ void Router::rollout_body(std::string candidate, std::uint8_t mode,
   const auto rollback_all = [&] {
     // Reverse order: the most recently flipped shard reverts first, so a
     // concurrent observer sees the promoted prefix only ever shrink.
+    // EVERY replica of a promoted shard flipped, so every replica rolls
+    // back — a best-effort sweep that keeps going past one dead replica
+    // (it rejoins on the incumbent it never left... or gets caught by
+    // the version check the next rollout runs).
     for (std::size_t j = n; j-- > 0;) {
       if (!promoted[j]) continue;
       const ShardSpec& spec = config_.map.shard(j);
-      std::string detail;
-      try {
-        // Forced: the incumbent being restored was serving traffic
-        // moments ago, and a near-threshold gate re-run in the reverse
-        // direction must not be able to refuse the restore and strand
-        // this shard on the rolled-back candidate.
-        net::Client client(spec.host, spec.port);
-        const serve::GateReport rep =
-            client.try_promote(old_versions[j], /*force=*/true);
-        detail = rep.promoted
-                     ? "rolled back to '" + old_versions[j] + "'"
-                     : "rollback refused: " + rep.reason;
-        set_shard_state(j,
-                        rep.promoted ? net::ShardRolloutState::kRolledBack
-                                     : net::ShardRolloutState::kFailed,
-                        detail);
-      } catch (const std::exception& e) {
-        detail = std::string("rollback failed: ") + e.what();
-        set_shard_state(j, net::ShardRolloutState::kFailed, detail);
+      std::size_t reverted = 0;
+      std::string first_error;
+      for (std::size_t rep = 0; rep < spec.num_replicas(); ++rep) {
+        const Endpoint& ep = spec.replica(rep);
+        try {
+          // Forced: the incumbent being restored was serving traffic
+          // moments ago, and a near-threshold gate re-run in the reverse
+          // direction must not be able to refuse the restore and strand
+          // this replica on the rolled-back candidate.
+          net::Client client(ep.host, ep.port,
+                             config_.backend_io_timeout_ms);
+          const serve::GateReport rr =
+              client.try_promote(old_versions[j], /*force=*/true);
+          if (rr.promoted) {
+            ++reverted;
+          } else if (first_error.empty()) {
+            first_error = ep.address() + " refused: " + rr.reason;
+          }
+        } catch (const std::exception& e) {
+          if (first_error.empty()) {
+            first_error = ep.address() + ": " + e.what();
+          }
+        }
       }
+      const bool complete = reverted == spec.num_replicas();
+      std::string detail =
+          "rolled back " + std::to_string(reverted) + "/" +
+          std::to_string(spec.num_replicas()) + " replicas to '" +
+          old_versions[j] + "'";
+      if (!complete) detail += " (" + first_error + ")";
+      set_shard_state(j,
+                      complete ? net::ShardRolloutState::kRolledBack
+                               : net::ShardRolloutState::kFailed,
+                      detail);
       audit_shard(j, candidate, /*promoted=*/false, detail);
     }
   };
@@ -511,7 +583,16 @@ bool Router::rollout_shard(std::size_t shard, const std::string& candidate,
                            std::uint8_t mode, double fraction,
                            double shadow_rate, std::string* old_version,
                            std::string* detail) {
+  // A shard's replica set moves as ONE unit: the gate/canary decision
+  // runs once, on the primary (replica 0) — its traffic sample and audit
+  // trail speak for the identically-sliced followers — and only if it
+  // admits does the candidate flip on every follower (forced: the
+  // decision is already made; a follower re-running a near-threshold
+  // gate must not be able to split the replica set across versions). A
+  // follower that cannot flip fails the WHOLE shard, and the replicas
+  // flipped so far revert, so a replica set is never left mixed.
   const ShardSpec& spec = config_.map.shard(shard);
+  const Endpoint& primary = spec.replica(0);
   // Best-effort kill switch for the failure paths below: a canary left
   // RUNNING on a shard the rollout has given up on would keep measuring
   // and could later promote the candidate BY ITSELF — one shard quietly
@@ -524,20 +605,57 @@ bool Router::rollout_shard(std::size_t shard, const std::string& candidate,
   const auto abort_shard_canary = [&] {
     if (!canary_started) return;
     try {
-      net::Client(spec.host, spec.port).canary_abort(/*drain=*/true);
+      net::Client(primary.host, primary.port, config_.backend_io_timeout_ms)
+          .canary_abort(/*drain=*/true);
     } catch (const std::exception&) {
       // Unreachable shard: nothing to abort from here; the canary dies
       // with the backend or decides on its own — surfaced via detail.
     }
   };
+  // Phase 2 of the unit move: flip the followers, reverting this shard's
+  // already-flipped replicas (primary included) if one refuses.
+  const auto flip_followers = [&]() -> bool {
+    for (std::size_t rep = 1; rep < spec.num_replicas(); ++rep) {
+      const Endpoint& ep = spec.replica(rep);
+      std::string error;
+      try {
+        net::Client follower(ep.host, ep.port,
+                             config_.backend_io_timeout_ms);
+        const serve::GateReport rr =
+            follower.try_promote(candidate, /*force=*/true);
+        if (rr.promoted) continue;
+        error = "follower " + ep.address() + " refused: " + rr.reason;
+      } catch (const std::exception& e) {
+        error = "follower " + ep.address() + ": " + e.what();
+        health_->mark(shard, rep, false);
+      }
+      // Revert primary + the followers flipped before this one.
+      for (std::size_t back = 0; back < rep; ++back) {
+        const Endpoint& bep = spec.replica(back);
+        try {
+          net::Client(bep.host, bep.port, config_.backend_io_timeout_ms)
+              .try_promote(*old_version, /*force=*/true);
+        } catch (const std::exception&) {
+        }
+      }
+      *detail += "; " + error;
+      return false;
+    }
+    if (spec.num_replicas() > 1) {
+      *detail += " (+" + std::to_string(spec.num_replicas() - 1) +
+                 " replicas)";
+    }
+    return true;
+  };
   try {
-    net::Client client(spec.host, spec.port);
+    net::Client client(primary.host, primary.port,
+                       config_.backend_io_timeout_ms);
     if (mode == 0) {
       const serve::GateReport rep = client.try_promote(candidate);
       *detail = rep.reason;
       if (!rep.promoted) return false;
       *old_version = rep.old_version;
-      return true;
+      return flip_followers();
     }
     // Canary mode: start it, then poll this shard to its own terminal
     // decision — the per-shard Hoeffding machinery is exactly the single-
@@ -561,12 +679,12 @@ bool Router::rollout_shard(std::size_t shard, const std::string& candidate,
         st.reason.empty() ? serve::canary_state_name(st.state) : st.reason;
     if (st.state == serve::CanaryState::kPromoted) {
       *old_version = st.incumbent;
-      return true;
+      return flip_followers();
     }
     if (st.state == serve::CanaryState::kNone && st.offline.promoted) {
       // No incumbent on this shard: promoted outright without a canary.
       *old_version = st.offline.old_version;
-      return true;
+      return flip_followers();
     }
     return false;
   } catch (const net::NetError& e) {
@@ -575,7 +693,7 @@ bool Router::rollout_shard(std::size_t shard, const std::string& candidate,
     // down: a single dropped reply must not orphan a running canary that
     // could later promote the rolled-back candidate on this shard alone.
     abort_shard_canary();
-    health_->mark(shard, false);  // unreachable control plane = down shard
+    health_->mark(shard, 0, false);  // unreachable primary control plane
     return false;
   } catch (const std::exception& e) {
     // RpcError / WireError: the shard answered (it is alive), it just

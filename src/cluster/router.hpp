@@ -2,13 +2,15 @@
 // wire protocol to unmodified net::Clients, fanned out over N
 // anchor_served backends by a ShardMap.
 //
-// Data plane: every connection handler owns its own ClusterClient (one
-// persistent pipeline per backend), so concurrent client connections
-// scatter-gather independently; all handlers share one ClusterHealth that
-// a background probe loop keeps current (ping per shard per interval), so
-// a dead backend degrades requests for at most one exchange before
-// everyone routes around it, and a revived one is folded back in within a
-// probe interval.
+// Data plane: all connection handlers share one round-robin POOL of
+// mutex-guarded ClusterClients (cluster/client_pool.hpp), so backend
+// fan-in is bounded by the pool size and every lookup feeds the same
+// shared ClusterHealth (per-replica liveness + in-flight load) and
+// HedgePolicy (per-shard RTT histograms). A background probe loop pings
+// every REPLICA per interval, so a dead backend degrades requests for at
+// most one exchange before everyone routes around it — and with a second
+// replica per shard, "routes around it" means failover, not degradation:
+// the degraded flag only fires when a shard's whole replica set is down.
 //
 // Control plane — coordinated rollout: ROLLOUT_START walks the shards IN
 // ORDER, promoting the candidate on shard i+1 only after shard i's
@@ -32,6 +34,7 @@
 #include <thread>
 #include <vector>
 
+#include "cluster/client_pool.hpp"
 #include "cluster/cluster_client.hpp"
 #include "cluster/shard_map.hpp"
 #include "net/socket.hpp"
@@ -57,6 +60,15 @@ struct RouterConfig {
   int probe_interval_ms = 500;
   /// Poll cadence for a per-shard canary during a rollout.
   int rollout_poll_ms = 50;
+  /// Data-plane ClusterClient pool size: concurrent scatter-gathers are
+  /// capped here (excess handlers queue), and each backend replica sees
+  /// at most this many router connections.
+  std::size_t pool_size = 4;
+  /// Failover budget per shard per lookup (see ClusterConfig).
+  int max_attempts = 3;
+  /// Hedged reads on/off plus the p99-derived delay policy.
+  bool hedge = true;
+  HedgePolicy::Config hedge_policy;
   /// Forward a client kShutdown to every backend before stopping — lets
   /// one RPC tear down a whole demo/CI cluster.
   bool forward_shutdown = false;
@@ -83,6 +95,10 @@ class Router {
 
   const ShardMap& map() const { return config_.map; }
   const ClusterHealth& health() const { return *health_; }
+  /// Shared hedge policy (per-shard RTT histograms the hedge delay is
+  /// derived from) and availability counters — for tests/monitoring.
+  const HedgePolicy& hedge_policy() const { return *hedge_; }
+  const ClusterCounters& counters() const { return *counters_; }
   net::RolloutStatusReport rollout_status() const;
 
   /// The router's own metrics plane: scatter-gather latency histogram,
@@ -97,10 +113,11 @@ class Router {
   void probe_loop();
   void handle_connection(net::TcpStream stream);
   /// `trace` is the request frame's trace context (invalid when
-  /// untraced): lookups hand it to the ClusterClient so the scatter /
-  /// per-shard RTT / merge spans and the backends' frames join the trace.
+  /// untraced): lookups hand it to the borrowed ClusterClient so the
+  /// scatter / per-shard RTT / merge spans and the backends' frames join
+  /// the trace.
   bool dispatch(net::TcpStream& stream, net::MsgType type,
-                const std::vector<std::uint8_t>& payload, ClusterClient& cc,
+                const std::vector<std::uint8_t>& payload,
                 const obs::TraceContext& trace);
   void register_metrics();
 
@@ -128,6 +145,9 @@ class Router {
 
   RouterConfig config_;
   std::shared_ptr<ClusterHealth> health_;
+  std::shared_ptr<HedgePolicy> hedge_;
+  std::shared_ptr<ClusterCounters> counters_;
+  std::unique_ptr<ClusterClientPool> pool_;
   net::TcpListener listener_;
   obs::MetricsRegistry metrics_;
   /// Owned hot-path metrics (registry references are stable for its

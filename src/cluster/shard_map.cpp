@@ -15,8 +15,22 @@ ShardMap::ShardMap(std::uint64_t version, std::vector<ShardSpec> shards)
   std::uint64_t expect_begin = 0;
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     const ShardSpec& s = shards_[i];
-    ANCHOR_CHECK_MSG(!s.host.empty(), "shard " << i << " has an empty host");
-    ANCHOR_CHECK_MSG(s.port != 0, "shard " << i << " has port 0");
+    ANCHOR_CHECK_MSG(!s.replicas.empty(),
+                     "shard " << i << " has an empty replica set");
+    for (std::size_t r = 0; r < s.replicas.size(); ++r) {
+      ANCHOR_CHECK_MSG(!s.replicas[r].host.empty(),
+                       "shard " << i << " replica " << r
+                                << " has an empty host");
+      ANCHOR_CHECK_MSG(s.replicas[r].port != 0,
+                       "shard " << i << " replica " << r << " has port 0");
+      for (std::size_t q = 0; q < r; ++q) {
+        ANCHOR_CHECK_MSG(!(s.replicas[q] == s.replicas[r]),
+                         "shard " << i << " lists replica "
+                                  << s.replicas[r].address()
+                                  << " twice — a hedge to the duplicate "
+                                     "would race itself");
+      }
+    }
     ANCHOR_CHECK_MSG(s.row_begin == expect_begin,
                      "shard " << i << " row range must start at "
                               << expect_begin << " (contiguous coverage), got "
@@ -27,12 +41,22 @@ ShardMap::ShardMap(std::uint64_t version, std::vector<ShardSpec> shards)
   }
 }
 
+std::size_t ShardMap::num_replicas_total() const {
+  std::size_t n = 0;
+  for (const ShardSpec& s : shards_) n += s.replicas.size();
+  return n;
+}
+
 std::string ShardMap::serialize() const {
   std::ostringstream os;
   os << "v" << version_;
   for (const ShardSpec& s : shards_) {
-    os << "," << s.host << ":" << s.port << ":" << s.row_begin << ":"
-       << s.row_end;
+    os << ",";
+    for (std::size_t r = 0; r < s.replicas.size(); ++r) {
+      if (r != 0) os << "|";
+      os << s.replicas[r].host << ":" << s.replicas[r].port;
+    }
+    os << ":" << s.row_begin << ":" << s.row_end;
   }
   return os.str();
 }
@@ -64,6 +88,18 @@ std::vector<std::string> split(const std::string& s, char sep) {
   return out;
 }
 
+Endpoint parse_endpoint(const std::string& host, const std::string& port_tok,
+                        const std::string& entry) {
+  Endpoint ep;
+  ep.host = host;
+  const std::uint64_t port = parse_u64(port_tok, "port");
+  if (port == 0 || port > 65535) {
+    throw std::runtime_error("ShardMap: port out of range in '" + entry + "'");
+  }
+  ep.port = static_cast<std::uint16_t>(port);
+  return ep;
+}
+
 }  // namespace
 
 ShardMap ShardMap::parse(const std::string& text) {
@@ -76,20 +112,28 @@ ShardMap ShardMap::parse(const std::string& text) {
   const std::uint64_t version = parse_u64(parts[0].substr(1), "map version");
   std::vector<ShardSpec> shards;
   for (std::size_t i = 1; i < parts.size(); ++i) {
-    const std::vector<std::string> f = split(parts[i], ':');
+    // Replica sets separated by '|': every sub-entry is host:port except
+    // the last, which carries the shard's row range too. A v1 entry has
+    // no '|' and parses as a single-replica set.
+    const std::vector<std::string> reps = split(parts[i], '|');
+    ShardSpec spec;
+    for (std::size_t r = 0; r + 1 < reps.size(); ++r) {
+      const std::vector<std::string> f = split(reps[r], ':');
+      if (f.size() != 2) {
+        throw std::runtime_error(
+            "ShardMap: replica entry must be host:port, got '" + reps[r] +
+            "' in '" + parts[i] + "'");
+      }
+      spec.replicas.push_back(parse_endpoint(f[0], f[1], parts[i]));
+    }
+    const std::vector<std::string> f = split(reps.back(), ':');
     if (f.size() != 4) {
       throw std::runtime_error(
-          "ShardMap: shard entry must be host:port:row_begin:row_end, got '" +
+          "ShardMap: shard entry must be "
+          "host:port[|host:port...]:row_begin:row_end, got '" +
           parts[i] + "'");
     }
-    ShardSpec spec;
-    spec.host = f[0];
-    const std::uint64_t port = parse_u64(f[1], "port");
-    if (port == 0 || port > 65535) {
-      throw std::runtime_error("ShardMap: port out of range in '" + parts[i] +
-                               "'");
-    }
-    spec.port = static_cast<std::uint16_t>(port);
+    spec.replicas.push_back(parse_endpoint(f[0], f[1], parts[i]));
     spec.row_begin = parse_u64(f[2], "row_begin");
     spec.row_end = parse_u64(f[3], "row_end");
     shards.push_back(std::move(spec));
@@ -125,7 +169,7 @@ bool ShardMap::operator==(const ShardMap& other) const {
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     const ShardSpec& a = shards_[i];
     const ShardSpec& b = other.shards_[i];
-    if (a.host != b.host || a.port != b.port || a.row_begin != b.row_begin ||
+    if (a.replicas != b.replicas || a.row_begin != b.row_begin ||
         a.row_end != b.row_end) {
       return false;
     }

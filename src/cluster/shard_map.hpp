@@ -1,20 +1,27 @@
 // Vocabulary partitioning for distributed serving — who owns which rows.
 //
 // A ShardMap describes how one logical embedding vocabulary is split
-// across N `anchor_served` backends: shard i owns the contiguous global
-// row range [row_begin_i, row_end_i) (ranges cover [0, total_rows) with
-// no gaps), and out-of-vocabulary *word* traffic — strings that do not
-// resolve to a global row — is assigned a deterministic home shard by
-// FNV-1a hash, so OOV synthesis for a given word always happens on the
-// same backend (stable vectors, warm subword caches).
+// across N shard ranges: shard i owns the contiguous global row range
+// [row_begin_i, row_end_i) (ranges cover [0, total_rows) with no gaps),
+// and out-of-vocabulary *word* traffic — strings that do not resolve to a
+// global row — is assigned a deterministic home shard by FNV-1a hash, so
+// OOV synthesis for a given word always happens on the same shard
+// (stable vectors, warm subword caches).
 //
-// The map is a pure value: routing is a function of (map, key) only, so
-// a router restart, a second router instance, or an offline audit script
-// all route identically. It serializes to a one-line text form
-//   v<version>,host:port:row_begin:row_end,...
-// used for --backends flags, config files, and the SHARD_MAP RPC;
-// `version` is a monotonically bumped id so rollout tooling can detect a
-// topology change mid-flight.
+// Each shard range is served by a REPLICA SET of one or more
+// `anchor_served` backends holding identical slices: replica(0) is the
+// primary (rollout decisions run there first), the rest absorb reads,
+// hedges, and failover. The map is a pure value: routing is a function
+// of (map, key) only, so a router restart, a second router instance, or
+// an offline audit script all route identically. It serializes to a
+// one-line text form
+//   v<version>,host:port[|host:port...]:row_begin:row_end,...
+// used for --backends flags, config files, and the SHARD_MAP RPC. A
+// single-replica shard serializes exactly as the pre-replica v1 entry
+// (host:port:row_begin:row_end) and v1 text parses unchanged, so the
+// SHARD_MAP RPC payload is backward compatible on the wire; `version` is
+// a monotonically bumped id so rollout tooling can detect a topology
+// change mid-flight.
 #pragma once
 
 #include <cstdint>
@@ -23,31 +30,59 @@
 
 namespace anchor::cluster {
 
-/// One backend and the global row range it owns.
-struct ShardSpec {
+/// One backend address within a shard's replica set.
+struct Endpoint {
   std::string host;
   std::uint16_t port = 0;
+
+  std::string address() const { return host + ":" + std::to_string(port); }
+  bool operator==(const Endpoint& o) const {
+    return host == o.host && port == o.port;
+  }
+};
+
+/// One shard: the global row range and the replica set serving it.
+struct ShardSpec {
+  ShardSpec() = default;
+  /// Single-replica shard (the pre-replica shape most tests/demos build).
+  ShardSpec(std::string host, std::uint16_t port, std::uint64_t begin,
+            std::uint64_t end)
+      : replicas{{std::move(host), port}}, row_begin(begin), row_end(end) {}
+  ShardSpec(std::vector<Endpoint> reps, std::uint64_t begin, std::uint64_t end)
+      : replicas(std::move(reps)), row_begin(begin), row_end(end) {}
+
+  std::vector<Endpoint> replicas;  // ≥ 1 after ShardMap validation
   std::uint64_t row_begin = 0;
   std::uint64_t row_end = 0;  // exclusive
 
   std::uint64_t rows() const { return row_end - row_begin; }
-  std::string address() const { return host + ":" + std::to_string(port); }
+  std::size_t num_replicas() const { return replicas.size(); }
+  const Endpoint& replica(std::size_t r) const { return replicas[r]; }
+  /// Primary replica's host:port — the label used in logs/audit rows.
+  std::string address() const {
+    return replicas.empty() ? std::string() : replicas[0].address();
+  }
+  std::string address(std::size_t r) const { return replicas[r].address(); }
 };
 
 class ShardMap {
  public:
   ShardMap() = default;
   /// Validates: at least one shard, first range starts at 0, ranges are
-  /// contiguous and non-empty, ports are non-zero. Throws CheckError.
+  /// contiguous and non-empty, every shard has ≥ 1 replica, ports are
+  /// non-zero, no duplicate endpoint within a shard. Throws CheckError.
   ShardMap(std::uint64_t version, std::vector<ShardSpec> shards);
 
   /// Parses the serialize() text form; throws std::runtime_error with a
-  /// position-specific message on malformed input.
+  /// position-specific message on malformed input. Accepts both the v1
+  /// single-replica entries and '|'-separated replica sets.
   static ShardMap parse(const std::string& text);
   std::string serialize() const;
 
   std::uint64_t version() const { return version_; }
   std::size_t num_shards() const { return shards_.size(); }
+  /// Backends across all replica sets (the probe loop's work list).
+  std::size_t num_replicas_total() const;
   std::uint64_t total_rows() const {
     return shards_.empty() ? 0 : shards_.back().row_end;
   }

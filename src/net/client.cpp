@@ -2,8 +2,11 @@
 
 namespace anchor::net {
 
-Client::Client(const std::string& host, std::uint16_t port)
-    : stream_(TcpStream::connect(host, port)) {}
+Client::Client(const std::string& host, std::uint16_t port,
+               int rpc_timeout_ms)
+    : stream_(TcpStream::connect(host, port)) {
+  if (rpc_timeout_ms > 0) stream_.set_io_timeout(rpc_timeout_ms);
+}
 
 std::vector<std::uint8_t> Client::roundtrip(MsgType request,
                                             const WireWriter& body,
@@ -166,6 +169,17 @@ std::string Client::shard_map() {
   std::string map = reader.str();
   reader.expect_done();
   return map;
+}
+
+std::string Client::fault_set(const std::string& spec) {
+  WireWriter body;
+  body.str(spec);
+  const auto payload =
+      roundtrip(MsgType::kFaultSet, body, MsgType::kFaultSetReply);
+  WireReader reader(payload);
+  std::string echoed = reader.str();
+  reader.expect_done();
+  return echoed;
 }
 
 ServerStatsReport Client::stats() {

@@ -30,7 +30,14 @@ struct RpcError : std::runtime_error {
 class Client {
  public:
   /// Connects to the daemon; throws NetError when nothing is listening.
-  Client(const std::string& host, std::uint16_t port);
+  /// `rpc_timeout_ms` bounds every subsequent send/recv on the connection
+  /// (0 = wait forever, the pre-deadline behavior): a backend that
+  /// accepts the request and then hangs surfaces as a NetError the caller
+  /// can retry, instead of wedging the calling thread for good.
+  Client(const std::string& host, std::uint16_t port, int rpc_timeout_ms = 0);
+
+  /// Re-arms the per-operation deadline on the live connection.
+  void set_rpc_timeout(int timeout_ms) { stream_.set_io_timeout(timeout_ms); }
 
   /// Batched lookups, mirroring LookupService's entry points.
   serve::LookupResult lookup_ids(const std::vector<std::size_t>& ids);
@@ -80,6 +87,13 @@ class Client {
   /// The router's ShardMap in its serialized text form
   /// (cluster::ShardMap::parse round-trips it).
   std::string shard_map();
+
+  /// Installs (spec != "") or clears (spec == "") a fault-injection
+  /// config on the backend — FaultConfig text form, e.g.
+  /// "delay=0.2:50,drop=0.05". Returns the canonical form the server
+  /// echoed. Throws RpcError when the backend was not started with
+  /// --fault-inject.
+  std::string fault_set(const std::string& spec);
 
   ServerStatsReport stats();
   /// The server's metrics registry (counters, gauges, histograms) — what

@@ -1,0 +1,166 @@
+#include "net/fault.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace anchor::net {
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  while (begin <= s.size()) {
+    std::size_t end = s.find(sep, begin);
+    if (end == std::string::npos) end = s.size();
+    out.push_back(s.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return out;
+}
+
+double parse_prob(const std::string& token, const std::string& clause) {
+  std::size_t used = 0;
+  double p = 0.0;
+  try {
+    p = std::stod(token, &used);
+  } catch (const std::exception&) {
+    throw std::runtime_error("FaultConfig: bad probability in '" + clause +
+                             "'");
+  }
+  if (used != token.size() || p < 0.0 || p > 1.0) {
+    throw std::runtime_error(
+        "FaultConfig: probability must be in [0,1] in '" + clause + "'");
+  }
+  return p;
+}
+
+int parse_ms(const std::string& token, const std::string& clause) {
+  if (token.empty() ||
+      token.find_first_not_of("0123456789") != std::string::npos) {
+    throw std::runtime_error("FaultConfig: bad delay ms in '" + clause + "'");
+  }
+  const long ms = std::stol(token);
+  if (ms > 60'000) {
+    throw std::runtime_error(
+        "FaultConfig: delay above 60s is a hang, not a fault: '" + clause +
+        "'");
+  }
+  return static_cast<int>(ms);
+}
+
+}  // namespace
+
+FaultConfig FaultConfig::parse(const std::string& text) {
+  FaultConfig config;
+  if (text.empty()) return config;
+  for (const std::string& clause : split(text, ',')) {
+    if (clause.empty()) continue;
+    const std::size_t eq = clause.find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error("FaultConfig: clause needs key=value: '" +
+                               clause + "'");
+    }
+    const std::string key = clause.substr(0, eq);
+    const std::string value = clause.substr(eq + 1);
+    if (key == "delay") {
+      // delay=P:MS — both halves required; a delay with no duration (or a
+      // duration with no probability) is a config typo worth rejecting.
+      const std::vector<std::string> f = split(value, ':');
+      if (f.size() != 2) {
+        throw std::runtime_error("FaultConfig: delay needs P:MS, got '" +
+                                 clause + "'");
+      }
+      config.delay_prob = parse_prob(f[0], clause);
+      config.delay_ms = parse_ms(f[1], clause);
+    } else if (key == "drop") {
+      config.drop_prob = parse_prob(value, clause);
+    } else if (key == "close") {
+      config.close_prob = parse_prob(value, clause);
+    } else if (key == "truncate") {
+      config.truncate_prob = parse_prob(value, clause);
+    } else {
+      throw std::runtime_error("FaultConfig: unknown fault '" + key +
+                               "' (want delay/drop/close/truncate)");
+    }
+  }
+  return config;
+}
+
+std::string FaultConfig::serialize() const {
+  std::ostringstream os;
+  const char* sep = "";
+  if (delay_prob > 0.0) {
+    os << sep << "delay=" << delay_prob << ":" << delay_ms;
+    sep = ",";
+  }
+  if (drop_prob > 0.0) {
+    os << sep << "drop=" << drop_prob;
+    sep = ",";
+  }
+  if (close_prob > 0.0) {
+    os << sep << "close=" << close_prob;
+    sep = ",";
+  }
+  if (truncate_prob > 0.0) {
+    os << sep << "truncate=" << truncate_prob;
+  }
+  return os.str();
+}
+
+bool FaultConfig::operator==(const FaultConfig& o) const {
+  return delay_prob == o.delay_prob && delay_ms == o.delay_ms &&
+         drop_prob == o.drop_prob && close_prob == o.close_prob &&
+         truncate_prob == o.truncate_prob;
+}
+
+FaultInjector::FaultInjector(std::uint64_t seed) : rng_state_(seed | 1) {}
+
+void FaultInjector::configure(const FaultConfig& config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  config_ = config;
+  armed_.store(config.any(), std::memory_order_release);
+}
+
+FaultConfig FaultInjector::config() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return config_;
+}
+
+double FaultInjector::uniform() {
+  // splitmix64: deterministic per seed, so a seeded chaos run replays.
+  rng_state_ += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = rng_state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return static_cast<double>(z >> 11) / 9007199254740992.0;
+}
+
+FaultInjector::Verdict FaultInjector::next_action() {
+  Verdict v;
+  if (!armed_.load(std::memory_order_acquire)) return v;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (config_.delay_prob > 0.0 && uniform() < config_.delay_prob) {
+    v.delay_ms = config_.delay_ms;
+    delays_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Terminal faults are mutually exclusive; drawn in fixed order so the
+  // configured probabilities are each clause's marginal chance given the
+  // earlier clauses passed (documented in PROTOCOL.md).
+  if (config_.drop_prob > 0.0 && uniform() < config_.drop_prob) {
+    v.action = Action::kDrop;
+    drops_.fetch_add(1, std::memory_order_relaxed);
+  } else if (config_.close_prob > 0.0 && uniform() < config_.close_prob) {
+    v.action = Action::kClose;
+    closes_.fetch_add(1, std::memory_order_relaxed);
+  } else if (config_.truncate_prob > 0.0 &&
+             uniform() < config_.truncate_prob) {
+    v.action = Action::kTruncate;
+    truncates_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return v;
+}
+
+}  // namespace anchor::net

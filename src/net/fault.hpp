@@ -1,0 +1,100 @@
+// Fault injection for the serving data plane — the chaos harness's hooks.
+//
+// A FaultInjector sits between the server's dispatch loop and its reply
+// writes and, with configured probabilities, perturbs the reply the way
+// real fleets fail: added latency (a GC pause, a loaded box), a dropped
+// reply (a wedged worker that accepted the request), a closed connection
+// (an OOM-killed process mid-exchange), or a truncated frame (a crash
+// mid-send — the nastiest case, because the prefix looks well-formed).
+//
+// Faults apply ONLY to data-plane replies (lookups). Control traffic —
+// ping probes, stats, shutdown, FAULT_SET itself — stays reliable, so
+// the chaos tests can still orchestrate the cluster they are breaking,
+// and health probes reflect process liveness rather than injected chaos.
+//
+// The injector is per-Server (not process-global): an in-process test can
+// run a faulty backend and a clean one side by side. It is armed at
+// startup (`--fault-inject` / ServerConfig::faults) and reconfigured at
+// runtime via the FAULT_SET RPC; an unarmed server refuses FAULT_SET, so
+// a production daemon cannot be perturbed remotely by default.
+//
+// Config text form (also the FAULT_SET payload):
+//   delay=P:MS,drop=P,close=P,truncate=P
+// each clause optional, P in [0,1]; e.g. "delay=0.2:50,drop=0.05".
+// The empty string is the all-zeroes (no-fault) config.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace anchor::net {
+
+struct FaultConfig {
+  double delay_prob = 0.0;
+  int delay_ms = 0;
+  double drop_prob = 0.0;
+  double close_prob = 0.0;
+  double truncate_prob = 0.0;
+
+  bool any() const {
+    return delay_prob > 0.0 || drop_prob > 0.0 || close_prob > 0.0 ||
+           truncate_prob > 0.0;
+  }
+
+  /// Parses the text form; throws std::runtime_error on malformed clauses
+  /// or probabilities outside [0,1]. "" parses to the no-fault config.
+  static FaultConfig parse(const std::string& text);
+  std::string serialize() const;
+
+  bool operator==(const FaultConfig& o) const;
+};
+
+/// The dispatch loop asks `next_action()` once per data-plane reply and
+/// acts on the verdict. Delay composes with the others: a reply can be
+/// delayed AND THEN dropped/closed/truncated (sleep first), mirroring a
+/// slow box that then dies.
+class FaultInjector {
+ public:
+  enum class Action : std::uint8_t {
+    kNone = 0,
+    kDrop = 1,      // swallow the reply, keep the connection open
+    kClose = 2,     // close the connection without replying
+    kTruncate = 3,  // send a strict prefix of the frame, then close
+  };
+  struct Verdict {
+    int delay_ms = 0;  // sleep this long before acting (0 = none)
+    Action action = Action::kNone;
+  };
+
+  explicit FaultInjector(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  void configure(const FaultConfig& config);
+  FaultConfig config() const;
+
+  /// Draws the fate of one data-plane reply. Thread-safe, lock-free on
+  /// the no-fault fast path.
+  Verdict next_action();
+
+  /// How many replies each fault class has perturbed (for the daemon's
+  /// metrics endpoint — chaos should be observable too).
+  std::uint64_t injected_delays() const { return delays_.load(); }
+  std::uint64_t injected_drops() const { return drops_.load(); }
+  std::uint64_t injected_closes() const { return closes_.load(); }
+  std::uint64_t injected_truncates() const { return truncates_.load(); }
+
+ private:
+  double uniform();  // [0,1), caller holds mu_
+
+  mutable std::mutex mu_;
+  FaultConfig config_;
+  std::atomic<bool> armed_{false};  // fast-path gate: any() of config_
+  std::uint64_t rng_state_;
+  std::atomic<std::uint64_t> delays_{0};
+  std::atomic<std::uint64_t> drops_{0};
+  std::atomic<std::uint64_t> closes_{0};
+  std::atomic<std::uint64_t> truncates_{0};
+};
+
+}  // namespace anchor::net

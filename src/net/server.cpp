@@ -17,7 +17,9 @@ Server::Server(serve::EmbeddingStore& store, ServerConfig config)
       service_(store, config.lookup, service_stats_),
       async_(service_, config.batcher, batcher_stats_),
       gate_(config.gate),
-      listener_(TcpListener::bind_loopback(config.port)) {
+      listener_(TcpListener::bind_loopback(config.port)),
+      faults_(config.fault_seed) {
+  if (config_.fault_inject) faults_.configure(config_.faults);
   register_metrics();
 }
 
@@ -89,6 +91,20 @@ void Server::register_metrics() {
     reg.counter("anchor_canary_shadows_total",
                 "Shadow lookups scored by the current/last canary")
         .set(canary.online.shadows);
+    // Chaos must be observable too: how many replies each injected fault
+    // class has perturbed (all zero on an unarmed server).
+    reg.counter("anchor_fault_injected_total{fault=\"delay\"}",
+                "Replies delayed by the fault injector")
+        .set(faults_.injected_delays());
+    reg.counter("anchor_fault_injected_total{fault=\"drop\"}",
+                "Replies swallowed by the fault injector")
+        .set(faults_.injected_drops());
+    reg.counter("anchor_fault_injected_total{fault=\"close\"}",
+                "Connections closed by the fault injector")
+        .set(faults_.injected_closes());
+    reg.counter("anchor_fault_injected_total{fault=\"truncate\"}",
+                "Replies truncated mid-frame by the fault injector")
+        .set(faults_.injected_truncates());
   });
 }
 
@@ -111,6 +127,15 @@ void Server::stop() {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   reap_connections(/*all=*/true);
+  // Graceful-shutdown drain: every handler has exited (their in-flight
+  // batches are answered), so all that can still be mid-work is the
+  // canary's shadow scorer — wait for it rather than tearing the process
+  // down under a half-scored comparison window.
+  const auto canary = [this] {
+    std::lock_guard<std::mutex> lock(canary_mu_);
+    return canary_;
+  }();
+  if (canary) canary->abort(/*drain=*/true);  // no-op unless running
   listener_.close();
 }
 
@@ -184,6 +209,40 @@ void Server::handle_connection(TcpStream stream) {
   }
 }
 
+bool Server::send_data_reply(TcpStream& stream, MsgType type,
+                             const WireWriter& reply) {
+  if (config_.fault_inject) {
+    const FaultInjector::Verdict v = faults_.next_action();
+    if (v.delay_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(v.delay_ms));
+    }
+    switch (v.action) {
+      case FaultInjector::Action::kDrop:
+        // Accepted the request, never answers: the client's read must
+        // hit its deadline, not an error frame.
+        return true;
+      case FaultInjector::Action::kClose:
+        return false;  // handler exits; the socket closes with it
+      case FaultInjector::Action::kTruncate: {
+        // A strict prefix of a well-formed frame — the length prefix
+        // promises more bytes than ever arrive, then the connection
+        // dies: the crash-mid-send failure mode.
+        const std::vector<std::uint8_t> frame =
+            encode_frame(type, reply, obs::TraceContext{});
+        try {
+          stream.write_all(frame.data(), frame.size() / 2);
+        } catch (const NetError&) {
+        }
+        return false;
+      }
+      case FaultInjector::Action::kNone:
+        break;
+    }
+  }
+  write_frame(stream, type, reply);
+  return true;
+}
+
 bool Server::dispatch(TcpStream& stream, MsgType type,
                       const std::vector<std::uint8_t>& payload,
                       const obs::TraceContext& trace) {
@@ -230,8 +289,7 @@ bool Server::dispatch(TcpStream& stream, MsgType type,
           serve::LookupResult merged;
           canary->lookup_ids_into(ids, &merged);
           encode_lookup_result(merged, &reply);
-          write_frame(stream, MsgType::kLookupIdsReply, reply);
-          return true;
+          return send_data_reply(stream, MsgType::kLookupIdsReply, reply);
         }
         // Single keys ride the allocation-free ring fast path; bigger
         // requests coalesce on the general path. Traced requests always
@@ -243,7 +301,9 @@ bool Server::dispatch(TcpStream& stream, MsgType type,
             : ids.size() == 1 ? async_.lookup_id(ids[0]).get()
                               : async_.lookup_ids(std::move(ids)).get();
         encode_result_slice(slice, &reply);
-        write_frame(stream, MsgType::kLookupIdsReply, reply);
+        if (!send_data_reply(stream, MsgType::kLookupIdsReply, reply)) {
+          return false;
+        }
       } catch (const NetError&) {
         // Transport failure, possibly mid-reply: the stream framing is
         // gone; close the connection instead of appending an error frame
@@ -276,15 +336,16 @@ bool Server::dispatch(TcpStream& stream, MsgType type,
           serve::LookupResult merged;
           canary->lookup_words_into(words, &merged);
           encode_lookup_result(merged, &reply);
-          write_frame(stream, MsgType::kLookupWordsReply, reply);
-          return true;
+          return send_data_reply(stream, MsgType::kLookupWordsReply, reply);
         }
         const serve::ResultSlice slice =
             trace.sampled()
                 ? async_.lookup_words(std::move(words), trace).get()
                 : async_.lookup_words(std::move(words)).get();
         encode_result_slice(slice, &reply);
-        write_frame(stream, MsgType::kLookupWordsReply, reply);
+        if (!send_data_reply(stream, MsgType::kLookupWordsReply, reply)) {
+          return false;
+        }
       } catch (const NetError&) {
         throw;  // transport failure mid-reply: close, don't answer
       } catch (const std::exception& e) {
@@ -465,6 +526,29 @@ bool Server::dispatch(TcpStream& stream, MsgType type,
       }
       encode_canary_status(canary_status_report(), &reply);
       write_frame(stream, MsgType::kCanaryAbortReply, reply);
+      return true;
+    }
+    case MsgType::kFaultSet: {
+      const std::string spec = reader.str();
+      reader.expect_done();
+      if (!config_.fault_inject) {
+        WireWriter err;
+        err.str("fault injection is not armed (start with --fault-inject)");
+        write_frame(stream, MsgType::kError, err);
+        return true;
+      }
+      try {
+        faults_.configure(FaultConfig::parse(spec));
+      } catch (const std::exception& e) {
+        WireWriter err;
+        err.str(e.what());
+        write_frame(stream, MsgType::kError, err);
+        return true;
+      }
+      // Echo the canonical form so the orchestrator can log what took
+      // effect ("" = faults cleared).
+      reply.str(faults_.config().serialize());
+      write_frame(stream, MsgType::kFaultSetReply, reply);
       return true;
     }
     case MsgType::kShutdown: {

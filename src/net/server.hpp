@@ -25,6 +25,7 @@
 #include <thread>
 #include <vector>
 
+#include "net/fault.hpp"
 #include "net/socket.hpp"
 #include "net/wire.hpp"
 #include "obs/metrics.hpp"
@@ -55,6 +56,15 @@ struct ServerConfig {
   /// indefinitely. Idle BETWEEN frames is unlimited — that wait is the
   /// stop-aware poll loop.
   int io_timeout_ms = 2000;
+  /// Arms the fault-injection subsystem (`--fault-inject` on the daemon).
+  /// When false the FAULT_SET RPC is refused, so a production server
+  /// cannot be perturbed remotely; `faults` is the initial config (the
+  /// no-fault default arms the RPC without perturbing anything yet).
+  bool fault_inject = false;
+  FaultConfig faults;
+  /// Seed for the injector's probability draws — a seeded chaos run
+  /// replays the same fault sequence.
+  std::uint64_t fault_seed = 0x9e3779b97f4a7c15ull;
 };
 
 class Server {
@@ -95,6 +105,8 @@ class Server {
   /// The canary most recently started over RPC (running or terminal);
   /// nullptr when none was ever started. For tests/monitoring.
   std::shared_ptr<serve::CanaryRouter> canary() const;
+  /// The per-server fault injector (armed via ServerConfig::fault_inject).
+  FaultInjector& fault_injector() { return faults_; }
 
  private:
   void accept_loop();
@@ -106,6 +118,11 @@ class Server {
   bool dispatch(TcpStream& stream, MsgType type,
                 const std::vector<std::uint8_t>& payload,
                 const obs::TraceContext& trace);
+  /// Writes a data-plane (lookup) reply through the fault injector;
+  /// returns false when the injected fault closed the connection. Control
+  /// replies bypass this — chaos must not blind the chaos orchestrator.
+  bool send_data_reply(TcpStream& stream, MsgType type,
+                       const WireWriter& reply);
   void register_metrics();
 
   serve::EmbeddingStore& store_;
@@ -119,6 +136,7 @@ class Server {
   serve::DeploymentGate gate_;
   TcpListener listener_;
   obs::MetricsRegistry metrics_;
+  FaultInjector faults_;
 
   struct Connection {
     std::thread thread;

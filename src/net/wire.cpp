@@ -5,8 +5,8 @@
 
 namespace anchor::net {
 
-void write_frame(TcpStream& stream, MsgType type, const WireWriter& payload,
-                 const obs::TraceContext& trace) {
+std::vector<std::uint8_t> encode_frame(MsgType type, const WireWriter& payload,
+                                       const obs::TraceContext& trace) {
   const std::vector<std::uint8_t>& body = payload.buffer();
   const std::uint8_t ext_len = trace.valid() ? kTraceExtBytes : 0;
   ANCHOR_CHECK_MSG(body.size() + 4 + ext_len <= kMaxFrameBytes,
@@ -31,6 +31,12 @@ void write_frame(TcpStream& stream, MsgType type, const WireWriter& payload,
     frame.push_back(trace.flags);
   }
   frame.insert(frame.end(), body.begin(), body.end());
+  return frame;
+}
+
+void write_frame(TcpStream& stream, MsgType type, const WireWriter& payload,
+                 const obs::TraceContext& trace) {
+  const std::vector<std::uint8_t> frame = encode_frame(type, payload, trace);
   stream.write_all(frame.data(), frame.size());
 }
 

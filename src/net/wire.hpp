@@ -81,6 +81,11 @@ enum class MsgType : std::uint8_t {
   // Answered by daemon AND router: a MetricsReport of the process's
   // metrics registry.
   kMetrics = 0x0E,
+  // Installs (or clears, with an empty spec) a fault-injection config on
+  // the receiving backend at runtime — the chaos harness's control knob.
+  // Only honored when the daemon was started with --fault-inject (arming
+  // the subsystem); otherwise answered with an Error frame.
+  kFaultSet = 0x0F,
   // Responses: request type | 0x80.
   kLookupIdsReply = 0x81,
   kLookupWordsReply = 0x82,
@@ -96,6 +101,7 @@ enum class MsgType : std::uint8_t {
   kRolloutAbortReply = 0x8C,
   kShardMapReply = 0x8D,
   kMetricsReply = 0x8E,
+  kFaultSetReply = 0x8F,
   // Carries a string; sent instead of the normal reply when the server
   // failed to serve the request (e.g. unknown candidate version).
   kError = 0x7F,
@@ -195,6 +201,13 @@ class WireReader {
 };
 
 // ---- frame I/O ---------------------------------------------------------
+
+/// Builds one complete frame (length prefix + header + optional trace
+/// extension + payload) as a contiguous buffer. write_frame sends exactly
+/// this; it is exposed so the fault injector can send a deliberately
+/// truncated prefix of a well-formed frame.
+std::vector<std::uint8_t> encode_frame(MsgType type, const WireWriter& payload,
+                                       const obs::TraceContext& trace);
 
 /// Writes one frame (length prefix + header + payload) in a single send.
 /// When `trace` is valid, it rides in the frame extension.

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "net/client.hpp"
+#include "net/fault.hpp"
 #include "net/server.hpp"
 #include "net/socket.hpp"
 #include "net/wire.hpp"
@@ -932,6 +933,120 @@ TEST(Sockets, ConnectToClosedPortThrows) {
     port = listener.port();
   }
   EXPECT_THROW(TcpStream::connect("127.0.0.1", port), NetError);
+}
+
+TEST(Sockets, RpcDeadlineUnwedgesAClientOfAHungServer) {
+  // A server that accepts and then goes silent is the failure mode a
+  // connect-time check can never catch; only the per-recv deadline does.
+  TcpListener listener = TcpListener::bind_loopback(0);
+  std::atomic<bool> done{false};
+  std::thread hung([&] {
+    TcpStream stream = listener.accept(5000);  // never replies
+    while (!done.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  });
+  Client client("127.0.0.1", listener.port(), /*rpc_timeout_ms=*/200);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_THROW(client.ping(), NetError);
+  const auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+  EXPECT_LT(waited, 5000);  // the deadline fired, not a hang
+  done.store(true);
+  hung.join();
+}
+
+// ---- fault injection ---------------------------------------------------
+
+TEST(FaultConfigCodec, ParsesSerializesAndRejectsMalformedClauses) {
+  const FaultConfig none = FaultConfig::parse("");
+  EXPECT_FALSE(none.any());
+  EXPECT_EQ(none.serialize(), "");
+
+  const FaultConfig cfg =
+      FaultConfig::parse("delay=0.25:50,drop=0.05,close=0.1,truncate=1");
+  EXPECT_EQ(cfg.delay_prob, 0.25);
+  EXPECT_EQ(cfg.delay_ms, 50);
+  EXPECT_EQ(cfg.drop_prob, 0.05);
+  EXPECT_EQ(cfg.close_prob, 0.1);
+  EXPECT_EQ(cfg.truncate_prob, 1.0);
+  EXPECT_TRUE(cfg.any());
+  // The text form round-trips through serialize — the FAULT_SET reply
+  // echoes exactly what took effect.
+  EXPECT_TRUE(FaultConfig::parse(cfg.serialize()) == cfg);
+
+  EXPECT_THROW(FaultConfig::parse("drop=1.5"), std::runtime_error);
+  EXPECT_THROW(FaultConfig::parse("drop=-0.1"), std::runtime_error);
+  EXPECT_THROW(FaultConfig::parse("drop=abc"), std::runtime_error);
+  EXPECT_THROW(FaultConfig::parse("drop"), std::runtime_error);
+  EXPECT_THROW(FaultConfig::parse("delay=0.5"), std::runtime_error);
+  EXPECT_THROW(FaultConfig::parse("delay=0.5:-3"), std::runtime_error);
+  EXPECT_THROW(FaultConfig::parse("delay=0.5:90000"), std::runtime_error);
+  EXPECT_THROW(FaultConfig::parse("frob=0.1"), std::runtime_error);
+}
+
+TEST_F(RpcTest, FaultSetRefusedWhenTheServerIsNotArmed) {
+  // The RpcTest server runs a default config: fault injection unarmed.
+  // A production daemon must not be remotely perturbable.
+  Client client("127.0.0.1", server_->port());
+  EXPECT_THROW(client.fault_set("drop=1"), RpcError);
+  // The refusal is an Error frame, not a connection fault: the same
+  // connection keeps serving lookups.
+  EXPECT_EQ(client.lookup_ids({1, 2}).size(), 2u);
+}
+
+TEST(FaultInjection, ArmedServerPerturbsLookupsButNeverControlTraffic) {
+  serve::EmbeddingStore store;
+  serve::DemoStoreConfig demo;
+  demo.vocab = 100;
+  demo.dim = 8;
+  demo.build_oov_table = false;
+  serve::add_demo_versions(store, demo);
+  ServerConfig sc;
+  sc.fault_inject = true;  // armed at startup; no faults until FAULT_SET
+  Server server(store, sc);
+  server.start();
+
+  Client setter("127.0.0.1", server.port());
+  EXPECT_EQ(setter.lookup_ids({5}).size(), 1u);  // armed but quiescent
+  EXPECT_EQ(setter.fault_set("close=1"), "close=1");
+  {
+    // Every data-plane reply now closes the connection mid-exchange...
+    Client victim("127.0.0.1", server.port(), /*rpc_timeout_ms=*/2000);
+    EXPECT_THROW(victim.lookup_ids({1}), NetError);
+  }
+  // ...while control traffic stays reliable on fresh connections: the
+  // chaos harness can still orchestrate the cluster it is breaking.
+  Client control("127.0.0.1", server.port());
+  control.ping();
+  (void)control.stats();
+
+  // Truncated replies look well-formed up front; the client must treat
+  // the short read as a transport error, never decode a prefix.
+  EXPECT_EQ(control.fault_set("truncate=1"), "truncate=1");
+  {
+    Client victim("127.0.0.1", server.port(), /*rpc_timeout_ms=*/2000);
+    EXPECT_THROW(victim.lookup_ids({1}), std::runtime_error);
+  }
+
+  // Swallowed replies wedge the connection; the rpc deadline bounds it.
+  EXPECT_EQ(control.fault_set("drop=1"), "drop=1");
+  {
+    Client victim("127.0.0.1", server.port(), /*rpc_timeout_ms=*/300);
+    const auto t0 = std::chrono::steady_clock::now();
+    EXPECT_THROW(victim.lookup_ids({1}), NetError);
+    const auto waited =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    EXPECT_LT(waited, 5000);
+  }
+
+  // FAULT_SET "" clears every fault: the data plane heals in place.
+  EXPECT_EQ(control.fault_set(""), "");
+  EXPECT_EQ(control.lookup_ids({3}).size(), 1u);
+  server.stop();
 }
 
 }  // namespace

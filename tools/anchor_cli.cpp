@@ -321,6 +321,22 @@ int cmd_stability(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// Splits a --connect host:port and builds a Client with the subcommand's
+/// --rpc-timeout-ms deadline applied to every recv/send on the connection.
+anchor::net::Client connect_client(const ArgParser& parser) {
+  const std::string address = parser.get("connect");
+  const std::size_t colon = address.rfind(':');
+  ANCHOR_CHECK_MSG(colon != std::string::npos && colon + 1 < address.size(),
+                   "--connect takes host:port (e.g. 127.0.0.1:7411)");
+  const std::string host = address.substr(0, colon);
+  const int port = std::stoi(address.substr(colon + 1));
+  ANCHOR_CHECK_MSG(port > 0 && port <= 65535, "--connect port out of range");
+  const int timeout_ms = static_cast<int>(parser.get_int("rpc-timeout-ms"));
+  ANCHOR_CHECK_MSG(timeout_ms >= 0, "--rpc-timeout-ms must be >= 0");
+  return anchor::net::Client(host, static_cast<std::uint16_t>(port),
+                             timeout_ms);
+}
+
 int cmd_metrics(const std::vector<std::string>& args) {
   ArgParser parser(
       "anchor-cli metrics",
@@ -329,24 +345,44 @@ int cmd_metrics(const std::vector<std::string>& args) {
       "Prometheus text exposition with --prometheus).");
   parser.add_option("connect", "daemon address host:port", "",
                     /*required=*/true)
+      .add_option("rpc-timeout-ms",
+                  "per-recv/send deadline on the connection; a hung daemon "
+                  "fails the command instead of wedging it (0 = no deadline)",
+                  "5000")
       .add_flag("prometheus",
                 "print the Prometheus 0.0.4 text exposition instead of the "
                 "human-readable dump");
   if (!parser.parse(args)) return fail_usage(parser);
 
-  const std::string address = parser.get("connect");
-  const std::size_t colon = address.rfind(':');
-  ANCHOR_CHECK_MSG(colon != std::string::npos && colon + 1 < address.size(),
-                   "--connect takes host:port (e.g. 127.0.0.1:7411)");
-  const std::string host = address.substr(0, colon);
-  const int port = std::stoi(address.substr(colon + 1));
-  ANCHOR_CHECK_MSG(port > 0 && port <= 65535, "--connect port out of range");
-
-  anchor::net::Client client(host, static_cast<std::uint16_t>(port));
+  anchor::net::Client client = connect_client(parser);
   const anchor::obs::MetricsReport report = client.metrics();
   std::cout << (parser.get_flag("prometheus")
                     ? anchor::obs::to_prometheus(report)
                     : anchor::obs::to_text(report));
+  return 0;
+}
+
+int cmd_fault_set(const std::vector<std::string>& args) {
+  ArgParser parser(
+      "anchor-cli fault-set",
+      "Reconfigure the fault-injection harness of a running anchor_served "
+      "over the FAULT_SET RPC. The daemon must have been started with "
+      "--fault-inject (unarmed daemons refuse). An empty --spec clears all "
+      "faults.");
+  parser.add_option("connect", "daemon address host:port", "",
+                    /*required=*/true)
+      .add_option("spec",
+                  "fault clauses: delay=P:MS,drop=P,close=P,truncate=P "
+                  "(empty = clear)")
+      .add_option("rpc-timeout-ms",
+                  "per-recv/send deadline on the connection (0 = none)",
+                  "5000");
+  if (!parser.parse(args)) return fail_usage(parser);
+
+  anchor::net::Client client = connect_client(parser);
+  const std::string applied = client.fault_set(parser.get("spec"));
+  std::cout << "faults now: " << (applied.empty() ? "(none)" : applied)
+            << "\n";
   return 0;
 }
 
@@ -355,8 +391,8 @@ int cmd_metrics(const std::vector<std::string>& args) {
 int main(int argc, char** argv) {
   const std::string usage =
       "usage: anchor-cli "
-      "<train|align|quantize|measure|stability|export|analyze|metrics> "
-      "[args]\n"
+      "<train|align|quantize|measure|stability|export|analyze|metrics|"
+      "fault-set> [args]\n"
       "       anchor-cli <subcommand> --help for details\n";
   if (argc < 2) {
     std::cerr << usage;
@@ -375,6 +411,7 @@ int main(int argc, char** argv) {
     if (cmd == "export") return cmd_export(rest);
     if (cmd == "analyze") return cmd_analyze(rest);
     if (cmd == "metrics") return cmd_metrics(rest);
+    if (cmd == "fault-set") return cmd_fault_set(rest);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

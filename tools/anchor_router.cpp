@@ -48,8 +48,9 @@ int main(int argc, char** argv) {
       "backends plus coordinated shard-by-shard rollout (see "
       "src/net/PROTOCOL.md).");
   parser.add_option("backends",
-                    "comma-separated host:port:row_begin:row_end shard "
-                    "entries, contiguous from row 0",
+                    "comma-separated host:port[|host:port...]:row_begin:"
+                    "row_end shard entries, contiguous from row 0; '|' "
+                    "separates the replicas of one shard",
                     "", /*required=*/true);
   parser.add_option("map-version",
                     "topology version stamped into the ShardMap", "1");
@@ -73,6 +74,23 @@ int main(int argc, char** argv) {
   parser.add_option("rollout-poll-ms",
                     "poll cadence for a per-shard canary during a rollout",
                     "50");
+  parser.add_option("pool-size",
+                    "data-plane ClusterClient pool size: concurrent "
+                    "scatter-gathers and per-replica backend fan-in are "
+                    "both capped here", "4");
+  parser.add_option("max-attempts",
+                    "failover budget per shard per lookup (1 = no retry)",
+                    "3");
+  parser.add_flag("no-hedge",
+                  "disable p99-hedged reads (hedging is on by default "
+                  "when a shard has more than one live replica)");
+  parser.add_option("hedge-quantile",
+                    "RTT quantile the hedge delay is derived from", "0.99");
+  parser.add_option("hedge-multiplier",
+                    "hedge delay = quantile RTT x this multiplier", "1.0");
+  parser.add_option("hedge-min-samples",
+                    "per-shard RTT samples required before the measured "
+                    "delay replaces the default", "64");
   parser.add_option("audit-log",
                     "CSV audit log for per-shard rollout outcomes "
                     "(empty = no log)");
@@ -116,6 +134,27 @@ int main(int argc, char** argv) {
         static_cast<int>(parser.get_int("backend-timeout-ms"));
     config.rollout_poll_ms =
         static_cast<int>(parser.get_int("rollout-poll-ms"));
+    const std::int64_t pool_size = parser.get_int("pool-size");
+    if (pool_size < 1 || pool_size > 256) {
+      throw std::runtime_error("--pool-size must be in [1, 256]");
+    }
+    config.pool_size = static_cast<std::size_t>(pool_size);
+    const std::int64_t max_attempts = parser.get_int("max-attempts");
+    if (max_attempts < 1) {
+      throw std::runtime_error("--max-attempts must be at least 1");
+    }
+    config.max_attempts = static_cast<int>(max_attempts);
+    config.hedge = !parser.get_flag("no-hedge");
+    config.hedge_policy.quantile = parser.get_double("hedge-quantile");
+    config.hedge_policy.multiplier = parser.get_double("hedge-multiplier");
+    config.hedge_policy.min_samples =
+        static_cast<std::size_t>(parser.get_int("hedge-min-samples"));
+    if (config.hedge_policy.quantile <= 0.0 ||
+        config.hedge_policy.quantile >= 1.0 ||
+        config.hedge_policy.multiplier <= 0.0) {
+      throw std::runtime_error(
+          "--hedge-quantile must be in (0, 1) and --hedge-multiplier > 0");
+    }
     config.audit_log = parser.get("audit-log");
     config.forward_shutdown = parser.get_flag("forward-shutdown");
   } catch (const std::exception& e) {
@@ -137,7 +176,9 @@ int main(int argc, char** argv) {
     }
     router.start();
     std::cerr << "routing " << config.map.total_rows() << " rows over "
-              << config.map.num_shards() << " shards: "
+              << config.map.num_shards() << " shards ("
+              << config.map.num_replicas_total() << " replicas, hedging "
+              << (config.hedge ? "on" : "off") << "): "
               << config.map.serialize() << "\n";
     std::cout << "anchor_router listening on 127.0.0.1:" << router.port()
               << std::endl;
@@ -149,6 +190,10 @@ int main(int argc, char** argv) {
     while (!g_signaled.load() && !router.shutdown_requested()) {
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
     }
+    // Graceful drain: stop() quits accepting, joins in-flight handlers
+    // and any rollout thread (aborting + rolling back an interrupted
+    // rollout), and flushes the audit CSV before the listener closes.
+    std::cerr << "anchor_router draining (signal or shutdown RPC)...\n";
     router.stop();
     std::cerr << "anchor_router exiting\n";
   } catch (const net::NetError& e) {

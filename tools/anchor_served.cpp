@@ -143,6 +143,15 @@ int main(int argc, char** argv) {
                   "Procrustes-align every loaded version after the first "
                   "to the then-live snapshot before serving (cuts false "
                   "canary rollbacks from rotation-only drift)");
+  parser.add_option("fault-inject",
+                    "ARM the fault-injection harness (chaos testing only): "
+                    "a clause list like delay=0.1:25,drop=0.05,close=0.02,"
+                    "truncate=0.01 applied to data-plane replies; pass an "
+                    "empty spec ('') to arm with no faults and drive it "
+                    "later over the FAULT_SET RPC. Unarmed daemons refuse "
+                    "FAULT_SET");
+  parser.add_option("fault-seed",
+                    "fault-injection RNG seed (replayable chaos runs)", "0");
 
   if (!parser.parse(argc, argv)) {
     if (parser.help_requested()) {
@@ -204,6 +213,14 @@ int main(int argc, char** argv) {
     if (config.canary.min_shadows > config.canary.max_shadows) {
       throw std::runtime_error(
           "--canary-min-shadows must not exceed --canary-max-shadows");
+    }
+    if (parser.has("fault-inject")) {
+      // Arming is a startup-only decision: a daemon started without the
+      // flag can never be faulted, locally or over FAULT_SET.
+      config.fault_inject = true;
+      config.faults = net::FaultConfig::parse(parser.get("fault-inject"));
+      const std::int64_t seed = parser.get_int("fault-seed");
+      if (seed != 0) config.fault_seed = static_cast<std::uint64_t>(seed);
     }
     if (config.canary.rollback_agreement > config.canary.promote_agreement ||
         config.canary.promote_agreement > 1.0 ||
@@ -297,9 +314,21 @@ int main(int argc, char** argv) {
                 << metrics_http->port() << std::endl;
     }
 
+    if (config.fault_inject) {
+      std::cerr << "anchor_served FAULT INJECTION ARMED: "
+                << (config.faults.any() ? config.faults.serialize()
+                                        : std::string("(no faults yet)"))
+                << "\n";
+    }
+
     while (!g_signaled.load() && !server.shutdown_requested()) {
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
     }
+    // Graceful drain: stop() quits accepting, waits out in-flight
+    // handlers and canary shadows, and flushes the audit CSV/slow-log
+    // before the listener closes — SIGTERM'd daemons exit 0 with no
+    // half-written replies on the wire.
+    std::cerr << "anchor_served draining (signal or shutdown RPC)...\n";
     server.stop();
     const auto stats = server.service().stats().snapshot();
     std::cerr << "anchor_served exiting; " << stats.summary() << "\n";

@@ -11,6 +11,11 @@
 //      said yes; every step lands in the audit CSV.
 //   3. DEGRADED MODE — SIGKILLing one backend turns its rows into
 //      flagged partial results (kLookupFlagDegraded), never an error.
+//   4. MERGED TOPK — ANN searches scatter-gather per-shard candidate
+//      lists; because every backend trains the same IVF-PQ artifacts on
+//      the full (pre-slice) v1 matrix, the router's merged top-k is
+//      bit-identical to a single-process index, and a dead shard yields
+//      a kTopKFlagPartial result instead of an error.
 //
 // Against an already-running router (e.g. started by CI or by hand):
 //   serve_cluster_demo --connect 127.0.0.1:7500 [--rollout v2-good]
@@ -31,9 +36,11 @@
 #include <thread>
 #include <vector>
 
+#include "ann/ivf_pq.hpp"
 #include "cluster/router.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
+#include "obs/metrics.hpp"
 #include "serve/serve.hpp"
 #include "util/rng.hpp"
 
@@ -88,7 +95,13 @@ int run_backend_child(int port_fd, std::size_t begin, std::size_t end) {
   store.add_version("v1", slice(v1, begin, end), snap);
   store.add_version("v2", slice(v2, begin, end), snap);
 
-  net::Server server(store, {});
+  // Every shard trains TOPK artifacts on the full pre-slice v1 matrix it
+  // already regenerates: train_ivfpq is deterministic given (rows,
+  // config), so all shards — and the parent's reference index — end up
+  // with identical codebooks without any artifact shipping.
+  net::ServerConfig config;
+  config.ann.artifacts = ann::train_ivfpq(v1, config.ann);
+  net::Server server(store, config);
   server.start();
   const std::uint16_t port = server.port();
   if (::write(port_fd, &port, sizeof(port)) != sizeof(port)) return 1;
@@ -107,6 +120,25 @@ bool results_identical(const serve::LookupResult& a,
          (a.vectors.empty() ||
           std::memcmp(a.vectors.data(), b.vectors.data(),
                       a.vectors.size() * sizeof(float)) == 0);
+}
+
+bool topk_identical(const ann::TopKResult& a, const ann::TopKResult& b) {
+  if (a.hits.size() != b.hits.size()) return false;
+  for (std::size_t i = 0; i < a.hits.size(); ++i) {
+    if (a.hits[i].id != b.hits[i].id || a.hits[i].exact != b.hits[i].exact ||
+        a.hits[i].adc != b.hits[i].adc) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::uint64_t counter_value(const obs::MetricsReport& report,
+                            const std::string& name) {
+  for (const auto& m : report.metrics) {
+    if (m.name == name) return m.counter;
+  }
+  return 0;
 }
 
 net::RolloutStatusReport poll_rollout(net::Client& client) {
@@ -318,7 +350,7 @@ int main(int argc, char** argv) {
     const embed::Embedding v2 = refreshed(v1);
     serve::EmbeddingStore reference;
     const serve::SnapshotConfig snap = demo_snapshot_config();
-    reference.add_version("v1", v1, snap);
+    const auto ref_snap_v1 = reference.add_version("v1", v1, snap);
     reference.add_version("v2", v2, snap);
     serve::LookupService ref_service(reference);
 
@@ -339,6 +371,26 @@ int main(int argc, char** argv) {
     check(results_identical(client.lookup_words(words),
                             ref_service.lookup_words(words)),
           "word lookup (incl. the OOV flag path) is bit-identical");
+
+    // 1b. Merged TOPK: both backends encoded their slices with artifacts
+    //     trained on the full v1 matrix, so the router's merge of their
+    //     candidate lists must reconstruct the single-process result bit
+    //     for bit (ids, exact AND ADC distances).
+    ann::AnnConfig ann_cfg;
+    ann_cfg.artifacts = ann::train_ivfpq(v1, ann_cfg);
+    const ann::IvfPqIndex ref_index(ref_snap_v1, ann_cfg);
+    Rng qrng(31);
+    std::vector<float> query(kDim);
+    bool topk_ok = true;
+    for (int q = 0; q < 5 && topk_ok; ++q) {
+      for (auto& x : query) x = static_cast<float>(qrng.normal(0.0, 1.0));
+      const ann::TopKResult got = client.topk_vector(query, 10);
+      topk_ok = got.version == "v1" && got.flags == 0 &&
+                topk_identical(got, ref_index.search(query.data(), 10));
+    }
+    check(topk_ok,
+          "TOPK through the router is bit-identical to one process "
+          "(shared artifacts, deterministic merge)");
 
     // 2. Coordinated rollout: v2 goes live shard-by-shard, gated.
     client.rollout_start("v2", /*mode=*/0);
@@ -381,8 +433,35 @@ int main(int argc, char** argv) {
           "after SIGKILLing shard 2: partial result, dead rows flagged "
           "degraded, live rows still exact");
 
-    // Teardown: backend 1 by direct RPC, the router by its own RPC.
+    // TOPK over the half-cluster: flagged partial, every hit from the
+    // surviving shard's rows. (Retry a few times — the dead backend may
+    // still look connectable until the router's first failed write.)
+    ann::TopKResult part;
+    for (int attempt = 0; attempt < 10; ++attempt) {
+      part = client.topk_vector(query, 10);
+      if (part.flags & ann::kTopKFlagPartial) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    bool part_ok =
+        (part.flags & ann::kTopKFlagPartial) != 0 && !part.hits.empty();
+    for (const ann::TopKHit& h : part.hits) part_ok = part_ok && h.id < kSplit;
+    check(part_ok,
+          "TOPK after shard loss: flagged partial, only live-shard ids");
+
+    // Observability: the router and the surviving backend both counted
+    // the TOPK traffic.
     net::Client backend1("127.0.0.1", backend_ports[0]);
+    const std::uint64_t router_topk =
+        counter_value(client.metrics(), "anchor_router_topk_total");
+    const std::uint64_t backend_topk =
+        counter_value(backend1.metrics(), "anchor_topk_requests_total");
+    check(router_topk >= 6 && backend_topk >= 6,
+          "TOPK metrics: anchor_router_topk_total=" +
+              std::to_string(router_topk) +
+              ", backend anchor_topk_requests_total=" +
+              std::to_string(backend_topk));
+
+    // Teardown: backend 1 by direct RPC, the router by its own RPC.
     backend1.shutdown_server();
     client.shutdown_server();
     ok = failures == 0;
@@ -401,7 +480,8 @@ int main(int argc, char** argv) {
     }
   }
   std::cout << "\n[shape] " << (ok ? "PASS" : "FAIL")
-            << "  bit-identical scatter-gather, shard-by-shard rollout, "
-               "flagged partial results on backend loss\n";
+            << "  bit-identical scatter-gather + merged TOPK, "
+               "shard-by-shard rollout, flagged partial results on "
+               "backend loss\n";
   return ok ? 0 : 1;
 }

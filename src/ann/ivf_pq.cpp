@@ -1,0 +1,283 @@
+#include "ann/ivf_pq.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+#include "compress/pq.hpp"
+#include "la/kernels.hpp"
+#include "util/check.hpp"
+
+namespace anchor::ann {
+namespace {
+
+/// Effective knobs for a given store shape: nlist/pq_bits shrink until the
+/// k-means problems are well-posed (2^bits ≤ rows), pq_m shrinks to the
+/// largest divisor of dim. Pure function of (config, n, dim), so every
+/// process sizing an index over the same store agrees.
+AnnConfig clamp_config(const AnnConfig& config, std::size_t n,
+                       std::size_t dim) {
+  AnnConfig c = config;
+  c.nlist_bits = std::max(0, std::min(c.nlist_bits, 16));
+  while (c.nlist_bits > 0 && (std::size_t{1} << c.nlist_bits) > n) {
+    --c.nlist_bits;
+  }
+  c.pq_bits = std::max(1, std::min(c.pq_bits, 8));
+  while (c.pq_bits > 1 && (std::size_t{1} << c.pq_bits) > n) {
+    --c.pq_bits;
+  }
+  c.pq_m = std::min(std::max<std::size_t>(c.pq_m, 1), dim);
+  while (dim % c.pq_m != 0) --c.pq_m;
+  if (c.nprobe == 0) c.nprobe = kDefaultNprobe;
+  if (c.rerank == 0) c.rerank = kDefaultRerank;
+  return c;
+}
+
+/// Index of the centroid nearest to `v` (L2²; first minimum wins, so ties
+/// break toward the lowest centroid id). Scalar on purpose: encoding must
+/// be identical on every host regardless of the runtime ISA dispatch.
+std::size_t nearest_centroid(const float* v, const float* centroids,
+                             std::size_t count, std::size_t dim) {
+  std::size_t best = 0;
+  float best_d = 0.0f;
+  for (std::size_t c = 0; c < count; ++c) {
+    const float* cent = centroids + c * dim;
+    float d = 0.0f;
+    for (std::size_t j = 0; j < dim; ++j) {
+      const float diff = v[j] - cent[j];
+      d += diff * diff;
+    }
+    if (c == 0 || d < best_d) {
+      best = c;
+      best_d = d;
+    }
+  }
+  return best;
+}
+
+embed::Embedding snapshot_rows(const serve::EmbeddingSnapshot& snap) {
+  embed::Embedding rows(snap.vocab_size(), snap.dim());
+  std::vector<std::size_t> ids(rows.vocab_size);
+  std::iota(ids.begin(), ids.end(), std::size_t{0});
+  snap.copy_rows(ids.data(), ids.size(), rows.data.data());
+  return rows;
+}
+
+}  // namespace
+
+IvfPqArtifacts train_ivfpq(const embed::Embedding& rows,
+                           const AnnConfig& config) {
+  ANCHOR_CHECK_GT(rows.vocab_size, std::size_t{0});
+  ANCHOR_CHECK_GT(rows.dim, std::size_t{0});
+  const AnnConfig c = clamp_config(config, rows.vocab_size, rows.dim);
+
+  // Stage 1 — coarse cells. A product quantizer with a single sub-vector is
+  // a full-dimension vector quantizer: its one codebook is the cell
+  // centroid set and its codes are the cell assignments.
+  compress::PqConfig coarse_cfg;
+  coarse_cfg.num_subvectors = 1;
+  coarse_cfg.bits = c.nlist_bits == 0 ? 1 : c.nlist_bits;
+  coarse_cfg.max_iters = c.train_iters;
+  coarse_cfg.seed = c.seed;
+  const compress::PqResult coarse = compress::pq_quantize(rows, coarse_cfg);
+
+  IvfPqArtifacts art;
+  art.dim = rows.dim;
+  art.coarse = coarse.codebooks[0];
+  if (c.nlist_bits == 0) {
+    // One cell: its centroid is the first (and only) trained centroid.
+    art.coarse.resize(rows.dim);
+  }
+
+  // Stage 2 — residual codebooks, trained on (row − its cell centroid).
+  // Residuals concentrate around 0 regardless of which cell a row landed
+  // in, which is why one codebook set can be shared across all cells.
+  embed::Embedding residuals(rows.vocab_size, rows.dim);
+  const std::size_t nlist = art.nlist();
+  for (std::size_t w = 0; w < rows.vocab_size; ++w) {
+    std::size_t cell = coarse.codes[w];
+    if (cell >= nlist) cell = 0;
+    const float* cent = art.coarse.data() + cell * rows.dim;
+    const float* src = rows.row(w);
+    float* dst = residuals.row(w);
+    for (std::size_t j = 0; j < rows.dim; ++j) dst[j] = src[j] - cent[j];
+  }
+  compress::PqConfig pq_cfg;
+  pq_cfg.num_subvectors = c.pq_m;
+  pq_cfg.bits = c.pq_bits;
+  pq_cfg.max_iters = c.train_iters;
+  pq_cfg.seed = c.seed + 1;
+  art.codebooks = compress::pq_quantize(residuals, pq_cfg).codebooks;
+  return art;
+}
+
+IvfPqIndex::IvfPqIndex(serve::SnapshotPtr snap, const AnnConfig& config)
+    : snap_(std::move(snap)) {
+  ANCHOR_CHECK(snap_ != nullptr);
+  n_ = snap_->vocab_size();
+  dim_ = snap_->dim();
+  ANCHOR_CHECK_GT(n_, std::size_t{0});
+  build(config);
+}
+
+void IvfPqIndex::build(const AnnConfig& config) {
+  const embed::Embedding rows = snapshot_rows(*snap_);
+  config_ = clamp_config(config, n_, dim_);
+
+  if (!config.artifacts.empty()) {
+    ANCHOR_CHECK_EQ(config.artifacts.dim, dim_);
+    ANCHOR_CHECK(!config.artifacts.codebooks.empty());
+    artifacts_ = config.artifacts;
+  } else {
+    artifacts_ = train_ivfpq(rows, config_);
+  }
+  config_.artifacts = IvfPqArtifacts{};  // knobs only; artifacts_ is canonical
+
+  nlist_ = artifacts_.nlist();
+  m_ = artifacts_.codebooks.size();
+  ANCHOR_CHECK_GT(nlist_, std::size_t{0});
+  ANCHOR_CHECK_GT(m_, std::size_t{0});
+  ANCHOR_CHECK_EQ(dim_ % m_, std::size_t{0});
+  sub_dim_ = dim_ / m_;
+  ksub_ = artifacts_.codebooks[0].size() / sub_dim_;
+  ANCHOR_CHECK_GT(ksub_, std::size_t{0});
+  ANCHOR_CHECK_LE(ksub_, std::size_t{256});  // codes_ stores bytes
+
+  // Encode every row: cell assignment + residual PQ codes. Encoding is a
+  // pure scalar function of (row bytes, artifacts_), the shard-determinism
+  // contract from the header.
+  std::vector<std::uint32_t> cell_of(n_);
+  std::vector<std::uint8_t> row_codes(n_ * m_);  // row-major staging
+  std::vector<float> residual(dim_);
+  std::vector<std::uint32_t> cell_count(nlist_, 0);
+  for (std::size_t w = 0; w < n_; ++w) {
+    const float* src = rows.row(w);
+    const std::size_t cell =
+        nearest_centroid(src, artifacts_.coarse.data(), nlist_, dim_);
+    cell_of[w] = static_cast<std::uint32_t>(cell);
+    ++cell_count[cell];
+    const float* cent = artifacts_.coarse.data() + cell * dim_;
+    for (std::size_t j = 0; j < dim_; ++j) residual[j] = src[j] - cent[j];
+    for (std::size_t s = 0; s < m_; ++s) {
+      row_codes[w * m_ + s] = static_cast<std::uint8_t>(nearest_centroid(
+          residual.data() + s * sub_dim_, artifacts_.codebooks[s].data(),
+          ksub_, sub_dim_));
+    }
+  }
+
+  // Inverted lists with ids ascending within each cell (rows are visited in
+  // id order below), plus the per-cell column-major code blocks adc_scan
+  // consumes.
+  cell_start_.assign(nlist_ + 1, 0);
+  for (std::size_t c = 0; c < nlist_; ++c) {
+    cell_start_[c + 1] = cell_start_[c] + cell_count[c];
+  }
+  cell_ids_.resize(n_);
+  codes_.resize(n_ * m_);
+  std::vector<std::uint32_t> fill(nlist_, 0);
+  for (std::size_t w = 0; w < n_; ++w) {
+    const std::size_t c = cell_of[w];
+    const std::size_t pos = fill[c]++;
+    cell_ids_[cell_start_[c] + pos] = static_cast<std::uint32_t>(w);
+    const std::size_t base = std::size_t{cell_start_[c]} * m_;
+    const std::size_t count = cell_count[c];
+    for (std::size_t s = 0; s < m_; ++s) {
+      codes_[base + s * count + pos] = row_codes[w * m_ + s];
+    }
+  }
+}
+
+TopKResult IvfPqIndex::candidates(const float* query, std::size_t rerank,
+                                  std::size_t nprobe) const {
+  namespace k = la::kernels;
+  if (rerank == 0) rerank = config_.rerank;
+  if (nprobe == 0) nprobe = config_.nprobe;
+  nprobe = std::min(nprobe, nlist_);
+
+  // Rank cells by coarse distance; ties break toward the lower cell id so
+  // the probe set is deterministic (and identical on every shard — coarse
+  // distances depend only on the shared centroids and the query).
+  std::vector<std::pair<float, std::uint32_t>> cell_rank(nlist_);
+  for (std::size_t c = 0; c < nlist_; ++c) {
+    cell_rank[c] = {k::l2_sq_f32(query, artifacts_.coarse.data() + c * dim_,
+                                 dim_),
+                    static_cast<std::uint32_t>(c)};
+  }
+  std::partial_sort(cell_rank.begin(), cell_rank.begin() + nprobe,
+                    cell_rank.end());
+
+  // ADC over each probed cell: per-cell LUT (the residual target is
+  // query − centroid, so the LUT is per cell, not per query), then one
+  // adc_scan sweep over the cell's column-major code block.
+  std::vector<float> lut(m_ * ksub_);
+  std::vector<float> residual(dim_);
+  std::vector<float> adc;
+  std::vector<std::pair<float, std::uint32_t>> pool;  // (adc, local id)
+  for (std::size_t p = 0; p < nprobe; ++p) {
+    const std::uint32_t c = cell_rank[p].second;
+    const std::size_t begin = cell_start_[c];
+    const std::size_t count = cell_start_[c + 1] - begin;
+    if (count == 0) continue;
+    const float* cent = artifacts_.coarse.data() + std::size_t{c} * dim_;
+    for (std::size_t j = 0; j < dim_; ++j) residual[j] = query[j] - cent[j];
+    for (std::size_t s = 0; s < m_; ++s) {
+      const float* r = residual.data() + s * sub_dim_;
+      const float* cb = artifacts_.codebooks[s].data();
+      float* row = lut.data() + s * ksub_;
+      for (std::size_t j = 0; j < ksub_; ++j) {
+        const float* cent_j = cb + j * sub_dim_;
+        float d = 0.0f;
+        for (std::size_t t = 0; t < sub_dim_; ++t) {
+          const float diff = r[t] - cent_j[t];
+          d += diff * diff;
+        }
+        row[j] = d;
+      }
+    }
+    adc.resize(count);
+    k::adc_scan(codes_.data() + begin * m_, count, m_, ksub_, lut.data(),
+                adc.data());
+    for (std::size_t i = 0; i < count; ++i) {
+      pool.emplace_back(adc[i], cell_ids_[begin + i]);
+    }
+  }
+
+  // Shortlist: best `rerank` by (adc, id) — the id tiebreak is what makes
+  // the router-side merge reconstruct this exact selection.
+  const std::size_t keep = std::min(rerank, pool.size());
+  std::partial_sort(pool.begin(), pool.begin() + keep, pool.end());
+  pool.resize(keep);
+
+  TopKResult out;
+  out.version = snap_->version();
+  out.cells_probed = static_cast<std::uint32_t>(nprobe);
+  out.shortlist = static_cast<std::uint32_t>(keep);
+  out.hits.resize(keep);
+  if (keep > 0) {
+    // Exact re-rank distances against the true snapshot rows.
+    std::vector<std::size_t> ids(keep);
+    for (std::size_t i = 0; i < keep; ++i) ids[i] = pool[i].second;
+    std::vector<float> exact_rows(keep * dim_);
+    snap_->copy_rows(ids.data(), keep, exact_rows.data());
+    for (std::size_t i = 0; i < keep; ++i) {
+      out.hits[i].id = pool[i].second;
+      out.hits[i].adc = pool[i].first;
+      out.hits[i].exact =
+          k::l2_sq_f32(query, exact_rows.data() + i * dim_, dim_);
+    }
+  }
+  return out;
+}
+
+TopKResult IvfPqIndex::search(const float* query, std::size_t k,
+                              std::size_t nprobe, std::size_t rerank) const {
+  TopKResult out = candidates(query, rerank, nprobe);
+  std::sort(out.hits.begin(), out.hits.end(),
+            [](const TopKHit& a, const TopKHit& b) {
+              return a.exact != b.exact ? a.exact < b.exact : a.id < b.id;
+            });
+  if (out.hits.size() > k) out.hits.resize(k);
+  return out;
+}
+
+}  // namespace anchor::ann

@@ -286,6 +286,15 @@ bool ClusterClient::send_plan(std::size_t shard, std::size_t replica,
         net::write_frame(*s, net::MsgType::kLookupWords, body);
       }
     }
+    if (plan.topk) {
+      net::WireWriter body;
+      net::encode_topk_request(*plan.topk, &body);
+      if (trace_.sampled()) {
+        net::write_frame(*s, net::MsgType::kTopK, body, trace_.child());
+      } else {
+        net::write_frame(*s, net::MsgType::kTopK, body);
+      }
+    }
     return true;
   } catch (const net::NetError&) {
     drop(shard, replica);
@@ -296,7 +305,8 @@ bool ClusterClient::send_plan(std::size_t shard, std::size_t replica,
 bool ClusterClient::read_plan(std::size_t shard, std::size_t replica,
                               const Plan& plan,
                               serve::LookupResult* ids_reply,
-                              serve::LookupResult* words_reply) {
+                              serve::LookupResult* words_reply,
+                              ann::TopKResult* topk_reply) {
   ReplicaConn& c = conns_[shard][replica];
   if (!c.stream) return false;
   net::TcpStream* s = &*c.stream;
@@ -321,6 +331,21 @@ bool ClusterClient::read_plan(std::size_t shard, std::size_t replica,
         !read_one(net::MsgType::kLookupWordsReply, words_reply)) {
       drop(shard, replica);
       return false;
+    }
+    if (plan.topk) {
+      // A backend with TOPK disabled (or predating it) answers kError —
+      // a per-shard failure (→ partial result), not a protocol breach,
+      // but the connection is healthy, so no drop on that path alone.
+      net::MsgType type{};
+      std::vector<std::uint8_t> payload;
+      if (!net::read_frame(*s, &type, &payload) ||
+          type != net::MsgType::kTopKReply || topk_reply == nullptr) {
+        drop(shard, replica);
+        return false;
+      }
+      net::WireReader reader(payload);
+      *topk_reply = net::decode_topk_result(&reader);
+      reader.expect_done();
     }
     return true;
   } catch (const net::NetError&) {
@@ -391,7 +416,8 @@ void ClusterClient::scatter_shard(std::size_t shard, const Plan& plan,
 bool ClusterClient::gather_shard(std::size_t shard, const Plan& plan,
                                  ShardState* st,
                                  serve::LookupResult* ids_reply,
-                                 serve::LookupResult* words_reply) {
+                                 serve::LookupResult* words_reply,
+                                 ann::TopKResult* topk_reply) {
   if (!st->sent) return false;
   const std::size_t n_replicas = config_.map.shard(shard).num_replicas();
   const int budget = config_.retry ? std::max(config_.max_attempts, 1) : 1;
@@ -433,7 +459,8 @@ bool ClusterClient::gather_shard(std::size_t shard, const Plan& plan,
     // the other is still live.
     std::size_t winner = kNone;
     if (st->hedged == kNone) {
-      if (read_plan(shard, st->primary, plan, ids_reply, words_reply)) {
+      if (read_plan(shard, st->primary, plan, ids_reply, words_reply,
+                    topk_reply)) {
         winner = st->primary;
       } else {
         mark_replica(shard, st->primary, false);
@@ -458,7 +485,8 @@ bool ClusterClient::gather_shard(std::size_t shard, const Plan& plan,
           }
           // Sole survivor: no need to poll, the io timeout bounds it.
           if (dead[1 - i] || s->wait_readable(1)) {
-            if (read_plan(shard, r, plan, ids_reply, words_reply)) {
+            if (read_plan(shard, r, plan, ids_reply, words_reply,
+                          topk_reply)) {
               winner = r;
             } else {
               dead[i] = true;
@@ -802,6 +830,162 @@ serve::LookupResult ClusterClient::lookup_words(
     }
   }
   return execute(plans, words.size(), std::move(flags));
+}
+
+ann::TopKResult ClusterClient::topk_vector(const std::vector<float>& query,
+                                           std::size_t k, std::size_t nprobe,
+                                           std::size_t rerank) {
+  const std::size_t n_shards = config_.map.num_shards();
+  std::fill(last_shard_ok_.begin(), last_shard_ok_.end(), 1);
+  // Explicit knobs on every sub-request: the merge below truncates the
+  // pooled candidates at `rerank`, so backends and router must agree on
+  // the depth — a backend falling back to a *different* local default
+  // would break the single-process-equality contract.
+  if (nprobe == 0) nprobe = ann::kDefaultNprobe;
+  if (rerank == 0) rerank = ann::kDefaultRerank;
+
+  net::TopKRequest sub;
+  sub.k = static_cast<std::uint32_t>(k);
+  sub.nprobe = static_cast<std::uint32_t>(nprobe);
+  sub.rerank = static_cast<std::uint32_t>(rerank);
+  sub.mode = net::kTopKModeCandidates;
+  sub.kind = net::kTopKKindVector;
+  sub.vector = query;
+
+  // Scatter the broadcast through the same plan machinery as lookups
+  // (least-loaded replica, hedging, bounded failover).
+  const bool traced = trace_.sampled();
+  const std::uint64_t scatter_t0 = traced ? obs::Tracer::now_ns() : 0;
+  std::vector<Plan> plans(n_shards);
+  std::vector<ShardState> states(n_shards);
+  for (std::size_t b = 0; b < n_shards; ++b) {
+    plans[b].topk = sub;
+    if (health_ && !health_->shard_alive(b)) {
+      last_shard_ok_[b] = 0;
+      continue;
+    }
+    scatter_shard(b, plans[b], &states[b]);
+    if (!states[b].sent) last_shard_ok_[b] = 0;
+  }
+  std::vector<ann::TopKResult> replies(n_shards);
+  std::vector<std::uint8_t> ok(n_shards, 0);
+  serve::LookupResult unused_ids, unused_words;
+  for (std::size_t b = 0; b < n_shards; ++b) {
+    if (!states[b].sent) continue;
+    if (gather_shard(b, plans[b], &states[b], &unused_ids, &unused_words,
+                     &replies[b])) {
+      ok[b] = 1;
+      if (traced) {
+        obs::Tracer::instance().record(trace_, obs::TraceStage::kShardRtt,
+                                       states[b].send_ns,
+                                       obs::Tracer::now_ns(),
+                                       static_cast<std::uint32_t>(b));
+      }
+      continue;
+    }
+    last_shard_ok_[b] = 0;
+  }
+  const std::uint64_t merge_t0 = traced ? obs::Tracer::now_ns() : 0;
+  if (traced) {
+    obs::Tracer::instance().record(trace_, obs::TraceStage::kRouterScatter,
+                                   scatter_t0, merge_t0);
+  }
+
+  // Merge. Each shard's hits arrive sorted by (adc, local id) with LOCAL
+  // ids; translate to global ids via the shard's row_begin (contiguous
+  // ranges keep the (adc, id) order), pool, and re-select:
+  //   1. global top-`rerank` by (adc, global id) — heap selection — which
+  //      reconstructs exactly the single-process candidate shortlist,
+  //      because each shard's top-`rerank` is a superset of that shard's
+  //      members of the global top-`rerank`;
+  //   2. top-`k` of those by (exact, global id), the final answer.
+  ann::TopKResult out;
+  bool partial = false;
+  struct Cand {
+    float adc;
+    std::uint64_t gid;
+    float exact;
+    bool operator<(const Cand& o) const {
+      return adc != o.adc ? adc < o.adc : gid < o.gid;
+    }
+  };
+  std::vector<Cand> pool;
+  for (std::size_t b = 0; b < n_shards; ++b) {
+    if (!ok[b]) {
+      partial = true;
+      continue;
+    }
+    const std::uint64_t row_begin = config_.map.shard(b).row_begin;
+    for (const ann::TopKHit& h : replies[b].hits) {
+      pool.push_back(Cand{h.adc, h.id + row_begin, h.exact});
+    }
+    out.cells_probed += replies[b].cells_probed;
+    if (out.version.empty()) {
+      out.version = replies[b].version;
+    } else if (out.version != replies[b].version) {
+      out.version = "mixed";  // rolling promote in flight; honest summary
+    }
+  }
+  const std::size_t keep = std::min(rerank, pool.size());
+  std::partial_sort(pool.begin(), pool.begin() + keep, pool.end());
+  pool.resize(keep);
+  out.shortlist = static_cast<std::uint32_t>(keep);
+  std::sort(pool.begin(), pool.end(), [](const Cand& a, const Cand& b) {
+    return a.exact != b.exact ? a.exact < b.exact : a.gid < b.gid;
+  });
+  if (pool.size() > k) pool.resize(k);
+  out.hits.reserve(pool.size());
+  for (const Cand& c : pool) {
+    out.hits.push_back(ann::TopKHit{c.gid, c.exact, c.adc});
+  }
+  if (partial) out.flags |= ann::kTopKFlagPartial;
+  last_degraded_ = partial;
+  if (traced) {
+    obs::Tracer::instance().record(trace_, obs::TraceStage::kRouterMerge,
+                                   merge_t0, obs::Tracer::now_ns());
+  }
+  trace_ = obs::TraceContext{};  // consumed: one set_trace per request
+  drain_owed_nonblocking();
+  return out;
+}
+
+ann::TopKResult ClusterClient::topk_id(std::uint64_t id, std::size_t k,
+                                       std::size_t nprobe,
+                                       std::size_t rerank) {
+  // Resolve the query row with a normal cluster lookup first (the trace,
+  // if any, is saved for the search itself — the lookup would consume it).
+  const obs::TraceContext saved = trace_;
+  trace_ = obs::TraceContext{};
+  const serve::LookupResult row =
+      lookup_ids({static_cast<std::size_t>(id)});
+  if (row.size() != 1 || row.dim == 0 || row.oov[0] != 0) {
+    trace_ = obs::TraceContext{};
+    throw std::runtime_error("cannot resolve topk query id " +
+                             std::to_string(id));
+  }
+  trace_ = saved;
+  return topk_vector(std::vector<float>(row.row(0), row.row(0) + row.dim), k,
+                     nprobe, rerank);
+}
+
+ann::TopKResult ClusterClient::topk_word(const std::string& word,
+                                         std::size_t k, std::size_t nprobe,
+                                         std::size_t rerank) {
+  const obs::TraceContext saved = trace_;
+  trace_ = obs::TraceContext{};
+  const serve::LookupResult row = lookup_words({word});
+  // OOV is fine (the home shard synthesized a deterministic vector —
+  // neighbors of a novel word are exactly the interesting query); only a
+  // degraded row has no usable vector at all.
+  if (row.size() != 1 || row.dim == 0 ||
+      (row.oov[0] & serve::kLookupFlagDegraded) != 0) {
+    trace_ = obs::TraceContext{};
+    throw std::runtime_error("cannot resolve topk query word '" + word +
+                             "'");
+  }
+  trace_ = saved;
+  return topk_vector(std::vector<float>(row.row(0), row.row(0) + row.dim), k,
+                     nprobe, rerank);
 }
 
 ClusterStatsReport ClusterClient::stats() {

@@ -50,6 +50,7 @@
 #include <string>
 #include <vector>
 
+#include "ann/ivf_pq.hpp"
 #include "cluster/shard_map.hpp"
 #include "net/socket.hpp"
 #include "net/wire.hpp"
@@ -208,6 +209,27 @@ class ClusterClient {
   /// not comparable to a single-process OOV table).
   serve::LookupResult lookup_words(const std::vector<std::string>& words);
 
+  /// Cluster-wide approximate top-k (the TOPK RPC, fanned out): every
+  /// shard answers a candidates-mode search over its row slice, and the
+  /// router-side merge — global top-`rerank` by (ADC distance, global id)
+  /// via heap selection, then top-`k` by (exact distance, global id) — is
+  /// bit-identical to a single-process index over the concatenated rows,
+  /// PROVIDED the shards share IVF-PQ training artifacts (see
+  /// src/ann/ivf_pq.hpp; analogous to the shared clip threshold for
+  /// lookups). nprobe/rerank 0 use the deployment defaults, sent
+  /// explicitly so backends and merge agree on the truncation depth.
+  /// Hits from shards whose every replica is down are missing and the
+  /// result carries ann::kTopKFlagPartial (the degraded-lookup contract).
+  ann::TopKResult topk_vector(const std::vector<float>& query, std::size_t k,
+                              std::size_t nprobe = 0, std::size_t rerank = 0);
+  /// Resolve a GLOBAL row id / word to its vector first (one cluster
+  /// lookup), then search. Throws when the query row itself cannot be
+  /// served (owning shard down, id out of range).
+  ann::TopKResult topk_id(std::uint64_t id, std::size_t k,
+                          std::size_t nprobe = 0, std::size_t rerank = 0);
+  ann::TopKResult topk_word(const std::string& word, std::size_t k,
+                            std::size_t nprobe = 0, std::size_t rerank = 0);
+
   /// True when the most recent lookup had at least one degraded row.
   bool last_degraded() const { return last_degraded_; }
   /// Per-shard success of the most recent lookup (1 = answered or not
@@ -252,9 +274,15 @@ class ClusterClient {
     std::vector<std::uint32_t> id_slots;    // → caller slots
     std::vector<std::string> words;         // kLookupWords sub-request
     std::vector<std::uint32_t> word_slots;  // → caller slots
-    bool involved() const { return !local_ids.empty() || !words.empty(); }
+    /// Candidates-mode TOPK broadcast sub-request (one per shard on a
+    /// cluster search); rides the same scatter/hedge/failover machinery.
+    std::optional<net::TopKRequest> topk;
+    bool involved() const {
+      return !local_ids.empty() || !words.empty() || topk.has_value();
+    }
     std::size_t frames() const {
-      return (local_ids.empty() ? 0 : 1) + (words.empty() ? 0 : 1);
+      return (local_ids.empty() ? 0 : 1) + (words.empty() ? 0 : 1) +
+             (topk ? 1 : 0);
     }
   };
 
@@ -294,13 +322,15 @@ class ClusterClient {
   /// Reads one reply per sub-request in `plan`; false on any failure.
   bool read_plan(std::size_t shard, std::size_t replica, const Plan& plan,
                  serve::LookupResult* ids_reply,
-                 serve::LookupResult* words_reply);
+                 serve::LookupResult* words_reply,
+                 ann::TopKResult* topk_reply = nullptr);
   /// Scatter phase: pick a replica and send, failing over on send errors.
   void scatter_shard(std::size_t shard, const Plan& plan, ShardState* st);
   /// Gather phase: hedge/read/fail over until a full reply or exhaustion.
   bool gather_shard(std::size_t shard, const Plan& plan, ShardState* st,
                     serve::LookupResult* ids_reply,
-                    serve::LookupResult* words_reply);
+                    serve::LookupResult* words_reply,
+                    ann::TopKResult* topk_reply = nullptr);
   void backoff_sleep(int attempt);
 
   serve::LookupResult execute(const std::vector<Plan>& plans,

@@ -62,6 +62,16 @@ void Router::register_metrics() {
       "anchor_router_lookup_latency_us",
       "End-to-end scatter-gather lookup latency as the router sees it "
       "(microseconds)");
+  topk_total_ = &metrics_.counter(
+      "anchor_router_topk_total",
+      "Cluster TOPK searches scatter-gathered and merged by the router");
+  topk_partial_ = &metrics_.counter(
+      "anchor_router_topk_partial_total",
+      "TOPK searches merged from fewer than all shards (partial flag set)");
+  topk_latency_ = &metrics_.histogram(
+      "anchor_router_topk_latency_us",
+      "End-to-end scatter-gather TOPK latency as the router sees it "
+      "(microseconds)");
   metrics_.on_collect([this](obs::MetricsRegistry& r) {
     r.gauge("anchor_router_shards_alive",
             "Shards with at least one live replica")
@@ -305,6 +315,45 @@ bool Router::dispatch(net::TcpStream& stream, net::MsgType type,
             [&](ClusterClient& cc) { merged = cc.lookup_words(words); });
         net::encode_lookup_result(merged, &reply);
         net::write_frame(stream, net::MsgType::kLookupWordsReply, reply);
+      } catch (const net::NetError&) {
+        throw;
+      } catch (const std::exception& e) {
+        send_error(e.what());
+      }
+      return true;
+    }
+    case net::MsgType::kTopK: {
+      // The router always answers FINAL mode: per-shard candidates are an
+      // internal protocol between ClusterClient and the backends, and a
+      // router-of-routers would need per-shard row offsets it doesn't
+      // have. req.mode is therefore ignored here.
+      net::TopKRequest req = net::decode_topk_request(&reader);
+      reader.expect_done();
+      try {
+        ann::TopKResult merged;
+        const auto start = std::chrono::steady_clock::now();
+        pool_->with_client([&](ClusterClient& cc) {
+          if (trace.sampled()) cc.set_trace(trace);
+          switch (req.kind) {
+            case net::kTopKKindId:
+              merged = cc.topk_id(req.id, req.k, req.nprobe, req.rerank);
+              break;
+            case net::kTopKKindWord:
+              merged = cc.topk_word(req.word, req.k, req.nprobe, req.rerank);
+              break;
+            default:
+              merged =
+                  cc.topk_vector(req.vector, req.k, req.nprobe, req.rerank);
+              break;
+          }
+        });
+        topk_total_->inc();
+        if (merged.flags & ann::kTopKFlagPartial) topk_partial_->inc();
+        topk_latency_->record(std::chrono::duration<double, std::micro>(
+                                  std::chrono::steady_clock::now() - start)
+                                  .count());
+        net::encode_topk_result(merged, &reply);
+        net::write_frame(stream, net::MsgType::kTopKReply, reply);
       } catch (const net::NetError&) {
         throw;
       } catch (const std::exception& e) {

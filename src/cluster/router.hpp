@@ -156,6 +156,9 @@ class Router {
   obs::Counter* lookups_total_ = nullptr;
   obs::Counter* degraded_total_ = nullptr;
   obs::LogHistogram* lookup_latency_ = nullptr;
+  obs::Counter* topk_total_ = nullptr;
+  obs::Counter* topk_partial_ = nullptr;
+  obs::LogHistogram* topk_latency_ = nullptr;
 
   std::atomic<bool> stop_{false};
   std::atomic<bool> shutdown_requested_{false};

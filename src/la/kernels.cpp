@@ -87,6 +87,26 @@ void dequantize_rows(const std::uint8_t* codes, std::size_t num_rows,
   }
 }
 
+void adc_scan(const std::uint8_t* codes, std::size_t count, std::size_t m,
+              std::size_t ksub, const float* lut, float* out) {
+  for (std::size_t i = 0; i < count; ++i) {
+    float acc = 0.0f;
+    for (std::size_t s = 0; s < m; ++s) {
+      acc += lut[s * ksub + codes[s * count + i]];
+    }
+    out[i] = acc;
+  }
+}
+
+float l2_sq_f32(const float* a, const float* b, std::size_t n) {
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
 }  // namespace scalar
 
 std::size_t packed_row_bytes(std::size_t dim, int bits) {
@@ -373,6 +393,68 @@ void dequantize_rows(const std::uint8_t* codes, std::size_t num_rows,
   }
 }
 
+__attribute__((target("avx2,fma"))) void adc_scan(
+    const std::uint8_t* codes, std::size_t count, std::size_t m,
+    std::size_t ksub, const float* lut, float* out) {
+  // 8 rows per iteration: one 8-byte load per sub-quantizer picks up the
+  // rows' codes (the column-major cell layout makes them contiguous), a
+  // gather fetches their LUT entries. Plain adds in ascending s order —
+  // each out[i] sums in exactly the scalar order, so this path is
+  // bit-exact with scalar::adc_scan.
+  std::size_t i = 0;
+  for (; i + 8 <= count; i += 8) {
+    __m256 acc = _mm256_setzero_ps();
+    for (std::size_t s = 0; s < m; ++s) {
+      const __m128i b8 = _mm_loadl_epi64(
+          reinterpret_cast<const __m128i*>(codes + s * count + i));
+      const __m256i idx = _mm256_cvtepu8_epi32(b8);
+      acc = _mm256_add_ps(
+          acc, _mm256_i32gather_ps(lut + s * ksub, idx, sizeof(float)));
+    }
+    _mm256_storeu_ps(out + i, acc);
+  }
+  for (; i < count; ++i) {
+    float acc = 0.0f;
+    for (std::size_t s = 0; s < m; ++s) {
+      acc += lut[s * ksub + codes[s * count + i]];
+    }
+    out[i] = acc;
+  }
+}
+
+__attribute__((target("avx2,fma"))) float l2_sq_f32(const float* a,
+                                                    const float* b,
+                                                    std::size_t n) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256 d0 =
+        _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    const __m256 d1 =
+        _mm256_sub_ps(_mm256_loadu_ps(a + i + 8), _mm256_loadu_ps(b + i + 8));
+    acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+    acc1 = _mm256_fmadd_ps(d1, d1, acc1);
+  }
+  for (; i + 8 <= n; i += 8) {
+    const __m256 d =
+        _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    acc0 = _mm256_fmadd_ps(d, d, acc0);
+  }
+  // Fixed lane order, like hsum: ((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7)).
+  const __m256 acc = _mm256_add_ps(acc0, acc1);
+  const __m128 lo = _mm256_castps256_ps128(acc);
+  const __m128 hi = _mm256_extractf128_ps(acc, 1);
+  __m128 s = _mm_add_ps(lo, hi);
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  float total = _mm_cvtss_f32(_mm_add_ss(s, _mm_shuffle_ps(s, s, 1)));
+  for (; i < n; ++i) {
+    const float d = a[i] - b[i];
+    total += d * d;
+  }
+  return total;
+}
+
 }  // namespace avx2
 
 #endif  // ANCHOR_KERNELS_AVX2
@@ -464,6 +546,21 @@ void dequantize_rows(const std::uint8_t* codes, std::size_t num_rows,
   }
 #endif
   scalar::dequantize_rows(codes, num_rows, dim, bits, clip, out);
+}
+
+void adc_scan(const std::uint8_t* codes, std::size_t count, std::size_t m,
+              std::size_t ksub, const float* lut, float* out) {
+#if ANCHOR_KERNELS_AVX2
+  if (use_simd()) return avx2::adc_scan(codes, count, m, ksub, lut, out);
+#endif
+  scalar::adc_scan(codes, count, m, ksub, lut, out);
+}
+
+float l2_sq_f32(const float* a, const float* b, std::size_t n) {
+#if ANCHOR_KERNELS_AVX2
+  if (use_simd()) return avx2::l2_sq_f32(a, b, n);
+#endif
+  return scalar::l2_sq_f32(a, b, n);
 }
 
 }  // namespace anchor::la::kernels

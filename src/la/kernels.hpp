@@ -79,6 +79,25 @@ std::size_t packed_row_bytes(std::size_t dim, int bits);
 void dequantize_rows(const std::uint8_t* codes, std::size_t num_rows,
                      std::size_t dim, int bits, float clip, float* out);
 
+/// Asymmetric-distance (ADC) scan over product-quantized codes — the ANN
+/// engine's hot loop, sibling of dequantize_rows. `codes` holds one cell's
+/// codes COLUMN-MAJOR: for each sub-quantizer s ∈ [0, m), `count`
+/// contiguous bytes, i.e. codes[s·count + i] is row i's code for
+/// sub-quantizer s (the transposed layout is what lets the AVX2 path load
+/// 8 rows' codes of one sub-quantizer with a single 8-byte load). `lut` is
+/// the per-query table, m × ksub floats, row-major. Writes
+///   out[i] = Σ_s lut[s·ksub + codes[s·count + i]]
+/// for i ∈ [0, count). Each element accumulates in ascending s order in
+/// both paths, so the AVX2 path is bit-exact with scalar (like axpy).
+void adc_scan(const std::uint8_t* codes, std::size_t count, std::size_t m,
+              std::size_t ksub, const float* lut, float* out);
+
+/// Σ (a[i]−b[i])² over float vectors — the exact re-rank distance of the
+/// ANN engine. Reduction kernel: the AVX2 path reassociates across lanes
+/// like dot, so it agrees with scalar only to rounding (parity tests
+/// bound the relative error at 1e-5 on random data).
+float l2_sq_f32(const float* a, const float* b, std::size_t n);
+
 /// Portable reference implementations — always compiled, identical
 /// signatures. Tests pin parity against these; benches use them as the
 /// scalar baseline.
@@ -93,6 +112,9 @@ void gemm_nt(const double* a, std::size_t a_rows, const double* b,
              std::size_t b_rows, std::size_t cols, double* c);
 void dequantize_rows(const std::uint8_t* codes, std::size_t num_rows,
                      std::size_t dim, int bits, float clip, float* out);
+void adc_scan(const std::uint8_t* codes, std::size_t count, std::size_t m,
+              std::size_t ksub, const float* lut, float* out);
+float l2_sq_f32(const float* a, const float* b, std::size_t n);
 }  // namespace scalar
 
 }  // namespace anchor::la::kernels

@@ -78,6 +78,50 @@ serve::LookupResult Client::lookup_word(const std::string& word) {
   return lookup_words({word});
 }
 
+ann::TopKResult Client::topk(const TopKRequest& req) {
+  WireWriter body;
+  encode_topk_request(req, &body);
+  const auto payload = roundtrip(MsgType::kTopK, body, MsgType::kTopKReply);
+  WireReader reader(payload);
+  ann::TopKResult result = decode_topk_result(&reader);
+  reader.expect_done();
+  return result;
+}
+
+ann::TopKResult Client::topk_id(std::uint64_t id, std::size_t k,
+                                std::size_t nprobe, std::size_t rerank) {
+  TopKRequest req;
+  req.kind = kTopKKindId;
+  req.id = id;
+  req.k = static_cast<std::uint32_t>(k);
+  req.nprobe = static_cast<std::uint32_t>(nprobe);
+  req.rerank = static_cast<std::uint32_t>(rerank);
+  return topk(req);
+}
+
+ann::TopKResult Client::topk_word(const std::string& word, std::size_t k,
+                                  std::size_t nprobe, std::size_t rerank) {
+  TopKRequest req;
+  req.kind = kTopKKindWord;
+  req.word = word;
+  req.k = static_cast<std::uint32_t>(k);
+  req.nprobe = static_cast<std::uint32_t>(nprobe);
+  req.rerank = static_cast<std::uint32_t>(rerank);
+  return topk(req);
+}
+
+ann::TopKResult Client::topk_vector(const std::vector<float>& query,
+                                    std::size_t k, std::size_t nprobe,
+                                    std::size_t rerank) {
+  TopKRequest req;
+  req.kind = kTopKKindVector;
+  req.vector = query;
+  req.k = static_cast<std::uint32_t>(k);
+  req.nprobe = static_cast<std::uint32_t>(nprobe);
+  req.rerank = static_cast<std::uint32_t>(rerank);
+  return topk(req);
+}
+
 serve::GateReport Client::try_promote(const std::string& candidate,
                                       bool force) {
   WireWriter body;

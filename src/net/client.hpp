@@ -46,6 +46,21 @@ class Client {
   serve::LookupResult lookup_id(std::size_t id);
   serve::LookupResult lookup_word(const std::string& word);
 
+  /// Approximate nearest-neighbor search against the server's live
+  /// IVF-PQ index (the TOPK RPC). The by-id / by-word forms resolve the
+  /// query row server-side through the batcher; the raw form carries the
+  /// vector. nprobe/rerank 0 = server defaults. Throws RpcError when the
+  /// server has TOPK disabled or no live version.
+  ann::TopKResult topk_id(std::uint64_t id, std::size_t k,
+                          std::size_t nprobe = 0, std::size_t rerank = 0);
+  ann::TopKResult topk_word(const std::string& word, std::size_t k,
+                            std::size_t nprobe = 0, std::size_t rerank = 0);
+  ann::TopKResult topk_vector(const std::vector<float>& query, std::size_t k,
+                              std::size_t nprobe = 0, std::size_t rerank = 0);
+  /// Raw request form (what the cluster router uses for candidates-mode
+  /// fan-out); the three conveniences above wrap it.
+  ann::TopKResult topk(const TopKRequest& req);
+
   /// Gates + promotes `candidate` on the server. Throws RpcError when the
   /// version is unknown there. `force` bypasses the instability gate and
   /// flips live directly (still audited, still refused while a canary

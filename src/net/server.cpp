@@ -20,6 +20,9 @@ Server::Server(serve::EmbeddingStore& store, ServerConfig config)
       listener_(TcpListener::bind_loopback(config.port)),
       faults_(config.fault_seed) {
   if (config_.fault_inject) faults_.configure(config_.faults);
+  if (config_.ann_enable) {
+    ann_ = std::make_unique<ann::AnnService>(store_, config_.ann);
+  }
   register_metrics();
 }
 
@@ -37,6 +40,20 @@ void Server::register_metrics() {
       "Per coalesced batch latency, oldest enqueue to scatter "
       "(client-observed view)",
       [this] { return batcher_stats_->latency_histogram(); });
+  if (ann_) {
+    metrics_.register_histogram(
+        "anchor_topk_latency_us",
+        "IVF-PQ search latency per TOPK request (probe+ADC+re-rank)",
+        [this] { return topk_latency_us_.snapshot(); });
+    metrics_.register_histogram(
+        "anchor_topk_cells_probed",
+        "Coarse cells probed per TOPK request",
+        [this] { return topk_cells_probed_.snapshot(); });
+    metrics_.register_histogram(
+        "anchor_topk_shortlist_size",
+        "ADC shortlist size re-ranked exactly per TOPK request",
+        [this] { return topk_shortlist_.snapshot(); });
+  }
   // Remembers the previously exported version label so a hot swap zeroes
   // the stale series instead of leaving two versions claiming live.
   auto last_version = std::make_shared<std::string>();
@@ -70,6 +87,14 @@ void Server::register_metrics() {
     reg.counter("anchor_trace_spans_total",
                 "Trace spans recorded into this process's span ring")
         .set(obs::Tracer::instance().spans_recorded());
+    if (ann_) {
+      reg.counter("anchor_topk_requests_total",
+                  "TOPK searches served against the live IVF-PQ index")
+          .set(topk_requests_.load(std::memory_order_relaxed));
+      reg.counter("anchor_topk_index_builds_total",
+                  "IVF-PQ index builds (one per snapshot version served)")
+          .set(ann_->builds());
+    }
     const std::string version = store_.live_version();
     if (!version.empty()) {
       const std::string name =
@@ -355,6 +380,65 @@ bool Server::dispatch(TcpStream& stream, MsgType type,
       }
       return true;
     }
+    case MsgType::kTopK: {
+      TopKRequest req = decode_topk_request(&reader);
+      reader.expect_done();
+      if (!ann_) {
+        WireWriter err;
+        err.str("TOPK serving is disabled on this server");
+        write_frame(stream, MsgType::kError, err);
+        return true;
+      }
+      try {
+        // Resolve the query vector. Id/word queries ride the batcher like
+        // any lookup, so TOPK resolution coalesces with concurrent lookup
+        // traffic instead of bypassing the serving path (and OOV words
+        // search from their synthesized vector, same as a lookup).
+        std::vector<float> query;
+        if (req.kind == kTopKKindVector) {
+          query = std::move(req.vector);
+        } else {
+          const serve::ResultSlice slice =
+              req.kind == kTopKKindId
+                  ? async_.lookup_id(static_cast<std::size_t>(req.id)).get()
+                  : async_.lookup_word(std::move(req.word)).get();
+          if (slice.size() != 1) {
+            throw std::runtime_error("topk query resolution failed");
+          }
+          query.assign(slice.row(0), slice.row(0) + slice.dim());
+        }
+        const ann::IvfPqIndexPtr index = ann_->index_for_live();
+        if (!index) throw std::runtime_error("no live version to search");
+        if (query.size() != index->dim()) {
+          throw std::runtime_error(
+              "topk query dim " + std::to_string(query.size()) +
+              " != index dim " + std::to_string(index->dim()));
+        }
+        const std::uint64_t t0 = obs::Tracer::now_ns();
+        const ann::TopKResult result =
+            req.mode == kTopKModeCandidates
+                ? index->candidates(query.data(), req.rerank, req.nprobe)
+                : index->search(query.data(), req.k, req.nprobe, req.rerank);
+        const std::uint64_t t1 = obs::Tracer::now_ns();
+        if (trace.sampled()) {
+          obs::Tracer::instance().record(trace, obs::TraceStage::kTopkSearch,
+                                         t0, t1);
+        }
+        topk_requests_.fetch_add(1, std::memory_order_relaxed);
+        topk_latency_us_.record(static_cast<double>(t1 - t0) / 1000.0);
+        topk_cells_probed_.record(static_cast<double>(result.cells_probed));
+        topk_shortlist_.record(static_cast<double>(result.shortlist));
+        encode_topk_result(result, &reply);
+        return send_data_reply(stream, MsgType::kTopKReply, reply);
+      } catch (const NetError&) {
+        throw;  // transport failure mid-reply: close, don't answer
+      } catch (const std::exception& e) {
+        WireWriter err;
+        err.str(e.what());
+        write_frame(stream, MsgType::kError, err);
+      }
+      return true;
+    }
     case MsgType::kTryPromote: {
       const std::string candidate = reader.str();
       // Optional byte (older clients omit it): bypass the gate and flip
@@ -383,6 +467,36 @@ bool Server::dispatch(TcpStream& stream, MsgType type,
                 "a canary is running (candidate '" +
                 canary_->candidate_version() +
                 "'); abort it before an offline promote");
+          }
+        }
+        // Online churn gate: before the offline measures run, check what
+        // TOPK clients would actually observe across the swap — mean
+        // served top-k churn between the incumbent's and the candidate's
+        // indexes. Off by default (threshold 0); forced promotes (the
+        // rollout-rollback path) bypass it like they bypass the gate.
+        if (!force && ann_ && config_.topk_churn_reject > 0.0) {
+          const serve::SnapshotPtr incumbent = store_.live();
+          const serve::SnapshotPtr cand = store_.snapshot(candidate);
+          if (incumbent && cand && incumbent->epoch() != cand->epoch()) {
+            const double churn =
+                ann_->topk_churn(incumbent, cand, config_.topk_churn_queries,
+                                 config_.topk_churn_k);
+            if (churn > config_.topk_churn_reject) {
+              serve::GateReport rejected;
+              rejected.old_version = incumbent->version();
+              rejected.new_version = candidate;
+              rejected.decision = serve::GateDecision::kReject;
+              rejected.reason =
+                  "topk churn " + std::to_string(churn) +
+                  " exceeds threshold " +
+                  std::to_string(config_.topk_churn_reject);
+              if (!config_.gate.audit_log.empty()) {
+                serve::append_audit_csv(config_.gate.audit_log, rejected);
+              }
+              encode_gate_report(rejected, &reply);
+              write_frame(stream, MsgType::kTryPromoteReply, reply);
+              return true;
+            }
           }
         }
         serve::GateReport report;

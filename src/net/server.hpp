@@ -25,9 +25,11 @@
 #include <thread>
 #include <vector>
 
+#include "ann/ann_service.hpp"
 #include "net/fault.hpp"
 #include "net/socket.hpp"
 #include "net/wire.hpp"
+#include "obs/log_histogram.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "serve/batcher.hpp"
@@ -65,6 +67,22 @@ struct ServerConfig {
   /// Seed for the injector's probability draws — a seeded chaos run
   /// replays the same fault sequence.
   std::uint64_t fault_seed = 0x9e3779b97f4a7c15ull;
+  /// Approximate top-k serving (the TOPK RPC). On by default; when
+  /// disabled TOPK answers with an Error frame and no index is ever
+  /// built. Indexes are built lazily per snapshot version on first use
+  /// and swap with the live version automatically (epoch-keyed cache in
+  /// ann::AnnService), so gate/canary/rollout flows apply unchanged.
+  bool ann_enable = true;
+  ann::AnnConfig ann;
+  /// Online churn gate: when > 0, a (non-forced) TRY_PROMOTE additionally
+  /// measures served top-k churn between the incumbent's and candidate's
+  /// indexes over `topk_churn_queries` probe rows at k =
+  /// `topk_churn_k`, and refuses the promote when mean churn exceeds
+  /// this threshold — the paper's kNN-overlap instability applied to
+  /// what TOPK clients would actually observe across the swap.
+  double topk_churn_reject = 0.0;
+  std::size_t topk_churn_queries = 64;
+  std::size_t topk_churn_k = 10;
 };
 
 class Server {
@@ -107,6 +125,8 @@ class Server {
   std::shared_ptr<serve::CanaryRouter> canary() const;
   /// The per-server fault injector (armed via ServerConfig::fault_inject).
   FaultInjector& fault_injector() { return faults_; }
+  /// The ANN service behind the TOPK RPC; nullptr when ann_enable=false.
+  ann::AnnService* ann() { return ann_.get(); }
 
  private:
   void accept_loop();
@@ -137,6 +157,13 @@ class Server {
   TcpListener listener_;
   obs::MetricsRegistry metrics_;
   FaultInjector faults_;
+  std::unique_ptr<ann::AnnService> ann_;
+  /// TOPK observability: request count plus the tuning-relevant shape of
+  /// each served search (latency, cells probed, shortlist size).
+  std::atomic<std::uint64_t> topk_requests_{0};
+  obs::LogHistogram topk_latency_us_;
+  obs::LogHistogram topk_cells_probed_;
+  obs::LogHistogram topk_shortlist_;
 
   struct Connection {
     std::thread thread;

@@ -455,4 +455,90 @@ RolloutStatusReport decode_rollout_status(WireReader* r) {
   return s;
 }
 
+void encode_topk_request(const TopKRequest& req, WireWriter* w) {
+  w->u32(req.k);
+  w->u32(req.nprobe);
+  w->u32(req.rerank);
+  w->u8(req.mode);
+  w->u8(req.kind);
+  switch (req.kind) {
+    case kTopKKindId:
+      w->u64(req.id);
+      break;
+    case kTopKKindWord:
+      w->str(req.word);
+      break;
+    case kTopKKindVector:
+      w->u32(static_cast<std::uint32_t>(req.vector.size()));
+      w->f32s(req.vector.data(), req.vector.size());
+      break;
+    default:
+      throw WireError("bad topk query kind");
+  }
+}
+
+TopKRequest decode_topk_request(WireReader* r) {
+  TopKRequest req;
+  req.k = r->u32();
+  req.nprobe = r->u32();
+  req.rerank = r->u32();
+  req.mode = r->u8();
+  if (req.mode > kTopKModeCandidates) throw WireError("bad topk mode");
+  req.kind = r->u8();
+  switch (req.kind) {
+    case kTopKKindId:
+      req.id = r->u64();
+      break;
+    case kTopKKindWord:
+      req.word = r->str();
+      break;
+    case kTopKKindVector: {
+      const std::uint32_t dim = r->u32();
+      if (dim > r->remaining() / sizeof(float)) {
+        throw WireError("topk vector dim exceeds payload");
+      }
+      req.vector.resize(dim);
+      r->f32s(req.vector.data(), dim);
+      break;
+    }
+    default:
+      throw WireError("bad topk query kind");
+  }
+  return req;
+}
+
+void encode_topk_result(const ann::TopKResult& result, WireWriter* w) {
+  w->reserve(result.version.size() + 18 + result.hits.size() * 16);
+  w->str(result.version);
+  w->u32(result.cells_probed);
+  w->u32(result.shortlist);
+  w->u8(result.flags);
+  w->u32(static_cast<std::uint32_t>(result.hits.size()));
+  for (const ann::TopKHit& h : result.hits) {
+    w->u64(h.id);
+    w->f32(h.exact);
+    w->f32(h.adc);
+  }
+}
+
+ann::TopKResult decode_topk_result(WireReader* r) {
+  ann::TopKResult result;
+  result.version = r->str();
+  result.cells_probed = r->u32();
+  result.shortlist = r->u32();
+  result.flags = r->u8();
+  const std::uint32_t n = r->u32();
+  // Each hit is exactly 16 bytes on the wire.
+  if (n > r->remaining() / 16) {
+    throw WireError("topk hit count exceeds payload");
+  }
+  result.hits.resize(n);
+  for (ann::TopKHit& h : result.hits) {
+    h.id = r->u64();
+    h.exact = r->f32();
+    h.adc = r->f32();
+  }
+  return result;
+}
+
 }  // namespace anchor::net

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "ann/ivf_pq.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "serve/batcher.hpp"
@@ -86,6 +87,12 @@ enum class MsgType : std::uint8_t {
   // Only honored when the daemon was started with --fault-inject (arming
   // the subsystem); otherwise answered with an Error frame.
   kFaultSet = 0x0F,
+  // Approximate top-k search against the live IVF-PQ index (answered by
+  // daemon AND router; the router fans a candidates-mode request out to
+  // every shard and merges). Added in protocol v3 as a new type pair —
+  // v3 peers that predate it answer with an Error frame, which clients
+  // surface as "TOPK unsupported" rather than a protocol failure.
+  kTopK = 0x10,
   // Responses: request type | 0x80.
   kLookupIdsReply = 0x81,
   kLookupWordsReply = 0x82,
@@ -102,6 +109,7 @@ enum class MsgType : std::uint8_t {
   kShardMapReply = 0x8D,
   kMetricsReply = 0x8E,
   kFaultSetReply = 0x8F,
+  kTopKReply = 0x90,
   // Carries a string; sent instead of the normal reply when the server
   // failed to serve the request (e.g. unknown candidate version).
   kError = 0x7F,
@@ -336,5 +344,44 @@ struct RolloutStatusReport {
 
 void encode_rollout_status(const RolloutStatusReport& s, WireWriter* w);
 RolloutStatusReport decode_rollout_status(WireReader* r);
+
+// ---- approximate top-k search (TOPK) ------------------------------------
+
+/// mode — what the server returns:
+///   kTopKModeFinal: the k best hits by (exact distance, id) — what end
+///     clients want.
+///   kTopKModeCandidates: the full ADC shortlist sorted by (adc, id), ids
+///     still local to the shard — what the cluster router requests from
+///     each shard so its merge can reconstruct the single-process
+///     selection exactly (see cluster/cluster_client.hpp).
+inline constexpr std::uint8_t kTopKModeFinal = 0;
+inline constexpr std::uint8_t kTopKModeCandidates = 1;
+
+/// kind — how the query vector is specified:
+///   kTopKKindId / kTopKKindWord resolve a live-store row through the
+///   server's batcher (coalescing with concurrent lookups) and search for
+///   its neighbors; kTopKKindVector carries a raw float vector (what the
+///   router sends shards after resolving the query itself).
+inline constexpr std::uint8_t kTopKKindId = 0;
+inline constexpr std::uint8_t kTopKKindWord = 1;
+inline constexpr std::uint8_t kTopKKindVector = 2;
+
+struct TopKRequest {
+  std::uint32_t k = 10;
+  std::uint32_t nprobe = 0;  // 0 = server-side default
+  std::uint32_t rerank = 0;  // 0 = server-side default
+  std::uint8_t mode = kTopKModeFinal;
+  std::uint8_t kind = kTopKKindId;
+  std::uint64_t id = 0;       // kTopKKindId
+  std::string word;           // kTopKKindWord
+  std::vector<float> vector;  // kTopKKindVector
+};
+
+void encode_topk_request(const TopKRequest& req, WireWriter* w);
+TopKRequest decode_topk_request(WireReader* r);
+
+/// The reply IS a serialized ann::TopKResult, same pattern as lookups.
+void encode_topk_result(const ann::TopKResult& result, WireWriter* w);
+ann::TopKResult decode_topk_result(WireReader* r);
 
 }  // namespace anchor::net

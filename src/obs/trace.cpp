@@ -67,6 +67,8 @@ const char* trace_stage_name(TraceStage stage) {
       return "batch_exec";
     case TraceStage::kDequantize:
       return "dequantize";
+    case TraceStage::kTopkSearch:
+      return "topk";
   }
   return "unknown";
 }

@@ -59,6 +59,7 @@ enum class TraceStage : std::uint8_t {
   kBatchQueue = 7,    // backend: request enqueued → its batch started
   kBatchExec = 8,     // backend: batch started → results scattered
   kDequantize = 9,    // backend: cache/dequantize pass inside the lookup
+  kTopkSearch = 10,   // backend: IVF-PQ probe+ADC+re-rank inside a TOPK
 };
 
 const char* trace_stage_name(TraceStage stage);

@@ -1,0 +1,293 @@
+// IVF-PQ index suite: recall against the exact oracle on clustered data,
+// the shard-merge determinism contract (sliced indexes sharing artifacts
+// merge bit-identically to the single-process index), knob clamping on
+// degenerate stores, and the AnnService epoch-keyed cache + top-k churn
+// gate measure.
+#include "ann/ivf_pq.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "ann/ann_service.hpp"
+#include "serve/embedding_store.hpp"
+#include "util/rng.hpp"
+
+namespace anchor::ann {
+namespace {
+
+// IVF needs cluster structure to earn its keep (on iid Gaussian rows every
+// cell is equidistant and recall degenerates to nprobe/nlist): a mixture
+// of Gaussians is the honest synthetic workload.
+embed::Embedding clustered_embedding(std::size_t vocab, std::size_t dim,
+                                     std::size_t num_clusters,
+                                     std::uint64_t seed) {
+  embed::Embedding e(vocab, dim);
+  Rng rng(seed);
+  std::vector<float> centers(num_clusters * dim);
+  for (auto& c : centers) c = static_cast<float>(rng.normal(0.0, 4.0));
+  for (std::size_t w = 0; w < vocab; ++w) {
+    const std::size_t c = w % num_clusters;
+    for (std::size_t j = 0; j < dim; ++j) {
+      e.row(w)[j] =
+          centers[c * dim + j] + static_cast<float>(rng.normal(0.0, 0.5));
+    }
+  }
+  return e;
+}
+
+serve::SnapshotPtr make_snapshot(serve::EmbeddingStore& store,
+                                 const std::string& version,
+                                 const embed::Embedding& e) {
+  serve::SnapshotConfig config;
+  config.bits = 32;  // byte-exact rows: the merge tests pin bit-identity
+  return store.add_version(version, e, config);
+}
+
+std::vector<std::uint64_t> brute_force_topk(const embed::Embedding& e,
+                                            const float* query,
+                                            std::size_t k) {
+  std::vector<std::pair<float, std::uint64_t>> all(e.vocab_size);
+  for (std::size_t w = 0; w < e.vocab_size; ++w) {
+    float d = 0.0f;
+    for (std::size_t j = 0; j < e.dim; ++j) {
+      const float t = query[j] - e.row(w)[j];
+      d += t * t;
+    }
+    all[w] = {d, w};
+  }
+  std::sort(all.begin(), all.end());
+  std::vector<std::uint64_t> ids;
+  for (std::size_t i = 0; i < std::min(k, all.size()); ++i) {
+    ids.push_back(all[i].second);
+  }
+  return ids;
+}
+
+TEST(IvfPq, RecallAt10AtLeast95PercentOnClusteredStore) {
+  const std::size_t vocab = 4096, dim = 32, k = 10;
+  const embed::Embedding e = clustered_embedding(vocab, dim, 48, 7);
+  serve::EmbeddingStore store;
+  const auto snap = make_snapshot(store, "v1", e);
+
+  AnnConfig config;
+  config.nlist_bits = 6;  // 64 cells
+  config.pq_m = 8;
+  config.pq_bits = 8;
+  const IvfPqIndex index(snap, config);
+
+  Rng rng(11);
+  const std::size_t num_queries = 100;
+  std::size_t hit = 0, total = 0;
+  for (std::size_t q = 0; q < num_queries; ++q) {
+    // A perturbed store row: near the manifold, not on it.
+    std::vector<float> query(dim);
+    const std::size_t w = rng.index(vocab);
+    for (std::size_t j = 0; j < dim; ++j) {
+      query[j] = e.row(w)[j] + static_cast<float>(rng.normal(0.0, 0.05));
+    }
+    const auto truth = brute_force_topk(e, query.data(), k);
+    const TopKResult got =
+        index.search(query.data(), k, /*nprobe=*/16, /*rerank=*/128);
+    ASSERT_EQ(got.hits.size(), k);
+    EXPECT_EQ(got.flags, 0);
+    EXPECT_EQ(got.version, "v1");
+    const std::set<std::uint64_t> truth_set(truth.begin(), truth.end());
+    for (const TopKHit& h : got.hits) hit += truth_set.count(h.id);
+    total += k;
+  }
+  const double recall = static_cast<double>(hit) / static_cast<double>(total);
+  EXPECT_GE(recall, 0.95) << "recall@10=" << recall;
+}
+
+TEST(IvfPq, ExactDistancesMatchBruteForce) {
+  const embed::Embedding e = clustered_embedding(512, 16, 8, 3);
+  serve::EmbeddingStore store;
+  const auto snap = make_snapshot(store, "v1", e);
+  AnnConfig config;
+  config.nlist_bits = 3;
+  config.pq_m = 4;
+  const IvfPqIndex index(snap, config);
+
+  // Probing every cell with a full-vocab shortlist makes the ANN search
+  // exhaustive: the top-k must equal brute force exactly.
+  std::vector<float> query(e.row(5), e.row(5) + e.dim);
+  const TopKResult got = index.search(query.data(), 10, /*nprobe=*/8,
+                                      /*rerank=*/e.vocab_size);
+  const auto truth = brute_force_topk(e, query.data(), 10);
+  ASSERT_EQ(got.hits.size(), truth.size());
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_EQ(got.hits[i].id, truth[i]) << "rank " << i;
+  }
+  EXPECT_EQ(got.hits[0].id, 5u);  // the row itself, at distance ~0
+  EXPECT_NEAR(got.hits[0].exact, 0.0f, 1e-5);
+}
+
+TEST(IvfPq, SearchIsDeterministic) {
+  const embed::Embedding e = clustered_embedding(1024, 24, 16, 9);
+  serve::EmbeddingStore store;
+  const auto snap = make_snapshot(store, "v1", e);
+  const IvfPqIndex a(snap, AnnConfig{});
+  const IvfPqIndex b(snap, AnnConfig{});
+
+  std::vector<float> query(e.row(100), e.row(100) + e.dim);
+  const TopKResult ra = a.search(query.data(), 10);
+  const TopKResult rb = b.search(query.data(), 10);
+  ASSERT_EQ(ra.hits.size(), rb.hits.size());
+  for (std::size_t i = 0; i < ra.hits.size(); ++i) {
+    EXPECT_EQ(ra.hits[i].id, rb.hits[i].id);
+    EXPECT_EQ(ra.hits[i].exact, rb.hits[i].exact);
+    EXPECT_EQ(ra.hits[i].adc, rb.hits[i].adc);
+  }
+}
+
+// The cluster contract, in-process: slice the rows into two shards, build
+// per-shard indexes with the artifacts trained on the FULL matrix, merge
+// the per-shard candidate lists the way ClusterClient does, and require
+// the result bit-identical to the single-process index over all rows.
+TEST(IvfPq, SlicedIndexesWithSharedArtifactsMergeBitIdentically) {
+  const std::size_t vocab = 2048, dim = 32, k = 10;
+  const embed::Embedding full = clustered_embedding(vocab, dim, 24, 21);
+  serve::EmbeddingStore full_store;
+  const auto full_snap = make_snapshot(full_store, "v1", full);
+
+  AnnConfig config;
+  config.nlist_bits = 5;
+  config.pq_m = 8;
+  const IvfPqIndex reference(full_snap, config);
+
+  // Shards encode with the reference's artifacts (the deployment protocol:
+  // train once, ship everywhere).
+  const std::size_t mid = vocab / 2;
+  embed::Embedding lo(mid, dim), hi(vocab - mid, dim);
+  std::copy(full.data.begin(), full.data.begin() + mid * dim,
+            lo.data.begin());
+  std::copy(full.data.begin() + mid * dim, full.data.end(), hi.data.begin());
+  serve::EmbeddingStore lo_store, hi_store;
+  AnnConfig shard_config = config;
+  shard_config.artifacts = reference.artifacts();
+  const IvfPqIndex lo_index(make_snapshot(lo_store, "v1", lo), shard_config);
+  shard_config.artifacts = reference.artifacts();
+  const IvfPqIndex hi_index(make_snapshot(hi_store, "v1", hi), shard_config);
+
+  Rng rng(33);
+  for (std::size_t q = 0; q < 50; ++q) {
+    std::vector<float> query(dim);
+    const std::size_t w = rng.index(vocab);
+    for (std::size_t j = 0; j < dim; ++j) {
+      query[j] = full.row(w)[j] + static_cast<float>(rng.normal(0.0, 0.1));
+    }
+    const std::size_t nprobe = 8, rerank = 64;
+    const TopKResult want = reference.search(query.data(), k, nprobe, rerank);
+
+    // The router merge: pool per-shard candidates under global ids, keep
+    // the `rerank` best by (adc, gid), then the k best by (exact, gid).
+    struct Cand {
+      float adc;
+      std::uint64_t gid;
+      float exact;
+    };
+    std::vector<Cand> pool;
+    const TopKResult lo_c = lo_index.candidates(query.data(), rerank, nprobe);
+    const TopKResult hi_c = hi_index.candidates(query.data(), rerank, nprobe);
+    for (const TopKHit& h : lo_c.hits) pool.push_back({h.adc, h.id, h.exact});
+    for (const TopKHit& h : hi_c.hits) {
+      pool.push_back({h.adc, h.id + mid, h.exact});
+    }
+    const std::size_t keep = std::min(rerank, pool.size());
+    std::partial_sort(pool.begin(), pool.begin() + keep, pool.end(),
+                      [](const Cand& a, const Cand& b) {
+                        return a.adc != b.adc ? a.adc < b.adc
+                                              : a.gid < b.gid;
+                      });
+    pool.resize(keep);
+    std::sort(pool.begin(), pool.end(), [](const Cand& a, const Cand& b) {
+      return a.exact != b.exact ? a.exact < b.exact : a.gid < b.gid;
+    });
+    if (pool.size() > k) pool.resize(k);
+
+    ASSERT_EQ(pool.size(), want.hits.size()) << "query " << q;
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      EXPECT_EQ(pool[i].gid, want.hits[i].id) << "query " << q << " rank "
+                                              << i;
+      EXPECT_EQ(pool[i].exact, want.hits[i].exact) << "query " << q;
+      EXPECT_EQ(pool[i].adc, want.hits[i].adc) << "query " << q;
+    }
+  }
+}
+
+TEST(IvfPq, ClampsKnobsOnTinyStores) {
+  const embed::Embedding e = clustered_embedding(6, 10, 2, 5);
+  serve::EmbeddingStore store;
+  const auto snap = make_snapshot(store, "v1", e);
+  AnnConfig config;
+  config.nlist_bits = 8;  // 256 cells >> 6 rows: must clamp
+  config.pq_m = 4;        // 10 % 4 != 0: must clamp to a divisor
+  config.pq_bits = 8;     // 256 residual centroids >> 6 rows: must clamp
+  const IvfPqIndex index(snap, config);
+  EXPECT_LE(index.nlist(), e.vocab_size);
+  EXPECT_EQ(e.dim % index.pq_m(), 0u);
+  EXPECT_LE(index.ksub(), e.vocab_size);
+
+  std::vector<float> query(e.row(0), e.row(0) + e.dim);
+  const TopKResult got = index.search(query.data(), 3);
+  ASSERT_FALSE(got.hits.empty());
+  EXPECT_EQ(got.hits[0].id, 0u);
+}
+
+TEST(AnnService, CachesIndexesByEpochAndFollowsLive) {
+  serve::EmbeddingStore store;
+  const embed::Embedding v1 = clustered_embedding(512, 16, 8, 1);
+  const embed::Embedding v2 = clustered_embedding(512, 16, 8, 2);
+  make_snapshot(store, "v1", v1);
+
+  AnnConfig config;
+  config.nlist_bits = 3;
+  AnnService service(store, config);
+  EXPECT_EQ(service.builds(), 0u);
+
+  const IvfPqIndexPtr a = service.index_for_live();
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(service.builds(), 1u);
+  EXPECT_EQ(service.index_for_live(), a);  // cache hit, same pointer
+  EXPECT_EQ(service.builds(), 1u);
+
+  make_snapshot(store, "v2", v2);
+  store.set_live("v2");
+  const IvfPqIndexPtr b = service.index_for_live();
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->version(), "v2");
+  EXPECT_EQ(service.builds(), 2u);
+
+  // Flipping live back reuses the cached v1 index: no rebuild.
+  store.set_live("v1");
+  EXPECT_EQ(service.index_for_live(), a);
+  EXPECT_EQ(service.builds(), 2u);
+}
+
+TEST(AnnService, TopKChurnZeroForIdenticalRowsPositiveForDrift) {
+  serve::EmbeddingStore store;
+  const embed::Embedding base = clustered_embedding(512, 16, 8, 4);
+  embed::Embedding drifted = base;
+  Rng rng(5);
+  for (auto& x : drifted.data) {
+    x += static_cast<float>(rng.normal(0.0, 1.0));
+  }
+  const auto a = make_snapshot(store, "a", base);
+  const auto same = make_snapshot(store, "same", base);
+  const auto b = make_snapshot(store, "b", drifted);
+
+  AnnConfig config;
+  config.nlist_bits = 3;
+  AnnService service(store, config);
+  EXPECT_EQ(service.topk_churn(a, same, 32, 10), 0.0);
+  const double churn = service.topk_churn(a, b, 32, 10);
+  EXPECT_GT(churn, 0.1);
+  EXPECT_LE(churn, 1.0);
+}
+
+}  // namespace
+}  // namespace anchor::ann

@@ -343,6 +343,146 @@ TEST(ClusterClient, QuantizedBitIdenticalWithSharedClip) {
   EXPECT_TRUE(identical(client.lookup_ids(ids), ref.lookup_ids(ids)));
 }
 
+// ---- TOPK scatter-gather ----------------------------------------------
+
+/// Two backends over row slices encoding with artifacts trained ONCE on
+/// the full matrix (the shared-codebook deployment contract), plus the
+/// single-process reference index over the concatenated rows.
+struct TopKCluster {
+  std::vector<std::unique_ptr<Backend>> backends;
+  ShardMap map;
+  serve::EmbeddingStore reference;
+  std::unique_ptr<ann::IvfPqIndex> ref_index;
+  ann::IvfPqArtifacts shared;
+
+  TopKCluster(const embed::Embedding& base,
+              const std::vector<std::size_t>& splits) {
+    ann::AnnConfig acfg;
+    shared = ann::train_ivfpq(base, acfg);
+    std::vector<ShardSpec> specs;
+    for (std::size_t s = 0; s + 1 < splits.size(); ++s) {
+      net::ServerConfig shard_cfg;
+      shard_cfg.ann.artifacts = shared;
+      backends.push_back(std::make_unique<Backend>(
+          std::vector<std::pair<std::string, embed::Embedding>>{
+              {"v1", slice(base, splits[s], splits[s + 1])}},
+          plain_snap(), shard_cfg));
+      specs.push_back(
+          {"127.0.0.1", backends.back()->port(), splits[s], splits[s + 1]});
+    }
+    map = ShardMap(1, std::move(specs));
+    const auto snap = reference.add_version("v1", base, plain_snap());
+    ann::AnnConfig ref_cfg;
+    ref_cfg.artifacts = shared;
+    ref_index = std::make_unique<ann::IvfPqIndex>(snap, ref_cfg);
+  }
+};
+
+void expect_topk_identical(const ann::TopKResult& got,
+                           const ann::TopKResult& want, int tag) {
+  ASSERT_EQ(got.hits.size(), want.hits.size()) << "query " << tag;
+  for (std::size_t i = 0; i < want.hits.size(); ++i) {
+    EXPECT_EQ(got.hits[i].id, want.hits[i].id) << "query " << tag
+                                               << " rank " << i;
+    EXPECT_EQ(got.hits[i].exact, want.hits[i].exact) << "query " << tag;
+    EXPECT_EQ(got.hits[i].adc, want.hits[i].adc) << "query " << tag;
+  }
+}
+
+TEST(Router, TopKMergeBitIdenticalToSingleProcessIndex) {
+  const embed::Embedding base = random_embedding(31, kVocab, kDim);
+  TopKCluster fx(base, {0, 450, kVocab});
+  RouterConfig rc;
+  rc.map = fx.map;
+  rc.probe_interval_ms = 0;
+  Router router(rc);
+  router.start();
+  net::Client client("127.0.0.1", router.port());
+
+  Rng rng(9);
+  for (int q = 0; q < 25; ++q) {
+    std::vector<float> query(kDim);
+    for (auto& x : query) x = static_cast<float>(rng.normal(0.0, 1.0));
+    const ann::TopKResult got = client.topk_vector(query, 10);
+    const ann::TopKResult want = fx.ref_index->search(query.data(), 10);
+    expect_topk_identical(got, want, q);
+    EXPECT_EQ(got.version, "v1") << "query " << q;
+    EXPECT_EQ(got.flags, 0) << "query " << q;
+    // cells_probed sums across shards: nprobe per shard, two shards.
+    EXPECT_EQ(got.cells_probed, 2 * ann::kDefaultNprobe) << "query " << q;
+  }
+
+  // By-id and by-word queries resolve the row through the scatter-gather
+  // lookup path first, then search — same merged answer for row 700
+  // (shard 2) whether addressed by id or synthetic word.
+  serve::LookupService ref_lookup(fx.reference);
+  const serve::LookupResult row = ref_lookup.lookup_ids({700});
+  const ann::TopKResult want =
+      fx.ref_index->search(row.vectors.data(), 10);
+  expect_topk_identical(client.topk_id(700, 10), want, 700);
+  expect_topk_identical(client.topk_word("w700", 10), want, 701);
+
+  // The router counted every merged search and none was partial.
+  const obs::MetricsReport report = client.metrics();
+  std::uint64_t total = 0, partial = 99;
+  for (const obs::MetricValue& m : report.metrics) {
+    if (m.name == "anchor_router_topk_total") total = m.counter;
+    if (m.name == "anchor_router_topk_partial_total") partial = m.counter;
+  }
+  EXPECT_EQ(total, 27u);
+  EXPECT_EQ(partial, 0u);
+  router.stop();
+}
+
+TEST(Router, TopKDegradedShardYieldsPartialMergedResult) {
+  const embed::Embedding base = random_embedding(37, kVocab, kDim);
+  TopKCluster fx(base, {0, 450, kVocab});
+  RouterConfig rc;
+  rc.map = fx.map;
+  rc.probe_interval_ms = 0;
+  rc.backend_io_timeout_ms = 500;
+  Router router(rc);
+  router.start();
+  net::Client client("127.0.0.1", router.port());
+
+  std::vector<float> query(kDim);
+  Rng rng(4);
+  for (auto& x : query) x = static_cast<float>(rng.normal(0.0, 1.0));
+  EXPECT_EQ(client.topk_vector(query, 10).flags, 0);
+
+  // Kill shard 2: merged searches must keep answering from shard 1,
+  // flagged partial, every hit id inside the surviving row range.
+  fx.backends[1]->server->stop();
+  ann::TopKResult partial;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    partial = client.topk_vector(query, 10);
+    if (partial.flags & ann::kTopKFlagPartial) break;
+  }
+  EXPECT_TRUE(partial.flags & ann::kTopKFlagPartial);
+  ASSERT_FALSE(partial.hits.empty());
+  for (const ann::TopKHit& h : partial.hits) {
+    EXPECT_LT(h.id, 450u) << "hit from the dead shard's row range";
+  }
+  // And the partial answer is exactly the surviving shard's contribution:
+  // bit-identical to a single-process index over rows [0, 450) built with
+  // the same shared artifacts (shard 1's row_begin is 0, so global ids
+  // equal local ids).
+  serve::EmbeddingStore lo_store;
+  ann::AnnConfig lo_cfg;
+  lo_cfg.artifacts = fx.shared;
+  const ann::IvfPqIndex lo_index(
+      lo_store.add_version("v1", slice(base, 0, 450), plain_snap()), lo_cfg);
+  expect_topk_identical(partial, lo_index.search(query.data(), 10), -1);
+
+  const obs::MetricsReport report = client.metrics();
+  for (const obs::MetricValue& m : report.metrics) {
+    if (m.name == "anchor_router_topk_partial_total") {
+      EXPECT_GE(m.counter, 1u);
+    }
+  }
+  router.stop();
+}
+
 // ---- failure modes -----------------------------------------------------
 
 TEST(ClusterClient, BackendKillYieldsDegradedPartialResultThenRecovery) {

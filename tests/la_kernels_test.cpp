@@ -229,6 +229,49 @@ TEST(Kernels, ParallelSemanticDisplacementIsBitForBitDeterministic) {
   util::set_global_pool_threads(0);
 }
 
+TEST(Kernels, AdcScanIsBitExactWithScalar) {
+  // The IVF-PQ merge contract leans on adc_scan being bit-exact between
+  // the AVX2 gather path and the scalar reference: shards and the single-
+  // process oracle must produce identical ADC distances. Sweep counts, m,
+  // and ksub across SIMD boundaries (odd counts exercise the scalar tail,
+  // ksub 3 a non-power-of-two LUT stride).
+  Rng rng(41);
+  for (const std::size_t count : {1u, 2u, 7u, 8u, 9u, 16u, 31u, 100u}) {
+    for (const std::size_t m : {1u, 2u, 3u, 8u, 13u}) {
+      for (const std::size_t ksub : {2u, 3u, 16u, 256u}) {
+        std::vector<std::uint8_t> codes(count * m);
+        for (auto& c : codes) {
+          c = static_cast<std::uint8_t>(rng.index(ksub));
+        }
+        std::vector<float> lut(m * ksub);
+        for (auto& v : lut) v = static_cast<float>(rng.normal(0.0, 1.0));
+        std::vector<float> simd(count, -1.0f), ref(count, -2.0f);
+        k::adc_scan(codes.data(), count, m, ksub, lut.data(), simd.data());
+        k::scalar::adc_scan(codes.data(), count, m, ksub, lut.data(),
+                            ref.data());
+        for (std::size_t i = 0; i < count; ++i) {
+          EXPECT_EQ(simd[i], ref[i])
+              << "count=" << count << " m=" << m << " ksub=" << ksub
+              << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(Kernels, L2SqF32MatchesScalar) {
+  // Reduction: FMA reassociation allowed, so tolerance not bit-equality.
+  Rng rng(43);
+  for (const std::size_t n : kSizes) {
+    std::vector<float> a(n), b(n);
+    for (auto& x : a) x = static_cast<float>(rng.normal(0.0, 1.0));
+    for (auto& x : b) x = static_cast<float>(rng.normal(0.0, 1.0));
+    const float simd = k::l2_sq_f32(a.data(), b.data(), n);
+    const float ref = k::scalar::l2_sq_f32(a.data(), b.data(), n);
+    EXPECT_NEAR(simd, ref, 1e-5 * (1.0 + std::abs(ref))) << "n=" << n;
+  }
+}
+
 TEST(Kernels, PrenormalizedKnnEqualsPlainKnn) {
   const la::Matrix x = random_matrix(60, 12, 15);
   const la::Matrix xt = random_matrix(60, 12, 16);

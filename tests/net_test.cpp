@@ -333,6 +333,96 @@ TEST(Wire, MetricsReportRoundTrip) {
   EXPECT_THROW(decode_metrics_report(&bad_reader), WireError);
 }
 
+TEST(Wire, TopKRequestAndResultRoundTrip) {
+  for (const std::uint8_t kind :
+       {kTopKKindId, kTopKKindWord, kTopKKindVector}) {
+    TopKRequest req;
+    req.k = 7;
+    req.nprobe = 12;
+    req.rerank = 96;
+    req.mode = kTopKModeCandidates;
+    req.kind = kind;
+    req.id = 123456789ull;
+    req.word = "w42";
+    req.vector = {1.5f, -2.25f, 0.0f};
+    WireWriter w;
+    encode_topk_request(req, &w);
+    WireReader r(w.buffer());
+    const TopKRequest back = decode_topk_request(&r);
+    r.expect_done();
+    EXPECT_EQ(back.k, req.k);
+    EXPECT_EQ(back.nprobe, req.nprobe);
+    EXPECT_EQ(back.rerank, req.rerank);
+    EXPECT_EQ(back.mode, req.mode);
+    EXPECT_EQ(back.kind, kind);
+    if (kind == kTopKKindId) EXPECT_EQ(back.id, req.id);
+    if (kind == kTopKKindWord) EXPECT_EQ(back.word, req.word);
+    if (kind == kTopKKindVector) EXPECT_EQ(back.vector, req.vector);
+  }
+
+  ann::TopKResult result;
+  result.version = "v7";
+  result.cells_probed = 16;
+  result.shortlist = 64;
+  result.flags = ann::kTopKFlagPartial;
+  result.hits = {{11, 0.5f, 0.625f}, {900, 1.75f, 1.5f}};
+  WireWriter w;
+  encode_topk_result(result, &w);
+  WireReader r(w.buffer());
+  const ann::TopKResult back = decode_topk_result(&r);
+  r.expect_done();
+  EXPECT_EQ(back.version, "v7");
+  EXPECT_EQ(back.cells_probed, 16u);
+  EXPECT_EQ(back.shortlist, 64u);
+  EXPECT_EQ(back.flags, ann::kTopKFlagPartial);
+  ASSERT_EQ(back.hits.size(), 2u);
+  EXPECT_EQ(back.hits[0].id, 11u);
+  EXPECT_EQ(back.hits[0].exact, 0.5f);
+  EXPECT_EQ(back.hits[0].adc, 0.625f);
+  EXPECT_EQ(back.hits[1].id, 900u);
+
+  // Guarded decodes: a bad mode/kind byte and an overrun hit count throw
+  // instead of allocating or reading past the payload.
+  {
+    TopKRequest bad;
+    bad.mode = 9;
+    WireWriter bw;
+    encode_topk_request(bad, &bw);
+    WireReader br(bw.buffer());
+    EXPECT_THROW(decode_topk_request(&br), WireError);
+  }
+  {
+    // The encoder refuses an unknown kind outright; hand-craft the bytes
+    // to prove the decoder guards too.
+    TopKRequest bad;
+    EXPECT_THROW(
+        {
+          WireWriter bw;
+          bad.kind = 7;
+          encode_topk_request(bad, &bw);
+        },
+        WireError);
+    WireWriter bw;
+    bw.u32(10);
+    bw.u32(0);
+    bw.u32(0);
+    bw.u8(kTopKModeFinal);
+    bw.u8(7);  // no such kind
+    WireReader br(bw.buffer());
+    EXPECT_THROW(decode_topk_request(&br), WireError);
+  }
+  {
+    WireWriter bw;
+    bw.str("v");
+    bw.u32(1);
+    bw.u32(1);
+    bw.u8(0);
+    bw.u32(1000000);  // claims a million hits, carries none
+    WireReader br(bw.buffer());
+    EXPECT_THROW(decode_topk_result(&br), WireError);
+  }
+}
+
 TEST(Wire, TraceExtensionRoundTripsOverLoopback) {
   TcpListener listener = TcpListener::bind_loopback(0);
   TcpStream sender = TcpStream::connect("127.0.0.1", listener.port());
@@ -456,6 +546,8 @@ TEST(WireFuzz, RandomPayloadsNeverCrashTheDecoders) {
   fuzz_decoder([](WireReader* r) { return decode_server_stats(r); }, 93);
   fuzz_decoder([](WireReader* r) { return decode_canary_status(r); }, 94);
   fuzz_decoder([](WireReader* r) { return decode_rollout_status(r); }, 95);
+  fuzz_decoder([](WireReader* r) { return decode_topk_request(r); }, 96);
+  fuzz_decoder([](WireReader* r) { return decode_topk_result(r); }, 97);
 }
 
 TEST(WireFuzz, TruncatedAndBitFlippedLookupResultsDecodeOrThrowCleanly) {
@@ -625,6 +717,92 @@ TEST_F(RpcTest, MetricsRpcExposesTheServerRegistry) {
   // The same report renders to Prometheus text without falling over.
   const std::string text = obs::to_prometheus(report);
   EXPECT_NE(text.find("anchor_lookup_requests_total 3"), std::string::npos);
+}
+
+TEST_F(RpcTest, TopKOverLoopbackMatchesInProcessIndex) {
+  Client client("127.0.0.1", server_->port());
+
+  // In-process oracle: the same snapshot and the same default AnnConfig
+  // build bit-identically to the server's lazily-built index.
+  const ann::IvfPqIndex oracle(store_.live(), ServerConfig{}.ann);
+  const serve::LookupService direct(store_);
+  const serve::LookupResult row = direct.lookup_ids({5});
+  ASSERT_EQ(row.oov[0], 0);
+  const ann::TopKResult want = oracle.search(row.vectors.data(), 10);
+
+  const ann::TopKResult by_id = client.topk_id(5, 10);
+  ASSERT_EQ(by_id.hits.size(), want.hits.size());
+  EXPECT_EQ(by_id.version, store_.live_version());
+  for (std::size_t i = 0; i < want.hits.size(); ++i) {
+    EXPECT_EQ(by_id.hits[i].id, want.hits[i].id) << "rank " << i;
+    EXPECT_EQ(by_id.hits[i].exact, want.hits[i].exact);
+    EXPECT_EQ(by_id.hits[i].adc, want.hits[i].adc);
+  }
+  // The demo store maps word "w5" to row 5: same query, same answer.
+  const ann::TopKResult by_word = client.topk_word("w5", 10);
+  ASSERT_EQ(by_word.hits.size(), want.hits.size());
+  EXPECT_EQ(by_word.hits[0].id, want.hits[0].id);
+
+  // Raw-vector kind, and candidates mode through the raw request form.
+  const std::vector<float> query(row.vectors.begin(), row.vectors.end());
+  const ann::TopKResult by_vec = client.topk_vector(query, 10);
+  EXPECT_EQ(by_vec.hits[0].id, want.hits[0].id);
+  TopKRequest creq;
+  creq.kind = kTopKKindVector;
+  creq.mode = kTopKModeCandidates;
+  creq.vector = query;
+  creq.nprobe = 4;
+  creq.rerank = 32;
+  const ann::TopKResult cands = client.topk(creq);
+  EXPECT_EQ(cands.shortlist, cands.hits.size());
+  ASSERT_FALSE(cands.hits.empty());
+  for (std::size_t i = 1; i < cands.hits.size(); ++i) {
+    EXPECT_LE(cands.hits[i - 1].adc, cands.hits[i].adc);  // (adc, id) order
+  }
+
+  // A wrong-dimension raw vector answers an error frame, not a hangup.
+  EXPECT_THROW(client.topk_vector({1.0f, 2.0f}, 5), RpcError);
+  client.ping();  // connection still usable
+
+  // Observability: the request counter counted the four successful
+  // searches and the TOPK histograms recorded them.
+  const obs::MetricsReport report = client.metrics();
+  const auto find = [&](const std::string& name) -> const obs::MetricValue* {
+    for (const obs::MetricValue& m : report.metrics) {
+      if (m.name == name) return &m;
+    }
+    return nullptr;
+  };
+  const obs::MetricValue* total = find("anchor_topk_requests_total");
+  ASSERT_NE(total, nullptr);
+  EXPECT_EQ(total->counter, 4u);
+  const obs::MetricValue* cells = find("anchor_topk_cells_probed");
+  ASSERT_NE(cells, nullptr);
+  EXPECT_EQ(cells->kind, obs::MetricKind::kHistogram);
+  EXPECT_EQ(cells->hist.count, 4u);
+}
+
+TEST_F(RpcTest, SampledTopKRecordsTheTopkTraceStage) {
+  obs::Tracer::instance().clear();
+  Client client("127.0.0.1", server_->port());
+  const obs::TraceContext pinned = obs::TraceContext::start();
+  client.set_next_trace(pinned);
+  client.topk_id(3, 5);
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  bool has_topk = false;
+  while (!has_topk && std::chrono::steady_clock::now() < deadline) {
+    const auto spans = obs::Tracer::instance().spans_for(pinned.trace_id);
+    has_topk =
+        std::any_of(spans.begin(), spans.end(), [](const obs::SpanRecord& s) {
+          return s.stage == obs::TraceStage::kTopkSearch;
+        });
+    if (!has_topk) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_TRUE(has_topk) << "no topk span recorded for the pinned trace";
+  EXPECT_EQ(obs::trace_stage_name(obs::TraceStage::kTopkSearch),
+            std::string("topk"));
 }
 
 TEST_F(RpcTest, SampledLookupTracesEveryBackendStage) {

@@ -362,6 +362,52 @@ int cmd_metrics(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_topk(const std::vector<std::string>& args) {
+  ArgParser parser(
+      "anchor-cli topk",
+      "Approximate nearest-neighbor search over the TOPK RPC: query a "
+      "running anchor_served (single-shard) or anchor_router (scatter-"
+      "gather merged) by row id or word, and print the neighbors with "
+      "exact and ADC-approximate distances.");
+  parser.add_option("connect", "daemon address host:port", "",
+                    /*required=*/true)
+      .add_option("id", "query row id (mutually exclusive with --word)")
+      .add_option("word", "query word (mutually exclusive with --id)")
+      .add_option("k", "neighbors to return", "10")
+      .add_option("nprobe", "coarse cells probed (0 = server default)", "0")
+      .add_option("rerank", "exact-rerank shortlist (0 = server default)",
+                  "0")
+      .add_option("rpc-timeout-ms",
+                  "per-recv/send deadline on the connection (0 = none)",
+                  "5000");
+  if (!parser.parse(args)) return fail_usage(parser);
+  ANCHOR_CHECK_MSG(parser.has("id") != parser.has("word"),
+                   "pass exactly one of --id or --word");
+
+  anchor::net::Client client = connect_client(parser);
+  const auto k = static_cast<std::size_t>(parser.get_int("k"));
+  const auto nprobe = static_cast<std::size_t>(parser.get_int("nprobe"));
+  const auto rerank = static_cast<std::size_t>(parser.get_int("rerank"));
+  const anchor::ann::TopKResult result =
+      parser.has("id")
+          ? client.topk_id(static_cast<std::uint64_t>(parser.get_int("id")),
+                           k, nprobe, rerank)
+          : client.topk_word(parser.get("word"), k, nprobe, rerank);
+
+  std::cout << "version " << result.version << ", cells_probed "
+            << result.cells_probed << ", shortlist " << result.shortlist;
+  if (result.flags & anchor::ann::kTopKFlagPartial) {
+    std::cout << " [PARTIAL: some shards degraded]";
+  }
+  std::cout << "\nrank, id, exact_l2sq, adc_l2sq\n";
+  for (std::size_t i = 0; i < result.hits.size(); ++i) {
+    const anchor::ann::TopKHit& hit = result.hits[i];
+    std::cout << i + 1 << ", " << hit.id << ", " << hit.exact << ", "
+              << hit.adc << "\n";
+  }
+  return 0;
+}
+
 int cmd_fault_set(const std::vector<std::string>& args) {
   ArgParser parser(
       "anchor-cli fault-set",
@@ -392,7 +438,7 @@ int main(int argc, char** argv) {
   const std::string usage =
       "usage: anchor-cli "
       "<train|align|quantize|measure|stability|export|analyze|metrics|"
-      "fault-set> [args]\n"
+      "topk|fault-set> [args]\n"
       "       anchor-cli <subcommand> --help for details\n";
   if (argc < 2) {
     std::cerr << usage;
@@ -411,6 +457,7 @@ int main(int argc, char** argv) {
     if (cmd == "export") return cmd_export(rest);
     if (cmd == "analyze") return cmd_analyze(rest);
     if (cmd == "metrics") return cmd_metrics(rest);
+    if (cmd == "topk") return cmd_topk(rest);
     if (cmd == "fault-set") return cmd_fault_set(rest);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

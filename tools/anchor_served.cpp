@@ -152,6 +152,26 @@ int main(int argc, char** argv) {
                     "FAULT_SET");
   parser.add_option("fault-seed",
                     "fault-injection RNG seed (replayable chaos runs)", "0");
+  parser.add_flag("ann-off",
+                  "disable the IVF-PQ index and the TOPK RPC entirely");
+  parser.add_option("ann-nlist-bits",
+                    "TOPK: log2 of the coarse cell count (clamped to the "
+                    "store)", "6");
+  parser.add_option("ann-m",
+                    "TOPK: PQ sub-quantizers per vector (clamped to a "
+                    "divisor of dim)", "8");
+  parser.add_option("ann-bits", "TOPK: bits per PQ code (1-8)", "8");
+  parser.add_option("ann-nprobe",
+                    "TOPK: default coarse cells probed per query", "8");
+  parser.add_option("ann-rerank",
+                    "TOPK: default exact-rerank shortlist size", "64");
+  parser.add_option("ann-seed", "TOPK: index-training RNG seed", "42");
+  parser.add_option("topk-churn-reject",
+                    "gate: reject a promote when mean top-k churn between "
+                    "the live and candidate indexes exceeds this "
+                    "(0 disables the churn gate)", "0");
+  parser.add_option("topk-churn-queries",
+                    "gate: probe rows sampled for the churn measure", "64");
 
   if (!parser.parse(argc, argv)) {
     if (parser.help_requested()) {
@@ -221,6 +241,20 @@ int main(int argc, char** argv) {
       config.faults = net::FaultConfig::parse(parser.get("fault-inject"));
       const std::int64_t seed = parser.get_int("fault-seed");
       if (seed != 0) config.fault_seed = static_cast<std::uint64_t>(seed);
+    }
+    config.ann_enable = !parser.get_flag("ann-off");
+    config.ann.nlist_bits =
+        static_cast<std::size_t>(parser.get_int("ann-nlist-bits"));
+    config.ann.pq_m = static_cast<std::size_t>(parser.get_int("ann-m"));
+    config.ann.pq_bits = static_cast<std::size_t>(parser.get_int("ann-bits"));
+    config.ann.nprobe = static_cast<std::size_t>(parser.get_int("ann-nprobe"));
+    config.ann.rerank = static_cast<std::size_t>(parser.get_int("ann-rerank"));
+    config.ann.seed = static_cast<std::uint64_t>(parser.get_int("ann-seed"));
+    config.topk_churn_reject = parser.get_double("topk-churn-reject");
+    config.topk_churn_queries =
+        static_cast<std::size_t>(parser.get_int("topk-churn-queries"));
+    if (config.topk_churn_reject < 0.0 || config.topk_churn_reject > 1.0) {
+      throw std::runtime_error("--topk-churn-reject must be in [0, 1]");
     }
     if (config.canary.rollback_agreement > config.canary.promote_agreement ||
         config.canary.promote_agreement > 1.0 ||

@@ -47,6 +47,7 @@
 // the number to watch on multicore is how far the overhead falls once
 // shard execution is genuinely concurrent (the design's whole point).
 // Run: ./build/bench/bench_serve_throughput [--json path] [--smoke]
+#include <algorithm>
 #include <atomic>
 #include <deque>
 #include <future>
@@ -57,6 +58,7 @@
 
 #include "bench/bench_json.hpp"
 #include "cluster/cluster_client.hpp"
+#include "compress/pq.hpp"
 #include "la/kernels.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
@@ -204,9 +206,28 @@ int main(int argc, char** argv) {
   store.add_version("fp32", source, fp32);
   store.add_version("int8", source, q8);
 
+  // PQ version: train codebooks on a 4096-row subsample (the offline step
+  // of the shared-codebook deployment contract), then encode the full
+  // vocabulary against them — Lloyd over all 50k rows would dominate bench
+  // startup without changing what the cells measure.
+  serve::SnapshotConfig pq = fp32;
+  pq.pq_m = 4;
+  pq.pq_bits = 8;
+  {
+    embed::Embedding sample(4096, kDim);
+    std::copy_n(source.data.begin(), sample.data.size(),
+                sample.data.begin());
+    compress::PqConfig pc;
+    pc.num_subvectors = pq.pq_m;
+    pc.bits = pq.pq_bits;
+    pq.pq_codebooks_override = compress::pq_quantize(sample, pc).codebooks;
+  }
+  store.add_version("pq4x8", source, pq);
+
   std::cout << "resident bytes: fp32="
             << store.snapshot("fp32")->memory_bytes() << " int8="
-            << store.snapshot("int8")->memory_bytes() << "\n\n";
+            << store.snapshot("int8")->memory_bytes() << " pq4x8="
+            << store.snapshot("pq4x8")->memory_bytes() << "\n\n";
 
   TextTable table({"config", "threads", "Mqps", "p50 us", "p99 us",
                    "cache hit"});
@@ -227,6 +248,17 @@ int main(int argc, char** argv) {
     {
       serve::LookupService service(store, {.cache_rows_per_shard = 1024});
       add_row(table, cells, "int8 cached", run_cell(service, threads),
+              threads);
+    }
+    store.set_live("pq4x8");
+    {
+      serve::LookupService service(store, {.cache_rows_per_shard = 0});
+      add_row(table, cells, "pq4x8 nocache", run_cell(service, threads),
+              threads);
+    }
+    {
+      serve::LookupService service(store, {.cache_rows_per_shard = 1024});
+      add_row(table, cells, "pq4x8 cached", run_cell(service, threads),
               threads);
     }
   }
@@ -269,12 +301,15 @@ int main(int argc, char** argv) {
   // native batch QPS, both int8/nocache, at the highest common thread
   // count (p50 here is client-observed latency including queue wait, so
   // it is expected to sit near max_wait_us under light load).
-  double native_ref = 0.0, async_ref = 0.0;
+  double native_ref = 0.0, async_ref = 0.0, pq_ref = 0.0;
   int ref_threads = 0;
   for (const BenchCell& c : cells) {
     if (c.config == "int8 nocache" && c.threads >= 8) {
       native_ref = c.stats.qps;
       ref_threads = c.threads;
+    }
+    if (c.config == "pq4x8 nocache" && c.threads >= 8) {
+      pq_ref = c.stats.qps;
     }
     if (c.config == "int8 async1key" && c.threads == 8) {
       async_ref = c.stats.qps;
@@ -554,6 +589,21 @@ int main(int argc, char** argv) {
     json.end_object();
   }
   json.end_array();
+  // The PQ memory/throughput trade at a glance: bytes per stored row for
+  // each encoding (codebook amortized across the vocabulary) and the
+  // decode cost as a QPS ratio against int8 on the same traffic.
+  json.key("pq").begin_object();
+  json.kv("encoding", store.snapshot("pq4x8")->encoding());
+  json.kv("row_bytes_fp32", kDim * sizeof(float));
+  json.kv("row_bytes_int8", kDim);
+  json.kv("row_bytes_pq", pq.pq_m);
+  json.kv("fp32_memory_bytes", store.snapshot("fp32")->memory_bytes());
+  json.kv("int8_memory_bytes", store.snapshot("int8")->memory_bytes());
+  json.kv("pq_memory_bytes", store.snapshot("pq4x8")->memory_bytes());
+  json.kv("pq_nocache_qps", pq_ref);
+  json.kv("qps_vs_int8_nocache",
+          native_ref > 0.0 ? pq_ref / native_ref : 0.0);
+  json.end_object();
   json.key("async_vs_native").begin_object();
   json.kv("threads", ref_threads);
   json.kv("native_batch_qps", native_ref);

@@ -107,6 +107,7 @@ bool run_client(const std::string& host, std::uint16_t port,
   const auto stats = client.stats();
   std::cout << "\nnow serving from '" << after.version << "'\n"
             << "server stats: live=" << stats.live_version
+            << " encoding=" << stats.encoding
             << "\n  service: " << stats.service.summary()
             << "\n  batcher: " << stats.batcher.summary() << "\n";
 

@@ -63,6 +63,21 @@ embed::Embedding snapshot_rows(const serve::EmbeddingSnapshot& snap) {
   return rows;
 }
 
+/// Do these artifacts describe exactly the encoding a PQ snapshot already
+/// stores? Requires the trivial coarse stage (one all-zero cell, so the
+/// residual IS the row) and bitwise-equal codebooks. Float equality is the
+/// right comparison: matching artifacts come from the same training run,
+/// so anything but equality means a different encoding.
+bool artifacts_match_snapshot(const IvfPqArtifacts& art,
+                              const serve::EmbeddingSnapshot& snap) {
+  if (!snap.is_pq()) return false;
+  if (art.nlist() != 1 || art.dim != snap.dim()) return false;
+  for (const float c : art.coarse) {
+    if (c != 0.0f) return false;
+  }
+  return art.codebooks == snap.pq_codebook_vectors();
+}
+
 }  // namespace
 
 IvfPqArtifacts train_ivfpq(const embed::Embedding& rows,
@@ -111,6 +126,16 @@ IvfPqArtifacts train_ivfpq(const embed::Embedding& rows,
   return art;
 }
 
+IvfPqArtifacts snapshot_artifacts(const serve::EmbeddingSnapshot& snap) {
+  ANCHOR_CHECK_MSG(snap.is_pq(),
+                   "snapshot_artifacts requires a pq-mode snapshot");
+  IvfPqArtifacts art;
+  art.dim = snap.dim();
+  art.coarse.assign(snap.dim(), 0.0f);  // one zero cell: residual == row
+  art.codebooks = snap.pq_codebook_vectors();
+  return art;
+}
+
 IvfPqIndex::IvfPqIndex(serve::SnapshotPtr snap, const AnnConfig& config)
     : snap_(std::move(snap)) {
   ANCHOR_CHECK(snap_ != nullptr);
@@ -121,15 +146,19 @@ IvfPqIndex::IvfPqIndex(serve::SnapshotPtr snap, const AnnConfig& config)
 }
 
 void IvfPqIndex::build(const AnnConfig& config) {
-  const embed::Embedding rows = snapshot_rows(*snap_);
   config_ = clamp_config(config, n_, dim_);
 
   if (!config.artifacts.empty()) {
     ANCHOR_CHECK_EQ(config.artifacts.dim, dim_);
     ANCHOR_CHECK(!config.artifacts.codebooks.empty());
     artifacts_ = config.artifacts;
+  } else if (snap_->is_pq()) {
+    // The store already paid for a PQ encoding of every row — mirror it
+    // instead of training a second one, so index and snapshot share one
+    // set of codes/codebooks (and the build below skips re-encoding).
+    artifacts_ = snapshot_artifacts(*snap_);
   } else {
-    artifacts_ = train_ivfpq(rows, config_);
+    artifacts_ = train_ivfpq(snapshot_rows(*snap_), config_);
   }
   config_.artifacts = IvfPqArtifacts{};  // knobs only; artifacts_ is canonical
 
@@ -143,9 +172,29 @@ void IvfPqIndex::build(const AnnConfig& config) {
   ANCHOR_CHECK_GT(ksub_, std::size_t{0});
   ANCHOR_CHECK_LE(ksub_, std::size_t{256});  // codes_ stores bytes
 
+  reused_snapshot_codes_ = artifacts_match_snapshot(artifacts_, *snap_);
+  if (reused_snapshot_codes_) {
+    // The snapshot's stored codes ARE this index's codes: one cell holding
+    // every row, ids ascending, codes transposed into the column-major
+    // block adc_scan consumes. Still a pure function of (row bytes,
+    // artifacts), so shards whose snapshots encode with SHARED codebooks
+    // merge bit-identically to a single-process index — the same contract
+    // as the trained-artifacts path, minus the O(n·ksub·dim) re-encode.
+    cell_start_ = {0, static_cast<std::uint32_t>(n_)};
+    cell_ids_.resize(n_);
+    std::iota(cell_ids_.begin(), cell_ids_.end(), std::uint32_t{0});
+    codes_.resize(n_ * m_);
+    for (std::size_t w = 0; w < n_; ++w) {
+      const std::uint8_t* row = snap_->pq_row_codes(w);
+      for (std::size_t s = 0; s < m_; ++s) codes_[s * n_ + w] = row[s];
+    }
+    return;
+  }
+
   // Encode every row: cell assignment + residual PQ codes. Encoding is a
   // pure scalar function of (row bytes, artifacts_), the shard-determinism
   // contract from the header.
+  const embed::Embedding rows = snapshot_rows(*snap_);
   std::vector<std::uint32_t> cell_of(n_);
   std::vector<std::uint8_t> row_codes(n_ * m_);  // row-major staging
   std::vector<float> residual(dim_);

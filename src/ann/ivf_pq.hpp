@@ -103,12 +103,21 @@ struct TopKResult {
 IvfPqArtifacts train_ivfpq(const embed::Embedding& rows,
                            const AnnConfig& config);
 
+/// Artifacts mirroring a PQ-mode snapshot's own encoding: one all-zero
+/// coarse cell (residual ≡ row) plus the snapshot's codebooks. An index
+/// built with these artifacts over that snapshot reuses the stored codes
+/// verbatim — the store and the index share one encoding, no re-encode,
+/// no training pass. Requires snap.is_pq().
+IvfPqArtifacts snapshot_artifacts(const serve::EmbeddingSnapshot& snap);
+
 class IvfPqIndex {
  public:
   /// Builds the index over every row of `snap` (dequantized through the
   /// same path lookups serve, so quantized deployments sharing a clip
   /// threshold stay byte-deterministic across shards). Trains artifacts
-  /// on the snapshot's own rows unless config.artifacts is set.
+  /// on the snapshot's own rows unless config.artifacts is set — except
+  /// for PQ-mode snapshots, which default to snapshot_artifacts() so the
+  /// index reuses the store's codes/codebooks instead of re-encoding.
   IvfPqIndex(serve::SnapshotPtr snap, const AnnConfig& config);
 
   const std::string& version() const { return snap_->version(); }
@@ -122,6 +131,10 @@ class IvfPqIndex {
   /// The artifacts this index encodes with (trained or shared) — what a
   /// deployment extracts from its reference index to hand to shards.
   const IvfPqArtifacts& artifacts() const { return artifacts_; }
+  /// True when the build copied the snapshot's stored PQ codes instead of
+  /// re-encoding every row: the snapshot is PQ-mode and the artifacts
+  /// (explicit or defaulted) match its encoding exactly.
+  bool reused_snapshot_codes() const { return reused_snapshot_codes_; }
 
   /// The candidate stage: the `rerank` rows with the smallest ADC distance
   /// among the nprobe probed cells, each scored exactly as well, sorted by
@@ -145,6 +158,7 @@ class IvfPqIndex {
   std::size_t m_ = 0;        // PQ sub-quantizers (divides dim_)
   std::size_t sub_dim_ = 0;  // dim_ / m_
   std::size_t ksub_ = 0;     // 2^pq_bits residual centroids per sub-quantizer
+  bool reused_snapshot_codes_ = false;
   IvfPqArtifacts artifacts_;
   /// Inverted lists: rows grouped by cell, ids ascending within each cell.
   std::vector<std::uint32_t> cell_start_;  // nlist_+1 prefix offsets

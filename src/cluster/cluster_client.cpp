@@ -992,6 +992,7 @@ ClusterStatsReport ClusterClient::stats() {
   ClusterStatsReport report;
   const std::size_t n_shards = config_.map.num_shards();
   report.shard_versions.assign(n_shards, "");
+  report.shard_encodings.assign(n_shards, "");
   const auto fold = [](serve::StatsSnapshot* acc,
                        const serve::StatsSnapshot& x) {
     acc->lookups += x.lookups;
@@ -1032,6 +1033,7 @@ ClusterStatsReport ClusterClient::stats() {
           answered = true;
           ++report.shards_answering;
           report.shard_versions[b] = one.live_version;
+          report.shard_encodings[b] = one.encoding;
         }
         fold(&report.aggregate.service, one.service);
         fold(&report.aggregate.batcher, one.batcher);
@@ -1049,6 +1051,17 @@ ClusterStatsReport ClusterClient::stats() {
       report.aggregate.live_version = v;
     } else if (report.aggregate.live_version != v) {
       report.aggregate.live_version = "mixed";
+      break;
+    }
+  }
+  // Same contract for the row encoding: unanimous (the deployment norm —
+  // shared clip/codebooks imply one encoding) or "mixed" mid-migration.
+  for (const std::string& e : report.shard_encodings) {
+    if (e.empty()) continue;
+    if (report.aggregate.encoding.empty()) {
+      report.aggregate.encoding = e;
+    } else if (report.aggregate.encoding != e) {
+      report.aggregate.encoding = "mixed";
       break;
     }
   }

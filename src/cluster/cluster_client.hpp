@@ -187,6 +187,9 @@ struct ClusterStatsReport {
   net::ServerStatsReport aggregate;  // counters summed, histograms merged
   /// live_version per shard ("" when no replica of the shard answered).
   std::vector<std::string> shard_versions;
+  /// Row encoding per shard (same answering-replica convention); the
+  /// aggregate reports the unanimous value or "mixed".
+  std::vector<std::string> shard_encodings;
   std::size_t shards_answering = 0;
 };
 

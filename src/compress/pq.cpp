@@ -113,7 +113,11 @@ PqResult pq_quantize(const embed::Embedding& input, const PqConfig& config) {
   ANCHOR_CHECK_GT(n, 0u);
   // More centroids than points would silently shrink the codebook and break
   // the shared-codebook protocol between a pair; reject loudly instead.
-  ANCHOR_CHECK_MSG(k <= n, "2^bits centroids exceed the vocabulary size");
+  // With an override the codebook is fixed, not trained, so a slice smaller
+  // than k (e.g. one shard of a sharded store encoding with shared
+  // codebooks) is fine.
+  ANCHOR_CHECK_MSG(k <= n || !config.codebooks_override.empty(),
+                   "2^bits centroids exceed the vocabulary size");
 
   PqResult result;
   result.code_bits = config.bits;

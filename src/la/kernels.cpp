@@ -98,6 +98,23 @@ void adc_scan(const std::uint8_t* codes, std::size_t count, std::size_t m,
   }
 }
 
+void pq_decode_rows(const std::uint8_t* codes, std::size_t num_rows,
+                    std::size_t m, std::size_t sub_dim, std::size_t ksub,
+                    const float* codebooks, float* out) {
+  const std::size_t dim = m * sub_dim;
+  for (std::size_t r = 0; r < num_rows; ++r) {
+    const std::uint8_t* row_codes = codes + r * m;
+    float* dst = out + r * dim;
+    for (std::size_t s = 0; s < m; ++s) {
+      const float* centroid =
+          codebooks + (s * ksub + row_codes[s]) * sub_dim;
+      for (std::size_t j = 0; j < sub_dim; ++j) {
+        dst[s * sub_dim + j] = centroid[j];
+      }
+    }
+  }
+}
+
 float l2_sq_f32(const float* a, const float* b, std::size_t n) {
   float acc = 0.0f;
   for (std::size_t i = 0; i < n; ++i) {
@@ -422,6 +439,33 @@ __attribute__((target("avx2,fma"))) void adc_scan(
   }
 }
 
+__attribute__((target("avx2,fma"))) void pq_decode_rows(
+    const std::uint8_t* codes, std::size_t num_rows, std::size_t m,
+    std::size_t sub_dim, std::size_t ksub, const float* codebooks,
+    float* out) {
+  // Pure centroid copies, widened to 8-float vector moves. No arithmetic
+  // touches the values, so this path is bit-exact with scalar by
+  // construction. Two sub-quantizers per iteration keep both the code
+  // fetch and the store stream busy.
+  const std::size_t dim = m * sub_dim;
+  for (std::size_t r = 0; r < num_rows; ++r) {
+    const std::uint8_t* row_codes = codes + r * m;
+    float* dst = out + r * dim;
+    for (std::size_t s = 0; s < m; ++s) {
+      const float* centroid = codebooks + (s * ksub + row_codes[s]) * sub_dim;
+      float* slice = dst + s * sub_dim;
+      std::size_t j = 0;
+      for (; j + 8 <= sub_dim; j += 8) {
+        _mm256_storeu_ps(slice + j, _mm256_loadu_ps(centroid + j));
+      }
+      for (; j + 4 <= sub_dim; j += 4) {
+        _mm_storeu_ps(slice + j, _mm_loadu_ps(centroid + j));
+      }
+      for (; j < sub_dim; ++j) slice[j] = centroid[j];
+    }
+  }
+}
+
 __attribute__((target("avx2,fma"))) float l2_sq_f32(const float* a,
                                                     const float* b,
                                                     std::size_t n) {
@@ -554,6 +598,18 @@ void adc_scan(const std::uint8_t* codes, std::size_t count, std::size_t m,
   if (use_simd()) return avx2::adc_scan(codes, count, m, ksub, lut, out);
 #endif
   scalar::adc_scan(codes, count, m, ksub, lut, out);
+}
+
+void pq_decode_rows(const std::uint8_t* codes, std::size_t num_rows,
+                    std::size_t m, std::size_t sub_dim, std::size_t ksub,
+                    const float* codebooks, float* out) {
+#if ANCHOR_KERNELS_AVX2
+  if (use_simd()) {
+    return avx2::pq_decode_rows(codes, num_rows, m, sub_dim, ksub, codebooks,
+                                out);
+  }
+#endif
+  scalar::pq_decode_rows(codes, num_rows, m, sub_dim, ksub, codebooks, out);
 }
 
 float l2_sq_f32(const float* a, const float* b, std::size_t n) {

@@ -92,6 +92,20 @@ void dequantize_rows(const std::uint8_t* codes, std::size_t num_rows,
 void adc_scan(const std::uint8_t* codes, std::size_t count, std::size_t m,
               std::size_t ksub, const float* lut, float* out);
 
+/// Fused decode of product-quantized rows — the serving twin of adc_scan.
+/// `codes` holds `num_rows` consecutive rows ROW-MAJOR, one byte per code:
+/// codes[r·m + s] is row r's centroid index for sub-quantizer s (the
+/// EmbeddingSnapshot PQ layout; contrast adc_scan's column-major cells).
+/// `codebooks` is m × ksub × sub_dim floats: sub-quantizer s's centroid c
+/// lives at codebooks[(s·ksub + c)·sub_dim]. Writes
+///   out[r·(m·sub_dim) + s·sub_dim .. +sub_dim) = centroid(s, codes[r·m+s])
+/// for r ∈ [0, num_rows). Pure centroid copies — no arithmetic — so the
+/// AVX2 path (vector loads/stores over each slice) is bit-exact with
+/// scalar by construction, like axpy and dequantize_rows.
+void pq_decode_rows(const std::uint8_t* codes, std::size_t num_rows,
+                    std::size_t m, std::size_t sub_dim, std::size_t ksub,
+                    const float* codebooks, float* out);
+
 /// Σ (a[i]−b[i])² over float vectors — the exact re-rank distance of the
 /// ANN engine. Reduction kernel: the AVX2 path reassociates across lanes
 /// like dot, so it agrees with scalar only to rounding (parity tests
@@ -114,6 +128,9 @@ void dequantize_rows(const std::uint8_t* codes, std::size_t num_rows,
                      std::size_t dim, int bits, float clip, float* out);
 void adc_scan(const std::uint8_t* codes, std::size_t count, std::size_t m,
               std::size_t ksub, const float* lut, float* out);
+void pq_decode_rows(const std::uint8_t* codes, std::size_t num_rows,
+                    std::size_t m, std::size_t sub_dim, std::size_t ksub,
+                    const float* codebooks, float* out);
 float l2_sq_f32(const float* a, const float* b, std::size_t n);
 }  // namespace scalar
 

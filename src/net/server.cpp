@@ -57,7 +57,9 @@ void Server::register_metrics() {
   // Remembers the previously exported version label so a hot swap zeroes
   // the stale series instead of leaving two versions claiming live.
   auto last_version = std::make_shared<std::string>();
-  metrics_.on_collect([this, last_version](obs::MetricsRegistry& reg) {
+  auto last_encoding = std::make_shared<std::string>();
+  metrics_.on_collect([this, last_version,
+                       last_encoding](obs::MetricsRegistry& reg) {
     const serve::StatsSnapshot service = service_stats_->snapshot();
     const serve::StatsSnapshot batcher = batcher_stats_->snapshot();
     reg.counter("anchor_lookup_requests_total",
@@ -108,6 +110,27 @@ void Server::register_metrics() {
       }
       reg.gauge(name, "Live embedding version (1 = live)").set(1.0);
     }
+    // Row-encoding identity + resident footprint: the capacity story. The
+    // label swap mirrors anchor_live_version_info so a rollout to a
+    // differently-encoded snapshot zeroes the stale series.
+    if (const serve::SnapshotPtr live = store_.live()) {
+      const std::string enc_name =
+          "anchor_snapshot_encoding_info{encoding=\"" + live->encoding() +
+          "\"}";
+      if (*last_encoding != enc_name) {
+        if (!last_encoding->empty()) {
+          reg.gauge(*last_encoding,
+                    "Live snapshot row encoding (1 = active)")
+              .set(0.0);
+        }
+        *last_encoding = enc_name;
+      }
+      reg.gauge(enc_name, "Live snapshot row encoding (1 = active)").set(1.0);
+    }
+    reg.gauge("anchor_store_memory_bytes",
+              "Resident bytes across all registered snapshot versions "
+              "(row storage + PQ codebooks + OOV tables)")
+        .set(static_cast<double>(store_.total_memory_bytes()));
     const CanaryStatusReport canary = canary_status_report();
     reg.gauge("anchor_canary_state",
               "CanaryState enum value (0 none, 1 offline-rejected, "
@@ -535,6 +558,9 @@ bool Server::dispatch(TcpStream& stream, MsgType type,
       reader.expect_done();
       ServerStatsReport report;
       report.live_version = store_.live_version();
+      if (const serve::SnapshotPtr live = store_.live()) {
+        report.encoding = live->encoding();
+      }
       report.service = service_.stats().snapshot();
       report.batcher = async_.stats().snapshot();
       encode_server_stats(report, &reply);

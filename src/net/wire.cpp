@@ -294,6 +294,7 @@ void encode_server_stats(const ServerStatsReport& s, WireWriter* w) {
   w->str(s.live_version);
   encode_stats_snapshot(s.service, w);
   encode_stats_snapshot(s.batcher, w);
+  w->str(s.encoding);
 }
 
 ServerStatsReport decode_server_stats(WireReader* r) {
@@ -301,6 +302,9 @@ ServerStatsReport decode_server_stats(WireReader* r) {
   s.live_version = r->str();
   s.service = decode_stats_snapshot(r);
   s.batcher = decode_stats_snapshot(r);
+  // Trailing v4 field: absent in a v3 peer's reply, so only read it when
+  // bytes remain (the call sites' expect_done() still rejects junk beyond).
+  if (r->remaining() > 0) s.encoding = r->str();
   return s;
 }
 

@@ -264,6 +264,13 @@ obs::MetricsReport decode_metrics_report(WireReader* r);
 /// Stats reply payload: what the daemon reports about itself.
 struct ServerStatsReport {
   std::string live_version;
+  /// Row encoding of the live snapshot — "fp32", "int8", "pq:4x8", … (the
+  /// EmbeddingSnapshot::encoding() string; the router reports "mixed" while
+  /// shards disagree). Optional TRAILING wire field: a v3 peer's reply
+  /// simply omits it and decodes here as "", so new readers accept old
+  /// replies unchanged (old readers reject the longer v4 payload — see
+  /// PROTOCOL.md's compatibility note).
+  std::string encoding;
   /// Underlying LookupService counters (per executed batch).
   serve::StatsSnapshot service;
   /// Batcher counters: one record per *coalesced* batch, latency measured

@@ -24,6 +24,8 @@ void add_demo_versions(EmbeddingStore& store, const DemoStoreConfig& config) {
 
   SnapshotConfig snap;
   snap.bits = config.bits;
+  snap.pq_m = config.pq_m;
+  snap.pq_bits = config.pq_bits;
   snap.num_shards = config.num_shards;
   snap.build_oov_table = config.build_oov_table;
   store.add_version("v1", base, snap);

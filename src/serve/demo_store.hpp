@@ -15,6 +15,10 @@ struct DemoStoreConfig {
   std::size_t dim = 48;
   /// Precision of the registered snapshots (32 = fp32, else bit-packed).
   int bits = 32;
+  /// Product-quantization passthrough (SnapshotConfig::pq_m / pq_bits):
+  /// pq_m > 0 stores all three versions as PQ codes (bits must stay 32).
+  std::size_t pq_m = 0;
+  int pq_bits = 8;
   /// Storage shards per snapshot (SnapshotConfig::num_shards).
   std::size_t num_shards = 8;
   std::uint64_t seed = 7;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "compress/pq.hpp"
 #include "compress/quantize.hpp"
 #include "embed/io.hpp"
 #include "la/kernels.hpp"
@@ -41,6 +42,25 @@ EmbeddingSnapshot::EmbeddingSnapshot(std::string version,
   ANCHOR_CHECK_MSG(config.bits == 1 || config.bits == 2 || config.bits == 4 ||
                        config.bits == 8 || config.bits == 32,
                    "serve snapshots support bits in {1,2,4,8,32}");
+  if (config_.pq_m > 0) {
+    ANCHOR_CHECK_MSG(config_.bits == 32,
+                     "pq mode replaces uniform quantization; leave bits at 32 "
+                     "when setting pq_m");
+    ANCHOR_CHECK_MSG(config_.pq_bits >= 1 && config_.pq_bits <= 8,
+                     "pq codes are stored one byte each; pq_bits must be in "
+                     "1..8");
+    ANCHOR_CHECK_MSG(dim_ % config_.pq_m == 0,
+                     "pq_m must divide the embedding dimension");
+  }
+  // Reject dead knobs loudly instead of encoding with them silently
+  // ignored: a deployment that *thinks* it shares a clip (or codebooks)
+  // across shards but doesn't would quietly lose bit-identity.
+  ANCHOR_CHECK_MSG(config_.clip_override <= 0.0f || config_.bits < 32,
+                   "clip_override applies only to uniform 1/2/4/8-bit "
+                   "quantization; it is meaningless for fp32 and pq "
+                   "snapshots");
+  ANCHOR_CHECK_MSG(config_.pq_codebooks_override.empty() || config_.pq_m > 0,
+                   "pq_codebooks_override requires pq mode (set pq_m > 0)");
 
   if (config_.bits < 32) {
     clip_ = config_.clip_override > 0.0f
@@ -53,15 +73,44 @@ EmbeddingSnapshot::EmbeddingSnapshot(std::string version,
   for (std::size_t s = 0; s < num_shards; ++s) {
     shards_[s].rows = vocab_size_ / num_shards +
                       (s < vocab_size_ % num_shards ? 1 : 0);
-    if (config_.bits == 32) {
+    if (config_.pq_m > 0) {
+      shards_[s].codes.resize(shards_[s].rows * config_.pq_m);
+    } else if (config_.bits == 32) {
       shards_[s].fp32.resize(shards_[s].rows * dim_);
     } else {
       shards_[s].codes.resize(shards_[s].rows *
                               packed_bytes(dim_, config_.bits));
     }
   }
-  for (std::size_t w = 0; w < vocab_size_; ++w) {
-    encode_shard_row(shards_[w % num_shards], w / num_shards, source.row(w));
+  if (config_.pq_m > 0) {
+    // Train (or reuse) codebooks over the FULL vocabulary, then scatter the
+    // byte-per-code rows into shards. Encoding against fixed codebooks is a
+    // pure function of the row bytes, which is what makes shared-codebook
+    // shards merge bit-identically to a single-process store.
+    compress::PqConfig pq;
+    pq.num_subvectors = config_.pq_m;
+    pq.bits = config_.pq_bits;
+    pq.codebooks_override = config_.pq_codebooks_override;
+    const compress::PqResult coded = compress::pq_quantize(source, pq);
+    const std::size_t m = config_.pq_m;
+    const std::size_t sub_dim = dim_ / m;
+    const std::size_t ksub = std::size_t{1} << config_.pq_bits;
+    pq_flat_.resize(m * ksub * sub_dim);
+    for (std::size_t s = 0; s < m; ++s) {
+      std::copy(coded.codebooks[s].begin(), coded.codebooks[s].end(),
+                pq_flat_.begin() + s * ksub * sub_dim);
+    }
+    for (std::size_t w = 0; w < vocab_size_; ++w) {
+      std::uint8_t* row =
+          shards_[w % num_shards].codes.data() + (w / num_shards) * m;
+      for (std::size_t s = 0; s < m; ++s) {
+        row[s] = static_cast<std::uint8_t>(coded.codes[w * m + s]);
+      }
+    }
+  } else {
+    for (std::size_t w = 0; w < vocab_size_; ++w) {
+      encode_shard_row(shards_[w % num_shards], w / num_shards, source.row(w));
+    }
   }
 
   if (config_.build_oov_table) build_oov_table(source);
@@ -89,6 +138,13 @@ void EmbeddingSnapshot::copy_row(std::size_t w, float* out) const {
   ANCHOR_CHECK_LT(w, vocab_size_);
   const Shard& shard = shards_[w % shards_.size()];
   const std::size_t local_row = w / shards_.size();
+  if (config_.pq_m > 0) {
+    const std::size_t m = config_.pq_m;
+    la::kernels::pq_decode_rows(shard.codes.data() + local_row * m, 1, m,
+                                dim_ / m, std::size_t{1} << config_.pq_bits,
+                                pq_flat_.data(), out);
+    return;
+  }
   if (config_.bits == 32) {
     std::memcpy(out, shard.fp32.data() + local_row * dim_,
                 dim_ * sizeof(float));
@@ -101,15 +157,66 @@ void EmbeddingSnapshot::copy_row(std::size_t w, float* out) const {
 
 void EmbeddingSnapshot::copy_rows(const std::size_t* ids, std::size_t n,
                                   float* out) const {
-  for (std::size_t i = 0; i < n; ++i) copy_row(ids[i], out + i * dim_);
+  if (config_.pq_m == 0) {
+    for (std::size_t i = 0; i < n; ++i) copy_row(ids[i], out + i * dim_);
+    return;
+  }
+  // PQ: gather the scattered rows' codes (m bytes each) into one contiguous
+  // block, then decode the whole batch with a single fused kernel call —
+  // the batched unit the LookupService miss path hands us.
+  const std::size_t m = config_.pq_m;
+  thread_local std::vector<std::uint8_t> gathered;
+  if (gathered.size() < n * m) gathered.resize(n * m);
+  for (std::size_t i = 0; i < n; ++i) {
+    ANCHOR_CHECK_LT(ids[i], vocab_size_);
+    const Shard& shard = shards_[ids[i] % shards_.size()];
+    std::memcpy(gathered.data() + i * m,
+                shard.codes.data() + (ids[i] / shards_.size()) * m, m);
+  }
+  la::kernels::pq_decode_rows(gathered.data(), n, m, dim_ / m,
+                              std::size_t{1} << config_.pq_bits,
+                              pq_flat_.data(), out);
 }
 
 std::size_t EmbeddingSnapshot::memory_bytes() const {
-  std::size_t total = 0;
+  // Every owned buffer: row storage, shared PQ codebooks, and the OOV
+  // table (bucket vectors + contribution counts) — the table alone is
+  // bucket_count·dim floats and can dwarf a small store, so leaving it out
+  // made total_memory_bytes() under-report the resident footprint.
+  std::size_t total = pq_flat_.size() * sizeof(float) +
+                      oov_table_.size() * sizeof(float) +
+                      oov_counts_.size() * sizeof(std::uint32_t);
   for (const Shard& s : shards_) {
     total += s.fp32.size() * sizeof(float) + s.codes.size();
   }
   return total;
+}
+
+std::string EmbeddingSnapshot::encoding() const {
+  if (config_.pq_m > 0) {
+    return "pq:" + std::to_string(config_.pq_m) + "x" +
+           std::to_string(config_.pq_bits);
+  }
+  if (config_.bits == 32) return "fp32";
+  return "int" + std::to_string(config_.bits);
+}
+
+std::vector<std::vector<float>> EmbeddingSnapshot::pq_codebook_vectors()
+    const {
+  std::vector<std::vector<float>> out(config_.pq_m);
+  if (config_.pq_m == 0) return out;
+  const std::size_t per = pq_flat_.size() / config_.pq_m;
+  for (std::size_t s = 0; s < config_.pq_m; ++s) {
+    out[s].assign(pq_flat_.begin() + s * per, pq_flat_.begin() + (s + 1) * per);
+  }
+  return out;
+}
+
+const std::uint8_t* EmbeddingSnapshot::pq_row_codes(std::size_t w) const {
+  ANCHOR_CHECK_MSG(config_.pq_m > 0, "pq_row_codes on a non-pq snapshot");
+  ANCHOR_CHECK_LT(w, vocab_size_);
+  const Shard& shard = shards_[w % shards_.size()];
+  return shard.codes.data() + (w / shards_.size()) * config_.pq_m;
 }
 
 void EmbeddingSnapshot::build_oov_table(const embed::Embedding& source) {
@@ -162,6 +269,30 @@ la::Matrix EmbeddingSnapshot::to_matrix(std::size_t max_rows) const {
       max_rows == 0 ? vocab_size_ : std::min(max_rows, vocab_size_);
   la::Matrix m(rows, dim_);
   const std::size_t num_shards = shards_.size();
+  if (config_.pq_m > 0) {
+    // PQ: like the quantized path below, each shard's local rows are
+    // contiguous code bytes (stride pq_m), so the needed span decodes in
+    // one fused call per shard, then scatters to word order.
+    const std::size_t pm = config_.pq_m;
+    const std::size_t sub_dim = dim_ / pm;
+    const std::size_t ksub = std::size_t{1} << config_.pq_bits;
+    std::vector<float> scratch;
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      const std::size_t local_rows =
+          rows / num_shards + (s < rows % num_shards ? 1 : 0);
+      if (local_rows == 0) continue;
+      if (scratch.size() < local_rows * dim_) scratch.resize(local_rows * dim_);
+      la::kernels::pq_decode_rows(shards_[s].codes.data(), local_rows, pm,
+                                  sub_dim, ksub, pq_flat_.data(),
+                                  scratch.data());
+      for (std::size_t l = 0; l < local_rows; ++l) {
+        const float* src = scratch.data() + l * dim_;
+        double* dst = m.row(l * num_shards + s);
+        for (std::size_t j = 0; j < dim_; ++j) dst[j] = src[j];
+      }
+    }
+    return m;
+  }
   if (config_.bits == 32) {
     for (std::size_t w = 0; w < rows; ++w) {
       const float* src =
@@ -336,6 +467,18 @@ void EmbeddingStore::remove_version(const std::string& version) {
   // entry would have the store serving a version it denies knowing.
   ANCHOR_CHECK_MSG(!live_ || version != live_->version(),
                    "cannot remove the live version");
+  // The registry's own reference is the only one allowed at removal time:
+  // anything beyond it is an outside pin (a canary's pin_snapshot, an
+  // AnnService index cache, an in-flight reader) that would otherwise have
+  // its version dropped mid-flight. Acquisition always happens under mu_,
+  // so this probe cannot race a new pin into existence; a concurrent
+  // release only makes us refuse conservatively.
+  ANCHOR_CHECK_MSG(it->second.use_count() <= 1,
+                   "cannot remove version '"
+                       << version << "': " << (it->second.use_count() - 1)
+                       << " outside holder(s) still pin its snapshot "
+                          "(canary pin, AnnService cache, or in-flight "
+                          "reader); retry after they release it");
   versions_.erase(it);
 }
 

@@ -3,11 +3,13 @@
 // The paper's motivating scenario (§1) is an embedding server whose periodic
 // model refreshes churn downstream predictions. This module holds the
 // *versions*: each snapshot is an immutable, sharded embedding matrix that
-// is either full-precision fp32 or uniform-quantized to b bits (same grid as
-// compress/quantize, bit-packed, dequantized on the fly), so a server can
-// keep several generations resident — the live one, the candidate under
-// evaluation by the DeploymentGate, and a rollback target — within a memory
-// budget set by the paper's compression axis.
+// is full-precision fp32, uniform-quantized to b bits (same grid as
+// compress/quantize, bit-packed, dequantized on the fly), or
+// product-quantized (compress/pq codebooks, one byte per sub-vector code,
+// fused-decoded on the fly) — so a server can keep several generations
+// resident — the live one, the candidate under evaluation by the
+// DeploymentGate, and a rollback target — within a memory budget set by the
+// paper's compression axis.
 //
 // Snapshots are immutable after construction; readers hold shared_ptrs, so
 // hot-swapping the live version never blocks or invalidates in-flight
@@ -39,8 +41,27 @@ struct SnapshotConfig {
   std::size_t num_shards = 8;
   /// When > 0, reuse this clip threshold instead of computing one — the
   /// Appendix C.2 convention of sharing the first snapshot's threshold with
-  /// its successor so quantization adds no gratuitous disagreement.
+  /// its successor so quantization adds no gratuitous disagreement. Only
+  /// meaningful for uniform quantization (bits < 32); add_version rejects
+  /// it for fp32 and PQ snapshots.
   float clip_override = 0.0f;
+  /// Product-quantization mode (compress/pq): when pq_m > 0 each row is
+  /// split into pq_m sub-vectors of dim/pq_m floats and each sub-vector is
+  /// replaced by the index of the nearest of 2^pq_bits learned centroids —
+  /// a row costs pq_m bytes (one byte per code) plus a codebook shared
+  /// across the vocabulary, e.g. pq:4x8 stores a dim-48 row in 4 bytes vs
+  /// 48 for int8. Requires bits == 32 (PQ replaces uniform quantization
+  /// rather than stacking on it) and pq_m must divide dim.
+  std::size_t pq_m = 0;
+  /// Per-sub-vector code width, 1..8 so every code fits one byte.
+  int pq_bits = 8;
+  /// When non-empty: pq_m codebooks, each 2^pq_bits × (dim/pq_m) row-major
+  /// floats, reused instead of trained — the PQ analogue of clip_override
+  /// and ann::IvfPqArtifacts. Shards of a vocabulary encoding their slices
+  /// with SHARED codebooks produce codes that are pure functions of the row
+  /// bytes, so a router's scatter-gather merge is bit-identical to a
+  /// single-process PQ store.
+  std::vector<std::vector<float>> pq_codebooks_override;
   /// Build the hashed character-n-gram table used for OOV fallback
   /// (scatter-averaged from the word vectors, fastText-style).
   bool build_oov_table = true;
@@ -72,13 +93,35 @@ class EmbeddingSnapshot {
   int bits() const { return config_.bits; }
   float clip() const { return clip_; }
   std::size_t num_shards() const { return shards_.size(); }
+  /// True when rows are stored as product-quantization codes.
+  bool is_pq() const { return config_.pq_m > 0; }
+  std::size_t pq_m() const { return config_.pq_m; }
+  int pq_bits() const { return config_.pq_bits; }
+  /// Human/wire name of the row encoding: "fp32", "int8"/"int4"/"int2"/
+  /// "int1", or "pq:<m>x<b>". This is what STATS/METRICS report and what
+  /// `anchor_served --bits` parses.
+  std::string encoding() const;
+  /// PQ codebooks flattened for the decode kernel: pq_m × 2^pq_bits ×
+  /// (dim/pq_m) floats, sub-quantizer-major. Empty unless is_pq().
+  const std::vector<float>& pq_codebooks_flat() const { return pq_flat_; }
+  /// PQ codebooks in compress::PqConfig::codebooks_override form (one
+  /// vector per sub-quantizer) — hand these to a peer store so its shard
+  /// encodes with SHARED codebooks, or compare with ann::IvfPqArtifacts.
+  std::vector<std::vector<float>> pq_codebook_vectors() const;
+  /// Row w's pq_m one-byte codes (contiguous). Only valid when is_pq() —
+  /// the zero-copy handle AnnService uses to reuse a snapshot's encoding
+  /// instead of re-encoding.
+  const std::uint8_t* pq_row_codes(std::size_t w) const;
   /// Monotonically increasing id unique across all snapshots of a store;
   /// hot-row caches key on it so a swap can never serve stale vectors.
   std::uint64_t epoch() const { return epoch_; }
   /// True when the rows were Procrustes-aligned to the then-live snapshot
   /// at ingestion (SnapshotConfig::align_to_live actually applied).
   bool aligned_to_incumbent() const { return aligned_; }
-  /// Resident bytes of the row storage (excludes the OOV table).
+  /// Resident bytes of ALL owned buffers: row storage (fp32, packed codes,
+  /// or PQ codes), PQ codebooks, and the OOV table + its bucket counts.
+  /// EmbeddingStore::total_memory_bytes() sums this across versions, so the
+  /// memory-budget story accounts for everything a snapshot keeps alive.
   std::size_t memory_bytes() const;
   bool has_oov_table() const { return !oov_table_.empty(); }
 
@@ -122,6 +165,7 @@ class EmbeddingSnapshot {
   std::uint64_t epoch_ = 0;
   bool aligned_ = false;
   std::vector<Shard> shards_;
+  std::vector<float> pq_flat_;  // pq_m × ksub × sub_dim, empty unless PQ
   embed::FastTextConfig oov_config_;    // hashing parameters for n-grams
   std::vector<float> oov_table_;        // bucket_count × dim, scatter-averaged
   std::vector<std::uint32_t> oov_counts_;  // words contributing per bucket
@@ -166,7 +210,14 @@ class EmbeddingStore {
   /// not evaluate (the TOCTOU hole a name-based promote would open).
   bool set_live_snapshot(const SnapshotPtr& snap);
 
-  /// Drops a version from the registry. Throws when it is the live one.
+  /// Drops a version from the registry. Throws when it is the live one, or
+  /// when any holder outside the store still pins its snapshot — a canary's
+  /// LookupConfig::pin_snapshot, AnnService's epoch-keyed index cache, an
+  /// in-flight reader — so a rollback target can never vanish under a
+  /// router. (All snapshot acquisition goes through this store's mutex, so
+  /// the use-count probe cannot race a new pin; a concurrent *release* can
+  /// at worst make removal refuse conservatively — retry after the holder
+  /// is gone.)
   void remove_version(const std::string& version);
 
   /// Total resident row-storage bytes across all registered versions.

@@ -52,8 +52,10 @@ void LookupService::fetch_rows(const EmbeddingSnapshot& snap,
                                float* out) const {
   const std::size_t dim = snap.dim();
   // fp32 rows are a bare memcpy — the cache's mutex + LRU bookkeeping can
-  // only slow them down, so only quantized snapshots go through it.
-  if (config_.cache_rows_per_shard == 0 || snap.bits() == 32) {
+  // only slow them down, so only encoded (uniform-quantized or PQ)
+  // snapshots go through it; both pay a real decode on a miss.
+  if (config_.cache_rows_per_shard == 0 ||
+      (snap.bits() == 32 && !snap.is_pq())) {
     for (std::size_t i = 0; i < rows.size(); ++i) {
       if (rows[i] != kNotARow) snap.copy_row(rows[i], out + i * dim);
     }

@@ -219,6 +219,51 @@ TEST(IvfPq, SlicedIndexesWithSharedArtifactsMergeBitIdentically) {
   }
 }
 
+TEST(IvfPq, ReusesPqSnapshotCodesAndMatchesBruteForceOverDecodedRows) {
+  // A PQ snapshot already holds exactly what an IVF-PQ index needs: codes
+  // and codebooks. With no explicit artifacts the index must adopt them
+  // (flat one-cell layout, no retraining) instead of decoding and
+  // re-encoding the whole store.
+  const embed::Embedding e = clustered_embedding(512, 16, 8, 13);
+  serve::EmbeddingStore store;
+  serve::SnapshotConfig sc;
+  sc.pq_m = 4;
+  sc.pq_bits = 6;
+  sc.build_oov_table = false;
+  const auto snap = store.add_version("v1", e, sc);
+
+  const IvfPqIndex index(snap, AnnConfig{});
+  EXPECT_TRUE(index.reused_snapshot_codes());
+  EXPECT_EQ(index.nlist(), 1u);  // flat: the exhaustive-ADC degenerate IVF
+  EXPECT_EQ(index.pq_m(), 4u);
+
+  // fp32 snapshots keep the trained path.
+  serve::EmbeddingStore plain;
+  const IvfPqIndex trained(make_snapshot(plain, "v1", e), AnnConfig{});
+  EXPECT_FALSE(trained.reused_snapshot_codes());
+
+  // Exhaustive search over the reused index equals brute force over the
+  // snapshot's DECODED rows — the rows the store actually serves.
+  embed::Embedding decoded(e.vocab_size, e.dim);
+  for (std::size_t w = 0; w < e.vocab_size; ++w) {
+    snap->copy_row(w, decoded.row(w));
+  }
+  std::vector<float> query(e.row(5), e.row(5) + e.dim);
+  const TopKResult got = index.search(query.data(), 10, /*nprobe=*/1,
+                                      /*rerank=*/e.vocab_size);
+  const auto truth = brute_force_topk(decoded, query.data(), 10);
+  ASSERT_EQ(got.hits.size(), truth.size());
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_EQ(got.hits[i].id, truth[i]) << "rank " << i;
+  }
+
+  // AnnService reaches the reuse path with zero call-site changes.
+  AnnService service(store, AnnConfig{});
+  const IvfPqIndexPtr via_service = service.index_for_live();
+  ASSERT_NE(via_service, nullptr);
+  EXPECT_TRUE(via_service->reused_snapshot_codes());
+}
+
 TEST(IvfPq, ClampsKnobsOnTinyStores) {
   const embed::Embedding e = clustered_embedding(6, 10, 2, 5);
   serve::EmbeddingStore store;

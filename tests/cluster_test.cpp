@@ -343,6 +343,43 @@ TEST(ClusterClient, QuantizedBitIdenticalWithSharedClip) {
   EXPECT_TRUE(identical(client.lookup_ids(ids), ref.lookup_ids(ids)));
 }
 
+TEST(ClusterClient, PqBitIdenticalWithSharedCodebooks) {
+  const embed::Embedding base = random_embedding(17, kVocab, kDim);
+  serve::SnapshotConfig pq = plain_snap();
+  pq.pq_m = 4;
+  pq.pq_bits = 6;
+
+  serve::EmbeddingStore reference;
+  reference.add_version("v1", base, pq);
+  serve::LookupService ref(reference);
+
+  // The reference snapshot's codebooks are the shared grid; each slice
+  // encodes its rows against them (training on its own rows would yield
+  // different centroids and code disagreements — the PQ analogue of the
+  // shared-clip convention above).
+  serve::SnapshotConfig pq_shared = pq;
+  pq_shared.pq_codebooks_override =
+      reference.snapshot("v1")->pq_codebook_vectors();
+  Cluster cluster({{"v1", base}}, {0, 400, kVocab}, pq_shared);
+
+  ClusterConfig cc;
+  cc.map = cluster.map;
+  ClusterClient client(cc);
+  Rng rng(18);
+  std::vector<std::size_t> ids(128);
+  for (auto& id : ids) id = rng.index(kVocab);
+  EXPECT_TRUE(identical(client.lookup_ids(ids), ref.lookup_ids(ids)));
+  EXPECT_FALSE(client.last_degraded());
+
+  // The daemons report what they actually serve.
+  const ClusterStatsReport stats = client.stats();
+  EXPECT_EQ(stats.aggregate.encoding, "pq:4x6");
+  ASSERT_EQ(stats.shard_encodings.size(), 2u);
+  for (const std::string& enc : stats.shard_encodings) {
+    EXPECT_EQ(enc, "pq:4x6");
+  }
+}
+
 // ---- TOPK scatter-gather ----------------------------------------------
 
 /// Two backends over row slices encoding with artifacts trained ONCE on

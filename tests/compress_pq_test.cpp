@@ -6,6 +6,7 @@
 // contract that storage backend will build on.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -185,6 +186,25 @@ TEST(Pq, DeterministicAcrossRunsAndRejectsBadShapes) {
   PqConfig bad_k = config;
   bad_k.bits = 7;  // 128 centroids > 64 rows
   EXPECT_THROW(pq_quantize(input, bad_k), std::exception);
+
+  // ... unless the codebooks come from an override: a fixed codebook is
+  // not trained, so a slice smaller than 2^bits (one shard of a sharded
+  // store encoding with shared codebooks) must encode fine.
+  const auto big = random_embedding(256, 8, 22);
+  PqConfig train7 = config;
+  train7.bits = 7;
+  const PqResult full = pq_quantize(big, train7);
+  embed::Embedding tiny(4, 8);
+  std::copy_n(big.data.begin(), tiny.data.size(), tiny.data.begin());
+  PqConfig shard = train7;
+  shard.codebooks_override = full.codebooks;
+  const PqResult sliced = pq_quantize(tiny, shard);
+  for (std::size_t w = 0; w < tiny.vocab_size; ++w) {
+    for (std::size_t s = 0; s < shard.num_subvectors; ++s) {
+      EXPECT_EQ(sliced.codes[w * shard.num_subvectors + s],
+                full.codes[w * shard.num_subvectors + s]);
+    }
+  }
 }
 
 }  // namespace

@@ -259,6 +259,36 @@ TEST(Kernels, AdcScanIsBitExactWithScalar) {
   }
 }
 
+TEST(Kernels, PqDecodeRowsIsBitExactWithScalar) {
+  // The PQ snapshot merge contract (shared-codebook shards decode the same
+  // bytes to the same floats) leans on pq_decode_rows being bit-exact
+  // between the AVX2 and scalar paths. Pure centroid copies make that hold
+  // by construction; this pins it. Sub-dims straddle the 8- and 4-lane
+  // boundaries (odd sub-dims exercise the scalar tail).
+  Rng rng(59);
+  for (const std::size_t rows : {1u, 2u, 7u, 16u, 33u}) {
+    for (const std::size_t m : {1u, 2u, 3u, 8u}) {
+      for (const std::size_t sub_dim : {1u, 3u, 4u, 7u, 8u, 11u, 16u, 19u}) {
+        const std::size_t ksub = 16;
+        std::vector<std::uint8_t> codes(rows * m);
+        for (auto& c : codes) c = static_cast<std::uint8_t>(rng.index(ksub));
+        std::vector<float> books(m * ksub * sub_dim);
+        for (auto& v : books) v = static_cast<float>(rng.normal(0.0, 1.0));
+        std::vector<float> simd(rows * m * sub_dim, -1.0f);
+        std::vector<float> ref(rows * m * sub_dim, -2.0f);
+        k::pq_decode_rows(codes.data(), rows, m, sub_dim, ksub, books.data(),
+                          simd.data());
+        k::scalar::pq_decode_rows(codes.data(), rows, m, sub_dim, ksub,
+                                  books.data(), ref.data());
+        for (std::size_t i = 0; i < simd.size(); ++i) {
+          EXPECT_EQ(simd[i], ref[i]) << "rows=" << rows << " m=" << m
+                                     << " sub_dim=" << sub_dim << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
 TEST(Kernels, L2SqF32MatchesScalar) {
   // Reduction: FMA reassociation allowed, so tolerance not bit-equality.
   Rng rng(43);

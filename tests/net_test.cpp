@@ -130,6 +130,7 @@ TEST(Wire, GateReportAndStatsRoundTrip) {
   stats.service.qps = 123.5;
   stats.batcher.batches = 3;
   stats.batcher.p99_latency_us = 42.0;
+  stats.encoding = "pq:4x8";
   WireWriter sw;
   encode_server_stats(stats, &sw);
   WireReader sr(sw.buffer());
@@ -140,6 +141,20 @@ TEST(Wire, GateReportAndStatsRoundTrip) {
   EXPECT_EQ(sback.service.qps, 123.5);
   EXPECT_EQ(sback.batcher.batches, 3u);
   EXPECT_EQ(sback.batcher.p99_latency_us, 42.0);
+  EXPECT_EQ(sback.encoding, "pq:4x8");
+
+  // A v3 peer's reply stops after the batcher snapshot; the trailing
+  // encoding field must decode as absent (empty), not throw.
+  WireWriter v3;
+  v3.str(stats.live_version);
+  encode_stats_snapshot(stats.service, &v3);
+  encode_stats_snapshot(stats.batcher, &v3);
+  WireReader v3r(v3.buffer());
+  const ServerStatsReport old_peer = decode_server_stats(&v3r);
+  v3r.expect_done();
+  EXPECT_EQ(old_peer.live_version, "live");
+  EXPECT_EQ(old_peer.batcher.batches, 3u);
+  EXPECT_EQ(old_peer.encoding, "");
 
   // Corrupt decision codes must not cast into the enum silently.
   WireWriter cw;
@@ -683,6 +698,7 @@ TEST_F(RpcTest, StatsReflectServedTraffic) {
   client.lookup_id(4);
   const ServerStatsReport stats = client.stats();
   EXPECT_EQ(stats.live_version, "v1");
+  EXPECT_EQ(stats.encoding, "fp32");  // the daemon reports real row storage
   EXPECT_EQ(stats.batcher.lookups, 4u);
   EXPECT_GE(stats.service.lookups, 4u);
   EXPECT_GT(stats.batcher.batches, 0u);

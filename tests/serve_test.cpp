@@ -5,9 +5,11 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstring>
 #include <filesystem>
 #include <thread>
 
+#include "compress/pq.hpp"
 #include "compress/quantize.hpp"
 #include "embed/io.hpp"
 #include "serve/serve.hpp"
@@ -162,6 +164,169 @@ TEST(Snapshot, ClipOverrideIsHonored) {
   }
 }
 
+// ---- product-quantized snapshots ---------------------------------------
+
+TEST(Snapshot, PqRowsMatchCompressPqReferenceAcrossShardCounts) {
+  // Odd vocab, odd sub-dim (21/3 = 7): the snapshot's fused decode must
+  // reproduce compress::pq_quantize's reconstruction bit-for-bit at every
+  // shard count — same training entry point, same defaults, pure centroid
+  // copies on both sides.
+  const auto e = random_embedding(157, 21, 50);
+  compress::PqConfig pc;
+  pc.num_subvectors = 3;
+  pc.bits = 4;
+  const auto reference = compress::pq_quantize(e, pc);
+
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{3},
+                                   std::size_t{8}}) {
+    SnapshotConfig config;
+    config.pq_m = 3;
+    config.pq_bits = 4;
+    config.num_shards = shards;
+    config.build_oov_table = false;
+    EmbeddingSnapshot snap("pq", e, config, 1);
+    EXPECT_TRUE(snap.is_pq());
+    EXPECT_EQ(snap.encoding(), "pq:3x4");
+    std::vector<float> row(e.dim);
+    for (std::size_t w = 0; w < e.vocab_size; ++w) {
+      snap.copy_row(w, row.data());
+      for (std::size_t j = 0; j < e.dim; ++j) {
+        EXPECT_EQ(row[j], reference.embedding.row(w)[j])
+            << "shards=" << shards << " w=" << w << " j=" << j;
+      }
+    }
+    // Fused batch decode and the matrix view agree with the row path.
+    const std::vector<std::size_t> ids = {0, 5, 5, 156, 31};
+    std::vector<float> batch(ids.size() * e.dim);
+    snap.copy_rows(ids.data(), ids.size(), batch.data());
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      snap.copy_row(ids[i], row.data());
+      for (std::size_t j = 0; j < e.dim; ++j) {
+        EXPECT_EQ(batch[i * e.dim + j], row[j]) << "shards=" << shards;
+      }
+    }
+    const la::Matrix mtx = snap.to_matrix(0);
+    ASSERT_EQ(mtx.rows(), e.vocab_size);
+    for (std::size_t w = 0; w < e.vocab_size; ++w) {
+      snap.copy_row(w, row.data());
+      for (std::size_t j = 0; j < e.dim; ++j) {
+        EXPECT_EQ(mtx(w, j), static_cast<double>(row[j]))
+            << "shards=" << shards;
+      }
+    }
+  }
+}
+
+TEST(Snapshot, PqSharedCodebooksAreAFixedPointAcrossShardCounts) {
+  // The deployment contract behind cluster scatter-gather: a second store
+  // encoding the same rows against the FIRST store's codebooks (any shard
+  // count) yields byte-identical codes, hence bit-identical decodes.
+  const auto e = random_embedding(200, 24, 51);
+  SnapshotConfig trained;
+  trained.pq_m = 4;
+  trained.pq_bits = 5;
+  trained.num_shards = 1;
+  trained.build_oov_table = false;
+  EmbeddingSnapshot a("a", e, trained, 1);
+
+  SnapshotConfig shared = trained;
+  shared.num_shards = 5;
+  shared.pq_codebooks_override = a.pq_codebook_vectors();
+  EmbeddingSnapshot b("b", e, shared, 2);
+
+  std::vector<float> ra(e.dim), rb(e.dim);
+  for (std::size_t w = 0; w < e.vocab_size; ++w) {
+    a.copy_row(w, ra.data());
+    b.copy_row(w, rb.data());
+    for (std::size_t j = 0; j < e.dim; ++j) {
+      EXPECT_EQ(ra[j], rb[j]) << "w=" << w << " j=" << j;
+    }
+    EXPECT_EQ(std::memcmp(a.pq_row_codes(w), b.pq_row_codes(w),
+                          trained.pq_m), 0) << "w=" << w;
+  }
+}
+
+TEST(Snapshot, PqStorageBeatsInt8ByAtLeast3x) {
+  const auto e = random_embedding(1024, 32, 52);
+  SnapshotConfig pq;
+  pq.pq_m = 4;
+  pq.pq_bits = 4;
+  pq.build_oov_table = false;
+  const EmbeddingSnapshot coded("pq", e, pq, 1);
+  // Exact accounting: one byte per code per row, plus the shared flat
+  // codebooks (m × 2^bits × sub_dim floats).
+  EXPECT_EQ(coded.memory_bytes(),
+            e.vocab_size * pq.pq_m + 4u * 16u * 8u * sizeof(float));
+
+  SnapshotConfig q8;
+  q8.bits = 8;
+  q8.build_oov_table = false;
+  const EmbeddingSnapshot int8("q8", e, q8, 2);
+  EXPECT_GT(int8.memory_bytes(), 3u * coded.memory_bytes());
+}
+
+TEST(Snapshot, MemoryBytesIncludesOovTable) {
+  // Regression pin: memory_bytes() used to count row storage only, so a
+  // snapshot with an OOV table (4096 bucket vectors + counts) under-
+  // reported its resident footprint by bucket_count·dim floats.
+  const auto e = random_embedding(30, 8, 53);
+  SnapshotConfig bare;
+  bare.build_oov_table = false;
+  SnapshotConfig with_oov;
+  with_oov.build_oov_table = true;
+  const std::size_t without = EmbeddingSnapshot("a", e, bare, 1).memory_bytes();
+  const std::size_t with =
+      EmbeddingSnapshot("b", e, with_oov, 2).memory_bytes();
+  const std::size_t buckets = 1u << 12;
+  EXPECT_EQ(with - without,
+            buckets * e.dim * sizeof(float) + buckets * sizeof(std::uint32_t));
+}
+
+TEST(Snapshot, PqConfigValidationRejectsContradictions) {
+  const auto e = random_embedding(64, 12, 54);
+  SnapshotConfig bad;
+  bad.build_oov_table = false;
+
+  bad.pq_m = 4;
+  bad.bits = 8;  // PQ replaces uniform quantization, not stacks on it
+  EXPECT_THROW(EmbeddingSnapshot("v", e, bad, 1), CheckError);
+
+  bad.bits = 32;
+  bad.pq_m = 5;  // must divide dim=12
+  EXPECT_THROW(EmbeddingSnapshot("v", e, bad, 1), CheckError);
+
+  bad.pq_m = 4;
+  bad.pq_bits = 9;  // codes are one byte each
+  EXPECT_THROW(EmbeddingSnapshot("v", e, bad, 1), CheckError);
+
+  SnapshotConfig orphan;
+  orphan.build_oov_table = false;
+  orphan.pq_codebooks_override = {{0.0f}};  // override without pq mode
+  EXPECT_THROW(EmbeddingSnapshot("v", e, orphan, 1), CheckError);
+}
+
+TEST(Store, ClipOverrideRejectedUnlessUniformQuantized) {
+  // A clip threshold on an fp32 or PQ snapshot is a config contradiction
+  // (nothing ever clips); silently accepting it hid mis-rolled deploys.
+  const auto e = random_embedding(64, 12, 55);
+  SnapshotConfig fp32;
+  fp32.clip_override = 0.5f;
+  fp32.build_oov_table = false;
+  EXPECT_THROW(EmbeddingSnapshot("v", e, fp32, 1), CheckError);
+
+  SnapshotConfig pq = fp32;
+  pq.pq_m = 4;
+  EXPECT_THROW(EmbeddingSnapshot("v", e, pq, 1), CheckError);
+
+  EmbeddingStore store;
+  EXPECT_THROW(
+      store.add_version("v", e, {.clip_override = 0.5f,
+                                 .build_oov_table = false}),
+      CheckError);
+  store.add_version("v", e, {.bits = 8, .clip_override = 0.5f,
+                             .build_oov_table = false});  // still fine
+}
+
 TEST(Snapshot, ToMatrixSubsamplesRows) {
   const auto e = random_embedding(20, 5, 5);
   SnapshotConfig config;
@@ -265,6 +430,21 @@ TEST(Store, RemoveVersionRefusesLiveNameAfterReregister) {
   // the store serving a version id it no longer knows.
   EXPECT_THROW(store.remove_version("v"), CheckError);
   EXPECT_TRUE(store.has_version("v"));
+}
+
+TEST(Store, RemoveVersionRefusesPinnedSnapshotUntilReleased) {
+  // Regression pin: remove_version only guarded the live version, so a
+  // snapshot pinned outside the registry (canary pin_snapshot, AnnService
+  // index cache, an in-flight reader) could lose its version mid-use.
+  EmbeddingStore store;
+  store.add_version("a", random_embedding(5, 2, 56));  // live
+  store.add_version("b", random_embedding(5, 2, 57));
+  SnapshotPtr pinned = store.snapshot("b");
+  EXPECT_THROW(store.remove_version("b"), CheckError);
+  EXPECT_TRUE(store.has_version("b"));  // refusal left the registry intact
+  pinned.reset();
+  store.remove_version("b");
+  EXPECT_FALSE(store.has_version("b"));
 }
 
 TEST(Store, SetLiveSnapshotRefusesReplacedSnapshot) {
@@ -425,6 +605,33 @@ TEST(Lookup, Fp32SnapshotsBypassTheCache) {
   service.lookup_ids({3, 3, 3});
   const auto stats = service.stats().snapshot();
   EXPECT_EQ(stats.cache_hits + stats.cache_misses, 0u);
+}
+
+TEST(Lookup, PqSnapshotsUseTheCacheAndStayBitIdentical) {
+  // Unlike fp32 (raw memcpy, cache is pure overhead), PQ rows pay a real
+  // decode on every miss, so they flow through the row cache — and hits
+  // must be byte-identical to misses since both come from pq_decode_rows
+  // over the same codes.
+  EmbeddingStore store;
+  store.add_version("v1", random_embedding(60, 16, 58),
+                    {.pq_m = 4, .pq_bits = 4, .build_oov_table = false});
+  LookupService cached(store, {.cache_rows_per_shard = 4});
+  LookupService uncached(store, {.cache_rows_per_shard = 0});
+  Rng rng(59);
+  for (int round = 0; round < 5; ++round) {
+    std::vector<std::size_t> ids(31);
+    for (auto& id : ids) id = rng.index(60);
+    ids[2] = ids[17];  // in-batch duplicate
+    const auto a = cached.lookup_ids(ids);
+    const auto b = uncached.lookup_ids(ids);
+    ASSERT_EQ(a.vectors.size(), b.vectors.size());
+    for (std::size_t i = 0; i < a.vectors.size(); ++i) {
+      EXPECT_EQ(a.vectors[i], b.vectors[i]) << "round=" << round << " i=" << i;
+    }
+  }
+  const auto stats = cached.stats().snapshot();
+  EXPECT_GT(stats.cache_hits, 0u);
+  EXPECT_GT(stats.cache_misses, 0u);
 }
 
 TEST(Lookup, HotSwapServesNewVersionNotStaleCache) {

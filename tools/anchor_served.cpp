@@ -72,6 +72,28 @@ std::vector<StoreSpec> parse_store_specs(const std::string& arg) {
   return specs;
 }
 
+/// Parses the --bits spec into the snapshot encoding fields: a bare
+/// integer ("32", "8", …) selects fp32/uniform quantization, and
+/// "pq:<m>x<b>" (e.g. "pq:4x8") selects product quantization with m
+/// sub-vectors of b-bit codes. Range/divisibility validation stays with
+/// SnapshotConfig itself — this only parses the shape.
+void parse_bits_spec(const std::string& spec,
+                     anchor::serve::SnapshotConfig* snap) {
+  if (spec.rfind("pq:", 0) == 0) {
+    const std::size_t x = spec.find('x', 3);
+    if (x == std::string::npos || x == 3 || x + 1 >= spec.size()) {
+      throw std::runtime_error("--bits pq spec must be pq:<m>x<b>, e.g. "
+                               "pq:4x8 (got '" + spec + "')");
+    }
+    snap->bits = 32;
+    snap->pq_m = static_cast<std::size_t>(std::stoul(spec.substr(3, x - 3)));
+    snap->pq_bits = static_cast<int>(std::stoul(spec.substr(x + 1)));
+    return;
+  }
+  snap->bits = static_cast<int>(std::stol(spec));
+  snap->pq_m = 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -91,8 +113,9 @@ int main(int argc, char** argv) {
   parser.add_option("demo-vocab", "demo store vocabulary size", "1500");
   parser.add_option("demo-dim", "demo store dimension", "48");
   parser.add_option("bits",
-                    "snapshot precision: 32 = fp32, 1/2/4/8 = bit-packed "
-                    "quantized", "32");
+                    "snapshot row encoding: 32 = fp32, 1/2/4/8 = bit-packed "
+                    "uniform quantized, pq:<m>x<b> = product-quantized "
+                    "(m sub-vectors, b-bit codes, e.g. pq:4x8)", "32");
   parser.add_option("shards", "storage shards per snapshot", "8");
   parser.add_option("cache-rows",
                     "hot rows per lookup-cache shard (0 disables)", "256");
@@ -290,7 +313,7 @@ int main(int argc, char** argv) {
   serve::SnapshotConfig snap;
   serve::EmbeddingStore store;
   try {
-    snap.bits = static_cast<int>(parser.get_int("bits"));
+    parse_bits_spec(parser.get("bits"), &snap);
     snap.num_shards = static_cast<std::size_t>(parser.get_int("shards"));
     snap.align_to_live = parser.get_flag("align-candidates");
     if (parser.get_flag("demo")) {
@@ -298,12 +321,14 @@ int main(int argc, char** argv) {
       demo.vocab = static_cast<std::size_t>(parser.get_int("demo-vocab"));
       demo.dim = static_cast<std::size_t>(parser.get_int("demo-dim"));
       demo.bits = snap.bits;
+      demo.pq_m = snap.pq_m;
+      demo.pq_bits = snap.pq_bits;
       demo.num_shards = snap.num_shards;
       demo.align_to_live = snap.align_to_live;
       serve::add_demo_versions(store, demo);
       std::cerr << "loaded demo store: v1 (live), v2-good, v3-bad; vocab="
-                << demo.vocab << " dim=" << demo.dim << " bits=" << demo.bits
-                << "\n";
+                << demo.vocab << " dim=" << demo.dim << " encoding="
+                << store.live()->encoding() << "\n";
     } else {
       const auto specs = parse_store_specs(parser.get("stores"));
       if (specs.empty()) {
@@ -316,8 +341,9 @@ int main(int argc, char** argv) {
         const auto loaded = store.snapshot(spec.version);
         std::cerr << "loaded " << spec.version << " from " << spec.path
                   << ": vocab=" << loaded->vocab_size()
-                  << " dim=" << loaded->dim() << " bits=" << loaded->bits()
-                  << " (" << loaded->memory_bytes() << " bytes)\n";
+                  << " dim=" << loaded->dim()
+                  << " encoding=" << loaded->encoding() << " ("
+                  << loaded->memory_bytes() << " bytes)\n";
       }
     }
   } catch (const std::exception& e) {

@@ -578,6 +578,8 @@ bool ClusterClient::gather_shard(std::size_t shard, const Plan& plan,
 serve::LookupResult ClusterClient::execute(const std::vector<Plan>& plans,
                                            std::size_t n_slots,
                                            std::vector<std::uint8_t> flags) {
+  const std::uint64_t windowed_t0 =
+      config_.windowed != nullptr ? obs::Tracer::now_ns() : 0;
   const std::size_t n_shards = config_.map.num_shards();
   std::fill(last_shard_ok_.begin(), last_shard_ok_.end(), 1);
 
@@ -787,6 +789,13 @@ serve::LookupResult ClusterClient::execute(const std::vector<Plan>& plans,
   // Hedge losers whose replies have arrived by now get their connections
   // squared away for free; stragglers stay owed and settle on next use.
   drain_owed_nonblocking();
+  if (config_.windowed != nullptr) {
+    // One windowed record per cluster lookup: full scatter-gather wall
+    // latency; degraded partial results burn error budget.
+    config_.windowed->record(
+        static_cast<double>(obs::Tracer::now_ns() - windowed_t0) / 1000.0,
+        degraded);
+  }
   return out;
 }
 
@@ -804,6 +813,9 @@ serve::LookupResult ClusterClient::lookup_ids(
     const std::size_t b = config_.map.shard_of_id(id);
     plans[b].local_ids.push_back(id - config_.map.shard(b).row_begin);
     plans[b].id_slots.push_back(static_cast<std::uint32_t>(i));
+    // Router-side key-load attribution, in GLOBAL id space (the backends
+    // record the same key in their local space).
+    if (config_.load != nullptr) config_.load->record(id);
   }
   return execute(plans, ids.size(), std::move(flags));
 }
@@ -822,6 +834,7 @@ serve::LookupResult ClusterClient::lookup_words(
       const std::size_t b = config_.map.shard_of_id(id);
       plans[b].local_ids.push_back(id - config_.map.shard(b).row_begin);
       plans[b].id_slots.push_back(static_cast<std::uint32_t>(i));
+      if (config_.load != nullptr) config_.load->record(id);
     } else {
       // OOV: one deterministic home shard synthesizes it.
       const std::size_t b = config_.map.shard_of_word(words[i]);
@@ -1068,6 +1081,62 @@ ClusterStatsReport ClusterClient::stats() {
   report.aggregate.service.refresh_percentiles();
   report.aggregate.batcher.refresh_percentiles();
   return report;
+}
+
+net::HeatReport ClusterClient::heat() {
+  net::HeatReport fleet;
+  const std::size_t n_shards = config_.map.num_shards();
+  for (std::size_t b = 0; b < n_shards; ++b) {
+    net::HeatReport shard_merge;
+    bool answered = false;
+    for (std::size_t r = 0; r < config_.map.shard(b).num_replicas(); ++r) {
+      if (!replica_up(b, r)) continue;
+      settle_owed(b, r, /*budget_ms=*/50);
+      net::TcpStream* s = stream(b, r);
+      if (s == nullptr) continue;
+      try {
+        net::write_frame(*s, net::MsgType::kHeat, net::WireWriter());
+        net::MsgType type{};
+        std::vector<std::uint8_t> payload;
+        if (!net::read_frame(*s, &type, &payload) ||
+            type != net::MsgType::kHeatReply) {
+          // An old backend answers kError; either way an unexpected type
+          // breaks the in-order reply alignment, so drop the connection
+          // (same policy as stats) and move on without its data.
+          drop(b, r);
+          continue;
+        }
+        net::WireReader reader(payload);
+        net::HeatReport one = net::decode_heat_report(&reader);
+        reader.expect_done();
+        // Replicas of one shard report the same LOCAL id space: merge
+        // them first, lift once.
+        if (!answered) {
+          shard_merge = std::move(one);
+          answered = true;
+        } else {
+          shard_merge.windowed.merge(one.windowed);
+          shard_merge.sketch.merge(one.sketch);
+          shard_merge.heat.merge(one.heat);
+        }
+      } catch (const std::exception&) {
+        drop(b, r);
+      }
+    }
+    if (!answered) continue;
+    // Lift local keys/ranges into global id space. A uniform key shift
+    // preserves the canonical (count desc, key asc) order, so no re-sort
+    // is needed before the cross-shard merge re-sorts anyway.
+    const std::uint64_t shift = config_.map.shard(b).row_begin;
+    if (shift != 0) {
+      shard_merge.heat.shift_rows(shift);
+      for (obs::HeavyHitter& e : shard_merge.sketch.entries) e.key += shift;
+    }
+    fleet.windowed.merge(shard_merge.windowed);
+    fleet.sketch.merge(shard_merge.sketch);
+    fleet.heat.merge(shard_merge.heat);
+  }
+  return fleet;
 }
 
 void ClusterClient::shutdown_backends() {

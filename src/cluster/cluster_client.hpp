@@ -54,8 +54,10 @@
 #include "cluster/shard_map.hpp"
 #include "net/socket.hpp"
 #include "net/wire.hpp"
+#include "obs/heavy_hitters.hpp"
 #include "obs/log_histogram.hpp"
 #include "obs/trace.hpp"
+#include "obs/windowed.hpp"
 #include "serve/lookup_service.hpp"
 
 namespace anchor::cluster {
@@ -82,6 +84,15 @@ struct ClusterConfig {
   /// Hedge the straggler replica (needs a HedgePolicy and ≥ 2 replicas on
   /// the shard to take effect).
   bool hedge = true;
+  /// When set, every cluster lookup is recorded as one windowed request
+  /// (latency = full scatter-gather, error = degraded result) — the
+  /// router's own rolling-rate view, independent of the backends'.
+  /// Thread-safe; shared across a pool's clients. Not owned.
+  obs::WindowedStats* windowed = nullptr;
+  /// When set, resolved GLOBAL rows are attributed per lookup — the
+  /// router-side key-load view in global id space (the backends' own
+  /// sketches are local-space and reachable via heat()). Not owned.
+  obs::KeyLoadRecorder* load = nullptr;
 };
 
 /// Shared per-replica up/down + in-flight load state: handlers mark a
@@ -255,6 +266,15 @@ class ClusterClient {
   /// "mixed" while they disagree; shard_versions[i] is shard i's first
   /// answering replica's version.
   ClusterStatsReport stats();
+  /// Control plane: kHeat to every live replica of every shard. Replicas
+  /// of one shard report the same LOCAL id space and merge first; each
+  /// shard's merged sketch keys and heat ranges are then lifted by the
+  /// shard's global row_begin and merged across shards — the fleet's
+  /// load/heat view in GLOBAL id space, bit-identical in any merge order
+  /// (the contract the router's HEAT reply is tested against). Backends
+  /// whose every replica is down contribute nothing (degraded, like
+  /// stats). Old backends answering kError are skipped the same way.
+  net::HeatReport heat();
   /// Best-effort kShutdown to every reachable replica of every shard.
   void shutdown_backends();
 

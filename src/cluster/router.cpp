@@ -23,6 +23,8 @@ bool canary_terminal(serve::CanaryState s) {
 
 Router::Router(RouterConfig config)
     : config_(std::move(config)),
+      windowed_(config_.windowed),
+      slo_(config_.slo),
       listener_(net::TcpListener::bind_loopback(config_.port)) {
   // Fail at construction, not at the first connection: an empty map
   // would otherwise throw from a handler thread (outside its try block)
@@ -33,11 +35,24 @@ Router::Router(RouterConfig config)
   hedge_ = std::make_shared<HedgePolicy>(config_.map.num_shards(),
                                          config_.hedge_policy);
   counters_ = std::make_shared<ClusterCounters>();
+  if (config_.hot_key_capacity != 0) {
+    obs::SpaceSavingSketch::Config sketch;
+    sketch.capacity = config_.hot_key_capacity;
+    obs::RangeHeatMap::Config heat;
+    heat.row_begin = 0;
+    heat.row_end = config_.map.total_rows();
+    heat.buckets = config_.heat_buckets != 0 ? config_.heat_buckets : 1;
+    load_ = std::make_unique<obs::KeyLoadRecorder>(sketch, heat);
+  }
   ClusterConfig cc_config;
   cc_config.map = config_.map;
   cc_config.io_timeout_ms = config_.backend_io_timeout_ms;
   cc_config.max_attempts = config_.max_attempts;
   cc_config.hedge = config_.hedge;
+  // The pooled clients all record into the router's shared windowed ring
+  // and global-id key-load recorders (both thread-safe).
+  cc_config.windowed = &windowed_;
+  cc_config.load = load_.get();
   // hedge_ is shared even when hedging is off (ClusterConfig::hedge
   // gates the behavior): the per-shard RTT histograms are still the
   // router's latency signal worth recording.
@@ -102,7 +117,8 @@ void Router::register_metrics() {
       const ShardSpec& spec = config_.map.shard(b);
       for (std::size_t rep = 0; rep < spec.num_replicas(); ++rep) {
         r.gauge("anchor_router_replica_up{shard=\"" + std::to_string(b) +
-                    "\",replica=\"" + spec.address(rep) + "\"}",
+                    "\",replica=\"" +
+                    obs::escape_label_value(spec.address(rep)) + "\"}",
                 "1 = replica marked healthy, 0 = down")
             .set(health_->healthy(b, rep) ? 1.0 : 0.0);
       }
@@ -123,6 +139,76 @@ void Router::register_metrics() {
     r.counter("anchor_trace_spans_total",
               "Trace spans recorded into this process's span ring")
         .set(obs::Tracer::instance().spans_recorded());
+  });
+  // The router's own windowed plane: rolling lookup rates, SLO burn, and
+  // global-id heavy hitters (label-swap discipline as in net::Server).
+  auto last_top = std::make_shared<std::vector<std::string>>();
+  metrics_.on_collect([this, last_top](obs::MetricsRegistry& r) {
+    const obs::WindowedSnapshot w = windowed_.snapshot();
+    r.gauge("anchor_router_window_qps_10s",
+            "Cluster lookups/s over the last 10 s")
+        .set(w.qps(10'000'000ull));
+    r.gauge("anchor_router_window_qps_1m",
+            "Cluster lookups/s over the last 60 s")
+        .set(w.qps(60'000'000ull));
+    r.gauge("anchor_router_window_error_rate_1m",
+            "Degraded-lookup fraction over the last 60 s")
+        .set(w.error_rate(60'000'000ull));
+    r.gauge("anchor_router_window_p99_us_1m",
+            "Scatter-gather p99 latency (µs) over the last 60 s")
+        .set(w.latency_in(60'000'000ull).quantile(0.99));
+    const obs::SloState slo = slo_.evaluate(w);
+    r.gauge("anchor_router_slo_burn_short",
+            "SLO burn rate over the short window (1.0 = exactly on budget)")
+        .set(slo.short_burn);
+    r.gauge("anchor_router_slo_burn_long",
+            "SLO burn rate over the long window")
+        .set(slo.long_burn);
+    r.gauge("anchor_router_slo_alert_state",
+            "Multi-window burn-rate alert (0 ok, 1 warn, 2 page)")
+        .set(static_cast<double>(slo.alert));
+    if (load_ != nullptr) {
+      const obs::SketchSnapshot sketch = load_->sketch.snapshot();
+      r.counter("anchor_router_key_load_records_total",
+                "Global key occurrences offered to the router's sketch")
+          .set(sketch.total);
+      constexpr std::size_t kExportRanks = 8;
+      const std::vector<obs::HeavyHitter> top = sketch.top(kExportRanks);
+      last_top->resize(kExportRanks);
+      for (std::size_t rank = 0; rank < kExportRanks; ++rank) {
+        std::string name;
+        if (rank < top.size()) {
+          name = "anchor_router_top_key_count{rank=\"" +
+                 std::to_string(rank) + "\",id=\"" +
+                 std::to_string(top[rank].key) + "\"}";
+        }
+        if ((*last_top)[rank] != name && !(*last_top)[rank].empty()) {
+          r.gauge((*last_top)[rank],
+                  "Sketch count of the rank-N hottest global key")
+              .set(0.0);
+        }
+        (*last_top)[rank] = name;
+        if (!name.empty()) {
+          r.gauge(name, "Sketch count of the rank-N hottest global key")
+              .set(static_cast<double>(top[rank].count));
+        }
+      }
+      const obs::HeatMapSnapshot heat = load_->heat.snapshot();
+      std::size_t populated = 0;
+      for (const obs::HeatRange& range : heat.ranges) {
+        for (std::size_t b = 0; b < range.buckets.size(); ++b) {
+          if (range.buckets[b] == 0) continue;
+          ++populated;
+          r.counter("anchor_router_heat_bucket_total{bucket=\"" +
+                        std::to_string(b) + "\"}",
+                    "Lookups landing in this global id-range bucket")
+              .set(range.buckets[b]);
+        }
+      }
+      r.gauge("anchor_router_heat_buckets_populated",
+              "Router heat-map buckets that have recorded any load")
+          .set(static_cast<double>(populated));
+    }
   });
 }
 
@@ -373,6 +459,19 @@ bool Router::dispatch(net::TcpStream& stream, net::MsgType type,
           pool_->with_client([](ClusterClient& cc) { return cc.stats(); });
       net::encode_server_stats(agg.aggregate, &reply);
       net::write_frame(stream, net::MsgType::kStatsReply, reply);
+      return true;
+    }
+    case net::MsgType::kHeat: {
+      reader.expect_done();
+      // Pure backend merge, lifted to global id space by the borrowed
+      // client: the reply is bit-identical to a client merging the
+      // backends' own HEAT replies itself (pinned by cluster_test). The
+      // router's own windowed/key-load view is deliberately NOT mixed in
+      // — it is exported via this process's Prometheus plane instead.
+      const net::HeatReport fleet =
+          pool_->with_client([](ClusterClient& cc) { return cc.heat(); });
+      net::encode_heat_report(fleet, &reply);
+      net::write_frame(stream, net::MsgType::kHeatReply, reply);
       return true;
     }
     case net::MsgType::kPing: {

@@ -74,6 +74,18 @@ struct RouterConfig {
   bool forward_shutdown = false;
   /// Per-shard rollout outcomes append here (append_audit_csv format).
   std::filesystem::path audit_log;
+  /// Windowed-telemetry ring shape for the router's own rolling view
+  /// (recorded per cluster lookup by the pooled clients).
+  obs::WindowedConfig windowed;
+  /// SLO burn-rate policy over the router window (`--slo-p99-us`,
+  /// `--slo-error-budget` on the daemon).
+  obs::SloConfig slo;
+  /// Router-side heavy-hitter sketch budget over GLOBAL ids (`--hot-keys`);
+  /// 0 disables router key-load attribution (HEAT still proxies the
+  /// backends' merged view).
+  std::size_t hot_key_capacity = 512;
+  /// Router heat-map fanout over [0, map.total_rows()) (`--heat-buckets`).
+  std::size_t heat_buckets = 256;
 };
 
 class Router {
@@ -147,6 +159,11 @@ class Router {
   std::shared_ptr<ClusterHealth> health_;
   std::shared_ptr<HedgePolicy> hedge_;
   std::shared_ptr<ClusterCounters> counters_;
+  /// Router-side windowed/key-load telemetry, fed by the pooled clients
+  /// (declared before pool_, whose ClusterConfig carries pointers in).
+  obs::WindowedStats windowed_;
+  std::unique_ptr<obs::KeyLoadRecorder> load_;
+  obs::SloMonitor slo_;
   std::unique_ptr<ClusterClientPool> pool_;
   net::TcpListener listener_;
   obs::MetricsRegistry metrics_;

@@ -235,6 +235,15 @@ ServerStatsReport Client::stats() {
   return report;
 }
 
+HeatReport Client::heat() {
+  const auto payload =
+      roundtrip(MsgType::kHeat, WireWriter(), MsgType::kHeatReply);
+  WireReader reader(payload);
+  HeatReport report = decode_heat_report(&reader);
+  reader.expect_done();
+  return report;
+}
+
 obs::MetricsReport Client::metrics() {
   const auto payload =
       roundtrip(MsgType::kMetrics, WireWriter(), MsgType::kMetricsReply);

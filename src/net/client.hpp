@@ -114,6 +114,10 @@ class Client {
   /// The server's metrics registry (counters, gauges, histograms) — what
   /// `anchor_cli metrics` renders. Both daemons answer this.
   obs::MetricsReport metrics();
+  /// The server's load/heat telemetry: windowed request rates, the
+  /// heavy-hitter sketch, and the range heat map. Against a router this
+  /// returns the fleet merge in global id space.
+  HeatReport heat();
   void ping();
   /// Asks the daemon to exit its serving loop. The reply is confirmed
   /// before returning, so a scripted caller can wait(1) on the daemon pid.

@@ -69,12 +69,17 @@ void MetricsHttpServer::handle(TcpStream stream) {
   } catch (const NetError&) {
     return;  // truncated request: nothing useful to answer
   }
+  // HEAD gets the same status and headers — including the Content-Length
+  // a GET would carry — with no body (RFC 9110 §9.3.2); health checkers
+  // commonly probe exporters this way. Any other method is treated as
+  // GET (a scrape endpoint has exactly one resource to offer).
+  const bool is_head = head.compare(0, 5, "HEAD ") == 0;
   const std::string body = render_();
   std::string response = "HTTP/1.0 200 OK\r\n";
   response += "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n";
   response += "Content-Length: " + std::to_string(body.size()) + "\r\n";
   response += "Connection: close\r\n\r\n";
-  response += body;
+  if (!is_head) response += body;
   try {
     stream.write_all(response.data(), response.size());
   } catch (const NetError&) {

@@ -14,8 +14,36 @@ Server::Server(serve::EmbeddingStore& store, ServerConfig config)
       config_(config),
       service_stats_(std::make_shared<serve::ServeStats>()),
       batcher_stats_(std::make_shared<serve::ServeStats>()),
-      service_(store, config.lookup, service_stats_),
-      async_(service_, config.batcher, batcher_stats_),
+      windowed_(config.windowed),
+      batch_windowed_(config.windowed),
+      load_([&]() -> std::unique_ptr<obs::KeyLoadRecorder> {
+        if (config.hot_key_capacity == 0) return nullptr;
+        obs::SpaceSavingSketch::Config sketch;
+        sketch.capacity = config.hot_key_capacity;
+        obs::RangeHeatMap::Config heat;
+        heat.row_begin = 0;
+        const serve::SnapshotPtr live = store.live();
+        heat.row_end = live ? live->vocab_size() : 0;
+        heat.buckets = config.heat_buckets != 0 ? config.heat_buckets : 1;
+        return std::make_unique<obs::KeyLoadRecorder>(sketch, heat);
+      }()),
+      slo_(config.slo),
+      // The services get pointers into the recorders above, which is why
+      // those are declared (and therefore constructed) first.
+      service_(store,
+               [&] {
+                 serve::LookupConfig lc = config.lookup;
+                 lc.load = load_.get();
+                 return lc;
+               }(),
+               service_stats_),
+      async_(service_,
+             [&] {
+               serve::BatcherConfig bc = config.batcher;
+               bc.windowed = &batch_windowed_;
+               return bc;
+             }(),
+             batcher_stats_),
       gate_(config.gate),
       listener_(TcpListener::bind_loopback(config.port)),
       faults_(config.fault_seed) {
@@ -23,7 +51,26 @@ Server::Server(serve::EmbeddingStore& store, ServerConfig config)
   if (config_.ann_enable) {
     ann_ = std::make_unique<ann::AnnService>(store_, config_.ann);
   }
+  // Pin the drift reference against whatever is live now; one immediate
+  // run seeds the gauges at their no-drift baseline.
+  drift_ = std::make_unique<obs::DriftProbe>(store_, config_.drift);
   register_metrics();
+  drift_->register_metrics(metrics_);
+  drift_->run_once();
+  drift_->start();
+}
+
+HeatReport Server::heat_report() {
+  // The RPC-level window only: batch_windowed_ counts coalesced *keys*,
+  // a different unit, and is exported via Prometheus instead of merged
+  // into the fleet's request-rate view.
+  HeatReport report;
+  report.windowed = windowed_.snapshot();
+  if (load_ != nullptr) {
+    report.sketch = load_->sketch.snapshot();
+    report.heat = load_->heat.snapshot();
+  }
+  return report;
 }
 
 void Server::register_metrics() {
@@ -99,8 +146,8 @@ void Server::register_metrics() {
     }
     const std::string version = store_.live_version();
     if (!version.empty()) {
-      const std::string name =
-          "anchor_live_version_info{version=\"" + version + "\"}";
+      const std::string name = "anchor_live_version_info{version=\"" +
+                               obs::escape_label_value(version) + "\"}";
       if (*last_version != name) {
         if (!last_version->empty()) {
           reg.gauge(*last_version, "Live embedding version (1 = live)")
@@ -115,8 +162,8 @@ void Server::register_metrics() {
     // differently-encoded snapshot zeroes the stale series.
     if (const serve::SnapshotPtr live = store_.live()) {
       const std::string enc_name =
-          "anchor_snapshot_encoding_info{encoding=\"" + live->encoding() +
-          "\"}";
+          "anchor_snapshot_encoding_info{encoding=\"" +
+          obs::escape_label_value(live->encoding()) + "\"}";
       if (*last_encoding != enc_name) {
         if (!last_encoding->empty()) {
           reg.gauge(*last_encoding,
@@ -154,6 +201,81 @@ void Server::register_metrics() {
                 "Replies truncated mid-frame by the fault injector")
         .set(faults_.injected_truncates());
   });
+  // The windowed plane: rolling rates, SLO burn, heavy hitters, heat.
+  // Top-key series are rank-labeled with the key id as a second label;
+  // when a rank's id changes between scrapes the stale series is zeroed,
+  // the same discipline as the live-version info gauge.
+  auto last_top = std::make_shared<std::vector<std::string>>();
+  metrics_.on_collect([this, last_top](obs::MetricsRegistry& reg) {
+    const obs::WindowedSnapshot w = windowed_.snapshot();
+    reg.gauge("anchor_window_qps_10s", "RPC requests/s over the last 10 s")
+        .set(w.qps(10'000'000ull));
+    reg.gauge("anchor_window_qps_1m", "RPC requests/s over the last 60 s")
+        .set(w.qps(60'000'000ull));
+    reg.gauge("anchor_window_error_rate_1m",
+              "RPC error fraction over the last 60 s")
+        .set(w.error_rate(60'000'000ull));
+    reg.gauge("anchor_window_p99_us_1m",
+              "RPC p99 latency (µs) over the last 60 s")
+        .set(w.latency_in(60'000'000ull).quantile(0.99));
+    const obs::WindowedSnapshot bw = batch_windowed_.snapshot();
+    reg.gauge("anchor_batcher_window_keys_per_s_1m",
+              "Coalesced lookup keys/s over the last 60 s")
+        .set(bw.qps(60'000'000ull));
+    const obs::SloState slo = slo_.evaluate(w);
+    reg.gauge("anchor_slo_burn_short",
+              "SLO burn rate over the short window (1.0 = exactly on "
+              "budget)")
+        .set(slo.short_burn);
+    reg.gauge("anchor_slo_burn_long", "SLO burn rate over the long window")
+        .set(slo.long_burn);
+    reg.gauge("anchor_slo_alert_state",
+              "Multi-window burn-rate alert (0 ok, 1 warn, 2 page)")
+        .set(static_cast<double>(slo.alert));
+    if (load_ != nullptr) {
+      const obs::SketchSnapshot sketch = load_->sketch.snapshot();
+      reg.counter("anchor_key_load_records_total",
+                  "Key occurrences offered to the heavy-hitter sketch")
+          .set(sketch.total);
+      constexpr std::size_t kExportRanks = 8;
+      const std::vector<obs::HeavyHitter> top = sketch.top(kExportRanks);
+      last_top->resize(kExportRanks);
+      for (std::size_t r = 0; r < kExportRanks; ++r) {
+        std::string name;
+        if (r < top.size()) {
+          name = "anchor_top_key_count{rank=\"" + std::to_string(r) +
+                 "\",id=\"" + std::to_string(top[r].key) + "\"}";
+        }
+        if ((*last_top)[r] != name && !(*last_top)[r].empty()) {
+          reg.gauge((*last_top)[r],
+                    "Sketch count of the rank-N hottest key")
+              .set(0.0);
+        }
+        (*last_top)[r] = name;
+        if (!name.empty()) {
+          reg.gauge(name, "Sketch count of the rank-N hottest key")
+              .set(static_cast<double>(top[r].count));
+        }
+      }
+      // Heat buckets are cumulative (never reset), so only the populated
+      // ones need series — a bucket that ever counted stays nonzero.
+      const obs::HeatMapSnapshot heat = load_->heat.snapshot();
+      std::size_t populated = 0;
+      for (const obs::HeatRange& range : heat.ranges) {
+        for (std::size_t b = 0; b < range.buckets.size(); ++b) {
+          if (range.buckets[b] == 0) continue;
+          ++populated;
+          reg.counter("anchor_heat_bucket_total{bucket=\"" +
+                          std::to_string(b) + "\"}",
+                      "Key-load records landing in this id-range bucket")
+              .set(range.buckets[b]);
+        }
+      }
+      reg.gauge("anchor_heat_buckets_populated",
+                "Heat-map buckets that have recorded any load")
+          .set(static_cast<double>(populated));
+    }
+  });
 }
 
 Server::~Server() { stop(); }
@@ -166,6 +288,7 @@ void Server::start() {
 
 void Server::stop() {
   stop_.store(true, std::memory_order_release);
+  if (drift_) drift_->stop();
   if (accept_thread_.joinable()) accept_thread_.join();
   // run() callers drive the accept loop on their own thread; wait for it
   // to observe the stop flag (bounded by poll_interval_ms) so the
@@ -291,6 +414,28 @@ bool Server::send_data_reply(TcpStream& stream, MsgType type,
   return true;
 }
 
+namespace {
+
+/// Records one data-plane request into a windowed ring on scope exit:
+/// wall latency from construction; counted as an error unless the
+/// handler cleared the flag after putting a clean reply on the wire, so
+/// malformed frames, serving errors, and injected drops all burn budget.
+struct WindowedScope {
+  explicit WindowedScope(obs::WindowedStats& w) : w_(w) {}
+  ~WindowedScope() {
+    w_.record(static_cast<double>(obs::Tracer::now_ns() - t0_) / 1000.0,
+              error);
+  }
+  WindowedScope(const WindowedScope&) = delete;
+  WindowedScope& operator=(const WindowedScope&) = delete;
+
+  obs::WindowedStats& w_;
+  std::uint64_t t0_ = obs::Tracer::now_ns();
+  bool error = true;
+};
+
+}  // namespace
+
 bool Server::dispatch(TcpStream& stream, MsgType type,
                       const std::vector<std::uint8_t>& payload,
                       const obs::TraceContext& trace) {
@@ -314,6 +459,7 @@ bool Server::dispatch(TcpStream& stream, MsgType type,
   // the connection and answer kError instead.
   switch (type) {
     case MsgType::kLookupIds: {
+      WindowedScope wscope(windowed_);
       const std::uint32_t n = reader.u32();
       // Each id occupies 8 payload bytes, so a count the payload cannot
       // hold is malformed — reject before allocating n slots.
@@ -337,7 +483,10 @@ bool Server::dispatch(TcpStream& stream, MsgType type,
           serve::LookupResult merged;
           canary->lookup_ids_into(ids, &merged);
           encode_lookup_result(merged, &reply);
-          return send_data_reply(stream, MsgType::kLookupIdsReply, reply);
+          const bool sent =
+              send_data_reply(stream, MsgType::kLookupIdsReply, reply);
+          wscope.error = !sent;
+          return sent;
         }
         // Single keys ride the allocation-free ring fast path; bigger
         // requests coalesce on the general path. Traced requests always
@@ -352,6 +501,7 @@ bool Server::dispatch(TcpStream& stream, MsgType type,
         if (!send_data_reply(stream, MsgType::kLookupIdsReply, reply)) {
           return false;
         }
+        wscope.error = false;
       } catch (const NetError&) {
         // Transport failure, possibly mid-reply: the stream framing is
         // gone; close the connection instead of appending an error frame
@@ -365,6 +515,7 @@ bool Server::dispatch(TcpStream& stream, MsgType type,
       return true;
     }
     case MsgType::kLookupWords: {
+      WindowedScope wscope(windowed_);
       const std::uint32_t n = reader.u32();
       // Every word carries at least its 4-byte length prefix.
       if (n > reader.remaining() / sizeof(std::uint32_t)) {
@@ -384,7 +535,10 @@ bool Server::dispatch(TcpStream& stream, MsgType type,
           serve::LookupResult merged;
           canary->lookup_words_into(words, &merged);
           encode_lookup_result(merged, &reply);
-          return send_data_reply(stream, MsgType::kLookupWordsReply, reply);
+          const bool sent =
+              send_data_reply(stream, MsgType::kLookupWordsReply, reply);
+          wscope.error = !sent;
+          return sent;
         }
         const serve::ResultSlice slice =
             trace.sampled()
@@ -394,6 +548,7 @@ bool Server::dispatch(TcpStream& stream, MsgType type,
         if (!send_data_reply(stream, MsgType::kLookupWordsReply, reply)) {
           return false;
         }
+        wscope.error = false;
       } catch (const NetError&) {
         throw;  // transport failure mid-reply: close, don't answer
       } catch (const std::exception& e) {
@@ -404,6 +559,7 @@ bool Server::dispatch(TcpStream& stream, MsgType type,
       return true;
     }
     case MsgType::kTopK: {
+      WindowedScope wscope(windowed_);
       TopKRequest req = decode_topk_request(&reader);
       reader.expect_done();
       if (!ann_) {
@@ -452,7 +608,9 @@ bool Server::dispatch(TcpStream& stream, MsgType type,
         topk_cells_probed_.record(static_cast<double>(result.cells_probed));
         topk_shortlist_.record(static_cast<double>(result.shortlist));
         encode_topk_result(result, &reply);
-        return send_data_reply(stream, MsgType::kTopKReply, reply);
+        const bool sent = send_data_reply(stream, MsgType::kTopKReply, reply);
+        wscope.error = !sent;
+        return sent;
       } catch (const NetError&) {
         throw;  // transport failure mid-reply: close, don't answer
       } catch (const std::exception& e) {
@@ -578,6 +736,15 @@ bool Server::dispatch(TcpStream& stream, MsgType type,
       write_frame(stream, MsgType::kMetricsReply, reply);
       return true;
     }
+    case MsgType::kHeat: {
+      reader.expect_done();
+      // Control plane, like kStats/kMetrics: no fault injection, no
+      // windowed self-recording — the telemetry RPC must not perturb the
+      // telemetry it reports.
+      encode_heat_report(heat_report(), &reply);
+      write_frame(stream, MsgType::kHeatReply, reply);
+      return true;
+    }
     case MsgType::kCanaryStart: {
       const std::string candidate = reader.str();
       const double fraction = reader.f64();
@@ -608,6 +775,11 @@ bool Server::dispatch(TcpStream& stream, MsgType type,
         // kStats does not under-report while the canary runs.
         ccfg.candidate_service_stats = service_stats_;
         ccfg.candidate_batcher_stats = batcher_stats_;
+        // Same rationale for key-load attribution: the candidate stack
+        // serves a slice of real traffic, so its keys feed the same
+        // sketch/heat map and the HEAT view stays whole-traffic.
+        ccfg.candidate_lookup.load = load_.get();
+        ccfg.candidate_batcher.windowed = &batch_windowed_;
         serve::GateReport offline;
         const auto router =
             gate_.try_promote(store_, candidate, async_, ccfg, &offline);

@@ -29,9 +29,12 @@
 #include "net/fault.hpp"
 #include "net/socket.hpp"
 #include "net/wire.hpp"
+#include "obs/drift_probe.hpp"
+#include "obs/heavy_hitters.hpp"
 #include "obs/log_histogram.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/windowed.hpp"
 #include "serve/batcher.hpp"
 #include "serve/canary.hpp"
 #include "serve/deployment_gate.hpp"
@@ -83,6 +86,20 @@ struct ServerConfig {
   double topk_churn_reject = 0.0;
   std::size_t topk_churn_queries = 64;
   std::size_t topk_churn_k = 10;
+  /// Windowed-telemetry ring shape, shared by the RPC-level and
+  /// batch-level recorders (they must agree so their snapshots merge).
+  obs::WindowedConfig windowed;
+  /// SLO burn-rate policy over the RPC window (`--slo-p99-us`,
+  /// `--slo-error-budget` on the daemon).
+  obs::SloConfig slo;
+  /// Heavy-hitter sketch entry budget (`--hot-keys`); 0 disables key-load
+  /// attribution entirely (no sketch, no heat map, HEAT serves empties).
+  std::size_t hot_key_capacity = 512;
+  /// Range heat-map fanout over the live vocabulary (`--heat-buckets`).
+  std::size_t heat_buckets = 256;
+  /// Continuous instability probe (`--drift-interval`); interval 0 keeps
+  /// the gauges manual-only (kHeat/metrics still work).
+  obs::DriftProbeConfig drift;
 };
 
 class Server {
@@ -127,6 +144,16 @@ class Server {
   FaultInjector& fault_injector() { return faults_; }
   /// The ANN service behind the TOPK RPC; nullptr when ann_enable=false.
   ann::AnnService* ann() { return ann_.get(); }
+  /// RPC-level windowed telemetry (one record per data-plane request).
+  obs::WindowedStats& windowed() { return windowed_; }
+  /// Key-load recorders fed by LookupService; nullptr when
+  /// hot_key_capacity == 0.
+  obs::KeyLoadRecorder* key_load() { return load_.get(); }
+  /// The continuous instability probe; nullptr for an empty store.
+  obs::DriftProbe* drift() { return drift_.get(); }
+  /// What the kHeat RPC answers: this server's windowed ring, heavy-hitter
+  /// sketch, and range heat map, snapshotted together.
+  HeatReport heat_report();
 
  private:
   void accept_loop();
@@ -151,11 +178,24 @@ class Server {
   /// RPC keeps covering all traffic while a canary routes part of it.
   std::shared_ptr<serve::ServeStats> service_stats_;
   std::shared_ptr<serve::ServeStats> batcher_stats_;
+  /// Telemetry recorders are declared (and constructed) before the
+  /// services that hold pointers into them: windowed_ feeds the RPC
+  /// dispatch loop, batch_windowed_ rides BatcherConfig::windowed, and
+  /// load_ rides LookupConfig::load (so the canary's candidate stack and
+  /// the incumbent attribute into the same sketch).
+  obs::WindowedStats windowed_;
+  obs::WindowedStats batch_windowed_;
+  std::unique_ptr<obs::KeyLoadRecorder> load_;
+  obs::SloMonitor slo_;
   serve::LookupService service_;
   serve::AsyncLookupService async_;
   serve::DeploymentGate gate_;
   TcpListener listener_;
   obs::MetricsRegistry metrics_;
+  /// Declared after metrics_ so its background thread (stopped in stop(),
+  /// but belt-and-braces for destruction order) dies before the gauges it
+  /// writes.
+  std::unique_ptr<obs::DriftProbe> drift_;
   FaultInjector faults_;
   std::unique_ptr<ann::AnnService> ann_;
   /// TOPK observability: request count plus the tuning-relevant shape of

@@ -545,4 +545,134 @@ ann::TopKResult decode_topk_result(WireReader* r) {
   return result;
 }
 
+// ---- load & drift telemetry (HEAT) --------------------------------------
+
+void encode_windowed_snapshot(const obs::WindowedSnapshot& w,
+                              WireWriter* out) {
+  out->u64(w.slice_us);
+  out->u64(w.now_us);
+  out->u32(static_cast<std::uint32_t>(w.slices.size()));
+  for (const obs::WindowSlice& s : w.slices) {
+    out->u64(s.epoch);
+    out->u64(s.requests);
+    out->u64(s.errors);
+    encode_histogram(s.latency, out);
+  }
+}
+
+obs::WindowedSnapshot decode_windowed_snapshot(WireReader* r) {
+  obs::WindowedSnapshot w;
+  w.slice_us = r->u64();
+  w.now_us = r->u64();
+  const std::uint32_t n = r->u32();
+  // An all-empty snapshot may carry slice_us 0 (nothing recorded yet);
+  // actual slices without a slice width are undecodable nonsense.
+  if (n != 0 && w.slice_us == 0) {
+    throw WireError("windowed slice width is zero");
+  }
+  // Every slice carries three u64 counters plus a histogram whose fixed
+  // aggregates alone are 36 bytes.
+  if (n > r->remaining() / 60) {
+    throw WireError("windowed slice count exceeds payload");
+  }
+  w.slices.resize(n);
+  std::uint64_t prev_epoch = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    obs::WindowSlice& s = w.slices[i];
+    s.epoch = r->u64();
+    if (i != 0 && s.epoch <= prev_epoch) {
+      // The merge contract requires strictly ascending epochs; a hostile
+      // frame must not smuggle duplicates past it.
+      throw WireError("windowed slices out of order");
+    }
+    prev_epoch = s.epoch;
+    s.requests = r->u64();
+    s.errors = r->u64();
+    s.latency = decode_histogram(r);
+  }
+  return w;
+}
+
+void encode_sketch_snapshot(const obs::SketchSnapshot& s, WireWriter* out) {
+  out->reserve(20 + s.entries.size() * 24);
+  out->u64(s.capacity);
+  out->u64(s.total);
+  out->u32(static_cast<std::uint32_t>(s.entries.size()));
+  for (const obs::HeavyHitter& e : s.entries) {
+    out->u64(e.key);
+    out->u64(e.count);
+    out->u64(e.error);
+  }
+}
+
+obs::SketchSnapshot decode_sketch_snapshot(WireReader* r) {
+  obs::SketchSnapshot s;
+  s.capacity = r->u64();
+  s.total = r->u64();
+  const std::uint32_t n = r->u32();
+  // Each entry is exactly 24 bytes on the wire.
+  if (n > r->remaining() / 24) {
+    throw WireError("sketch entry count exceeds payload");
+  }
+  s.entries.resize(n);
+  for (obs::HeavyHitter& e : s.entries) {
+    e.key = r->u64();
+    e.count = r->u64();
+    e.error = r->u64();
+  }
+  return s;
+}
+
+void encode_heat_map(const obs::HeatMapSnapshot& h, WireWriter* out) {
+  out->u64(h.total);
+  out->u64(h.elapsed_us);
+  out->u32(static_cast<std::uint32_t>(h.ranges.size()));
+  for (const obs::HeatRange& rg : h.ranges) {
+    out->u64(rg.row_begin);
+    out->u64(rg.row_end);
+    out->u32(static_cast<std::uint32_t>(rg.buckets.size()));
+    for (const std::uint64_t b : rg.buckets) out->u64(b);
+  }
+}
+
+obs::HeatMapSnapshot decode_heat_map(WireReader* r) {
+  obs::HeatMapSnapshot h;
+  h.total = r->u64();
+  h.elapsed_us = r->u64();
+  const std::uint32_t n = r->u32();
+  // Every range carries its two bounds plus a bucket count.
+  if (n > r->remaining() / 20) {
+    throw WireError("heat range count exceeds payload");
+  }
+  h.ranges.resize(n);
+  for (obs::HeatRange& rg : h.ranges) {
+    rg.row_begin = r->u64();
+    rg.row_end = r->u64();
+    if (rg.row_end < rg.row_begin) {
+      throw WireError("heat range bounds inverted");
+    }
+    const std::uint32_t nb = r->u32();
+    if (nb > r->remaining() / 8) {
+      throw WireError("heat bucket count exceeds payload");
+    }
+    rg.buckets.resize(nb);
+    for (std::uint64_t& b : rg.buckets) b = r->u64();
+  }
+  return h;
+}
+
+void encode_heat_report(const HeatReport& h, WireWriter* out) {
+  encode_windowed_snapshot(h.windowed, out);
+  encode_sketch_snapshot(h.sketch, out);
+  encode_heat_map(h.heat, out);
+}
+
+HeatReport decode_heat_report(WireReader* r) {
+  HeatReport h;
+  h.windowed = decode_windowed_snapshot(r);
+  h.sketch = decode_sketch_snapshot(r);
+  h.heat = decode_heat_map(r);
+  return h;
+}
+
 }  // namespace anchor::net

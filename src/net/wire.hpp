@@ -23,8 +23,10 @@
 #include <vector>
 
 #include "ann/ivf_pq.hpp"
+#include "obs/heavy_hitters.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/windowed.hpp"
 #include "serve/batcher.hpp"
 #include "serve/canary.hpp"
 #include "serve/deployment_gate.hpp"
@@ -93,6 +95,15 @@ enum class MsgType : std::uint8_t {
   // v3 peers that predate it answer with an Error frame, which clients
   // surface as "TOPK unsupported" rather than a protocol failure.
   kTopK = 0x10,
+  // Load & drift telemetry snapshot (answered by daemon AND router): a
+  // HeatReport of windowed request stats, the heavy-hitter key sketch,
+  // and the per-range heat map. The router fans the request out to every
+  // live replica of every shard and merges — replica data adds within a
+  // shard, shard data is lifted into global id space and concatenated.
+  // Added within protocol v3 as a new type pair, same compatibility
+  // stance as TOPK: older peers answer with an Error frame, which
+  // clients surface as "HEAT unsupported".
+  kHeat = 0x11,
   // Responses: request type | 0x80.
   kLookupIdsReply = 0x81,
   kLookupWordsReply = 0x82,
@@ -110,6 +121,7 @@ enum class MsgType : std::uint8_t {
   kMetricsReply = 0x8E,
   kFaultSetReply = 0x8F,
   kTopKReply = 0x90,
+  kHeatReply = 0x91,
   // Carries a string; sent instead of the normal reply when the server
   // failed to serve the request (e.g. unknown candidate version).
   kError = 0x7F,
@@ -390,5 +402,30 @@ TopKRequest decode_topk_request(WireReader* r);
 /// The reply IS a serialized ann::TopKResult, same pattern as lookups.
 void encode_topk_result(const ann::TopKResult& result, WireWriter* w);
 ann::TopKResult decode_topk_result(WireReader* r);
+
+// ---- load & drift telemetry (HEAT) --------------------------------------
+
+/// HEAT reply payload: the process's windowed request stats, heavy-hitter
+/// key sketch, and per-range heat map, all as mergeable snapshots (the
+/// router merges them exactly like the client would, bit-identically).
+/// Backends report keys/ranges in LOCAL row-id space; ClusterClient::heat
+/// shifts each shard's view by its global row_begin before merging.
+struct HeatReport {
+  obs::WindowedSnapshot windowed;
+  obs::SketchSnapshot sketch;
+  obs::HeatMapSnapshot heat;
+};
+
+void encode_windowed_snapshot(const obs::WindowedSnapshot& w, WireWriter* out);
+obs::WindowedSnapshot decode_windowed_snapshot(WireReader* r);
+
+void encode_sketch_snapshot(const obs::SketchSnapshot& s, WireWriter* out);
+obs::SketchSnapshot decode_sketch_snapshot(WireReader* r);
+
+void encode_heat_map(const obs::HeatMapSnapshot& h, WireWriter* out);
+obs::HeatMapSnapshot decode_heat_map(WireReader* r);
+
+void encode_heat_report(const HeatReport& h, WireWriter* out);
+HeatReport decode_heat_report(WireReader* r);
 
 }  // namespace anchor::net

@@ -132,13 +132,53 @@ void append_number(std::ostringstream& os, double v) {
   }
 }
 
+/// HELP-line escaping per the exposition spec: backslash and newline
+/// only (quotes are legal in help text).
+std::string escape_help(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (const char c : help) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
 }  // namespace
+
+std::string escape_label_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
 
 std::string to_prometheus(const MetricsReport& report) {
   std::ostringstream os;
   for (const MetricValue& m : report.metrics) {
     const std::string base = base_name(m.name);
-    if (!m.help.empty()) os << "# HELP " << base << ' ' << m.help << '\n';
+    if (!m.help.empty()) {
+      os << "# HELP " << base << ' ' << escape_help(m.help) << '\n';
+    }
     switch (m.kind) {
       case MetricKind::kCounter:
         os << "# TYPE " << base << " counter\n";

@@ -81,9 +81,17 @@ struct MetricsReport {
 /// Prometheus text exposition (format version 0.0.4). Histograms render
 /// cumulative _bucket{le="..."} series at power-of-two bounds (which
 /// align exactly with LogHistogram bucket boundaries), plus _sum/_count.
+/// HELP text is escaped per the spec (backslash and newline).
 std::string to_prometheus(const MetricsReport& report);
 /// Human-readable dump for `anchor_cli metrics`.
 std::string to_text(const MetricsReport& report);
+
+/// Escapes a string for use INSIDE a Prometheus label value: backslash →
+/// \\, double-quote → \", newline → \n (exposition-format spec). Every
+/// label value built from external input (snapshot versions, encodings,
+/// replica addresses) must pass through this, or a hostile version string
+/// like `ev"} 1` would forge arbitrary series in the scrape.
+std::string escape_label_value(const std::string& value);
 
 class MetricsRegistry {
  public:

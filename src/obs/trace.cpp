@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <thread>
@@ -188,6 +189,20 @@ void Tracer::append_slow_log(const TraceContext& ctx, double total_us,
   }
   line << "]}\n";
   std::lock_guard<std::mutex> lock(mu_);
+  // Size-capped rotation under the same mutex as the append: if THIS
+  // line would push the file past the cap, the current log becomes
+  // "<path>.1" (dropping any older .1) and the line starts a fresh file
+  // — a line is never split across the boundary.
+  if (config_.slow_log_max_bytes > 0) {
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(config_.slow_log_path, ec);
+    if (!ec && size + line.str().size() > config_.slow_log_max_bytes) {
+      std::filesystem::rename(config_.slow_log_path,
+                              config_.slow_log_path + ".1", ec);
+      // A failed rename (e.g. cross-device) falls through to appending —
+      // losing rotation beats losing the slow request.
+    }
+  }
   std::ofstream out(config_.slow_log_path, std::ios::app);
   if (out) out << line.str();
 }

@@ -79,6 +79,12 @@ struct TracerConfig {
   double slow_threshold_us = 10000.0;
   /// JSONL slow-request log path; empty disables the slow log entirely.
   std::string slow_log_path;
+  /// Size-capped rotation: when an append would push the log past this
+  /// many bytes, the file is renamed to "<path>.1" (replacing any
+  /// previous .1) and a fresh log starts — at most 2× the cap on disk,
+  /// the classic logrotate-keep-one scheme. 0 disables rotation
+  /// (unbounded growth, the pre-rotation behavior). Default 16 MiB.
+  std::uint64_t slow_log_max_bytes = 16ull << 20;
 };
 
 class Tracer {

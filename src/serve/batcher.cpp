@@ -272,10 +272,16 @@ void AsyncLookupService::execute_fast_batch(
       // No sampled timestamp in this batch — count it without polluting
       // the latency ring with a fake 0 µs entry.
       stats_->record_batch_unsampled(boxes.size());
+      if (config_.windowed != nullptr) {
+        config_.windowed->record_unsampled(boxes.size(), 0);
+      }
     } else {
-      stats_->record_batch(
-          boxes.size(),
-          static_cast<double>(now_ns() - oldest_ns) / 1000.0);
+      const double latency_us =
+          static_cast<double>(now_ns() - oldest_ns) / 1000.0;
+      stats_->record_batch(boxes.size(), latency_us);
+      if (config_.windowed != nullptr) {
+        config_.windowed->record_many(latency_us, boxes.size(), 0);
+      }
     }
   }
   const std::uint32_t state = hold->error ? 2 : 1;
@@ -605,6 +611,9 @@ void AsyncLookupService::run_batch(std::vector<Request> batch) {
                                   std::chrono::steady_clock::now() - oldest)
                                   .count();
     stats_->record_batch(keys, latency_us);
+    if (config_.windowed != nullptr) {
+      config_.windowed->record_many(latency_us, keys, 0);
+    }
   }
 
   if (traced != nullptr) {

@@ -56,6 +56,7 @@
 #include <vector>
 
 #include "obs/trace.hpp"
+#include "obs/windowed.hpp"
 #include "serve/lookup_service.hpp"
 #include "serve/serve_stats.hpp"
 
@@ -82,6 +83,11 @@ struct BatcherConfig {
   /// win) and the combining/dispatcher thread itself otherwise.
   enum class Exec { kAuto, kPool, kInline };
   Exec exec = Exec::kAuto;
+  /// When set, every coalesced flush is recorded as a windowed slice
+  /// (keys with their shared client-observed latency), so the rolling
+  /// batch QPS rides the same ring the RPC plane uses. Not owned; must
+  /// outlive the service.
+  obs::WindowedStats* windowed = nullptr;
 };
 
 /// One caller's slice of a coalesced batch result: rows

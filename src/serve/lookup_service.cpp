@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "obs/heavy_hitters.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
 
@@ -188,6 +189,16 @@ void LookupService::lookup_batch_into(std::size_t n, const Resolve& resolve,
       rows[i] = kNotARow;
       out->oov[i] = 1;
       ++oov_count;
+    }
+  }
+  if (config_.load != nullptr) {
+    // Key-load attribution happens at resolve time, before the gather, so
+    // a cache hit and a dequantize miss weigh the same: the sketch and
+    // heat map measure demand, not cost.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rows[i] != kNotARow) {
+        config_.load->record(static_cast<std::uint64_t>(rows[i]));
+      }
     }
   }
   {

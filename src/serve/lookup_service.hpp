@@ -31,6 +31,10 @@
 #include "serve/embedding_store.hpp"
 #include "serve/serve_stats.hpp"
 
+namespace anchor::obs {
+struct KeyLoadRecorder;
+}  // namespace anchor::obs
+
 namespace anchor::serve {
 
 struct LookupConfig {
@@ -44,6 +48,13 @@ struct LookupConfig {
   /// candidate snapshot it evaluated, so a concurrent re-register under
   /// the same version id can never ride into a running canary.
   SnapshotPtr pin_snapshot = nullptr;
+  /// When set, every resolved (in-vocabulary) row is attributed to the
+  /// heavy-hitter sketch and range heat map — one hook covers the direct,
+  /// batched, and canary-shadow paths, which all funnel through
+  /// lookup_batch_into. OOV requests resolve to no row and are skipped:
+  /// they carry no id to attribute a range to. Not owned; must outlive
+  /// the service.
+  obs::KeyLoadRecorder* load = nullptr;
 };
 
 /// LookupResult::oov flag values. The serve layer itself only ever writes

@@ -859,6 +859,106 @@ TEST(Router, AggregatedStatsMergeHistogramsNotMaxPercentiles) {
   EXPECT_GT(agg.service.latency.count, 0u);
 }
 
+TEST(Router, HeatMergeBitIdenticalToClientSideBackendMerge) {
+  RouterFixture fx;
+  net::Client client("127.0.0.1", fx.router->port());
+
+  // Skewed traffic across both shards: id 7 (shard 0) dominates, id 450
+  // (shard 1) is warm, plus a thin random tail.
+  Rng rng(9);
+  for (int i = 0; i < 30; ++i) client.lookup_id(7);
+  for (int i = 0; i < 10; ++i) client.lookup_id(450);
+  for (int i = 0; i < 12; ++i) client.lookup_id(rng.index(kVocab));
+
+  // Backends record a request's window slot AFTER writing its reply
+  // (error-by-default needs the send outcome), so the last lookup can be
+  // observable at the client a beat before it lands in the ring — same
+  // race the trace test polls away. Wait for all 52 to settle before
+  // snapshotting, so both passes below see identical, quiescent state.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  for (std::uint64_t settled = 0; settled != 52;) {
+    settled = 0;
+    for (const auto& backend : fx.cluster->backends) {
+      net::Client direct("127.0.0.1", backend->port());
+      settled += direct.heat().windowed.requests_in(60'000'000);
+    }
+    if (settled == 52 || std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  // Reference: each backend's HEAT reply lifted into global id space the
+  // way ClusterClient documents it — shift the heat ranges and sketch
+  // keys by the shard's row_begin — then merged in shard order.
+  net::HeatReport reference;
+  for (std::size_t b = 0; b < fx.cluster->backends.size(); ++b) {
+    net::Client direct("127.0.0.1", fx.cluster->backends[b]->port());
+    net::HeatReport shard = direct.heat();
+    const std::uint64_t shift = fx.cluster->map.shard(b).row_begin;
+    if (shift != 0) {
+      shard.heat.shift_rows(shift);
+      for (obs::HeavyHitter& e : shard.sketch.entries) e.key += shift;
+    }
+    reference.windowed.merge(shard.windowed);
+    reference.sketch.merge(shard.sketch);
+    reference.heat.merge(shard.heat);
+  }
+
+  // No data-plane traffic ran between the two passes (HEAT is control
+  // plane and does not self-record), so the router's fleet merge must be
+  // bit-identical to the client-side merge — the pinned merge contract.
+  const net::HeatReport fleet = client.heat();
+  ASSERT_EQ(fleet.windowed.slices.size(), reference.windowed.slices.size());
+  EXPECT_EQ(fleet.windowed.slice_us, reference.windowed.slice_us);
+  for (std::size_t i = 0; i < fleet.windowed.slices.size(); ++i) {
+    EXPECT_EQ(fleet.windowed.slices[i].epoch,
+              reference.windowed.slices[i].epoch);
+    EXPECT_EQ(fleet.windowed.slices[i].requests,
+              reference.windowed.slices[i].requests);
+    EXPECT_EQ(fleet.windowed.slices[i].errors,
+              reference.windowed.slices[i].errors);
+    EXPECT_EQ(fleet.windowed.slices[i].latency.counts,
+              reference.windowed.slices[i].latency.counts);
+    EXPECT_EQ(fleet.windowed.slices[i].latency.sum_units,
+              reference.windowed.slices[i].latency.sum_units);
+  }
+  EXPECT_EQ(fleet.sketch.total, reference.sketch.total);
+  EXPECT_EQ(fleet.sketch.capacity, reference.sketch.capacity);
+  ASSERT_EQ(fleet.sketch.entries.size(), reference.sketch.entries.size());
+  for (std::size_t i = 0; i < fleet.sketch.entries.size(); ++i) {
+    EXPECT_EQ(fleet.sketch.entries[i].key, reference.sketch.entries[i].key);
+    EXPECT_EQ(fleet.sketch.entries[i].count,
+              reference.sketch.entries[i].count);
+    EXPECT_EQ(fleet.sketch.entries[i].error,
+              reference.sketch.entries[i].error);
+  }
+  ASSERT_EQ(fleet.heat.ranges.size(), reference.heat.ranges.size());
+  EXPECT_EQ(fleet.heat.total, reference.heat.total);
+  for (std::size_t i = 0; i < fleet.heat.ranges.size(); ++i) {
+    EXPECT_EQ(fleet.heat.ranges[i].row_begin,
+              reference.heat.ranges[i].row_begin);
+    EXPECT_EQ(fleet.heat.ranges[i].row_end,
+              reference.heat.ranges[i].row_end);
+    EXPECT_EQ(fleet.heat.ranges[i].buckets, reference.heat.ranges[i].buckets);
+  }
+
+  // Semantic spot checks on the fleet view: both shards' ranges appear
+  // in GLOBAL id space, disjoint and contiguous, and the global hot key
+  // is the one the traffic hammered.
+  ASSERT_EQ(fleet.heat.ranges.size(), 2u);
+  EXPECT_EQ(fleet.heat.ranges[0].row_begin, 0u);
+  EXPECT_EQ(fleet.heat.ranges[0].row_end, 300u);
+  EXPECT_EQ(fleet.heat.ranges[1].row_begin, 300u);
+  EXPECT_EQ(fleet.heat.ranges[1].row_end, 900u);
+  EXPECT_EQ(fleet.heat.total, 52u);
+  const auto top = fleet.sketch.top(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].key, 7u);
+  EXPECT_GE(top[0].count, 30u);
+  // The windowed fleet view counts every backend-observed lookup once.
+  EXPECT_EQ(fleet.windowed.requests_in(60'000'000), 52u);
+}
+
 TEST(Router, SampledTraceCoversClientRouterShardsAndBackends) {
   RouterFixture fx;
   obs::Tracer::instance().clear();

@@ -438,6 +438,142 @@ TEST(Wire, TopKRequestAndResultRoundTrip) {
   }
 }
 
+TEST(Wire, HeatReportRoundTripsBitIdentically) {
+  obs::WindowedConfig wcfg;
+  wcfg.slice_us = 1'000'000;
+  obs::WindowedStats stats(wcfg);
+  constexpr std::uint64_t kNow = 1'700'000'000'000'000ull;
+  stats.record_many_at(kNow - 2'000'000, 120.0, 9, 1);
+  stats.record_many_at(kNow, 80.0, 4, 0);
+  obs::SpaceSavingSketch::Config scfg;
+  scfg.capacity = 8;
+  scfg.stripes = 1;
+  obs::RangeHeatMap::Config hcfg;
+  hcfg.row_end = 100;
+  hcfg.buckets = 4;
+  obs::KeyLoadRecorder load(scfg, hcfg);
+  for (int i = 0; i < 50; ++i) load.record(7);
+  load.record(93, 3);
+
+  HeatReport report;
+  report.windowed = stats.snapshot_at(kNow);
+  report.sketch = load.sketch.snapshot();
+  report.heat = load.heat.snapshot();
+
+  WireWriter w;
+  encode_heat_report(report, &w);
+  WireReader r(w.buffer());
+  const HeatReport back = decode_heat_report(&r);
+  r.expect_done();
+  ASSERT_EQ(back.windowed.slices.size(), 2u);
+  EXPECT_EQ(back.windowed.slice_us, report.windowed.slice_us);
+  EXPECT_EQ(back.windowed.now_us, kNow);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(back.windowed.slices[i].epoch, report.windowed.slices[i].epoch);
+    EXPECT_EQ(back.windowed.slices[i].requests,
+              report.windowed.slices[i].requests);
+    EXPECT_EQ(back.windowed.slices[i].errors,
+              report.windowed.slices[i].errors);
+    EXPECT_EQ(back.windowed.slices[i].latency.counts,
+              report.windowed.slices[i].latency.counts);
+  }
+  EXPECT_EQ(back.sketch.capacity, 8u);
+  EXPECT_EQ(back.sketch.total, 53u);
+  ASSERT_EQ(back.sketch.entries.size(), report.sketch.entries.size());
+  EXPECT_EQ(back.sketch.entries[0].key, 7u);
+  EXPECT_EQ(back.sketch.entries[0].count, 50u);
+  ASSERT_EQ(back.heat.ranges.size(), 1u);
+  EXPECT_EQ(back.heat.total, 53u);
+  EXPECT_EQ(back.heat.ranges[0].buckets, report.heat.ranges[0].buckets);
+}
+
+TEST(Wire, HeatCodecsRejectHostileFrames) {
+  // Windowed: slice count the payload cannot hold.
+  {
+    WireWriter w;
+    w.u64(1'000'000);  // slice_us
+    w.u64(0);          // now_us
+    w.u32(0xFFFFFFFFu);
+    WireReader r(w.buffer());
+    EXPECT_THROW(decode_windowed_snapshot(&r), WireError);
+  }
+  // Windowed: nonzero slices with a zero slice width are nonsense.
+  {
+    WireWriter w;
+    w.u64(0);
+    w.u64(0);
+    w.u32(1);
+    WireReader r(w.buffer());
+    EXPECT_THROW(decode_windowed_snapshot(&r), WireError);
+  }
+  // Windowed: duplicate epochs would double-count in a merge.
+  {
+    WireWriter w;
+    w.u64(1'000'000);
+    w.u64(5'000'000);
+    w.u32(2);
+    for (int i = 0; i < 2; ++i) {
+      w.u64(3);  // same epoch twice
+      w.u64(1);
+      w.u64(0);
+      encode_histogram(obs::HistogramSnapshot{}, &w);
+    }
+    WireReader r(w.buffer());
+    EXPECT_THROW(decode_windowed_snapshot(&r), WireError);
+  }
+  // Sketch: entry count exceeding the payload must throw pre-allocation.
+  {
+    WireWriter w;
+    w.u64(8);
+    w.u64(100);
+    w.u32(0xFFFFFFFFu);
+    WireReader r(w.buffer());
+    EXPECT_THROW(decode_sketch_snapshot(&r), WireError);
+  }
+  // Heat: inverted range bounds.
+  {
+    WireWriter w;
+    w.u64(1);   // total
+    w.u64(0);   // elapsed
+    w.u32(1);   // one range
+    w.u64(50);  // row_begin
+    w.u64(10);  // row_end < row_begin
+    w.u32(0);
+    WireReader r(w.buffer());
+    EXPECT_THROW(decode_heat_map(&r), WireError);
+  }
+  // Heat: bucket count exceeding the payload.
+  {
+    WireWriter w;
+    w.u64(1);
+    w.u64(0);
+    w.u32(1);
+    w.u64(0);
+    w.u64(10);
+    w.u32(0xFFFFFFFFu);
+    WireReader r(w.buffer());
+    EXPECT_THROW(decode_heat_map(&r), WireError);
+  }
+  // Truncations of a valid frame never crash: throw or (rarely) decode a
+  // shorter valid prefix — same contract as the other codec fuzz tests.
+  WireWriter valid;
+  obs::WindowedConfig wcfg;
+  obs::WindowedStats stats(wcfg);
+  stats.record(10.0, false);
+  HeatReport report;
+  report.windowed = stats.snapshot();
+  encode_heat_report(report, &valid);
+  for (std::size_t cut = 0; cut < valid.buffer().size(); ++cut) {
+    std::vector<std::uint8_t> trunc(valid.buffer().begin(),
+                                    valid.buffer().begin() + cut);
+    WireReader r(trunc);
+    try {
+      decode_heat_report(&r);
+    } catch (const WireError&) {
+    }
+  }
+}
+
 TEST(Wire, TraceExtensionRoundTripsOverLoopback) {
   TcpListener listener = TcpListener::bind_loopback(0);
   TcpStream sender = TcpStream::connect("127.0.0.1", listener.port());
@@ -707,6 +843,43 @@ TEST_F(RpcTest, StatsReflectServedTraffic) {
   EXPECT_EQ(stats.batcher.latency.count, stats.batcher.batches);
   EXPECT_EQ(stats.batcher.p50_latency_us,
             stats.batcher.latency.quantile(0.5));
+}
+
+TEST_F(RpcTest, HeatRpcReportsWindowedLoadTopKeysAndHeat) {
+  Client client("127.0.0.1", server_->port());
+  // Skewed traffic: id 7 dominates, everything else is a thin tail.
+  for (int i = 0; i < 40; ++i) client.lookup_id(7);
+  client.lookup_ids({1, 2, 3, 7, 7});
+
+  const HeatReport report = client.heat();
+  // Windowed: every data-plane RPC recorded exactly once (41 lookups);
+  // the HEAT RPC itself is control-plane and does not self-record.
+  EXPECT_EQ(report.windowed.requests_in(60'000'000), 41u);
+  EXPECT_EQ(report.windowed.errors_in(60'000'000), 0u);
+  EXPECT_EQ(report.windowed.latency_in(60'000'000).count, 41u);
+  EXPECT_GT(report.windowed.qps(60'000'000), 0.0);
+
+  // Sketch: id 7 is the top key with an exact count (no evictions at
+  // this scale), and the totals agree with the keys resolved (45).
+  EXPECT_EQ(report.sketch.total, 45u);
+  const auto top = report.sketch.top(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].key, 7u);
+  EXPECT_EQ(top[0].count, 42u);
+
+  // Heat map: covers the demo vocab, same total, and the bucket holding
+  // id 7 carries the bulk of it.
+  ASSERT_EQ(report.heat.ranges.size(), 1u);
+  EXPECT_EQ(report.heat.ranges[0].row_begin, 0u);
+  EXPECT_EQ(report.heat.ranges[0].row_end, 600u);
+  EXPECT_EQ(report.heat.total, 45u);
+  EXPECT_EQ(report.heat.range_total(7), 45u);
+
+  // A second snapshot only grows — the recorders are cumulative.
+  client.lookup_id(9);
+  const HeatReport later = client.heat();
+  EXPECT_EQ(later.sketch.total, 46u);
+  EXPECT_EQ(later.windowed.requests_in(60'000'000), 42u);
 }
 
 TEST_F(RpcTest, MetricsRpcExposesTheServerRegistry) {

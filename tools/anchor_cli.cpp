@@ -408,6 +408,94 @@ int cmd_topk(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_top_keys(const std::vector<std::string>& args) {
+  ArgParser parser(
+      "anchor-cli top-keys",
+      "Fetch the heavy-hitter key sketch of a running anchor_served "
+      "(local ids) or anchor_router (global ids, merged across the fleet) "
+      "over the HEAT RPC and print the hottest keys. `count` is the "
+      "sketch's estimate; `max_err` bounds its overestimate, so the true "
+      "count lies in [count - max_err, count].");
+  parser.add_option("connect", "daemon address host:port", "",
+                    /*required=*/true)
+      .add_option("k", "keys to print", "16")
+      .add_option("rpc-timeout-ms",
+                  "per-recv/send deadline on the connection (0 = none)",
+                  "5000");
+  if (!parser.parse(args)) return fail_usage(parser);
+
+  anchor::net::Client client = connect_client(parser);
+  const anchor::net::HeatReport report = client.heat();
+  const anchor::obs::SketchSnapshot& sketch = report.sketch;
+  std::cout << "key_load_records " << sketch.total << ", sketch_capacity "
+            << sketch.capacity << ", tracked_keys " << sketch.entries.size()
+            << "\n";
+  if (sketch.total == 0) {
+    std::cout << "(no key load recorded"
+              << (sketch.capacity == 0 ? "; key-load tracking disabled — "
+                                         "start the daemon with --hot-keys > 0"
+                                       : "")
+              << ")\n";
+    return 0;
+  }
+  std::cout << "rank, id, count, max_err, share\n";
+  const auto top =
+      sketch.top(static_cast<std::size_t>(parser.get_int("k")));
+  for (std::size_t i = 0; i < top.size(); ++i) {
+    const anchor::obs::HeavyHitter& h = top[i];
+    std::cout << i + 1 << ", " << h.key << ", " << h.count << ", " << h.error
+              << ", "
+              << static_cast<double>(h.count) /
+                     static_cast<double>(sketch.total)
+              << "\n";
+  }
+  return 0;
+}
+
+int cmd_heat(const std::vector<std::string>& args) {
+  ArgParser parser(
+      "anchor-cli heat",
+      "Fetch the windowed load stats and per-id-range heat map of a "
+      "running anchor_served or anchor_router over the HEAT RPC. Each "
+      "heat row is one contiguous id range with its bucketed access "
+      "counts; a router reply covers the whole fleet in global id space.");
+  parser.add_option("connect", "daemon address host:port", "",
+                    /*required=*/true)
+      .add_option("buckets-per-line", "heat buckets printed per line", "16")
+      .add_option("rpc-timeout-ms",
+                  "per-recv/send deadline on the connection (0 = none)",
+                  "5000");
+  if (!parser.parse(args)) return fail_usage(parser);
+
+  anchor::net::Client client = connect_client(parser);
+  const anchor::net::HeatReport report = client.heat();
+  const anchor::obs::WindowedSnapshot& w = report.windowed;
+  constexpr std::uint64_t k10s = 10ull * 1000 * 1000;
+  constexpr std::uint64_t k1m = 60ull * 1000 * 1000;
+  std::cout << "window_10s: qps " << w.qps(k10s) << ", error_rate "
+            << w.error_rate(k10s) << "\n"
+            << "window_1m:  qps " << w.qps(k1m) << ", error_rate "
+            << w.error_rate(k1m) << ", p50_us "
+            << w.latency_in(k1m).quantile(0.50) << ", p99_us "
+            << w.latency_in(k1m).quantile(0.99) << "\n";
+  const anchor::obs::HeatMapSnapshot& heat = report.heat;
+  std::cout << "heat_total " << heat.total << ", ranges "
+            << heat.ranges.size() << "\n";
+  const auto per_line =
+      static_cast<std::size_t>(parser.get_int("buckets-per-line"));
+  ANCHOR_CHECK_MSG(per_line > 0, "--buckets-per-line must be > 0");
+  for (const anchor::obs::HeatRange& range : heat.ranges) {
+    std::cout << "[" << range.row_begin << ", " << range.row_end << ") x"
+              << range.buckets.size() << " buckets:\n";
+    for (std::size_t i = 0; i < range.buckets.size(); ++i) {
+      std::cout << (i % per_line == 0 ? (i == 0 ? "  " : "\n  ") : " ")
+                << range.buckets[i];
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}
+
 int cmd_fault_set(const std::vector<std::string>& args) {
   ArgParser parser(
       "anchor-cli fault-set",
@@ -438,7 +526,7 @@ int main(int argc, char** argv) {
   const std::string usage =
       "usage: anchor-cli "
       "<train|align|quantize|measure|stability|export|analyze|metrics|"
-      "topk|fault-set> [args]\n"
+      "topk|top-keys|heat|fault-set> [args]\n"
       "       anchor-cli <subcommand> --help for details\n";
   if (argc < 2) {
     std::cerr << usage;
@@ -458,6 +546,8 @@ int main(int argc, char** argv) {
     if (cmd == "analyze") return cmd_analyze(rest);
     if (cmd == "metrics") return cmd_metrics(rest);
     if (cmd == "topk") return cmd_topk(rest);
+    if (cmd == "top-keys") return cmd_top_keys(rest);
+    if (cmd == "heat") return cmd_heat(rest);
     if (cmd == "fault-set") return cmd_fault_set(rest);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

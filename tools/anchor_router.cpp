@@ -65,6 +65,21 @@ int main(int argc, char** argv) {
                     "log a sampled trace when the request took at least "
                     "this many microseconds (0 = every sampled request)",
                     "10000");
+  parser.add_option("slow-log-max-bytes",
+                    "rotate the slow log once it would exceed this many "
+                    "bytes: the old file moves to <path>.1 (0 = unbounded)",
+                    "16777216");
+  parser.add_option("slo-p99-us",
+                    "SLO latency target in microseconds for cluster "
+                    "lookups (0 disables the latency term)", "0");
+  parser.add_option("slo-error-budget",
+                    "allowed fraction of degraded/SLO-violating lookups",
+                    "0.01");
+  parser.add_option("hot-keys",
+                    "heavy-hitter sketch entry budget over the global id "
+                    "space (0 disables key-load tracking)", "512");
+  parser.add_option("heat-buckets",
+                    "per-id-range heat-map bucket fanout", "256");
   parser.add_option("probe-interval-ms",
                     "backend health-probe cadence (0 disables probing)",
                     "500");
@@ -122,7 +137,21 @@ int main(int argc, char** argv) {
     obs::TracerConfig tracer;
     tracer.slow_log_path = parser.get("slow-log");
     tracer.slow_threshold_us = parser.get_double("slow-threshold-us");
+    const std::int64_t slow_cap = parser.get_int("slow-log-max-bytes");
+    if (slow_cap < 0) {
+      throw std::runtime_error("--slow-log-max-bytes must be >= 0");
+    }
+    tracer.slow_log_max_bytes = static_cast<std::uint64_t>(slow_cap);
     obs::Tracer::instance().configure(tracer);
+    config.slo.p99_target_us = parser.get_double("slo-p99-us");
+    config.slo.error_budget = parser.get_double("slo-error-budget");
+    if (config.slo.error_budget <= 0.0 || config.slo.error_budget > 1.0) {
+      throw std::runtime_error("--slo-error-budget must be in (0, 1]");
+    }
+    config.hot_key_capacity =
+        static_cast<std::size_t>(parser.get_int("hot-keys"));
+    config.heat_buckets =
+        static_cast<std::size_t>(parser.get_int("heat-buckets"));
     std::string map_text = "v";
     map_text += std::to_string(parser.get_int("map-version"));
     map_text += ',';

@@ -129,6 +129,26 @@ int main(int argc, char** argv) {
                     "log a sampled trace when the request took at least "
                     "this many microseconds (0 = every sampled request)",
                     "10000");
+  parser.add_option("slow-log-max-bytes",
+                    "rotate the slow log once it would exceed this many "
+                    "bytes: the old file moves to <path>.1 (0 = unbounded)",
+                    "16777216");
+  parser.add_option("slo-p99-us",
+                    "SLO latency target in microseconds: requests at or "
+                    "over it count against the error budget (0 disables "
+                    "the latency term)", "0");
+  parser.add_option("slo-error-budget",
+                    "allowed fraction of SLO-violating requests; burn "
+                    "rates are measured against it", "0.01");
+  parser.add_option("drift-interval",
+                    "drift-probe sampling period in milliseconds "
+                    "(0 = probe once at startup, then only on demand)", "0");
+  parser.add_option("hot-keys",
+                    "heavy-hitter sketch entry budget; worst-case count "
+                    "error is total/budget (0 disables key-load tracking)",
+                    "512");
+  parser.add_option("heat-buckets",
+                    "per-id-range heat-map bucket fanout", "256");
   parser.add_option("max-batch",
                     "batcher: flush when this many keys are waiting", "64");
   parser.add_option("max-wait-us",
@@ -222,7 +242,26 @@ int main(int argc, char** argv) {
     obs::TracerConfig tracer;
     tracer.slow_log_path = parser.get("slow-log");
     tracer.slow_threshold_us = parser.get_double("slow-threshold-us");
+    const std::int64_t slow_cap = parser.get_int("slow-log-max-bytes");
+    if (slow_cap < 0) {
+      throw std::runtime_error("--slow-log-max-bytes must be >= 0");
+    }
+    tracer.slow_log_max_bytes = static_cast<std::uint64_t>(slow_cap);
     obs::Tracer::instance().configure(tracer);
+    config.slo.p99_target_us = parser.get_double("slo-p99-us");
+    config.slo.error_budget = parser.get_double("slo-error-budget");
+    if (config.slo.error_budget <= 0.0 || config.slo.error_budget > 1.0) {
+      throw std::runtime_error("--slo-error-budget must be in (0, 1]");
+    }
+    const std::int64_t drift_ms = parser.get_int("drift-interval");
+    if (drift_ms < 0) {
+      throw std::runtime_error("--drift-interval must be >= 0");
+    }
+    config.drift.interval_ms = static_cast<std::uint64_t>(drift_ms);
+    config.hot_key_capacity =
+        static_cast<std::size_t>(parser.get_int("hot-keys"));
+    config.heat_buckets =
+        static_cast<std::size_t>(parser.get_int("heat-buckets"));
     config.lookup.cache_rows_per_shard =
         static_cast<std::size_t>(parser.get_int("cache-rows"));
     config.batcher.max_batch_size =

@@ -1,0 +1,94 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ann/ann_service.cpp" "CMakeFiles/anchor.dir/src/ann/ann_service.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/ann/ann_service.cpp.o.d"
+  "/root/repo/src/ann/ivf_pq.cpp" "CMakeFiles/anchor.dir/src/ann/ivf_pq.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/ann/ivf_pq.cpp.o.d"
+  "/root/repo/src/cluster/client_pool.cpp" "CMakeFiles/anchor.dir/src/cluster/client_pool.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/cluster/client_pool.cpp.o.d"
+  "/root/repo/src/cluster/cluster_client.cpp" "CMakeFiles/anchor.dir/src/cluster/cluster_client.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/cluster/cluster_client.cpp.o.d"
+  "/root/repo/src/cluster/router.cpp" "CMakeFiles/anchor.dir/src/cluster/router.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/cluster/router.cpp.o.d"
+  "/root/repo/src/cluster/shard_map.cpp" "CMakeFiles/anchor.dir/src/cluster/shard_map.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/cluster/shard_map.cpp.o.d"
+  "/root/repo/src/compress/kmeans.cpp" "CMakeFiles/anchor.dir/src/compress/kmeans.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/compress/kmeans.cpp.o.d"
+  "/root/repo/src/compress/pq.cpp" "CMakeFiles/anchor.dir/src/compress/pq.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/compress/pq.cpp.o.d"
+  "/root/repo/src/compress/quantize.cpp" "CMakeFiles/anchor.dir/src/compress/quantize.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/compress/quantize.cpp.o.d"
+  "/root/repo/src/core/instability.cpp" "CMakeFiles/anchor.dir/src/core/instability.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/core/instability.cpp.o.d"
+  "/root/repo/src/core/intrinsic.cpp" "CMakeFiles/anchor.dir/src/core/intrinsic.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/core/intrinsic.cpp.o.d"
+  "/root/repo/src/core/measures.cpp" "CMakeFiles/anchor.dir/src/core/measures.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/core/measures.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "CMakeFiles/anchor.dir/src/core/report.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/core/report.cpp.o.d"
+  "/root/repo/src/core/selection.cpp" "CMakeFiles/anchor.dir/src/core/selection.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/core/selection.cpp.o.d"
+  "/root/repo/src/core/theory.cpp" "CMakeFiles/anchor.dir/src/core/theory.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/core/theory.cpp.o.d"
+  "/root/repo/src/ctx/elmo.cpp" "CMakeFiles/anchor.dir/src/ctx/elmo.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/ctx/elmo.cpp.o.d"
+  "/root/repo/src/ctx/tiny_bert.cpp" "CMakeFiles/anchor.dir/src/ctx/tiny_bert.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/ctx/tiny_bert.cpp.o.d"
+  "/root/repo/src/embed/cbow.cpp" "CMakeFiles/anchor.dir/src/embed/cbow.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/embed/cbow.cpp.o.d"
+  "/root/repo/src/embed/embedding.cpp" "CMakeFiles/anchor.dir/src/embed/embedding.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/embed/embedding.cpp.o.d"
+  "/root/repo/src/embed/glove.cpp" "CMakeFiles/anchor.dir/src/embed/glove.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/embed/glove.cpp.o.d"
+  "/root/repo/src/embed/io.cpp" "CMakeFiles/anchor.dir/src/embed/io.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/embed/io.cpp.o.d"
+  "/root/repo/src/embed/mc.cpp" "CMakeFiles/anchor.dir/src/embed/mc.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/embed/mc.cpp.o.d"
+  "/root/repo/src/embed/negative_sampling.cpp" "CMakeFiles/anchor.dir/src/embed/negative_sampling.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/embed/negative_sampling.cpp.o.d"
+  "/root/repo/src/embed/ppmi_svd.cpp" "CMakeFiles/anchor.dir/src/embed/ppmi_svd.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/embed/ppmi_svd.cpp.o.d"
+  "/root/repo/src/embed/sgns.cpp" "CMakeFiles/anchor.dir/src/embed/sgns.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/embed/sgns.cpp.o.d"
+  "/root/repo/src/embed/subword.cpp" "CMakeFiles/anchor.dir/src/embed/subword.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/embed/subword.cpp.o.d"
+  "/root/repo/src/embed/trainer.cpp" "CMakeFiles/anchor.dir/src/embed/trainer.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/embed/trainer.cpp.o.d"
+  "/root/repo/src/kge/distmult.cpp" "CMakeFiles/anchor.dir/src/kge/distmult.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/kge/distmult.cpp.o.d"
+  "/root/repo/src/kge/kg_data.cpp" "CMakeFiles/anchor.dir/src/kge/kg_data.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/kge/kg_data.cpp.o.d"
+  "/root/repo/src/kge/kge_eval.cpp" "CMakeFiles/anchor.dir/src/kge/kge_eval.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/kge/kge_eval.cpp.o.d"
+  "/root/repo/src/kge/transe.cpp" "CMakeFiles/anchor.dir/src/kge/transe.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/kge/transe.cpp.o.d"
+  "/root/repo/src/la/eigen.cpp" "CMakeFiles/anchor.dir/src/la/eigen.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/la/eigen.cpp.o.d"
+  "/root/repo/src/la/kernels.cpp" "CMakeFiles/anchor.dir/src/la/kernels.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/la/kernels.cpp.o.d"
+  "/root/repo/src/la/lstsq.cpp" "CMakeFiles/anchor.dir/src/la/lstsq.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/la/lstsq.cpp.o.d"
+  "/root/repo/src/la/matrix.cpp" "CMakeFiles/anchor.dir/src/la/matrix.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/la/matrix.cpp.o.d"
+  "/root/repo/src/la/procrustes.cpp" "CMakeFiles/anchor.dir/src/la/procrustes.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/la/procrustes.cpp.o.d"
+  "/root/repo/src/la/sparse.cpp" "CMakeFiles/anchor.dir/src/la/sparse.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/la/sparse.cpp.o.d"
+  "/root/repo/src/la/stats.cpp" "CMakeFiles/anchor.dir/src/la/stats.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/la/stats.cpp.o.d"
+  "/root/repo/src/la/subspace.cpp" "CMakeFiles/anchor.dir/src/la/subspace.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/la/subspace.cpp.o.d"
+  "/root/repo/src/la/svd.cpp" "CMakeFiles/anchor.dir/src/la/svd.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/la/svd.cpp.o.d"
+  "/root/repo/src/model/bilstm.cpp" "CMakeFiles/anchor.dir/src/model/bilstm.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/model/bilstm.cpp.o.d"
+  "/root/repo/src/model/feature_classifier.cpp" "CMakeFiles/anchor.dir/src/model/feature_classifier.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/model/feature_classifier.cpp.o.d"
+  "/root/repo/src/model/linear_bow.cpp" "CMakeFiles/anchor.dir/src/model/linear_bow.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/model/linear_bow.cpp.o.d"
+  "/root/repo/src/model/optimizer.cpp" "CMakeFiles/anchor.dir/src/model/optimizer.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/model/optimizer.cpp.o.d"
+  "/root/repo/src/model/text_cnn.cpp" "CMakeFiles/anchor.dir/src/model/text_cnn.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/model/text_cnn.cpp.o.d"
+  "/root/repo/src/net/client.cpp" "CMakeFiles/anchor.dir/src/net/client.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/net/client.cpp.o.d"
+  "/root/repo/src/net/fault.cpp" "CMakeFiles/anchor.dir/src/net/fault.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/net/fault.cpp.o.d"
+  "/root/repo/src/net/metrics_http.cpp" "CMakeFiles/anchor.dir/src/net/metrics_http.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/net/metrics_http.cpp.o.d"
+  "/root/repo/src/net/server.cpp" "CMakeFiles/anchor.dir/src/net/server.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/net/server.cpp.o.d"
+  "/root/repo/src/net/socket.cpp" "CMakeFiles/anchor.dir/src/net/socket.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/net/socket.cpp.o.d"
+  "/root/repo/src/net/wire.cpp" "CMakeFiles/anchor.dir/src/net/wire.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/net/wire.cpp.o.d"
+  "/root/repo/src/obs/drift_probe.cpp" "CMakeFiles/anchor.dir/src/obs/drift_probe.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/obs/drift_probe.cpp.o.d"
+  "/root/repo/src/obs/heavy_hitters.cpp" "CMakeFiles/anchor.dir/src/obs/heavy_hitters.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/obs/heavy_hitters.cpp.o.d"
+  "/root/repo/src/obs/log_histogram.cpp" "CMakeFiles/anchor.dir/src/obs/log_histogram.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/obs/log_histogram.cpp.o.d"
+  "/root/repo/src/obs/metrics.cpp" "CMakeFiles/anchor.dir/src/obs/metrics.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/obs/metrics.cpp.o.d"
+  "/root/repo/src/obs/trace.cpp" "CMakeFiles/anchor.dir/src/obs/trace.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/obs/trace.cpp.o.d"
+  "/root/repo/src/obs/windowed.cpp" "CMakeFiles/anchor.dir/src/obs/windowed.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/obs/windowed.cpp.o.d"
+  "/root/repo/src/pipeline/pipeline.cpp" "CMakeFiles/anchor.dir/src/pipeline/pipeline.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/pipeline/pipeline.cpp.o.d"
+  "/root/repo/src/serve/batcher.cpp" "CMakeFiles/anchor.dir/src/serve/batcher.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/serve/batcher.cpp.o.d"
+  "/root/repo/src/serve/canary.cpp" "CMakeFiles/anchor.dir/src/serve/canary.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/serve/canary.cpp.o.d"
+  "/root/repo/src/serve/demo_store.cpp" "CMakeFiles/anchor.dir/src/serve/demo_store.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/serve/demo_store.cpp.o.d"
+  "/root/repo/src/serve/deployment_gate.cpp" "CMakeFiles/anchor.dir/src/serve/deployment_gate.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/serve/deployment_gate.cpp.o.d"
+  "/root/repo/src/serve/embedding_store.cpp" "CMakeFiles/anchor.dir/src/serve/embedding_store.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/serve/embedding_store.cpp.o.d"
+  "/root/repo/src/serve/lookup_service.cpp" "CMakeFiles/anchor.dir/src/serve/lookup_service.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/serve/lookup_service.cpp.o.d"
+  "/root/repo/src/serve/serve_stats.cpp" "CMakeFiles/anchor.dir/src/serve/serve_stats.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/serve/serve_stats.cpp.o.d"
+  "/root/repo/src/tasks/ner.cpp" "CMakeFiles/anchor.dir/src/tasks/ner.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/tasks/ner.cpp.o.d"
+  "/root/repo/src/tasks/pos.cpp" "CMakeFiles/anchor.dir/src/tasks/pos.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/tasks/pos.cpp.o.d"
+  "/root/repo/src/tasks/sentiment.cpp" "CMakeFiles/anchor.dir/src/tasks/sentiment.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/tasks/sentiment.cpp.o.d"
+  "/root/repo/src/text/cooc.cpp" "CMakeFiles/anchor.dir/src/text/cooc.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/text/cooc.cpp.o.d"
+  "/root/repo/src/text/corpus.cpp" "CMakeFiles/anchor.dir/src/text/corpus.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/text/corpus.cpp.o.d"
+  "/root/repo/src/text/latent_space.cpp" "CMakeFiles/anchor.dir/src/text/latent_space.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/text/latent_space.cpp.o.d"
+  "/root/repo/src/util/argparse.cpp" "CMakeFiles/anchor.dir/src/util/argparse.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/util/argparse.cpp.o.d"
+  "/root/repo/src/util/cache.cpp" "CMakeFiles/anchor.dir/src/util/cache.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/util/cache.cpp.o.d"
+  "/root/repo/src/util/io.cpp" "CMakeFiles/anchor.dir/src/util/io.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/util/io.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "CMakeFiles/anchor.dir/src/util/table.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/util/table.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "CMakeFiles/anchor.dir/src/util/thread_pool.cpp.o" "gcc" "CMakeFiles/anchor.dir/src/util/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anchor_cli.dir/tools/anchor_cli.cpp.o"
+  "CMakeFiles/anchor_cli.dir/tools/anchor_cli.cpp.o.d"
+  "anchor_cli"
+  "anchor_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anchor_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anchor_router.dir/tools/anchor_router.cpp.o"
+  "CMakeFiles/anchor_router.dir/tools/anchor_router.cpp.o.d"
+  "anchor_router"
+  "anchor_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anchor_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anchor_served.dir/tools/anchor_served.cpp.o"
+  "CMakeFiles/anchor_served.dir/tools/anchor_served.cpp.o.d"
+  "anchor_served"
+  "anchor_served.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anchor_served.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

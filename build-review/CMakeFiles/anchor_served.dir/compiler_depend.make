@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for anchor_served.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for anchor_served.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ann_test.dir/tests/ann_test.cpp.o"
+  "CMakeFiles/ann_test.dir/tests/ann_test.cpp.o.d"
+  "ann_test"
+  "ann_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ann_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_alignment.dir/bench/bench_ablation_alignment.cpp.o"
+  "CMakeFiles/bench_ablation_alignment.dir/bench/bench_ablation_alignment.cpp.o.d"
+  "bench/bench_ablation_alignment"
+  "bench/bench_ablation_alignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_alignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_churn_reduction.dir/bench/bench_ext_churn_reduction.cpp.o"
+  "CMakeFiles/bench_ext_churn_reduction.dir/bench/bench_ext_churn_reduction.cpp.o.d"
+  "bench/bench_ext_churn_reduction"
+  "bench/bench_ext_churn_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_churn_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_contextual_elmo.dir/bench/bench_ext_contextual_elmo.cpp.o"
+  "CMakeFiles/bench_ext_contextual_elmo.dir/bench/bench_ext_contextual_elmo.cpp.o.d"
+  "bench/bench_ext_contextual_elmo"
+  "bench/bench_ext_contextual_elmo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_contextual_elmo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

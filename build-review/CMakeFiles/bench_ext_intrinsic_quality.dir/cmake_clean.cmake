@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_intrinsic_quality.dir/bench/bench_ext_intrinsic_quality.cpp.o"
+  "CMakeFiles/bench_ext_intrinsic_quality.dir/bench/bench_ext_intrinsic_quality.cpp.o.d"
+  "bench/bench_ext_intrinsic_quality"
+  "bench/bench_ext_intrinsic_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_intrinsic_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_kge_models.dir/bench/bench_ext_kge_models.cpp.o"
+  "CMakeFiles/bench_ext_kge_models.dir/bench/bench_ext_kge_models.cpp.o.d"
+  "bench/bench_ext_kge_models"
+  "bench/bench_ext_kge_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_kge_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_pos_tagging.dir/bench/bench_ext_pos_tagging.cpp.o"
+  "CMakeFiles/bench_ext_pos_tagging.dir/bench/bench_ext_pos_tagging.cpp.o.d"
+  "bench/bench_ext_pos_tagging"
+  "bench/bench_ext_pos_tagging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_pos_tagging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

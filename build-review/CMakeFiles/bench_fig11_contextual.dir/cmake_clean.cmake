@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_contextual.dir/bench/bench_fig11_contextual.cpp.o"
+  "CMakeFiles/bench_fig11_contextual.dir/bench/bench_fig11_contextual.cpp.o.d"
+  "bench/bench_fig11_contextual"
+  "bench/bench_fig11_contextual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_contextual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

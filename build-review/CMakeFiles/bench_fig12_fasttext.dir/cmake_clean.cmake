@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_fasttext.dir/bench/bench_fig12_fasttext.cpp.o"
+  "CMakeFiles/bench_fig12_fasttext.dir/bench/bench_fig12_fasttext.cpp.o.d"
+  "bench/bench_fig12_fasttext"
+  "bench/bench_fig12_fasttext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_fasttext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_complex_models.dir/bench/bench_fig13_complex_models.cpp.o"
+  "CMakeFiles/bench_fig13_complex_models.dir/bench/bench_fig13_complex_models.cpp.o.d"
+  "bench/bench_fig13_complex_models"
+  "bench/bench_fig13_complex_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_complex_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

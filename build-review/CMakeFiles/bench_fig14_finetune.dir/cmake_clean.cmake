@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_finetune.dir/bench/bench_fig14_finetune.cpp.o"
+  "CMakeFiles/bench_fig14_finetune.dir/bench/bench_fig14_finetune.cpp.o.d"
+  "bench/bench_fig14_finetune"
+  "bench/bench_fig14_finetune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_finetune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_learning_rate.dir/bench/bench_fig15_learning_rate.cpp.o"
+  "CMakeFiles/bench_fig15_learning_rate.dir/bench/bench_fig15_learning_rate.cpp.o.d"
+  "bench/bench_fig15_learning_rate"
+  "bench/bench_fig15_learning_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_learning_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_dim_precision.dir/bench/bench_fig1_dim_precision.cpp.o"
+  "CMakeFiles/bench_fig1_dim_precision.dir/bench/bench_fig1_dim_precision.cpp.o.d"
+  "bench/bench_fig1_dim_precision"
+  "bench/bench_fig1_dim_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_dim_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_memory_tradeoff.dir/bench/bench_fig2_memory_tradeoff.cpp.o"
+  "CMakeFiles/bench_fig2_memory_tradeoff.dir/bench/bench_fig2_memory_tradeoff.cpp.o.d"
+  "bench/bench_fig2_memory_tradeoff"
+  "bench/bench_fig2_memory_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_memory_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

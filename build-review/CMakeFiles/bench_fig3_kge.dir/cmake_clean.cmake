@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_kge.dir/bench/bench_fig3_kge.cpp.o"
+  "CMakeFiles/bench_fig3_kge.dir/bench/bench_fig3_kge.cpp.o.d"
+  "bench/bench_fig3_kge"
+  "bench/bench_fig3_kge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_kge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_6_sentiment_appendix.dir/bench/bench_fig4_6_sentiment_appendix.cpp.o"
+  "CMakeFiles/bench_fig4_6_sentiment_appendix.dir/bench/bench_fig4_6_sentiment_appendix.cpp.o.d"
+  "bench/bench_fig4_6_sentiment_appendix"
+  "bench/bench_fig4_6_sentiment_appendix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_6_sentiment_appendix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

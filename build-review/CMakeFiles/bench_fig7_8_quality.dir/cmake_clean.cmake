@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_8_quality.dir/bench/bench_fig7_8_quality.cpp.o"
+  "CMakeFiles/bench_fig7_8_quality.dir/bench/bench_fig7_8_quality.cpp.o.d"
+  "bench/bench_fig7_8_quality"
+  "bench/bench_fig7_8_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_8_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

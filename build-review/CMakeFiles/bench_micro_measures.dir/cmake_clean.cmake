@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_measures.dir/bench/bench_micro_measures.cpp.o"
+  "CMakeFiles/bench_micro_measures.dir/bench/bench_micro_measures.cpp.o.d"
+  "bench/bench_micro_measures"
+  "bench/bench_micro_measures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_measures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

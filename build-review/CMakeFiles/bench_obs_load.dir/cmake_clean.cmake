@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_obs_load.dir/bench/bench_obs_load.cpp.o"
+  "CMakeFiles/bench_obs_load.dir/bench/bench_obs_load.cpp.o.d"
+  "bench/bench_obs_load"
+  "bench/bench_obs_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_obs_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_serve_throughput.dir/bench/bench_serve_throughput.cpp.o"
+  "CMakeFiles/bench_serve_throughput.dir/bench/bench_serve_throughput.cpp.o.d"
+  "bench/bench_serve_throughput"
+  "bench/bench_serve_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_serve_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table10_11_worstcase.dir/bench/bench_table10_11_worstcase.cpp.o"
+  "CMakeFiles/bench_table10_11_worstcase.dir/bench/bench_table10_11_worstcase.cpp.o.d"
+  "bench/bench_table10_11_worstcase"
+  "bench/bench_table10_11_worstcase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table10_11_worstcase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

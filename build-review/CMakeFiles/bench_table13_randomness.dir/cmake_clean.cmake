@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table13_randomness.dir/bench/bench_table13_randomness.cpp.o"
+  "CMakeFiles/bench_table13_randomness.dir/bench/bench_table13_randomness.cpp.o.d"
+  "bench/bench_table13_randomness"
+  "bench/bench_table13_randomness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table13_randomness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

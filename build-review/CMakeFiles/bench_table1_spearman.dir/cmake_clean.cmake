@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_spearman.dir/bench/bench_table1_spearman.cpp.o"
+  "CMakeFiles/bench_table1_spearman.dir/bench/bench_table1_spearman.cpp.o.d"
+  "bench/bench_table1_spearman"
+  "bench/bench_table1_spearman.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_spearman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_selection.dir/bench/bench_table2_selection.cpp.o"
+  "CMakeFiles/bench_table2_selection.dir/bench/bench_table2_selection.cpp.o.d"
+  "bench/bench_table2_selection"
+  "bench/bench_table2_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_budget.dir/bench/bench_table3_budget.cpp.o"
+  "CMakeFiles/bench_table3_budget.dir/bench/bench_table3_budget.cpp.o.d"
+  "bench/bench_table3_budget"
+  "bench/bench_table3_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

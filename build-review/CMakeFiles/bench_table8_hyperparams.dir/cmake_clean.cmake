@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_hyperparams.dir/bench/bench_table8_hyperparams.cpp.o"
+  "CMakeFiles/bench_table8_hyperparams.dir/bench/bench_table8_hyperparams.cpp.o.d"
+  "bench/bench_table8_hyperparams"
+  "bench/bench_table8_hyperparams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_hyperparams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

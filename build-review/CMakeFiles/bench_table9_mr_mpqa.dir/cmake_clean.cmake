@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_mr_mpqa.dir/bench/bench_table9_mr_mpqa.cpp.o"
+  "CMakeFiles/bench_table9_mr_mpqa.dir/bench/bench_table9_mr_mpqa.cpp.o.d"
+  "bench/bench_table9_mr_mpqa"
+  "bench/bench_table9_mr_mpqa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_mr_mpqa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

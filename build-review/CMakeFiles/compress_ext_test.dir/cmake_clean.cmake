@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compress_ext_test.dir/tests/compress_ext_test.cpp.o"
+  "CMakeFiles/compress_ext_test.dir/tests/compress_ext_test.cpp.o.d"
+  "compress_ext_test"
+  "compress_ext_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compress_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compress_pq_test.dir/tests/compress_pq_test.cpp.o"
+  "CMakeFiles/compress_pq_test.dir/tests/compress_pq_test.cpp.o.d"
+  "compress_pq_test"
+  "compress_pq_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compress_pq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for compress_pq_test.
+# This may be replaced when dependencies are built.

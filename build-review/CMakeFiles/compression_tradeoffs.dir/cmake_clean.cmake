@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compression_tradeoffs.dir/examples/compression_tradeoffs.cpp.o"
+  "CMakeFiles/compression_tradeoffs.dir/examples/compression_tradeoffs.cpp.o.d"
+  "examples/compression_tradeoffs"
+  "examples/compression_tradeoffs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compression_tradeoffs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

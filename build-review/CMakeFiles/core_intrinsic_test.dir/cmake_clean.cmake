@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_intrinsic_test.dir/tests/core_intrinsic_test.cpp.o"
+  "CMakeFiles/core_intrinsic_test.dir/tests/core_intrinsic_test.cpp.o.d"
+  "core_intrinsic_test"
+  "core_intrinsic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_intrinsic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_measures_test.dir/tests/core_measures_test.cpp.o"
+  "CMakeFiles/core_measures_test.dir/tests/core_measures_test.cpp.o.d"
+  "core_measures_test"
+  "core_measures_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_measures_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_report_test.dir/tests/core_report_test.cpp.o"
+  "CMakeFiles/core_report_test.dir/tests/core_report_test.cpp.o.d"
+  "core_report_test"
+  "core_report_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

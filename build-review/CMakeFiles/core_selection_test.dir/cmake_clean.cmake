@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_selection_test.dir/tests/core_selection_test.cpp.o"
+  "CMakeFiles/core_selection_test.dir/tests/core_selection_test.cpp.o.d"
+  "core_selection_test"
+  "core_selection_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_selection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

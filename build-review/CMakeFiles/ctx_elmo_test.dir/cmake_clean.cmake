@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctx_elmo_test.dir/tests/ctx_elmo_test.cpp.o"
+  "CMakeFiles/ctx_elmo_test.dir/tests/ctx_elmo_test.cpp.o.d"
+  "ctx_elmo_test"
+  "ctx_elmo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctx_elmo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

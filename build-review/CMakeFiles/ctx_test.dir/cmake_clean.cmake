@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctx_test.dir/tests/ctx_test.cpp.o"
+  "CMakeFiles/ctx_test.dir/tests/ctx_test.cpp.o.d"
+  "ctx_test"
+  "ctx_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctx_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drift_monitor.dir/examples/drift_monitor.cpp.o"
+  "CMakeFiles/drift_monitor.dir/examples/drift_monitor.cpp.o.d"
+  "examples/drift_monitor"
+  "examples/drift_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drift_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

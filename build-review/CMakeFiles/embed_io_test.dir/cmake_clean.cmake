@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embed_io_test.dir/tests/embed_io_test.cpp.o"
+  "CMakeFiles/embed_io_test.dir/tests/embed_io_test.cpp.o.d"
+  "embed_io_test"
+  "embed_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embed_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

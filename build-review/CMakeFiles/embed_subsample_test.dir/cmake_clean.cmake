@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embed_subsample_test.dir/tests/embed_subsample_test.cpp.o"
+  "CMakeFiles/embed_subsample_test.dir/tests/embed_subsample_test.cpp.o.d"
+  "embed_subsample_test"
+  "embed_subsample_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embed_subsample_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

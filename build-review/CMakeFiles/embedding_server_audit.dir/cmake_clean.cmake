@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embedding_server_audit.dir/examples/embedding_server_audit.cpp.o"
+  "CMakeFiles/embedding_server_audit.dir/examples/embedding_server_audit.cpp.o.d"
+  "examples/embedding_server_audit"
+  "examples/embedding_server_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embedding_server_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

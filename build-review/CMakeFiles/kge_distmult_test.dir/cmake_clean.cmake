@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kge_distmult_test.dir/tests/kge_distmult_test.cpp.o"
+  "CMakeFiles/kge_distmult_test.dir/tests/kge_distmult_test.cpp.o.d"
+  "kge_distmult_test"
+  "kge_distmult_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kge_distmult_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

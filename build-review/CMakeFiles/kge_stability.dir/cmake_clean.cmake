@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kge_stability.dir/examples/kge_stability.cpp.o"
+  "CMakeFiles/kge_stability.dir/examples/kge_stability.cpp.o.d"
+  "examples/kge_stability"
+  "examples/kge_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kge_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

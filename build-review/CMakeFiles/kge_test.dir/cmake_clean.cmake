@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kge_test.dir/tests/kge_test.cpp.o"
+  "CMakeFiles/kge_test.dir/tests/kge_test.cpp.o.d"
+  "kge_test"
+  "kge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

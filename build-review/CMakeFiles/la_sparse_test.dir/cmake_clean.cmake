@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_sparse_test.dir/tests/la_sparse_test.cpp.o"
+  "CMakeFiles/la_sparse_test.dir/tests/la_sparse_test.cpp.o.d"
+  "la_sparse_test"
+  "la_sparse_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_sparse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_stats_bootstrap_test.dir/tests/la_stats_bootstrap_test.cpp.o"
+  "CMakeFiles/la_stats_bootstrap_test.dir/tests/la_stats_bootstrap_test.cpp.o.d"
+  "la_stats_bootstrap_test"
+  "la_stats_bootstrap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_stats_bootstrap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_stabilizer_test.dir/tests/model_stabilizer_test.cpp.o"
+  "CMakeFiles/model_stabilizer_test.dir/tests/model_stabilizer_test.cpp.o.d"
+  "model_stabilizer_test"
+  "model_stabilizer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_stabilizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

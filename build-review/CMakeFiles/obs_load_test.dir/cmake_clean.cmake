@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obs_load_test.dir/tests/obs_load_test.cpp.o"
+  "CMakeFiles/obs_load_test.dir/tests/obs_load_test.cpp.o.d"
+  "obs_load_test"
+  "obs_load_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obs_load_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_ext_test.dir/tests/pipeline_ext_test.cpp.o"
+  "CMakeFiles/pipeline_ext_test.dir/tests/pipeline_ext_test.cpp.o.d"
+  "pipeline_ext_test"
+  "pipeline_ext_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

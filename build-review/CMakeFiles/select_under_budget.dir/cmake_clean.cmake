@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/select_under_budget.dir/examples/select_under_budget.cpp.o"
+  "CMakeFiles/select_under_budget.dir/examples/select_under_budget.cpp.o.d"
+  "examples/select_under_budget"
+  "examples/select_under_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/select_under_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

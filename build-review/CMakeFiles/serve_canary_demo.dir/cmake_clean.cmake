@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_canary_demo.dir/examples/serve_canary_demo.cpp.o"
+  "CMakeFiles/serve_canary_demo.dir/examples/serve_canary_demo.cpp.o.d"
+  "examples/serve_canary_demo"
+  "examples/serve_canary_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_canary_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_canary_test.dir/tests/serve_canary_test.cpp.o"
+  "CMakeFiles/serve_canary_test.dir/tests/serve_canary_test.cpp.o.d"
+  "serve_canary_test"
+  "serve_canary_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_canary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

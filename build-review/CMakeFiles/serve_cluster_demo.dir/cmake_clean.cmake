@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_cluster_demo.dir/examples/serve_cluster_demo.cpp.o"
+  "CMakeFiles/serve_cluster_demo.dir/examples/serve_cluster_demo.cpp.o.d"
+  "examples/serve_cluster_demo"
+  "examples/serve_cluster_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_cluster_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_hot_swap.dir/examples/serve_hot_swap.cpp.o"
+  "CMakeFiles/serve_hot_swap.dir/examples/serve_hot_swap.cpp.o.d"
+  "examples/serve_hot_swap"
+  "examples/serve_hot_swap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_hot_swap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

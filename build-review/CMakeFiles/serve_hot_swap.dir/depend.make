@@ -1,0 +1,2 @@
+# Empty dependencies file for serve_hot_swap.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_rpc_demo.dir/examples/serve_rpc_demo.cpp.o"
+  "CMakeFiles/serve_rpc_demo.dir/examples/serve_rpc_demo.cpp.o.d"
+  "examples/serve_rpc_demo"
+  "examples/serve_rpc_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_rpc_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tasks_pos_test.dir/tests/tasks_pos_test.cpp.o"
+  "CMakeFiles/tasks_pos_test.dir/tests/tasks_pos_test.cpp.o.d"
+  "tasks_pos_test"
+  "tasks_pos_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tasks_pos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

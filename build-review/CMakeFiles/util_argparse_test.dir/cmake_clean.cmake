@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_argparse_test.dir/tests/util_argparse_test.cpp.o"
+  "CMakeFiles/util_argparse_test.dir/tests/util_argparse_test.cpp.o.d"
+  "util_argparse_test"
+  "util_argparse_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_argparse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
